@@ -1,0 +1,70 @@
+// Ablation: SeeDB-style shared scans vs MuVE pruning.
+//
+// Section II-A cites shared computation among views as an orthogonal
+// optimization class.  This bench pits the two against each other on
+// both datasets: sharing collapses the |M| x |F| same-dimension queries
+// of exhaustive search into one scan per (dimension, bin count), while
+// MuVE avoids executing most candidates at all.  They are NOT composable
+// (sharing eagerly computes what pruning would skip), so the interesting
+// question is which regime favors which — more measures favor sharing,
+// usability-heavy weights favor pruning.
+
+#include <iostream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/recommender.h"
+#include "data/diab.h"
+#include "data/nba.h"
+#include "harness.h"
+
+namespace {
+
+void RunDataset(const muve::data::Dataset& dataset,
+                const muve::core::Weights& weights, const char* regime) {
+  using muve::bench::Ms;
+  using muve::bench::RunScheme;
+
+  auto recommender = muve::core::Recommender::Create(dataset);
+  MUVE_CHECK(recommender.ok()) << recommender.status().ToString();
+
+  auto linear = muve::bench::LinearLinear();
+  auto shared = muve::bench::LinearLinear();
+  shared.shared_scans = true;
+  auto muve = muve::bench::MuveMuve();
+  linear.weights = shared.weights = muve.weights = weights;
+
+  const auto r_linear = RunScheme(*recommender, linear);
+  const auto r_shared = RunScheme(*recommender, shared);
+  const auto r_muve = RunScheme(*recommender, muve);
+
+  muve::bench::TablePrinter table(
+      {"scheme", "cost(ms)", "target queries", "comparison queries"});
+  table.AddRow({"Linear-Linear", Ms(r_linear.cost_ms),
+                std::to_string(r_linear.stats.target_queries),
+                std::to_string(r_linear.stats.comparison_queries)});
+  table.AddRow({"Linear-Linear(Sh)", Ms(r_shared.cost_ms),
+                std::to_string(r_shared.stats.target_queries),
+                std::to_string(r_shared.stats.comparison_queries)});
+  table.AddRow({"MuVE-MuVE", Ms(r_muve.cost_ms),
+                std::to_string(r_muve.stats.target_queries),
+                std::to_string(r_muve.stats.comparison_queries)});
+  table.Print(dataset.name + ", " + regime + " weights " +
+              weights.ToString() + ", mean of " +
+              std::to_string(muve::bench::Repetitions()) + " runs");
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: shared scans (SeeDB) vs pruning (MuVE) ===\n";
+  const auto diab =
+      muve::data::WithWorkloadSize(muve::data::MakeDiabDataset(), 3, 3, 3);
+  const auto nba_wide =
+      muve::data::WithWorkloadSize(muve::data::MakeNbaDataset(), 3, 13, 3);
+  RunDataset(diab, muve::core::Weights::PaperDefault(), "usability-heavy");
+  RunDataset(diab, muve::core::Weights{0.6, 0.2, 0.2}, "deviation-heavy");
+  RunDataset(nba_wide, muve::core::Weights{0.6, 0.2, 0.2},
+             "deviation-heavy, 13 measures");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 5: impact of alpha_D and alpha_S on cost, while alpha_A = 0.2.
+//
+// Paper findings to reproduce (Figures 5a DIAB / 5b NBA):
+//   * Linear-Linear is flat across alpha_S (exhaustive, weight-oblivious);
+//   * MuVE-Linear and MuVE-MuVE match Linear-Linear at low alpha_S but
+//     drop sharply as alpha_S grows (>70% cheaper at alpha_S > 0.5 on
+//     DIAB); MuVE-MuVE cuts further below MuVE-Linear (~70% at
+//     alpha_S = 0.6 on NBA).
+
+#include <iostream>
+
+#include "core/recommender.h"
+#include "data/diab.h"
+#include "data/nba.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "harness.h"
+
+namespace {
+
+using muve::bench::LinearLinear;
+using muve::bench::Ms;
+using muve::bench::MuveLinear;
+using muve::bench::MuveMuve;
+using muve::bench::RunScheme;
+using muve::bench::TablePrinter;
+
+void RunDataset(const muve::data::Dataset& dataset, const char* figure) {
+  auto recommender = muve::core::Recommender::Create(dataset);
+  MUVE_CHECK(recommender.ok()) << recommender.status().ToString();
+
+  TablePrinter table({"alpha_S", "alpha_D", "Linear-Linear(ms)",
+                      "MuVE-Linear(ms)", "MuVE-MuVE(ms)",
+                      "MuVE-MuVE savings"});
+  double linear_at_low = 0.0;
+  for (const double alpha_s : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7}) {
+    const double alpha_d = 0.8 - alpha_s;  // alpha_A fixed at 0.2
+    const muve::core::Weights weights{alpha_d, 0.2, alpha_s};
+
+    auto linear = LinearLinear();
+    auto muve_linear = MuveLinear();
+    auto muve_muve = MuveMuve();
+    linear.weights = muve_linear.weights = muve_muve.weights = weights;
+
+    const auto r_lin = RunScheme(*recommender, linear);
+    const auto r_ml = RunScheme(*recommender, muve_linear);
+    const auto r_mm = RunScheme(*recommender, muve_muve);
+    if (linear_at_low == 0.0) linear_at_low = r_lin.cost_ms;
+
+    table.AddRow({muve::common::FormatDouble(alpha_s, 1),
+                  muve::common::FormatDouble(alpha_d, 1), Ms(r_lin.cost_ms),
+                  Ms(r_ml.cost_ms), Ms(r_mm.cost_ms),
+                  muve::bench::Pct(1.0 - r_mm.cost_ms / r_lin.cost_ms)});
+  }
+  table.Print(std::string("Figure ") + figure + " — " + dataset.name +
+              ": cost vs alpha_S (alpha_A = 0.2, k = 5, Euclidean), mean of " +
+              std::to_string(muve::bench::Repetitions()) + " runs");
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Figure 5: impact of alpha_S on cost ===\n";
+  RunDataset(muve::data::WithWorkloadSize(muve::data::MakeDiabDataset(), 3, 3, 3), "5a");
+  RunDataset(muve::data::WithWorkloadSize(muve::data::MakeNbaDataset(), 3, 3,
+                                          3),
+             "5b");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 6: impact of alpha_A and alpha_D on cost, while alpha_S = 0.2.
+//
+// Paper findings to reproduce:
+//   * 6a/6b (DIAB/NBA cost): MuVE-MuVE offers the lowest cost, especially
+//     where alpha_D is low / alpha_A is high (accurate interesting views
+//     raise U_seen early and prune the rest);
+//   * 6c (DIAB fully probed views): MuVE-MuVE fully probes very few views
+//     at high alpha_D, but that saves less wall-clock than pruning at high
+//     alpha_A does, because a deviation probe (C_t + C_c + C_d) costs more
+//     than an accuracy probe (C_t + C_a).
+
+#include <iostream>
+
+#include "core/recommender.h"
+#include "data/diab.h"
+#include "data/nba.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "harness.h"
+
+namespace {
+
+using muve::bench::LinearLinear;
+using muve::bench::Ms;
+using muve::bench::MuveLinear;
+using muve::bench::MuveMuve;
+using muve::bench::RunScheme;
+using muve::bench::TablePrinter;
+
+void RunDataset(const muve::data::Dataset& dataset, const char* figure,
+                bool report_probes) {
+  auto recommender = muve::core::Recommender::Create(dataset);
+  MUVE_CHECK(recommender.ok()) << recommender.status().ToString();
+
+  TablePrinter cost_table({"alpha_D", "alpha_A", "Linear-Linear(ms)",
+                           "MuVE-Linear(ms)", "MuVE-MuVE(ms)"});
+  TablePrinter probe_table({"alpha_D", "alpha_A", "Linear-Linear",
+                            "MuVE-Linear", "MuVE-MuVE"});
+  for (const double alpha_d : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7}) {
+    const double alpha_a = 0.8 - alpha_d;  // alpha_S fixed at 0.2
+    const muve::core::Weights weights{alpha_d, alpha_a, 0.2};
+
+    auto linear = LinearLinear();
+    auto muve_linear = MuveLinear();
+    auto muve_muve = MuveMuve();
+    linear.weights = muve_linear.weights = muve_muve.weights = weights;
+
+    const auto r_lin = RunScheme(*recommender, linear);
+    const auto r_ml = RunScheme(*recommender, muve_linear);
+    const auto r_mm = RunScheme(*recommender, muve_muve);
+
+    cost_table.AddRow({muve::common::FormatDouble(alpha_d, 1),
+                       muve::common::FormatDouble(alpha_a, 1),
+                       Ms(r_lin.cost_ms), Ms(r_ml.cost_ms),
+                       Ms(r_mm.cost_ms)});
+    probe_table.AddRow({muve::common::FormatDouble(alpha_d, 1),
+                        muve::common::FormatDouble(alpha_a, 1),
+                        std::to_string(r_lin.stats.fully_probed),
+                        std::to_string(r_ml.stats.fully_probed),
+                        std::to_string(r_mm.stats.fully_probed)});
+  }
+  cost_table.Print(std::string("Figure ") + figure + " — " + dataset.name +
+                   ": cost vs alpha_D (alpha_S = 0.2, k = 5), mean of " +
+                   std::to_string(muve::bench::Repetitions()) + " runs");
+  if (report_probes) {
+    probe_table.Print(
+        "Figure 6c — DIAB: fully probed views (deviation AND accuracy "
+        "evaluated) vs alpha_D");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Figure 6: impact of alpha_D on cost and probes ===\n";
+  RunDataset(muve::data::WithWorkloadSize(muve::data::MakeDiabDataset(), 3, 3, 3), "6a", /*report_probes=*/true);
+  RunDataset(muve::data::WithWorkloadSize(muve::data::MakeNbaDataset(), 3, 3,
+                                          3),
+             "6b", /*report_probes=*/false);
+  return 0;
+}

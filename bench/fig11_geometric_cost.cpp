@@ -1,0 +1,55 @@
+// Figure 11: impact of geometric range partitioning on cost (NBA).
+//
+// Paper findings to reproduce (alpha_A = 0.2, alpha_S sweeping): the cost
+// of Linear(G)-Linear stays flat across alpha_S, while geometric
+// partitioning plus MuVE pruning cuts MuVE(G)-Linear and MuVE(G)-MuVE by
+// more than 50% at high alpha_S.
+
+#include <iostream>
+
+#include "core/recommender.h"
+#include "data/nba.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "harness.h"
+
+int main() {
+  using muve::bench::Ms;
+  using muve::bench::RunScheme;
+
+  std::cout << "=== Figure 11: geometric partitioning vs cost (NBA) ===\n";
+  const muve::data::Dataset dataset =
+      muve::data::WithWorkloadSize(muve::data::MakeNbaDataset(), 3, 3, 3);
+  auto recommender = muve::core::Recommender::Create(dataset);
+  MUVE_CHECK(recommender.ok()) << recommender.status().ToString();
+
+  muve::bench::TablePrinter table({"alpha_S", "alpha_D",
+                                   "Linear(G)-Linear(ms)",
+                                   "MuVE(G)-Linear(ms)",
+                                   "MuVE(G)-MuVE(ms)", "MuVE(G)-MuVE vs "
+                                   "Linear(G)"});
+  for (const double alpha_s : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7}) {
+    const double alpha_d = 0.8 - alpha_s;
+    const muve::core::Weights weights{alpha_d, 0.2, alpha_s};
+
+    auto linear = muve::bench::LinearLinear();
+    auto muve_linear = muve::bench::MuveLinear();
+    auto muve_muve = muve::bench::MuveMuve();
+    for (auto* opt : {&linear, &muve_linear, &muve_muve}) {
+      opt->weights = weights;
+      opt->partition.kind = muve::core::PartitionKind::kGeometric;
+    }
+
+    const auto r_lin = RunScheme(*recommender, linear);
+    const auto r_ml = RunScheme(*recommender, muve_linear);
+    const auto r_mm = RunScheme(*recommender, muve_muve);
+    table.AddRow({muve::common::FormatDouble(alpha_s, 1),
+                  muve::common::FormatDouble(alpha_d, 1), Ms(r_lin.cost_ms),
+                  Ms(r_ml.cost_ms), Ms(r_mm.cost_ms),
+                  muve::bench::Pct(1.0 - r_mm.cost_ms / r_lin.cost_ms)});
+  }
+  table.Print("Figure 11 — NBA: cost vs alpha_S under geometric "
+              "partitioning (alpha_A = 0.2, k = 5), mean of " +
+              std::to_string(muve::bench::Repetitions()) + " runs");
+  return 0;
+}

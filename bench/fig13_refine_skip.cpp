@@ -1,0 +1,71 @@
+// Figure 13: view refinement and view skipping approximations (DIAB).
+//
+// Paper findings to reproduce: Linear-Linear(S) is cheaper than plain
+// Linear-Linear (one horizontal search per dimension instead of per
+// view), and Linear-Linear(R) with def = 4 is cheapest (horizontal search
+// only for the k views selected in the def-bin first pass).  Both hold
+// ~95% fidelity.
+
+#include <iostream>
+
+#include "core/fidelity.h"
+#include "core/recommender.h"
+#include "data/diab.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "harness.h"
+
+int main() {
+  using muve::bench::Ms;
+  using muve::bench::Pct;
+  using muve::bench::RunScheme;
+
+  std::cout << "=== Figure 13: refinement and skipping approximations "
+               "(DIAB) ===\n";
+  const muve::data::Dataset dataset = muve::data::WithWorkloadSize(muve::data::MakeDiabDataset(), 3, 3, 3);
+  auto recommender = muve::core::Recommender::Create(dataset);
+  MUVE_CHECK(recommender.ok()) << recommender.status().ToString();
+
+  auto plain = muve::bench::LinearLinear();
+  auto skipping = muve::bench::LinearLinear();
+  skipping.approximation = muve::core::VerticalApproximation::kSkipping;
+  auto refinement = muve::bench::LinearLinear();
+  refinement.approximation = muve::core::VerticalApproximation::kRefinement;
+  refinement.refinement_default_bins = 4;
+
+  const auto r_plain = RunScheme(*recommender, plain);
+  const auto r_skip = RunScheme(*recommender, skipping);
+  const auto r_refine = RunScheme(*recommender, refinement);
+
+  const auto& opt = r_plain.recommendation.views;
+  muve::bench::TablePrinter table(
+      {"scheme", "cost(ms)", "vs Linear-Linear", "fidelity",
+       "fully probed"});
+  table.AddRow({"Linear-Linear", Ms(r_plain.cost_ms), "-", Pct(1.0),
+                std::to_string(r_plain.stats.fully_probed)});
+  table.AddRow({"Linear-Linear(S)", Ms(r_skip.cost_ms),
+                Pct(1.0 - r_skip.cost_ms / r_plain.cost_ms),
+                Pct(muve::core::Fidelity(opt, r_skip.recommendation.views)),
+                std::to_string(r_skip.stats.fully_probed)});
+  table.AddRow(
+      {"Linear-Linear(R), def=4", Ms(r_refine.cost_ms),
+       Pct(1.0 - r_refine.cost_ms / r_plain.cost_ms),
+       Pct(muve::core::Fidelity(opt, r_refine.recommendation.views)),
+       std::to_string(r_refine.stats.fully_probed)});
+  table.Print("Figure 13 — DIAB: vertical approximations (paper default "
+              "weights, k = 5), mean of " +
+              std::to_string(muve::bench::Repetitions()) + " runs");
+
+  // Sensitivity of refinement to the `def` parameter (Section IV-C1 notes
+  // a moderate number of bins works best).
+  muve::bench::TablePrinter def_table({"def", "cost(ms)", "fidelity"});
+  for (const int def : {2, 4, 8, 16, 32}) {
+    auto options = refinement;
+    options.refinement_default_bins = def;
+    const auto r = RunScheme(*recommender, options);
+    def_table.AddRow({std::to_string(def), Ms(r.cost_ms),
+                      Pct(muve::core::Fidelity(opt, r.recommendation.views))});
+  }
+  def_table.Print("Refinement default-binning sensitivity (DIAB)");
+  return 0;
+}

@@ -1,0 +1,157 @@
+#include "harness.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace muve::bench {
+
+int Repetitions() {
+  static const int reps = [] {
+    const char* env = std::getenv("MUVE_BENCH_REPS");
+    if (env != nullptr) {
+      const int parsed = std::atoi(env);
+      if (parsed >= 1) return parsed;
+    }
+    return 5;
+  }();
+  return reps;
+}
+
+RunResult RunScheme(const core::Recommender& recommender,
+                    const core::SearchOptions& options) {
+  RunResult result;
+  double total = 0.0;
+  const int reps = Repetitions();
+  // One unrecorded warmup run per configuration: the first recommendation
+  // in a fresh process pays page-fault/allocator costs that would bias
+  // the first row of every figure.
+  {
+    auto warmup = recommender.Recommend(options);
+    MUVE_CHECK(warmup.ok()) << options.SchemeName() << ": "
+                            << warmup.status().ToString();
+  }
+  for (int r = 0; r < reps; ++r) {
+    auto rec = recommender.Recommend(options);
+    MUVE_CHECK(rec.ok()) << options.SchemeName() << ": "
+                         << rec.status().ToString();
+    total += rec->stats.TotalCostMillis();
+    if (r + 1 == reps) {
+      result.stats = rec->stats;
+      result.recommendation = std::move(rec).value();
+    }
+  }
+  result.cost_ms = total / reps;
+  return result;
+}
+
+core::SearchOptions LinearLinear() {
+  core::SearchOptions options;
+  options.horizontal = core::HorizontalStrategy::kLinear;
+  options.vertical = core::VerticalStrategy::kLinear;
+  return options;
+}
+
+core::SearchOptions HcLinear() {
+  core::SearchOptions options;
+  options.horizontal = core::HorizontalStrategy::kHillClimbing;
+  options.vertical = core::VerticalStrategy::kLinear;
+  return options;
+}
+
+core::SearchOptions MuveLinear() {
+  core::SearchOptions options;
+  options.horizontal = core::HorizontalStrategy::kMuve;
+  options.vertical = core::VerticalStrategy::kLinear;
+  return options;
+}
+
+core::SearchOptions MuveMuve() {
+  core::SearchOptions options;
+  options.horizontal = core::HorizontalStrategy::kMuve;
+  options.vertical = core::VerticalStrategy::kMuve;
+  return options;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  MUVE_CHECK(cells.size() == headers_.size())
+      << "row arity " << cells.size() << " != " << headers_.size();
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(const std::string& title) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::cout << "\n" << title << "\n";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) std::cout << "  ";
+    std::cout << common::PadRight(headers_[c], widths[c]);
+  }
+  std::cout << "\n";
+  size_t total = headers_.size() > 1 ? 2 * (headers_.size() - 1) : 0;
+  for (size_t w : widths) total += w;
+  std::cout << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) std::cout << "  ";
+      std::cout << common::PadRight(row[c], widths[c]);
+    }
+    std::cout << "\n";
+  }
+  MaybeExportCsv(title);
+}
+
+void TablePrinter::MaybeExportCsv(const std::string& title) const {
+  const char* dir = std::getenv("MUVE_BENCH_CSV_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  std::string slug;
+  for (const char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    } else if (!slug.empty() && slug.back() != '-') {
+      slug.push_back('-');
+    }
+    if (slug.size() >= 72) break;
+  }
+  while (!slug.empty() && slug.back() == '-') slug.pop_back();
+  if (slug.empty()) slug = "table";
+  const std::string path = std::string(dir) + "/" + slug + ".csv";
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return;
+  }
+  auto write_row = [&out](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << ",";
+      // Figure cells never contain commas/quotes; write verbatim.
+      out << cells[c];
+    }
+    out << "\n";
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+  std::cout << "(csv: " << path << ")\n";
+}
+
+std::string Ms(double value) { return common::FormatDouble(value, 3); }
+
+std::string Pct(double fraction) {
+  return common::FormatDouble(fraction * 100.0, 1) + "%";
+}
+
+}  // namespace muve::bench

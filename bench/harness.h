@@ -1,0 +1,70 @@
+// Shared support for the figure-reproduction benchmarks.
+//
+// Each `fig*` binary regenerates one figure of the paper's evaluation
+// (Section VI): it sweeps the figure's parameter, runs the figure's
+// schemes through the Recommender, and prints the measured series as an
+// aligned table — cost in milliseconds (the paper's wall-clock cost
+// metric, Eq. 7), operation counts, and fidelity where the figure reports
+// it.  Absolute numbers differ from the paper's Java/PostgreSQL testbed;
+// the *shape* (who wins, by what factor, where crossovers fall) is the
+// reproduction target, recorded in EXPERIMENTS.md.
+
+#ifndef MUVE_BENCH_HARNESS_H_
+#define MUVE_BENCH_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/recommender.h"
+#include "core/search_options.h"
+
+namespace muve::bench {
+
+// Number of repetitions per configuration (the paper averages 10 runs).
+// Override with the MUVE_BENCH_REPS environment variable.
+int Repetitions();
+
+struct RunResult {
+  double cost_ms = 0.0;  // mean TotalCostMillis over repetitions
+  core::ExecStats stats;  // from the last repetition
+  core::Recommendation recommendation;  // from the last repetition
+};
+
+// Runs `options` against `recommender` Repetitions() times and averages
+// the cost.  Aborts on configuration errors (benchmark misuse).
+RunResult RunScheme(const core::Recommender& recommender,
+                    const core::SearchOptions& options);
+
+// Convenience constructors for the paper's scheme combinations.
+core::SearchOptions LinearLinear();
+core::SearchOptions HcLinear();
+core::SearchOptions MuveLinear();
+core::SearchOptions MuveMuve();
+
+// Simple aligned-column table printer for figure series.  When the
+// MUVE_BENCH_CSV_DIR environment variable names a directory, every
+// printed table is also written there as <slugified-title>.csv for
+// external plotting.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Renders to stdout with a title line (and exports CSV when enabled).
+  void Print(const std::string& title) const;
+
+ private:
+  void MaybeExportCsv(const std::string& title) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats `value` ms with 3 decimals.
+std::string Ms(double value);
+// Formats a [0,1] fidelity as a percentage with 1 decimal.
+std::string Pct(double fraction);
+
+}  // namespace muve::bench
+
+#endif  // MUVE_BENCH_HARNESS_H_

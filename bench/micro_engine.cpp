@@ -1,0 +1,109 @@
+// google-benchmark microbenchmarks for the engine kernels behind the
+// paper's cost components: binned aggregation (C_t / C_c), raw group-by,
+// predicate filtering, and the distance functions (C_d).
+//
+//   $ ./build/bench/micro_engine [--benchmark_filter=...]
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/distance.h"
+#include "core/distribution.h"
+#include "data/nba.h"
+#include "storage/binned_group_by.h"
+#include "storage/group_by.h"
+#include "storage/predicate.h"
+
+namespace {
+
+const muve::data::Dataset& Nba() {
+  static const muve::data::Dataset* kDataset =
+      new muve::data::Dataset(muve::data::MakeNbaDataset());
+  return *kDataset;
+}
+
+// C_c analogue: binned aggregation over the whole database, across bin
+// counts (the per-candidate query cost of the comparison view).
+void BM_BinnedAggregateComparison(benchmark::State& state) {
+  const auto& ds = Nba();
+  const int bins = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto result = muve::storage::BinnedAggregate(
+        *ds.table, ds.all_rows, "MP", "3PAr",
+        muve::storage::AggregateFunction::kSum, bins, 0.0, 1440.0);
+    MUVE_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->aggregates.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.all_rows.size()));
+}
+BENCHMARK(BM_BinnedAggregateComparison)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Arg(256)->Arg(1024);
+
+// C_t analogue: the same query over the (much smaller) target subset.
+void BM_BinnedAggregateTarget(benchmark::State& state) {
+  const auto& ds = Nba();
+  const int bins = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto result = muve::storage::BinnedAggregate(
+        *ds.table, ds.target_rows, "MP", "3PAr",
+        muve::storage::AggregateFunction::kSum, bins, 0.0, 1440.0);
+    MUVE_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->aggregates.data());
+  }
+}
+BENCHMARK(BM_BinnedAggregateTarget)->Arg(4)->Arg(64)->Arg(1024);
+
+// Raw group-by (the accuracy objective's non-binned series).
+void BM_GroupByAggregate(benchmark::State& state) {
+  const auto& ds = Nba();
+  for (auto _ : state) {
+    auto result = muve::storage::GroupByAggregate(
+        *ds.table, ds.all_rows, "MP", "PER",
+        muve::storage::AggregateFunction::kAvg);
+    MUVE_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->aggregates.data());
+  }
+}
+BENCHMARK(BM_GroupByAggregate);
+
+// Predicate filtering (building D_Q from Q's WHERE clause).
+void BM_FilterPredicate(benchmark::State& state) {
+  const auto& ds = Nba();
+  for (auto _ : state) {
+    auto pred = muve::storage::MakeComparison(
+        "Team", muve::storage::CompareOp::kEq, muve::storage::Value("GSW"));
+    auto rows = muve::storage::Filter(*ds.table, pred.get());
+    MUVE_CHECK(rows.ok());
+    benchmark::DoNotOptimize(rows->data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.table->num_rows()));
+}
+BENCHMARK(BM_FilterPredicate);
+
+// C_d analogue: distance kernels across distribution sizes.
+void BM_Distance(benchmark::State& state) {
+  const auto kind = static_cast<muve::core::DistanceKind>(state.range(0));
+  const size_t n = static_cast<size_t>(state.range(1));
+  muve::common::Rng rng(42);
+  std::vector<double> a(n);
+  std::vector<double> b(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.NextDouble();
+    b[i] = rng.NextDouble();
+  }
+  const auto p = muve::core::NormalizeToDistribution(a);
+  const auto q = muve::core::NormalizeToDistribution(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(muve::core::Distance(kind, p, q));
+  }
+}
+BENCHMARK(BM_Distance)
+    ->ArgsProduct({{0, 3, 4},  // Euclidean, EMD, KL
+                   {4, 64, 1024}});
+
+}  // namespace
+
+BENCHMARK_MAIN();

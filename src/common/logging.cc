@@ -1,0 +1,43 @@
+#include "common/logging.h"
+
+namespace muve::common {
+
+namespace {
+LogLevel g_threshold = LogLevel::kInfo;
+}  // namespace
+
+LogLevel GetLogThreshold() { return g_threshold; }
+
+void SetLogThreshold(LogLevel level) { g_threshold = level; }
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARNING";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "UNKNOWN";
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LogLevelName(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ >= g_threshold || level_ == LogLevel::kFatal) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace muve::common

@@ -1,0 +1,87 @@
+// Minimal leveled logging and assertion macros.
+//
+// MUVE_LOG(INFO) << "...";     stream-style logging
+// MUVE_CHECK(cond) << "...";   aborts with the streamed message when false
+// MUVE_DCHECK(cond)            same, compiled out in NDEBUG builds
+
+#ifndef MUVE_COMMON_LOGGING_H_
+#define MUVE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace muve::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+// Minimum level that is emitted.  Defaults to kInfo; tests may lower it.
+LogLevel GetLogThreshold();
+void SetLogThreshold(LogLevel level);
+
+const char* LogLevelName(LogLevel level);
+
+// Accumulates one log line and emits it (to stderr) on destruction.
+// Fatal messages abort the process after emission.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows streamed values when a log statement is disabled.
+class NullLogStream {
+ public:
+  template <typename T>
+  NullLogStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+// Turns a streamed LogMessage expression into void so it can sit in the
+// false branch of the CHECK ternary (operator& binds looser than <<).
+class LogMessageVoidify {
+ public:
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace muve::common
+
+#define MUVE_LOG_LEVEL_DEBUG ::muve::common::LogLevel::kDebug
+#define MUVE_LOG_LEVEL_INFO ::muve::common::LogLevel::kInfo
+#define MUVE_LOG_LEVEL_WARNING ::muve::common::LogLevel::kWarning
+#define MUVE_LOG_LEVEL_ERROR ::muve::common::LogLevel::kError
+#define MUVE_LOG_LEVEL_FATAL ::muve::common::LogLevel::kFatal
+
+#define MUVE_LOG(severity)                                              \
+  ::muve::common::LogMessage(MUVE_LOG_LEVEL_##severity, __FILE__, __LINE__)
+
+#define MUVE_CHECK(cond)                                                  \
+  (cond) ? (void)0                                                        \
+         : ::muve::common::LogMessageVoidify() &                          \
+               ::muve::common::LogMessage(MUVE_LOG_LEVEL_FATAL, __FILE__, \
+                                          __LINE__)                       \
+                   << "Check failed: " #cond " "
+
+#ifdef NDEBUG
+// Keeps `cond` syntactically checked but never evaluated or enforced.
+#define MUVE_DCHECK(cond) MUVE_CHECK(true || (cond))
+#else
+#define MUVE_DCHECK(cond) MUVE_CHECK(cond)
+#endif
+
+#endif  // MUVE_COMMON_LOGGING_H_

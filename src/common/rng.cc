@@ -1,0 +1,113 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.h"
+
+namespace muve::common {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  MUVE_CHECK(lo <= hi) << "UniformInt requires lo <= hi, got " << lo << ", "
+                       << hi;
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {
+    // Full 64-bit range requested.
+    return static_cast<int64_t>(NextUint64());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t draw;
+  do {
+    draw = NextUint64();
+  } while (draw >= limit);
+  return lo + static_cast<int64_t>(draw % span);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  while (u1 <= 0.0) u1 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Rng::ClampedNormal(double mean, double stddev, double lo, double hi) {
+  double v = Normal(mean, stddev);
+  if (v < lo) v = lo;
+  if (v > hi) v = hi;
+  return v;
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  MUVE_CHECK(!weights.empty()) << "WeightedIndex requires non-empty weights";
+  double total = 0.0;
+  for (double w : weights) {
+    MUVE_DCHECK(w >= 0.0) << "negative weight";
+    total += w;
+  }
+  if (total <= 0.0) return 0;
+  double draw = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    draw -= weights[i];
+    if (draw < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+double Rng::Exponential(double rate) {
+  MUVE_CHECK(rate > 0.0) << "Exponential rate must be positive";
+  double u = NextDouble();
+  while (u <= 0.0) u = NextDouble();
+  return -std::log(u) / rate;
+}
+
+}  // namespace muve::common

@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components of the library (synthetic dataset generators,
+// the Hill-Climbing search's random starting point) draw from `Rng`, a
+// splitmix64-seeded xoshiro256** generator.  Given the same seed the whole
+// pipeline is bit-for-bit reproducible across runs and platforms.
+
+#ifndef MUVE_COMMON_RNG_H_
+#define MUVE_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace muve::common {
+
+// xoshiro256** with convenience samplers.  Not thread-safe; use one
+// instance per thread or task.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  // Uniform on the full 64-bit range.
+  uint64_t NextUint64();
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform real in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Standard normal via Box-Muller, then scaled.
+  double Normal(double mean, double stddev);
+
+  // Normal clamped (not truncated-resampled) into [lo, hi].
+  double ClampedNormal(double mean, double stddev, double lo, double hi);
+
+  // Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  // Samples an index according to the (unnormalized, non-negative) weights.
+  // Returns 0 when all weights are zero.  Requires !weights.empty().
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  // Exponential with the given rate (lambda > 0).
+  double Exponential(double rate);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i)));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace muve::common
+
+#endif  // MUVE_COMMON_RNG_H_

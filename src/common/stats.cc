@@ -1,0 +1,53 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace muve::common {
+
+void WelfordAccumulator::Add(double value) {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double WelfordAccumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double WelfordAccumulator::stddev() const { return std::sqrt(variance()); }
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  WelfordAccumulator acc;
+  for (double v : values) acc.Add(v);
+  return acc.stddev();
+}
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  const size_t mid = (values.size() - 1) / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  return values[mid];
+}
+
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace muve::common

@@ -1,0 +1,47 @@
+// Small numerically-careful statistics helpers shared across modules:
+// the storage aggregator uses `WelfordAccumulator` for STD/VAR, and the
+// benchmark harness uses the summary helpers when averaging repetitions.
+
+#ifndef MUVE_COMMON_STATS_H_
+#define MUVE_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace muve::common {
+
+// Streaming mean/variance via Welford's algorithm.  Variance is the
+// population variance (divide by n), matching SQL's VAR_POP which is the
+// natural reading of the paper's VAR aggregate.
+class WelfordAccumulator {
+ public:
+  void Add(double value);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  // Population variance; 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// Mean of `values`; 0 for an empty vector.
+double Mean(const std::vector<double>& values);
+
+// Population standard deviation of `values`; 0 for fewer than two values.
+double StdDev(const std::vector<double>& values);
+
+// Median (lower of the two middle elements for even sizes); 0 when empty.
+// Copies and partially sorts the input.
+double Median(std::vector<double> values);
+
+// Linear-interpolated quantile, q in [0, 1]; 0 when empty.
+double Quantile(std::vector<double> values, double q);
+
+}  // namespace muve::common
+
+#endif  // MUVE_COMMON_STATS_H_

@@ -1,0 +1,165 @@
+// Error handling primitives for the MuVE library.
+//
+// The library does not use exceptions on its main code paths.  Fallible
+// operations return either a `Status` (no payload) or a `Result<T>`
+// (payload-or-status), mirroring the Status/StatusOr idiom common in
+// database engines.
+
+#ifndef MUVE_COMMON_STATUS_H_
+#define MUVE_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace muve::common {
+
+// Machine-readable classification of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kParseError,
+  kTypeMismatch,
+  kIoError,
+};
+
+// Returns a stable lowercase name for `code` (e.g. "invalid_argument").
+const char* StatusCodeName(StatusCode code);
+
+// A cheap, value-semantic success-or-error type.  An OK status carries no
+// message; an error status carries a code and a human-readable message.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg) {
+    return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<code_name>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+// A value of type T or an error Status.  Accessing the value of an error
+// result aborts the process (programming error), so callers must check
+// `ok()` first on fallible paths.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      // A Result constructed from a Status must carry an error.
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the contained value or `fallback` when holding an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates an error status out of the enclosing function.
+#define MUVE_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::muve::common::Status _st = (expr);           \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+// Evaluates a Result expression, propagating errors, otherwise assigning
+// the value to `lhs`.  `lhs` may include a declaration.
+#define MUVE_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  MUVE_ASSIGN_OR_RETURN_IMPL(                      \
+      MUVE_STATUS_CONCAT(_muve_result_, __LINE__), lhs, rexpr)
+
+#define MUVE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define MUVE_STATUS_CONCAT_INNER(a, b) a##b
+#define MUVE_STATUS_CONCAT(a, b) MUVE_STATUS_CONCAT_INNER(a, b)
+
+}  // namespace muve::common
+
+#endif  // MUVE_COMMON_STATUS_H_

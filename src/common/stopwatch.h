@@ -1,0 +1,39 @@
+// Wall-clock timing used for the paper's cost accounting (Section III-C):
+// query execution time (C_t, C_c), deviation computation time (C_d), and
+// accuracy evaluation time (C_a) are all measured with `Stopwatch`.
+
+#ifndef MUVE_COMMON_STOPWATCH_H_
+#define MUVE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace muve::common {
+
+// A restartable monotonic wall-clock stopwatch with nanosecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  // Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  // Nanoseconds elapsed since construction or the last Restart().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedMicros() const { return ElapsedNanos() / 1e3; }
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+  double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace muve::common
+
+#endif  // MUVE_COMMON_STOPWATCH_H_

@@ -1,0 +1,43 @@
+// String helpers used by the CSV reader, the SQL lexer, and the benchmark
+// table printers.
+
+#ifndef MUVE_COMMON_STRING_UTIL_H_
+#define MUVE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace muve::common {
+
+// Splits `input` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view input, char delim);
+
+// Removes ASCII whitespace from both ends.
+std::string_view Trim(std::string_view input);
+
+// ASCII-lowercased copy.
+std::string ToLower(std::string_view input);
+
+// ASCII-uppercased copy.
+std::string ToUpper(std::string_view input);
+
+// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// True when `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Formats `value` with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision);
+
+// Left/right pads `text` with spaces to at least `width` characters.
+std::string PadLeft(std::string text, size_t width);
+std::string PadRight(std::string text, size_t width);
+
+}  // namespace muve::common
+
+#endif  // MUVE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,93 @@
+#include "core/candidate.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace muve::core {
+
+std::string ScoredView::ToString() const {
+  std::ostringstream out;
+  out << view.Label() << " [b=" << bins
+      << "] U=" << common::FormatDouble(utility, 3)
+      << " (D=" << common::FormatDouble(deviation, 3)
+      << " A=" << common::FormatDouble(accuracy, 3)
+      << " S=" << common::FormatDouble(usability, 3) << ")";
+  return out.str();
+}
+
+CandidateResult EvaluateCandidate(ViewEvaluator& evaluator, const View& view,
+                                  int bins, const SearchOptions& options,
+                                  double threshold, bool allow_pruning) {
+  ExecStats& stats = evaluator.stats();
+  ++stats.candidates_considered;
+
+  const Weights& w = options.weights;
+  const double s = evaluator.CandidateUsability(view, bins);
+  const bool pruning =
+      allow_pruning && options.enable_incremental_evaluation;
+
+  // Step 1: S-bound (both expensive objectives assumed perfect).
+  if (pruning && UtilityUpperBound(w, s) <= threshold) {
+    ++stats.pruned_before_probes;
+    CandidateResult result;
+    result.outcome = CandidateResult::Outcome::kPrunedBeforeProbes;
+    return result;
+  }
+
+  // Probe order: the priority rule, or a fixed order for ablations.
+  bool accuracy_first;
+  switch (options.probe_order) {
+    case ProbeOrderPolicy::kPriorityRule:
+      accuracy_first = evaluator.AccuracyFirst(w);
+      break;
+    case ProbeOrderPolicy::kDeviationFirst:
+      accuracy_first = false;
+      break;
+    case ProbeOrderPolicy::kAccuracyFirst:
+      accuracy_first = true;
+      break;
+  }
+
+  ScoredView scored;
+  scored.view = view;
+  scored.bins = bins;
+  scored.usability = s;
+
+  // Step 2: first probe + partial bound.
+  double first_value;
+  if (accuracy_first) {
+    first_value = evaluator.EvaluateAccuracy(view, bins);
+    scored.accuracy = first_value;
+    if (pruning &&
+        w.deviation + w.accuracy * first_value + w.usability * s <=
+            threshold) {
+      ++stats.pruned_after_first_probe;
+      CandidateResult result;
+      result.outcome = CandidateResult::Outcome::kPrunedAfterFirstProbe;
+      return result;
+    }
+    scored.deviation = evaluator.EvaluateDeviation(view, bins);
+  } else {
+    first_value = evaluator.EvaluateDeviation(view, bins);
+    scored.deviation = first_value;
+    if (pruning &&
+        w.deviation * first_value + w.accuracy + w.usability * s <=
+            threshold) {
+      ++stats.pruned_after_first_probe;
+      CandidateResult result;
+      result.outcome = CandidateResult::Outcome::kPrunedAfterFirstProbe;
+      return result;
+    }
+    scored.accuracy = evaluator.EvaluateAccuracy(view, bins);
+  }
+
+  ++stats.fully_probed;
+  scored.utility = Utility(w, scored.deviation, scored.accuracy, s);
+  CandidateResult result;
+  result.outcome = CandidateResult::Outcome::kFullyEvaluated;
+  result.scored = scored;
+  return result;
+}
+
+}  // namespace muve::core

@@ -1,0 +1,58 @@
+// Incremental candidate evaluation (Section IV-A3).
+//
+// Every strategy scores candidates through `EvaluateCandidate`; MuVE
+// passes its pruning threshold U_seen (and pruning enabled), Linear and
+// Hill Climbing evaluate in full.  The incremental cascade:
+//
+//   1. S-bound:   prune when  aD + aA + aS*S(b)        <= U_seen
+//                 (no probe executed; zero processing cost)
+//   2. 1st probe: evaluate D or A (order by the priority rule), prune
+//                 when  a1*v1 + a2_max + aS*S(b)       <= U_seen
+//   3. 2nd probe: evaluate the remaining objective; the candidate's full
+//                 utility U = aD*D + aA*A + aS*S is now known.
+
+#ifndef MUVE_CORE_CANDIDATE_H_
+#define MUVE_CORE_CANDIDATE_H_
+
+#include <string>
+
+#include "core/search_options.h"
+#include "core/view_evaluator.h"
+
+namespace muve::core {
+
+// A fully-scored binned view.
+struct ScoredView {
+  View view;
+  int bins = 1;
+  double utility = 0.0;
+  double deviation = 0.0;
+  double accuracy = 0.0;
+  double usability = 0.0;
+
+  // "SUM(3PAr) BY MP [b=3] U=0.61 (D=0.29 A=0.30 S=0.33)"
+  std::string ToString() const;
+};
+
+struct CandidateResult {
+  enum class Outcome {
+    kPrunedBeforeProbes,    // step 1 fired
+    kPrunedAfterFirstProbe, // step 2 fired
+    kFullyEvaluated,        // survived to a complete utility
+  };
+
+  Outcome outcome = Outcome::kFullyEvaluated;
+  ScoredView scored;  // meaningful only when fully evaluated
+};
+
+// Scores candidate (view, bins).  When `allow_pruning`, candidates that
+// provably cannot exceed `threshold` are cut short per the cascade above;
+// otherwise both objectives are always evaluated (threshold ignored).
+// Updates the evaluator's ExecStats candidate counters.
+CandidateResult EvaluateCandidate(ViewEvaluator& evaluator, const View& view,
+                                  int bins, const SearchOptions& options,
+                                  double threshold, bool allow_pruning);
+
+}  // namespace muve::core
+
+#endif  // MUVE_CORE_CANDIDATE_H_

@@ -1,0 +1,41 @@
+#include "core/cost_model.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace muve::core {
+
+void CostModel::Observe(CostKind kind, double millis) {
+  Entry& e = entries_[static_cast<size_t>(kind)];
+  e.sum_before_last += e.last;
+  e.last = millis;
+  ++e.count;
+}
+
+double CostModel::Estimate(CostKind kind) const {
+  const Entry& e = entries_[static_cast<size_t>(kind)];
+  if (e.count == 0) return 0.0;
+  if (e.count == 1) return e.last;
+  const double mean_before =
+      e.sum_before_last / static_cast<double>(e.count - 1);
+  return beta_ * e.last + (1.0 - beta_) * mean_before;
+}
+
+int64_t CostModel::ObservationCount(CostKind kind) const {
+  return entries_[static_cast<size_t>(kind)].count;
+}
+
+std::string CostModel::ToString() const {
+  std::ostringstream out;
+  const char* names[] = {"Ct", "Cc", "Cd", "Ca"};
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) out << " ";
+    out << names[i] << "="
+        << common::FormatDouble(Estimate(static_cast<CostKind>(i)), 4) << "ms("
+        << ObservationCount(static_cast<CostKind>(i)) << ")";
+  }
+  return out.str();
+}
+
+}  // namespace muve::core

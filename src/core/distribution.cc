@@ -1,0 +1,34 @@
+#include "core/distribution.h"
+
+#include <cmath>
+
+namespace muve::core {
+
+std::vector<double> NormalizeToDistribution(
+    const std::vector<double>& aggregates) {
+  std::vector<double> p(aggregates.size());
+  if (aggregates.empty()) return p;
+  double total = 0.0;
+  for (size_t i = 0; i < aggregates.size(); ++i) {
+    p[i] = aggregates[i] > 0.0 ? aggregates[i] : 0.0;
+    total += p[i];
+  }
+  if (total <= 0.0) {
+    const double uniform = 1.0 / static_cast<double>(p.size());
+    for (double& v : p) v = uniform;
+    return p;
+  }
+  for (double& v : p) v /= total;
+  return p;
+}
+
+bool IsDistribution(const std::vector<double>& p, double tolerance) {
+  double total = 0.0;
+  for (double v : p) {
+    if (v < -tolerance || std::isnan(v)) return false;
+    total += v;
+  }
+  return std::abs(total - 1.0) <= tolerance;
+}
+
+}  // namespace muve::core

@@ -1,0 +1,27 @@
+// Probability-distribution normalization of aggregate views (Section II-A).
+//
+// A view's aggregate series <g_1..g_t> is normalized by G = sum(g_p) into
+// P[V] = <g_1/G, ..., g_t/G> so target and comparison views compare on the
+// same scale.  Edge handling beyond the paper: negative aggregates clamp
+// to zero before normalizing (the paper's measures are non-negative rates;
+// clamping keeps P a valid distribution for measures like win shares that
+// can dip below zero), and an all-zero series normalizes to the uniform
+// distribution so distances remain defined.
+
+#ifndef MUVE_CORE_DISTRIBUTION_H_
+#define MUVE_CORE_DISTRIBUTION_H_
+
+#include <vector>
+
+namespace muve::core {
+
+// Normalizes `aggregates` into a probability distribution (non-negative,
+// summing to 1).  Empty input returns empty.
+std::vector<double> NormalizeToDistribution(const std::vector<double>& aggregates);
+
+// True when `p` is a valid probability distribution within `tolerance`.
+bool IsDistribution(const std::vector<double>& p, double tolerance = 1e-9);
+
+}  // namespace muve::core
+
+#endif  // MUVE_CORE_DISTRIBUTION_H_

@@ -1,0 +1,44 @@
+#include "core/exec_stats.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace muve::core {
+
+void ExecStats::Merge(const ExecStats& other) {
+  target_queries += other.target_queries;
+  comparison_queries += other.comparison_queries;
+  deviation_evals += other.deviation_evals;
+  accuracy_evals += other.accuracy_evals;
+  rows_scanned += other.rows_scanned;
+  candidates_considered += other.candidates_considered;
+  pruned_before_probes += other.pruned_before_probes;
+  pruned_after_first_probe += other.pruned_after_first_probe;
+  fully_probed += other.fully_probed;
+  early_terminations += other.early_terminations;
+  views_searched += other.views_searched;
+  target_time_ms += other.target_time_ms;
+  comparison_time_ms += other.comparison_time_ms;
+  deviation_time_ms += other.deviation_time_ms;
+  accuracy_time_ms += other.accuracy_time_ms;
+}
+
+std::string ExecStats::ToString() const {
+  std::ostringstream out;
+  out << "cost=" << common::FormatDouble(TotalCostMillis(), 3) << "ms"
+      << " (Ct=" << common::FormatDouble(target_time_ms, 3)
+      << " Cc=" << common::FormatDouble(comparison_time_ms, 3)
+      << " Cd=" << common::FormatDouble(deviation_time_ms, 3)
+      << " Ca=" << common::FormatDouble(accuracy_time_ms, 3) << ")"
+      << " candidates=" << candidates_considered
+      << " pruned0=" << pruned_before_probes
+      << " pruned1=" << pruned_after_first_probe
+      << " full=" << fully_probed
+      << " early_term=" << early_terminations
+      << " queries(t/c)=" << target_queries << "/" << comparison_queries
+      << " rows=" << rows_scanned;
+  return out.str();
+}
+
+}  // namespace muve::core

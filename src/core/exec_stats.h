@@ -1,0 +1,57 @@
+// Cost accounting for view recommendation (Section III-C).
+//
+// The paper charges four operation costs per candidate binned view:
+// target query execution C_t, comparison query execution C_c, deviation
+// computation C_d, and accuracy evaluation C_a.  `ExecStats` accumulates
+// wall-clock time and operation counts per component; the figure
+// harnesses report `TotalCostMillis()` as the paper's "cost" axis and the
+// probe counters for Figure 6c's "fully probed views".
+
+#ifndef MUVE_CORE_EXEC_STATS_H_
+#define MUVE_CORE_EXEC_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace muve::core {
+
+struct ExecStats {
+  // Operation counts.
+  int64_t target_queries = 0;
+  int64_t comparison_queries = 0;
+  int64_t deviation_evals = 0;
+  int64_t accuracy_evals = 0;
+  int64_t rows_scanned = 0;
+
+  // Candidate accounting.
+  int64_t candidates_considered = 0;
+  // Pruned by the S-bound before any probe (incremental evaluation, step 1).
+  int64_t pruned_before_probes = 0;
+  // Pruned after the first objective probe (incremental evaluation, step 2).
+  int64_t pruned_after_first_probe = 0;
+  // Both deviation and accuracy evaluated (Figure 6c's metric).
+  int64_t fully_probed = 0;
+  // Horizontal searches that hit the early-termination condition.
+  int64_t early_terminations = 0;
+  int64_t views_searched = 0;
+
+  // Wall-clock per component, milliseconds.
+  double target_time_ms = 0.0;
+  double comparison_time_ms = 0.0;
+  double deviation_time_ms = 0.0;
+  double accuracy_time_ms = 0.0;
+
+  // The paper's total cost C (Eq. 7): sum of the four components.
+  double TotalCostMillis() const {
+    return target_time_ms + comparison_time_ms + deviation_time_ms +
+           accuracy_time_ms;
+  }
+
+  void Merge(const ExecStats& other);
+
+  std::string ToString() const;
+};
+
+}  // namespace muve::core
+
+#endif  // MUVE_CORE_EXEC_STATS_H_

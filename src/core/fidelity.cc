@@ -1,0 +1,21 @@
+#include "core/fidelity.h"
+
+#include <algorithm>
+
+namespace muve::core {
+
+double TotalUtility(const std::vector<ScoredView>& views) {
+  double total = 0.0;
+  for (const ScoredView& v : views) total += v.utility;
+  return total;
+}
+
+double Fidelity(const std::vector<ScoredView>& optimal,
+                const std::vector<ScoredView>& recommended) {
+  const double u_opt = TotalUtility(optimal);
+  if (u_opt <= 0.0) return 1.0;
+  const double u_rec = TotalUtility(recommended);
+  return std::clamp(1.0 - (u_opt - u_rec) / u_opt, 0.0, 1.0);
+}
+
+}  // namespace muve::core

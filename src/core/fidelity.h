@@ -1,0 +1,30 @@
+// The fidelity metric (Section V):
+//
+//   F = 1 - (U(V_opt) - U(V_rec)) / U(V_opt)
+//
+// where U(.) sums the utilities of a recommendation set.  V_opt comes from
+// a baseline optimal scheme (Linear-Linear at step 1), V_rec from the
+// approximate scheme under evaluation.
+
+#ifndef MUVE_CORE_FIDELITY_H_
+#define MUVE_CORE_FIDELITY_H_
+
+#include <vector>
+
+#include "core/candidate.h"
+
+namespace muve::core {
+
+// Sum of utilities of a recommendation set.
+double TotalUtility(const std::vector<ScoredView>& views);
+
+// Fidelity of `recommended` against the optimal set.  Returns 1.0 when
+// the optimal set has zero total utility (nothing to lose), and clamps
+// into [0, 1] (an approximate scheme cannot exceed the optimum; tiny
+// floating-point overshoots are truncated).
+double Fidelity(const std::vector<ScoredView>& optimal,
+                const std::vector<ScoredView>& recommended);
+
+}  // namespace muve::core
+
+#endif  // MUVE_CORE_FIDELITY_H_

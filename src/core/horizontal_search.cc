@@ -1,0 +1,124 @@
+#include "core/horizontal_search.h"
+
+#include <limits>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace muve::core {
+
+namespace {
+
+constexpr double kNoThreshold = -std::numeric_limits<double>::infinity();
+
+void TakeIfBetter(std::optional<ScoredView>* best, const ScoredView& cand) {
+  if (!best->has_value() || cand.utility > (*best)->utility) {
+    *best = cand;
+  }
+}
+
+}  // namespace
+
+HorizontalResult HorizontalLinear(ViewEvaluator& evaluator, const View& view,
+                                  const std::vector<int>& domain,
+                                  const SearchOptions& options) {
+  ++evaluator.stats().views_searched;
+  HorizontalResult result;
+  for (const int bins : domain) {
+    const CandidateResult cand = EvaluateCandidate(
+        evaluator, view, bins, options, kNoThreshold, /*allow_pruning=*/false);
+    MUVE_DCHECK(cand.outcome == CandidateResult::Outcome::kFullyEvaluated);
+    TakeIfBetter(&result.best, cand.scored);
+  }
+  return result;
+}
+
+HorizontalResult HorizontalHillClimbing(ViewEvaluator& evaluator,
+                                        const View& view, int max_bins,
+                                        const SearchOptions& options,
+                                        common::Rng& rng) {
+  ++evaluator.stats().views_searched;
+  MUVE_CHECK(max_bins >= 1);
+  std::unordered_map<int, ScoredView> memo;
+
+  auto evaluate = [&](int bins) -> const ScoredView& {
+    const auto it = memo.find(bins);
+    if (it != memo.end()) return it->second;
+    const CandidateResult cand = EvaluateCandidate(
+        evaluator, view, bins, options, kNoThreshold, /*allow_pruning=*/false);
+    MUVE_DCHECK(cand.outcome == CandidateResult::Outcome::kFullyEvaluated);
+    return memo.emplace(bins, cand.scored).first->second;
+  };
+
+  int current = static_cast<int>(rng.UniformInt(1, max_bins));
+  ScoredView best = evaluate(current);
+  int step = max_bins;
+  while (step >= 1) {
+    // Consider b - s and b + s; move to the better one if it improves.
+    const ScoredView* move = nullptr;
+    for (const int cand_bins : {current - step, current + step}) {
+      if (cand_bins < 1 || cand_bins > max_bins) continue;
+      const ScoredView& scored = evaluate(cand_bins);
+      if (scored.utility > best.utility &&
+          (move == nullptr || scored.utility > move->utility)) {
+        move = &scored;
+      }
+    }
+    if (move != nullptr) {
+      best = *move;
+      current = best.bins;
+    } else {
+      step /= 2;
+    }
+  }
+
+  HorizontalResult result;
+  result.best = best;
+  return result;
+}
+
+HorizontalResult HorizontalMuve(ViewEvaluator& evaluator, const View& view,
+                                const std::vector<int>& domain,
+                                const SearchOptions& options,
+                                double initial_threshold) {
+  ++evaluator.stats().views_searched;
+  HorizontalResult result;
+  double u_seen = initial_threshold;
+  for (const int bins : domain) {
+    // Early termination: every later domain entry has strictly lower S,
+    // so once the bound falls below U_seen nothing ahead can win.
+    const double u_max = UtilityUpperBound(options.weights, Usability(bins));
+    if (options.enable_early_termination && u_seen >= u_max) {
+      result.early_terminated = true;
+      ++evaluator.stats().early_terminations;
+      break;
+    }
+    const CandidateResult cand = EvaluateCandidate(
+        evaluator, view, bins, options, u_seen, /*allow_pruning=*/true);
+    if (cand.outcome == CandidateResult::Outcome::kFullyEvaluated) {
+      if (cand.scored.utility > u_seen) u_seen = cand.scored.utility;
+      TakeIfBetter(&result.best, cand.scored);
+    }
+  }
+  return result;
+}
+
+HorizontalResult RunHorizontalSearch(ViewEvaluator& evaluator,
+                                     const View& view,
+                                     const std::vector<int>& domain,
+                                     int max_bins,
+                                     const SearchOptions& options,
+                                     common::Rng& rng) {
+  switch (options.horizontal) {
+    case HorizontalStrategy::kLinear:
+      return HorizontalLinear(evaluator, view, domain, options);
+    case HorizontalStrategy::kHillClimbing:
+      return HorizontalHillClimbing(evaluator, view, max_bins, options, rng);
+    case HorizontalStrategy::kMuve:
+      return HorizontalMuve(evaluator, view, domain, options, kNoThreshold);
+  }
+  MUVE_CHECK(false) << "unknown horizontal strategy";
+  return {};
+}
+
+}  // namespace muve::core

@@ -1,0 +1,68 @@
+// Horizontal search (Section IV-A): find the optimal binning V_{i,opt}
+// for one non-binned view V_i.
+//
+// Three strategies:
+//   * Linear        — exhaustive over the bin domain (optimal baseline).
+//   * Hill Climbing — dynamic HC with halving step (approximate baseline);
+//                     random start, considers b-s and b+s each iteration,
+//                     halves s when neither improves, stops at s < 1.
+//   * MuVE          — S-list traversal with early termination and
+//                     incremental probe pruning (Section IV-A3).
+//
+// All strategies share the candidate evaluation in candidate.h; MuVE
+// additionally accepts an initial threshold so the vertical search can
+// seed it with the global top-k bar (MuVE-MuVE integration).
+
+#ifndef MUVE_CORE_HORIZONTAL_SEARCH_H_
+#define MUVE_CORE_HORIZONTAL_SEARCH_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/candidate.h"
+#include "core/search_options.h"
+#include "core/view_evaluator.h"
+
+namespace muve::core {
+
+struct HorizontalResult {
+  // Best fully-evaluated binned view; empty when every candidate was
+  // pruned by the initial threshold (meaning no binning of this view can
+  // enter the top-k).
+  std::optional<ScoredView> best;
+  bool early_terminated = false;
+};
+
+// Exhaustive scan of `domain` (ascending bin counts).
+HorizontalResult HorizontalLinear(ViewEvaluator& evaluator, const View& view,
+                                  const std::vector<int>& domain,
+                                  const SearchOptions& options);
+
+// Dynamic Hill Climbing over bins in [1, max_bins].  Evaluations are
+// memoized within the call so re-visited bin counts incur no cost.
+HorizontalResult HorizontalHillClimbing(ViewEvaluator& evaluator,
+                                        const View& view, int max_bins,
+                                        const SearchOptions& options,
+                                        common::Rng& rng);
+
+// MuVE's optimized search.  `initial_threshold` is the utility bar that a
+// candidate must beat to matter (-infinity / 0 for standalone top-1 use;
+// the current top-k floor under MuVE-MuVE).  The returned best may be
+// empty when the threshold pruned everything.
+HorizontalResult HorizontalMuve(ViewEvaluator& evaluator, const View& view,
+                                const std::vector<int>& domain,
+                                const SearchOptions& options,
+                                double initial_threshold);
+
+// Dispatches on options.horizontal.  `rng` is only used by Hill Climbing.
+HorizontalResult RunHorizontalSearch(ViewEvaluator& evaluator,
+                                     const View& view,
+                                     const std::vector<int>& domain,
+                                     int max_bins,
+                                     const SearchOptions& options,
+                                     common::Rng& rng);
+
+}  // namespace muve::core
+
+#endif  // MUVE_CORE_HORIZONTAL_SEARCH_H_

@@ -1,0 +1,43 @@
+#include "core/objectives.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace muve::core {
+
+double AccuracyFromSeries(const std::vector<double>& raw_keys,
+                          const std::vector<double>& raw_aggregates,
+                          const storage::BinnedResult& binned) {
+  MUVE_DCHECK(raw_keys.size() == raw_aggregates.size());
+  const size_t t = raw_keys.size();
+  if (t == 0) return 1.0;
+  MUVE_DCHECK(binned.num_bins >= 1);
+
+  // n_x: observed distinct values per bin.
+  std::vector<size_t> distinct_per_bin(
+      static_cast<size_t>(binned.num_bins), 0);
+  std::vector<int> bin_of_key(t);
+  for (size_t j = 0; j < t; ++j) {
+    const int bin =
+        storage::BinIndexFor(raw_keys[j], binned.lo, binned.hi,
+                             binned.num_bins);
+    bin_of_key[j] = bin;
+    ++distinct_per_bin[static_cast<size_t>(bin)];
+  }
+
+  double r = 0.0;
+  for (size_t j = 0; j < t; ++j) {
+    const double g = raw_aggregates[j];
+    if (g == 0.0) continue;  // relative error undefined; see header
+    const size_t bin = static_cast<size_t>(bin_of_key[j]);
+    const double n_x = static_cast<double>(distinct_per_bin[bin]);
+    const double representative = binned.aggregates[bin] / n_x;
+    const double diff = g - representative;
+    r += (diff * diff) / (g * g);
+  }
+  const double accuracy = 1.0 - r / static_cast<double>(t);
+  return std::clamp(accuracy, 0.0, 1.0);
+}
+
+}  // namespace muve::core

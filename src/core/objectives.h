@@ -1,0 +1,40 @@
+// The accuracy objective (Section III-A, Eq. 4).
+//
+// A binned view V_{i,b} approximates the raw series <(a_1,g_1)..(a_t,g_t)>
+// by one representative value per bin: g'_x = g_hat_x / n_x, where g_hat_x
+// is the bin's aggregate and n_x the number of distinct dimension values
+// inside bin x.  Every raw g_j inside bin x is estimated as g'_x, giving
+// the relative sum-squared error
+//
+//   R(V_{i,b}) = sum_p (g_p - g'_p)^2 / g_p^2
+//
+// and accuracy A(V_{i,b}) = 1 - R / t, clamped into [0, 1].
+//
+// Two documented generalizations of the paper's integer-attribute setup:
+//  * n_x counts *observed* distinct values in the bin (equals e_x - s_x + 1
+//    for dense integer attributes; stays meaningful for sparse or float
+//    dimensions).
+//  * raw values with g_p = 0 contribute no relative-error term (the
+//    paper's formula divides by g_p^2); they still count towards t.
+
+#ifndef MUVE_CORE_OBJECTIVES_H_
+#define MUVE_CORE_OBJECTIVES_H_
+
+#include <vector>
+
+#include "storage/binned_group_by.h"
+
+namespace muve::core {
+
+// Computes A(V_{i,b}) from the raw (non-binned) series and the binned
+// aggregates.  `raw_keys` are the sorted distinct dimension values, and
+// `raw_aggregates` their per-value aggregates; `binned` is the same view
+// binned over [binned.lo, binned.hi].  Returns 1.0 for an empty raw
+// series (nothing to misrepresent).
+double AccuracyFromSeries(const std::vector<double>& raw_keys,
+                          const std::vector<double>& raw_aggregates,
+                          const storage::BinnedResult& binned);
+
+}  // namespace muve::core
+
+#endif  // MUVE_CORE_OBJECTIVES_H_

@@ -1,0 +1,54 @@
+#include "core/pareto.h"
+
+namespace muve::core {
+
+bool Dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  const bool ge = a.deviation >= b.deviation && a.accuracy >= b.accuracy &&
+                  a.usability >= b.usability;
+  const bool gt = a.deviation > b.deviation || a.accuracy > b.accuracy ||
+                  a.usability > b.usability;
+  return ge && gt;
+}
+
+std::vector<ParetoPoint> ParetoFront(
+    const std::vector<ParetoPoint>& points) {
+  std::vector<ParetoPoint> front;
+  for (size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (i == j) continue;
+      if (Dominates(points[j], points[i])) {
+        dominated = true;
+      } else if (j < i && points[j].deviation == points[i].deviation &&
+                 points[j].accuracy == points[i].accuracy &&
+                 points[j].usability == points[i].usability) {
+        // Exact duplicates: keep only the first occurrence.
+        dominated = true;
+      }
+    }
+    if (!dominated) front.push_back(points[i]);
+  }
+  return front;
+}
+
+common::Result<std::vector<ParetoPoint>> ComputeParetoFront(
+    const data::Dataset& dataset, DistanceKind distance) {
+  MUVE_ASSIGN_OR_RETURN(ExplorationSession session,
+                        ExplorationSession::Create(dataset));
+  MUVE_ASSIGN_OR_RETURN(std::vector<ScoredView> candidates,
+                        session.AllCandidates(distance));
+  std::vector<ParetoPoint> points;
+  points.reserve(candidates.size());
+  for (const ScoredView& sv : candidates) {
+    ParetoPoint p;
+    p.view = sv.view;
+    p.bins = sv.bins;
+    p.deviation = sv.deviation;
+    p.accuracy = sv.accuracy;
+    p.usability = sv.usability;
+    points.push_back(std::move(p));
+  }
+  return ParetoFront(points);
+}
+
+}  // namespace muve::core

@@ -1,0 +1,24 @@
+#include "core/partitioner.h"
+
+#include "common/logging.h"
+
+namespace muve::core {
+
+std::vector<int> BinDomain(const PartitionSpec& spec, int max_bins) {
+  MUVE_CHECK(max_bins >= 1) << "max_bins must be >= 1";
+  MUVE_CHECK(spec.step >= 1) << "partition step must be >= 1";
+  std::vector<int> domain;
+  switch (spec.kind) {
+    case PartitionKind::kAdditive:
+      for (int b = 1; b <= max_bins; b += spec.step) domain.push_back(b);
+      break;
+    case PartitionKind::kGeometric:
+      for (int64_t b = 1; b <= max_bins; b *= 2) {
+        domain.push_back(static_cast<int>(b));
+      }
+      break;
+  }
+  return domain;
+}
+
+}  // namespace muve::core

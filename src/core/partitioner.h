@@ -1,0 +1,24 @@
+// Bin-domain generation (Section IV-C3, range partitioning).
+//
+// The default domain for a dimension with maximum bin count B is
+// {1, 2, ..., B} (additive, step 1).  Additive with step s samples
+// {1, 1+s, 1+2s, ...}; geometric samples {1, 2, 4, 8, ...}.  All domains
+// are ascending in bin count, i.e. descending in usability — the order
+// MuVE's S-list traversal requires.
+
+#ifndef MUVE_CORE_PARTITIONER_H_
+#define MUVE_CORE_PARTITIONER_H_
+
+#include <vector>
+
+#include "core/search_options.h"
+
+namespace muve::core {
+
+// Returns the candidate bin counts for a dimension with `max_bins`
+// choices under `spec`.  Always non-empty (contains at least 1).
+std::vector<int> BinDomain(const PartitionSpec& spec, int max_bins);
+
+}  // namespace muve::core
+
+#endif  // MUVE_CORE_PARTITIONER_H_

@@ -1,0 +1,101 @@
+#include "core/recommend_sql.h"
+
+#include <memory>
+
+#include "common/string_util.h"
+#include "sql/parser.h"
+#include "storage/predicate.h"
+
+namespace muve::core {
+
+namespace {
+
+common::Result<SearchOptions> OptionsFromStatement(
+    const sql::RecommendStatement& stmt) {
+  SearchOptions options;
+  options.k = stmt.top_k;
+  options.weights = Weights{stmt.alpha_d, stmt.alpha_a, stmt.alpha_s};
+  MUVE_ASSIGN_OR_RETURN(options.distance,
+                        DistanceKindFromName(stmt.distance));
+
+  const std::string scheme = common::ToUpper(stmt.scheme);
+  if (scheme == "LINEAR") {
+    options.horizontal = HorizontalStrategy::kLinear;
+    options.vertical = VerticalStrategy::kLinear;
+  } else if (scheme == "HC") {
+    options.horizontal = HorizontalStrategy::kHillClimbing;
+    options.vertical = VerticalStrategy::kLinear;
+  } else if (scheme == "MUVE_LINEAR") {
+    options.horizontal = HorizontalStrategy::kMuve;
+    options.vertical = VerticalStrategy::kLinear;
+  } else if (scheme == "MUVE") {
+    options.horizontal = HorizontalStrategy::kMuve;
+    options.vertical = VerticalStrategy::kMuve;
+  } else {
+    return common::Status::InvalidArgument(
+        "unknown recommendation scheme '" + stmt.scheme +
+        "' (expected LINEAR, HC, MUVE_LINEAR, or MUVE)");
+  }
+  return options;
+}
+
+}  // namespace
+
+common::Result<Recommendation> ExecuteRecommend(sql::RecommendStatement& stmt,
+                                                const sql::Catalog& catalog) {
+  MUVE_ASSIGN_OR_RETURN(const storage::Table* table,
+                        catalog.GetTable(stmt.table_name));
+  if (stmt.where == nullptr) {
+    return common::Status::InvalidArgument(
+        "RECOMMEND requires a WHERE predicate selecting the analyzed "
+        "subset D_Q");
+  }
+
+  data::Dataset dataset;
+  dataset.name = stmt.table_name;
+  // The catalog owns the table and outlives the recommendation; alias it
+  // without taking ownership.
+  dataset.table = std::shared_ptr<const storage::Table>(
+      table, [](const storage::Table*) {});
+  dataset.dimensions =
+      table->schema().FieldNamesWithRole(storage::FieldRole::kDimension);
+  dataset.categorical_dimensions = table->schema().FieldNamesWithRole(
+      storage::FieldRole::kCategoricalDimension);
+  dataset.measures =
+      table->schema().FieldNamesWithRole(storage::FieldRole::kMeasure);
+  dataset.functions = {storage::AggregateFunction::kSum,
+                       storage::AggregateFunction::kAvg,
+                       storage::AggregateFunction::kCount};
+  if ((dataset.dimensions.empty() && dataset.categorical_dimensions.empty()) ||
+      dataset.measures.empty()) {
+    return common::Status::InvalidArgument(
+        "table '" + stmt.table_name +
+        "' has no dimension/measure role annotations; RECOMMEND needs a "
+        "schema with FieldRole::kDimension and kMeasure fields");
+  }
+  dataset.query_predicate_sql = stmt.where->ToString();
+  MUVE_ASSIGN_OR_RETURN(dataset.target_rows,
+                        storage::Filter(*table, stmt.where.get()));
+  dataset.all_rows = storage::AllRows(table->num_rows());
+  if (dataset.target_rows.empty()) {
+    return common::Status::InvalidArgument(
+        "RECOMMEND predicate selects no rows");
+  }
+
+  MUVE_ASSIGN_OR_RETURN(const SearchOptions options,
+                        OptionsFromStatement(stmt));
+  MUVE_ASSIGN_OR_RETURN(Recommender recommender,
+                        Recommender::Create(std::move(dataset)));
+  return recommender.Recommend(options);
+}
+
+common::Result<Recommendation> RecommendSql(const std::string& sql,
+                                            const sql::Catalog& catalog) {
+  MUVE_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
+  if (stmt.kind != sql::Statement::Kind::kRecommend) {
+    return common::Status::InvalidArgument("statement is not RECOMMEND");
+  }
+  return ExecuteRecommend(stmt.recommend, catalog);
+}
+
+}  // namespace muve::core

@@ -1,0 +1,357 @@
+#include "core/recommender.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/horizontal_search.h"
+#include "core/partitioner.h"
+#include "core/top_k_tracker.h"
+
+namespace muve::core {
+
+namespace {
+
+constexpr double kNoThreshold = -std::numeric_limits<double>::infinity();
+
+// Bin-count value of the r-th position of a partitioned domain; every
+// dimension's domain is a truncated prefix of this common sequence, which
+// is what lets MuVE-MuVE's round-robin share one S value per round.
+int SequenceBins(const PartitionSpec& spec, size_t position) {
+  if (spec.kind == PartitionKind::kGeometric) {
+    return static_cast<int>(int64_t{1} << position);
+  }
+  return 1 + static_cast<int>(position) * spec.step;
+}
+
+// Per-view RNG for Hill Climbing: seeding by view index makes the random
+// start independent of evaluation order, so serial and parallel runs of
+// HC-Linear recommend identically.
+common::Rng ViewRng(const SearchOptions& options, size_t view_index) {
+  return common::Rng(options.hc_seed ^
+                     (0x9E3779B97F4A7C15ULL * (view_index + 1)));
+}
+
+// Vertical Linear: decoupled horizontal search per view (Section IV-B).
+// Covers Linear-Linear, HC-Linear, and MuVE-Linear.
+std::vector<ScoredView> VerticalLinear(ViewEvaluator& evaluator,
+                                       const ViewSpace& space,
+                                       const SearchOptions& options) {
+  TopKTracker tracker(options.k, space.views().size());
+  for (size_t i = 0; i < space.views().size(); ++i) {
+    const View& view = space.views()[i];
+    const DimensionInfo& dim = space.dimension_info(view.dimension);
+    const std::vector<int> domain = BinDomain(options.partition, dim.max_bins);
+    common::Rng rng = ViewRng(options, i);
+    const HorizontalResult result = RunHorizontalSearch(
+        evaluator, view, domain, dim.max_bins, options, rng);
+    if (result.best.has_value()) tracker.Update(i, *result.best);
+  }
+  return tracker.TopK();
+}
+
+// Vertical MuVE (MuVE-MuVE): round-robin the views' S-lists with the
+// shared top-k threshold (Section IV-B).
+std::vector<ScoredView> VerticalMuve(ViewEvaluator& evaluator,
+                                     const ViewSpace& space,
+                                     const SearchOptions& options) {
+  const std::vector<View>& views = space.views();
+  TopKTracker tracker(options.k, views.size());
+
+  // Precompute per-view domains.
+  std::vector<std::vector<int>> domains;
+  domains.reserve(views.size());
+  size_t max_len = 0;
+  for (const View& view : views) {
+    const DimensionInfo& dim = space.dimension_info(view.dimension);
+    domains.push_back(BinDomain(options.partition, dim.max_bins));
+    max_len = std::max(max_len, domains.back().size());
+    ++evaluator.stats().views_searched;
+  }
+
+  for (size_t r = 0; r < max_len; ++r) {
+    const int bins_r = SequenceBins(options.partition, r);
+    // Global early termination: every candidate from this round on (any
+    // view) has usability <= 1/bins_r.
+    if (options.enable_early_termination &&
+        tracker.Threshold() >=
+            UtilityUpperBound(options.weights, Usability(bins_r))) {
+      ++evaluator.stats().early_terminations;
+      break;
+    }
+    for (size_t i = 0; i < views.size(); ++i) {
+      if (r >= domains[i].size()) continue;
+      MUVE_DCHECK(domains[i][r] == bins_r);
+      const CandidateResult cand =
+          EvaluateCandidate(evaluator, views[i], domains[i][r], options,
+                            tracker.Threshold(), /*allow_pruning=*/true);
+      if (cand.outcome == CandidateResult::Outcome::kFullyEvaluated) {
+        tracker.Update(i, cand.scored);
+      }
+    }
+  }
+  return tracker.TopK();
+}
+
+// Shared-scan exhaustive search (SeeDB's shared-computation optimization):
+// per dimension and bin count, one batch evaluates every (M, F) view.
+// Identical recommendations to Linear-Linear.  Categorical-dimension
+// views fall back to per-view evaluation (their group-by is one scan
+// already).
+std::vector<ScoredView> VerticalSharedLinear(ViewEvaluator& evaluator,
+                                             const ViewSpace& space,
+                                             const SearchOptions& options) {
+  const std::vector<View>& views = space.views();
+  TopKTracker tracker(options.k, views.size());
+
+  std::unordered_map<std::string, std::vector<size_t>> groups;
+  std::vector<std::string> dimension_order;
+  for (size_t i = 0; i < views.size(); ++i) {
+    auto [it, inserted] = groups.try_emplace(views[i].dimension);
+    if (inserted) dimension_order.push_back(views[i].dimension);
+    it->second.push_back(i);
+    ++evaluator.stats().views_searched;
+  }
+
+  for (const std::string& dim_name : dimension_order) {
+    const std::vector<size_t>& group = groups[dim_name];
+    const DimensionInfo& dim = space.dimension_info(dim_name);
+    if (dim.categorical) {
+      for (size_t idx : group) {
+        const CandidateResult cand = EvaluateCandidate(
+            evaluator, views[idx], 1, options,
+            -std::numeric_limits<double>::infinity(),
+            /*allow_pruning=*/false);
+        tracker.Update(idx, cand.scored);
+      }
+      continue;
+    }
+    std::vector<View> batch;
+    batch.reserve(group.size());
+    for (size_t idx : group) batch.push_back(views[idx]);
+    const std::vector<int> domain = BinDomain(options.partition, dim.max_bins);
+    for (const int bins : domain) {
+      const ViewEvaluator::BatchScores scores =
+          evaluator.EvaluateSharedBatch(batch, bins);
+      evaluator.stats().candidates_considered +=
+          static_cast<int64_t>(group.size());
+      evaluator.stats().fully_probed += static_cast<int64_t>(group.size());
+      const double s = Usability(bins);
+      for (size_t g = 0; g < group.size(); ++g) {
+        ScoredView scored;
+        scored.view = views[group[g]];
+        scored.bins = bins;
+        scored.deviation = scores.deviations[g];
+        scored.accuracy = scores.accuracies[g];
+        scored.usability = s;
+        scored.utility = Utility(options.weights, scored.deviation,
+                                 scored.accuracy, s);
+        tracker.Update(group[g], scored);
+      }
+    }
+  }
+  return tracker.TopK();
+}
+
+// View refinement (Section IV-C1): score every view at `def` bins, pick
+// the top-k, then refine only those k with a full horizontal search.
+std::vector<ScoredView> VerticalRefinement(ViewEvaluator& evaluator,
+                                           const ViewSpace& space,
+                                           const SearchOptions& options,
+                                           common::Rng& rng) {
+  const std::vector<View>& views = space.views();
+  TopKTracker tracker(options.k, views.size());
+  const bool muve_pruning = options.horizontal == HorizontalStrategy::kMuve;
+
+  for (size_t i = 0; i < views.size(); ++i) {
+    const DimensionInfo& dim = space.dimension_info(views[i].dimension);
+    const int def = std::min(options.refinement_default_bins, dim.max_bins);
+    const CandidateResult cand =
+        EvaluateCandidate(evaluator, views[i], def, options,
+                          tracker.Threshold(), muve_pruning);
+    if (cand.outcome == CandidateResult::Outcome::kFullyEvaluated) {
+      tracker.Update(i, cand.scored);
+    }
+  }
+
+  std::vector<ScoredView> selected = tracker.TopK();
+  std::vector<ScoredView> refined;
+  refined.reserve(selected.size());
+  for (const ScoredView& sv : selected) {
+    const DimensionInfo& dim = space.dimension_info(sv.view.dimension);
+    const std::vector<int> domain = BinDomain(options.partition, dim.max_bins);
+    const HorizontalResult result = RunHorizontalSearch(
+        evaluator, sv.view, domain, dim.max_bins, options, rng);
+    // A full horizontal search always finds at least the def-bin utility.
+    refined.push_back(result.best.has_value() ? *result.best : sv);
+  }
+  std::sort(refined.begin(), refined.end(),
+            [](const ScoredView& a, const ScoredView& b) {
+              return a.utility > b.utility;
+            });
+  return refined;
+}
+
+// View skipping (Section IV-C2): one horizontal search per dimension; its
+// optimal bin count is assigned to every view sharing that dimension.
+std::vector<ScoredView> VerticalSkipping(ViewEvaluator& evaluator,
+                                         const ViewSpace& space,
+                                         const SearchOptions& options,
+                                         common::Rng& rng) {
+  const std::vector<View>& views = space.views();
+  TopKTracker tracker(options.k, views.size());
+  const bool muve_pruning = options.horizontal == HorizontalStrategy::kMuve;
+
+  // Views grouped by dimension, preserving order; the group's first view
+  // is the arbitrarily-selected representative.
+  std::unordered_map<std::string, std::vector<size_t>> groups;
+  std::vector<std::string> dimension_order;
+  for (size_t i = 0; i < views.size(); ++i) {
+    auto [it, inserted] = groups.try_emplace(views[i].dimension);
+    if (inserted) dimension_order.push_back(views[i].dimension);
+    it->second.push_back(i);
+  }
+
+  for (const std::string& dim_name : dimension_order) {
+    const std::vector<size_t>& group = groups[dim_name];
+    const DimensionInfo& dim = space.dimension_info(dim_name);
+    const std::vector<int> domain = BinDomain(options.partition, dim.max_bins);
+
+    const size_t rep = group.front();
+    const HorizontalResult rep_result = RunHorizontalSearch(
+        evaluator, views[rep], domain, dim.max_bins, options, rng);
+    if (!rep_result.best.has_value()) continue;
+    tracker.Update(rep, *rep_result.best);
+    const int opt_bins = rep_result.best->bins;
+
+    for (size_t j = 1; j < group.size(); ++j) {
+      const size_t idx = group[j];
+      const CandidateResult cand =
+          EvaluateCandidate(evaluator, views[idx], opt_bins, options,
+                            tracker.Threshold(), muve_pruning);
+      if (cand.outcome == CandidateResult::Outcome::kFullyEvaluated) {
+        tracker.Update(idx, cand.scored);
+      }
+    }
+  }
+  return tracker.TopK();
+}
+
+}  // namespace
+
+double Recommendation::TotalUtility() const {
+  double total = 0.0;
+  for (const ScoredView& v : views) total += v.utility;
+  return total;
+}
+
+std::string Recommendation::ToString() const {
+  std::ostringstream out;
+  out << scheme << " top-" << views.size() << ":\n";
+  for (size_t i = 0; i < views.size(); ++i) {
+    out << "  " << (i + 1) << ". " << views[i].ToString() << "\n";
+  }
+  out << "  " << stats.ToString();
+  return out.str();
+}
+
+common::Result<Recommendation> Recommender::RecommendParallelLinear(
+    const SearchOptions& options) const {
+  const std::vector<View>& views = space_.views();
+  const size_t num_threads = std::min<size_t>(
+      static_cast<size_t>(options.num_threads),
+      std::max<size_t>(views.size(), 1));
+
+  struct WorkerResult {
+    // (view index, best candidate) pairs found by this worker.
+    std::vector<std::pair<size_t, ScoredView>> bests;
+    ExecStats stats;
+  };
+  std::vector<WorkerResult> results(num_threads);
+  ViewEvaluator::Options eval_options;
+  eval_options.distance = options.distance;
+  eval_options.sample_fraction = options.sample_fraction;
+  eval_options.sample_seed = options.sample_seed;
+
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&, t] {
+      ViewEvaluator evaluator(dataset_, space_, eval_options);
+      WorkerResult& out = results[t];
+      for (size_t i = t; i < views.size(); i += num_threads) {
+        const View& view = views[i];
+        const DimensionInfo& dim = space_.dimension_info(view.dimension);
+        const std::vector<int> domain =
+            BinDomain(options.partition, dim.max_bins);
+        common::Rng rng = ViewRng(options, i);
+        const HorizontalResult result = RunHorizontalSearch(
+            evaluator, view, domain, dim.max_bins, options, rng);
+        if (result.best.has_value()) {
+          out.bests.emplace_back(i, *result.best);
+        }
+      }
+      out.stats = evaluator.stats();
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  Recommendation rec;
+  rec.scheme = options.SchemeName();
+  TopKTracker tracker(options.k, views.size());
+  for (const WorkerResult& result : results) {
+    for (const auto& [index, best] : result.bests) {
+      tracker.Update(index, best);
+    }
+    rec.stats.Merge(result.stats);
+  }
+  rec.views = tracker.TopK();
+  return rec;
+}
+
+common::Result<Recommender> Recommender::Create(data::Dataset dataset) {
+  MUVE_ASSIGN_OR_RETURN(ViewSpace space, ViewSpace::Create(dataset));
+  return Recommender(std::move(dataset), std::move(space));
+}
+
+common::Result<Recommendation> Recommender::Recommend(
+    const SearchOptions& options) const {
+  MUVE_RETURN_IF_ERROR(options.Validate());
+  ViewEvaluator::Options eval_options;
+  eval_options.distance = options.distance;
+  eval_options.sample_fraction = options.sample_fraction;
+  eval_options.sample_seed = options.sample_seed;
+  ViewEvaluator evaluator(dataset_, space_, eval_options);
+  common::Rng rng(options.hc_seed);
+
+  Recommendation rec;
+  rec.scheme = options.SchemeName();
+  switch (options.approximation) {
+    case VerticalApproximation::kRefinement:
+      rec.views = VerticalRefinement(evaluator, space_, options, rng);
+      break;
+    case VerticalApproximation::kSkipping:
+      rec.views = VerticalSkipping(evaluator, space_, options, rng);
+      break;
+    case VerticalApproximation::kNone:
+      if (options.shared_scans) {
+        rec.views = VerticalSharedLinear(evaluator, space_, options);
+      } else if (options.vertical == VerticalStrategy::kMuve) {
+        rec.views = VerticalMuve(evaluator, space_, options);
+      } else if (options.num_threads > 1) {
+        return RecommendParallelLinear(options);
+      } else {
+        rec.views = VerticalLinear(evaluator, space_, options);
+      }
+      break;
+  }
+  rec.stats = evaluator.stats();
+  return rec;
+}
+
+}  // namespace muve::core

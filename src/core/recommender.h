@@ -1,0 +1,68 @@
+// The MuVE recommender facade (Definition 2): given a dataset workload
+// and a SearchH-SearchV configuration, return the top-k binned views by
+// the hybrid multi-objective utility, plus the run's cost accounting.
+
+#ifndef MUVE_CORE_RECOMMENDER_H_
+#define MUVE_CORE_RECOMMENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/candidate.h"
+#include "core/exec_stats.h"
+#include "core/search_options.h"
+#include "core/view.h"
+#include "core/view_evaluator.h"
+#include "data/dataset.h"
+
+namespace muve::core {
+
+struct Recommendation {
+  std::vector<ScoredView> views;  // utility-descending, at most k entries
+  ExecStats stats;
+  std::string scheme;  // paper naming, e.g. "MuVE-MuVE"
+
+  // Sum of recommended utilities (the fidelity metric's U(V_rec)).
+  double TotalUtility() const;
+
+  std::string ToString() const;
+};
+
+// One recommendation engine per dataset workload.  Construction enumerates
+// the view space and derives dimension binning ranges; each Recommend()
+// call runs with a fresh evaluator (cold caches, zeroed cost accounting)
+// so scheme costs are comparable.
+class Recommender {
+ public:
+  static common::Result<Recommender> Create(data::Dataset dataset);
+
+  common::Result<Recommendation> Recommend(const SearchOptions& options) const;
+
+  const ViewSpace& space() const { return space_; }
+  const data::Dataset& dataset() const { return dataset_; }
+
+ private:
+  // Multi-threaded vertical-Linear execution (options.num_threads > 1):
+  // views are partitioned round-robin across workers, each with its own
+  // evaluator; per-view bests and stats merge at the end.  Results are
+  // identical to the serial run (horizontal searches are per-view
+  // independent and HC seeds by view index).  Reported time components
+  // sum *work* across threads — the paper's total-cost metric (Eq. 7) —
+  // not elapsed wall-clock.
+  common::Result<Recommendation> RecommendParallelLinear(
+      const SearchOptions& options) const;
+
+ public:
+
+ private:
+  Recommender(data::Dataset dataset, ViewSpace space)
+      : dataset_(std::move(dataset)), space_(std::move(space)) {}
+
+  data::Dataset dataset_;
+  ViewSpace space_;
+};
+
+}  // namespace muve::core
+
+#endif  // MUVE_CORE_RECOMMENDER_H_

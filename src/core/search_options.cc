@@ -1,0 +1,91 @@
+#include "core/search_options.h"
+
+namespace muve::core {
+
+const char* HorizontalStrategyName(HorizontalStrategy s) {
+  switch (s) {
+    case HorizontalStrategy::kLinear:
+      return "Linear";
+    case HorizontalStrategy::kHillClimbing:
+      return "HC";
+    case HorizontalStrategy::kMuve:
+      return "MuVE";
+  }
+  return "?";
+}
+
+const char* VerticalStrategyName(VerticalStrategy s) {
+  switch (s) {
+    case VerticalStrategy::kLinear:
+      return "Linear";
+    case VerticalStrategy::kMuve:
+      return "MuVE";
+  }
+  return "?";
+}
+
+common::Status SearchOptions::Validate() const {
+  MUVE_RETURN_IF_ERROR(weights.Validate());
+  if (k < 1) {
+    return common::Status::InvalidArgument("k must be >= 1");
+  }
+  if (partition.step < 1) {
+    return common::Status::InvalidArgument("partition step must be >= 1");
+  }
+  if (refinement_default_bins < 1) {
+    return common::Status::InvalidArgument(
+        "refinement default bins must be >= 1");
+  }
+  if (num_threads < 1) {
+    return common::Status::InvalidArgument("num_threads must be >= 1");
+  }
+  if (!(sample_fraction > 0.0) || sample_fraction > 1.0) {
+    return common::Status::InvalidArgument(
+        "sample_fraction must lie in (0, 1]");
+  }
+  if (num_threads > 1 &&
+      (vertical != VerticalStrategy::kLinear ||
+       approximation != VerticalApproximation::kNone || shared_scans)) {
+    return common::Status::InvalidArgument(
+        "parallel execution requires a plain vertical-Linear scheme "
+        "(MuVE-MuVE's shared threshold and the approximations are "
+        "inherently sequential)");
+  }
+  if (shared_scans &&
+      (horizontal != HorizontalStrategy::kLinear ||
+       vertical != VerticalStrategy::kLinear ||
+       approximation != VerticalApproximation::kNone)) {
+    return common::Status::InvalidArgument(
+        "shared scans require plain Linear-Linear (sharing computes every "
+        "view of a batch; pruning-based schemes would discard most of it)");
+  }
+  if (vertical == VerticalStrategy::kMuve &&
+      horizontal != HorizontalStrategy::kMuve) {
+    return common::Status::InvalidArgument(
+        "vertical MuVE requires horizontal MuVE (the paper's MuVE-MuVE "
+        "integration); use vertical Linear for other horizontal searches");
+  }
+  if (vertical == VerticalStrategy::kMuve &&
+      approximation == VerticalApproximation::kRefinement) {
+    // Refinement's first pass already is a vertical search; it uses the
+    // horizontal strategy's pruning on the singleton bin domain.
+    return common::Status::OK();
+  }
+  return common::Status::OK();
+}
+
+std::string SearchOptions::SchemeName() const {
+  std::string name = HorizontalStrategyName(horizontal);
+  if (!partition.IsDefault()) {
+    name += partition.kind == PartitionKind::kGeometric ? "(G)" : "(A)";
+  }
+  name += "-";
+  name += VerticalStrategyName(vertical);
+  if (approximation == VerticalApproximation::kRefinement) name += "(R)";
+  if (approximation == VerticalApproximation::kSkipping) name += "(S)";
+  if (shared_scans) name += "(Sh)";
+  if (sample_fraction < 1.0) name += "(Smp)";
+  return name;
+}
+
+}  // namespace muve::core

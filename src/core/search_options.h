@@ -1,0 +1,96 @@
+// Configuration surface for the search strategies (Section IV / V).
+//
+// A recommendation run is described by a SearchH-SearchV combination
+// (paper naming: Linear-Linear, HC-Linear, MuVE-Linear, MuVE-MuVE), an
+// optional range-partitioning of the bin domain (additive step / geometric
+// — the paper's SearchH(A) / SearchH(G)), and an optional vertical
+// approximation (view refinement SearchV(R) / view skipping SearchV(S)).
+
+#ifndef MUVE_CORE_SEARCH_OPTIONS_H_
+#define MUVE_CORE_SEARCH_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/distance.h"
+#include "core/utility.h"
+
+namespace muve::core {
+
+enum class HorizontalStrategy { kLinear, kHillClimbing, kMuve };
+enum class VerticalStrategy { kLinear, kMuve };
+enum class VerticalApproximation { kNone, kRefinement, kSkipping };
+enum class PartitionKind { kAdditive, kGeometric };
+
+// How MuVE's incremental evaluation orders the two expensive probes.
+// kPriorityRule is the paper's cost/benefit rule; the fixed orders exist
+// for the probe-order ablation.
+enum class ProbeOrderPolicy { kPriorityRule, kDeviationFirst, kAccuracyFirst };
+
+const char* HorizontalStrategyName(HorizontalStrategy s);
+const char* VerticalStrategyName(VerticalStrategy s);
+
+// The bin-domain range partitioning (Section IV-C3).
+struct PartitionSpec {
+  PartitionKind kind = PartitionKind::kAdditive;
+  int step = 1;  // additive increment; ignored for geometric
+
+  bool IsDefault() const {
+    return kind == PartitionKind::kAdditive && step == 1;
+  }
+};
+
+struct SearchOptions {
+  Weights weights = Weights::PaperDefault();
+  int k = 5;
+  DistanceKind distance = DistanceKind::kEuclidean;
+
+  HorizontalStrategy horizontal = HorizontalStrategy::kMuve;
+  VerticalStrategy vertical = VerticalStrategy::kMuve;
+  VerticalApproximation approximation = VerticalApproximation::kNone;
+  PartitionSpec partition;
+
+  // View refinement's fixed first-pass binning `def` (Section IV-C1).
+  int refinement_default_bins = 4;
+
+  // Sampling-based approximation (Section II-A's third optimization
+  // family): probes scan a deterministic uniform row sample of this
+  // fraction of D_Q and D_B.  1.0 = exact.  Composable with any scheme;
+  // recommendations become estimates (see bench/ablate_sampling).
+  double sample_fraction = 1.0;
+  uint64_t sample_seed = 0x5A3D1E;
+
+  // Worker threads for vertical-Linear schemes (Linear-Linear, HC-Linear,
+  // MuVE-Linear without approximations).  1 = serial.  Parallel runs
+  // recommend identically to serial ones; the cost metric still sums
+  // per-thread work (Eq. 7 measures total processing, not latency).
+  int num_threads = 1;
+
+  // SeeDB-style shared scans (Section II-A's orthogonal optimization):
+  // evaluate all same-dimension views of each bin count with one target
+  // and one comparison scan.  Linear-Linear without approximations only
+  // (pruning and sharing pull in opposite directions; the ablate_sharing
+  // bench quantifies the trade).
+  bool shared_scans = false;
+
+  // Hill Climbing's random starting point.
+  uint64_t hc_seed = 0x5EEDB;
+
+  // Ablation switches for MuVE's two pruning techniques (both on by
+  // default; Linear and HC ignore them).
+  bool enable_early_termination = true;
+  bool enable_incremental_evaluation = true;
+  ProbeOrderPolicy probe_order = ProbeOrderPolicy::kPriorityRule;
+
+  // Checks weight validity, k >= 1, step >= 1, and that vertical MuVE is
+  // paired with horizontal MuVE (the paper's MuVE-MuVE integration).
+  common::Status Validate() const;
+
+  // Paper naming, e.g. "MuVE(G)-Linear(R)".
+  std::string SchemeName() const;
+};
+
+}  // namespace muve::core
+
+#endif  // MUVE_CORE_SEARCH_OPTIONS_H_

@@ -1,0 +1,50 @@
+#include "core/top_k_tracker.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace muve::core {
+
+void TopKTracker::Update(size_t view_index, const ScoredView& scored) {
+  MUVE_CHECK(view_index < bests_.size()) << "view index out of range";
+  std::optional<ScoredView>& slot = bests_[view_index];
+  if (!slot.has_value()) {
+    slot = scored;
+    utilities_.insert(scored.utility);
+    return;
+  }
+  if (scored.utility > slot->utility) {
+    const auto it = utilities_.find(slot->utility);
+    MUVE_DCHECK(it != utilities_.end());
+    utilities_.erase(it);
+    slot = scored;
+    utilities_.insert(scored.utility);
+  }
+}
+
+double TopKTracker::Threshold() const {
+  if (static_cast<int>(utilities_.size()) < k_) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  auto it = utilities_.rbegin();
+  std::advance(it, k_ - 1);
+  return *it;
+}
+
+std::vector<ScoredView> TopKTracker::TopK() const {
+  std::vector<ScoredView> all;
+  for (const auto& slot : bests_) {
+    if (slot.has_value()) all.push_back(*slot);
+  }
+  std::sort(all.begin(), all.end(), [](const ScoredView& a,
+                                       const ScoredView& b) {
+    return a.utility > b.utility;
+  });
+  if (all.size() > static_cast<size_t>(k_)) {
+    all.resize(static_cast<size_t>(k_));
+  }
+  return all;
+}
+
+}  // namespace muve::core

@@ -1,0 +1,46 @@
+// Top-k tracking with the paper's distinct-view constraint (Section IV-B):
+// the recommendation list holds at most one binned view per non-binned
+// view, so the tracker keeps the best scored candidate *per view* and
+// exposes the k-th best of those as the vertical pruning threshold.
+
+#ifndef MUVE_CORE_TOP_K_TRACKER_H_
+#define MUVE_CORE_TOP_K_TRACKER_H_
+
+#include <limits>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/candidate.h"
+
+namespace muve::core {
+
+class TopKTracker {
+ public:
+  TopKTracker(int k, size_t num_views)
+      : k_(k), bests_(num_views) {}
+
+  // Records `scored` as view `view_index`'s candidate; keeps the better
+  // of old and new.
+  void Update(size_t view_index, const ScoredView& scored);
+
+  // Lower bound a candidate must beat to change the final top-k: the k-th
+  // largest per-view best utility, or -infinity while fewer than k views
+  // have a fully-evaluated best (pruning would be unsound earlier).
+  double Threshold() const;
+
+  // Number of views with a best so far.
+  size_t num_views_scored() const { return utilities_.size(); }
+
+  // The current top-k per-view bests, utility-descending.
+  std::vector<ScoredView> TopK() const;
+
+ private:
+  int k_;
+  std::vector<std::optional<ScoredView>> bests_;
+  std::multiset<double> utilities_;  // per-view best utilities
+};
+
+}  // namespace muve::core
+
+#endif  // MUVE_CORE_TOP_K_TRACKER_H_

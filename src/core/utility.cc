@@ -1,0 +1,47 @@
+#include "core/utility.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace muve::core {
+
+common::Status Weights::Validate() const {
+  const double values[] = {deviation, accuracy, usability};
+  for (const double v : values) {
+    if (v < 0.0 || v > 1.0 || std::isnan(v)) {
+      return common::Status::InvalidArgument(
+          "alpha weights must lie in [0, 1]; got " + ToString());
+    }
+  }
+  const double sum = deviation + accuracy + usability;
+  if (std::abs(sum - 1.0) > 1e-6) {
+    return common::Status::InvalidArgument(
+        "alpha weights must sum to 1; got " + ToString());
+  }
+  return common::Status::OK();
+}
+
+std::string Weights::ToString() const {
+  return "(aD=" + common::FormatDouble(deviation, 3) +
+         ", aA=" + common::FormatDouble(accuracy, 3) +
+         ", aS=" + common::FormatDouble(usability, 3) + ")";
+}
+
+double Usability(int bins) {
+  MUVE_DCHECK(bins >= 1) << "bins must be >= 1";
+  return 1.0 / static_cast<double>(bins);
+}
+
+double Utility(const Weights& w, double deviation, double accuracy,
+               double usability) {
+  return w.deviation * deviation + w.accuracy * accuracy +
+         w.usability * usability;
+}
+
+double UtilityUpperBound(const Weights& w, double usability) {
+  return w.deviation + w.accuracy + w.usability * usability;
+}
+
+}  // namespace muve::core

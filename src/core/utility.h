@@ -1,0 +1,49 @@
+// The hybrid multi-objective utility function (Eq. 5):
+//
+//   U(V_{i,b}) = alpha_D * D + alpha_A * A + alpha_S * S
+//
+// with alpha_D + alpha_A + alpha_S = 1, every objective in [0, 1], and
+// therefore U in [0, 1].
+
+#ifndef MUVE_CORE_UTILITY_H_
+#define MUVE_CORE_UTILITY_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace muve::core {
+
+// The objective weights (alpha_D, alpha_A, alpha_S).
+struct Weights {
+  double deviation = 0.2;  // alpha_D
+  double accuracy = 0.2;   // alpha_A
+  double usability = 0.6;  // alpha_S — the paper's default setting
+
+  // Validates weights: each in [0, 1] and summing to 1 (tolerance 1e-6).
+  common::Status Validate() const;
+
+  // Convenience constructors for common settings.
+  static Weights PaperDefault() { return Weights{0.2, 0.2, 0.6}; }
+  static Weights Equal() { return Weights{1.0 / 3, 1.0 / 3, 1.0 / 3}; }
+  // Deviation-only reduces Eq. 5 to the SeeDB utility.
+  static Weights DeviationOnly() { return Weights{1.0, 0.0, 0.0}; }
+
+  std::string ToString() const;
+};
+
+// The usability objective S(V_{i,b}) = w / L = 1 / b (Eq. 3).
+double Usability(int bins);
+
+// Evaluates Eq. 5 from the three objective values.
+double Utility(const Weights& w, double deviation, double accuracy,
+               double usability);
+
+// Upper bound on the utility of a candidate whose deviation and accuracy
+// are not yet known (both assumed to score the maximum 1.0); this is the
+// paper's pruning threshold U_max = alpha_D + alpha_A + alpha_S * S.
+double UtilityUpperBound(const Weights& w, double usability);
+
+}  // namespace muve::core
+
+#endif  // MUVE_CORE_UTILITY_H_

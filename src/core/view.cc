@@ -1,0 +1,123 @@
+#include "core/view.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace muve::core {
+
+std::string View::Label() const {
+  return std::string(storage::AggregateName(function)) + "(" + measure +
+         ") BY " + dimension;
+}
+
+std::string View::Key() const {
+  return common::ToLower(dimension) + "|" + common::ToLower(measure) + "|" +
+         storage::AggregateName(function);
+}
+
+common::Result<ViewSpace> ViewSpace::Create(const data::Dataset& dataset) {
+  if (dataset.table == nullptr) {
+    return common::Status::InvalidArgument("dataset has no table");
+  }
+  if ((dataset.dimensions.empty() && dataset.categorical_dimensions.empty()) ||
+      dataset.measures.empty() || dataset.functions.empty()) {
+    return common::Status::InvalidArgument(
+        "dataset workload needs at least one dimension (numeric or "
+        "categorical), one measure, and one function");
+  }
+  ViewSpace space;
+  const storage::Table& table = *dataset.table;
+
+  for (const std::string& dim : dataset.dimensions) {
+    MUVE_ASSIGN_OR_RETURN(const storage::Column* col,
+                          table.ColumnByName(dim));
+    if (col->type() == storage::ValueType::kString) {
+      return common::Status::TypeMismatch(
+          "dimension '" + dim + "' is not numeric; MuVE binning requires "
+          "numerical dimensions");
+    }
+    MUVE_ASSIGN_OR_RETURN(const double lo, col->NumericMin());
+    MUVE_ASSIGN_OR_RETURN(const double hi, col->NumericMax());
+    DimensionInfo info;
+    info.name = dim;
+    info.lo = lo;
+    info.hi = hi;
+    // B_j: one binning choice per unit of range (Definition 1's widths
+    // L/1, L/2, ..., 1), at least one.
+    info.max_bins = std::max(1, static_cast<int>(std::ceil(hi - lo)));
+    std::set<double> distinct;
+    for (size_t r = 0; r < col->size(); ++r) {
+      if (!col->IsNull(r)) distinct.insert(col->NumericAt(r));
+    }
+    info.distinct_values = distinct.size();
+    space.dim_index_.emplace(info.name, space.dims_.size());
+    space.dims_.push_back(std::move(info));
+  }
+
+  for (const std::string& dim : dataset.categorical_dimensions) {
+    MUVE_ASSIGN_OR_RETURN(const storage::Column* col,
+                          table.ColumnByName(dim));
+    DimensionInfo info;
+    info.name = dim;
+    info.categorical = true;
+    info.max_bins = 1;  // the single non-binned candidate
+    std::set<storage::Value> distinct;
+    for (size_t r = 0; r < col->size(); ++r) {
+      if (!col->IsNull(r)) distinct.insert(col->ValueAt(r));
+    }
+    if (distinct.empty()) {
+      return common::Status::InvalidArgument(
+          "categorical dimension '" + dim + "' has no non-null values");
+    }
+    info.distinct_values = distinct.size();
+    space.dim_index_.emplace(info.name, space.dims_.size());
+    space.dims_.push_back(std::move(info));
+  }
+
+  for (const std::string& measure : dataset.measures) {
+    if (!table.schema().HasField(measure)) {
+      return common::Status::NotFound("measure '" + measure +
+                                      "' not in table schema");
+    }
+  }
+
+  std::vector<std::string> all_dims = dataset.dimensions;
+  all_dims.insert(all_dims.end(), dataset.categorical_dimensions.begin(),
+                  dataset.categorical_dimensions.end());
+  for (const std::string& dim : all_dims) {
+    for (const std::string& measure : dataset.measures) {
+      for (const storage::AggregateFunction f : dataset.functions) {
+        space.views_.push_back(View{dim, measure, f});
+      }
+    }
+  }
+  space.measures_per_dimension_ =
+      dataset.measures.size() * dataset.functions.size();
+  return space;
+}
+
+const DimensionInfo& ViewSpace::dimension_info(const std::string& name) const {
+  const auto it = dim_index_.find(name);
+  MUVE_CHECK(it != dim_index_.end()) << "unknown dimension: " << name;
+  return dims_[it->second];
+}
+
+int ViewSpace::max_bins_overall() const {
+  int best = 1;
+  for (const DimensionInfo& d : dims_) best = std::max(best, d.max_bins);
+  return best;
+}
+
+int64_t ViewSpace::TotalBinnedViews() const {
+  int64_t total = 0;
+  for (const DimensionInfo& d : dims_) {
+    total += 2LL * static_cast<int64_t>(measures_per_dimension_) * d.max_bins;
+  }
+  return total;
+}
+
+}  // namespace muve::core

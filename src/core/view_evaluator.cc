@@ -1,0 +1,344 @@
+#include "core/view_evaluator.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/distribution.h"
+#include "core/objectives.h"
+#include "storage/group_by.h"
+#include "storage/multi_aggregate.h"
+
+namespace muve::core {
+
+namespace {
+
+// Deterministic uniform sample of `rows`, keeping at least one row.
+storage::RowSet SampleRows(const storage::RowSet& rows, double fraction,
+                           uint64_t seed) {
+  common::Rng rng(seed);
+  storage::RowSet out;
+  out.reserve(static_cast<size_t>(
+      static_cast<double>(rows.size()) * fraction) + 1);
+  for (uint32_t row : rows) {
+    if (rng.Bernoulli(fraction)) out.push_back(row);
+  }
+  if (out.empty() && !rows.empty()) out.push_back(rows.front());
+  return out;
+}
+
+}  // namespace
+
+ViewEvaluator::ViewEvaluator(const data::Dataset& dataset,
+                             const ViewSpace& space, Options options)
+    : dataset_(dataset), space_(space), options_(options) {
+  MUVE_CHECK(options_.sample_fraction > 0.0 &&
+             options_.sample_fraction <= 1.0)
+      << "sample_fraction must lie in (0, 1]";
+  if (options_.sample_fraction < 1.0) {
+    target_rows_ = SampleRows(dataset.target_rows, options_.sample_fraction,
+                              options_.sample_seed);
+    all_rows_ = SampleRows(dataset.all_rows, options_.sample_fraction,
+                           options_.sample_seed ^ 0xA11C0FFEEULL);
+  } else {
+    target_rows_ = dataset.target_rows;
+    all_rows_ = dataset.all_rows;
+  }
+}
+
+storage::BinnedResult ViewEvaluator::ExecuteBinnedTarget(const View& view,
+                                                         int bins) {
+  if (options_.reuse_target_within_candidate &&
+      cached_target_.has_value() && cached_target_bins_ == bins &&
+      cached_target_key_ == view.Key()) {
+    return *cached_target_;
+  }
+  const DimensionInfo& dim = space_.dimension_info(view.dimension);
+  common::Stopwatch timer;
+  auto result = storage::BinnedAggregate(
+      *dataset_.table, target_rows_, view.dimension, view.measure,
+      view.function, bins, dim.lo, dim.hi);
+  const double ms = timer.ElapsedMillis();
+  MUVE_CHECK(result.ok()) << result.status().ToString();
+  stats_.target_time_ms += ms;
+  ++stats_.target_queries;
+  stats_.rows_scanned +=
+      static_cast<int64_t>(target_rows_.size());
+  cost_model_.Observe(CostKind::kTargetQuery, ms);
+  if (options_.reuse_target_within_candidate) {
+    cached_target_key_ = view.Key();
+    cached_target_bins_ = bins;
+    cached_target_ = result.value();
+  }
+  return std::move(result).value();
+}
+
+storage::BinnedResult ViewEvaluator::ExecuteBinnedComparison(const View& view,
+                                                             int bins) {
+  const DimensionInfo& dim = space_.dimension_info(view.dimension);
+  common::Stopwatch timer;
+  auto result = storage::BinnedAggregate(
+      *dataset_.table, all_rows_, view.dimension, view.measure,
+      view.function, bins, dim.lo, dim.hi);
+  const double ms = timer.ElapsedMillis();
+  MUVE_CHECK(result.ok()) << result.status().ToString();
+  stats_.comparison_time_ms += ms;
+  ++stats_.comparison_queries;
+  stats_.rows_scanned += static_cast<int64_t>(all_rows_.size());
+  cost_model_.Observe(CostKind::kComparisonQuery, ms);
+  return std::move(result).value();
+}
+
+const ViewEvaluator::RawSeries& ViewEvaluator::RawTargetSeries(
+    const View& view) {
+  const std::string key = view.Key();
+  const auto it = raw_cache_.find(key);
+  if (it != raw_cache_.end()) return it->second;
+
+  common::Stopwatch timer;
+  auto grouped = storage::GroupByAggregate(*dataset_.table,
+                                           target_rows_,
+                                           view.dimension, view.measure,
+                                           view.function);
+  MUVE_CHECK(grouped.ok()) << grouped.status().ToString();
+  RawSeries series;
+  series.keys.reserve(grouped->num_groups());
+  series.aggregates = grouped->aggregates;
+  for (const storage::Value& v : grouped->keys) {
+    auto d = v.ToDouble();
+    MUVE_CHECK(d.ok()) << d.status().ToString();
+    series.keys.push_back(*d);
+  }
+  const double ms = timer.ElapsedMillis();
+  // The raw series is an input to the accuracy objective; its (one-off)
+  // computation is charged to C_a.
+  stats_.accuracy_time_ms += ms;
+  stats_.rows_scanned += static_cast<int64_t>(target_rows_.size());
+  cost_model_.Observe(CostKind::kAccuracy, ms);
+  return raw_cache_.emplace(key, std::move(series)).first->second;
+}
+
+double ViewEvaluator::EvaluateDeviation(const View& view, int bins) {
+  if (space_.dimension_info(view.dimension).categorical) {
+    return EvaluateCategoricalDeviation(view);
+  }
+  const storage::BinnedResult target = ExecuteBinnedTarget(view, bins);
+  const storage::BinnedResult comparison =
+      ExecuteBinnedComparison(view, bins);
+
+  common::Stopwatch timer;
+  const std::vector<double> p = NormalizeToDistribution(target.aggregates);
+  const std::vector<double> q =
+      NormalizeToDistribution(comparison.aggregates);
+  const double deviation = Distance(options_.distance, p, q);
+  const double ms = timer.ElapsedMillis();
+  stats_.deviation_time_ms += ms;
+  ++stats_.deviation_evals;
+  cost_model_.Observe(CostKind::kDeviation, ms);
+  return deviation;
+}
+
+double ViewEvaluator::EvaluateCategoricalDeviation(const View& view) {
+  // Comparison group-by over D_B; its group set is a superset of the
+  // target's (D_Q's rows are a subset of D_B's), so aligning the target
+  // onto the comparison keys loses nothing.
+  common::Stopwatch comparison_timer;
+  auto comparison = storage::GroupByAggregate(
+      *dataset_.table, all_rows_, view.dimension, view.measure,
+      view.function);
+  MUVE_CHECK(comparison.ok()) << comparison.status().ToString();
+  const double comparison_ms = comparison_timer.ElapsedMillis();
+  stats_.comparison_time_ms += comparison_ms;
+  ++stats_.comparison_queries;
+  stats_.rows_scanned += static_cast<int64_t>(all_rows_.size());
+  cost_model_.Observe(CostKind::kComparisonQuery, comparison_ms);
+
+  common::Stopwatch target_timer;
+  auto target = storage::GroupByAggregate(*dataset_.table,
+                                          target_rows_,
+                                          view.dimension, view.measure,
+                                          view.function);
+  MUVE_CHECK(target.ok()) << target.status().ToString();
+  const double target_ms = target_timer.ElapsedMillis();
+  stats_.target_time_ms += target_ms;
+  ++stats_.target_queries;
+  stats_.rows_scanned += static_cast<int64_t>(target_rows_.size());
+  cost_model_.Observe(CostKind::kTargetQuery, target_ms);
+
+  common::Stopwatch distance_timer;
+  // Align the target series onto the comparison key order.
+  std::vector<double> aligned(comparison->num_groups(), 0.0);
+  size_t t = 0;
+  for (size_t c = 0; c < comparison->num_groups() &&
+                     t < target->num_groups();
+       ++c) {
+    if (comparison->keys[c] == target->keys[t]) {
+      aligned[c] = target->aggregates[t];
+      ++t;
+    }
+  }
+  const std::vector<double> p = NormalizeToDistribution(aligned);
+  const std::vector<double> q =
+      NormalizeToDistribution(comparison->aggregates);
+  const double deviation = Distance(options_.distance, p, q);
+  const double ms = distance_timer.ElapsedMillis();
+  stats_.deviation_time_ms += ms;
+  ++stats_.deviation_evals;
+  cost_model_.Observe(CostKind::kDeviation, ms);
+  return deviation;
+}
+
+double ViewEvaluator::EvaluateAccuracy(const View& view, int bins) {
+  if (space_.dimension_info(view.dimension).categorical) {
+    // No binning approximation: the view shows every group exactly.
+    ++stats_.accuracy_evals;
+    return 1.0;
+  }
+  const RawSeries& raw = RawTargetSeries(view);
+  const storage::BinnedResult target = ExecuteBinnedTarget(view, bins);
+
+  common::Stopwatch timer;
+  const double accuracy =
+      AccuracyFromSeries(raw.keys, raw.aggregates, target);
+  const double ms = timer.ElapsedMillis();
+  stats_.accuracy_time_ms += ms;
+  ++stats_.accuracy_evals;
+  cost_model_.Observe(CostKind::kAccuracy, ms);
+  return accuracy;
+}
+
+ViewEvaluator::BatchScores ViewEvaluator::EvaluateSharedBatch(
+    const std::vector<View>& views, int bins) {
+  MUVE_CHECK(!views.empty());
+  const DimensionInfo& dim = space_.dimension_info(views[0].dimension);
+  MUVE_CHECK(!dim.categorical)
+      << "shared scans apply to numeric dimensions only";
+  std::vector<storage::AggregateSpec> specs;
+  specs.reserve(views.size());
+  for (const View& view : views) {
+    MUVE_DCHECK(view.dimension == views[0].dimension)
+        << "batch must share one dimension";
+    specs.push_back({view.measure, view.function});
+  }
+
+  // One shared target scan and one shared comparison scan (C_t, C_c).
+  common::Stopwatch target_timer;
+  auto targets = storage::MultiBinnedAggregate(
+      *dataset_.table, target_rows_, views[0].dimension, specs,
+      bins, dim.lo, dim.hi);
+  MUVE_CHECK(targets.ok()) << targets.status().ToString();
+  const double target_ms = target_timer.ElapsedMillis();
+  stats_.target_time_ms += target_ms;
+  ++stats_.target_queries;
+  stats_.rows_scanned += static_cast<int64_t>(target_rows_.size());
+  cost_model_.Observe(CostKind::kTargetQuery, target_ms);
+
+  common::Stopwatch comparison_timer;
+  auto comparisons = storage::MultiBinnedAggregate(
+      *dataset_.table, all_rows_, views[0].dimension, specs, bins,
+      dim.lo, dim.hi);
+  MUVE_CHECK(comparisons.ok()) << comparisons.status().ToString();
+  const double comparison_ms = comparison_timer.ElapsedMillis();
+  stats_.comparison_time_ms += comparison_ms;
+  ++stats_.comparison_queries;
+  stats_.rows_scanned += static_cast<int64_t>(all_rows_.size());
+  cost_model_.Observe(CostKind::kComparisonQuery, comparison_ms);
+
+  // Shared raw scan for any view whose accuracy series is not cached yet.
+  std::vector<size_t> missing;
+  for (size_t i = 0; i < views.size(); ++i) {
+    if (!raw_cache_.contains(views[i].Key())) missing.push_back(i);
+  }
+  if (!missing.empty()) {
+    std::vector<storage::AggregateSpec> missing_specs;
+    missing_specs.reserve(missing.size());
+    for (size_t i : missing) missing_specs.push_back(specs[i]);
+    common::Stopwatch raw_timer;
+    auto raw = storage::MultiGroupByAggregate(
+        *dataset_.table, target_rows_, views[0].dimension,
+        missing_specs);
+    MUVE_CHECK(raw.ok()) << raw.status().ToString();
+    const double raw_ms = raw_timer.ElapsedMillis();
+    stats_.accuracy_time_ms += raw_ms;
+    stats_.rows_scanned +=
+        static_cast<int64_t>(target_rows_.size());
+    cost_model_.Observe(CostKind::kAccuracy, raw_ms);
+    for (size_t m = 0; m < missing.size(); ++m) {
+      RawSeries series;
+      series.aggregates = (*raw)[m].aggregates;
+      series.keys.reserve((*raw)[m].num_groups());
+      for (const storage::Value& v : (*raw)[m].keys) {
+        auto d = v.ToDouble();
+        MUVE_CHECK(d.ok()) << d.status().ToString();
+        series.keys.push_back(*d);
+      }
+      raw_cache_.emplace(views[missing[m]].Key(), std::move(series));
+    }
+  }
+
+  BatchScores scores;
+  scores.deviations.resize(views.size());
+  scores.accuracies.resize(views.size());
+  for (size_t i = 0; i < views.size(); ++i) {
+    common::Stopwatch distance_timer;
+    const std::vector<double> p =
+        NormalizeToDistribution((*targets)[i].aggregates);
+    const std::vector<double> q =
+        NormalizeToDistribution((*comparisons)[i].aggregates);
+    scores.deviations[i] = Distance(options_.distance, p, q);
+    const double distance_ms = distance_timer.ElapsedMillis();
+    stats_.deviation_time_ms += distance_ms;
+    ++stats_.deviation_evals;
+    cost_model_.Observe(CostKind::kDeviation, distance_ms);
+
+    common::Stopwatch accuracy_timer;
+    const RawSeries& raw = raw_cache_.at(views[i].Key());
+    scores.accuracies[i] =
+        AccuracyFromSeries(raw.keys, raw.aggregates, (*targets)[i]);
+    const double accuracy_ms = accuracy_timer.ElapsedMillis();
+    stats_.accuracy_time_ms += accuracy_ms;
+    ++stats_.accuracy_evals;
+    cost_model_.Observe(CostKind::kAccuracy, accuracy_ms);
+  }
+  return scores;
+}
+
+double ViewEvaluator::CandidateUsability(const View& view, int bins) const {
+  const DimensionInfo& info = space_.dimension_info(view.dimension);
+  if (info.categorical) {
+    return 1.0 / static_cast<double>(info.distinct_values);
+  }
+  return Usability(bins);
+}
+
+bool ViewEvaluator::AccuracyFirst(const Weights& weights) const {
+  const double ct = cost_model_.Estimate(CostKind::kTargetQuery);
+  const double cc = cost_model_.Estimate(CostKind::kComparisonQuery);
+  const double cd = cost_model_.Estimate(CostKind::kDeviation);
+  const double ca = cost_model_.Estimate(CostKind::kAccuracy);
+  const double accuracy_cost = ct + ca;
+  const double deviation_cost = ct + cc + cd;
+  if (accuracy_cost <= 0.0 || deviation_cost <= 0.0) {
+    // No observations yet: bootstrap with deviation first (it seeds the
+    // most cost estimates in one probe).
+    return false;
+  }
+  return weights.accuracy / accuracy_cost >
+         weights.deviation / deviation_cost;
+}
+
+void ViewEvaluator::ResetAccounting() {
+  stats_ = ExecStats();
+  cost_model_ = CostModel(cost_model_.beta());
+}
+
+void ViewEvaluator::ResetAll() {
+  ResetAccounting();
+  raw_cache_.clear();
+  cached_target_.reset();
+  cached_target_key_.clear();
+  cached_target_bins_ = -1;
+}
+
+}  // namespace muve::core

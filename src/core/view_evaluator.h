@@ -1,0 +1,144 @@
+// The probe engine: executes the queries behind the deviation and
+// accuracy objectives and charges their costs (Section III-C).
+//
+// Every search strategy funnels its objective evaluations through a
+// ViewEvaluator so that
+//   * costs are measured uniformly (C_t / C_c / C_d / C_a wall-clock into
+//     ExecStats, observations into the CostModel driving MuVE's probe-
+//     order priority rule), and
+//   * objective values are deterministic — the same (view, bins) pair
+//     always yields the same deviation/accuracy, which is what makes the
+//     exact schemes (Linear, MuVE) provably return identical top-k sets.
+//
+// Caching policy (documented deviations from re-executing every query):
+//   * The raw (non-binned) target series needed by the accuracy objective
+//     is computed once per view and cached; its computation time is
+//     charged to C_a on first use.
+//   * Within one candidate (view, bins), the binned target result is
+//     reused between the deviation and accuracy probes when
+//     `reuse_target_within_candidate` is set (default on).  This is a
+//     strict optimization that cannot change any objective value.
+
+#ifndef MUVE_CORE_VIEW_EVALUATOR_H_
+#define MUVE_CORE_VIEW_EVALUATOR_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/distance.h"
+#include "core/exec_stats.h"
+#include "core/utility.h"
+#include "core/view.h"
+#include "data/dataset.h"
+#include "storage/binned_group_by.h"
+
+namespace muve::core {
+
+struct ViewEvaluatorOptions {
+  DistanceKind distance = DistanceKind::kEuclidean;
+  bool reuse_target_within_candidate = true;
+
+  // Sampling-based approximation (the third optimization family cited in
+  // Section II-A alongside sharing and pruning): when < 1, every probe
+  // runs over a deterministic uniform row sample of D_Q and D_B of this
+  // fraction, trading recommendation fidelity for proportionally cheaper
+  // scans.  Objective values become estimates; fidelity is measured by
+  // bench/ablate_sampling.
+  double sample_fraction = 1.0;
+  uint64_t sample_seed = 0x5A3D1E;
+};
+
+class ViewEvaluator {
+ public:
+  using Options = ViewEvaluatorOptions;
+
+  // `dataset` and `space` must outlive the evaluator.
+  ViewEvaluator(const data::Dataset& dataset, const ViewSpace& space,
+                Options options = {});
+
+  // D(V_{i,b}) (Eq. 2): executes the binned target and comparison queries,
+  // normalizes both into distributions, and computes the distance.
+  // Charges C_t + C_c + C_d.  For a categorical dimension `bins` is
+  // ignored: the target and comparison group-bys are aligned on the
+  // comparison view's group set (the SeeDB setting).
+  double EvaluateDeviation(const View& view, int bins);
+
+  // A(V_{i,b}) (Eq. 4): executes the binned target query (and, once per
+  // view, the raw target query) and computes the relative-SSE accuracy.
+  // Charges C_t + C_a.  Categorical views have no binning approximation
+  // and always score 1.0 (charged as a zero-cost accuracy evaluation).
+  double EvaluateAccuracy(const View& view, int bins);
+
+  // The candidate's usability objective: 1/bins for numeric dimensions
+  // (Eq. 3), 1/(distinct groups) for categorical ones.
+  double CandidateUsability(const View& view, int bins) const;
+
+  // Shared-scan batch evaluation (SeeDB's shared-computation
+  // optimization): scores deviation and accuracy for every view of a
+  // same-dimension batch at bin count `bins` using ONE target scan, ONE
+  // comparison scan, and (first time per view) one shared raw scan.
+  // Values are identical to the per-view probes.  Numeric dimensions
+  // only; all views must share one dimension.
+  struct BatchScores {
+    std::vector<double> deviations;
+    std::vector<double> accuracies;
+  };
+  BatchScores EvaluateSharedBatch(const std::vector<View>& views, int bins);
+
+  // MuVE's probe-order priority rule (Section IV-A3): true when
+  //   alpha_A / (C_t + C_a)  >  alpha_D / (C_t + C_c + C_d)
+  // under the current cost estimates.  With no observations yet the rule
+  // falls back to deviation-first.
+  bool AccuracyFirst(const Weights& weights) const;
+
+  const ViewSpace& space() const { return space_; }
+  const data::Dataset& dataset() const { return dataset_; }
+  ExecStats& stats() { return stats_; }
+  const ExecStats& stats() const { return stats_; }
+  const CostModel& cost_model() const { return cost_model_; }
+
+  // Clears stats and cost observations (caches are kept: they hold pure
+  // data, not accounting state).  Used between benchmark repetitions.
+  void ResetAccounting();
+
+  // Drops all caches as well; used when a fresh cold-cache run is needed.
+  void ResetAll();
+
+ private:
+  struct RawSeries {
+    std::vector<double> keys;
+    std::vector<double> aggregates;
+  };
+
+  storage::BinnedResult ExecuteBinnedTarget(const View& view, int bins);
+  storage::BinnedResult ExecuteBinnedComparison(const View& view, int bins);
+  double EvaluateCategoricalDeviation(const View& view);
+  const RawSeries& RawTargetSeries(const View& view);
+
+  // Row sets all probes scan: the dataset's own when sample_fraction is
+  // 1, deterministic samples otherwise.
+  const storage::RowSet& target_rows() const { return target_rows_; }
+  const storage::RowSet& all_rows() const { return all_rows_; }
+
+  const data::Dataset& dataset_;
+  const ViewSpace& space_;
+  Options options_;
+  storage::RowSet target_rows_;
+  storage::RowSet all_rows_;
+  ExecStats stats_;
+  CostModel cost_model_;
+
+  // Per-view raw target series cache (accuracy objective input).
+  std::unordered_map<std::string, RawSeries> raw_cache_;
+  // One-entry binned-target cache for within-candidate reuse.
+  std::string cached_target_key_;
+  int cached_target_bins_ = -1;
+  std::optional<storage::BinnedResult> cached_target_;
+};
+
+}  // namespace muve::core
+
+#endif  // MUVE_CORE_VIEW_EVALUATOR_H_

@@ -1,0 +1,20 @@
+#include "data/dataset.h"
+
+namespace muve::data {
+
+Dataset WithWorkloadSize(const Dataset& dataset, size_t num_dimensions,
+                         size_t num_measures, size_t num_functions) {
+  Dataset out = dataset;
+  if (num_dimensions < out.dimensions.size()) {
+    out.dimensions.resize(num_dimensions);
+  }
+  if (num_measures < out.measures.size()) {
+    out.measures.resize(num_measures);
+  }
+  if (num_functions < out.functions.size()) {
+    out.functions.resize(num_functions);
+  }
+  return out;
+}
+
+}  // namespace muve::data

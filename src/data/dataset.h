@@ -1,0 +1,51 @@
+// Dataset bundle: a table plus the exploration setup the paper's
+// experiments assume — which attributes are dimensions, which are
+// measures, which aggregate functions are in play, and the analyst's
+// query predicate T that selects the subset D_Q.
+
+#ifndef MUVE_DATA_DATASET_H_
+#define MUVE_DATA_DATASET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/aggregate.h"
+#include "storage/predicate.h"
+#include "storage/table.h"
+
+namespace muve::data {
+
+// A fully-specified exploration workload over one table.
+struct Dataset {
+  std::string name;
+  std::shared_ptr<const storage::Table> table;
+
+  // The paper's A (numerical dimension attributes) and M (measures).
+  std::vector<std::string> dimensions;
+  std::vector<std::string> measures;
+  std::vector<storage::AggregateFunction> functions;
+
+  // Categorical dimensions (no binning; the SeeDB setting).  Views over
+  // these enter the vertical search with a single candidate each.
+  std::vector<std::string> categorical_dimensions;
+
+  // SQL text of the analyst's selection predicate (e.g. "team = 'GSW'"),
+  // kept as text so each consumer can build and bind its own tree.
+  std::string query_predicate_sql;
+
+  // Rows of D_Q (the predicate's selection) and D_B (everything).
+  storage::RowSet target_rows;
+  storage::RowSet all_rows;
+};
+
+// Restricts `dataset`'s workload to the first `num_dimensions` dimensions /
+// `num_measures` measures / `num_functions` functions (for the paper's
+// scalability sweeps).  Counts are clamped to what is available.
+Dataset WithWorkloadSize(const Dataset& dataset, size_t num_dimensions,
+                         size_t num_measures, size_t num_functions);
+
+}  // namespace muve::data
+
+#endif  // MUVE_DATA_DATASET_H_

@@ -1,0 +1,36 @@
+// Synthetic stand-in for the UCI Pima Indians Diabetes dataset [paper ref 1].
+//
+// The paper's DIAB workload: 768 tuples, 9 attributes; 3 numeric dimensions
+// (independent attributes like age and blood pressure), 3 measures
+// (observations like glucose and insulin), 3 aggregate functions; analyst
+// query selects the diabetic patients (Outcome = 1).
+//
+// The generator reproduces the schema, cardinality, attribute ranges, and
+// plausible correlations (outcome probability rises with glucose, BMI, and
+// age) with a seeded RNG, and pins each dimension's min/max so the
+// view-space size is deterministic: dimensions Age [21,81], BloodPressure
+// [24,110], Pregnancies [0,17] give sum-of-max-bins 163 and a binned-view
+// space of 2 x 3 x 3 x 163 = 2934 views (paper reports 2961; within 1%).
+
+#ifndef MUVE_DATA_DIAB_H_
+#define MUVE_DATA_DIAB_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace muve::data {
+
+inline constexpr size_t kDiabRows = 768;
+inline constexpr uint64_t kDiabDefaultSeed = 20160501;
+
+// Builds the DIAB dataset with its default workload:
+//   dimensions: Age, BloodPressure, Pregnancies (BMI available as a 4th)
+//   measures:   Glucose, Insulin, SkinThickness (DiabetesPedigree as 4th)
+//   functions:  SUM, AVG, COUNT
+//   predicate:  Outcome = 1
+Dataset MakeDiabDataset(uint64_t seed = kDiabDefaultSeed);
+
+}  // namespace muve::data
+
+#endif  // MUVE_DATA_DIAB_H_

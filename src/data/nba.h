@@ -1,0 +1,43 @@
+// Synthetic stand-in for the 2015 NBA player statistics dataset
+// (basketball-reference.com, paper ref [2]).
+//
+// The paper's NBA workload: 651 tuples, 28 attributes; dimensions are
+// independent numeric attributes (age, games, minutes played), measures
+// are observation rates (player efficiency rating, 3-point attempt rate,
+// ...), up to 13 measures.  The analyst query is `team = 'GSW'`.
+//
+// Dimension ranges are pinned to MP [0,1440], G [0,82], Age [19,39], so
+// sum-of-max-bins = 1440 + 82 + 20 = 1542 and the default binned-view
+// space is 2 x 3 x 3 x 1542 = 27,756 views — exactly the count the paper
+// reports for NBA.
+//
+// The generator plants the paper's Example 1 pattern: league-wide, 3PAr
+// declines as minutes played grow (fatigue), but GSW players keep a high
+// 3PAr at high MP (roughly 4x the league at the top bins), so the
+// MP/SUM(3PAr) view binned coarsely surfaces as a highly-deviating
+// recommendation, mirroring Figures 1-3.
+
+#ifndef MUVE_DATA_NBA_H_
+#define MUVE_DATA_NBA_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace muve::data {
+
+inline constexpr size_t kNbaRows = 651;
+inline constexpr uint64_t kNbaDefaultSeed = 20151506;
+inline constexpr size_t kNbaMaxMeasures = 13;
+
+// Builds the NBA dataset with its default workload:
+//   dimensions: MP, G, Age
+//   measures:   first 3 of {3PAr, PER, TS_pct, FTr, TRB_pct, AST_pct,
+//               STL_pct, BLK_pct, TOV_pct, USG_pct, WS, DWS, OWS}
+//   functions:  SUM, AVG, COUNT
+//   predicate:  team = 'GSW'
+Dataset MakeNbaDataset(uint64_t seed = kNbaDefaultSeed);
+
+}  // namespace muve::data
+
+#endif  // MUVE_DATA_NBA_H_

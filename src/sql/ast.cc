@@ -1,0 +1,68 @@
+#include "sql/ast.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace muve::sql {
+
+std::string SelectItem::OutputName() const {
+  if (!alias.empty()) return alias;
+  switch (kind) {
+    case Kind::kStar:
+      return "*";
+    case Kind::kColumn:
+      return column;
+    case Kind::kAggregate:
+      if (count_star) return "COUNT(*)";
+      return std::string(storage::AggregateName(function)) + "(" + column +
+             ")";
+  }
+  return "?";
+}
+
+std::string SelectStatement::ToString() const {
+  std::ostringstream out;
+  out << "SELECT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << items[i].OutputName();
+  }
+  out << " FROM " << table_name;
+  if (where != nullptr) out << " WHERE " << where->ToString();
+  if (group_by.has_value()) out << " GROUP BY " << *group_by;
+  if (num_bins.has_value()) out << " NUMBER OF BINS " << *num_bins;
+  if (having != nullptr) out << " HAVING " << having->ToString();
+  if (order_by.has_value()) {
+    out << " ORDER BY " << order_by->column
+        << (order_by->descending ? " DESC" : " ASC");
+  }
+  if (limit.has_value()) out << " LIMIT " << *limit;
+  return out.str();
+}
+
+std::string CreateTableStatement::ToString() const {
+  return "CREATE TABLE " + table_name + " (" + schema.ToString() + ")";
+}
+
+std::string InsertStatement::ToString() const {
+  return "INSERT INTO " + table_name + " VALUES ... (" +
+         std::to_string(rows.size()) + " rows)";
+}
+
+std::string LoadCsvStatement::ToString() const {
+  return "LOAD CSV '" + path + "' INTO " + table_name;
+}
+
+std::string RecommendStatement::ToString() const {
+  std::ostringstream out;
+  out << "RECOMMEND TOP " << top_k << " VIEWS FROM " << table_name;
+  if (where != nullptr) out << " WHERE " << where->ToString();
+  out << " USING " << scheme << " WEIGHTS (" << common::FormatDouble(alpha_d, 2)
+      << ", " << common::FormatDouble(alpha_a, 2) << ", "
+      << common::FormatDouble(alpha_s, 2) << ")";
+  if (distance != "EUCLIDEAN") out << " DISTANCE " << distance;
+  return out.str();
+}
+
+}  // namespace muve::sql

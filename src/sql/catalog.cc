@@ -1,0 +1,50 @@
+#include "sql/catalog.h"
+
+#include "common/string_util.h"
+
+namespace muve::sql {
+
+common::Status Catalog::RegisterTable(std::string name,
+                                      storage::Table table) {
+  const std::string key = common::ToLower(name);
+  if (tables_.contains(key)) {
+    return common::Status::AlreadyExists("table '" + name +
+                                         "' already registered");
+  }
+  tables_.emplace(key,
+                  std::make_unique<storage::Table>(std::move(table)));
+  return common::Status::OK();
+}
+
+common::Result<const storage::Table*> Catalog::GetTable(
+    std::string_view name) const {
+  const auto it = tables_.find(common::ToLower(name));
+  if (it == tables_.end()) {
+    return common::Status::NotFound("no table named '" + std::string(name) +
+                                    "'");
+  }
+  return static_cast<const storage::Table*>(it->second.get());
+}
+
+common::Result<storage::Table*> Catalog::GetMutableTable(
+    std::string_view name) {
+  const auto it = tables_.find(common::ToLower(name));
+  if (it == tables_.end()) {
+    return common::Status::NotFound("no table named '" + std::string(name) +
+                                    "'");
+  }
+  return it->second.get();
+}
+
+bool Catalog::HasTable(std::string_view name) const {
+  return tables_.contains(common::ToLower(name));
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, _] : tables_) names.push_back(key);
+  return names;
+}
+
+}  // namespace muve::sql

@@ -1,0 +1,42 @@
+// Table catalog: the named-table namespace SQL statements resolve against.
+
+#ifndef MUVE_SQL_CATALOG_H_
+#define MUVE_SQL_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace muve::sql {
+
+// Owns tables by name (case-insensitive).  Registered tables are immutable
+// from the catalog's point of view.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  // Takes ownership.  AlreadyExists if the name is taken.
+  common::Status RegisterTable(std::string name, storage::Table table);
+
+  common::Result<const storage::Table*> GetTable(std::string_view name) const;
+
+  // Mutable access for DML (INSERT / LOAD CSV).
+  common::Result<storage::Table*> GetMutableTable(std::string_view name);
+
+  bool HasTable(std::string_view name) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<storage::Table>> tables_;
+};
+
+}  // namespace muve::sql
+
+#endif  // MUVE_SQL_CATALOG_H_

@@ -1,0 +1,53 @@
+// Executes SELECT statements against a Catalog, producing result tables.
+//
+// Supported shapes:
+//   * projection + filtering:      SELECT a, b FROM t WHERE p
+//   * scalar aggregation:          SELECT SUM(m), COUNT(*) FROM t WHERE p
+//   * single-attribute group-by:   SELECT a, F(m) FROM t [WHERE p] GROUP BY a
+//   * binned group-by (paper ext): ... GROUP BY a NUMBER OF BINS b
+//   * ORDER BY <output column> [ASC|DESC], LIMIT n
+//
+// For binned group-by the binning range is the dimension's min/max over the
+// *whole* table (not the filtered subset), so a target query (with WHERE)
+// and its comparison query (without) share bin boundaries — the invariant
+// the deviation metric needs (Section III-A).
+
+#ifndef MUVE_SQL_EXECUTOR_H_
+#define MUVE_SQL_EXECUTOR_H_
+
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/catalog.h"
+#include "storage/table.h"
+
+namespace muve::sql {
+
+// Executes `stmt` (whose WHERE predicate gets bound in the process).
+common::Result<storage::Table> Execute(SelectStatement& stmt,
+                                       const Catalog& catalog);
+
+// Parses and executes in one call.
+common::Result<storage::Table> ExecuteSql(const std::string& sql,
+                                          const Catalog& catalog);
+
+// Result of a general statement: SELECT carries a result table, DDL/DML
+// carry a human-readable confirmation.
+struct StatementResult {
+  std::optional<storage::Table> table;
+  std::string message;
+};
+
+// Executes any statement kind except RECOMMEND (which needs the
+// recommendation engine; see core/recommend_sql.h).  DDL/DML semantics:
+//   CREATE TABLE — registers an empty table with the given schema/roles;
+//   INSERT — appends rows atomically (all rows validate or none land);
+//   LOAD CSV — appends a CSV file whose header matches the table schema.
+common::Result<StatementResult> ExecuteStatement(Statement& stmt,
+                                                 Catalog& catalog);
+
+}  // namespace muve::sql
+
+#endif  // MUVE_SQL_EXECUTOR_H_

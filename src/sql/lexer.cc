@@ -1,0 +1,240 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace muve::sql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "SELECT", "FROM",    "WHERE",  "GROUP",  "BY",    "NUMBER", "OF",
+      "BINS",   "AND",     "OR",     "NOT",    "BETWEEN", "ORDER", "LIMIT",
+      "IN",     "IS",      "HAVING",
+      "ASC",    "DESC",    "AS",     "NULL",   "TRUE",  "FALSE",
+      "RECOMMEND", "VIEWS", "TOP",   "USING",  "WEIGHTS", "DISTANCE",
+      "CREATE", "TABLE", "INSERT", "INTO", "VALUES", "LOAD", "CSV",
+  };
+  return *kKeywords;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+common::Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    // Comments: -- to end of line.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    // Negative numeric literal: '-' directly followed by a digit or '.'
+    // (the dialect has no arithmetic, so '-' is unambiguous here).
+    if (c == '-' && i + 1 < n &&
+        (std::isdigit(static_cast<unsigned char>(input[i + 1])) ||
+         input[i + 1] == '.')) {
+      size_t j = i + 1;
+      bool is_float = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) {
+        ++j;
+      }
+      if (j < n && input[j] == '.') {
+        is_float = true;
+        ++j;
+        while (j < n &&
+               std::isdigit(static_cast<unsigned char>(input[j]))) {
+          ++j;
+        }
+      }
+      const std::string run = input.substr(i, j - i);
+      if (is_float) {
+        tok.type = TokenType::kFloat;
+        tok.float_value = std::strtod(run.c_str(), nullptr);
+      } else {
+        tok.type = TokenType::kInteger;
+        tok.int_value = std::strtoll(run.c_str(), nullptr, 10);
+      }
+      i = j;
+      tokens.push_back(tok);
+      continue;
+    }
+    switch (c) {
+      case '*':
+        tok.type = TokenType::kStar;
+        ++i;
+        tokens.push_back(tok);
+        continue;
+      case ',':
+        tok.type = TokenType::kComma;
+        ++i;
+        tokens.push_back(tok);
+        continue;
+      case '(':
+        tok.type = TokenType::kLParen;
+        ++i;
+        tokens.push_back(tok);
+        continue;
+      case ')':
+        tok.type = TokenType::kRParen;
+        ++i;
+        tokens.push_back(tok);
+        continue;
+      case ';':
+        tok.type = TokenType::kSemicolon;
+        ++i;
+        tokens.push_back(tok);
+        continue;
+      case '=':
+        tok.type = TokenType::kEq;
+        ++i;
+        tokens.push_back(tok);
+        continue;
+      case '<':
+        if (i + 1 < n && input[i + 1] == '=') {
+          tok.type = TokenType::kLe;
+          i += 2;
+        } else if (i + 1 < n && input[i + 1] == '>') {
+          tok.type = TokenType::kNe;
+          i += 2;
+        } else {
+          tok.type = TokenType::kLt;
+          ++i;
+        }
+        tokens.push_back(tok);
+        continue;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          tok.type = TokenType::kGe;
+          i += 2;
+        } else {
+          tok.type = TokenType::kGt;
+          ++i;
+        }
+        tokens.push_back(tok);
+        continue;
+      case '!':
+        if (i + 1 < n && input[i + 1] == '=') {
+          tok.type = TokenType::kNe;
+          i += 2;
+          tokens.push_back(tok);
+          continue;
+        }
+        return common::Status::ParseError("unexpected '!' at position " +
+                                          std::to_string(i));
+      case '\'': {
+        // Single-quoted string with '' escape.
+        std::string text;
+        size_t j = i + 1;
+        bool closed = false;
+        while (j < n) {
+          if (input[j] == '\'') {
+            if (j + 1 < n && input[j + 1] == '\'') {
+              text.push_back('\'');
+              j += 2;
+              continue;
+            }
+            closed = true;
+            ++j;
+            break;
+          }
+          text.push_back(input[j]);
+          ++j;
+        }
+        if (!closed) {
+          return common::Status::ParseError(
+              "unterminated string literal at position " + std::to_string(i));
+        }
+        tok.type = TokenType::kString;
+        tok.text = std::move(text);
+        i = j;
+        tokens.push_back(tok);
+        continue;
+      }
+      default:
+        break;
+    }
+
+    if (IsIdentChar(c)) {
+      // Scan the maximal identifier/number run (letters, digits, '_'),
+      // optionally extended with a fractional part when numeric so far.
+      size_t j = i;
+      bool all_digits = true;
+      while (j < n && IsIdentChar(input[j])) {
+        if (!std::isdigit(static_cast<unsigned char>(input[j]))) {
+          all_digits = false;
+        }
+        ++j;
+      }
+      if (all_digits && j < n && input[j] == '.' && j + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(input[j + 1]))) {
+        // Float: digits '.' digits [identifier chars turn it into an error]
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) {
+          ++j;
+        }
+        tok.type = TokenType::kFloat;
+        tok.float_value = std::strtod(input.substr(i, j - i).c_str(), nullptr);
+        i = j;
+        tokens.push_back(tok);
+        continue;
+      }
+      const std::string run = input.substr(i, j - i);
+      if (all_digits) {
+        tok.type = TokenType::kInteger;
+        tok.int_value = std::strtoll(run.c_str(), nullptr, 10);
+      } else {
+        const std::string upper = common::ToUpper(run);
+        if (Keywords().contains(upper)) {
+          tok.type = TokenType::kKeyword;
+          tok.text = upper;
+        } else {
+          tok.type = TokenType::kIdentifier;
+          tok.text = run;
+        }
+      }
+      i = j;
+      tokens.push_back(tok);
+      continue;
+    }
+
+    // A bare '.5' style float.
+    if (c == '.' && i + 1 < n &&
+        std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+      size_t j = i + 1;
+      while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) ++j;
+      tok.type = TokenType::kFloat;
+      tok.float_value = std::strtod(input.substr(i, j - i).c_str(), nullptr);
+      i = j;
+      tokens.push_back(tok);
+      continue;
+    }
+
+    return common::Status::ParseError("unexpected character '" +
+                                      std::string(1, c) + "' at position " +
+                                      std::to_string(i));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace muve::sql

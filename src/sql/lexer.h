@@ -1,0 +1,24 @@
+// Hand-written lexer for the MuVE SQL dialect.
+//
+// Notable departure from vanilla SQL: identifiers may start with a digit
+// when the character run is not a valid number ("3PAr" lexes as one
+// identifier), because the NBA schema the paper uses has such column names.
+
+#ifndef MUVE_SQL_LEXER_H_
+#define MUVE_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/token.h"
+
+namespace muve::sql {
+
+// Tokenizes `input`, appending a kEnd token.  Keywords are recognized
+// case-insensitively and normalized to uppercase.
+common::Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace muve::sql
+
+#endif  // MUVE_SQL_LEXER_H_

@@ -1,0 +1,23 @@
+// Recursive-descent parser for the MuVE SQL dialect.  See ast.h for the
+// grammar surface.
+
+#ifndef MUVE_SQL_PARSER_H_
+#define MUVE_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace muve::sql {
+
+// Parses a single statement (SELECT or RECOMMEND).  Trailing semicolons
+// are allowed; trailing garbage is an error.
+common::Result<Statement> Parse(const std::string& sql);
+
+// Convenience wrapper that fails when the statement is not a SELECT.
+common::Result<SelectStatement> ParseSelect(const std::string& sql);
+
+}  // namespace muve::sql
+
+#endif  // MUVE_SQL_PARSER_H_

@@ -1,0 +1,64 @@
+#include "sql/token.h"
+
+namespace muve::sql {
+
+const char* TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kEnd:
+      return "end";
+    case TokenType::kIdentifier:
+      return "identifier";
+    case TokenType::kInteger:
+      return "integer";
+    case TokenType::kFloat:
+      return "float";
+    case TokenType::kString:
+      return "string";
+    case TokenType::kKeyword:
+      return "keyword";
+    case TokenType::kStar:
+      return "*";
+    case TokenType::kComma:
+      return ",";
+    case TokenType::kLParen:
+      return "(";
+    case TokenType::kRParen:
+      return ")";
+    case TokenType::kSemicolon:
+      return ";";
+    case TokenType::kEq:
+      return "=";
+    case TokenType::kNe:
+      return "<>";
+    case TokenType::kLt:
+      return "<";
+    case TokenType::kLe:
+      return "<=";
+    case TokenType::kGt:
+      return ">";
+    case TokenType::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string Token::ToString() const {
+  switch (type) {
+    case TokenType::kIdentifier:
+    case TokenType::kKeyword:
+    case TokenType::kString:
+      return text;
+    case TokenType::kInteger:
+      return std::to_string(int_value);
+    case TokenType::kFloat:
+      return std::to_string(float_value);
+    default:
+      return TokenTypeName(type);
+  }
+}
+
+bool IsKeyword(const Token& token, const char* keyword) {
+  return token.type == TokenType::kKeyword && token.text == keyword;
+}
+
+}  // namespace muve::sql

@@ -1,0 +1,50 @@
+// Token model for the MuVE SQL dialect.
+
+#ifndef MUVE_SQL_TOKEN_H_
+#define MUVE_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace muve::sql {
+
+enum class TokenType {
+  kEnd = 0,
+  kIdentifier,   // column / table / function names (may start with a digit,
+                 // e.g. the NBA measure "3PAr")
+  kInteger,
+  kFloat,
+  kString,       // single-quoted literal, quotes stripped
+  kKeyword,      // uppercase-normalized SQL keyword
+  kStar,
+  kComma,
+  kLParen,
+  kRParen,
+  kSemicolon,
+  kEq,           // =
+  kNe,           // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+const char* TokenTypeName(TokenType type);
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;        // identifier spelling / keyword (uppercased) /
+                           // string contents
+  int64_t int_value = 0;   // for kInteger
+  double float_value = 0;  // for kFloat
+  size_t position = 0;     // byte offset in the input, for error messages
+
+  std::string ToString() const;
+};
+
+// True when `token` is the given keyword (already uppercase-normalized).
+bool IsKeyword(const Token& token, const char* keyword);
+
+}  // namespace muve::sql
+
+#endif  // MUVE_SQL_TOKEN_H_

@@ -1,0 +1,87 @@
+#include "storage/aggregate.h"
+
+#include "common/string_util.h"
+
+namespace muve::storage {
+
+const char* AggregateName(AggregateFunction f) {
+  switch (f) {
+    case AggregateFunction::kSum:
+      return "SUM";
+    case AggregateFunction::kCount:
+      return "COUNT";
+    case AggregateFunction::kAvg:
+      return "AVG";
+    case AggregateFunction::kMin:
+      return "MIN";
+    case AggregateFunction::kMax:
+      return "MAX";
+    case AggregateFunction::kStd:
+      return "STD";
+    case AggregateFunction::kVar:
+      return "VAR";
+  }
+  return "?";
+}
+
+common::Result<AggregateFunction> AggregateFromName(std::string_view name) {
+  const std::string upper = common::ToUpper(name);
+  if (upper == "SUM") return AggregateFunction::kSum;
+  if (upper == "COUNT") return AggregateFunction::kCount;
+  if (upper == "AVG" || upper == "MEAN") return AggregateFunction::kAvg;
+  if (upper == "MIN") return AggregateFunction::kMin;
+  if (upper == "MAX") return AggregateFunction::kMax;
+  if (upper == "STD" || upper == "STDDEV") return AggregateFunction::kStd;
+  if (upper == "VAR" || upper == "VARIANCE") return AggregateFunction::kVar;
+  return common::Status::NotFound("unknown aggregate function: " +
+                                  std::string(name));
+}
+
+const std::vector<AggregateFunction>& AllAggregateFunctions() {
+  static const std::vector<AggregateFunction>* kAll =
+      new std::vector<AggregateFunction>{
+          AggregateFunction::kSum, AggregateFunction::kCount,
+          AggregateFunction::kAvg, AggregateFunction::kMin,
+          AggregateFunction::kMax, AggregateFunction::kStd,
+          AggregateFunction::kVar};
+  return *kAll;
+}
+
+void AggregateAccumulator::Add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  ++count_;
+  sum_ += value;
+  if (function_ == AggregateFunction::kStd ||
+      function_ == AggregateFunction::kVar) {
+    welford_.Add(value);
+  }
+}
+
+double AggregateAccumulator::Finish() const {
+  if (count_ == 0) return 0.0;
+  switch (function_) {
+    case AggregateFunction::kSum:
+      return sum_;
+    case AggregateFunction::kCount:
+      return static_cast<double>(count_);
+    case AggregateFunction::kAvg:
+      return sum_ / static_cast<double>(count_);
+    case AggregateFunction::kMin:
+      return min_;
+    case AggregateFunction::kMax:
+      return max_;
+    case AggregateFunction::kStd:
+      return welford_.stddev();
+    case AggregateFunction::kVar:
+      return welford_.variance();
+  }
+  return 0.0;
+}
+
+}  // namespace muve::storage

@@ -1,0 +1,60 @@
+// Aggregate functions over measure attributes.
+//
+// The paper's F = {SUM, COUNT, AVG, STD, VAR, MIN, MAX} (Section II-A).
+// Each function is realized as a small accumulator so one scan computes a
+// whole group-by; STD/VAR use Welford's algorithm for stability.
+
+#ifndef MUVE_STORAGE_AGGREGATE_H_
+#define MUVE_STORAGE_AGGREGATE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace muve::storage {
+
+enum class AggregateFunction {
+  kSum = 0,
+  kCount,
+  kAvg,
+  kMin,
+  kMax,
+  kStd,
+  kVar,
+};
+
+// Canonical SQL spelling ("SUM", "COUNT", ...).
+const char* AggregateName(AggregateFunction f);
+
+// Parses a (case-insensitive) aggregate name; also accepts STDDEV/VARIANCE.
+common::Result<AggregateFunction> AggregateFromName(std::string_view name);
+
+// All seven functions, in enum order.
+const std::vector<AggregateFunction>& AllAggregateFunctions();
+
+// Streaming accumulator for a single group.  Empty groups finish to 0
+// for every function (bar charts render empty groups as zero-height bars).
+class AggregateAccumulator {
+ public:
+  explicit AggregateAccumulator(AggregateFunction function)
+      : function_(function) {}
+
+  void Add(double value);
+  double Finish() const;
+  size_t count() const { return count_; }
+
+ private:
+  AggregateFunction function_;
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  common::WelfordAccumulator welford_;
+};
+
+}  // namespace muve::storage
+
+#endif  // MUVE_STORAGE_AGGREGATE_H_

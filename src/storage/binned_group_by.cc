@@ -1,0 +1,67 @@
+#include "storage/binned_group_by.h"
+
+#include <cmath>
+
+namespace muve::storage {
+
+int BinIndexFor(double value, double lo, double hi, int num_bins) {
+  if (num_bins <= 1) return 0;
+  if (value <= lo) return 0;
+  if (value >= hi) return num_bins - 1;
+  const double width = (hi - lo) / static_cast<double>(num_bins);
+  int idx = static_cast<int>((value - lo) / width);
+  if (idx >= num_bins) idx = num_bins - 1;
+  if (idx < 0) idx = 0;
+  return idx;
+}
+
+common::Result<BinnedResult> BinnedAggregate(
+    const Table& table, const RowSet& rows, std::string_view dimension,
+    std::string_view measure, AggregateFunction function, int num_bins,
+    double lo, double hi) {
+  if (num_bins < 1) {
+    return common::Status::InvalidArgument(
+        "number of bins must be >= 1, got " + std::to_string(num_bins));
+  }
+  if (hi < lo) {
+    return common::Status::InvalidArgument("binning range is inverted");
+  }
+  MUVE_ASSIGN_OR_RETURN(const Column* dim, table.ColumnByName(dimension));
+  MUVE_ASSIGN_OR_RETURN(const Column* mea, table.ColumnByName(measure));
+  if (dim->type() == ValueType::kString) {
+    return common::Status::TypeMismatch(
+        "cannot bin string dimension '" + std::string(dimension) + "'");
+  }
+  if (mea->type() == ValueType::kString &&
+      function != AggregateFunction::kCount) {
+    return common::Status::TypeMismatch(
+        "cannot aggregate string measure '" + std::string(measure) +
+        "' with " + AggregateName(function));
+  }
+
+  std::vector<AggregateAccumulator> bins(
+      static_cast<size_t>(num_bins), AggregateAccumulator(function));
+  const bool is_count = function == AggregateFunction::kCount;
+  for (uint32_t row : rows) {
+    if (dim->IsNull(row)) continue;
+    // SQL semantics: COUNT(M) also ignores NULL measures.
+    if (mea->IsNull(row)) continue;
+    const double v = dim->NumericAt(row);
+    const int idx = BinIndexFor(v, lo, hi, num_bins);
+    bins[static_cast<size_t>(idx)].Add(is_count ? 1.0 : mea->NumericAt(row));
+  }
+
+  BinnedResult out;
+  out.lo = lo;
+  out.hi = hi;
+  out.num_bins = num_bins;
+  out.aggregates.reserve(bins.size());
+  out.row_counts.reserve(bins.size());
+  for (const auto& acc : bins) {
+    out.aggregates.push_back(acc.Finish());
+    out.row_counts.push_back(acc.count());
+  }
+  return out;
+}
+
+}  // namespace muve::storage

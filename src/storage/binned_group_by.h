@@ -1,0 +1,56 @@
+// Equi-width binned aggregation (the paper's binned views, Definition 1).
+//
+// `SELECT A, F(M) FROM ... GROUP BY A NUMBER OF BINS b` partitions the
+// numeric dimension A's range [lo, hi] into b equal-width, non-overlapping
+// bins and aggregates the measure per bin.  Target and comparison views of
+// the same candidate must share the binning range, so the range is an
+// explicit input here (the caller derives it from the full database D_B).
+
+#ifndef MUVE_STORAGE_BINNED_GROUP_BY_H_
+#define MUVE_STORAGE_BINNED_GROUP_BY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/aggregate.h"
+#include "storage/table.h"
+
+namespace muve::storage {
+
+// Result of a binned aggregation: one slot per bin, empty bins hold 0.
+struct BinnedResult {
+  double lo = 0.0;      // range start (inclusive)
+  double hi = 0.0;      // range end (inclusive; last bin is closed)
+  int num_bins = 0;
+  std::vector<double> aggregates;  // size num_bins
+  std::vector<size_t> row_counts;  // rows landing in each bin
+
+  double bin_width() const {
+    return num_bins == 0 ? 0.0 : (hi - lo) / static_cast<double>(num_bins);
+  }
+  // [start, end) of `bin` (last bin is closed at hi).
+  double BinStart(int bin) const { return lo + bin_width() * bin; }
+  double BinEnd(int bin) const { return lo + bin_width() * (bin + 1); }
+};
+
+// Maps `value` to its bin index for range [lo, hi] with `num_bins` bins.
+// Values outside the range clamp to the first/last bin (robustness against
+// floating-point edge effects; the recommendation pipeline always bins with
+// the enclosing database range, so clamping is a no-op there).
+int BinIndexFor(double value, double lo, double hi, int num_bins);
+
+// Bins `rows` of `table` on `dimension` into `num_bins` bins over
+// [lo, hi] and aggregates `measure` with `function`.  NULL handling
+// matches GroupByAggregate.  Errors: non-numeric dimension, num_bins < 1,
+// or hi < lo.
+common::Result<BinnedResult> BinnedAggregate(
+    const Table& table, const RowSet& rows, std::string_view dimension,
+    std::string_view measure, AggregateFunction function, int num_bins,
+    double lo, double hi);
+
+}  // namespace muve::storage
+
+#endif  // MUVE_STORAGE_BINNED_GROUP_BY_H_

@@ -1,0 +1,188 @@
+#include "storage/column.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace muve::storage {
+
+void Column::AppendInt64(int64_t v) {
+  MUVE_DCHECK(type_ == ValueType::kInt64);
+  ints_.push_back(v);
+  valid_.push_back(true);
+}
+
+void Column::AppendDouble(double v) {
+  MUVE_DCHECK(type_ == ValueType::kDouble);
+  doubles_.push_back(v);
+  valid_.push_back(true);
+}
+
+void Column::AppendString(std::string v) {
+  MUVE_DCHECK(type_ == ValueType::kString);
+  strings_.push_back(std::move(v));
+  valid_.push_back(true);
+}
+
+void Column::AppendNull() {
+  switch (type_) {
+    case ValueType::kInt64:
+      ints_.push_back(0);
+      break;
+    case ValueType::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case ValueType::kString:
+      strings_.emplace_back();
+      break;
+    case ValueType::kNull:
+      break;
+  }
+  valid_.push_back(false);
+}
+
+common::Status Column::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return common::Status::OK();
+  }
+  switch (type_) {
+    case ValueType::kInt64: {
+      if (v.type() == ValueType::kInt64) {
+        AppendInt64(v.AsInt64());
+        return common::Status::OK();
+      }
+      if (v.type() == ValueType::kDouble) {
+        const double d = v.AsDoubleExact();
+        if (d == std::floor(d)) {
+          AppendInt64(static_cast<int64_t>(d));
+          return common::Status::OK();
+        }
+        return common::Status::TypeMismatch(
+            "cannot store non-integral double in int64 column");
+      }
+      break;
+    }
+    case ValueType::kDouble: {
+      if (v.is_numeric()) {
+        MUVE_ASSIGN_OR_RETURN(const double d, v.ToDouble());
+        AppendDouble(d);
+        return common::Status::OK();
+      }
+      break;
+    }
+    case ValueType::kString: {
+      if (v.type() == ValueType::kString) {
+        AppendString(v.AsString());
+        return common::Status::OK();
+      }
+      break;
+    }
+    case ValueType::kNull:
+      break;
+  }
+  return common::Status::TypeMismatch(
+      std::string("cannot store ") + ValueTypeName(v.type()) + " in " +
+      ValueTypeName(type_) + " column");
+}
+
+int64_t Column::Int64At(size_t row) const {
+  MUVE_DCHECK(type_ == ValueType::kInt64);
+  MUVE_DCHECK(row < valid_.size());
+  return ints_[row];
+}
+
+double Column::DoubleAt(size_t row) const {
+  MUVE_DCHECK(type_ == ValueType::kDouble);
+  MUVE_DCHECK(row < valid_.size());
+  return doubles_[row];
+}
+
+const std::string& Column::StringAt(size_t row) const {
+  MUVE_DCHECK(type_ == ValueType::kString);
+  MUVE_DCHECK(row < valid_.size());
+  return strings_[row];
+}
+
+double Column::NumericAt(size_t row) const {
+  switch (type_) {
+    case ValueType::kInt64:
+      return static_cast<double>(ints_[row]);
+    case ValueType::kDouble:
+      return doubles_[row];
+    default:
+      MUVE_CHECK(false) << "NumericAt on non-numeric column";
+      return 0.0;
+  }
+}
+
+Value Column::ValueAt(size_t row) const {
+  MUVE_DCHECK(row < valid_.size());
+  if (!valid_[row]) return Value::Null();
+  switch (type_) {
+    case ValueType::kInt64:
+      return Value(ints_[row]);
+    case ValueType::kDouble:
+      return Value(doubles_[row]);
+    case ValueType::kString:
+      return Value(strings_[row]);
+    case ValueType::kNull:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+common::Result<double> Column::NumericMin() const {
+  if (type_ == ValueType::kString || type_ == ValueType::kNull) {
+    return common::Status::TypeMismatch("NumericMin on non-numeric column");
+  }
+  bool found = false;
+  double best = 0.0;
+  for (size_t i = 0; i < size(); ++i) {
+    if (!valid_[i]) continue;
+    const double v = NumericAt(i);
+    if (!found || v < best) {
+      best = v;
+      found = true;
+    }
+  }
+  if (!found) return common::Status::NotFound("column has no non-null cells");
+  return best;
+}
+
+common::Result<double> Column::NumericMax() const {
+  if (type_ == ValueType::kString || type_ == ValueType::kNull) {
+    return common::Status::TypeMismatch("NumericMax on non-numeric column");
+  }
+  bool found = false;
+  double best = 0.0;
+  for (size_t i = 0; i < size(); ++i) {
+    if (!valid_[i]) continue;
+    const double v = NumericAt(i);
+    if (!found || v > best) {
+      best = v;
+      found = true;
+    }
+  }
+  if (!found) return common::Status::NotFound("column has no non-null cells");
+  return best;
+}
+
+void Column::Reserve(size_t n) {
+  valid_.reserve(n);
+  switch (type_) {
+    case ValueType::kInt64:
+      ints_.reserve(n);
+      break;
+    case ValueType::kDouble:
+      doubles_.reserve(n);
+      break;
+    case ValueType::kString:
+      strings_.reserve(n);
+      break;
+    case ValueType::kNull:
+      break;
+  }
+}
+
+}  // namespace muve::storage

@@ -1,0 +1,67 @@
+// Typed columnar storage.
+//
+// Each column stores its native type in a contiguous vector plus a null
+// bitmap, so scans (filtering, group-by, binned aggregation) run over raw
+// arrays.  `Value`-based access is provided for the generic boundary
+// (SQL results, CSV, tests).
+
+#ifndef MUVE_STORAGE_COLUMN_H_
+#define MUVE_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace muve::storage {
+
+// A single column of one ValueType with per-row validity.
+class Column {
+ public:
+  explicit Column(ValueType type) : type_(type) {}
+
+  ValueType type() const { return type_; }
+  size_t size() const { return valid_.size(); }
+
+  // Appends a cell.  AppendValue type-checks and coerces numerics
+  // (int64 column accepts an integral double and vice versa).
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string v);
+  void AppendNull();
+  common::Status AppendValue(const Value& v);
+
+  bool IsNull(size_t row) const { return !valid_[row]; }
+
+  // Typed fast-path accessors.  Undefined for null cells or wrong types
+  // (checked in debug builds).
+  int64_t Int64At(size_t row) const;
+  double DoubleAt(size_t row) const;
+  const std::string& StringAt(size_t row) const;
+
+  // Numeric read regardless of int64/double storage; aborts for strings.
+  double NumericAt(size_t row) const;
+
+  // Generic access (allocates for strings).
+  Value ValueAt(size_t row) const;
+
+  // Min / max over non-null numeric cells.  Error for string columns or
+  // when the column has no non-null cell.
+  common::Result<double> NumericMin() const;
+  common::Result<double> NumericMax() const;
+
+  void Reserve(size_t n);
+
+ private:
+  ValueType type_;
+  std::vector<bool> valid_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace muve::storage
+
+#endif  // MUVE_STORAGE_COLUMN_H_

@@ -1,0 +1,267 @@
+#include "storage/csv.h"
+
+#include <cerrno>
+#include <charconv>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace muve::storage {
+
+namespace {
+
+// Splits one logical CSV record into fields, honoring double quotes with
+// "" escapes.  `pos` advances past the record (including the newline).
+common::Result<std::vector<std::string>> ParseRecord(const std::string& text,
+                                                     size_t* pos,
+                                                     char delimiter) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  size_t i = *pos;
+  const size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          current.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      current.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      ++i;
+      continue;
+    }
+    if (c == delimiter) {
+      fields.push_back(std::move(current));
+      current.clear();
+      ++i;
+      continue;
+    }
+    if (c == '\n' || c == '\r') {
+      // Consume the newline (handles \r\n).
+      if (c == '\r' && i + 1 < n && text[i + 1] == '\n') ++i;
+      ++i;
+      break;
+    }
+    current.push_back(c);
+    ++i;
+  }
+  if (in_quotes) {
+    return common::Status::ParseError("unterminated quoted CSV field");
+  }
+  fields.push_back(std::move(current));
+  *pos = i;
+  return fields;
+}
+
+bool ParseInt64(const std::string& text, int64_t* out) {
+  const std::string_view sv = common::Trim(text);
+  if (sv.empty()) return false;
+  const char* begin = sv.data();
+  const char* end = sv.data() + sv.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  const std::string trimmed(common::Trim(text));
+  if (trimmed.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  *out = std::strtod(trimmed.c_str(), &end);
+  return errno == 0 && end == trimmed.c_str() + trimmed.size();
+}
+
+common::Result<Value> ParseCell(const std::string& raw, ValueType type) {
+  if (common::Trim(raw).empty()) return Value::Null();
+  switch (type) {
+    case ValueType::kInt64: {
+      int64_t v;
+      if (ParseInt64(raw, &v)) return Value(v);
+      // Accept integral doubles like "3.0" in an int column.
+      double d;
+      if (ParseDouble(raw, &d) && d == static_cast<int64_t>(d)) {
+        return Value(static_cast<int64_t>(d));
+      }
+      return common::Status::ParseError("cannot parse '" + raw +
+                                        "' as int64");
+    }
+    case ValueType::kDouble: {
+      double v;
+      if (ParseDouble(raw, &v)) return Value(v);
+      return common::Status::ParseError("cannot parse '" + raw +
+                                        "' as double");
+    }
+    case ValueType::kString:
+      return Value(raw);
+    case ValueType::kNull:
+      return Value::Null();
+  }
+  return common::Status::Internal("bad ValueType");
+}
+
+// Infers the narrowest type that parses every non-empty cell of a column.
+ValueType InferType(const std::vector<std::vector<std::string>>& records,
+                    size_t col) {
+  bool all_int = true;
+  bool all_double = true;
+  bool any_non_empty = false;
+  for (const auto& rec : records) {
+    if (col >= rec.size()) continue;
+    const std::string& cell = rec[col];
+    if (common::Trim(cell).empty()) continue;
+    any_non_empty = true;
+    int64_t iv;
+    double dv;
+    if (!ParseInt64(cell, &iv)) all_int = false;
+    if (!ParseDouble(cell, &dv)) all_double = false;
+    if (!all_double) break;
+  }
+  if (!any_non_empty) return ValueType::kString;
+  if (all_int) return ValueType::kInt64;
+  if (all_double) return ValueType::kDouble;
+  return ValueType::kString;
+}
+
+}  // namespace
+
+common::Result<Table> ReadCsvString(const std::string& text,
+                                    const CsvOptions& options) {
+  size_t pos = 0;
+  if (text.empty()) {
+    return common::Status::ParseError("empty CSV input");
+  }
+  MUVE_ASSIGN_OR_RETURN(const std::vector<std::string> header,
+                        ParseRecord(text, &pos, options.delimiter));
+
+  std::vector<std::vector<std::string>> records;
+  while (pos < text.size()) {
+    const size_t before = pos;
+    MUVE_ASSIGN_OR_RETURN(std::vector<std::string> rec,
+                          ParseRecord(text, &pos, options.delimiter));
+    if (pos == before) break;  // no progress; defensive
+    // Skip fully blank trailing lines.
+    if (rec.size() == 1 && common::Trim(rec[0]).empty()) continue;
+    if (rec.size() != header.size()) {
+      return common::Status::ParseError(
+          "CSV record has " + std::to_string(rec.size()) + " fields, header has " +
+          std::to_string(header.size()));
+    }
+    records.push_back(std::move(rec));
+  }
+
+  Schema schema;
+  if (options.schema.has_value()) {
+    const Schema& want = *options.schema;
+    if (want.num_fields() != header.size()) {
+      return common::Status::ParseError(
+          "schema arity does not match CSV header");
+    }
+    for (size_t i = 0; i < header.size(); ++i) {
+      if (!common::EqualsIgnoreCase(common::Trim(header[i]),
+                                    want.field(i).name)) {
+        return common::Status::ParseError(
+            "CSV header '" + header[i] + "' does not match schema field '" +
+            want.field(i).name + "'");
+      }
+    }
+    schema = want;
+  } else {
+    for (size_t i = 0; i < header.size(); ++i) {
+      const std::string name(common::Trim(header[i]));
+      if (name.empty()) {
+        return common::Status::ParseError("empty CSV header name");
+      }
+      MUVE_RETURN_IF_ERROR(
+          schema.AddField(Field(name, InferType(records, i))));
+    }
+  }
+
+  Table table(schema);
+  table.Reserve(records.size());
+  std::vector<Value> row(schema.num_fields());
+  for (const auto& rec : records) {
+    for (size_t i = 0; i < rec.size(); ++i) {
+      MUVE_ASSIGN_OR_RETURN(row[i], ParseCell(rec[i], schema.field(i).type));
+    }
+    MUVE_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+common::Result<Table> ReadCsvFile(const std::string& path,
+                                  const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return common::Status::IoError("cannot open file: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ReadCsvString(buf.str(), options);
+}
+
+namespace {
+
+std::string EscapeCsvField(const std::string& field, char delimiter) {
+  const bool needs_quotes =
+      field.find(delimiter) != std::string::npos ||
+      field.find('"') != std::string::npos ||
+      field.find('\n') != std::string::npos ||
+      field.find('\r') != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+std::string WriteCsvString(const Table& table, char delimiter) {
+  std::ostringstream out;
+  const Schema& schema = table.schema();
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    if (c > 0) out << delimiter;
+    out << EscapeCsvField(schema.field(c).name, delimiter);
+  }
+  out << "\n";
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < schema.num_fields(); ++c) {
+      if (c > 0) out << delimiter;
+      out << EscapeCsvField(table.At(r, c).ToString(), delimiter);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+common::Status WriteCsvFile(const Table& table, const std::string& path,
+                            char delimiter) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return common::Status::IoError("cannot open file for write: " + path);
+  }
+  out << WriteCsvString(table, delimiter);
+  if (!out) {
+    return common::Status::IoError("write failed: " + path);
+  }
+  return common::Status::OK();
+}
+
+}  // namespace muve::storage

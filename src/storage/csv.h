@@ -1,0 +1,44 @@
+// CSV import/export for tables.
+//
+// The reader supports a header row, quoted fields, type inference
+// (int64 -> double -> string, with empty fields as NULL), and an optional
+// caller-provided schema for exact typing and role annotations.
+
+#ifndef MUVE_STORAGE_CSV_H_
+#define MUVE_STORAGE_CSV_H_
+
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace muve::storage {
+
+struct CsvOptions {
+  char delimiter = ',';
+  // When set, the file's columns must match the schema by (case-
+  // insensitive) header name; cells parse to the schema's types.
+  // When unset, types are inferred per column.
+  std::optional<Schema> schema;
+};
+
+// Parses CSV text into a table.  The first row is the header.
+common::Result<Table> ReadCsvString(const std::string& text,
+                                    const CsvOptions& options = {});
+
+// Reads a CSV file from disk.
+common::Result<Table> ReadCsvFile(const std::string& path,
+                                  const CsvOptions& options = {});
+
+// Serializes `table` as CSV (header + rows).  Fields containing the
+// delimiter, quotes, or newlines are quoted.
+std::string WriteCsvString(const Table& table, char delimiter = ',');
+
+// Writes `table` to `path`.
+common::Status WriteCsvFile(const Table& table, const std::string& path,
+                            char delimiter = ',');
+
+}  // namespace muve::storage
+
+#endif  // MUVE_STORAGE_CSV_H_

@@ -1,0 +1,50 @@
+#include "storage/group_by.h"
+
+#include <algorithm>
+#include <map>
+
+namespace muve::storage {
+
+common::Result<GroupByResult> GroupByAggregate(const Table& table,
+                                               const RowSet& rows,
+                                               std::string_view dimension,
+                                               std::string_view measure,
+                                               AggregateFunction function) {
+  MUVE_ASSIGN_OR_RETURN(const Column* dim, table.ColumnByName(dimension));
+  MUVE_ASSIGN_OR_RETURN(const Column* mea, table.ColumnByName(measure));
+  if (mea->type() == ValueType::kString &&
+      function != AggregateFunction::kCount) {
+    return common::Status::TypeMismatch(
+        "cannot aggregate string measure '" + std::string(measure) +
+        "' with " + AggregateName(function));
+  }
+
+  // An ordered map keeps groups sorted by key, which the distribution and
+  // accuracy computations downstream rely on.
+  std::map<Value, AggregateAccumulator> groups;
+  const bool is_count = function == AggregateFunction::kCount;
+  for (uint32_t row : rows) {
+    if (dim->IsNull(row)) continue;
+    // SQL semantics: COUNT(M) also ignores NULL measures.
+    if (mea->IsNull(row)) continue;
+    const Value key = dim->ValueAt(row);
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      it = groups.emplace(key, AggregateAccumulator(function)).first;
+    }
+    it->second.Add(is_count ? 1.0 : mea->NumericAt(row));
+  }
+
+  GroupByResult out;
+  out.keys.reserve(groups.size());
+  out.aggregates.reserve(groups.size());
+  out.row_counts.reserve(groups.size());
+  for (const auto& [key, acc] : groups) {
+    out.keys.push_back(key);
+    out.aggregates.push_back(acc.Finish());
+    out.row_counts.push_back(acc.count());
+  }
+  return out;
+}
+
+}  // namespace muve::storage

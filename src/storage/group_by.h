@@ -1,0 +1,42 @@
+// Single-attribute group-by aggregation (the paper's non-binned views).
+//
+// `SELECT A, F(M) FROM ... GROUP BY A` over a RowSet produces the ordered
+// series <(a_1, g_1), ..., (a_t, g_t)> of Section II-A, where t is the
+// number of distinct A values among the selected rows.
+
+#ifndef MUVE_STORAGE_GROUP_BY_H_
+#define MUVE_STORAGE_GROUP_BY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/aggregate.h"
+#include "storage/table.h"
+
+namespace muve::storage {
+
+// Result of a single-attribute group-by: parallel arrays sorted ascending
+// by group key.
+struct GroupByResult {
+  std::vector<Value> keys;
+  std::vector<double> aggregates;
+  std::vector<size_t> row_counts;  // rows contributing to each group
+
+  size_t num_groups() const { return keys.size(); }
+};
+
+// Groups `rows` of `table` by `dimension` and aggregates `measure` with
+// `function`.  Rows whose dimension or measure is NULL are skipped
+// (COUNT(M) follows SQL semantics and ignores NULL measures; its value is
+// otherwise not read).
+common::Result<GroupByResult> GroupByAggregate(const Table& table,
+                                               const RowSet& rows,
+                                               std::string_view dimension,
+                                               std::string_view measure,
+                                               AggregateFunction function);
+
+}  // namespace muve::storage
+
+#endif  // MUVE_STORAGE_GROUP_BY_H_

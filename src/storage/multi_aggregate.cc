@@ -1,0 +1,130 @@
+#include "storage/multi_aggregate.h"
+
+#include <map>
+
+namespace muve::storage {
+
+namespace {
+
+common::Status ValidateSpecs(const Table& table,
+                             const std::vector<AggregateSpec>& specs,
+                             std::vector<const Column*>* columns) {
+  if (specs.empty()) {
+    return common::Status::InvalidArgument("empty aggregate spec batch");
+  }
+  columns->reserve(specs.size());
+  for (const AggregateSpec& spec : specs) {
+    MUVE_ASSIGN_OR_RETURN(const Column* col,
+                          table.ColumnByName(spec.measure));
+    if (col->type() == ValueType::kString &&
+        spec.function != AggregateFunction::kCount) {
+      return common::Status::TypeMismatch(
+          "cannot aggregate string measure '" + spec.measure + "' with " +
+          AggregateName(spec.function));
+    }
+    columns->push_back(col);
+  }
+  return common::Status::OK();
+}
+
+}  // namespace
+
+common::Result<std::vector<BinnedResult>> MultiBinnedAggregate(
+    const Table& table, const RowSet& rows, std::string_view dimension,
+    const std::vector<AggregateSpec>& specs, int num_bins, double lo,
+    double hi) {
+  if (num_bins < 1) {
+    return common::Status::InvalidArgument("number of bins must be >= 1");
+  }
+  if (hi < lo) {
+    return common::Status::InvalidArgument("binning range is inverted");
+  }
+  MUVE_ASSIGN_OR_RETURN(const Column* dim, table.ColumnByName(dimension));
+  if (dim->type() == ValueType::kString) {
+    return common::Status::TypeMismatch("cannot bin string dimension '" +
+                                        std::string(dimension) + "'");
+  }
+  std::vector<const Column*> measures;
+  MUVE_RETURN_IF_ERROR(ValidateSpecs(table, specs, &measures));
+
+  // One accumulator grid: specs x bins.
+  std::vector<std::vector<AggregateAccumulator>> grid;
+  grid.reserve(specs.size());
+  for (const AggregateSpec& spec : specs) {
+    grid.emplace_back(static_cast<size_t>(num_bins),
+                      AggregateAccumulator(spec.function));
+  }
+
+  for (uint32_t row : rows) {
+    if (dim->IsNull(row)) continue;
+    const int bin = BinIndexFor(dim->NumericAt(row), lo, hi, num_bins);
+    for (size_t s = 0; s < specs.size(); ++s) {
+      if (measures[s]->IsNull(row)) continue;
+      const bool is_count = specs[s].function == AggregateFunction::kCount;
+      grid[s][static_cast<size_t>(bin)].Add(
+          is_count ? 1.0 : measures[s]->NumericAt(row));
+    }
+  }
+
+  std::vector<BinnedResult> out(specs.size());
+  for (size_t s = 0; s < specs.size(); ++s) {
+    out[s].lo = lo;
+    out[s].hi = hi;
+    out[s].num_bins = num_bins;
+    out[s].aggregates.reserve(static_cast<size_t>(num_bins));
+    out[s].row_counts.reserve(static_cast<size_t>(num_bins));
+    for (const AggregateAccumulator& acc : grid[s]) {
+      out[s].aggregates.push_back(acc.Finish());
+      out[s].row_counts.push_back(acc.count());
+    }
+  }
+  return out;
+}
+
+common::Result<std::vector<GroupByResult>> MultiGroupByAggregate(
+    const Table& table, const RowSet& rows, std::string_view dimension,
+    const std::vector<AggregateSpec>& specs) {
+  MUVE_ASSIGN_OR_RETURN(const Column* dim, table.ColumnByName(dimension));
+  std::vector<const Column*> measures;
+  MUVE_RETURN_IF_ERROR(ValidateSpecs(table, specs, &measures));
+
+  // Ordered groups, one accumulator per spec per group.
+  std::map<Value, std::vector<AggregateAccumulator>> groups;
+  auto make_row = [&specs] {
+    std::vector<AggregateAccumulator> accs;
+    accs.reserve(specs.size());
+    for (const AggregateSpec& spec : specs) {
+      accs.emplace_back(spec.function);
+    }
+    return accs;
+  };
+
+  for (uint32_t row : rows) {
+    if (dim->IsNull(row)) continue;
+    const Value key = dim->ValueAt(row);
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      it = groups.emplace(key, make_row()).first;
+    }
+    for (size_t s = 0; s < specs.size(); ++s) {
+      if (measures[s]->IsNull(row)) continue;
+      const bool is_count = specs[s].function == AggregateFunction::kCount;
+      it->second[s].Add(is_count ? 1.0 : measures[s]->NumericAt(row));
+    }
+  }
+
+  std::vector<GroupByResult> out(specs.size());
+  for (const auto& [key, accs] : groups) {
+    for (size_t s = 0; s < specs.size(); ++s) {
+      // Match per-spec GroupByAggregate: groups with no contributing rows
+      // for this measure do not appear in its result.
+      if (accs[s].count() == 0) continue;
+      out[s].keys.push_back(key);
+      out[s].aggregates.push_back(accs[s].Finish());
+      out[s].row_counts.push_back(accs[s].count());
+    }
+  }
+  return out;
+}
+
+}  // namespace muve::storage

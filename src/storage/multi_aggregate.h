@@ -1,0 +1,46 @@
+// Shared-scan aggregation: SeeDB's "shared computation among views"
+// optimization (cited in Section II-A as orthogonal to MuVE's pruning).
+//
+// All candidate views that share a dimension A and a bin count b differ
+// only in their (measure, function) pair, so a single scan of the data
+// can feed every pair's accumulator at once — one bin-index computation
+// per row instead of |M| x |F| of them.  The executor exposes batch
+// variants of the two aggregation kernels; results are bit-identical to
+// running the single-view kernels per pair.
+
+#ifndef MUVE_STORAGE_MULTI_AGGREGATE_H_
+#define MUVE_STORAGE_MULTI_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/binned_group_by.h"
+#include "storage/group_by.h"
+
+namespace muve::storage {
+
+// One (measure, function) pair of a shared batch.
+struct AggregateSpec {
+  std::string measure;
+  AggregateFunction function = AggregateFunction::kSum;
+};
+
+// Binned aggregation of every spec over one scan.  Equivalent to calling
+// BinnedAggregate per spec; same argument validation applies to each
+// spec's measure.
+common::Result<std::vector<BinnedResult>> MultiBinnedAggregate(
+    const Table& table, const RowSet& rows, std::string_view dimension,
+    const std::vector<AggregateSpec>& specs, int num_bins, double lo,
+    double hi);
+
+// Raw (non-binned) group-by of every spec over one scan.  Group sets can
+// differ per spec when measures have NULLs in different rows, exactly as
+// with per-spec GroupByAggregate calls.
+common::Result<std::vector<GroupByResult>> MultiGroupByAggregate(
+    const Table& table, const RowSet& rows, std::string_view dimension,
+    const std::vector<AggregateSpec>& specs);
+
+}  // namespace muve::storage
+
+#endif  // MUVE_STORAGE_MULTI_AGGREGATE_H_

@@ -1,0 +1,268 @@
+#include "storage/predicate.h"
+
+#include <utility>
+
+namespace muve::storage {
+
+const char* CompareOpSymbol(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+namespace {
+
+class ComparisonPredicate final : public Predicate {
+ public:
+  ComparisonPredicate(std::string column, CompareOp op, Value literal)
+      : column_(std::move(column)), op_(op), literal_(std::move(literal)) {}
+
+  common::Status Bind(const Schema& schema) override {
+    MUVE_ASSIGN_OR_RETURN(index_, schema.FieldIndex(column_));
+    bound_ = true;
+    return common::Status::OK();
+  }
+
+  bool Matches(const Table& table, size_t row) const override {
+    const Value v = table.column(index_).ValueAt(row);
+    if (v.is_null() || literal_.is_null()) return false;
+    switch (op_) {
+      case CompareOp::kEq:
+        return v == literal_;
+      case CompareOp::kNe:
+        return v != literal_;
+      case CompareOp::kLt:
+        return v < literal_;
+      case CompareOp::kLe:
+        return v < literal_ || v == literal_;
+      case CompareOp::kGt:
+        return literal_ < v;
+      case CompareOp::kGe:
+        return literal_ < v || v == literal_;
+    }
+    return false;
+  }
+
+  std::string ToString() const override {
+    return column_ + " " + CompareOpSymbol(op_) + " " + literal_.ToString();
+  }
+
+ private:
+  std::string column_;
+  CompareOp op_;
+  Value literal_;
+  size_t index_ = 0;
+  bool bound_ = false;
+};
+
+class BetweenPredicate final : public Predicate {
+ public:
+  BetweenPredicate(std::string column, Value lo, Value hi)
+      : column_(std::move(column)), lo_(std::move(lo)), hi_(std::move(hi)) {}
+
+  common::Status Bind(const Schema& schema) override {
+    MUVE_ASSIGN_OR_RETURN(index_, schema.FieldIndex(column_));
+    return common::Status::OK();
+  }
+
+  bool Matches(const Table& table, size_t row) const override {
+    const Value v = table.column(index_).ValueAt(row);
+    if (v.is_null() || lo_.is_null() || hi_.is_null()) return false;
+    const bool ge_lo = lo_ < v || v == lo_;
+    const bool le_hi = v < hi_ || v == hi_;
+    return ge_lo && le_hi;
+  }
+
+  std::string ToString() const override {
+    return column_ + " BETWEEN " + lo_.ToString() + " AND " + hi_.ToString();
+  }
+
+ private:
+  std::string column_;
+  Value lo_;
+  Value hi_;
+  size_t index_ = 0;
+};
+
+class InListPredicate final : public Predicate {
+ public:
+  InListPredicate(std::string column, std::vector<Value> values)
+      : column_(std::move(column)), values_(std::move(values)) {}
+
+  common::Status Bind(const Schema& schema) override {
+    MUVE_ASSIGN_OR_RETURN(index_, schema.FieldIndex(column_));
+    return common::Status::OK();
+  }
+
+  bool Matches(const Table& table, size_t row) const override {
+    const Value v = table.column(index_).ValueAt(row);
+    if (v.is_null()) return false;
+    for (const Value& candidate : values_) {
+      if (v == candidate) return true;
+    }
+    return false;
+  }
+
+  std::string ToString() const override {
+    std::string out = column_ + " IN (";
+    for (size_t i = 0; i < values_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += values_[i].ToString();
+    }
+    return out + ")";
+  }
+
+ private:
+  std::string column_;
+  std::vector<Value> values_;
+  size_t index_ = 0;
+};
+
+class IsNullPredicate final : public Predicate {
+ public:
+  IsNullPredicate(std::string column, bool negate)
+      : column_(std::move(column)), negate_(negate) {}
+
+  common::Status Bind(const Schema& schema) override {
+    MUVE_ASSIGN_OR_RETURN(index_, schema.FieldIndex(column_));
+    return common::Status::OK();
+  }
+
+  bool Matches(const Table& table, size_t row) const override {
+    return table.column(index_).IsNull(row) != negate_;
+  }
+
+  std::string ToString() const override {
+    return column_ + (negate_ ? " IS NOT NULL" : " IS NULL");
+  }
+
+ private:
+  std::string column_;
+  bool negate_;
+  size_t index_ = 0;
+};
+
+class BinaryLogicalPredicate final : public Predicate {
+ public:
+  enum class Kind { kAnd, kOr };
+
+  BinaryLogicalPredicate(Kind kind, PredicatePtr lhs, PredicatePtr rhs)
+      : kind_(kind), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  common::Status Bind(const Schema& schema) override {
+    MUVE_RETURN_IF_ERROR(lhs_->Bind(schema));
+    return rhs_->Bind(schema);
+  }
+
+  bool Matches(const Table& table, size_t row) const override {
+    if (kind_ == Kind::kAnd) {
+      return lhs_->Matches(table, row) && rhs_->Matches(table, row);
+    }
+    return lhs_->Matches(table, row) || rhs_->Matches(table, row);
+  }
+
+  std::string ToString() const override {
+    return "(" + lhs_->ToString() +
+           (kind_ == Kind::kAnd ? " AND " : " OR ") + rhs_->ToString() + ")";
+  }
+
+ private:
+  Kind kind_;
+  PredicatePtr lhs_;
+  PredicatePtr rhs_;
+};
+
+class NotPredicate final : public Predicate {
+ public:
+  explicit NotPredicate(PredicatePtr inner) : inner_(std::move(inner)) {}
+
+  common::Status Bind(const Schema& schema) override {
+    return inner_->Bind(schema);
+  }
+
+  bool Matches(const Table& table, size_t row) const override {
+    return !inner_->Matches(table, row);
+  }
+
+  std::string ToString() const override {
+    return "NOT (" + inner_->ToString() + ")";
+  }
+
+ private:
+  PredicatePtr inner_;
+};
+
+class TruePredicate final : public Predicate {
+ public:
+  common::Status Bind(const Schema&) override { return common::Status::OK(); }
+  bool Matches(const Table&, size_t) const override { return true; }
+  std::string ToString() const override { return "TRUE"; }
+};
+
+}  // namespace
+
+PredicatePtr MakeComparison(std::string column, CompareOp op, Value literal) {
+  return std::make_unique<ComparisonPredicate>(std::move(column), op,
+                                               std::move(literal));
+}
+
+PredicatePtr MakeBetween(std::string column, Value lo, Value hi) {
+  return std::make_unique<BetweenPredicate>(std::move(column), std::move(lo),
+                                            std::move(hi));
+}
+
+PredicatePtr MakeInList(std::string column, std::vector<Value> values) {
+  return std::make_unique<InListPredicate>(std::move(column),
+                                           std::move(values));
+}
+
+PredicatePtr MakeIsNull(std::string column, bool negate) {
+  return std::make_unique<IsNullPredicate>(std::move(column), negate);
+}
+
+PredicatePtr MakeAnd(PredicatePtr lhs, PredicatePtr rhs) {
+  return std::make_unique<BinaryLogicalPredicate>(
+      BinaryLogicalPredicate::Kind::kAnd, std::move(lhs), std::move(rhs));
+}
+
+PredicatePtr MakeOr(PredicatePtr lhs, PredicatePtr rhs) {
+  return std::make_unique<BinaryLogicalPredicate>(
+      BinaryLogicalPredicate::Kind::kOr, std::move(lhs), std::move(rhs));
+}
+
+PredicatePtr MakeNot(PredicatePtr inner) {
+  return std::make_unique<NotPredicate>(std::move(inner));
+}
+
+PredicatePtr MakeTrue() { return std::make_unique<TruePredicate>(); }
+
+common::Result<RowSet> Filter(const Table& table, Predicate* pred,
+                              const RowSet* base) {
+  MUVE_RETURN_IF_ERROR(pred->Bind(table.schema()));
+  RowSet out;
+  if (base != nullptr) {
+    for (uint32_t row : *base) {
+      if (pred->Matches(table, row)) out.push_back(row);
+    }
+  } else {
+    const size_t n = table.num_rows();
+    for (size_t row = 0; row < n; ++row) {
+      if (pred->Matches(table, row)) out.push_back(static_cast<uint32_t>(row));
+    }
+  }
+  return out;
+}
+
+}  // namespace muve::storage

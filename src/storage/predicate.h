@@ -1,0 +1,64 @@
+// Row predicates for WHERE-clause evaluation.
+//
+// A predicate tree is built unbound (names only), bound once against a
+// table's schema (resolving column indexes), and then evaluated per row
+// during a filter scan.  NULL handling is simplified two-valued logic: any
+// comparison involving NULL is false, and NOT flips that (documented
+// deviation from SQL's three-valued logic; the MuVE datasets contain no
+// NULLs on predicate columns).
+
+#ifndef MUVE_STORAGE_PREDICATE_H_
+#define MUVE_STORAGE_PREDICATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace muve::storage {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpSymbol(CompareOp op);
+
+// Abstract predicate node.
+class Predicate {
+ public:
+  virtual ~Predicate() = default;
+
+  // Resolves column references against `schema`.  Must be called (and
+  // succeed) before Matches.
+  virtual common::Status Bind(const Schema& schema) = 0;
+
+  // True when `row` of `table` satisfies the predicate.
+  virtual bool Matches(const Table& table, size_t row) const = 0;
+
+  virtual std::string ToString() const = 0;
+};
+
+using PredicatePtr = std::unique_ptr<Predicate>;
+
+// column <op> literal
+PredicatePtr MakeComparison(std::string column, CompareOp op, Value literal);
+// column BETWEEN lo AND hi (inclusive)
+PredicatePtr MakeBetween(std::string column, Value lo, Value hi);
+// column IN (v1, v2, ...); NULL cells never match
+PredicatePtr MakeInList(std::string column, std::vector<Value> values);
+// column IS NULL (negate == true gives IS NOT NULL)
+PredicatePtr MakeIsNull(std::string column, bool negate = false);
+PredicatePtr MakeAnd(PredicatePtr lhs, PredicatePtr rhs);
+PredicatePtr MakeOr(PredicatePtr lhs, PredicatePtr rhs);
+PredicatePtr MakeNot(PredicatePtr inner);
+// Matches every row (absent WHERE clause).
+PredicatePtr MakeTrue();
+
+// Scans `table` (restricted to `base` when non-null) and returns matching
+// row indexes.  Binds `pred` as part of the call.
+common::Result<RowSet> Filter(const Table& table, Predicate* pred,
+                              const RowSet* base = nullptr);
+
+}  // namespace muve::storage
+
+#endif  // MUVE_STORAGE_PREDICATE_H_

@@ -1,0 +1,88 @@
+#include "storage/schema.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace muve::storage {
+
+const char* FieldRoleName(FieldRole role) {
+  switch (role) {
+    case FieldRole::kNone:
+      return "none";
+    case FieldRole::kDimension:
+      return "dimension";
+    case FieldRole::kMeasure:
+      return "measure";
+    case FieldRole::kCategoricalDimension:
+      return "categorical_dimension";
+  }
+  return "unknown";
+}
+
+Schema::Schema(std::vector<Field> fields) {
+  for (auto& f : fields) {
+    const common::Status st = AddField(std::move(f));
+    MUVE_CHECK(st.ok()) << st.ToString();
+  }
+}
+
+common::Status Schema::AddField(Field field) {
+  const std::string key = common::ToLower(field.name);
+  if (index_.contains(key)) {
+    return common::Status::AlreadyExists("duplicate field name: " +
+                                         field.name);
+  }
+  index_.emplace(key, fields_.size());
+  fields_.push_back(std::move(field));
+  return common::Status::OK();
+}
+
+common::Result<size_t> Schema::FieldIndex(std::string_view name) const {
+  const auto it = index_.find(common::ToLower(name));
+  if (it == index_.end()) {
+    return common::Status::NotFound("no field named '" + std::string(name) +
+                                    "'");
+  }
+  return it->second;
+}
+
+bool Schema::HasField(std::string_view name) const {
+  return index_.contains(common::ToLower(name));
+}
+
+std::vector<std::string> Schema::FieldNamesWithRole(FieldRole role) const {
+  std::vector<std::string> names;
+  for (const Field& f : fields_) {
+    if (f.role == role) names.push_back(f.name);
+  }
+  return names;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += ValueTypeName(fields_[i].type);
+    if (fields_[i].role != FieldRole::kNone) {
+      out += ":";
+      out += FieldRoleName(fields_[i].role);
+    }
+  }
+  return out;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name != other.fields_[i].name ||
+        fields_[i].type != other.fields_[i].type ||
+        fields_[i].role != other.fields_[i].role) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace muve::storage

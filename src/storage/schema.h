@@ -1,0 +1,82 @@
+// Schema description for in-memory tables.
+//
+// In the MuVE data model (Section II-A) a multi-dimensional database
+// consists of dimension attributes (group-by candidates) and measure
+// attributes (aggregation candidates).  `FieldRole` records that
+// designation directly in the schema so dataset definitions, the SQL
+// binder, and the view-space enumerator all agree on which attributes are
+// dimensions and which are measures.
+
+#ifndef MUVE_STORAGE_SCHEMA_H_
+#define MUVE_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace muve::storage {
+
+// How an attribute participates in view recommendation.
+enum class FieldRole {
+  kNone = 0,   // neither dimension nor measure (e.g. primary key, label)
+  kDimension,  // numerical group-by attribute (the paper's A)
+  kMeasure,    // aggregated attribute (the paper's M)
+  // Categorical group-by attribute: views over it need no binning (the
+  // SeeDB setting the paper extends); its single candidate view is
+  // scored with usability 1/(number of distinct groups) and accuracy 1.
+  kCategoricalDimension,
+};
+
+const char* FieldRoleName(FieldRole role);
+
+// One column's name, storage type, and recommendation role.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kDouble;
+  FieldRole role = FieldRole::kNone;
+
+  Field() = default;
+  Field(std::string name_in, ValueType type_in,
+        FieldRole role_in = FieldRole::kNone)
+      : name(std::move(name_in)), type(type_in), role(role_in) {}
+};
+
+// An ordered list of fields with O(1) name lookup.  Field names are
+// case-insensitive for lookup (SQL semantics) but preserve their declared
+// spelling.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  // Appends a field.  Returns AlreadyExists when the (case-insensitive)
+  // name is taken.
+  common::Status AddField(Field field);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  // Index of the named field, or NotFound.
+  common::Result<size_t> FieldIndex(std::string_view name) const;
+  bool HasField(std::string_view name) const;
+
+  // All field names whose role matches, in declaration order.
+  std::vector<std::string> FieldNamesWithRole(FieldRole role) const;
+
+  // "name:type:role, ..." for debugging.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, size_t> index_;  // lowercase name -> index
+};
+
+}  // namespace muve::storage
+
+#endif  // MUVE_STORAGE_SCHEMA_H_

@@ -1,0 +1,108 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace muve::storage {
+
+RowSet AllRows(size_t n) {
+  RowSet rows(n);
+  for (size_t i = 0; i < n; ++i) rows[i] = static_cast<uint32_t>(i);
+  return rows;
+}
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (const Field& f : schema_.fields()) {
+    columns_.push_back(std::make_unique<Column>(f.type));
+  }
+}
+
+common::Result<const Column*> Table::ColumnByName(std::string_view name) const {
+  MUVE_ASSIGN_OR_RETURN(const size_t idx, schema_.FieldIndex(name));
+  return columns_[idx].get();
+}
+
+common::Status Table::AppendRow(const std::vector<Value>& values) {
+  if (values.size() != columns_.size()) {
+    return common::Status::InvalidArgument(
+        "row arity " + std::to_string(values.size()) + " != schema arity " +
+        std::to_string(columns_.size()));
+  }
+  // Validate all cells before mutating any column so a failed append
+  // leaves the table unchanged.
+  for (size_t i = 0; i < values.size(); ++i) {
+    const Value& v = values[i];
+    if (v.is_null()) continue;
+    const ValueType ct = columns_[i]->type();
+    const bool ok =
+        (ct == ValueType::kString && v.type() == ValueType::kString) ||
+        (ct == ValueType::kDouble && v.is_numeric()) ||
+        (ct == ValueType::kInt64 && v.type() == ValueType::kInt64) ||
+        (ct == ValueType::kInt64 && v.type() == ValueType::kDouble &&
+         v.AsDoubleExact() == static_cast<int64_t>(v.AsDoubleExact()));
+    if (!ok) {
+      return common::Status::TypeMismatch(
+          "column '" + schema_.field(i).name + "' expects " +
+          ValueTypeName(ct) + ", got " + ValueTypeName(v.type()));
+    }
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    const common::Status st = columns_[i]->AppendValue(values[i]);
+    MUVE_CHECK(st.ok()) << st.ToString();
+  }
+  ++num_rows_;
+  return common::Status::OK();
+}
+
+void Table::Reserve(size_t n) {
+  for (auto& c : columns_) c->Reserve(n);
+}
+
+Table Table::Clone() const {
+  Table copy(schema_);
+  copy.columns_.clear();
+  for (const auto& col : columns_) {
+    copy.columns_.push_back(std::make_unique<Column>(*col));
+  }
+  copy.num_rows_ = num_rows_;
+  return copy;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::ostringstream out;
+  std::vector<size_t> widths(num_columns());
+  const size_t shown = std::min(max_rows, num_rows_);
+  std::vector<std::vector<std::string>> cells(shown);
+  for (size_t c = 0; c < num_columns(); ++c) {
+    widths[c] = schema_.field(c).name.size();
+  }
+  for (size_t r = 0; r < shown; ++r) {
+    cells[r].resize(num_columns());
+    for (size_t c = 0; c < num_columns(); ++c) {
+      cells[r][c] = At(r, c).ToString();
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  for (size_t c = 0; c < num_columns(); ++c) {
+    if (c > 0) out << "  ";
+    out << common::PadRight(schema_.field(c).name, widths[c]);
+  }
+  out << "\n";
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < num_columns(); ++c) {
+      if (c > 0) out << "  ";
+      out << common::PadRight(cells[r][c], widths[c]);
+    }
+    out << "\n";
+  }
+  if (shown < num_rows_) {
+    out << "... (" << num_rows_ - shown << " more rows)\n";
+  }
+  return out.str();
+}
+
+}  // namespace muve::storage

@@ -1,0 +1,63 @@
+// In-memory columnar table.
+//
+// Tables are append-only collections of typed columns.  Query operators
+// (filter, group-by, binned aggregation) work over a `RowSet` — a list of
+// selected row indexes — so subsets like the paper's D_Q (the query result
+// being visually analyzed) never copy the data.
+
+#ifndef MUVE_STORAGE_TABLE_H_
+#define MUVE_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column.h"
+#include "storage/schema.h"
+
+namespace muve::storage {
+
+// Indexes of selected rows, sorted ascending by construction.
+using RowSet = std::vector<uint32_t>;
+
+// Returns {0, 1, ..., n-1}.
+RowSet AllRows(size_t n);
+
+class Table {
+ public:
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  const Column& column(size_t i) const { return *columns_[i]; }
+  // Column lookup by (case-insensitive) name; NotFound on miss.
+  common::Result<const Column*> ColumnByName(std::string_view name) const;
+
+  // Appends one row; `values` must match the schema arity and types
+  // (numeric coercion per Column::AppendValue applies).
+  common::Status AppendRow(const std::vector<Value>& values);
+
+  // Cell access via Value (allocates for strings).
+  Value At(size_t row, size_t col) const { return columns_[col]->ValueAt(row); }
+
+  void Reserve(size_t n);
+
+  // Deep copy (tables are move-only otherwise; columns own their data).
+  Table Clone() const;
+
+  // First `max_rows` rows rendered as an aligned text table (debugging).
+  std::string ToString(size_t max_rows = 10) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::unique_ptr<Column>> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace muve::storage
+
+#endif  // MUVE_STORAGE_TABLE_H_

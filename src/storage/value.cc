@@ -1,0 +1,161 @@
+#include "storage/value.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace muve::storage {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+ValueType Value::type() const {
+  switch (data_.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kInt64;
+    case 2:
+      return ValueType::kDouble;
+    case 3:
+      return ValueType::kString;
+  }
+  return ValueType::kNull;
+}
+
+int64_t Value::AsInt64() const {
+  MUVE_CHECK(type() == ValueType::kInt64) << "Value is " << ValueTypeName(type());
+  return std::get<int64_t>(data_);
+}
+
+double Value::AsDoubleExact() const {
+  MUVE_CHECK(type() == ValueType::kDouble) << "Value is " << ValueTypeName(type());
+  return std::get<double>(data_);
+}
+
+const std::string& Value::AsString() const {
+  MUVE_CHECK(type() == ValueType::kString) << "Value is " << ValueTypeName(type());
+  return std::get<std::string>(data_);
+}
+
+common::Result<double> Value::ToDouble() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return static_cast<double>(std::get<int64_t>(data_));
+    case ValueType::kDouble:
+      return std::get<double>(data_);
+    case ValueType::kNull:
+      return common::Status::TypeMismatch("cannot convert NULL to double");
+    case ValueType::kString:
+      return common::Status::TypeMismatch("cannot convert string '" +
+                                          std::get<std::string>(data_) +
+                                          "' to double");
+  }
+  return common::Status::Internal("corrupt Value");
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kInt64:
+      return std::to_string(std::get<int64_t>(data_));
+    case ValueType::kDouble: {
+      const double d = std::get<double>(data_);
+      if (d == std::floor(d) && std::abs(d) < 1e15) {
+        // Render integral doubles without a trailing ".000000".
+        return common::FormatDouble(d, 1);
+      }
+      return common::FormatDouble(d, 6);
+    }
+    case ValueType::kString:
+      return std::get<std::string>(data_);
+  }
+  return "";
+}
+
+bool Value::operator==(const Value& other) const {
+  const ValueType a = type();
+  const ValueType b = other.type();
+  if (a == ValueType::kNull || b == ValueType::kNull) {
+    return a == b;
+  }
+  if (is_numeric() && other.is_numeric()) {
+    const double lhs = a == ValueType::kInt64
+                           ? static_cast<double>(std::get<int64_t>(data_))
+                           : std::get<double>(data_);
+    const double rhs = b == ValueType::kInt64
+                           ? static_cast<double>(std::get<int64_t>(other.data_))
+                           : std::get<double>(other.data_);
+    return lhs == rhs;
+  }
+  if (a != b) return false;
+  return data_ == other.data_;
+}
+
+bool Value::operator<(const Value& other) const {
+  const ValueType a = type();
+  const ValueType b = other.type();
+  // Null < numerics < strings.
+  auto rank = [](ValueType t) {
+    switch (t) {
+      case ValueType::kNull:
+        return 0;
+      case ValueType::kInt64:
+      case ValueType::kDouble:
+        return 1;
+      case ValueType::kString:
+        return 2;
+    }
+    return 3;
+  };
+  if (rank(a) != rank(b)) return rank(a) < rank(b);
+  if (a == ValueType::kNull) return false;
+  if (is_numeric()) {
+    const double lhs = a == ValueType::kInt64
+                           ? static_cast<double>(std::get<int64_t>(data_))
+                           : std::get<double>(data_);
+    const double rhs = b == ValueType::kInt64
+                           ? static_cast<double>(std::get<int64_t>(other.data_))
+                           : std::get<double>(other.data_);
+    return lhs < rhs;
+  }
+  return std::get<std::string>(data_) < std::get<std::string>(other.data_);
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9E3779B9u;
+    case ValueType::kInt64: {
+      // Hash integral values through double so that Value(1) and Value(1.0)
+      // (which compare equal) also hash equal.
+      const double d = static_cast<double>(std::get<int64_t>(data_));
+      return std::hash<double>{}(d);
+    }
+    case ValueType::kDouble:
+      return std::hash<double>{}(std::get<double>(data_));
+    case ValueType::kString:
+      return std::hash<std::string>{}(std::get<std::string>(data_));
+  }
+  return 0;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  if (value.is_null()) return os << "NULL";
+  return os << value.ToString();
+}
+
+}  // namespace muve::storage

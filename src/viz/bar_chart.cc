@@ -1,0 +1,113 @@
+#include "viz/bar_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace muve::viz {
+
+namespace {
+
+std::vector<double> MaybeNormalize(const std::vector<double>& values,
+                                   bool normalize) {
+  if (!normalize) return values;
+  double total = 0.0;
+  for (double v : values) total += std::max(v, 0.0);
+  if (total <= 0.0) return std::vector<double>(values.size(), 0.0);
+  std::vector<double> out(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    out[i] = std::max(values[i], 0.0) / total;
+  }
+  return out;
+}
+
+size_t BarLength(double value, double max_value, size_t max_width) {
+  if (max_value <= 0.0 || value <= 0.0) return 0;
+  return static_cast<size_t>(
+      std::lround(value / max_value * static_cast<double>(max_width)));
+}
+
+}  // namespace
+
+std::string RenderBarChart(const Series& series,
+                           const BarChartOptions& options) {
+  MUVE_CHECK(series.labels.size() == series.values.size())
+      << "label/value size mismatch";
+  const std::vector<double> values =
+      MaybeNormalize(series.values, options.normalize);
+  double max_value = 0.0;
+  size_t label_width = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    max_value = std::max(max_value, values[i]);
+    label_width = std::max(label_width, series.labels[i].size());
+  }
+  std::ostringstream out;
+  if (!series.title.empty()) out << series.title << "\n";
+  for (size_t i = 0; i < values.size(); ++i) {
+    const size_t len =
+        BarLength(values[i], max_value, options.max_bar_width);
+    out << common::PadRight(series.labels[i], label_width) << " | "
+        << std::string(len, options.bar_char) << " "
+        << common::FormatDouble(values[i], options.value_precision) << "\n";
+  }
+  return out.str();
+}
+
+std::string RenderSideBySide(const Series& left, const Series& right,
+                             const BarChartOptions& options) {
+  MUVE_CHECK(left.labels.size() == left.values.size());
+  MUVE_CHECK(right.labels.size() == right.values.size());
+  MUVE_CHECK(left.labels.size() == right.labels.size())
+      << "side-by-side series must share labels";
+
+  const std::vector<double> lv = MaybeNormalize(left.values, options.normalize);
+  const std::vector<double> rv =
+      MaybeNormalize(right.values, options.normalize);
+  double lmax = 0.0;
+  double rmax = 0.0;
+  size_t label_width = 0;
+  for (size_t i = 0; i < lv.size(); ++i) {
+    lmax = std::max(lmax, lv[i]);
+    rmax = std::max(rmax, rv[i]);
+    label_width = std::max(label_width, left.labels[i].size());
+  }
+  const size_t half = options.max_bar_width / 2;
+
+  std::ostringstream out;
+  out << common::PadRight("", label_width) << "   "
+      << common::PadRight(left.title, half + 10) << "| " << right.title
+      << "\n";
+  for (size_t i = 0; i < lv.size(); ++i) {
+    const size_t llen = BarLength(lv[i], lmax, half);
+    const size_t rlen = BarLength(rv[i], rmax, half);
+    std::string lbar = std::string(llen, options.bar_char) + " " +
+                       common::FormatDouble(lv[i], options.value_precision);
+    out << common::PadRight(left.labels[i], label_width) << " | "
+        << common::PadRight(lbar, half + 10) << "| "
+        << std::string(rlen, options.bar_char) << " "
+        << common::FormatDouble(rv[i], options.value_precision) << "\n";
+  }
+  return out.str();
+}
+
+std::vector<std::string> BinLabels(double lo, double hi, int num_bins,
+                                   int precision) {
+  std::vector<std::string> labels;
+  labels.reserve(static_cast<size_t>(num_bins));
+  const double width =
+      num_bins > 0 ? (hi - lo) / static_cast<double>(num_bins) : 0.0;
+  for (int b = 0; b < num_bins; ++b) {
+    const double start = lo + width * b;
+    const double end = b + 1 == num_bins ? hi : lo + width * (b + 1);
+    const bool closed = b + 1 == num_bins;
+    labels.push_back("[" + common::FormatDouble(start, precision) + ", " +
+                     common::FormatDouble(end, precision) +
+                     (closed ? "]" : ")"));
+  }
+  return labels;
+}
+
+}  // namespace muve::viz

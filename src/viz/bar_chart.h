@@ -1,0 +1,45 @@
+// ASCII bar-chart rendering of (binned) views.
+//
+// The examples use this to reproduce the paper's Figures 1-3 in the
+// terminal: a target view, a comparison view, or both side by side as
+// normalized probability distributions.
+
+#ifndef MUVE_VIZ_BAR_CHART_H_
+#define MUVE_VIZ_BAR_CHART_H_
+
+#include <string>
+#include <vector>
+
+namespace muve::viz {
+
+struct BarChartOptions {
+  size_t max_bar_width = 50;   // characters at 100%
+  int value_precision = 3;     // digits for the printed value
+  char bar_char = '#';
+  bool normalize = false;      // render values as fractions of their sum
+};
+
+// One labeled series: label_i -> value_i.
+struct Series {
+  std::string title;
+  std::vector<std::string> labels;
+  std::vector<double> values;
+};
+
+// Renders a single horizontal bar chart.
+std::string RenderBarChart(const Series& series,
+                           const BarChartOptions& options = {});
+
+// Renders two series with shared labels side by side (target vs
+// comparison), each bar scaled within its own series.  Label vectors must
+// match; value vectors must have the same length as the labels.
+std::string RenderSideBySide(const Series& left, const Series& right,
+                             const BarChartOptions& options = {});
+
+// Builds bin labels "[lo, hi)" for an equi-width binning.
+std::vector<std::string> BinLabels(double lo, double hi, int num_bins,
+                                   int precision = 0);
+
+}  // namespace muve::viz
+
+#endif  // MUVE_VIZ_BAR_CHART_H_

@@ -1,0 +1,199 @@
+#include "viz/svg_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace muve::viz {
+
+std::string EscapeXml(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct Layout {
+  double margin_left = 50;
+  double margin_right = 20;
+  double margin_top = 40;
+  double margin_bottom = 60;
+  double plot_width = 0;
+  double plot_height = 0;
+};
+
+std::string Num(double v) { return common::FormatDouble(v, 1); }
+
+void AppendBar(std::ostringstream& svg, double x, double y, double w,
+               double h, const std::string& color) {
+  svg << "  <rect x=\"" << Num(x) << "\" y=\"" << Num(y) << "\" width=\""
+      << Num(w) << "\" height=\"" << Num(h) << "\" fill=\"" << color
+      << "\"/>\n";
+}
+
+}  // namespace
+
+std::string RenderSvg(const GroupedBarChart& chart,
+                      const SvgChartOptions& options) {
+  MUVE_CHECK(chart.labels.size() == chart.target.size())
+      << "labels/target size mismatch";
+  MUVE_CHECK(chart.labels.size() == chart.comparison.size())
+      << "labels/comparison size mismatch";
+
+  Layout layout;
+  layout.plot_width =
+      options.width - layout.margin_left - layout.margin_right;
+  layout.plot_height =
+      options.height - layout.margin_top - layout.margin_bottom;
+
+  double max_value = 0.0;
+  for (size_t i = 0; i < chart.labels.size(); ++i) {
+    max_value = std::max({max_value, chart.target[i], chart.comparison[i]});
+  }
+  if (max_value <= 0.0) max_value = 1.0;
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+      << options.width << "\" height=\"" << options.height
+      << "\" viewBox=\"0 0 " << options.width << " " << options.height
+      << "\">\n";
+  svg << "  <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  // Title.
+  svg << "  <text x=\"" << options.width / 2 << "\" y=\"20\" "
+      << "text-anchor=\"middle\" font-family=\"sans-serif\" font-size=\""
+      << options.label_font_size + 3 << "\" font-weight=\"bold\">"
+      << EscapeXml(chart.title) << "</text>\n";
+
+  // Legend.
+  const double legend_y = layout.margin_top - 12;
+  svg << "  <rect x=\"" << Num(layout.margin_left) << "\" y=\""
+      << Num(legend_y - 9) << "\" width=\"10\" height=\"10\" fill=\""
+      << options.target_color << "\"/>\n"
+      << "  <text x=\"" << Num(layout.margin_left + 14) << "\" y=\""
+      << Num(legend_y) << "\" font-family=\"sans-serif\" font-size=\""
+      << options.label_font_size << "\">" << EscapeXml(chart.target_legend)
+      << "</text>\n";
+  svg << "  <rect x=\"" << Num(layout.margin_left + 120) << "\" y=\""
+      << Num(legend_y - 9) << "\" width=\"10\" height=\"10\" fill=\""
+      << options.comparison_color << "\"/>\n"
+      << "  <text x=\"" << Num(layout.margin_left + 134) << "\" y=\""
+      << Num(legend_y) << "\" font-family=\"sans-serif\" font-size=\""
+      << options.label_font_size << "\">"
+      << EscapeXml(chart.comparison_legend) << "</text>\n";
+
+  // Axes.
+  const double x0 = layout.margin_left;
+  const double y0 = layout.margin_top + layout.plot_height;
+  svg << "  <line x1=\"" << Num(x0) << "\" y1=\"" << Num(layout.margin_top)
+      << "\" x2=\"" << Num(x0) << "\" y2=\"" << Num(y0)
+      << "\" stroke=\"black\"/>\n";
+  svg << "  <line x1=\"" << Num(x0) << "\" y1=\"" << Num(y0) << "\" x2=\""
+      << Num(x0 + layout.plot_width) << "\" y2=\"" << Num(y0)
+      << "\" stroke=\"black\"/>\n";
+
+  // Y-axis ticks at 0, max/2, max.
+  for (const double frac : {0.0, 0.5, 1.0}) {
+    const double y = y0 - frac * layout.plot_height;
+    svg << "  <line x1=\"" << Num(x0 - 4) << "\" y1=\"" << Num(y)
+        << "\" x2=\"" << Num(x0) << "\" y2=\"" << Num(y)
+        << "\" stroke=\"black\"/>\n";
+    svg << "  <text x=\"" << Num(x0 - 8) << "\" y=\"" << Num(y + 4)
+        << "\" text-anchor=\"end\" font-family=\"sans-serif\" "
+        << "font-size=\"" << options.label_font_size - 2 << "\">"
+        << common::FormatDouble(max_value * frac, 2) << "</text>\n";
+  }
+
+  // Grouped bars.
+  const size_t n = chart.labels.size();
+  if (n > 0) {
+    const double group_width = layout.plot_width / static_cast<double>(n);
+    const double bar_width = group_width * 0.35;
+    for (size_t i = 0; i < n; ++i) {
+      const double group_x = x0 + group_width * static_cast<double>(i);
+      const double t_h =
+          std::max(0.0, chart.target[i]) / max_value * layout.plot_height;
+      const double c_h = std::max(0.0, chart.comparison[i]) / max_value *
+                         layout.plot_height;
+      AppendBar(svg, group_x + group_width * 0.12, y0 - t_h, bar_width,
+                t_h, options.target_color);
+      AppendBar(svg, group_x + group_width * 0.53, y0 - c_h, bar_width,
+                c_h, options.comparison_color);
+      // X label, rotated when crowded.
+      const double label_x = group_x + group_width / 2;
+      if (n <= 8) {
+        svg << "  <text x=\"" << Num(label_x) << "\" y=\"" << Num(y0 + 16)
+            << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+            << "font-size=\"" << options.label_font_size - 2 << "\">"
+            << EscapeXml(chart.labels[i]) << "</text>\n";
+      } else {
+        svg << "  <text x=\"" << Num(label_x) << "\" y=\"" << Num(y0 + 10)
+            << "\" text-anchor=\"end\" font-family=\"sans-serif\" "
+            << "font-size=\"" << options.label_font_size - 3
+            << "\" transform=\"rotate(-45 " << Num(label_x) << " "
+            << Num(y0 + 10) << ")\">" << EscapeXml(chart.labels[i])
+            << "</text>\n";
+      }
+    }
+  }
+
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+std::string RenderHtmlReport(const std::string& title,
+                             const std::vector<GroupedBarChart>& charts,
+                             const SvgChartOptions& options) {
+  std::ostringstream html;
+  html << "<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n"
+       << "<title>" << EscapeXml(title) << "</title>\n"
+       << "<style>body{font-family:sans-serif;max-width:"
+       << options.width + 60
+       << "px;margin:2em auto;}figure{margin:1.5em 0;}</style>\n"
+       << "</head>\n<body>\n<h1>" << EscapeXml(title) << "</h1>\n";
+  for (size_t i = 0; i < charts.size(); ++i) {
+    html << "<figure>\n" << RenderSvg(charts[i], options) << "</figure>\n";
+  }
+  html << "</body>\n</html>\n";
+  return html.str();
+}
+
+common::Status WriteHtmlReport(const std::string& path,
+                               const std::string& title,
+                               const std::vector<GroupedBarChart>& charts,
+                               const SvgChartOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return common::Status::IoError("cannot open file for write: " + path);
+  }
+  out << RenderHtmlReport(title, charts, options);
+  if (!out) {
+    return common::Status::IoError("write failed: " + path);
+  }
+  return common::Status::OK();
+}
+
+}  // namespace muve::viz

@@ -1,0 +1,60 @@
+// SVG / standalone-HTML rendering of recommended views.
+//
+// The terminal renderer (bar_chart.h) is for quick inspection; this
+// module emits real charts: a grouped bar chart per recommended view
+// showing the normalized target and comparison distributions side by
+// side (the paper's Figure 3 layout), and an HTML report stitching the
+// whole top-k recommendation together.  No external dependencies — the
+// SVG is hand-assembled.
+
+#ifndef MUVE_VIZ_SVG_CHART_H_
+#define MUVE_VIZ_SVG_CHART_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace muve::viz {
+
+struct SvgChartOptions {
+  int width = 640;
+  int height = 360;
+  std::string target_color = "#1f77b4";      // target series bars
+  std::string comparison_color = "#ff7f0e";  // comparison series bars
+  int label_font_size = 12;
+};
+
+// One grouped-bar chart: per bin label, a target bar and a comparison
+// bar.  `target` and `comparison` must match `labels` in length.  Values
+// are rendered as given (normalize upstream for distributions).
+struct GroupedBarChart {
+  std::string title;
+  std::string target_legend = "target";
+  std::string comparison_legend = "comparison";
+  std::vector<std::string> labels;
+  std::vector<double> target;
+  std::vector<double> comparison;
+};
+
+// Renders the chart as a self-contained <svg> element.
+std::string RenderSvg(const GroupedBarChart& chart,
+                      const SvgChartOptions& options = {});
+
+// Wraps multiple charts into one standalone HTML document.
+std::string RenderHtmlReport(const std::string& title,
+                             const std::vector<GroupedBarChart>& charts,
+                             const SvgChartOptions& options = {});
+
+// Writes the HTML report to `path`.
+common::Status WriteHtmlReport(const std::string& path,
+                               const std::string& title,
+                               const std::vector<GroupedBarChart>& charts,
+                               const SvgChartOptions& options = {});
+
+// Escapes &, <, >, " for embedding in SVG/HTML text nodes.
+std::string EscapeXml(const std::string& text);
+
+}  // namespace muve::viz
+
+#endif  // MUVE_VIZ_SVG_CHART_H_

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace muve::common {
+namespace {
+
+TEST(LoggingTest, ThresholdRoundTrips) {
+  const LogLevel original = GetLogThreshold();
+  SetLogThreshold(LogLevel::kError);
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kError);
+  SetLogThreshold(original);
+}
+
+TEST(LoggingTest, LevelNames) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarning), "WARNING");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(LogLevelName(LogLevel::kFatal), "FATAL");
+}
+
+TEST(LoggingTest, NonFatalLogDoesNotAbort) {
+  MUVE_LOG(INFO) << "informational message " << 42;
+  MUVE_LOG(WARNING) << "warning message";
+  SUCCEED();
+}
+
+TEST(LoggingTest, CheckPassesOnTrueCondition) {
+  MUVE_CHECK(1 + 1 == 2) << "never shown";
+  MUVE_DCHECK(true) << "never shown";
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalseCondition) {
+  EXPECT_DEATH(MUVE_CHECK(false) << "boom message", "Check failed: false");
+}
+
+TEST(LoggingDeathTest, FatalLogAborts) {
+  EXPECT_DEATH(MUVE_LOG(FATAL) << "fatal!", "fatal!");
+}
+
+TEST(StopwatchTest, ElapsedIsMonotonicallyNonDecreasing) {
+  Stopwatch watch;
+  const int64_t a = watch.ElapsedNanos();
+  const int64_t b = watch.ElapsedNanos();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+}
+
+TEST(StopwatchTest, MeasuresSleeps) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double ms = watch.ElapsedMillis();
+  EXPECT_GE(ms, 9.0);
+  EXPECT_LT(ms, 2000.0);  // generous upper bound for loaded CI machines
+}
+
+TEST(StopwatchTest, RestartResetsEpoch) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedMillis(), 5.0);
+}
+
+TEST(StopwatchTest, UnitConversionsAgree) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const int64_t nanos = watch.ElapsedNanos();
+  const double micros = watch.ElapsedMicros();
+  const double millis = watch.ElapsedMillis();
+  const double seconds = watch.ElapsedSeconds();
+  EXPECT_NEAR(micros, static_cast<double>(nanos) / 1e3, micros * 0.5);
+  EXPECT_NEAR(millis, micros / 1e3, millis * 0.5);
+  EXPECT_NEAR(seconds, millis / 1e3, seconds * 0.5);
+}
+
+}  // namespace
+}  // namespace muve::common

@@ -1,0 +1,75 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace muve::common {
+namespace {
+
+TEST(WelfordTest, EmptyAccumulator) {
+  WelfordAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.stddev(), 0.0);
+}
+
+TEST(WelfordTest, SingleValue) {
+  WelfordAccumulator acc;
+  acc.Add(4.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_EQ(acc.mean(), 4.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(WelfordTest, MatchesNaivePopulationVariance) {
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  WelfordAccumulator acc;
+  for (double v : values) acc.Add(v);
+  // Classic example: mean 5, population variance 4.
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 4.0, 1e-12);
+  EXPECT_NEAR(acc.stddev(), 2.0, 1e-12);
+}
+
+TEST(WelfordTest, NumericallyStableForLargeOffsets) {
+  WelfordAccumulator acc;
+  const double offset = 1e9;
+  for (double v : {offset + 1.0, offset + 2.0, offset + 3.0}) acc.Add(v);
+  EXPECT_NEAR(acc.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(acc.variance(), 2.0 / 3.0, 1e-6);
+}
+
+TEST(StatsTest, MeanOfEmptyIsZero) { EXPECT_EQ(Mean({}), 0.0); }
+
+TEST(StatsTest, MeanAndStdDev) {
+  const std::vector<double> values = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(Mean(values), 2.0);
+  EXPECT_NEAR(StdDev(values), std::sqrt(2.0 / 3.0), 1e-12);
+}
+
+TEST(StatsTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({5.0, 1.0, 3.0}), 3.0);
+  // Even size: lower middle.
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 3.0, 2.0}), 2.0);
+  EXPECT_EQ(Median({}), 0.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  const std::vector<double> values = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.25), 2.5);
+}
+
+TEST(StatsTest, QuantileClampsArgument) {
+  const std::vector<double> values = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(Quantile(values, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 2.0), 3.0);
+}
+
+}  // namespace
+}  // namespace muve::common

@@ -1,0 +1,59 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace muve::common {
+namespace {
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("xyz", ','), (std::vector<std::string>{"xyz"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(TrimTest, TrimsBothEnds) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t a b \n"), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(CaseTest, LowerUpper) {
+  EXPECT_EQ(ToLower("AbC1"), "abc1");
+  EXPECT_EQ(ToUpper("AbC1"), "ABC1");
+}
+
+TEST(CaseTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("Select", "SELECT"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abcd"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_TRUE(StartsWith("hello", ""));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"only"}, ", "), "only");
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(PadTest, PadsToWidth) {
+  EXPECT_EQ(PadLeft("7", 3), "  7");
+  EXPECT_EQ(PadRight("7", 3), "7  ");
+  EXPECT_EQ(PadLeft("long", 2), "long");
+}
+
+}  // namespace
+}  // namespace muve::common

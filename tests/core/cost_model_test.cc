@@ -1,0 +1,61 @@
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace muve::core {
+namespace {
+
+TEST(CostModelTest, NoObservationsEstimateZero) {
+  CostModel model;
+  EXPECT_DOUBLE_EQ(model.Estimate(CostKind::kTargetQuery), 0.0);
+  EXPECT_EQ(model.ObservationCount(CostKind::kTargetQuery), 0);
+}
+
+TEST(CostModelTest, SingleObservationIsTheEstimate) {
+  CostModel model;
+  model.Observe(CostKind::kDeviation, 4.0);
+  EXPECT_DOUBLE_EQ(model.Estimate(CostKind::kDeviation), 4.0);
+}
+
+TEST(CostModelTest, PaperFormulaBlendsLastWithPriorMean) {
+  // C = beta * last + (1 - beta) * mean(all earlier observations).
+  CostModel model(0.825);
+  model.Observe(CostKind::kAccuracy, 2.0);
+  model.Observe(CostKind::kAccuracy, 4.0);
+  // last=4, prior mean=2.
+  EXPECT_NEAR(model.Estimate(CostKind::kAccuracy),
+              0.825 * 4.0 + 0.175 * 2.0, 1e-12);
+  model.Observe(CostKind::kAccuracy, 6.0);
+  // last=6, prior mean=(2+4)/2=3.
+  EXPECT_NEAR(model.Estimate(CostKind::kAccuracy),
+              0.825 * 6.0 + 0.175 * 3.0, 1e-12);
+}
+
+TEST(CostModelTest, KindsAreIndependent) {
+  CostModel model;
+  model.Observe(CostKind::kTargetQuery, 1.0);
+  model.Observe(CostKind::kComparisonQuery, 10.0);
+  EXPECT_DOUBLE_EQ(model.Estimate(CostKind::kTargetQuery), 1.0);
+  EXPECT_DOUBLE_EQ(model.Estimate(CostKind::kComparisonQuery), 10.0);
+  EXPECT_DOUBLE_EQ(model.Estimate(CostKind::kDeviation), 0.0);
+}
+
+TEST(CostModelTest, RecentObservationsDominate) {
+  // After a regime change the estimate tracks the new level quickly.
+  CostModel model;
+  for (int i = 0; i < 10; ++i) model.Observe(CostKind::kDeviation, 1.0);
+  model.Observe(CostKind::kDeviation, 100.0);
+  EXPECT_GT(model.Estimate(CostKind::kDeviation), 80.0);
+}
+
+TEST(CostModelTest, CustomBeta) {
+  CostModel model(0.5);
+  model.Observe(CostKind::kTargetQuery, 2.0);
+  model.Observe(CostKind::kTargetQuery, 4.0);
+  EXPECT_NEAR(model.Estimate(CostKind::kTargetQuery), 0.5 * 4 + 0.5 * 2,
+              1e-12);
+  EXPECT_DOUBLE_EQ(model.beta(), 0.5);
+}
+
+}  // namespace
+}  // namespace muve::core

@@ -1,0 +1,164 @@
+#include "core/distance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/distribution.h"
+
+namespace muve::core {
+namespace {
+
+const std::vector<DistanceKind>& AllKinds() {
+  static const auto* kKinds = new std::vector<DistanceKind>{
+      DistanceKind::kEuclidean,    DistanceKind::kManhattan,
+      DistanceKind::kChebyshev,    DistanceKind::kEarthMovers,
+      DistanceKind::kKlDivergence, DistanceKind::kJensenShannon};
+  return *kKinds;
+}
+
+// Property sweep: identity, symmetry, and [0, 1] range for every kind on
+// random distributions.
+class DistancePropertyTest
+    : public ::testing::TestWithParam<DistanceKind> {};
+
+TEST_P(DistancePropertyTest, IdentityIsZero) {
+  common::Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> raw(1 + trial % 8);
+    for (double& v : raw) v = rng.NextDouble();
+    const auto p = NormalizeToDistribution(raw);
+    EXPECT_NEAR(Distance(GetParam(), p, p), 0.0, 1e-7);
+  }
+}
+
+TEST_P(DistancePropertyTest, SymmetricAndBounded) {
+  common::Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 1 + trial % 10;
+    std::vector<double> a(n);
+    std::vector<double> b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = rng.NextDouble();
+      b[i] = rng.NextDouble();
+    }
+    const auto p = NormalizeToDistribution(a);
+    const auto q = NormalizeToDistribution(b);
+    const double pq = Distance(GetParam(), p, q);
+    const double qp = Distance(GetParam(), q, p);
+    EXPECT_NEAR(pq, qp, 1e-9);
+    EXPECT_GE(pq, 0.0);
+    EXPECT_LE(pq, 1.0 + 1e-9);
+  }
+}
+
+TEST_P(DistancePropertyTest, DisjointMassIsMaximalOrNearMaximal) {
+  // p concentrated on the first bin, q on the last: distances should be
+  // large (== 1 for the norm-based kinds and EMD).
+  const std::vector<double> p = {1.0, 0.0, 0.0, 0.0};
+  const std::vector<double> q = {0.0, 0.0, 0.0, 1.0};
+  const double d = Distance(GetParam(), p, q);
+  EXPECT_GT(d, 0.6);
+  EXPECT_LE(d, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, DistancePropertyTest, ::testing::ValuesIn(AllKinds()),
+    [](const ::testing::TestParamInfo<DistanceKind>& info) {
+      return DistanceKindName(info.param);
+    });
+
+TEST(DistanceTest, EuclideanValue) {
+  const std::vector<double> p = {1.0, 0.0};
+  const std::vector<double> q = {0.0, 1.0};
+  EXPECT_NEAR(Distance(DistanceKind::kEuclidean, p, q), 1.0, 1e-12);
+  const std::vector<double> r = {0.5, 0.5};
+  EXPECT_NEAR(Distance(DistanceKind::kEuclidean, p, r),
+              std::sqrt(0.5) / std::sqrt(2.0), 1e-12);
+}
+
+TEST(DistanceTest, ManhattanIsTotalVariation) {
+  const std::vector<double> p = {0.8, 0.2};
+  const std::vector<double> q = {0.2, 0.8};
+  EXPECT_NEAR(Distance(DistanceKind::kManhattan, p, q), 0.6, 1e-12);
+}
+
+TEST(DistanceTest, ChebyshevPicksLargestGap) {
+  const std::vector<double> p = {0.7, 0.2, 0.1};
+  const std::vector<double> q = {0.1, 0.3, 0.6};
+  EXPECT_NEAR(Distance(DistanceKind::kChebyshev, p, q), 0.6, 1e-12);
+}
+
+TEST(DistanceTest, EmdRespectsGroundDistance) {
+  // Moving mass to an adjacent bin costs less than across the axis.
+  const std::vector<double> p = {1.0, 0.0, 0.0};
+  const std::vector<double> adjacent = {0.0, 1.0, 0.0};
+  const std::vector<double> far = {0.0, 0.0, 1.0};
+  const double near_d = Distance(DistanceKind::kEarthMovers, p, adjacent);
+  const double far_d = Distance(DistanceKind::kEarthMovers, p, far);
+  EXPECT_LT(near_d, far_d);
+  EXPECT_NEAR(far_d, 1.0, 1e-12);
+  EXPECT_NEAR(near_d, 0.5, 1e-12);
+}
+
+TEST(DistanceTest, EmdSingleBinIsZero) {
+  EXPECT_DOUBLE_EQ(Distance(DistanceKind::kEarthMovers, {1.0}, {1.0}), 0.0);
+}
+
+TEST(DistanceTest, KlGrowsWithDivergence) {
+  const std::vector<double> p = {0.5, 0.5};
+  const std::vector<double> close = {0.55, 0.45};
+  const std::vector<double> far = {0.95, 0.05};
+  EXPECT_LT(Distance(DistanceKind::kKlDivergence, p, close),
+            Distance(DistanceKind::kKlDivergence, p, far));
+}
+
+TEST(DistanceTest, EmptyDistributionsAreZero) {
+  for (const DistanceKind kind : AllKinds()) {
+    EXPECT_DOUBLE_EQ(Distance(kind, {}, {}), 0.0);
+  }
+}
+
+TEST(DistanceKindTest, NameRoundTrip) {
+  for (const DistanceKind kind : AllKinds()) {
+    auto parsed = DistanceKindFromName(DistanceKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_EQ(*DistanceKindFromName("l2"), DistanceKind::kEuclidean);
+  EXPECT_EQ(*DistanceKindFromName("l1"), DistanceKind::kManhattan);
+  EXPECT_FALSE(DistanceKindFromName("cosine").ok());
+}
+
+TEST(DistributionTest, NormalizesToOne) {
+  const auto p = NormalizeToDistribution({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(p[0], 0.25);
+  EXPECT_DOUBLE_EQ(p[1], 0.75);
+  EXPECT_TRUE(IsDistribution(p));
+}
+
+TEST(DistributionTest, NegativesClampToZero) {
+  const auto p = NormalizeToDistribution({-5.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(p[0], 0.0);
+  EXPECT_DOUBLE_EQ(p[1], 0.5);
+  EXPECT_TRUE(IsDistribution(p));
+}
+
+TEST(DistributionTest, AllZeroBecomesUniform) {
+  const auto p = NormalizeToDistribution({0.0, 0.0, 0.0, 0.0});
+  for (double v : p) EXPECT_DOUBLE_EQ(v, 0.25);
+}
+
+TEST(DistributionTest, EmptyStaysEmpty) {
+  EXPECT_TRUE(NormalizeToDistribution({}).empty());
+}
+
+TEST(DistributionTest, IsDistributionRejectsBadInputs) {
+  EXPECT_FALSE(IsDistribution({0.5, 0.4}));          // sums to 0.9
+  EXPECT_FALSE(IsDistribution({1.5, -0.5}));         // negative entry
+  EXPECT_TRUE(IsDistribution({0.25, 0.25, 0.5}));
+}
+
+}  // namespace
+}  // namespace muve::core

@@ -1,0 +1,76 @@
+#include "core/exec_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace muve::core {
+namespace {
+
+ExecStats MakeStats() {
+  ExecStats s;
+  s.target_queries = 3;
+  s.comparison_queries = 2;
+  s.deviation_evals = 2;
+  s.accuracy_evals = 1;
+  s.rows_scanned = 100;
+  s.candidates_considered = 10;
+  s.pruned_before_probes = 4;
+  s.pruned_after_first_probe = 3;
+  s.fully_probed = 3;
+  s.early_terminations = 1;
+  s.views_searched = 2;
+  s.target_time_ms = 1.0;
+  s.comparison_time_ms = 2.0;
+  s.deviation_time_ms = 0.5;
+  s.accuracy_time_ms = 0.25;
+  return s;
+}
+
+TEST(ExecStatsTest, TotalCostIsSumOfComponents) {
+  const ExecStats s = MakeStats();
+  EXPECT_DOUBLE_EQ(s.TotalCostMillis(), 3.75);
+  EXPECT_DOUBLE_EQ(ExecStats().TotalCostMillis(), 0.0);
+}
+
+TEST(ExecStatsTest, MergeAddsEveryField) {
+  ExecStats a = MakeStats();
+  a.Merge(MakeStats());
+  EXPECT_EQ(a.target_queries, 6);
+  EXPECT_EQ(a.comparison_queries, 4);
+  EXPECT_EQ(a.deviation_evals, 4);
+  EXPECT_EQ(a.accuracy_evals, 2);
+  EXPECT_EQ(a.rows_scanned, 200);
+  EXPECT_EQ(a.candidates_considered, 20);
+  EXPECT_EQ(a.pruned_before_probes, 8);
+  EXPECT_EQ(a.pruned_after_first_probe, 6);
+  EXPECT_EQ(a.fully_probed, 6);
+  EXPECT_EQ(a.early_terminations, 2);
+  EXPECT_EQ(a.views_searched, 4);
+  EXPECT_DOUBLE_EQ(a.TotalCostMillis(), 7.5);
+}
+
+TEST(ExecStatsTest, MergeWithEmptyIsIdentity) {
+  ExecStats a = MakeStats();
+  a.Merge(ExecStats());
+  EXPECT_EQ(a.candidates_considered, 10);
+  EXPECT_DOUBLE_EQ(a.TotalCostMillis(), 3.75);
+}
+
+TEST(ExecStatsTest, ToStringMentionsKeyCounters) {
+  const std::string text = MakeStats().ToString();
+  EXPECT_NE(text.find("cost="), std::string::npos);
+  EXPECT_NE(text.find("candidates=10"), std::string::npos);
+  EXPECT_NE(text.find("pruned0=4"), std::string::npos);
+  EXPECT_NE(text.find("full=3"), std::string::npos);
+}
+
+// Accounting invariant maintained by the candidate evaluator:
+// considered = pruned0 + pruned1 + fully_probed.
+TEST(ExecStatsTest, CandidateAccountingInvariantHolds) {
+  const ExecStats s = MakeStats();
+  EXPECT_EQ(s.candidates_considered,
+            s.pruned_before_probes + s.pruned_after_first_probe +
+                s.fully_probed);
+}
+
+}  // namespace
+}  // namespace muve::core

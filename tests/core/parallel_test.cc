@@ -1,0 +1,114 @@
+// Parallel vertical-Linear execution must be a pure latency optimization:
+// identical recommendations to the serial run for every horizontal
+// strategy, with per-thread work merged into the same cost metric.
+
+#include <gtest/gtest.h>
+
+#include "core/recommender.h"
+#include "test_util.h"
+
+namespace muve::core {
+namespace {
+
+class ParallelTest
+    : public ::testing::TestWithParam<HorizontalStrategy> {};
+
+TEST_P(ParallelTest, MatchesSerialRecommendations) {
+  auto recommender = Recommender::Create(testutil::MakeToyDataset());
+  ASSERT_TRUE(recommender.ok());
+
+  SearchOptions serial;
+  serial.horizontal = GetParam();
+  serial.vertical = VerticalStrategy::kLinear;
+  serial.k = 4;
+  SearchOptions parallel = serial;
+  parallel.num_threads = 4;
+
+  auto r_serial = recommender->Recommend(serial);
+  auto r_parallel = recommender->Recommend(parallel);
+  ASSERT_TRUE(r_serial.ok());
+  ASSERT_TRUE(r_parallel.ok()) << r_parallel.status().ToString();
+  ASSERT_EQ(r_serial->views.size(), r_parallel->views.size());
+  for (size_t i = 0; i < r_serial->views.size(); ++i) {
+    EXPECT_EQ(r_serial->views[i].view.Key(),
+              r_parallel->views[i].view.Key())
+        << "rank " << i;
+    EXPECT_EQ(r_serial->views[i].bins, r_parallel->views[i].bins);
+    EXPECT_DOUBLE_EQ(r_serial->views[i].utility,
+                     r_parallel->views[i].utility);
+  }
+  // Same amount of total work (probe counters are exact, times vary).
+  EXPECT_EQ(r_serial->stats.fully_probed, r_parallel->stats.fully_probed);
+  EXPECT_EQ(r_serial->stats.target_queries,
+            r_parallel->stats.target_queries);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllHorizontals, ParallelTest,
+    ::testing::Values(HorizontalStrategy::kLinear,
+                      HorizontalStrategy::kHillClimbing,
+                      HorizontalStrategy::kMuve),
+    [](const ::testing::TestParamInfo<HorizontalStrategy>& info) {
+      return HorizontalStrategyName(info.param);
+    });
+
+TEST(ParallelValidationTest, MoreThreadsThanViewsIsFine) {
+  auto recommender = Recommender::Create(testutil::MakeToyDataset());
+  ASSERT_TRUE(recommender.ok());
+  SearchOptions options;
+  options.horizontal = HorizontalStrategy::kLinear;
+  options.vertical = VerticalStrategy::kLinear;
+  options.num_threads = 64;  // toy dataset has 8 views
+  auto rec = recommender->Recommend(options);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->views.size(), 5u);
+}
+
+TEST(ParallelValidationTest, RejectsSequentialOnlySchemes) {
+  auto recommender = Recommender::Create(testutil::MakeToyDataset());
+  ASSERT_TRUE(recommender.ok());
+
+  SearchOptions muve_muve;
+  muve_muve.num_threads = 2;  // default scheme is MuVE-MuVE
+  EXPECT_FALSE(recommender->Recommend(muve_muve).ok());
+
+  SearchOptions approx;
+  approx.horizontal = HorizontalStrategy::kLinear;
+  approx.vertical = VerticalStrategy::kLinear;
+  approx.num_threads = 2;
+  approx.approximation = VerticalApproximation::kRefinement;
+  EXPECT_FALSE(recommender->Recommend(approx).ok());
+
+  SearchOptions zero;
+  zero.num_threads = 0;
+  EXPECT_FALSE(recommender->Recommend(zero).ok());
+}
+
+TEST(ParallelDeterminismTest, HillClimbingSeedsByViewNotOrder) {
+  // Running twice with different thread counts must agree because HC's
+  // random start depends only on (seed, view index).
+  auto recommender = Recommender::Create(testutil::MakeToyDataset());
+  ASSERT_TRUE(recommender.ok());
+  SearchOptions base;
+  base.horizontal = HorizontalStrategy::kHillClimbing;
+  base.vertical = VerticalStrategy::kLinear;
+  base.hc_seed = 99;
+
+  SearchOptions two = base;
+  two.num_threads = 2;
+  SearchOptions seven = base;
+  seven.num_threads = 7;
+
+  auto a = recommender->Recommend(two);
+  auto b = recommender->Recommend(seven);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->views.size(), b->views.size());
+  for (size_t i = 0; i < a->views.size(); ++i) {
+    EXPECT_EQ(a->views[i].view.Key(), b->views[i].view.Key());
+    EXPECT_DOUBLE_EQ(a->views[i].utility, b->views[i].utility);
+  }
+}
+
+}  // namespace
+}  // namespace muve::core

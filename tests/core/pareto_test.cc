@@ -1,0 +1,137 @@
+#include "core/pareto.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/recommender.h"
+#include "test_util.h"
+
+namespace muve::core {
+namespace {
+
+ParetoPoint Point(double d, double a, double s) {
+  ParetoPoint p;
+  p.deviation = d;
+  p.accuracy = a;
+  p.usability = s;
+  return p;
+}
+
+TEST(DominatesTest, StrictAndWeakCases) {
+  EXPECT_TRUE(Dominates(Point(0.5, 0.5, 0.5), Point(0.4, 0.5, 0.5)));
+  EXPECT_TRUE(Dominates(Point(0.6, 0.6, 0.6), Point(0.1, 0.1, 0.1)));
+  // Equal points do not dominate each other.
+  EXPECT_FALSE(Dominates(Point(0.5, 0.5, 0.5), Point(0.5, 0.5, 0.5)));
+  // Trade-offs do not dominate.
+  EXPECT_FALSE(Dominates(Point(0.9, 0.1, 0.5), Point(0.1, 0.9, 0.5)));
+  EXPECT_FALSE(Dominates(Point(0.1, 0.9, 0.5), Point(0.9, 0.1, 0.5)));
+}
+
+TEST(ParetoFrontTest, FiltersDominatedPoints) {
+  const std::vector<ParetoPoint> points = {
+      Point(0.9, 0.1, 0.1),  // front (best deviation)
+      Point(0.1, 0.9, 0.1),  // front (best accuracy)
+      Point(0.1, 0.1, 0.9),  // front (best usability)
+      Point(0.05, 0.05, 0.05),  // dominated by all three
+      Point(0.5, 0.5, 0.5),  // front (balanced)
+  };
+  const auto front = ParetoFront(points);
+  ASSERT_EQ(front.size(), 4u);
+  for (const ParetoPoint& p : front) {
+    EXPECT_FALSE(p.deviation == 0.05 && p.accuracy == 0.05);
+  }
+}
+
+TEST(ParetoFrontTest, DuplicatesKeptOnce) {
+  const std::vector<ParetoPoint> points = {
+      Point(0.5, 0.5, 0.5), Point(0.5, 0.5, 0.5), Point(0.5, 0.5, 0.5)};
+  EXPECT_EQ(ParetoFront(points).size(), 1u);
+}
+
+TEST(ParetoFrontTest, EmptyAndSingleton) {
+  EXPECT_TRUE(ParetoFront({}).empty());
+  EXPECT_EQ(ParetoFront({Point(0, 0, 0)}).size(), 1u);
+}
+
+TEST(ParetoFrontTest, NoFrontMemberDominatesAnother) {
+  common::Rng rng(5);
+  std::vector<ParetoPoint> points;
+  for (int i = 0; i < 200; ++i) {
+    points.push_back(Point(rng.NextDouble(), rng.NextDouble(),
+                           rng.NextDouble()));
+  }
+  const auto front = ParetoFront(points);
+  EXPECT_FALSE(front.empty());
+  for (size_t i = 0; i < front.size(); ++i) {
+    for (size_t j = 0; j < front.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(Dominates(front[i], front[j]))
+          << i << " dominates " << j;
+    }
+  }
+  // Every non-front point is dominated by some front member.
+  for (const ParetoPoint& p : points) {
+    bool on_front = false;
+    for (const ParetoPoint& f : front) {
+      if (f.deviation == p.deviation && f.accuracy == p.accuracy &&
+          f.usability == p.usability) {
+        on_front = true;
+        break;
+      }
+    }
+    if (on_front) continue;
+    bool dominated = false;
+    for (const ParetoPoint& f : front) {
+      if (Dominates(f, p)) {
+        dominated = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(dominated);
+  }
+}
+
+TEST(ComputeParetoFrontTest, WeightedOptimaLieOnTheFront) {
+  const data::Dataset ds = testutil::MakeToyDataset();
+  auto front = ComputeParetoFront(ds);
+  ASSERT_TRUE(front.ok()) << front.status().ToString();
+  EXPECT_FALSE(front->empty());
+
+  auto recommender = Recommender::Create(ds);
+  ASSERT_TRUE(recommender.ok());
+  // Any strictly-positive weighting's top-1 must be a front member.
+  const Weights settings[] = {Weights::PaperDefault(),
+                              Weights{0.6, 0.2, 0.2},
+                              Weights{0.2, 0.6, 0.2}, Weights::Equal()};
+  for (const Weights& weights : settings) {
+    SearchOptions options;
+    options.weights = weights;
+    options.k = 1;
+    auto rec = recommender->Recommend(options);
+    ASSERT_TRUE(rec.ok());
+    ASSERT_FALSE(rec->views.empty());
+    const ScoredView& top = rec->views.front();
+    bool found = false;
+    for (const ParetoPoint& p : *front) {
+      if (p.view == top.view && p.bins == top.bins) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << weights.ToString() << " top-1 "
+                       << top.ToString() << " not on the Pareto front";
+  }
+}
+
+TEST(ComputeParetoFrontTest, FrontIsSmallFractionOfCandidates) {
+  const data::Dataset ds = testutil::MakeToyDataset();
+  auto front = ComputeParetoFront(ds);
+  ASSERT_TRUE(front.ok());
+  // 8 views x (29 or 9) bins = 152 candidates; dominance should prune
+  // most of them.
+  EXPECT_LT(front->size(), 80u);
+  EXPECT_GE(front->size(), 1u);
+}
+
+}  // namespace
+}  // namespace muve::core

@@ -1,0 +1,72 @@
+#include "core/partitioner.h"
+
+#include <gtest/gtest.h>
+
+namespace muve::core {
+namespace {
+
+TEST(PartitionerTest, DefaultAdditiveIsFullDomain) {
+  const auto domain = BinDomain(PartitionSpec{}, 5);
+  EXPECT_EQ(domain, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(PartitionerTest, AdditiveStep) {
+  PartitionSpec spec;
+  spec.step = 3;
+  EXPECT_EQ(BinDomain(spec, 10), (std::vector<int>{1, 4, 7, 10}));
+  spec.step = 4;
+  EXPECT_EQ(BinDomain(spec, 10), (std::vector<int>{1, 5, 9}));
+}
+
+TEST(PartitionerTest, Geometric) {
+  PartitionSpec spec;
+  spec.kind = PartitionKind::kGeometric;
+  EXPECT_EQ(BinDomain(spec, 20), (std::vector<int>{1, 2, 4, 8, 16}));
+  EXPECT_EQ(BinDomain(spec, 16), (std::vector<int>{1, 2, 4, 8, 16}));
+  EXPECT_EQ(BinDomain(spec, 1), (std::vector<int>{1}));
+}
+
+TEST(PartitionerTest, MinimalDomains) {
+  EXPECT_EQ(BinDomain(PartitionSpec{}, 1), (std::vector<int>{1}));
+  PartitionSpec big_step;
+  big_step.step = 100;
+  EXPECT_EQ(BinDomain(big_step, 10), (std::vector<int>{1}));
+}
+
+TEST(PartitionerTest, DomainsAreAscending) {
+  for (const PartitionKind kind :
+       {PartitionKind::kAdditive, PartitionKind::kGeometric}) {
+    for (int step : {1, 2, 5}) {
+      PartitionSpec spec;
+      spec.kind = kind;
+      spec.step = step;
+      const auto domain = BinDomain(spec, 100);
+      for (size_t i = 1; i < domain.size(); ++i) {
+        EXPECT_GT(domain[i], domain[i - 1]);
+      }
+      EXPECT_EQ(domain.front(), 1);
+      EXPECT_LE(domain.back(), 100);
+    }
+  }
+}
+
+TEST(PartitionerTest, GeometricLargeMaxBinsNoOverflow) {
+  PartitionSpec spec;
+  spec.kind = PartitionKind::kGeometric;
+  const auto domain = BinDomain(spec, 1 << 30);
+  EXPECT_EQ(domain.size(), 31u);
+  EXPECT_EQ(domain.back(), 1 << 30);
+}
+
+TEST(PartitionSpecTest, IsDefault) {
+  EXPECT_TRUE(PartitionSpec{}.IsDefault());
+  PartitionSpec stepped;
+  stepped.step = 2;
+  EXPECT_FALSE(stepped.IsDefault());
+  PartitionSpec geo;
+  geo.kind = PartitionKind::kGeometric;
+  EXPECT_FALSE(geo.IsDefault());
+}
+
+}  // namespace
+}  // namespace muve::core

@@ -1,0 +1,264 @@
+#include "core/recommender.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/fidelity.h"
+#include "test_util.h"
+
+namespace muve::core {
+namespace {
+
+SearchOptions Scheme(HorizontalStrategy h, VerticalStrategy v) {
+  SearchOptions options;
+  options.horizontal = h;
+  options.vertical = v;
+  return options;
+}
+
+Recommendation MustRecommend(const Recommender& rec,
+                             const SearchOptions& options) {
+  auto result = rec.Recommend(options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(result).value() : Recommendation{};
+}
+
+class RecommenderTest : public ::testing::Test {
+ protected:
+  RecommenderTest() {
+    auto rec = Recommender::Create(testutil::MakeToyDataset());
+    EXPECT_TRUE(rec.ok());
+    recommender_ = std::make_unique<Recommender>(std::move(rec).value());
+  }
+
+  std::unique_ptr<Recommender> recommender_;
+};
+
+TEST_F(RecommenderTest, ReturnsKDistinctViews) {
+  SearchOptions options =
+      Scheme(HorizontalStrategy::kLinear, VerticalStrategy::kLinear);
+  options.k = 3;
+  const Recommendation rec = MustRecommend(*recommender_, options);
+  ASSERT_EQ(rec.views.size(), 3u);
+  std::set<std::string> keys;
+  for (const ScoredView& v : rec.views) keys.insert(v.view.Key());
+  EXPECT_EQ(keys.size(), 3u);  // distinct non-binned views
+  // Sorted descending.
+  EXPECT_GE(rec.views[0].utility, rec.views[1].utility);
+  EXPECT_GE(rec.views[1].utility, rec.views[2].utility);
+  EXPECT_EQ(rec.scheme, "Linear-Linear");
+}
+
+// The central exactness claim (Section IV-C): Linear-Linear, MuVE-Linear,
+// and MuVE-MuVE recommend identically (same utilities), across weights,
+// k, and distance functions.
+struct ExactnessCase {
+  Weights weights;
+  int k;
+  DistanceKind distance;
+};
+
+class SchemeExactnessTest : public ::testing::TestWithParam<ExactnessCase> {};
+
+TEST_P(SchemeExactnessTest, AllExactSchemesAgree) {
+  const ExactnessCase& param = GetParam();
+  auto recommender = Recommender::Create(testutil::MakeToyDataset());
+  ASSERT_TRUE(recommender.ok());
+
+  SearchOptions base;
+  base.weights = param.weights;
+  base.k = param.k;
+  base.distance = param.distance;
+
+  SearchOptions linear = base;
+  linear.horizontal = HorizontalStrategy::kLinear;
+  linear.vertical = VerticalStrategy::kLinear;
+  SearchOptions muve_linear = base;
+  muve_linear.horizontal = HorizontalStrategy::kMuve;
+  muve_linear.vertical = VerticalStrategy::kLinear;
+  SearchOptions muve_muve = base;
+  muve_muve.horizontal = HorizontalStrategy::kMuve;
+  muve_muve.vertical = VerticalStrategy::kMuve;
+
+  const Recommendation r_linear = MustRecommend(*recommender, linear);
+  const Recommendation r_ml = MustRecommend(*recommender, muve_linear);
+  const Recommendation r_mm = MustRecommend(*recommender, muve_muve);
+
+  ASSERT_EQ(r_linear.views.size(), r_ml.views.size());
+  ASSERT_EQ(r_linear.views.size(), r_mm.views.size());
+  for (size_t i = 0; i < r_linear.views.size(); ++i) {
+    EXPECT_NEAR(r_linear.views[i].utility, r_ml.views[i].utility, 1e-9)
+        << "rank " << i;
+    EXPECT_NEAR(r_linear.views[i].utility, r_mm.views[i].utility, 1e-9)
+        << "rank " << i;
+  }
+  EXPECT_NEAR(Fidelity(r_linear.views, r_ml.views), 1.0, 1e-9);
+  EXPECT_NEAR(Fidelity(r_linear.views, r_mm.views), 1.0, 1e-9);
+
+  // And the MuVE schemes do no more probe work than exhaustive Linear.
+  // (MuVE-MuVE vs MuVE-Linear is workload-dependent: the global top-k
+  // threshold can lag the per-view top-1 thresholds when k is close to
+  // the number of views, so only the Linear bound is an invariant.)
+  EXPECT_LE(r_ml.stats.fully_probed, r_linear.stats.fully_probed);
+  EXPECT_LE(r_mm.stats.fully_probed, r_linear.stats.fully_probed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SchemeExactnessTest,
+    ::testing::Values(
+        ExactnessCase{Weights::PaperDefault(), 5, DistanceKind::kEuclidean},
+        ExactnessCase{Weights{0.6, 0.2, 0.2}, 1, DistanceKind::kEuclidean},
+        ExactnessCase{Weights{0.2, 0.6, 0.2}, 3, DistanceKind::kEuclidean},
+        ExactnessCase{Weights::Equal(), 2, DistanceKind::kEarthMovers},
+        ExactnessCase{Weights{0.1, 0.1, 0.8}, 4,
+                      DistanceKind::kKlDivergence},
+        ExactnessCase{Weights{0.45, 0.45, 0.1}, 8,
+                      DistanceKind::kManhattan},
+        ExactnessCase{Weights::DeviationOnly(), 5,
+                      DistanceKind::kEuclidean}));
+
+TEST_F(RecommenderTest, MuveMuvePrunesAtHighUsabilityWeight) {
+  SearchOptions linear =
+      Scheme(HorizontalStrategy::kLinear, VerticalStrategy::kLinear);
+  SearchOptions muve =
+      Scheme(HorizontalStrategy::kMuve, VerticalStrategy::kMuve);
+  linear.weights = muve.weights = Weights{0.1, 0.1, 0.8};
+  const Recommendation r_linear = MustRecommend(*recommender_, linear);
+  const Recommendation r_muve = MustRecommend(*recommender_, muve);
+  EXPECT_LT(r_muve.stats.fully_probed, r_linear.stats.fully_probed / 4);
+  EXPECT_GT(r_muve.stats.early_terminations, 0);
+}
+
+TEST_F(RecommenderTest, HillClimbingRunsAndStaysBounded) {
+  SearchOptions hc =
+      Scheme(HorizontalStrategy::kHillClimbing, VerticalStrategy::kLinear);
+  const Recommendation rec = MustRecommend(*recommender_, hc);
+  EXPECT_EQ(rec.scheme, "HC-Linear");
+  ASSERT_FALSE(rec.views.empty());
+  SearchOptions linear =
+      Scheme(HorizontalStrategy::kLinear, VerticalStrategy::kLinear);
+  const Recommendation opt = MustRecommend(*recommender_, linear);
+  const double f = Fidelity(opt.views, rec.views);
+  EXPECT_GE(f, 0.0);
+  EXPECT_LE(f, 1.0);
+  // HC evaluates far fewer candidates than exhaustive Linear.
+  EXPECT_LT(rec.stats.fully_probed, opt.stats.fully_probed);
+}
+
+TEST_F(RecommenderTest, RefinementApproximationIsCheapAndFaithful) {
+  SearchOptions linear =
+      Scheme(HorizontalStrategy::kLinear, VerticalStrategy::kLinear);
+  SearchOptions refined = linear;
+  refined.approximation = VerticalApproximation::kRefinement;
+  refined.refinement_default_bins = 4;
+
+  const Recommendation opt = MustRecommend(*recommender_, linear);
+  const Recommendation rec = MustRecommend(*recommender_, refined);
+  EXPECT_EQ(rec.scheme, "Linear-Linear(R)");
+  EXPECT_EQ(rec.views.size(), opt.views.size());
+  EXPECT_LT(rec.stats.fully_probed, opt.stats.fully_probed);
+  EXPECT_GE(Fidelity(opt.views, rec.views), 0.5);
+}
+
+TEST_F(RecommenderTest, SkippingApproximationIsCheapAndFaithful) {
+  SearchOptions linear =
+      Scheme(HorizontalStrategy::kLinear, VerticalStrategy::kLinear);
+  SearchOptions skipping = linear;
+  skipping.approximation = VerticalApproximation::kSkipping;
+
+  const Recommendation opt = MustRecommend(*recommender_, linear);
+  const Recommendation rec = MustRecommend(*recommender_, skipping);
+  EXPECT_EQ(rec.scheme, "Linear-Linear(S)");
+  EXPECT_LT(rec.stats.fully_probed, opt.stats.fully_probed);
+  EXPECT_GE(Fidelity(opt.views, rec.views), 0.5);
+  // All views sharing a dimension carry the representative's bin count.
+  std::map<std::string, std::set<int>> bins_by_dim;
+  for (const ScoredView& v : rec.views) {
+    bins_by_dim[v.view.dimension].insert(v.bins);
+  }
+  for (const auto& [dim, bins] : bins_by_dim) {
+    EXPECT_EQ(bins.size(), 1u) << "dimension " << dim;
+  }
+}
+
+TEST_F(RecommenderTest, GeometricPartitioningKeepsHighFidelity) {
+  SearchOptions linear =
+      Scheme(HorizontalStrategy::kLinear, VerticalStrategy::kLinear);
+  SearchOptions geo = linear;
+  geo.partition.kind = PartitionKind::kGeometric;
+  const Recommendation opt = MustRecommend(*recommender_, linear);
+  const Recommendation rec = MustRecommend(*recommender_, geo);
+  EXPECT_EQ(rec.scheme, "Linear(G)-Linear");
+  // The paper's Figure 12: geometric keeps ~100% fidelity because small
+  // bin counts (all powers of two) dominate utility.
+  EXPECT_GE(Fidelity(opt.views, rec.views), 0.9);
+  EXPECT_LT(rec.stats.fully_probed, opt.stats.fully_probed / 2);
+}
+
+TEST_F(RecommenderTest, AdditiveStepReducesWork) {
+  SearchOptions base =
+      Scheme(HorizontalStrategy::kLinear, VerticalStrategy::kLinear);
+  const Recommendation full = MustRecommend(*recommender_, base);
+  SearchOptions stepped = base;
+  stepped.partition.step = 4;
+  const Recommendation rec = MustRecommend(*recommender_, stepped);
+  EXPECT_EQ(rec.scheme, "Linear(A)-Linear");
+  EXPECT_LT(rec.stats.fully_probed, full.stats.fully_probed / 3);
+}
+
+TEST_F(RecommenderTest, InvalidOptionsRejected) {
+  SearchOptions bad_weights;
+  bad_weights.weights = Weights{0.9, 0.9, 0.9};
+  EXPECT_FALSE(recommender_->Recommend(bad_weights).ok());
+
+  SearchOptions bad_k;
+  bad_k.k = 0;
+  EXPECT_FALSE(recommender_->Recommend(bad_k).ok());
+
+  SearchOptions bad_combo;
+  bad_combo.horizontal = HorizontalStrategy::kLinear;
+  bad_combo.vertical = VerticalStrategy::kMuve;
+  EXPECT_FALSE(recommender_->Recommend(bad_combo).ok());
+
+  SearchOptions bad_step;
+  bad_step.partition.step = 0;
+  EXPECT_FALSE(recommender_->Recommend(bad_step).ok());
+}
+
+TEST_F(RecommenderTest, KLargerThanViewCountReturnsAllViews) {
+  SearchOptions options =
+      Scheme(HorizontalStrategy::kLinear, VerticalStrategy::kLinear);
+  options.k = 1000;
+  const Recommendation rec = MustRecommend(*recommender_, options);
+  EXPECT_EQ(rec.views.size(), recommender_->space().views().size());
+}
+
+TEST_F(RecommenderTest, RecommendationToStringListsViews) {
+  SearchOptions options =
+      Scheme(HorizontalStrategy::kMuve, VerticalStrategy::kMuve);
+  options.k = 2;
+  const Recommendation rec = MustRecommend(*recommender_, options);
+  const std::string text = rec.ToString();
+  EXPECT_NE(text.find("MuVE-MuVE"), std::string::npos);
+  EXPECT_NE(text.find("1. "), std::string::npos);
+  EXPECT_NE(text.find("cost="), std::string::npos);
+}
+
+TEST(FidelityTest, Definition) {
+  ScoredView a;
+  a.utility = 0.6;
+  ScoredView b;
+  b.utility = 0.4;
+  ScoredView c;
+  c.utility = 0.5;
+  // F = 1 - (1.0 - 0.9) / 1.0 = 0.9
+  EXPECT_NEAR(Fidelity({a, b}, {c, b}), 0.9, 1e-12);
+  EXPECT_DOUBLE_EQ(Fidelity({a, b}, {a, b}), 1.0);
+  EXPECT_DOUBLE_EQ(Fidelity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(TotalUtility({a, b}), 1.0);
+}
+
+}  // namespace
+}  // namespace muve::core

@@ -1,0 +1,104 @@
+#include "core/top_k_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace muve::core {
+namespace {
+
+ScoredView Make(double utility, int bins = 1) {
+  ScoredView sv;
+  sv.bins = bins;
+  sv.utility = utility;
+  return sv;
+}
+
+TEST(TopKTrackerTest, ThresholdUndefinedUntilKViews) {
+  TopKTracker tracker(2, 5);
+  EXPECT_TRUE(std::isinf(tracker.Threshold()));
+  EXPECT_LT(tracker.Threshold(), 0);
+  tracker.Update(0, Make(0.9));
+  EXPECT_TRUE(std::isinf(tracker.Threshold()));
+  tracker.Update(1, Make(0.5));
+  EXPECT_DOUBLE_EQ(tracker.Threshold(), 0.5);
+}
+
+TEST(TopKTrackerTest, ThresholdIsKthLargest) {
+  TopKTracker tracker(2, 5);
+  tracker.Update(0, Make(0.3));
+  tracker.Update(1, Make(0.7));
+  tracker.Update(2, Make(0.5));
+  EXPECT_DOUBLE_EQ(tracker.Threshold(), 0.5);
+  tracker.Update(3, Make(0.9));
+  EXPECT_DOUBLE_EQ(tracker.Threshold(), 0.7);
+}
+
+TEST(TopKTrackerTest, PerViewBestOnlyImproves) {
+  TopKTracker tracker(1, 3);
+  tracker.Update(0, Make(0.6, 2));
+  tracker.Update(0, Make(0.4, 3));  // worse; ignored
+  auto top = tracker.TopK();
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_DOUBLE_EQ(top[0].utility, 0.6);
+  EXPECT_EQ(top[0].bins, 2);
+  tracker.Update(0, Make(0.8, 5));
+  EXPECT_DOUBLE_EQ(tracker.TopK()[0].utility, 0.8);
+}
+
+TEST(TopKTrackerTest, DistinctViewConstraint) {
+  // One view improving repeatedly still occupies a single top-k slot.
+  TopKTracker tracker(2, 3);
+  tracker.Update(0, Make(0.5));
+  tracker.Update(0, Make(0.6));
+  tracker.Update(0, Make(0.7));
+  tracker.Update(1, Make(0.2));
+  const auto top = tracker.TopK();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_DOUBLE_EQ(top[0].utility, 0.7);
+  EXPECT_DOUBLE_EQ(top[1].utility, 0.2);
+}
+
+TEST(TopKTrackerTest, TopKSortedDescendingAndTruncated) {
+  TopKTracker tracker(3, 6);
+  const double utilities[] = {0.1, 0.9, 0.3, 0.7, 0.5, 0.2};
+  for (size_t i = 0; i < 6; ++i) tracker.Update(i, Make(utilities[i]));
+  const auto top = tracker.TopK();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_DOUBLE_EQ(top[0].utility, 0.9);
+  EXPECT_DOUBLE_EQ(top[1].utility, 0.7);
+  EXPECT_DOUBLE_EQ(top[2].utility, 0.5);
+}
+
+TEST(TopKTrackerTest, FewerViewsThanK) {
+  TopKTracker tracker(10, 3);
+  tracker.Update(0, Make(0.4));
+  tracker.Update(2, Make(0.6));
+  const auto top = tracker.TopK();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_DOUBLE_EQ(top[0].utility, 0.6);
+}
+
+TEST(TopKTrackerTest, ThresholdAfterReplacement) {
+  TopKTracker tracker(2, 3);
+  tracker.Update(0, Make(0.3));
+  tracker.Update(1, Make(0.4));
+  EXPECT_DOUBLE_EQ(tracker.Threshold(), 0.3);
+  // View 0 improves past view 1: threshold becomes 0.4.
+  tracker.Update(0, Make(0.9));
+  EXPECT_DOUBLE_EQ(tracker.Threshold(), 0.4);
+}
+
+TEST(TopKTrackerTest, DuplicateUtilitiesHandled) {
+  TopKTracker tracker(2, 4);
+  tracker.Update(0, Make(0.5));
+  tracker.Update(1, Make(0.5));
+  tracker.Update(2, Make(0.5));
+  EXPECT_DOUBLE_EQ(tracker.Threshold(), 0.5);
+  tracker.Update(1, Make(0.6));
+  EXPECT_DOUBLE_EQ(tracker.Threshold(), 0.5);
+  EXPECT_EQ(tracker.num_views_scored(), 3u);
+}
+
+}  // namespace
+}  // namespace muve::core

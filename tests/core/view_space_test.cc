@@ -1,0 +1,98 @@
+#include "core/view.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace muve::core {
+namespace {
+
+TEST(ViewTest, LabelAndKey) {
+  const View v{"MP", "3PAr", storage::AggregateFunction::kSum};
+  EXPECT_EQ(v.Label(), "SUM(3PAr) BY MP");
+  EXPECT_EQ(v.Key(), "mp|3par|SUM");
+  EXPECT_EQ(v, (View{"MP", "3PAr", storage::AggregateFunction::kSum}));
+  EXPECT_FALSE(v == (View{"MP", "3PAr", storage::AggregateFunction::kAvg}));
+}
+
+TEST(ViewSpaceTest, EnumeratesCrossProduct) {
+  const data::Dataset ds = testutil::MakeToyDataset();
+  auto space = ViewSpace::Create(ds);
+  ASSERT_TRUE(space.ok()) << space.status().ToString();
+  // 2 dims x 2 measures x 2 functions.
+  EXPECT_EQ(space->views().size(), 8u);
+  // Workload order: dimension-major.
+  EXPECT_EQ(space->views()[0].dimension, "x");
+  EXPECT_EQ(space->views()[0].measure, "m1");
+  EXPECT_EQ(space->views()[7].dimension, "y");
+  EXPECT_EQ(space->views()[7].measure, "m2");
+}
+
+TEST(ViewSpaceTest, DimensionInfoRangesAndBins) {
+  const data::Dataset ds = testutil::MakeToyDataset();
+  auto space = ViewSpace::Create(ds);
+  ASSERT_TRUE(space.ok());
+  const DimensionInfo& x = space->dimension_info("x");
+  EXPECT_DOUBLE_EQ(x.lo, 0.0);
+  EXPECT_DOUBLE_EQ(x.hi, 29.0);
+  EXPECT_EQ(x.max_bins, 29);
+  EXPECT_EQ(x.distinct_values, 30u);
+  const DimensionInfo& y = space->dimension_info("y");
+  EXPECT_EQ(y.max_bins, 9);
+  EXPECT_EQ(space->max_bins_overall(), 29);
+}
+
+TEST(ViewSpaceTest, TotalBinnedViews) {
+  const data::Dataset ds = testutil::MakeToyDataset();
+  auto space = ViewSpace::Create(ds);
+  ASSERT_TRUE(space.ok());
+  // N_B = sum_j 2 * |M| * |F| * B_j = 2*2*2*(29+9).
+  EXPECT_EQ(space->TotalBinnedViews(), 2 * 2 * 2 * (29 + 9));
+}
+
+TEST(ViewSpaceTest, RejectsStringDimension) {
+  data::Dataset ds = testutil::MakeToyDataset();
+  ds.dimensions = {"grp"};
+  EXPECT_FALSE(ViewSpace::Create(ds).ok());
+}
+
+TEST(ViewSpaceTest, RejectsUnknownColumns) {
+  data::Dataset ds = testutil::MakeToyDataset();
+  ds.dimensions = {"nope"};
+  EXPECT_FALSE(ViewSpace::Create(ds).ok());
+  ds = testutil::MakeToyDataset();
+  ds.measures = {"nope"};
+  EXPECT_FALSE(ViewSpace::Create(ds).ok());
+}
+
+TEST(ViewSpaceTest, RejectsEmptyWorkload) {
+  data::Dataset ds = testutil::MakeToyDataset();
+  ds.functions.clear();
+  EXPECT_FALSE(ViewSpace::Create(ds).ok());
+}
+
+TEST(ViewSpaceTest, DegenerateSingleValueDimension) {
+  // A dimension whose range is zero still yields max_bins = 1.
+  data::Dataset ds = testutil::MakeToyDataset();
+  auto table = std::make_shared<storage::Table>(storage::Schema({
+      {"c", storage::ValueType::kInt64, storage::FieldRole::kDimension},
+      {"m", storage::ValueType::kDouble, storage::FieldRole::kMeasure},
+  }));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(table
+                    ->AppendRow({storage::Value(int64_t{7}),
+                                 storage::Value(1.0 * i)})
+                    .ok());
+  }
+  ds.table = table;
+  ds.dimensions = {"c"};
+  ds.measures = {"m"};
+  ds.target_rows = {0, 1};
+  ds.all_rows = storage::AllRows(5);
+  auto space = ViewSpace::Create(ds);
+  ASSERT_TRUE(space.ok());
+  EXPECT_EQ(space->dimension_info("c").max_bins, 1);
+}
+
+}  // namespace
+}  // namespace muve::core

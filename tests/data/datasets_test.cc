@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "core/view.h"
+#include "data/diab.h"
+#include "data/nba.h"
+
+namespace muve::data {
+namespace {
+
+TEST(DiabTest, ShapeMatchesPaper) {
+  const Dataset ds = MakeDiabDataset();
+  EXPECT_EQ(ds.table->num_rows(), kDiabRows);   // 768 tuples
+  EXPECT_EQ(ds.table->num_columns(), 9u);       // 9 attributes
+  EXPECT_GE(ds.dimensions.size(), 3u);
+  EXPECT_GE(ds.measures.size(), 3u);
+  EXPECT_EQ(ds.functions.size(), 3u);
+}
+
+TEST(DiabTest, DimensionRangesArePinned) {
+  const Dataset ds = MakeDiabDataset();
+  auto age = *ds.table->ColumnByName("Age");
+  EXPECT_DOUBLE_EQ(*age->NumericMin(), 21.0);
+  EXPECT_DOUBLE_EQ(*age->NumericMax(), 81.0);
+  auto bp = *ds.table->ColumnByName("BloodPressure");
+  EXPECT_DOUBLE_EQ(*bp->NumericMin(), 24.0);
+  EXPECT_DOUBLE_EQ(*bp->NumericMax(), 110.0);
+  auto preg = *ds.table->ColumnByName("Pregnancies");
+  EXPECT_DOUBLE_EQ(*preg->NumericMin(), 0.0);
+  EXPECT_DOUBLE_EQ(*preg->NumericMax(), 17.0);
+}
+
+TEST(DiabTest, ValuesWithinDocumentedBounds) {
+  const Dataset ds = MakeDiabDataset();
+  auto glucose = *ds.table->ColumnByName("Glucose");
+  auto insulin = *ds.table->ColumnByName("Insulin");
+  auto bmi = *ds.table->ColumnByName("BMI");
+  for (size_t r = 0; r < ds.table->num_rows(); ++r) {
+    EXPECT_GE(glucose->NumericAt(r), 44.0);
+    EXPECT_LE(glucose->NumericAt(r), 199.0);
+    EXPECT_GE(insulin->NumericAt(r), 14.0);
+    EXPECT_LE(insulin->NumericAt(r), 846.0);
+    EXPECT_GE(bmi->NumericAt(r), 18.0);
+    EXPECT_LE(bmi->NumericAt(r), 67.0);
+  }
+}
+
+TEST(DiabTest, TargetRowsAreDiabeticOutcomes) {
+  const Dataset ds = MakeDiabDataset();
+  EXPECT_FALSE(ds.target_rows.empty());
+  EXPECT_LT(ds.target_rows.size(), ds.all_rows.size());
+  auto outcome = *ds.table->ColumnByName("Outcome");
+  for (uint32_t r : ds.target_rows) {
+    EXPECT_EQ(outcome->Int64At(r), 1);
+  }
+  // Roughly a third of patients are diabetic (plausible class balance).
+  EXPECT_GT(ds.target_rows.size(), kDiabRows / 5);
+  EXPECT_LT(ds.target_rows.size(), kDiabRows * 3 / 5);
+}
+
+TEST(DiabTest, DeterministicForSameSeed) {
+  const Dataset a = MakeDiabDataset(99);
+  const Dataset b = MakeDiabDataset(99);
+  ASSERT_EQ(a.table->num_rows(), b.table->num_rows());
+  for (size_t r = 0; r < a.table->num_rows(); r += 37) {
+    for (size_t c = 0; c < a.table->num_columns(); ++c) {
+      EXPECT_EQ(a.table->At(r, c), b.table->At(r, c));
+    }
+  }
+  const Dataset other = MakeDiabDataset(100);
+  bool any_diff = false;
+  for (size_t r = 8; r < a.table->num_rows() && !any_diff; ++r) {
+    if (!(a.table->At(r, 1) == other.table->At(r, 1))) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(NbaTest, ShapeMatchesPaper) {
+  const Dataset ds = MakeNbaDataset();
+  EXPECT_EQ(ds.table->num_rows(), kNbaRows);  // 651 tuples
+  EXPECT_EQ(ds.table->num_columns(), 28u);    // 28 attributes
+  EXPECT_EQ(ds.dimensions.size(), 3u);
+  EXPECT_EQ(ds.measures.size(), kNbaMaxMeasures);  // up to 13 measures
+}
+
+TEST(NbaTest, ViewSpaceMatchesPaperCount) {
+  // Paper: 3 dims, 3 measures, 3 functions -> 27,756 binned views.
+  Dataset ds = MakeNbaDataset();
+  ds.measures.resize(3);
+  auto space = core::ViewSpace::Create(ds);
+  ASSERT_TRUE(space.ok()) << space.status().ToString();
+  EXPECT_EQ(space->TotalBinnedViews(), 27756);
+  EXPECT_EQ(space->views().size(), 27u);  // 3 x 3 x 3 non-binned views
+}
+
+TEST(NbaTest, DimensionRangesArePinned) {
+  const Dataset ds = MakeNbaDataset();
+  auto mp = *ds.table->ColumnByName("MP");
+  EXPECT_DOUBLE_EQ(*mp->NumericMin(), 0.0);
+  EXPECT_DOUBLE_EQ(*mp->NumericMax(), 1440.0);
+  auto g = *ds.table->ColumnByName("G");
+  EXPECT_DOUBLE_EQ(*g->NumericMin(), 0.0);
+  EXPECT_DOUBLE_EQ(*g->NumericMax(), 82.0);
+  auto age = *ds.table->ColumnByName("Age");
+  EXPECT_DOUBLE_EQ(*age->NumericMin(), 19.0);
+  EXPECT_DOUBLE_EQ(*age->NumericMax(), 39.0);
+}
+
+TEST(NbaTest, GswTargetRows) {
+  const Dataset ds = MakeNbaDataset();
+  EXPECT_FALSE(ds.target_rows.empty());
+  auto team = *ds.table->ColumnByName("Team");
+  for (uint32_t r : ds.target_rows) {
+    EXPECT_EQ(team->StringAt(r), "GSW");
+  }
+  // ~651/30 players per team.
+  EXPECT_GE(ds.target_rows.size(), 15u);
+  EXPECT_LE(ds.target_rows.size(), 30u);
+}
+
+TEST(NbaTest, Example1PatternPlanted) {
+  // GSW keeps high 3PAr at high minutes; the league declines (Figure 3:
+  // roughly 4x at the top bins).
+  const Dataset ds = MakeNbaDataset();
+  auto mp = *ds.table->ColumnByName("MP");
+  auto par3 = *ds.table->ColumnByName("3PAr");
+  auto team = *ds.table->ColumnByName("Team");
+  double gsw_sum = 0.0;
+  int gsw_n = 0;
+  double league_sum = 0.0;
+  int league_n = 0;
+  for (size_t r = 0; r < ds.table->num_rows(); ++r) {
+    if (mp->NumericAt(r) < 960.0) continue;  // top third of minutes
+    if (team->StringAt(r) == "GSW") {
+      gsw_sum += par3->NumericAt(r);
+      ++gsw_n;
+    } else {
+      league_sum += par3->NumericAt(r);
+      ++league_n;
+    }
+  }
+  ASSERT_GT(gsw_n, 0);
+  ASSERT_GT(league_n, 0);
+  const double gsw_avg = gsw_sum / gsw_n;
+  const double league_avg = league_sum / league_n;
+  EXPECT_GT(gsw_avg, 2.0 * league_avg);
+}
+
+TEST(NbaTest, DeterministicForSameSeed) {
+  const Dataset a = MakeNbaDataset(5);
+  const Dataset b = MakeNbaDataset(5);
+  for (size_t r = 0; r < a.table->num_rows(); r += 53) {
+    for (size_t c = 0; c < a.table->num_columns(); ++c) {
+      EXPECT_EQ(a.table->At(r, c), b.table->At(r, c));
+    }
+  }
+}
+
+TEST(WorkloadSizeTest, TruncatesLists) {
+  const Dataset ds = MakeNbaDataset();
+  const Dataset small = WithWorkloadSize(ds, 2, 5, 1);
+  EXPECT_EQ(small.dimensions.size(), 2u);
+  EXPECT_EQ(small.measures.size(), 5u);
+  EXPECT_EQ(small.functions.size(), 1u);
+  // Clamped when asking for more than available.
+  const Dataset big = WithWorkloadSize(ds, 99, 99, 99);
+  EXPECT_EQ(big.dimensions.size(), ds.dimensions.size());
+  EXPECT_EQ(big.measures.size(), ds.measures.size());
+}
+
+}  // namespace
+}  // namespace muve::data

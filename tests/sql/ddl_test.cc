@@ -1,0 +1,170 @@
+// DDL / DML statements: CREATE TABLE (with recommendation roles),
+// INSERT INTO ... VALUES, and LOAD CSV.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/recommend_sql.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+
+namespace muve::sql {
+namespace {
+
+common::Result<StatementResult> RunSql(const std::string& sql,
+                                    Catalog& catalog) {
+  auto parsed = Parse(sql);
+  if (!parsed.ok()) return parsed.status();
+  return ExecuteStatement(*parsed, catalog);
+}
+
+StatementResult MustRun(const std::string& sql, Catalog& catalog) {
+  auto result = RunSql(sql, catalog);
+  EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+  return result.ok() ? std::move(result).value() : StatementResult{};
+}
+
+TEST(CreateTableTest, RegistersSchemaWithRoles) {
+  Catalog catalog;
+  MustRun(
+      "CREATE TABLE sales (day INT DIMENSION, region TEXT CATEGORICAL, "
+      "revenue DOUBLE MEASURE, note TEXT)",
+      catalog);
+  auto table = catalog.GetTable("sales");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 0u);
+  const storage::Schema& schema = (*table)->schema();
+  EXPECT_EQ(schema.field(0).type, storage::ValueType::kInt64);
+  EXPECT_EQ(schema.field(0).role, storage::FieldRole::kDimension);
+  EXPECT_EQ(schema.field(1).role,
+            storage::FieldRole::kCategoricalDimension);
+  EXPECT_EQ(schema.field(2).type, storage::ValueType::kDouble);
+  EXPECT_EQ(schema.field(2).role, storage::FieldRole::kMeasure);
+  EXPECT_EQ(schema.field(3).role, storage::FieldRole::kNone);
+}
+
+TEST(CreateTableTest, TypeAliases) {
+  Catalog catalog;
+  MustRun(
+      "CREATE TABLE t (a INTEGER, b BIGINT, c FLOAT, d REAL, e STRING, "
+      "f VARCHAR)",
+      catalog);
+  auto table = catalog.GetTable("t");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->schema().field(1).type, storage::ValueType::kInt64);
+  EXPECT_EQ((*table)->schema().field(3).type, storage::ValueType::kDouble);
+  EXPECT_EQ((*table)->schema().field(5).type, storage::ValueType::kString);
+}
+
+TEST(CreateTableTest, Errors) {
+  Catalog catalog;
+  EXPECT_FALSE(RunSql("CREATE TABLE t (a BLOB)", catalog).ok());
+  EXPECT_FALSE(RunSql("CREATE TABLE t (a INT UNKNOWNROLE)", catalog).ok());
+  EXPECT_FALSE(RunSql("CREATE TABLE t ()", catalog).ok());
+  EXPECT_FALSE(RunSql("CREATE TABLE t (a INT, a INT)", catalog).ok());
+  MustRun("CREATE TABLE t (a INT)", catalog);
+  EXPECT_FALSE(RunSql("CREATE TABLE t (b INT)", catalog).ok());  // duplicate
+}
+
+TEST(InsertTest, AppendsRows) {
+  Catalog catalog;
+  MustRun("CREATE TABLE t (a INT, b DOUBLE, c TEXT)", catalog);
+  MustRun("INSERT INTO t VALUES (1, 2.5, 'x'), (-3, -0.5, 'y'), "
+          "(4, 7, NULL)",
+          catalog);
+  auto table = catalog.GetTable("t");
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ((*table)->num_rows(), 3u);
+  EXPECT_EQ((*table)->At(1, 0), storage::Value(int64_t{-3}));
+  EXPECT_EQ((*table)->At(1, 1), storage::Value(-0.5));
+  EXPECT_EQ((*table)->At(2, 1), storage::Value(7.0));  // int coerces
+  EXPECT_TRUE((*table)->At(2, 2).is_null());
+}
+
+TEST(InsertTest, AtomicOnBadRow) {
+  Catalog catalog;
+  MustRun("CREATE TABLE t (a INT)", catalog);
+  // Second row has wrong arity: nothing lands.
+  EXPECT_FALSE(RunSql("INSERT INTO t VALUES (1), (2, 3)", catalog).ok());
+  EXPECT_EQ((*catalog.GetTable("t"))->num_rows(), 0u);
+  // Type error in second row: nothing lands either.
+  EXPECT_FALSE(RunSql("INSERT INTO t VALUES (1), ('oops')", catalog).ok());
+  EXPECT_EQ((*catalog.GetTable("t"))->num_rows(), 0u);
+}
+
+TEST(InsertTest, UnknownTableFails) {
+  Catalog catalog;
+  EXPECT_FALSE(RunSql("INSERT INTO missing VALUES (1)", catalog).ok());
+}
+
+TEST(LoadCsvTest, AppendsCsvRows) {
+  Catalog catalog;
+  MustRun("CREATE TABLE t (a INT, b TEXT)", catalog);
+  const std::string path = ::testing::TempDir() + "/muve_ddl_load.csv";
+  {
+    std::ofstream out(path);
+    out << "a,b\n1,x\n2,y\n";
+  }
+  const StatementResult result =
+      MustRun("LOAD CSV '" + path + "' INTO t", catalog);
+  EXPECT_NE(result.message.find("2 rows"), std::string::npos);
+  EXPECT_EQ((*catalog.GetTable("t"))->num_rows(), 2u);
+  // Loading again appends.
+  MustRun("LOAD CSV '" + path + "' INTO t", catalog);
+  EXPECT_EQ((*catalog.GetTable("t"))->num_rows(), 4u);
+}
+
+TEST(LoadCsvTest, HeaderMismatchFails) {
+  Catalog catalog;
+  MustRun("CREATE TABLE t (a INT, b TEXT)", catalog);
+  const std::string path = ::testing::TempDir() + "/muve_ddl_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "x,y\n1,2\n";
+  }
+  EXPECT_FALSE(RunSql("LOAD CSV '" + path + "' INTO t", catalog).ok());
+  EXPECT_FALSE(RunSql("LOAD CSV '/no/such/file.csv' INTO t", catalog).ok());
+}
+
+TEST(DdlEndToEndTest, CreateInsertRecommend) {
+  Catalog catalog;
+  MustRun(
+      "CREATE TABLE sales (day INT DIMENSION, region TEXT, "
+      "revenue DOUBLE MEASURE)",
+      catalog);
+  std::string insert = "INSERT INTO sales VALUES ";
+  for (int i = 0; i < 30; ++i) {
+    if (i > 0) insert += ", ";
+    const bool south = i % 2 == 0;
+    insert += "(" + std::to_string(i % 15) + ", '" +
+              (south ? "south" : "north") + "', " +
+              std::to_string(south ? 10 + i : 20) + ")";
+  }
+  MustRun(insert, catalog);
+  auto rec = core::RecommendSql(
+      "RECOMMEND TOP 2 VIEWS FROM sales WHERE region = 'south' USING MUVE",
+      catalog);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec->views.size(), 2u);
+}
+
+TEST(DdlEndToEndTest, ExecuteStatementRejectsRecommend) {
+  Catalog catalog;
+  auto parsed = Parse("RECOMMEND VIEWS FROM t WHERE a = 1");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(ExecuteStatement(*parsed, catalog).ok());
+}
+
+TEST(NegativeLiteralTest, WorksInWhereToo) {
+  Catalog catalog;
+  MustRun("CREATE TABLE t (a INT)", catalog);
+  MustRun("INSERT INTO t VALUES (-5), (0), (5)", catalog);
+  auto result = MustRun("SELECT a FROM t WHERE a <= -5", catalog);
+  ASSERT_TRUE(result.table.has_value());
+  ASSERT_EQ(result.table->num_rows(), 1u);
+  EXPECT_EQ(result.table->At(0, 0), storage::Value(int64_t{-5}));
+}
+
+}  // namespace
+}  // namespace muve::sql

@@ -1,0 +1,115 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace muve::sql {
+namespace {
+
+std::vector<Token> MustTokenize(const std::string& input) {
+  auto result = Tokenize(input);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? *result : std::vector<Token>{};
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitiveAndUppercased) {
+  const auto tokens = MustTokenize("select From wHeRe");
+  ASSERT_EQ(tokens.size(), 4u);  // + end
+  EXPECT_TRUE(IsKeyword(tokens[0], "SELECT"));
+  EXPECT_TRUE(IsKeyword(tokens[1], "FROM"));
+  EXPECT_TRUE(IsKeyword(tokens[2], "WHERE"));
+  EXPECT_EQ(tokens[3].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, IdentifiersKeepSpelling) {
+  const auto tokens = MustTokenize("BloodPressure team_name");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "BloodPressure");
+  EXPECT_EQ(tokens[1].text, "team_name");
+}
+
+TEST(LexerTest, LeadingDigitIdentifier) {
+  // The NBA schema's "3PAr" must lex as one identifier.
+  const auto tokens = MustTokenize("SUM(3PAr)");
+  ASSERT_GE(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "SUM");
+  EXPECT_EQ(tokens[1].type, TokenType::kLParen);
+  EXPECT_EQ(tokens[2].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[2].text, "3PAr");
+  EXPECT_EQ(tokens[3].type, TokenType::kRParen);
+}
+
+TEST(LexerTest, IntegerAndFloatLiterals) {
+  const auto tokens = MustTokenize("42 3.14 .5 100");
+  EXPECT_EQ(tokens[0].type, TokenType::kInteger);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 3.14);
+  EXPECT_EQ(tokens[2].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 0.5);
+  EXPECT_EQ(tokens[3].type, TokenType::kInteger);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  const auto tokens = MustTokenize("'GSW' 'it''s'");
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "GSW");
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  const auto tokens = MustTokenize("= <> != < <= > >=");
+  EXPECT_EQ(tokens[0].type, TokenType::kEq);
+  EXPECT_EQ(tokens[1].type, TokenType::kNe);
+  EXPECT_EQ(tokens[2].type, TokenType::kNe);
+  EXPECT_EQ(tokens[3].type, TokenType::kLt);
+  EXPECT_EQ(tokens[4].type, TokenType::kLe);
+  EXPECT_EQ(tokens[5].type, TokenType::kGt);
+  EXPECT_EQ(tokens[6].type, TokenType::kGe);
+}
+
+TEST(LexerTest, PunctuationAndStar) {
+  const auto tokens = MustTokenize("(*, );");
+  EXPECT_EQ(tokens[0].type, TokenType::kLParen);
+  EXPECT_EQ(tokens[1].type, TokenType::kStar);
+  EXPECT_EQ(tokens[2].type, TokenType::kComma);
+  EXPECT_EQ(tokens[3].type, TokenType::kRParen);
+  EXPECT_EQ(tokens[4].type, TokenType::kSemicolon);
+}
+
+TEST(LexerTest, LineCommentsSkipped) {
+  const auto tokens = MustTokenize("SELECT -- comment here\n x");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_TRUE(IsKeyword(tokens[0], "SELECT"));
+  EXPECT_EQ(tokens[1].text, "x");
+}
+
+TEST(LexerTest, BareBangFails) {
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  EXPECT_FALSE(Tokenize("a @ b").ok());
+}
+
+TEST(LexerTest, NumberOfBinsKeywords) {
+  const auto tokens = MustTokenize("GROUP BY mp NUMBER OF BINS 3");
+  EXPECT_TRUE(IsKeyword(tokens[0], "GROUP"));
+  EXPECT_TRUE(IsKeyword(tokens[1], "BY"));
+  EXPECT_TRUE(IsKeyword(tokens[3], "NUMBER"));
+  EXPECT_TRUE(IsKeyword(tokens[4], "OF"));
+  EXPECT_TRUE(IsKeyword(tokens[5], "BINS"));
+  EXPECT_EQ(tokens[6].int_value, 3);
+}
+
+TEST(LexerTest, PositionsRecorded) {
+  const auto tokens = MustTokenize("ab cd");
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[1].position, 3u);
+}
+
+}  // namespace
+}  // namespace muve::sql

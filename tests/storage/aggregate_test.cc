@@ -1,0 +1,79 @@
+#include "storage/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace muve::storage {
+namespace {
+
+double RunAgg(AggregateFunction f, const std::vector<double>& values) {
+  AggregateAccumulator acc(f);
+  for (double v : values) acc.Add(v);
+  return acc.Finish();
+}
+
+TEST(AggregateTest, Sum) {
+  EXPECT_DOUBLE_EQ(RunAgg(AggregateFunction::kSum, {1, 2, 3.5}), 6.5);
+}
+
+TEST(AggregateTest, Count) {
+  EXPECT_DOUBLE_EQ(RunAgg(AggregateFunction::kCount, {9, 9, 9, 9}), 4.0);
+}
+
+TEST(AggregateTest, Avg) {
+  EXPECT_DOUBLE_EQ(RunAgg(AggregateFunction::kAvg, {1, 2, 3}), 2.0);
+}
+
+TEST(AggregateTest, MinMax) {
+  EXPECT_DOUBLE_EQ(RunAgg(AggregateFunction::kMin, {3, -1, 2}), -1.0);
+  EXPECT_DOUBLE_EQ(RunAgg(AggregateFunction::kMax, {3, -1, 2}), 3.0);
+}
+
+TEST(AggregateTest, StdVarPopulation) {
+  // Values {2,4,4,4,5,5,7,9}: population variance 4, stddev 2.
+  const std::vector<double> values = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(RunAgg(AggregateFunction::kVar, values), 4.0, 1e-12);
+  EXPECT_NEAR(RunAgg(AggregateFunction::kStd, values), 2.0, 1e-12);
+}
+
+TEST(AggregateTest, SingleValueStdVarZero) {
+  EXPECT_DOUBLE_EQ(RunAgg(AggregateFunction::kVar, {5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(RunAgg(AggregateFunction::kStd, {5.0}), 0.0);
+}
+
+// Every function finishes to 0 on an empty group (empty bins render as
+// zero-height bars).
+class EmptyGroupTest
+    : public ::testing::TestWithParam<AggregateFunction> {};
+
+TEST_P(EmptyGroupTest, FinishesToZero) {
+  AggregateAccumulator acc(GetParam());
+  EXPECT_DOUBLE_EQ(acc.Finish(), 0.0);
+  EXPECT_EQ(acc.count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFunctions, EmptyGroupTest,
+    ::testing::ValuesIn(AllAggregateFunctions()),
+    [](const ::testing::TestParamInfo<AggregateFunction>& info) {
+      return AggregateName(info.param);
+    });
+
+TEST(AggregateNameTest, RoundTrip) {
+  for (const AggregateFunction f : AllAggregateFunctions()) {
+    auto parsed = AggregateFromName(AggregateName(f));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, f);
+  }
+}
+
+TEST(AggregateNameTest, Aliases) {
+  EXPECT_EQ(*AggregateFromName("stddev"), AggregateFunction::kStd);
+  EXPECT_EQ(*AggregateFromName("Variance"), AggregateFunction::kVar);
+  EXPECT_EQ(*AggregateFromName("mean"), AggregateFunction::kAvg);
+  EXPECT_FALSE(AggregateFromName("median").ok());
+}
+
+}  // namespace
+}  // namespace muve::storage

@@ -1,0 +1,157 @@
+#include "storage/binned_group_by.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/table.h"
+
+namespace muve::storage {
+namespace {
+
+TEST(BinIndexTest, EdgesAndInterior) {
+  // Range [0, 10], 5 bins of width 2.
+  EXPECT_EQ(BinIndexFor(0.0, 0, 10, 5), 0);
+  EXPECT_EQ(BinIndexFor(1.99, 0, 10, 5), 0);
+  EXPECT_EQ(BinIndexFor(2.0, 0, 10, 5), 1);
+  EXPECT_EQ(BinIndexFor(9.99, 0, 10, 5), 4);
+  EXPECT_EQ(BinIndexFor(10.0, 0, 10, 5), 4);  // hi lands in the last bin
+}
+
+TEST(BinIndexTest, OutOfRangeClamps) {
+  EXPECT_EQ(BinIndexFor(-5.0, 0, 10, 5), 0);
+  EXPECT_EQ(BinIndexFor(15.0, 0, 10, 5), 4);
+}
+
+TEST(BinIndexTest, SingleBinTakesEverything) {
+  EXPECT_EQ(BinIndexFor(-100.0, 0, 10, 1), 0);
+  EXPECT_EQ(BinIndexFor(100.0, 0, 10, 1), 0);
+}
+
+class BinnedAggregateTest : public ::testing::Test {
+ protected:
+  BinnedAggregateTest()
+      : table_(Schema({{"d", ValueType::kInt64},
+                       {"m", ValueType::kDouble},
+                       {"s", ValueType::kString}})) {
+    // d in {0..9}, m = d * 1.0
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_TRUE(table_
+                      .AppendRow({Value(static_cast<int64_t>(i)),
+                                  Value(1.0 * i), Value("x")})
+                      .ok());
+    }
+  }
+
+  Table table_;
+};
+
+TEST_F(BinnedAggregateTest, SumPreservedAcrossAnyBinning) {
+  // Property: for SUM, total mass is invariant under binning.
+  for (int bins = 1; bins <= 12; ++bins) {
+    auto result = BinnedAggregate(table_, AllRows(10), "d", "m",
+                                  AggregateFunction::kSum, bins, 0.0, 9.0);
+    ASSERT_TRUE(result.ok()) << "bins=" << bins;
+    double total = 0.0;
+    for (double g : result->aggregates) total += g;
+    EXPECT_DOUBLE_EQ(total, 45.0) << "bins=" << bins;
+    EXPECT_EQ(result->aggregates.size(), static_cast<size_t>(bins));
+  }
+}
+
+TEST_F(BinnedAggregateTest, CountsPreserved) {
+  for (int bins : {1, 2, 3, 7, 10, 20}) {
+    auto result = BinnedAggregate(table_, AllRows(10), "d", "m",
+                                  AggregateFunction::kCount, bins, 0.0, 9.0);
+    ASSERT_TRUE(result.ok());
+    size_t rows = 0;
+    for (size_t c : result->row_counts) rows += c;
+    EXPECT_EQ(rows, 10u);
+  }
+}
+
+TEST_F(BinnedAggregateTest, TwoBinSplit) {
+  auto result = BinnedAggregate(table_, AllRows(10), "d", "m",
+                                AggregateFunction::kSum, 2, 0.0, 9.0);
+  ASSERT_TRUE(result.ok());
+  // Width 4.5: values 0..4 -> bin 0 (sum 10), 5..9 -> bin 1 (sum 35).
+  EXPECT_DOUBLE_EQ(result->aggregates[0], 10.0);
+  EXPECT_DOUBLE_EQ(result->aggregates[1], 35.0);
+}
+
+TEST_F(BinnedAggregateTest, EmptyBinsAreZero) {
+  // Only rows {0, 9}: middle bins empty.
+  const RowSet rows = {0, 9};
+  auto result = BinnedAggregate(table_, rows, "d", "m",
+                                AggregateFunction::kSum, 9, 0.0, 9.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->aggregates[0], 0.0);
+  EXPECT_DOUBLE_EQ(result->aggregates[8], 9.0);
+  for (int b = 1; b < 8; ++b) {
+    EXPECT_DOUBLE_EQ(result->aggregates[b], 0.0) << "bin " << b;
+    EXPECT_EQ(result->row_counts[b], 0u);
+  }
+}
+
+TEST_F(BinnedAggregateTest, BinBoundaryAccessors) {
+  auto result = BinnedAggregate(table_, AllRows(10), "d", "m",
+                                AggregateFunction::kSum, 3, 0.0, 9.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->bin_width(), 3.0);
+  EXPECT_DOUBLE_EQ(result->BinStart(0), 0.0);
+  EXPECT_DOUBLE_EQ(result->BinEnd(0), 3.0);
+  EXPECT_DOUBLE_EQ(result->BinStart(2), 6.0);
+  EXPECT_DOUBLE_EQ(result->BinEnd(2), 9.0);
+}
+
+TEST_F(BinnedAggregateTest, SubsetSharesComparisonRange) {
+  // A subset binned with the full range must place values by the full
+  // range's boundaries, not its own min/max.
+  const RowSet rows = {8, 9};
+  auto result = BinnedAggregate(table_, rows, "d", "m",
+                                AggregateFunction::kSum, 2, 0.0, 9.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->aggregates[0], 0.0);
+  EXPECT_DOUBLE_EQ(result->aggregates[1], 17.0);
+}
+
+TEST_F(BinnedAggregateTest, InvalidArguments) {
+  EXPECT_FALSE(BinnedAggregate(table_, AllRows(10), "d", "m",
+                               AggregateFunction::kSum, 0, 0.0, 9.0)
+                   .ok());
+  EXPECT_FALSE(BinnedAggregate(table_, AllRows(10), "d", "m",
+                               AggregateFunction::kSum, 3, 9.0, 0.0)
+                   .ok());
+  EXPECT_FALSE(BinnedAggregate(table_, AllRows(10), "s", "m",
+                               AggregateFunction::kSum, 3, 0.0, 9.0)
+                   .ok());
+  EXPECT_FALSE(BinnedAggregate(table_, AllRows(10), "d", "s",
+                               AggregateFunction::kSum, 3, 0.0, 9.0)
+                   .ok());
+  EXPECT_FALSE(BinnedAggregate(table_, AllRows(10), "nope", "m",
+                               AggregateFunction::kSum, 3, 0.0, 9.0)
+                   .ok());
+}
+
+TEST_F(BinnedAggregateTest, DegenerateRangeSingleBin) {
+  // All mass lands in bin 0 when lo == hi.
+  auto result = BinnedAggregate(table_, AllRows(10), "d", "m",
+                                AggregateFunction::kSum, 1, 5.0, 5.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->aggregates[0], 45.0);
+}
+
+TEST_F(BinnedAggregateTest, MoreBinsThanValues) {
+  auto result = BinnedAggregate(table_, AllRows(10), "d", "m",
+                                AggregateFunction::kSum, 100, 0.0, 9.0);
+  ASSERT_TRUE(result.ok());
+  double total = 0.0;
+  size_t nonempty = 0;
+  for (size_t b = 0; b < result->aggregates.size(); ++b) {
+    total += result->aggregates[b];
+    if (result->row_counts[b] > 0) ++nonempty;
+  }
+  EXPECT_DOUBLE_EQ(total, 45.0);
+  EXPECT_EQ(nonempty, 10u);
+}
+
+}  // namespace
+}  // namespace muve::storage

@@ -1,0 +1,87 @@
+#include "storage/column.h"
+
+#include <gtest/gtest.h>
+
+namespace muve::storage {
+namespace {
+
+TEST(ColumnTest, TypedAppendAndRead) {
+  Column col(ValueType::kInt64);
+  col.AppendInt64(5);
+  col.AppendInt64(-2);
+  ASSERT_EQ(col.size(), 2u);
+  EXPECT_EQ(col.Int64At(0), 5);
+  EXPECT_EQ(col.Int64At(1), -2);
+  EXPECT_DOUBLE_EQ(col.NumericAt(1), -2.0);
+  EXPECT_EQ(col.ValueAt(0), Value(int64_t{5}));
+}
+
+TEST(ColumnTest, NullTracking) {
+  Column col(ValueType::kDouble);
+  col.AppendDouble(1.0);
+  col.AppendNull();
+  ASSERT_EQ(col.size(), 2u);
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_TRUE(col.ValueAt(1).is_null());
+}
+
+TEST(ColumnTest, AppendValueCoercesIntegralDoubles) {
+  Column col(ValueType::kInt64);
+  EXPECT_TRUE(col.AppendValue(Value(3.0)).ok());
+  EXPECT_EQ(col.Int64At(0), 3);
+  EXPECT_FALSE(col.AppendValue(Value(3.5)).ok());
+  EXPECT_EQ(col.size(), 1u);
+}
+
+TEST(ColumnTest, AppendValueIntIntoDouble) {
+  Column col(ValueType::kDouble);
+  EXPECT_TRUE(col.AppendValue(Value(int64_t{7})).ok());
+  EXPECT_DOUBLE_EQ(col.DoubleAt(0), 7.0);
+}
+
+TEST(ColumnTest, AppendValueTypeMismatch) {
+  Column col(ValueType::kString);
+  EXPECT_FALSE(col.AppendValue(Value(1.0)).ok());
+  Column num(ValueType::kDouble);
+  EXPECT_FALSE(num.AppendValue(Value("nope")).ok());
+}
+
+TEST(ColumnTest, AppendNullValue) {
+  Column col(ValueType::kString);
+  EXPECT_TRUE(col.AppendValue(Value::Null()).ok());
+  EXPECT_TRUE(col.IsNull(0));
+}
+
+TEST(ColumnTest, NumericMinMaxSkipNulls) {
+  Column col(ValueType::kInt64);
+  col.AppendNull();
+  col.AppendInt64(4);
+  col.AppendInt64(-1);
+  col.AppendNull();
+  col.AppendInt64(9);
+  EXPECT_DOUBLE_EQ(*col.NumericMin(), -1.0);
+  EXPECT_DOUBLE_EQ(*col.NumericMax(), 9.0);
+}
+
+TEST(ColumnTest, NumericMinMaxErrors) {
+  Column str(ValueType::kString);
+  str.AppendString("a");
+  EXPECT_FALSE(str.NumericMin().ok());
+  Column empty(ValueType::kDouble);
+  EXPECT_FALSE(empty.NumericMax().ok());
+  Column all_null(ValueType::kDouble);
+  all_null.AppendNull();
+  EXPECT_FALSE(all_null.NumericMin().ok());
+}
+
+TEST(ColumnTest, StringStorage) {
+  Column col(ValueType::kString);
+  col.AppendString("alpha");
+  col.AppendString("beta");
+  EXPECT_EQ(col.StringAt(1), "beta");
+  EXPECT_EQ(col.ValueAt(0), Value("alpha"));
+}
+
+}  // namespace
+}  // namespace muve::storage

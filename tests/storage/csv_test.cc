@@ -1,0 +1,112 @@
+#include "storage/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace muve::storage {
+namespace {
+
+TEST(CsvReadTest, InfersTypes) {
+  auto table = ReadCsvString("id,score,name\n1,0.5,ann\n2,1.5,bob\n");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->schema().field(0).type, ValueType::kInt64);
+  EXPECT_EQ(table->schema().field(1).type, ValueType::kDouble);
+  EXPECT_EQ(table->schema().field(2).type, ValueType::kString);
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->At(1, 2), Value("bob"));
+}
+
+TEST(CsvReadTest, MixedIntAndFloatBecomesDouble) {
+  auto table = ReadCsvString("v\n1\n2.5\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->schema().field(0).type, ValueType::kDouble);
+}
+
+TEST(CsvReadTest, EmptyFieldsAreNull) {
+  auto table = ReadCsvString("a,b\n1,\n,2\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(table->At(0, 1).is_null());
+  EXPECT_TRUE(table->At(1, 0).is_null());
+  EXPECT_EQ(table->At(0, 0), Value(int64_t{1}));
+}
+
+TEST(CsvReadTest, QuotedFieldsWithDelimitersAndEscapes) {
+  auto table = ReadCsvString(
+      "name,notes\n\"Smith, John\",\"said \"\"hi\"\"\"\nplain,ok\n");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->At(0, 0), Value("Smith, John"));
+  EXPECT_EQ(table->At(0, 1), Value("said \"hi\""));
+}
+
+TEST(CsvReadTest, CrLfLineEndings) {
+  auto table = ReadCsvString("a,b\r\n1,2\r\n3,4\r\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->At(1, 1), Value(int64_t{4}));
+}
+
+TEST(CsvReadTest, FieldCountMismatchFails) {
+  EXPECT_FALSE(ReadCsvString("a,b\n1\n").ok());
+}
+
+TEST(CsvReadTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ReadCsvString("a\n\"oops\n").ok());
+}
+
+TEST(CsvReadTest, EmptyInputFails) {
+  EXPECT_FALSE(ReadCsvString("").ok());
+}
+
+TEST(CsvReadTest, ExplicitSchemaEnforcesTypes) {
+  CsvOptions options;
+  options.schema = Schema({{"id", ValueType::kInt64},
+                           {"score", ValueType::kDouble}});
+  auto ok = ReadCsvString("id,score\n1,2.5\n", options);
+  ASSERT_TRUE(ok.ok());
+  // Non-numeric cell in an int column fails.
+  auto bad = ReadCsvString("id,score\nx,2.5\n", options);
+  EXPECT_FALSE(bad.ok());
+  // Header mismatch fails.
+  auto wrong = ReadCsvString("idx,score\n1,2.5\n", options);
+  EXPECT_FALSE(wrong.ok());
+}
+
+TEST(CsvReadTest, SchemaHeaderIsCaseInsensitive) {
+  CsvOptions options;
+  options.schema = Schema({{"ID", ValueType::kInt64}});
+  auto table = ReadCsvString("id\n3\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->schema().field(0).name, "ID");
+}
+
+TEST(CsvRoundTripTest, WriteThenReadPreservesData) {
+  auto original = ReadCsvString(
+      "i,d,s\n1,0.5,\"a,b\"\n2,1.5,\"quote\"\"d\"\n-3,2.0,plain\n");
+  ASSERT_TRUE(original.ok());
+  const std::string text = WriteCsvString(*original);
+  auto reread = ReadCsvString(text);
+  ASSERT_TRUE(reread.ok()) << reread.status().ToString();
+  ASSERT_EQ(reread->num_rows(), original->num_rows());
+  for (size_t r = 0; r < original->num_rows(); ++r) {
+    for (size_t c = 0; c < original->num_columns(); ++c) {
+      EXPECT_EQ(original->At(r, c), reread->At(r, c)) << r << "," << c;
+    }
+  }
+}
+
+TEST(CsvFileTest, MissingFileFails) {
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/path.csv").ok());
+}
+
+TEST(CsvFileTest, WriteAndReadBack) {
+  auto table = ReadCsvString("a,b\n1,two\n");
+  ASSERT_TRUE(table.ok());
+  const std::string path = ::testing::TempDir() + "/muve_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(*table, path).ok());
+  auto reread = ReadCsvFile(path);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(reread->num_rows(), 1u);
+  EXPECT_EQ(reread->At(0, 1), Value("two"));
+}
+
+}  // namespace
+}  // namespace muve::storage

@@ -1,0 +1,120 @@
+#include "storage/group_by.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/table.h"
+
+namespace muve::storage {
+namespace {
+
+class GroupByTest : public ::testing::Test {
+ protected:
+  GroupByTest()
+      : table_(Schema({{"dim", ValueType::kInt64},
+                       {"m", ValueType::kDouble},
+                       {"label", ValueType::kString}})) {
+    Append(2, 10.0);
+    Append(1, 1.0);
+    Append(2, 20.0);
+    Append(3, 5.0);
+    Append(1, 3.0);
+  }
+
+  void Append(int64_t d, double m) {
+    ASSERT_TRUE(
+        table_.AppendRow({Value(d), Value(m), Value("x")}).ok());
+  }
+
+  Table table_;
+};
+
+TEST_F(GroupByTest, SumGroupsSortedByKey) {
+  auto result = GroupByAggregate(table_, AllRows(table_.num_rows()), "dim",
+                                 "m", AggregateFunction::kSum);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_groups(), 3u);
+  EXPECT_EQ(result->keys[0], Value(int64_t{1}));
+  EXPECT_EQ(result->keys[1], Value(int64_t{2}));
+  EXPECT_EQ(result->keys[2], Value(int64_t{3}));
+  EXPECT_DOUBLE_EQ(result->aggregates[0], 4.0);
+  EXPECT_DOUBLE_EQ(result->aggregates[1], 30.0);
+  EXPECT_DOUBLE_EQ(result->aggregates[2], 5.0);
+  EXPECT_EQ(result->row_counts[1], 2u);
+}
+
+TEST_F(GroupByTest, RestrictedRowSet) {
+  const RowSet rows = {0, 1};  // only first two rows
+  auto result = GroupByAggregate(table_, rows, "dim", "m",
+                                 AggregateFunction::kSum);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_groups(), 2u);
+  EXPECT_DOUBLE_EQ(result->aggregates[0], 1.0);   // key 1
+  EXPECT_DOUBLE_EQ(result->aggregates[1], 10.0);  // key 2
+}
+
+TEST_F(GroupByTest, AvgAndCount) {
+  auto avg = GroupByAggregate(table_, AllRows(table_.num_rows()), "dim", "m",
+                              AggregateFunction::kAvg);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_DOUBLE_EQ(avg->aggregates[1], 15.0);
+
+  auto count = GroupByAggregate(table_, AllRows(table_.num_rows()), "dim",
+                                "m", AggregateFunction::kCount);
+  ASSERT_TRUE(count.ok());
+  EXPECT_DOUBLE_EQ(count->aggregates[0], 2.0);
+}
+
+TEST_F(GroupByTest, NullDimensionRowsSkipped) {
+  ASSERT_TRUE(
+      table_.AppendRow({Value::Null(), Value(99.0), Value("x")}).ok());
+  auto result = GroupByAggregate(table_, AllRows(table_.num_rows()), "dim",
+                                 "m", AggregateFunction::kSum);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_groups(), 3u);
+  double total = 0;
+  for (double g : result->aggregates) total += g;
+  EXPECT_DOUBLE_EQ(total, 39.0);  // 99 not included
+}
+
+TEST_F(GroupByTest, NullMeasureSkippedExceptCount) {
+  ASSERT_TRUE(
+      table_.AppendRow({Value(int64_t{1}), Value::Null(), Value("x")}).ok());
+  auto sum = GroupByAggregate(table_, AllRows(table_.num_rows()), "dim", "m",
+                              AggregateFunction::kSum);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(sum->aggregates[0], 4.0);  // unchanged
+
+  // COUNT(m) also skips NULL measures per SQL semantics.
+  auto count = GroupByAggregate(table_, AllRows(table_.num_rows()), "dim",
+                                "m", AggregateFunction::kCount);
+  ASSERT_TRUE(count.ok());
+  EXPECT_DOUBLE_EQ(count->aggregates[0], 2.0);
+}
+
+TEST_F(GroupByTest, StringMeasureOnlyCountable) {
+  auto sum = GroupByAggregate(table_, AllRows(table_.num_rows()), "dim",
+                              "label", AggregateFunction::kSum);
+  EXPECT_FALSE(sum.ok());
+  auto count = GroupByAggregate(table_, AllRows(table_.num_rows()), "dim",
+                                "label", AggregateFunction::kCount);
+  EXPECT_TRUE(count.ok());
+}
+
+TEST_F(GroupByTest, UnknownColumnsError) {
+  EXPECT_FALSE(GroupByAggregate(table_, AllRows(5), "nope", "m",
+                                AggregateFunction::kSum)
+                   .ok());
+  EXPECT_FALSE(GroupByAggregate(table_, AllRows(5), "dim", "nope",
+                                AggregateFunction::kSum)
+                   .ok());
+}
+
+TEST_F(GroupByTest, EmptyRowSetYieldsNoGroups) {
+  auto result =
+      GroupByAggregate(table_, RowSet{}, "dim", "m", AggregateFunction::kSum);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_groups(), 0u);
+}
+
+}  // namespace
+}  // namespace muve::storage

@@ -1,0 +1,114 @@
+#include "storage/multi_aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/table.h"
+
+namespace muve::storage {
+namespace {
+
+class MultiAggregateTest : public ::testing::Test {
+ protected:
+  MultiAggregateTest()
+      : table_(Schema({{"d", ValueType::kInt64},
+                       {"m1", ValueType::kDouble},
+                       {"m2", ValueType::kDouble}})) {
+    common::Rng rng(9);
+    for (int i = 0; i < 80; ++i) {
+      std::vector<Value> row = {
+          Value(rng.UniformInt(0, 19)),
+          Value(rng.Uniform(0.0, 10.0)),
+          Value(rng.Uniform(-5.0, 5.0)),
+      };
+      // Sprinkle NULLs into m2 so per-spec group sets diverge.
+      if (i % 7 == 0) row[2] = Value::Null();
+      EXPECT_TRUE(table_.AppendRow(row).ok());
+    }
+  }
+
+  Table table_;
+};
+
+std::vector<AggregateSpec> AllSpecs() {
+  std::vector<AggregateSpec> specs;
+  for (const AggregateFunction f : AllAggregateFunctions()) {
+    specs.push_back({"m1", f});
+    specs.push_back({"m2", f});
+  }
+  return specs;
+}
+
+TEST_F(MultiAggregateTest, BinnedMatchesPerViewKernels) {
+  const std::vector<AggregateSpec> specs = AllSpecs();
+  for (const int bins : {1, 3, 7, 20}) {
+    auto multi = MultiBinnedAggregate(table_, AllRows(80), "d", specs, bins,
+                                      0.0, 19.0);
+    ASSERT_TRUE(multi.ok()) << multi.status().ToString();
+    ASSERT_EQ(multi->size(), specs.size());
+    for (size_t s = 0; s < specs.size(); ++s) {
+      auto single =
+          BinnedAggregate(table_, AllRows(80), "d", specs[s].measure,
+                          specs[s].function, bins, 0.0, 19.0);
+      ASSERT_TRUE(single.ok());
+      ASSERT_EQ((*multi)[s].aggregates.size(), single->aggregates.size());
+      for (size_t b = 0; b < single->aggregates.size(); ++b) {
+        EXPECT_DOUBLE_EQ((*multi)[s].aggregates[b], single->aggregates[b])
+            << AggregateName(specs[s].function) << "(" << specs[s].measure
+            << ") bins=" << bins << " bin=" << b;
+        EXPECT_EQ((*multi)[s].row_counts[b], single->row_counts[b]);
+      }
+    }
+  }
+}
+
+TEST_F(MultiAggregateTest, GroupByMatchesPerViewKernels) {
+  const std::vector<AggregateSpec> specs = AllSpecs();
+  auto multi = MultiGroupByAggregate(table_, AllRows(80), "d", specs);
+  ASSERT_TRUE(multi.ok()) << multi.status().ToString();
+  for (size_t s = 0; s < specs.size(); ++s) {
+    auto single = GroupByAggregate(table_, AllRows(80), "d",
+                                   specs[s].measure, specs[s].function);
+    ASSERT_TRUE(single.ok());
+    ASSERT_EQ((*multi)[s].num_groups(), single->num_groups())
+        << AggregateName(specs[s].function) << "(" << specs[s].measure
+        << ")";
+    for (size_t g = 0; g < single->num_groups(); ++g) {
+      EXPECT_EQ((*multi)[s].keys[g], single->keys[g]);
+      EXPECT_DOUBLE_EQ((*multi)[s].aggregates[g], single->aggregates[g]);
+      EXPECT_EQ((*multi)[s].row_counts[g], single->row_counts[g]);
+    }
+  }
+}
+
+TEST_F(MultiAggregateTest, RestrictedRowSet) {
+  const RowSet rows = {0, 5, 10, 15, 20};
+  const std::vector<AggregateSpec> specs = {
+      {"m1", AggregateFunction::kSum}};
+  auto multi =
+      MultiBinnedAggregate(table_, rows, "d", specs, 4, 0.0, 19.0);
+  auto single = BinnedAggregate(table_, rows, "d", "m1",
+                                AggregateFunction::kSum, 4, 0.0, 19.0);
+  ASSERT_TRUE(multi.ok());
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ((*multi)[0].aggregates, single->aggregates);
+}
+
+TEST_F(MultiAggregateTest, Validation) {
+  EXPECT_FALSE(
+      MultiBinnedAggregate(table_, AllRows(80), "d", {}, 3, 0, 19).ok());
+  EXPECT_FALSE(MultiBinnedAggregate(table_, AllRows(80), "d",
+                                    {{"nope", AggregateFunction::kSum}}, 3,
+                                    0, 19)
+                   .ok());
+  EXPECT_FALSE(MultiBinnedAggregate(table_, AllRows(80), "d",
+                                    {{"m1", AggregateFunction::kSum}}, 0, 0,
+                                    19)
+                   .ok());
+  EXPECT_FALSE(MultiGroupByAggregate(table_, AllRows(80), "nope",
+                                     {{"m1", AggregateFunction::kSum}})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace muve::storage

@@ -1,0 +1,141 @@
+#include "storage/predicate.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/table.h"
+
+namespace muve::storage {
+namespace {
+
+class PredicateTest : public ::testing::Test {
+ protected:
+  PredicateTest()
+      : table_(Schema({{"x", ValueType::kInt64},
+                       {"name", ValueType::kString},
+                       {"w", ValueType::kDouble}})) {
+    Append(1, "a", 0.5);
+    Append(2, "b", 1.5);
+    Append(3, "a", 2.5);
+    Append(4, "c", 3.5);
+    AppendNullX("d", 4.5);
+  }
+
+  void Append(int64_t x, const char* name, double w) {
+    ASSERT_TRUE(
+        table_.AppendRow({Value(x), Value(name), Value(w)}).ok());
+  }
+  void AppendNullX(const char* name, double w) {
+    ASSERT_TRUE(
+        table_.AppendRow({Value::Null(), Value(name), Value(w)}).ok());
+  }
+
+  RowSet Run(PredicatePtr pred) {
+    auto result = Filter(table_, pred.get());
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? *result : RowSet{};
+  }
+
+  Table table_;
+};
+
+TEST_F(PredicateTest, ComparisonOperators) {
+  EXPECT_EQ(Run(MakeComparison("x", CompareOp::kEq, Value(int64_t{2}))),
+            (RowSet{1}));
+  EXPECT_EQ(Run(MakeComparison("x", CompareOp::kNe, Value(int64_t{2}))),
+            (RowSet{0, 2, 3}));  // NULL row never matches
+  EXPECT_EQ(Run(MakeComparison("x", CompareOp::kLt, Value(int64_t{3}))),
+            (RowSet{0, 1}));
+  EXPECT_EQ(Run(MakeComparison("x", CompareOp::kLe, Value(int64_t{3}))),
+            (RowSet{0, 1, 2}));
+  EXPECT_EQ(Run(MakeComparison("x", CompareOp::kGt, Value(int64_t{3}))),
+            (RowSet{3}));
+  EXPECT_EQ(Run(MakeComparison("x", CompareOp::kGe, Value(int64_t{3}))),
+            (RowSet{2, 3}));
+}
+
+TEST_F(PredicateTest, StringEquality) {
+  EXPECT_EQ(Run(MakeComparison("name", CompareOp::kEq, Value("a"))),
+            (RowSet{0, 2}));
+}
+
+TEST_F(PredicateTest, CrossTypeNumericComparison) {
+  // Integer column compared against double literal.
+  EXPECT_EQ(Run(MakeComparison("x", CompareOp::kEq, Value(2.0))),
+            (RowSet{1}));
+  EXPECT_EQ(Run(MakeComparison("x", CompareOp::kGt, Value(2.5))),
+            (RowSet{2, 3}));
+}
+
+TEST_F(PredicateTest, Between) {
+  EXPECT_EQ(Run(MakeBetween("x", Value(int64_t{2}), Value(int64_t{3}))),
+            (RowSet{1, 2}));
+}
+
+TEST_F(PredicateTest, AndOrNot) {
+  auto both = MakeAnd(MakeComparison("name", CompareOp::kEq, Value("a")),
+                      MakeComparison("x", CompareOp::kGt, Value(int64_t{1})));
+  EXPECT_EQ(Run(std::move(both)), (RowSet{2}));
+
+  auto either = MakeOr(MakeComparison("x", CompareOp::kEq, Value(int64_t{1})),
+                       MakeComparison("x", CompareOp::kEq, Value(int64_t{4})));
+  EXPECT_EQ(Run(std::move(either)), (RowSet{0, 3}));
+
+  auto negated =
+      MakeNot(MakeComparison("name", CompareOp::kEq, Value("a")));
+  EXPECT_EQ(Run(std::move(negated)), (RowSet{1, 3, 4}));
+}
+
+TEST_F(PredicateTest, InList) {
+  EXPECT_EQ(Run(MakeInList("x", {Value(int64_t{1}), Value(int64_t{4})})),
+            (RowSet{0, 3}));
+  EXPECT_EQ(Run(MakeInList("name", {Value("a"), Value("c")})),
+            (RowSet{0, 2, 3}));
+  // Cross-type numeric membership.
+  EXPECT_EQ(Run(MakeInList("x", {Value(2.0)})), (RowSet{1}));
+  // Empty list matches nothing.
+  EXPECT_EQ(Run(MakeInList("x", {})), (RowSet{}));
+  // NULL cells never match, even against a NULL literal.
+  EXPECT_EQ(Run(MakeInList("x", {Value::Null()})), (RowSet{}));
+}
+
+TEST_F(PredicateTest, IsNull) {
+  EXPECT_EQ(Run(MakeIsNull("x")), (RowSet{4}));
+  EXPECT_EQ(Run(MakeIsNull("x", /*negate=*/true)), (RowSet{0, 1, 2, 3}));
+  EXPECT_EQ(Run(MakeIsNull("w")), (RowSet{}));
+}
+
+TEST_F(PredicateTest, TrueMatchesEverything) {
+  EXPECT_EQ(Run(MakeTrue()), (RowSet{0, 1, 2, 3, 4}));
+}
+
+TEST_F(PredicateTest, NullComparisonsNeverMatch) {
+  // Row 4 has NULL x; no comparison on x selects it.
+  for (const CompareOp op : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                             CompareOp::kGe}) {
+    const RowSet rows = Run(MakeComparison("x", op, Value(int64_t{100})));
+    for (uint32_t r : rows) EXPECT_NE(r, 4u);
+  }
+}
+
+TEST_F(PredicateTest, FilterOverBaseRowSet) {
+  auto pred = MakeComparison("x", CompareOp::kGe, Value(int64_t{2}));
+  const RowSet base = {0, 2, 4};
+  auto result = Filter(table_, pred.get(), &base);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, (RowSet{2}));
+}
+
+TEST_F(PredicateTest, UnknownColumnFailsBind) {
+  auto pred = MakeComparison("missing", CompareOp::kEq, Value(int64_t{1}));
+  EXPECT_FALSE(Filter(table_, pred.get()).ok());
+}
+
+TEST_F(PredicateTest, ToStringRoundReadable) {
+  auto pred = MakeAnd(MakeComparison("x", CompareOp::kLe, Value(int64_t{3})),
+                      MakeNot(MakeComparison("name", CompareOp::kEq,
+                                             Value("a"))));
+  EXPECT_EQ(pred->ToString(), "(x <= 3 AND NOT (name = a))");
+}
+
+}  // namespace
+}  // namespace muve::storage

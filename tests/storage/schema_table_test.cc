@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace muve::storage {
+namespace {
+
+Schema TestSchema() {
+  return Schema({
+      {"id", ValueType::kInt64, FieldRole::kNone},
+      {"age", ValueType::kInt64, FieldRole::kDimension},
+      {"score", ValueType::kDouble, FieldRole::kMeasure},
+      {"name", ValueType::kString, FieldRole::kNone},
+  });
+}
+
+TEST(SchemaTest, FieldLookupIsCaseInsensitive) {
+  const Schema schema = TestSchema();
+  EXPECT_EQ(*schema.FieldIndex("AGE"), 1u);
+  EXPECT_EQ(*schema.FieldIndex("age"), 1u);
+  EXPECT_TRUE(schema.HasField("Score"));
+  EXPECT_FALSE(schema.HasField("missing"));
+  EXPECT_FALSE(schema.FieldIndex("missing").ok());
+}
+
+TEST(SchemaTest, DuplicateNamesRejected) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddField({"a", ValueType::kInt64}).ok());
+  EXPECT_FALSE(schema.AddField({"A", ValueType::kDouble}).ok());
+  EXPECT_EQ(schema.num_fields(), 1u);
+}
+
+TEST(SchemaTest, RoleQueries) {
+  const Schema schema = TestSchema();
+  EXPECT_EQ(schema.FieldNamesWithRole(FieldRole::kDimension),
+            std::vector<std::string>{"age"});
+  EXPECT_EQ(schema.FieldNamesWithRole(FieldRole::kMeasure),
+            std::vector<std::string>{"score"});
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_TRUE(TestSchema() == TestSchema());
+  Schema other({{"x", ValueType::kInt64}});
+  EXPECT_FALSE(TestSchema() == other);
+}
+
+TEST(TableTest, AppendAndRead) {
+  Table table(TestSchema());
+  ASSERT_TRUE(table
+                  .AppendRow({Value(int64_t{1}), Value(int64_t{30}),
+                              Value(0.5), Value("ann")})
+                  .ok());
+  ASSERT_TRUE(table
+                  .AppendRow({Value(int64_t{2}), Value(int64_t{40}),
+                              Value(0.7), Value("bob")})
+                  .ok());
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.num_columns(), 4u);
+  EXPECT_EQ(table.At(1, 3), Value("bob"));
+  EXPECT_EQ(table.At(0, 1), Value(int64_t{30}));
+}
+
+TEST(TableTest, ArityMismatchRejected) {
+  Table table(TestSchema());
+  EXPECT_FALSE(table.AppendRow({Value(int64_t{1})}).ok());
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+TEST(TableTest, TypeMismatchLeavesTableUnchanged) {
+  Table table(TestSchema());
+  // Third column expects double but receives string: whole row rejected.
+  const auto st = table.AppendRow(
+      {Value(int64_t{1}), Value(int64_t{2}), Value("oops"), Value("x")});
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(table.num_rows(), 0u);
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    EXPECT_EQ(table.column(c).size(), 0u);
+  }
+}
+
+TEST(TableTest, NullsAllowedAnywhere) {
+  Table table(TestSchema());
+  ASSERT_TRUE(table
+                  .AppendRow({Value::Null(), Value::Null(), Value::Null(),
+                              Value::Null()})
+                  .ok());
+  EXPECT_TRUE(table.At(0, 2).is_null());
+}
+
+TEST(TableTest, ColumnByName) {
+  Table table(TestSchema());
+  EXPECT_TRUE(table.ColumnByName("score").ok());
+  EXPECT_FALSE(table.ColumnByName("nope").ok());
+}
+
+TEST(TableTest, ToStringTruncates) {
+  Table table(TestSchema());
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_TRUE(table
+                    .AppendRow({Value(int64_t{i}), Value(int64_t{i}),
+                                Value(1.0 * i), Value("n")})
+                    .ok());
+  }
+  const std::string text = table.ToString(5);
+  EXPECT_NE(text.find("more rows"), std::string::npos);
+}
+
+TEST(RowSetTest, AllRows) {
+  const RowSet rows = AllRows(4);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0], 0u);
+  EXPECT_EQ(rows[3], 3u);
+}
+
+}  // namespace
+}  // namespace muve::storage

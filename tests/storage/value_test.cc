@@ -1,0 +1,71 @@
+#include "storage/value.h"
+
+#include <gtest/gtest.h>
+
+namespace muve::storage {
+namespace {
+
+TEST(ValueTest, Types) {
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_EQ(Value(int64_t{3}).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(3.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value("hi").type(), ValueType::kString);
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(int64_t{1}).is_numeric());
+  EXPECT_TRUE(Value(1.0).is_numeric());
+  EXPECT_FALSE(Value("x").is_numeric());
+}
+
+TEST(ValueTest, CrossTypeNumericEquality) {
+  EXPECT_EQ(Value(int64_t{1}), Value(1.0));
+  EXPECT_EQ(Value(1.0), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value(1.5));
+}
+
+TEST(ValueTest, NullEquality) {
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Null(), Value(int64_t{0}));
+  EXPECT_NE(Value(""), Value::Null());
+}
+
+TEST(ValueTest, OrderingWithinNumerics) {
+  EXPECT_LT(Value(int64_t{1}), Value(2.5));
+  EXPECT_LT(Value(-1.0), Value(int64_t{0}));
+  EXPECT_FALSE(Value(int64_t{2}) < Value(int64_t{2}));
+}
+
+TEST(ValueTest, OrderingAcrossKinds) {
+  // null < numerics < strings.
+  EXPECT_LT(Value::Null(), Value(int64_t{-100}));
+  EXPECT_LT(Value(int64_t{100}), Value("a"));
+  EXPECT_LT(Value("a"), Value("b"));
+}
+
+TEST(ValueTest, EqualValuesHashEqual) {
+  EXPECT_EQ(Value(int64_t{7}).Hash(), Value(7.0).Hash());
+  EXPECT_EQ(Value("abc").Hash(), Value("abc").Hash());
+}
+
+TEST(ValueTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(*Value(int64_t{4}).ToDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(*Value(2.5).ToDouble(), 2.5);
+  EXPECT_FALSE(Value("x").ToDouble().ok());
+  EXPECT_FALSE(Value::Null().ToDouble().ok());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "");
+  EXPECT_EQ(Value(int64_t{-3}).ToString(), "-3");
+  EXPECT_EQ(Value("hey").ToString(), "hey");
+  EXPECT_EQ(Value(2.0).ToString(), "2.0");
+  EXPECT_EQ(Value(2.5).ToString(), "2.500000");
+}
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_EQ(Value(int64_t{9}).AsInt64(), 9);
+  EXPECT_DOUBLE_EQ(Value(1.5).AsDoubleExact(), 1.5);
+  EXPECT_EQ(Value("s").AsString(), "s");
+}
+
+}  // namespace
+}  // namespace muve::storage

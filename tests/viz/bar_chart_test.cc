@@ -1,0 +1,91 @@
+#include "viz/bar_chart.h"
+
+#include <gtest/gtest.h>
+
+namespace muve::viz {
+namespace {
+
+TEST(BarChartTest, RendersLabelsValuesAndBars) {
+  Series series;
+  series.title = "demo";
+  series.labels = {"a", "bb"};
+  series.values = {1.0, 2.0};
+  const std::string out = RenderBarChart(series);
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("a "), std::string::npos);
+  EXPECT_NE(out.find("bb"), std::string::npos);
+  EXPECT_NE(out.find("2.000"), std::string::npos);
+  // The larger value gets the longer bar.
+  const size_t line_a = out.find("a ");
+  const size_t line_b = out.find("bb");
+  const size_t hashes_a =
+      std::count(out.begin() + line_a, out.begin() + out.find('\n', line_a),
+                 '#');
+  const size_t hashes_b =
+      std::count(out.begin() + line_b, out.begin() + out.find('\n', line_b),
+                 '#');
+  EXPECT_GT(hashes_b, hashes_a);
+}
+
+TEST(BarChartTest, NormalizeRendersFractions) {
+  Series series;
+  series.labels = {"x", "y"};
+  series.values = {1.0, 3.0};
+  BarChartOptions options;
+  options.normalize = true;
+  const std::string out = RenderBarChart(series, options);
+  EXPECT_NE(out.find("0.250"), std::string::npos);
+  EXPECT_NE(out.find("0.750"), std::string::npos);
+}
+
+TEST(BarChartTest, ZeroAndNegativeValuesGetNoBar) {
+  Series series;
+  series.labels = {"z", "n", "p"};
+  series.values = {0.0, -5.0, 1.0};
+  const std::string out = RenderBarChart(series);
+  // Exactly the max-width bar for 'p' plus none elsewhere.
+  const size_t total_hashes = std::count(out.begin(), out.end(), '#');
+  BarChartOptions defaults;
+  EXPECT_EQ(total_hashes, defaults.max_bar_width);
+}
+
+TEST(BarChartTest, EmptySeriesRendersTitleOnly) {
+  Series series;
+  series.title = "empty";
+  const std::string out = RenderBarChart(series);
+  EXPECT_EQ(out, "empty\n");
+}
+
+TEST(SideBySideTest, RendersBothSeries) {
+  Series left;
+  left.title = "target";
+  left.labels = {"[0,1)", "[1,2]"};
+  left.values = {0.8, 0.2};
+  Series right;
+  right.title = "comparison";
+  right.labels = left.labels;
+  right.values = {0.5, 0.5};
+  const std::string out = RenderSideBySide(left, right);
+  EXPECT_NE(out.find("target"), std::string::npos);
+  EXPECT_NE(out.find("comparison"), std::string::npos);
+  EXPECT_NE(out.find("[0,1)"), std::string::npos);
+  EXPECT_NE(out.find("0.800"), std::string::npos);
+  EXPECT_NE(out.find("0.500"), std::string::npos);
+}
+
+TEST(BinLabelsTest, BuildsHalfOpenIntervalsWithClosedLast) {
+  const auto labels = BinLabels(0.0, 9.0, 3);
+  ASSERT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels[0], "[0, 3)");
+  EXPECT_EQ(labels[1], "[3, 6)");
+  EXPECT_EQ(labels[2], "[6, 9]");
+}
+
+TEST(BinLabelsTest, Precision) {
+  const auto labels = BinLabels(0.0, 1.0, 2, 2);
+  EXPECT_EQ(labels[0], "[0.00, 0.50)");
+  EXPECT_EQ(labels[1], "[0.50, 1.00]");
+}
+
+}  // namespace
+}  // namespace muve::viz

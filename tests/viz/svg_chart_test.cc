@@ -1,0 +1,132 @@
+#include "viz/svg_chart.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace muve::viz {
+namespace {
+
+GroupedBarChart MakeChart() {
+  GroupedBarChart chart;
+  chart.title = "SUM(3PAr) BY MP";
+  chart.labels = {"[0, 480)", "[480, 960)", "[960, 1440]"};
+  chart.target = {0.2, 0.3, 0.5};
+  chart.comparison = {0.5, 0.3, 0.2};
+  return chart;
+}
+
+TEST(EscapeXmlTest, EscapesSpecials) {
+  EXPECT_EQ(EscapeXml("a<b & \"c\" > d"),
+            "a&lt;b &amp; &quot;c&quot; &gt; d");
+  EXPECT_EQ(EscapeXml("plain"), "plain");
+  EXPECT_EQ(EscapeXml(""), "");
+}
+
+TEST(SvgChartTest, ContainsStructuralElements) {
+  const std::string svg = RenderSvg(MakeChart());
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("SUM(3PAr) BY MP"), std::string::npos);
+  EXPECT_NE(svg.find("target"), std::string::npos);
+  EXPECT_NE(svg.find("comparison"), std::string::npos);
+  // 3 groups x 2 bars + 2 legend swatches + background = 9 rects.
+  size_t rects = 0;
+  size_t pos = 0;
+  while ((pos = svg.find("<rect", pos)) != std::string::npos) {
+    ++rects;
+    pos += 5;
+  }
+  EXPECT_EQ(rects, 9u);
+  // Every bin label appears (escaped if needed).
+  for (const auto& label : MakeChart().labels) {
+    EXPECT_NE(svg.find(EscapeXml(label)), std::string::npos) << label;
+  }
+}
+
+TEST(SvgChartTest, TallerBarsForLargerValues) {
+  const std::string svg = RenderSvg(MakeChart());
+  // The max target value (0.5) renders a bar of full plot height; check
+  // no negative-height rects leak in regardless.
+  EXPECT_EQ(svg.find("height=\"-"), std::string::npos);
+}
+
+TEST(SvgChartTest, HandlesEmptyChart) {
+  GroupedBarChart empty;
+  empty.title = "empty";
+  const std::string svg = RenderSvg(empty);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("empty"), std::string::npos);
+}
+
+TEST(SvgChartTest, HandlesAllZeroValues) {
+  GroupedBarChart chart;
+  chart.title = "zeros";
+  chart.labels = {"a", "b"};
+  chart.target = {0.0, 0.0};
+  chart.comparison = {0.0, 0.0};
+  const std::string svg = RenderSvg(chart);
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+  EXPECT_EQ(svg.find("inf"), std::string::npos);
+}
+
+TEST(SvgChartTest, NegativeValuesClampToZeroHeight) {
+  GroupedBarChart chart;
+  chart.title = "neg";
+  chart.labels = {"a"};
+  chart.target = {-3.0};
+  chart.comparison = {1.0};
+  const std::string svg = RenderSvg(chart);
+  EXPECT_EQ(svg.find("height=\"-"), std::string::npos);
+}
+
+TEST(SvgChartTest, ManyLabelsUseRotatedText) {
+  GroupedBarChart chart;
+  chart.title = "many";
+  for (int i = 0; i < 12; ++i) {
+    chart.labels.push_back("bin" + std::to_string(i));
+    chart.target.push_back(1.0);
+    chart.comparison.push_back(2.0);
+  }
+  const std::string svg = RenderSvg(chart);
+  EXPECT_NE(svg.find("rotate(-45"), std::string::npos);
+}
+
+TEST(HtmlReportTest, WrapsChartsInDocument) {
+  const std::string html =
+      RenderHtmlReport("MuVE top-2", {MakeChart(), MakeChart()});
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("<h1>MuVE top-2</h1>"), std::string::npos);
+  // Two figures.
+  size_t figures = 0;
+  size_t pos = 0;
+  while ((pos = html.find("<figure>", pos)) != std::string::npos) {
+    ++figures;
+    pos += 8;
+  }
+  EXPECT_EQ(figures, 2u);
+}
+
+TEST(HtmlReportTest, TitleIsEscaped) {
+  const std::string html = RenderHtmlReport("a<b>&c", {});
+  EXPECT_NE(html.find("a&lt;b&gt;&amp;c"), std::string::npos);
+  EXPECT_EQ(html.find("<h1>a<b>"), std::string::npos);
+}
+
+TEST(HtmlReportTest, WritesToDisk) {
+  const std::string path = ::testing::TempDir() + "/muve_report.html";
+  ASSERT_TRUE(WriteHtmlReport(path, "report", {MakeChart()}).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("<svg"), std::string::npos);
+}
+
+TEST(HtmlReportTest, BadPathFails) {
+  EXPECT_FALSE(
+      WriteHtmlReport("/nonexistent_dir/x.html", "t", {}).ok());
+}
+
+}  // namespace
+}  // namespace muve::viz

@@ -1,0 +1,385 @@
+// muve_cli — run any recommendation configuration from the command line.
+//
+//   $ muve_cli --dataset=nba --scheme=muve-muve --k=5 \
+//              --weights=0.6,0.2,0.2 --distance=euclidean
+//   $ muve_cli --csv=mydata.csv --dims=age,height --measures=score \
+//              --predicate="segment = 'trial'" --scheme=linear-linear
+//   $ muve_cli --dataset=diab --scheme=linear-linear --approx=refine \
+//              --fidelity
+//
+// Flags:
+//   --dataset=diab|nba        bundled synthetic dataset (default: diab)
+//   --csv=PATH                load a CSV instead (requires --dims,
+//                             --measures, --predicate)
+//   --dims=a,b  --measures=x,y  --cat-dims=p,q   workload columns for CSV
+//   --predicate=SQL           analyst predicate selecting D_Q
+//   --num-dims=N --num-measures=N --num-functions=N   workload truncation
+//   --scheme=linear-linear|hc-linear|muve-linear|muve-muve
+//   --weights=D,A,S           alpha weights (default 0.2,0.2,0.6)
+//   --k=N                     top-k (default 5)
+//   --distance=NAME           euclidean|l1|chebyshev|emd|kl|js
+//   --partition=additive|geometric  --step=N
+//   --approx=none|refine|skip [--def-bins=N]
+//   --shared                  SeeDB-style shared scans (linear-linear only)
+//   --fidelity                also run Linear-Linear and report fidelity
+//   --charts                  render the recommended views as bar charts
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/string_util.h"
+#include "core/fidelity.h"
+#include "core/recommender.h"
+#include "data/diab.h"
+#include "data/nba.h"
+#include "sql/parser.h"
+#include "storage/binned_group_by.h"
+#include "storage/csv.h"
+#include "storage/predicate.h"
+#include "viz/bar_chart.h"
+#include "viz/svg_chart.h"
+
+namespace {
+
+using muve::common::Result;
+using muve::common::Status;
+
+struct Flags {
+  std::string dataset = "diab";
+  std::string csv_path;
+  std::string dims;
+  std::string cat_dims;
+  std::string measures;
+  std::string predicate;
+  size_t num_dims = 3;
+  size_t num_measures = 3;
+  size_t num_functions = 3;
+  std::string scheme = "muve-muve";
+  std::string weights = "0.2,0.2,0.6";
+  int k = 5;
+  std::string distance = "euclidean";
+  std::string partition = "additive";
+  int step = 1;
+  std::string approx = "none";
+  int def_bins = 4;
+  bool shared = false;
+  bool fidelity = false;
+  bool charts = false;
+  std::string html_path;  // write an SVG/HTML report of the top-k
+};
+
+Status ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const std::string& name) -> std::string {
+      return arg.substr(name.size());
+    };
+    auto has = [&arg](const std::string& name) {
+      return muve::common::StartsWith(arg, name);
+    };
+    if (has("--dataset=")) {
+      flags->dataset = value_of("--dataset=");
+    } else if (has("--csv=")) {
+      flags->csv_path = value_of("--csv=");
+    } else if (has("--dims=")) {
+      flags->dims = value_of("--dims=");
+    } else if (has("--cat-dims=")) {
+      flags->cat_dims = value_of("--cat-dims=");
+    } else if (has("--measures=")) {
+      flags->measures = value_of("--measures=");
+    } else if (has("--predicate=")) {
+      flags->predicate = value_of("--predicate=");
+    } else if (has("--num-dims=")) {
+      flags->num_dims = std::strtoul(value_of("--num-dims=").c_str(),
+                                     nullptr, 10);
+    } else if (has("--num-measures=")) {
+      flags->num_measures =
+          std::strtoul(value_of("--num-measures=").c_str(), nullptr, 10);
+    } else if (has("--num-functions=")) {
+      flags->num_functions =
+          std::strtoul(value_of("--num-functions=").c_str(), nullptr, 10);
+    } else if (has("--scheme=")) {
+      flags->scheme = muve::common::ToLower(value_of("--scheme="));
+    } else if (has("--weights=")) {
+      flags->weights = value_of("--weights=");
+    } else if (has("--k=")) {
+      flags->k = std::atoi(value_of("--k=").c_str());
+    } else if (has("--distance=")) {
+      flags->distance = value_of("--distance=");
+    } else if (has("--partition=")) {
+      flags->partition = muve::common::ToLower(value_of("--partition="));
+    } else if (has("--step=")) {
+      flags->step = std::atoi(value_of("--step=").c_str());
+    } else if (has("--approx=")) {
+      flags->approx = muve::common::ToLower(value_of("--approx="));
+    } else if (has("--def-bins=")) {
+      flags->def_bins = std::atoi(value_of("--def-bins=").c_str());
+    } else if (arg == "--shared") {
+      flags->shared = true;
+    } else if (arg == "--fidelity") {
+      flags->fidelity = true;
+    } else if (arg == "--charts") {
+      flags->charts = true;
+    } else if (has("--html=")) {
+      flags->html_path = value_of("--html=");
+    } else if (arg == "--help" || arg == "-h") {
+      return Status::InvalidArgument("help requested");
+    } else {
+      return Status::InvalidArgument("unknown flag: " + arg);
+    }
+  }
+  return Status::OK();
+}
+
+Result<muve::core::SearchOptions> BuildOptions(const Flags& flags) {
+  muve::core::SearchOptions options;
+  if (flags.scheme == "linear-linear") {
+    options.horizontal = muve::core::HorizontalStrategy::kLinear;
+    options.vertical = muve::core::VerticalStrategy::kLinear;
+  } else if (flags.scheme == "hc-linear") {
+    options.horizontal = muve::core::HorizontalStrategy::kHillClimbing;
+    options.vertical = muve::core::VerticalStrategy::kLinear;
+  } else if (flags.scheme == "muve-linear") {
+    options.horizontal = muve::core::HorizontalStrategy::kMuve;
+    options.vertical = muve::core::VerticalStrategy::kLinear;
+  } else if (flags.scheme == "muve-muve") {
+    options.horizontal = muve::core::HorizontalStrategy::kMuve;
+    options.vertical = muve::core::VerticalStrategy::kMuve;
+  } else {
+    return Status::InvalidArgument("unknown --scheme: " + flags.scheme);
+  }
+
+  const auto parts = muve::common::Split(flags.weights, ',');
+  if (parts.size() != 3) {
+    return Status::InvalidArgument("--weights needs D,A,S");
+  }
+  options.weights = muve::core::Weights{
+      std::atof(parts[0].c_str()), std::atof(parts[1].c_str()),
+      std::atof(parts[2].c_str())};
+  options.k = flags.k;
+  MUVE_ASSIGN_OR_RETURN(options.distance,
+                        muve::core::DistanceKindFromName(flags.distance));
+  if (flags.partition == "geometric") {
+    options.partition.kind = muve::core::PartitionKind::kGeometric;
+  } else if (flags.partition != "additive") {
+    return Status::InvalidArgument("unknown --partition: " + flags.partition);
+  }
+  options.partition.step = flags.step;
+  if (flags.approx == "refine") {
+    options.approximation = muve::core::VerticalApproximation::kRefinement;
+  } else if (flags.approx == "skip") {
+    options.approximation = muve::core::VerticalApproximation::kSkipping;
+  } else if (flags.approx != "none") {
+    return Status::InvalidArgument("unknown --approx: " + flags.approx);
+  }
+  options.refinement_default_bins = flags.def_bins;
+  options.shared_scans = flags.shared;
+  return options;
+}
+
+Result<muve::data::Dataset> BuildDataset(const Flags& flags) {
+  if (!flags.csv_path.empty()) {
+    if (flags.dims.empty() || flags.measures.empty() ||
+        flags.predicate.empty()) {
+      return Status::InvalidArgument(
+          "--csv requires --dims, --measures, and --predicate");
+    }
+    MUVE_ASSIGN_OR_RETURN(muve::storage::Table table,
+                          muve::storage::ReadCsvFile(flags.csv_path));
+    muve::data::Dataset ds;
+    ds.name = flags.csv_path;
+    auto shared = std::make_shared<muve::storage::Table>(std::move(table));
+    ds.table = shared;
+    for (const auto& d : muve::common::Split(flags.dims, ',')) {
+      ds.dimensions.push_back(std::string(muve::common::Trim(d)));
+    }
+    if (!flags.cat_dims.empty()) {
+      for (const auto& d : muve::common::Split(flags.cat_dims, ',')) {
+        ds.categorical_dimensions.push_back(
+            std::string(muve::common::Trim(d)));
+      }
+    }
+    for (const auto& m : muve::common::Split(flags.measures, ',')) {
+      ds.measures.push_back(std::string(muve::common::Trim(m)));
+    }
+    ds.functions = {muve::storage::AggregateFunction::kSum,
+                    muve::storage::AggregateFunction::kAvg,
+                    muve::storage::AggregateFunction::kCount};
+    ds.query_predicate_sql = flags.predicate;
+    // Parse the predicate through the SQL front end.
+    MUVE_ASSIGN_OR_RETURN(
+        muve::sql::SelectStatement stmt,
+        muve::sql::ParseSelect("SELECT * FROM t WHERE " + flags.predicate));
+    MUVE_ASSIGN_OR_RETURN(
+        ds.target_rows,
+        muve::storage::Filter(*shared, stmt.where.get()));
+    if (ds.target_rows.empty()) {
+      return Status::InvalidArgument("--predicate selects no rows");
+    }
+    ds.all_rows = muve::storage::AllRows(shared->num_rows());
+    return ds;
+  }
+
+  muve::data::Dataset base;
+  if (flags.dataset == "diab") {
+    base = muve::data::MakeDiabDataset();
+  } else if (flags.dataset == "nba") {
+    base = muve::data::MakeNbaDataset();
+  } else {
+    return Status::InvalidArgument("unknown --dataset: " + flags.dataset);
+  }
+  return muve::data::WithWorkloadSize(base, flags.num_dims,
+                                      flags.num_measures,
+                                      flags.num_functions);
+}
+
+// Builds the grouped-bar charts (normalized target vs comparison) of the
+// recommendation's numeric-dimension views.
+std::vector<muve::viz::GroupedBarChart> BuildCharts(
+    const muve::data::Dataset& dataset,
+    const muve::core::Recommendation& rec) {
+  std::vector<muve::viz::GroupedBarChart> charts;
+  for (const muve::core::ScoredView& sv : rec.views) {
+    auto dim_col = dataset.table->ColumnByName(sv.view.dimension);
+    if (!dim_col.ok() ||
+        (*dim_col)->type() == muve::storage::ValueType::kString) {
+      continue;
+    }
+    const double lo = (*dim_col)->NumericMin().value_or(0);
+    const double hi = (*dim_col)->NumericMax().value_or(0);
+    auto target = muve::storage::BinnedAggregate(
+        *dataset.table, dataset.target_rows, sv.view.dimension,
+        sv.view.measure, sv.view.function, sv.bins, lo, hi);
+    auto comparison = muve::storage::BinnedAggregate(
+        *dataset.table, dataset.all_rows, sv.view.dimension, sv.view.measure,
+        sv.view.function, sv.bins, lo, hi);
+    if (!target.ok() || !comparison.ok()) continue;
+    auto normalize = [](std::vector<double> v) {
+      double total = 0;
+      for (double& x : v) total += std::max(x, 0.0);
+      if (total > 0) {
+        for (double& x : v) x = std::max(x, 0.0) / total;
+      }
+      return v;
+    };
+    muve::viz::GroupedBarChart chart;
+    chart.title = sv.ToString();
+    chart.labels = muve::viz::BinLabels(lo, hi, sv.bins);
+    chart.target = normalize(target->aggregates);
+    chart.comparison = normalize(comparison->aggregates);
+    charts.push_back(std::move(chart));
+  }
+  return charts;
+}
+
+void RenderCharts(const muve::data::Dataset& dataset,
+                  const muve::core::Recommendation& rec) {
+  for (const muve::core::ScoredView& sv : rec.views) {
+    auto dim_col = dataset.table->ColumnByName(sv.view.dimension);
+    if (!dim_col.ok() ||
+        (*dim_col)->type() == muve::storage::ValueType::kString) {
+      continue;  // categorical views skipped in chart mode
+    }
+    const double lo = (*dim_col)->NumericMin().value_or(0);
+    const double hi = (*dim_col)->NumericMax().value_or(0);
+    auto target = muve::storage::BinnedAggregate(
+        *dataset.table, dataset.target_rows, sv.view.dimension,
+        sv.view.measure, sv.view.function, sv.bins, lo, hi);
+    auto comparison = muve::storage::BinnedAggregate(
+        *dataset.table, dataset.all_rows, sv.view.dimension, sv.view.measure,
+        sv.view.function, sv.bins, lo, hi);
+    if (!target.ok() || !comparison.ok()) continue;
+    muve::viz::Series left;
+    left.title = "target";
+    left.labels = muve::viz::BinLabels(lo, hi, sv.bins);
+    left.values = target->aggregates;
+    muve::viz::Series right;
+    right.title = "comparison";
+    right.labels = left.labels;
+    right.values = comparison->aggregates;
+    muve::viz::BarChartOptions viz;
+    viz.normalize = true;
+    std::cout << "\n" << sv.ToString() << "\n"
+              << muve::viz::RenderSideBySide(left, right, viz);
+  }
+}
+
+int RunCli(int argc, char** argv) {
+  Flags flags;
+  if (Status st = ParseFlags(argc, argv, &flags); !st.ok()) {
+    std::cerr << st.message() << "\n\nSee the header of tools/muve_cli.cpp "
+              << "for flag documentation.\n";
+    return 2;
+  }
+
+  auto dataset = BuildDataset(flags);
+  if (!dataset.ok()) {
+    std::cerr << "dataset error: " << dataset.status().ToString() << "\n";
+    return 1;
+  }
+  auto options = BuildOptions(flags);
+  if (!options.ok()) {
+    std::cerr << "options error: " << options.status().ToString() << "\n";
+    return 1;
+  }
+  auto recommender = muve::core::Recommender::Create(*dataset);
+  if (!recommender.ok()) {
+    std::cerr << "workload error: " << recommender.status().ToString()
+              << "\n";
+    return 1;
+  }
+  std::cout << "dataset: " << dataset->name << " ("
+            << dataset->table->num_rows() << " rows, "
+            << dataset->target_rows.size() << " in D_Q)\n"
+            << "views:   " << recommender->space().views().size()
+            << " candidates, " << recommender->space().TotalBinnedViews()
+            << " binned views\n";
+  auto rec = recommender->Recommend(*options);
+  if (!rec.ok()) {
+    std::cerr << "recommendation error: " << rec.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << rec->ToString() << "\n";
+
+  if (flags.fidelity) {
+    auto baseline_options = *options;
+    baseline_options.horizontal = muve::core::HorizontalStrategy::kLinear;
+    baseline_options.vertical = muve::core::VerticalStrategy::kLinear;
+    baseline_options.approximation =
+        muve::core::VerticalApproximation::kNone;
+    baseline_options.partition = muve::core::PartitionSpec{};
+    baseline_options.shared_scans = false;
+    auto baseline = recommender->Recommend(baseline_options);
+    if (baseline.ok()) {
+      std::cout << "fidelity vs Linear-Linear: "
+                << muve::common::FormatDouble(
+                       muve::core::Fidelity(baseline->views, rec->views) *
+                           100.0,
+                       1)
+                << "%\n";
+    }
+  }
+  if (flags.charts) RenderCharts(*dataset, *rec);
+  if (!flags.html_path.empty()) {
+    const auto charts = BuildCharts(*dataset, *rec);
+    const auto st = muve::viz::WriteHtmlReport(
+        flags.html_path,
+        rec->scheme + " top-" + std::to_string(rec->views.size()) + " — " +
+            dataset->name,
+        charts);
+    if (!st.ok()) {
+      std::cerr << "html report error: " << st.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << flags.html_path << " (" << charts.size()
+              << " charts)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return RunCli(argc, argv); }
