@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_distance.dir/bench/ablate_distance.cpp.o"
+  "CMakeFiles/ablate_distance.dir/bench/ablate_distance.cpp.o.d"
+  "bench/ablate_distance"
+  "bench/ablate_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

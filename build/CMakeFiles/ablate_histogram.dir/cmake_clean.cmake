@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_histogram.dir/bench/ablate_histogram.cpp.o"
+  "CMakeFiles/ablate_histogram.dir/bench/ablate_histogram.cpp.o.d"
+  "bench/ablate_histogram"
+  "bench/ablate_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_probe_order.dir/bench/ablate_probe_order.cpp.o"
+  "CMakeFiles/ablate_probe_order.dir/bench/ablate_probe_order.cpp.o.d"
+  "bench/ablate_probe_order"
+  "bench/ablate_probe_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_probe_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

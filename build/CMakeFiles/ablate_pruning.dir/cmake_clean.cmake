@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_pruning.dir/bench/ablate_pruning.cpp.o"
+  "CMakeFiles/ablate_pruning.dir/bench/ablate_pruning.cpp.o.d"
+  "bench/ablate_pruning"
+  "bench/ablate_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

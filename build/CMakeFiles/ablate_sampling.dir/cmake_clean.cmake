@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_sampling.dir/bench/ablate_sampling.cpp.o"
+  "CMakeFiles/ablate_sampling.dir/bench/ablate_sampling.cpp.o.d"
+  "bench/ablate_sampling"
+  "bench/ablate_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_sharing.dir/bench/ablate_sharing.cpp.o"
+  "CMakeFiles/ablate_sharing.dir/bench/ablate_sharing.cpp.o.d"
+  "bench/ablate_sharing"
+  "bench/ablate_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_alpha_s_cost.dir/bench/fig05_alpha_s_cost.cpp.o"
+  "CMakeFiles/fig05_alpha_s_cost.dir/bench/fig05_alpha_s_cost.cpp.o.d"
+  "bench/fig05_alpha_s_cost"
+  "bench/fig05_alpha_s_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_alpha_s_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

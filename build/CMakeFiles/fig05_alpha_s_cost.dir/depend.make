@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_alpha_s_cost.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_alpha_d_cost.dir/bench/fig06_alpha_d_cost.cpp.o"
+  "CMakeFiles/fig06_alpha_d_cost.dir/bench/fig06_alpha_d_cost.cpp.o.d"
+  "bench/fig06_alpha_d_cost"
+  "bench/fig06_alpha_d_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_alpha_d_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_topk_cost.dir/bench/fig07_topk_cost.cpp.o"
+  "CMakeFiles/fig07_topk_cost.dir/bench/fig07_topk_cost.cpp.o.d"
+  "bench/fig07_topk_cost"
+  "bench/fig07_topk_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_topk_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_topk_cost.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_scalability.dir/bench/fig08_scalability.cpp.o"
+  "CMakeFiles/fig08_scalability.dir/bench/fig08_scalability.cpp.o.d"
+  "bench/fig08_scalability"
+  "bench/fig08_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_additive_cost.dir/bench/fig09_additive_cost.cpp.o"
+  "CMakeFiles/fig09_additive_cost.dir/bench/fig09_additive_cost.cpp.o.d"
+  "bench/fig09_additive_cost"
+  "bench/fig09_additive_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_additive_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_additive_fidelity.dir/bench/fig10_additive_fidelity.cpp.o"
+  "CMakeFiles/fig10_additive_fidelity.dir/bench/fig10_additive_fidelity.cpp.o.d"
+  "bench/fig10_additive_fidelity"
+  "bench/fig10_additive_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_additive_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

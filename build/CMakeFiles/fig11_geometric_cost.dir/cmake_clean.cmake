@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_geometric_cost.dir/bench/fig11_geometric_cost.cpp.o"
+  "CMakeFiles/fig11_geometric_cost.dir/bench/fig11_geometric_cost.cpp.o.d"
+  "bench/fig11_geometric_cost"
+  "bench/fig11_geometric_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_geometric_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

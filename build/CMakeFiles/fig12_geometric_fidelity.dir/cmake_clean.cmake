@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_geometric_fidelity.dir/bench/fig12_geometric_fidelity.cpp.o"
+  "CMakeFiles/fig12_geometric_fidelity.dir/bench/fig12_geometric_fidelity.cpp.o.d"
+  "bench/fig12_geometric_fidelity"
+  "bench/fig12_geometric_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_geometric_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

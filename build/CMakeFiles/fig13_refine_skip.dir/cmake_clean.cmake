@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_refine_skip.dir/bench/fig13_refine_skip.cpp.o"
+  "CMakeFiles/fig13_refine_skip.dir/bench/fig13_refine_skip.cpp.o.d"
+  "bench/fig13_refine_skip"
+  "bench/fig13_refine_skip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_refine_skip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muve_bench_harness.dir/bench/harness.cc.o"
+  "CMakeFiles/muve_bench_harness.dir/bench/harness.cc.o.d"
+  "libmuve_bench_harness.a"
+  "libmuve_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muve_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diabetes_exploration.dir/diabetes_exploration.cpp.o"
+  "CMakeFiles/diabetes_exploration.dir/diabetes_exploration.cpp.o.d"
+  "diabetes_exploration"
+  "diabetes_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diabetes_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

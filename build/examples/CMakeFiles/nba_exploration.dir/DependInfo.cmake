@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/nba_exploration.cpp" "examples/CMakeFiles/nba_exploration.dir/nba_exploration.cpp.o" "gcc" "examples/CMakeFiles/nba_exploration.dir/nba_exploration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/muve_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/muve_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/muve_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/muve_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/muve_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/muve_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

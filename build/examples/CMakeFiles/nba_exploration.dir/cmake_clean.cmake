@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nba_exploration.dir/nba_exploration.cpp.o"
+  "CMakeFiles/nba_exploration.dir/nba_exploration.cpp.o.d"
+  "nba_exploration"
+  "nba_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nba_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

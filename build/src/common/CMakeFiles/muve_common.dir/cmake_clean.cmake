@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muve_common.dir/logging.cc.o"
+  "CMakeFiles/muve_common.dir/logging.cc.o.d"
+  "CMakeFiles/muve_common.dir/rng.cc.o"
+  "CMakeFiles/muve_common.dir/rng.cc.o.d"
+  "CMakeFiles/muve_common.dir/stats.cc.o"
+  "CMakeFiles/muve_common.dir/stats.cc.o.d"
+  "CMakeFiles/muve_common.dir/status.cc.o"
+  "CMakeFiles/muve_common.dir/status.cc.o.d"
+  "CMakeFiles/muve_common.dir/string_util.cc.o"
+  "CMakeFiles/muve_common.dir/string_util.cc.o.d"
+  "libmuve_common.a"
+  "libmuve_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muve_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/candidate.cc" "src/core/CMakeFiles/muve_core.dir/candidate.cc.o" "gcc" "src/core/CMakeFiles/muve_core.dir/candidate.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/muve_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/muve_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/distance.cc" "src/core/CMakeFiles/muve_core.dir/distance.cc.o" "gcc" "src/core/CMakeFiles/muve_core.dir/distance.cc.o.d"
+  "/root/repo/src/core/distribution.cc" "src/core/CMakeFiles/muve_core.dir/distribution.cc.o" "gcc" "src/core/CMakeFiles/muve_core.dir/distribution.cc.o.d"
+  "/root/repo/src/core/exec_stats.cc" "src/core/CMakeFiles/muve_core.dir/exec_stats.cc.o" "gcc" "src/core/CMakeFiles/muve_core.dir/exec_stats.cc.o.d"
+  "/root/repo/src/core/exploration_session.cc" "src/core/CMakeFiles/muve_core.dir/exploration_session.cc.o" "gcc" "src/core/CMakeFiles/muve_core.dir/exploration_session.cc.o.d"
+  "/root/repo/src/core/fidelity.cc" "src/core/CMakeFiles/muve_core.dir/fidelity.cc.o" "gcc" "src/core/CMakeFiles/muve_core.dir/fidelity.cc.o.d"
+  "/root/repo/src/core/horizontal_search.cc" "src/core/CMakeFiles/muve_core.dir/horizontal_search.cc.o" "gcc" "src/core/CMakeFiles/muve_core.dir/horizontal_search.cc.o.d"
+  "/root/repo/src/core/objectives.cc" "src/core/CMakeFiles/muve_core.dir/objectives.cc.o" "gcc" "src/core/CMakeFiles/muve_core.dir/objectives.cc.o.d"
+  "/root/repo/src/core/pareto.cc" "src/core/CMakeFiles/muve_core.dir/pareto.cc.o" "gcc" "src/core/CMakeFiles/muve_core.dir/pareto.cc.o.d"
+  "/root/repo/src/core/partitioner.cc" "src/core/CMakeFiles/muve_core.dir/partitioner.cc.o" "gcc" "src/core/CMakeFiles/muve_core.dir/partitioner.cc.o.d"
+  "/root/repo/src/core/recommend_sql.cc" "src/core/CMakeFiles/muve_core.dir/recommend_sql.cc.o" "gcc" "src/core/CMakeFiles/muve_core.dir/recommend_sql.cc.o.d"
+  "/root/repo/src/core/recommender.cc" "src/core/CMakeFiles/muve_core.dir/recommender.cc.o" "gcc" "src/core/CMakeFiles/muve_core.dir/recommender.cc.o.d"
+  "/root/repo/src/core/search_options.cc" "src/core/CMakeFiles/muve_core.dir/search_options.cc.o" "gcc" "src/core/CMakeFiles/muve_core.dir/search_options.cc.o.d"
+  "/root/repo/src/core/top_k_tracker.cc" "src/core/CMakeFiles/muve_core.dir/top_k_tracker.cc.o" "gcc" "src/core/CMakeFiles/muve_core.dir/top_k_tracker.cc.o.d"
+  "/root/repo/src/core/utility.cc" "src/core/CMakeFiles/muve_core.dir/utility.cc.o" "gcc" "src/core/CMakeFiles/muve_core.dir/utility.cc.o.d"
+  "/root/repo/src/core/view.cc" "src/core/CMakeFiles/muve_core.dir/view.cc.o" "gcc" "src/core/CMakeFiles/muve_core.dir/view.cc.o.d"
+  "/root/repo/src/core/view_evaluator.cc" "src/core/CMakeFiles/muve_core.dir/view_evaluator.cc.o" "gcc" "src/core/CMakeFiles/muve_core.dir/view_evaluator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/muve_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/muve_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/muve_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/muve_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmuve_core.a"
+)

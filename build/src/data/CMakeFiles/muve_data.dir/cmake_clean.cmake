@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muve_data.dir/dataset.cc.o"
+  "CMakeFiles/muve_data.dir/dataset.cc.o.d"
+  "CMakeFiles/muve_data.dir/diab.cc.o"
+  "CMakeFiles/muve_data.dir/diab.cc.o.d"
+  "CMakeFiles/muve_data.dir/nba.cc.o"
+  "CMakeFiles/muve_data.dir/nba.cc.o.d"
+  "libmuve_data.a"
+  "libmuve_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muve_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

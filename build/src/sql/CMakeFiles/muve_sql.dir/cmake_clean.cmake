@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muve_sql.dir/ast.cc.o"
+  "CMakeFiles/muve_sql.dir/ast.cc.o.d"
+  "CMakeFiles/muve_sql.dir/catalog.cc.o"
+  "CMakeFiles/muve_sql.dir/catalog.cc.o.d"
+  "CMakeFiles/muve_sql.dir/executor.cc.o"
+  "CMakeFiles/muve_sql.dir/executor.cc.o.d"
+  "CMakeFiles/muve_sql.dir/lexer.cc.o"
+  "CMakeFiles/muve_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/muve_sql.dir/parser.cc.o"
+  "CMakeFiles/muve_sql.dir/parser.cc.o.d"
+  "CMakeFiles/muve_sql.dir/token.cc.o"
+  "CMakeFiles/muve_sql.dir/token.cc.o.d"
+  "libmuve_sql.a"
+  "libmuve_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muve_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

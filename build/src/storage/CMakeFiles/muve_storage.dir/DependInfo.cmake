@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/aggregate.cc" "src/storage/CMakeFiles/muve_storage.dir/aggregate.cc.o" "gcc" "src/storage/CMakeFiles/muve_storage.dir/aggregate.cc.o.d"
+  "/root/repo/src/storage/binned_group_by.cc" "src/storage/CMakeFiles/muve_storage.dir/binned_group_by.cc.o" "gcc" "src/storage/CMakeFiles/muve_storage.dir/binned_group_by.cc.o.d"
+  "/root/repo/src/storage/column.cc" "src/storage/CMakeFiles/muve_storage.dir/column.cc.o" "gcc" "src/storage/CMakeFiles/muve_storage.dir/column.cc.o.d"
+  "/root/repo/src/storage/csv.cc" "src/storage/CMakeFiles/muve_storage.dir/csv.cc.o" "gcc" "src/storage/CMakeFiles/muve_storage.dir/csv.cc.o.d"
+  "/root/repo/src/storage/group_by.cc" "src/storage/CMakeFiles/muve_storage.dir/group_by.cc.o" "gcc" "src/storage/CMakeFiles/muve_storage.dir/group_by.cc.o.d"
+  "/root/repo/src/storage/histogram.cc" "src/storage/CMakeFiles/muve_storage.dir/histogram.cc.o" "gcc" "src/storage/CMakeFiles/muve_storage.dir/histogram.cc.o.d"
+  "/root/repo/src/storage/multi_aggregate.cc" "src/storage/CMakeFiles/muve_storage.dir/multi_aggregate.cc.o" "gcc" "src/storage/CMakeFiles/muve_storage.dir/multi_aggregate.cc.o.d"
+  "/root/repo/src/storage/predicate.cc" "src/storage/CMakeFiles/muve_storage.dir/predicate.cc.o" "gcc" "src/storage/CMakeFiles/muve_storage.dir/predicate.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/storage/CMakeFiles/muve_storage.dir/schema.cc.o" "gcc" "src/storage/CMakeFiles/muve_storage.dir/schema.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/storage/CMakeFiles/muve_storage.dir/table.cc.o" "gcc" "src/storage/CMakeFiles/muve_storage.dir/table.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/storage/CMakeFiles/muve_storage.dir/value.cc.o" "gcc" "src/storage/CMakeFiles/muve_storage.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/muve_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

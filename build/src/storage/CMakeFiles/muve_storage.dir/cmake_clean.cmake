@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muve_storage.dir/aggregate.cc.o"
+  "CMakeFiles/muve_storage.dir/aggregate.cc.o.d"
+  "CMakeFiles/muve_storage.dir/binned_group_by.cc.o"
+  "CMakeFiles/muve_storage.dir/binned_group_by.cc.o.d"
+  "CMakeFiles/muve_storage.dir/column.cc.o"
+  "CMakeFiles/muve_storage.dir/column.cc.o.d"
+  "CMakeFiles/muve_storage.dir/csv.cc.o"
+  "CMakeFiles/muve_storage.dir/csv.cc.o.d"
+  "CMakeFiles/muve_storage.dir/group_by.cc.o"
+  "CMakeFiles/muve_storage.dir/group_by.cc.o.d"
+  "CMakeFiles/muve_storage.dir/histogram.cc.o"
+  "CMakeFiles/muve_storage.dir/histogram.cc.o.d"
+  "CMakeFiles/muve_storage.dir/multi_aggregate.cc.o"
+  "CMakeFiles/muve_storage.dir/multi_aggregate.cc.o.d"
+  "CMakeFiles/muve_storage.dir/predicate.cc.o"
+  "CMakeFiles/muve_storage.dir/predicate.cc.o.d"
+  "CMakeFiles/muve_storage.dir/schema.cc.o"
+  "CMakeFiles/muve_storage.dir/schema.cc.o.d"
+  "CMakeFiles/muve_storage.dir/table.cc.o"
+  "CMakeFiles/muve_storage.dir/table.cc.o.d"
+  "CMakeFiles/muve_storage.dir/value.cc.o"
+  "CMakeFiles/muve_storage.dir/value.cc.o.d"
+  "libmuve_storage.a"
+  "libmuve_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muve_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/bar_chart.cc" "src/viz/CMakeFiles/muve_viz.dir/bar_chart.cc.o" "gcc" "src/viz/CMakeFiles/muve_viz.dir/bar_chart.cc.o.d"
+  "/root/repo/src/viz/svg_chart.cc" "src/viz/CMakeFiles/muve_viz.dir/svg_chart.cc.o" "gcc" "src/viz/CMakeFiles/muve_viz.dir/svg_chart.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/muve_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muve_viz.dir/bar_chart.cc.o"
+  "CMakeFiles/muve_viz.dir/bar_chart.cc.o.d"
+  "CMakeFiles/muve_viz.dir/svg_chart.cc.o"
+  "CMakeFiles/muve_viz.dir/svg_chart.cc.o.d"
+  "libmuve_viz.a"
+  "libmuve_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muve_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

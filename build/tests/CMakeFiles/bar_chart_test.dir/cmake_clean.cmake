@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bar_chart_test.dir/viz/bar_chart_test.cc.o"
+  "CMakeFiles/bar_chart_test.dir/viz/bar_chart_test.cc.o.d"
+  "bar_chart_test"
+  "bar_chart_test.pdb"
+  "bar_chart_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bar_chart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

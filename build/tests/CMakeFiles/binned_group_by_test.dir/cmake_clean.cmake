@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binned_group_by_test.dir/storage/binned_group_by_test.cc.o"
+  "CMakeFiles/binned_group_by_test.dir/storage/binned_group_by_test.cc.o.d"
+  "binned_group_by_test"
+  "binned_group_by_test.pdb"
+  "binned_group_by_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binned_group_by_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

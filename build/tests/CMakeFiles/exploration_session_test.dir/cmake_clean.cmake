@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exploration_session_test.dir/core/exploration_session_test.cc.o"
+  "CMakeFiles/exploration_session_test.dir/core/exploration_session_test.cc.o.d"
+  "exploration_session_test"
+  "exploration_session_test.pdb"
+  "exploration_session_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exploration_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_exactness_test.dir/core/fuzz_exactness_test.cc.o"
+  "CMakeFiles/fuzz_exactness_test.dir/core/fuzz_exactness_test.cc.o.d"
+  "fuzz_exactness_test"
+  "fuzz_exactness_test.pdb"
+  "fuzz_exactness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_exactness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horizontal_search_test.dir/core/horizontal_search_test.cc.o"
+  "CMakeFiles/horizontal_search_test.dir/core/horizontal_search_test.cc.o.d"
+  "horizontal_search_test"
+  "horizontal_search_test.pdb"
+  "horizontal_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horizontal_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

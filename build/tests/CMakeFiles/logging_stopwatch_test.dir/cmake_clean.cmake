@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logging_stopwatch_test.dir/common/logging_stopwatch_test.cc.o"
+  "CMakeFiles/logging_stopwatch_test.dir/common/logging_stopwatch_test.cc.o.d"
+  "logging_stopwatch_test"
+  "logging_stopwatch_test.pdb"
+  "logging_stopwatch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logging_stopwatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

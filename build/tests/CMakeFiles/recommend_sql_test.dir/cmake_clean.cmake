@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommend_sql_test.dir/core/recommend_sql_test.cc.o"
+  "CMakeFiles/recommend_sql_test.dir/core/recommend_sql_test.cc.o.d"
+  "recommend_sql_test"
+  "recommend_sql_test.pdb"
+  "recommend_sql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommend_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

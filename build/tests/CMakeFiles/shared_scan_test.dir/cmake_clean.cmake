@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_scan_test.dir/core/shared_scan_test.cc.o"
+  "CMakeFiles/shared_scan_test.dir/core/shared_scan_test.cc.o.d"
+  "shared_scan_test"
+  "shared_scan_test.pdb"
+  "shared_scan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

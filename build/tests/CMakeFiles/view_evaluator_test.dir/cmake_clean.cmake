@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_evaluator_test.dir/core/view_evaluator_test.cc.o"
+  "CMakeFiles/view_evaluator_test.dir/core/view_evaluator_test.cc.o.d"
+  "view_evaluator_test"
+  "view_evaluator_test.pdb"
+  "view_evaluator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_space_test.dir/core/view_space_test.cc.o"
+  "CMakeFiles/view_space_test.dir/core/view_space_test.cc.o.d"
+  "view_space_test"
+  "view_space_test.pdb"
+  "view_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muve_cli.dir/muve_cli.cpp.o"
+  "CMakeFiles/muve_cli.dir/muve_cli.cpp.o.d"
+  "muve_cli"
+  "muve_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muve_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

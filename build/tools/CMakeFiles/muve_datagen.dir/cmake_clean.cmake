@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muve_datagen.dir/muve_datagen.cpp.o"
+  "CMakeFiles/muve_datagen.dir/muve_datagen.cpp.o.d"
+  "muve_datagen"
+  "muve_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muve_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
