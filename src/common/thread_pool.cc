@@ -1,0 +1,117 @@
+#include "common/thread_pool.h"
+
+namespace muve::common {
+
+ThreadPool::ThreadPool(size_t num_workers)
+    : num_workers_(num_workers == 0 ? 1 : num_workers) {
+  shards_.reserve(num_workers_);
+  for (size_t i = 0; i < num_workers_; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  threads_.reserve(num_workers_ - 1);
+  for (size_t id = 1; id < num_workers_; ++id) {
+    threads_.emplace_back([this, id] { WorkerLoop(id); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::ParallelFor(size_t count,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (count == 0) return;
+  if (num_workers_ == 1 || count == 1) {
+    // Inline, in index order: the serial semantics every parallel scheme
+    // must reduce to at one worker.
+    for (size_t i = 0; i < count; ++i) fn(0, i);
+    return;
+  }
+
+  // Deal indices round-robin so each lane starts with a contiguous-ish
+  // stripe (matching the historical striping of the parallel Linear
+  // path); stealing rebalances whatever this misestimates.
+  for (size_t i = 0; i < count; ++i) {
+    shards_[i % num_workers_]->items.push_back(i);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    workers_finished_ = 0;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  RunShard(0);
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock,
+                  [this] { return workers_finished_ == num_workers_ - 1; });
+    fn_ = nullptr;
+  }
+}
+
+void ThreadPool::WorkerLoop(size_t id) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    RunShard(id);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++workers_finished_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::RunShard(size_t id) {
+  const std::function<void(size_t, size_t)>& fn = *fn_;
+  size_t index;
+  for (;;) {
+    if (PopOwn(id, &index) || StealFromSiblings(id, &index)) {
+      fn(id, index);
+      continue;
+    }
+    // Every shard is empty: indices still in flight belong to workers
+    // that will finish them before reporting done.
+    return;
+  }
+}
+
+bool ThreadPool::PopOwn(size_t id, size_t* index) {
+  Shard& shard = *shards_[id];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.items.empty()) return false;
+  *index = shard.items.front();
+  shard.items.pop_front();
+  return true;
+}
+
+bool ThreadPool::StealFromSiblings(size_t id, size_t* index) {
+  for (size_t offset = 1; offset < num_workers_; ++offset) {
+    Shard& shard = *shards_[(id + offset) % num_workers_];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.items.empty()) continue;
+    // Steal from the back — the opposite end from the owner's pops, so
+    // contention stays low and the owner keeps its cache-warm prefix.
+    *index = shard.items.back();
+    shard.items.pop_back();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace muve::common

@@ -1,0 +1,88 @@
+// A small work-stealing thread pool for data-parallel index loops.
+//
+// `ThreadPool(n)` spawns `n - 1` background workers; the calling thread
+// participates as worker 0 of every `ParallelFor`, so `n == 1` means
+// fully inline (and deterministic, in submission order) execution with
+// zero synchronization.  Indices are dealt round-robin into one deque
+// per worker; a worker drains its own deque from the front and, when
+// empty, steals from the back of its siblings — imbalanced items (one
+// view's horizontal search can be 100x another's) migrate to idle
+// workers instead of serializing behind their home shard.
+//
+// Contract:
+//   * `fn(worker_id, index)` runs exactly once per index in [0, count);
+//     `worker_id < num_workers()` identifies the executing lane, which
+//     is how callers bind per-worker state (e.g. one ViewEvaluator per
+//     lane) without locking.
+//   * ParallelFor blocks until every index has finished; it must not be
+//     called concurrently from two threads or reentrantly from inside
+//     `fn`.
+//   * Tasks must not throw (the library is no-exception on hot paths);
+//     report failure through captured state instead.
+//
+// The pool is cheap enough to construct per recommendation request but
+// reusable across any number of ParallelFor rounds (the MuVE-MuVE
+// round-robin issues one round per shared bin count).
+
+#ifndef MUVE_COMMON_THREAD_POOL_H_
+#define MUVE_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace muve::common {
+
+class ThreadPool {
+ public:
+  // `num_workers` >= 1 is clamped up from 0; hardware concurrency is NOT
+  // consulted — callers decide how wide to go.
+  explicit ThreadPool(size_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const { return num_workers_; }
+
+  // Runs fn(worker_id, index) for every index in [0, count), work-stealing
+  // across workers; blocks the caller (worker 0) until all are done.
+  void ParallelFor(size_t count,
+                   const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::deque<size_t> items;
+  };
+
+  void WorkerLoop(size_t id);
+  // Drains work for worker `id`: own shard first, then steals.  Returns
+  // when no shard holds an unclaimed index.
+  void RunShard(size_t id);
+  bool PopOwn(size_t id, size_t* index);
+  bool StealFromSiblings(size_t id, size_t* index);
+
+  const size_t num_workers_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // background workers wait here
+  std::condition_variable done_cv_;  // ParallelFor's caller waits here
+  uint64_t generation_ = 0;          // bumped once per ParallelFor
+  size_t workers_finished_ = 0;      // background workers done this round
+  const std::function<void(size_t, size_t)>* fn_ = nullptr;
+  bool stop_ = false;
+};
+
+}  // namespace muve::common
+
+#endif  // MUVE_COMMON_THREAD_POOL_H_

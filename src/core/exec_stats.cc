@@ -22,6 +22,7 @@ void ExecStats::Merge(const ExecStats& other) {
   comparison_time_ms += other.comparison_time_ms;
   deviation_time_ms += other.deviation_time_ms;
   accuracy_time_ms += other.accuracy_time_ms;
+  if (other.num_workers > num_workers) num_workers = other.num_workers;
 }
 
 std::string ExecStats::ToString() const {
@@ -37,7 +38,8 @@ std::string ExecStats::ToString() const {
       << " full=" << fully_probed
       << " early_term=" << early_terminations
       << " queries(t/c)=" << target_queries << "/" << comparison_queries
-      << " rows=" << rows_scanned;
+      << " rows=" << rows_scanned
+      << " workers=" << num_workers;
   return out.str();
 }
 

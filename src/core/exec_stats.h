@@ -41,6 +41,13 @@ struct ExecStats {
   double deviation_time_ms = 0.0;
   double accuracy_time_ms = 0.0;
 
+  // Width of the thread pool whose workers produced these stats
+  // (1 = serial).  Merge keeps the maximum: folding W per-worker stat
+  // blocks into one run total must report the pool width W, not W * 1,
+  // and merging two runs reports the wider.  The recommender overwrites
+  // this with the actual pool width after the per-worker merge.
+  int num_workers = 1;
+
   // The paper's total cost C (Eq. 7): sum of the four components.
   double TotalCostMillis() const {
     return target_time_ms + comparison_time_ms + deviation_time_ms +

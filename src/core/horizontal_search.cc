@@ -41,7 +41,17 @@ HorizontalResult HorizontalHillClimbing(ViewEvaluator& evaluator,
   MUVE_CHECK(max_bins >= 1);
   std::unordered_map<int, ScoredView> memo;
 
-  auto evaluate = [&](int bins) -> const ScoredView& {
+  // Returns by VALUE on purpose.  An earlier version returned
+  // `const ScoredView&` into `memo` and one climbing step held that
+  // reference across the *second* evaluate() call (b - s, then b + s),
+  // which inserts and can rehash.  That was only safe because
+  // unordered_map happens to guarantee node stability under rehash; the
+  // copy removes the silent dependence on that container property, so
+  // `memo` can become a flat/open-addressing map without introducing a
+  // dangling read (ScoredView is a few doubles — the copy is free next
+  // to a probe).  Pinned by
+  // HorizontalSearchTest.MemoRehashDoesNotInvalidateCandidates.
+  auto evaluate = [&](int bins) -> ScoredView {
     const auto it = memo.find(bins);
     if (it != memo.end()) return it->second;
     const CandidateResult cand = EvaluateCandidate(
@@ -55,16 +65,16 @@ HorizontalResult HorizontalHillClimbing(ViewEvaluator& evaluator,
   int step = max_bins;
   while (step >= 1) {
     // Consider b - s and b + s; move to the better one if it improves.
-    const ScoredView* move = nullptr;
+    std::optional<ScoredView> move;
     for (const int cand_bins : {current - step, current + step}) {
       if (cand_bins < 1 || cand_bins > max_bins) continue;
-      const ScoredView& scored = evaluate(cand_bins);
+      const ScoredView scored = evaluate(cand_bins);
       if (scored.utility > best.utility &&
-          (move == nullptr || scored.utility > move->utility)) {
-        move = &scored;
+          (!move.has_value() || scored.utility > move->utility)) {
+        move = scored;
       }
     }
-    if (move != nullptr) {
+    if (move.has_value()) {
       best = *move;
       current = best.bins;
     } else {

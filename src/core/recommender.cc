@@ -2,13 +2,15 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <sstream>
-#include <thread>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/horizontal_search.h"
 #include "core/partitioner.h"
 #include "core/top_k_tracker.h"
@@ -31,39 +33,87 @@ int SequenceBins(const PartitionSpec& spec, size_t position) {
 
 // Per-view RNG for Hill Climbing: seeding by view index makes the random
 // start independent of evaluation order, so serial and parallel runs of
-// HC-Linear recommend identically.
+// HC-based schemes recommend identically.
 common::Rng ViewRng(const SearchOptions& options, size_t view_index) {
   return common::Rng(options.hc_seed ^
                      (0x9E3779B97F4A7C15ULL * (view_index + 1)));
 }
 
+// One ViewEvaluator per pool worker: the evaluator's stats accounting and
+// caches are single-threaded by design, so each lane gets its own and the
+// recommender merges the ExecStats blocks at the end.  Worker 0's
+// evaluator doubles as the "main" evaluator for the serial portions of a
+// strategy (grouping passes, refinement's second phase).
+class WorkerSet {
+ public:
+  WorkerSet(size_t num_workers, const data::Dataset& dataset,
+            const ViewSpace& space, const ViewEvaluator::Options& options)
+      : pool_(num_workers) {
+    evaluators_.reserve(num_workers);
+    for (size_t i = 0; i < num_workers; ++i) {
+      evaluators_.push_back(
+          std::make_unique<ViewEvaluator>(dataset, space, options));
+    }
+  }
+
+  common::ThreadPool& pool() { return pool_; }
+  ViewEvaluator& evaluator(size_t worker) { return *evaluators_[worker]; }
+  ViewEvaluator& main() { return *evaluators_[0]; }
+  size_t num_workers() const { return evaluators_.size(); }
+
+  // Per-worker work totals folded into one block; num_workers is set by
+  // the caller-visible width, not the max of the per-lane defaults.
+  ExecStats MergedStats() const {
+    ExecStats merged;
+    for (const auto& evaluator : evaluators_) {
+      merged.Merge(evaluator->stats());
+    }
+    merged.num_workers = static_cast<int>(evaluators_.size());
+    return merged;
+  }
+
+ private:
+  common::ThreadPool pool_;
+  std::vector<std::unique_ptr<ViewEvaluator>> evaluators_;
+};
+
 // Vertical Linear: decoupled horizontal search per view (Section IV-B).
-// Covers Linear-Linear, HC-Linear, and MuVE-Linear.
-std::vector<ScoredView> VerticalLinear(ViewEvaluator& evaluator,
+// Covers Linear-Linear, HC-Linear, and MuVE-Linear.  Per-view searches
+// share nothing (matching the serial semantics, which never shared a
+// threshold across views either), so parallel runs are bitwise-identical
+// to serial ones — recommendations AND probe counters.
+std::vector<ScoredView> VerticalLinear(WorkerSet& workers,
                                        const ViewSpace& space,
                                        const SearchOptions& options) {
-  TopKTracker tracker(options.k, space.views().size());
-  for (size_t i = 0; i < space.views().size(); ++i) {
-    const View& view = space.views()[i];
-    const DimensionInfo& dim = space.dimension_info(view.dimension);
-    const std::vector<int> domain = BinDomain(options.partition, dim.max_bins);
-    common::Rng rng = ViewRng(options, i);
-    const HorizontalResult result = RunHorizontalSearch(
-        evaluator, view, domain, dim.max_bins, options, rng);
-    if (result.best.has_value()) tracker.Update(i, *result.best);
-  }
+  const std::vector<View>& views = space.views();
+  SharedTopKTracker tracker(options.k, views.size());
+  workers.pool().ParallelFor(
+      views.size(), [&](size_t worker, size_t i) {
+        ViewEvaluator& evaluator = workers.evaluator(worker);
+        const View& view = views[i];
+        const DimensionInfo& dim = space.dimension_info(view.dimension);
+        const std::vector<int> domain =
+            BinDomain(options.partition, dim.max_bins);
+        common::Rng rng = ViewRng(options, i);
+        const HorizontalResult result = RunHorizontalSearch(
+            evaluator, view, domain, dim.max_bins, options, rng);
+        if (result.best.has_value()) tracker.Update(i, *result.best);
+      });
   return tracker.TopK();
 }
 
 // Vertical MuVE (MuVE-MuVE): round-robin the views' S-lists with the
-// shared top-k threshold (Section IV-B).
-std::vector<ScoredView> VerticalMuve(ViewEvaluator& evaluator,
+// shared top-k threshold (Section IV-B).  Rounds stay sequential — the
+// round order IS the S-list interleaving — but within a round every
+// view's candidate evaluates in parallel against the shared tracker's
+// threshold snapshot.
+std::vector<ScoredView> VerticalMuve(WorkerSet& workers,
                                      const ViewSpace& space,
                                      const SearchOptions& options) {
   const std::vector<View>& views = space.views();
-  TopKTracker tracker(options.k, views.size());
+  SharedTopKTracker tracker(options.k, views.size());
 
-  // Precompute per-view domains.
+  // Precompute per-view domains (charged to the main evaluator).
   std::vector<std::vector<int>> domains;
   domains.reserve(views.size());
   size_t max_len = 0;
@@ -71,9 +121,11 @@ std::vector<ScoredView> VerticalMuve(ViewEvaluator& evaluator,
     const DimensionInfo& dim = space.dimension_info(view.dimension);
     domains.push_back(BinDomain(options.partition, dim.max_bins));
     max_len = std::max(max_len, domains.back().size());
-    ++evaluator.stats().views_searched;
+    ++workers.main().stats().views_searched;
   }
 
+  std::vector<size_t> round_views;
+  round_views.reserve(views.size());
   for (size_t r = 0; r < max_len; ++r) {
     const int bins_r = SequenceBins(options.partition, r);
     // Global early termination: every candidate from this round on (any
@@ -81,33 +133,40 @@ std::vector<ScoredView> VerticalMuve(ViewEvaluator& evaluator,
     if (options.enable_early_termination &&
         tracker.Threshold() >=
             UtilityUpperBound(options.weights, Usability(bins_r))) {
-      ++evaluator.stats().early_terminations;
+      ++workers.main().stats().early_terminations;
       break;
     }
+    round_views.clear();
     for (size_t i = 0; i < views.size(); ++i) {
-      if (r >= domains[i].size()) continue;
-      MUVE_DCHECK(domains[i][r] == bins_r);
-      const CandidateResult cand =
-          EvaluateCandidate(evaluator, views[i], domains[i][r], options,
-                            tracker.Threshold(), /*allow_pruning=*/true);
-      if (cand.outcome == CandidateResult::Outcome::kFullyEvaluated) {
-        tracker.Update(i, cand.scored);
-      }
+      if (r < domains[i].size()) round_views.push_back(i);
     }
+    workers.pool().ParallelFor(
+        round_views.size(), [&](size_t worker, size_t j) {
+          const size_t i = round_views[j];
+          MUVE_DCHECK(domains[i][r] == bins_r);
+          const CandidateResult cand = EvaluateCandidate(
+              workers.evaluator(worker), views[i], domains[i][r], options,
+              tracker.Threshold(), /*allow_pruning=*/true);
+          if (cand.outcome == CandidateResult::Outcome::kFullyEvaluated) {
+            tracker.Update(i, cand.scored);
+          }
+        });
   }
   return tracker.TopK();
 }
 
 // Shared-scan exhaustive search (SeeDB's shared-computation optimization):
 // per dimension and bin count, one batch evaluates every (M, F) view.
-// Identical recommendations to Linear-Linear.  Categorical-dimension
-// views fall back to per-view evaluation (their group-by is one scan
-// already).
-std::vector<ScoredView> VerticalSharedLinear(ViewEvaluator& evaluator,
+// Identical recommendations to Linear-Linear.  Dimensions are independent
+// batches, so they fan out across workers; no pruning is involved, which
+// keeps parallel runs bitwise-identical to serial ones.  Categorical-
+// dimension views fall back to per-view evaluation (their group-by is one
+// scan already).
+std::vector<ScoredView> VerticalSharedLinear(WorkerSet& workers,
                                              const ViewSpace& space,
                                              const SearchOptions& options) {
   const std::vector<View>& views = space.views();
-  TopKTracker tracker(options.k, views.size());
+  SharedTopKTracker tracker(options.k, views.size());
 
   std::unordered_map<std::string, std::vector<size_t>> groups;
   std::vector<std::string> dimension_order;
@@ -115,69 +174,76 @@ std::vector<ScoredView> VerticalSharedLinear(ViewEvaluator& evaluator,
     auto [it, inserted] = groups.try_emplace(views[i].dimension);
     if (inserted) dimension_order.push_back(views[i].dimension);
     it->second.push_back(i);
-    ++evaluator.stats().views_searched;
+    ++workers.main().stats().views_searched;
   }
 
-  for (const std::string& dim_name : dimension_order) {
-    const std::vector<size_t>& group = groups[dim_name];
-    const DimensionInfo& dim = space.dimension_info(dim_name);
-    if (dim.categorical) {
-      for (size_t idx : group) {
-        const CandidateResult cand = EvaluateCandidate(
-            evaluator, views[idx], 1, options,
-            -std::numeric_limits<double>::infinity(),
-            /*allow_pruning=*/false);
-        tracker.Update(idx, cand.scored);
-      }
-      continue;
-    }
-    std::vector<View> batch;
-    batch.reserve(group.size());
-    for (size_t idx : group) batch.push_back(views[idx]);
-    const std::vector<int> domain = BinDomain(options.partition, dim.max_bins);
-    for (const int bins : domain) {
-      const ViewEvaluator::BatchScores scores =
-          evaluator.EvaluateSharedBatch(batch, bins);
-      evaluator.stats().candidates_considered +=
-          static_cast<int64_t>(group.size());
-      evaluator.stats().fully_probed += static_cast<int64_t>(group.size());
-      const double s = Usability(bins);
-      for (size_t g = 0; g < group.size(); ++g) {
-        ScoredView scored;
-        scored.view = views[group[g]];
-        scored.bins = bins;
-        scored.deviation = scores.deviations[g];
-        scored.accuracy = scores.accuracies[g];
-        scored.usability = s;
-        scored.utility = Utility(options.weights, scored.deviation,
-                                 scored.accuracy, s);
-        tracker.Update(group[g], scored);
-      }
-    }
-  }
+  workers.pool().ParallelFor(
+      dimension_order.size(), [&](size_t worker, size_t d) {
+        ViewEvaluator& evaluator = workers.evaluator(worker);
+        const std::vector<size_t>& group = groups[dimension_order[d]];
+        const DimensionInfo& dim = space.dimension_info(dimension_order[d]);
+        if (dim.categorical) {
+          for (size_t idx : group) {
+            const CandidateResult cand = EvaluateCandidate(
+                evaluator, views[idx], 1, options, kNoThreshold,
+                /*allow_pruning=*/false);
+            tracker.Update(idx, cand.scored);
+          }
+          return;
+        }
+        std::vector<View> batch;
+        batch.reserve(group.size());
+        for (size_t idx : group) batch.push_back(views[idx]);
+        const std::vector<int> domain =
+            BinDomain(options.partition, dim.max_bins);
+        for (const int bins : domain) {
+          const ViewEvaluator::BatchScores scores =
+              evaluator.EvaluateSharedBatch(batch, bins);
+          evaluator.stats().candidates_considered +=
+              static_cast<int64_t>(group.size());
+          evaluator.stats().fully_probed += static_cast<int64_t>(group.size());
+          const double s = Usability(bins);
+          for (size_t g = 0; g < group.size(); ++g) {
+            ScoredView scored;
+            scored.view = views[group[g]];
+            scored.bins = bins;
+            scored.deviation = scores.deviations[g];
+            scored.accuracy = scores.accuracies[g];
+            scored.usability = s;
+            scored.utility = Utility(options.weights, scored.deviation,
+                                     scored.accuracy, s);
+            tracker.Update(group[g], scored);
+          }
+        }
+      });
   return tracker.TopK();
 }
 
 // View refinement (Section IV-C1): score every view at `def` bins, pick
-// the top-k, then refine only those k with a full horizontal search.
-std::vector<ScoredView> VerticalRefinement(ViewEvaluator& evaluator,
+// the top-k, then refine only those k with a full horizontal search.  The
+// first pass fans out per view (threshold snapshots keep MuVE's pruning
+// live across workers); the second pass refines only k views and stays
+// serial on the main evaluator, preserving the legacy shared-RNG behavior
+// for Hill Climbing.
+std::vector<ScoredView> VerticalRefinement(WorkerSet& workers,
                                            const ViewSpace& space,
                                            const SearchOptions& options,
                                            common::Rng& rng) {
   const std::vector<View>& views = space.views();
-  TopKTracker tracker(options.k, views.size());
+  SharedTopKTracker tracker(options.k, views.size());
   const bool muve_pruning = options.horizontal == HorizontalStrategy::kMuve;
 
-  for (size_t i = 0; i < views.size(); ++i) {
-    const DimensionInfo& dim = space.dimension_info(views[i].dimension);
-    const int def = std::min(options.refinement_default_bins, dim.max_bins);
-    const CandidateResult cand =
-        EvaluateCandidate(evaluator, views[i], def, options,
-                          tracker.Threshold(), muve_pruning);
-    if (cand.outcome == CandidateResult::Outcome::kFullyEvaluated) {
-      tracker.Update(i, cand.scored);
-    }
-  }
+  workers.pool().ParallelFor(
+      views.size(), [&](size_t worker, size_t i) {
+        const DimensionInfo& dim = space.dimension_info(views[i].dimension);
+        const int def = std::min(options.refinement_default_bins, dim.max_bins);
+        const CandidateResult cand = EvaluateCandidate(
+            workers.evaluator(worker), views[i], def, options,
+            tracker.Threshold(), muve_pruning);
+        if (cand.outcome == CandidateResult::Outcome::kFullyEvaluated) {
+          tracker.Update(i, cand.scored);
+        }
+      });
 
   std::vector<ScoredView> selected = tracker.TopK();
   std::vector<ScoredView> refined;
@@ -186,7 +252,7 @@ std::vector<ScoredView> VerticalRefinement(ViewEvaluator& evaluator,
     const DimensionInfo& dim = space.dimension_info(sv.view.dimension);
     const std::vector<int> domain = BinDomain(options.partition, dim.max_bins);
     const HorizontalResult result = RunHorizontalSearch(
-        evaluator, sv.view, domain, dim.max_bins, options, rng);
+        workers.main(), sv.view, domain, dim.max_bins, options, rng);
     // A full horizontal search always finds at least the def-bin utility.
     refined.push_back(result.best.has_value() ? *result.best : sv);
   }
@@ -199,12 +265,14 @@ std::vector<ScoredView> VerticalRefinement(ViewEvaluator& evaluator,
 
 // View skipping (Section IV-C2): one horizontal search per dimension; its
 // optimal bin count is assigned to every view sharing that dimension.
-std::vector<ScoredView> VerticalSkipping(ViewEvaluator& evaluator,
+// Dimensions are independent batches and fan out across workers; Hill
+// Climbing seeds its random start from the representative's view index
+// (not a shared sequential RNG), so results are thread-count invariant.
+std::vector<ScoredView> VerticalSkipping(WorkerSet& workers,
                                          const ViewSpace& space,
-                                         const SearchOptions& options,
-                                         common::Rng& rng) {
+                                         const SearchOptions& options) {
   const std::vector<View>& views = space.views();
-  TopKTracker tracker(options.k, views.size());
+  SharedTopKTracker tracker(options.k, views.size());
   const bool muve_pruning = options.horizontal == HorizontalStrategy::kMuve;
 
   // Views grouped by dimension, preserving order; the group's first view
@@ -217,28 +285,32 @@ std::vector<ScoredView> VerticalSkipping(ViewEvaluator& evaluator,
     it->second.push_back(i);
   }
 
-  for (const std::string& dim_name : dimension_order) {
-    const std::vector<size_t>& group = groups[dim_name];
-    const DimensionInfo& dim = space.dimension_info(dim_name);
-    const std::vector<int> domain = BinDomain(options.partition, dim.max_bins);
+  workers.pool().ParallelFor(
+      dimension_order.size(), [&](size_t worker, size_t d) {
+        ViewEvaluator& evaluator = workers.evaluator(worker);
+        const std::vector<size_t>& group = groups[dimension_order[d]];
+        const DimensionInfo& dim = space.dimension_info(dimension_order[d]);
+        const std::vector<int> domain =
+            BinDomain(options.partition, dim.max_bins);
 
-    const size_t rep = group.front();
-    const HorizontalResult rep_result = RunHorizontalSearch(
-        evaluator, views[rep], domain, dim.max_bins, options, rng);
-    if (!rep_result.best.has_value()) continue;
-    tracker.Update(rep, *rep_result.best);
-    const int opt_bins = rep_result.best->bins;
+        const size_t rep = group.front();
+        common::Rng rng = ViewRng(options, rep);
+        const HorizontalResult rep_result = RunHorizontalSearch(
+            evaluator, views[rep], domain, dim.max_bins, options, rng);
+        if (!rep_result.best.has_value()) return;
+        tracker.Update(rep, *rep_result.best);
+        const int opt_bins = rep_result.best->bins;
 
-    for (size_t j = 1; j < group.size(); ++j) {
-      const size_t idx = group[j];
-      const CandidateResult cand =
-          EvaluateCandidate(evaluator, views[idx], opt_bins, options,
-                            tracker.Threshold(), muve_pruning);
-      if (cand.outcome == CandidateResult::Outcome::kFullyEvaluated) {
-        tracker.Update(idx, cand.scored);
-      }
-    }
-  }
+        for (size_t j = 1; j < group.size(); ++j) {
+          const size_t idx = group[j];
+          const CandidateResult cand =
+              EvaluateCandidate(evaluator, views[idx], opt_bins, options,
+                                tracker.Threshold(), muve_pruning);
+          if (cand.outcome == CandidateResult::Outcome::kFullyEvaluated) {
+            tracker.Update(idx, cand.scored);
+          }
+        }
+      });
   return tracker.TopK();
 }
 
@@ -260,60 +332,6 @@ std::string Recommendation::ToString() const {
   return out.str();
 }
 
-common::Result<Recommendation> Recommender::RecommendParallelLinear(
-    const SearchOptions& options) const {
-  const std::vector<View>& views = space_.views();
-  const size_t num_threads = std::min<size_t>(
-      static_cast<size_t>(options.num_threads),
-      std::max<size_t>(views.size(), 1));
-
-  struct WorkerResult {
-    // (view index, best candidate) pairs found by this worker.
-    std::vector<std::pair<size_t, ScoredView>> bests;
-    ExecStats stats;
-  };
-  std::vector<WorkerResult> results(num_threads);
-  ViewEvaluator::Options eval_options;
-  eval_options.distance = options.distance;
-  eval_options.sample_fraction = options.sample_fraction;
-  eval_options.sample_seed = options.sample_seed;
-
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  for (size_t t = 0; t < num_threads; ++t) {
-    workers.emplace_back([&, t] {
-      ViewEvaluator evaluator(dataset_, space_, eval_options);
-      WorkerResult& out = results[t];
-      for (size_t i = t; i < views.size(); i += num_threads) {
-        const View& view = views[i];
-        const DimensionInfo& dim = space_.dimension_info(view.dimension);
-        const std::vector<int> domain =
-            BinDomain(options.partition, dim.max_bins);
-        common::Rng rng = ViewRng(options, i);
-        const HorizontalResult result = RunHorizontalSearch(
-            evaluator, view, domain, dim.max_bins, options, rng);
-        if (result.best.has_value()) {
-          out.bests.emplace_back(i, *result.best);
-        }
-      }
-      out.stats = evaluator.stats();
-    });
-  }
-  for (std::thread& worker : workers) worker.join();
-
-  Recommendation rec;
-  rec.scheme = options.SchemeName();
-  TopKTracker tracker(options.k, views.size());
-  for (const WorkerResult& result : results) {
-    for (const auto& [index, best] : result.bests) {
-      tracker.Update(index, best);
-    }
-    rec.stats.Merge(result.stats);
-  }
-  rec.views = tracker.TopK();
-  return rec;
-}
-
 common::Result<Recommender> Recommender::Create(data::Dataset dataset) {
   MUVE_ASSIGN_OR_RETURN(ViewSpace space, ViewSpace::Create(dataset));
   return Recommender(std::move(dataset), std::move(space));
@@ -326,31 +344,35 @@ common::Result<Recommendation> Recommender::Recommend(
   eval_options.distance = options.distance;
   eval_options.sample_fraction = options.sample_fraction;
   eval_options.sample_seed = options.sample_seed;
-  ViewEvaluator evaluator(dataset_, space_, eval_options);
+
+  // More workers than views can never help; everything degrades to the
+  // serial inline path at one worker.
+  const size_t num_workers = std::min<size_t>(
+      static_cast<size_t>(options.num_threads),
+      std::max<size_t>(space_.views().size(), 1));
+  WorkerSet workers(num_workers, dataset_, space_, eval_options);
   common::Rng rng(options.hc_seed);
 
   Recommendation rec;
   rec.scheme = options.SchemeName();
   switch (options.approximation) {
     case VerticalApproximation::kRefinement:
-      rec.views = VerticalRefinement(evaluator, space_, options, rng);
+      rec.views = VerticalRefinement(workers, space_, options, rng);
       break;
     case VerticalApproximation::kSkipping:
-      rec.views = VerticalSkipping(evaluator, space_, options, rng);
+      rec.views = VerticalSkipping(workers, space_, options);
       break;
     case VerticalApproximation::kNone:
       if (options.shared_scans) {
-        rec.views = VerticalSharedLinear(evaluator, space_, options);
+        rec.views = VerticalSharedLinear(workers, space_, options);
       } else if (options.vertical == VerticalStrategy::kMuve) {
-        rec.views = VerticalMuve(evaluator, space_, options);
-      } else if (options.num_threads > 1) {
-        return RecommendParallelLinear(options);
+        rec.views = VerticalMuve(workers, space_, options);
       } else {
-        rec.views = VerticalLinear(evaluator, space_, options);
+        rec.views = VerticalLinear(workers, space_, options);
       }
       break;
   }
-  rec.stats = evaluator.stats();
+  rec.stats = workers.MergedStats();
   return rec;
 }
 

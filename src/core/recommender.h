@@ -31,8 +31,32 @@ struct Recommendation {
 
 // One recommendation engine per dataset workload.  Construction enumerates
 // the view space and derives dimension binning ranges; each Recommend()
-// call runs with a fresh evaluator (cold caches, zeroed cost accounting)
-// so scheme costs are comparable.
+// call runs with a fresh evaluator per pool worker (cold caches, zeroed
+// cost accounting) so scheme costs are comparable.
+//
+// Threading model (options.num_threads): every vertical strategy runs on
+// a shared work-stealing pool (common::ThreadPool) —
+//   * vertical Linear (Linear-Linear, HC-Linear, MuVE-Linear): one
+//     horizontal search per view, views dealt across workers.  Per-view
+//     searches are independent (HC seeds by view index), so parallel
+//     runs recommend exactly the serial views.  Linear and HC match
+//     probe counters too; horizontal MuVE's probe-order priority rule
+//     adapts to each evaluator's cost observations, so per-worker
+//     evaluators may order the two probes differently than the serial
+//     evaluator did — shifting the target/comparison query mix without
+//     changing any per-view outcome.
+//   * vertical MuVE: the round-robin's rounds stay sequential (they ARE
+//     the algorithm), but all views inside one round evaluate in
+//     parallel against a SharedTopKTracker threshold snapshot.  The
+//     snapshot may lag, so parallel runs can prune *less* than serial
+//     ones — never unsoundly more — and the top-k utilities are exactly
+//     the serial ones.
+//   * shared scans and view skipping: one per-dimension batch per task.
+//   * view refinement: the first (def-bin) pass fans out per view; the
+//     k-view refinement pass stays serial.
+// Reported time components sum *work* across workers — the paper's
+// total-cost metric (Eq. 7) — not elapsed wall-clock;
+// ExecStats::num_workers records the pool width.
 class Recommender {
  public:
   static common::Result<Recommender> Create(data::Dataset dataset);
@@ -41,19 +65,6 @@ class Recommender {
 
   const ViewSpace& space() const { return space_; }
   const data::Dataset& dataset() const { return dataset_; }
-
- private:
-  // Multi-threaded vertical-Linear execution (options.num_threads > 1):
-  // views are partitioned round-robin across workers, each with its own
-  // evaluator; per-view bests and stats merge at the end.  Results are
-  // identical to the serial run (horizontal searches are per-view
-  // independent and HC seeds by view index).  Reported time components
-  // sum *work* across threads — the paper's total-cost metric (Eq. 7) —
-  // not elapsed wall-clock.
-  common::Result<Recommendation> RecommendParallelLinear(
-      const SearchOptions& options) const;
-
- public:
 
  private:
   Recommender(data::Dataset dataset, ViewSpace space)

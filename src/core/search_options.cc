@@ -43,14 +43,6 @@ common::Status SearchOptions::Validate() const {
     return common::Status::InvalidArgument(
         "sample_fraction must lie in (0, 1]");
   }
-  if (num_threads > 1 &&
-      (vertical != VerticalStrategy::kLinear ||
-       approximation != VerticalApproximation::kNone || shared_scans)) {
-    return common::Status::InvalidArgument(
-        "parallel execution requires a plain vertical-Linear scheme "
-        "(MuVE-MuVE's shared threshold and the approximations are "
-        "inherently sequential)");
-  }
   if (shared_scans &&
       (horizontal != HorizontalStrategy::kLinear ||
        vertical != VerticalStrategy::kLinear ||
@@ -64,12 +56,6 @@ common::Status SearchOptions::Validate() const {
     return common::Status::InvalidArgument(
         "vertical MuVE requires horizontal MuVE (the paper's MuVE-MuVE "
         "integration); use vertical Linear for other horizontal searches");
-  }
-  if (vertical == VerticalStrategy::kMuve &&
-      approximation == VerticalApproximation::kRefinement) {
-    // Refinement's first pass already is a vertical search; it uses the
-    // horizontal strategy's pruning on the singleton bin domain.
-    return common::Status::OK();
   }
   return common::Status::OK();
 }

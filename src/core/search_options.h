@@ -61,10 +61,14 @@ struct SearchOptions {
   double sample_fraction = 1.0;
   uint64_t sample_seed = 0x5A3D1E;
 
-  // Worker threads for vertical-Linear schemes (Linear-Linear, HC-Linear,
-  // MuVE-Linear without approximations).  1 = serial.  Parallel runs
-  // recommend identically to serial ones; the cost metric still sums
-  // per-thread work (Eq. 7 measures total processing, not latency).
+  // Worker threads for the shared work-stealing pool; every scheme
+  // (vertical Linear, MuVE-MuVE, shared scans, refinement, skipping)
+  // accepts > 1.  1 = serial.  For exact schemes the parallel top-k
+  // matches the serial one (bitwise for non-pruning schemes; identical
+  // utilities for MuVE's pruned searches, whose threshold snapshots may
+  // lag under concurrency and prune less, never unsoundly more).  The
+  // cost metric still sums per-worker work (Eq. 7 measures total
+  // processing, not latency); see Recommender's threading-model comment.
   int num_threads = 1;
 
   // SeeDB-style shared scans (Section II-A's orthogonal optimization):

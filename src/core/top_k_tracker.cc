@@ -33,18 +33,30 @@ double TopKTracker::Threshold() const {
 }
 
 std::vector<ScoredView> TopKTracker::TopK() const {
-  std::vector<ScoredView> all;
-  for (const auto& slot : bests_) {
-    if (slot.has_value()) all.push_back(*slot);
+  // Carry the view index through the sort so ties resolve by workload
+  // position, not by std::sort's whims: the ranking must be a pure
+  // function of the per-view bests for parallel runs to merge
+  // deterministically into the serial result.
+  std::vector<std::pair<size_t, ScoredView>> all;
+  for (size_t i = 0; i < bests_.size(); ++i) {
+    if (bests_[i].has_value()) all.emplace_back(i, *bests_[i]);
   }
-  std::sort(all.begin(), all.end(), [](const ScoredView& a,
-                                       const ScoredView& b) {
-    return a.utility > b.utility;
-  });
+  std::sort(all.begin(), all.end(),
+            [](const std::pair<size_t, ScoredView>& a,
+               const std::pair<size_t, ScoredView>& b) {
+              if (a.second.utility != b.second.utility) {
+                return a.second.utility > b.second.utility;
+              }
+              if (a.first != b.first) return a.first < b.first;
+              return a.second.bins < b.second.bins;
+            });
   if (all.size() > static_cast<size_t>(k_)) {
     all.resize(static_cast<size_t>(k_));
   }
-  return all;
+  std::vector<ScoredView> out;
+  out.reserve(all.size());
+  for (auto& [index, scored] : all) out.push_back(std::move(scored));
+  return out;
 }
 
 }  // namespace muve::core

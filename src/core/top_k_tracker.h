@@ -2,11 +2,21 @@
 // the recommendation list holds at most one binned view per non-binned
 // view, so the tracker keeps the best scored candidate *per view* and
 // exposes the k-th best of those as the vertical pruning threshold.
+//
+// `TopKTracker` is the single-threaded core; `SharedTopKTracker` wraps it
+// for the thread pool: updates are mutex-guarded, while the pruning
+// threshold is re-published into an atomic after every update so workers
+// read a wait-free snapshot.  The snapshot may lag (it is never *ahead*),
+// which keeps parallel pruning sound: the threshold only grows, so any
+// candidate pruned against a stale value would also be pruned against the
+// current one.
 
 #ifndef MUVE_CORE_TOP_K_TRACKER_H_
 #define MUVE_CORE_TOP_K_TRACKER_H_
 
+#include <atomic>
 #include <limits>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <vector>
@@ -32,13 +42,53 @@ class TopKTracker {
   // Number of views with a best so far.
   size_t num_views_scored() const { return utilities_.size(); }
 
-  // The current top-k per-view bests, utility-descending.
+  // The current top-k per-view bests, utility-descending.  Ties break by
+  // ascending view index (then ascending bin count), which makes the
+  // ranking a pure function of the per-view bests — the order candidates
+  // were recorded in (serial sweep or parallel merge) cannot leak into
+  // the output.
   std::vector<ScoredView> TopK() const;
 
  private:
   int k_;
   std::vector<std::optional<ScoredView>> bests_;
   std::multiset<double> utilities_;  // per-view best utilities
+};
+
+// Thread-safe wrapper used by every parallel vertical strategy: one
+// shared instance per recommendation run, updated by all pool workers.
+class SharedTopKTracker {
+ public:
+  SharedTopKTracker(int k, size_t num_views)
+      : tracker_(k, num_views),
+        threshold_(-std::numeric_limits<double>::infinity()) {}
+
+  void Update(size_t view_index, const ScoredView& scored) {
+    std::lock_guard<std::mutex> lock(mu_);
+    tracker_.Update(view_index, scored);
+    threshold_.store(tracker_.Threshold(), std::memory_order_release);
+  }
+
+  // Wait-free conservative snapshot of the pruning threshold (see file
+  // comment); monotone non-decreasing over the run.
+  double Threshold() const {
+    return threshold_.load(std::memory_order_acquire);
+  }
+
+  size_t num_views_scored() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tracker_.num_views_scored();
+  }
+
+  std::vector<ScoredView> TopK() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tracker_.TopK();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  TopKTracker tracker_;
+  std::atomic<double> threshold_;
 };
 
 }  // namespace muve::core

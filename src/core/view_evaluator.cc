@@ -1,9 +1,9 @@
 #include "core/view_evaluator.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
-#include "common/rng.h"
 #include "common/stopwatch.h"
 #include "core/distribution.h"
 #include "core/objectives.h"
@@ -14,17 +14,36 @@ namespace muve::core {
 
 namespace {
 
-// Deterministic uniform sample of `rows`, keeping at least one row.
-storage::RowSet SampleRows(const storage::RowSet& rows, double fraction,
-                           uint64_t seed) {
-  common::Rng rng(seed);
+// splitmix64 finalizer: a stateless hash for per-row Bernoulli draws.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Whether `row` survives sampling.  The decision is a pure function of
+// (seed, row id) — NOT of which row set the row is being drawn for — so
+// the target and comparison samples come from ONE shared Bernoulli draw
+// per row.  That preserves the D_Q ⊆ D_B premise under sampling:
+// sample(D_Q) = D_Q ∩ sample(D_B) whenever D_Q ⊆ D_B.  (The previous
+// implementation drew the two sets from independent RNG streams, so a
+// sampled target row could be missing from the sampled comparison set,
+// breaking the categorical alignment's subset invariant.)
+bool KeepRow(uint64_t seed, uint32_t row, double fraction) {
+  const uint64_t h = Mix64(seed ^ ((uint64_t{row} + 1) * 0xD6E8FEB86659FD93ULL));
+  // 53 high-quality bits -> uniform double in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < fraction;
+}
+
+storage::RowSet SampleSubset(const storage::RowSet& rows, double fraction,
+                             uint64_t seed) {
   storage::RowSet out;
   out.reserve(static_cast<size_t>(
       static_cast<double>(rows.size()) * fraction) + 1);
   for (uint32_t row : rows) {
-    if (rng.Bernoulli(fraction)) out.push_back(row);
+    if (KeepRow(seed, row, fraction)) out.push_back(row);
   }
-  if (out.empty() && !rows.empty()) out.push_back(rows.front());
   return out;
 }
 
@@ -37,10 +56,23 @@ ViewEvaluator::ViewEvaluator(const data::Dataset& dataset,
              options_.sample_fraction <= 1.0)
       << "sample_fraction must lie in (0, 1]";
   if (options_.sample_fraction < 1.0) {
-    target_rows_ = SampleRows(dataset.target_rows, options_.sample_fraction,
-                              options_.sample_seed);
-    all_rows_ = SampleRows(dataset.all_rows, options_.sample_fraction,
-                           options_.sample_seed ^ 0xA11C0FFEEULL);
+    all_rows_ = SampleSubset(dataset.all_rows, options_.sample_fraction,
+                             options_.sample_seed);
+    target_rows_ = SampleSubset(dataset.target_rows, options_.sample_fraction,
+                                options_.sample_seed);
+    // Keep at least one target row so probes never see an empty D_Q; the
+    // kept row is forced into the comparison sample as well to maintain
+    // the subset invariant (row sets are ascending, so insert sorted).
+    if (target_rows_.empty() && !dataset.target_rows.empty()) {
+      const uint32_t kept = dataset.target_rows.front();
+      target_rows_.push_back(kept);
+      const auto it =
+          std::lower_bound(all_rows_.begin(), all_rows_.end(), kept);
+      if (it == all_rows_.end() || *it != kept) all_rows_.insert(it, kept);
+    }
+    if (all_rows_.empty() && !dataset.all_rows.empty()) {
+      all_rows_.push_back(dataset.all_rows.front());
+    }
   } else {
     target_rows_ = dataset.target_rows;
     all_rows_ = dataset.all_rows;
@@ -167,17 +199,34 @@ double ViewEvaluator::EvaluateCategoricalDeviation(const View& view) {
   cost_model_.Observe(CostKind::kTargetQuery, target_ms);
 
   common::Stopwatch distance_timer;
-  // Align the target series onto the comparison key order.
+  // Align the target series onto the comparison key order with a sorted
+  // two-pointer merge (both group-bys return keys ascending).  The old
+  // loop only advanced `t` on an exact match, so one target key missing
+  // from the comparison keys silently shifted every later target
+  // aggregate into the wrong group.  With D_Q ⊆ D_B (guaranteed even
+  // under sampling by the shared per-row draw in SampleSubset) no target
+  // key can be missing — enforced below rather than assumed.
   std::vector<double> aligned(comparison->num_groups(), 0.0);
   size_t t = 0;
-  for (size_t c = 0; c < comparison->num_groups() &&
-                     t < target->num_groups();
-       ++c) {
-    if (comparison->keys[c] == target->keys[t]) {
+  for (size_t c = 0;
+       c < comparison->num_groups() && t < target->num_groups(); ++c) {
+    const storage::Value& comparison_key = comparison->keys[c];
+    const storage::Value& target_key = target->keys[t];
+    if (target_key == comparison_key) {
       aligned[c] = target->aggregates[t];
       ++t;
+    } else {
+      MUVE_CHECK(comparison_key < target_key)
+          << "categorical alignment: target group key " << target_key
+          << " is absent from the comparison view — D_Q is not a subset "
+             "of D_B";
+      // comparison_key < target_key: a comparison-only group; its target
+      // mass stays 0 and only `c` advances.
     }
   }
+  MUVE_CHECK(t == target->num_groups())
+      << "categorical alignment dropped " << (target->num_groups() - t)
+      << " trailing target group(s) — D_Q is not a subset of D_B";
   const std::vector<double> p = NormalizeToDistribution(aligned);
   const std::vector<double> q =
       NormalizeToDistribution(comparison->aggregates);

@@ -107,6 +107,12 @@ class ViewEvaluator {
   // Drops all caches as well; used when a fresh cold-cache run is needed.
   void ResetAll();
 
+  // Row sets all probes scan: the dataset's own when sample_fraction is
+  // 1, deterministic samples otherwise.  Exposed (read-only) so tests can
+  // assert the sampling invariant sample(D_Q) = D_Q ∩ sample(D_B).
+  const storage::RowSet& target_rows() const { return target_rows_; }
+  const storage::RowSet& all_rows() const { return all_rows_; }
+
  private:
   struct RawSeries {
     std::vector<double> keys;
@@ -117,11 +123,6 @@ class ViewEvaluator {
   storage::BinnedResult ExecuteBinnedComparison(const View& view, int bins);
   double EvaluateCategoricalDeviation(const View& view);
   const RawSeries& RawTargetSeries(const View& view);
-
-  // Row sets all probes scan: the dataset's own when sample_fraction is
-  // 1, deterministic samples otherwise.
-  const storage::RowSet& target_rows() const { return target_rows_; }
-  const storage::RowSet& all_rows() const { return all_rows_; }
 
   const data::Dataset& dataset_;
   const ViewSpace& space_;

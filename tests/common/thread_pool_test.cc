@@ -1,0 +1,108 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace muve::common {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4u);
+  constexpr size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.ParallelFor(kCount, [&](size_t /*worker*/, size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, WorkerIdsAreInRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> by_worker(3);
+  std::atomic<bool> out_of_range{false};
+  pool.ParallelFor(300, [&](size_t worker, size_t /*i*/) {
+    if (worker >= 3) {
+      out_of_range.store(true);
+    } else {
+      by_worker[worker].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_FALSE(out_of_range.load());
+  int total = 0;
+  for (auto& c : by_worker) total += c.load();
+  EXPECT_EQ(total, 300);
+  // No guarantee any particular worker runs an index: with stealing, a
+  // worker's whole shard can be drained by its siblings before it wakes.
+}
+
+TEST(ThreadPoolTest, ReusableAcrossRounds) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(round + 1, [&](size_t, size_t i) {
+      sum.fetch_add(i + 1, std::memory_order_relaxed);
+    });
+    const size_t n = static_cast<size_t>(round) + 1;
+    EXPECT_EQ(sum.load(), n * (n + 1) / 2) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsInlineInOrder) {
+  ThreadPool pool(1);
+  std::vector<size_t> order;
+  pool.ParallelFor(10, [&](size_t worker, size_t i) {
+    EXPECT_EQ(worker, 0u);
+    order.push_back(i);  // no synchronization needed: caller thread only
+  });
+  std::vector<size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, ZeroCountIsANoOp) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, [&](size_t, size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, MoreWorkersThanItems) {
+  ThreadPool pool(8);
+  std::set<size_t> seen;
+  std::mutex mu;
+  pool.ParallelFor(3, [&](size_t, size_t i) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.insert(i);
+  });
+  EXPECT_EQ(seen, (std::set<size_t>{0, 1, 2}));
+}
+
+TEST(ThreadPoolTest, StealingDrainsUnevenShards) {
+  // One deliberately slow index pins a worker; the others must steal the
+  // rest of its shard so the round still completes with every index run.
+  ThreadPool pool(4);
+  constexpr size_t kCount = 64;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.ParallelFor(kCount, [&](size_t, size_t i) {
+    if (i == 1) {  // lands in worker 1's shard; block it briefly
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace muve::common

@@ -63,6 +63,33 @@ TEST(ExecStatsTest, ToStringMentionsKeyCounters) {
   EXPECT_NE(text.find("full=3"), std::string::npos);
 }
 
+// num_workers merges via max, not sum: folding W per-worker stat blocks
+// into one run total must report the pool width W, not W * 1.
+TEST(ExecStatsTest, MergeKeepsMaxWorkerCount) {
+  ExecStats total;
+  for (int w = 0; w < 4; ++w) {
+    ExecStats per_worker = MakeStats();
+    EXPECT_EQ(per_worker.num_workers, 1);
+    total.Merge(per_worker);
+  }
+  EXPECT_EQ(total.num_workers, 1);  // four serial blocks stay width 1
+
+  ExecStats wide = MakeStats();
+  wide.num_workers = 4;
+  total.Merge(wide);
+  EXPECT_EQ(total.num_workers, 4);
+  ExecStats narrow = MakeStats();
+  narrow.num_workers = 2;
+  total.Merge(narrow);
+  EXPECT_EQ(total.num_workers, 4);  // merging a narrower run keeps 4
+}
+
+TEST(ExecStatsTest, ToStringMentionsWorkers) {
+  ExecStats s = MakeStats();
+  s.num_workers = 3;
+  EXPECT_NE(s.ToString().find("workers=3"), std::string::npos);
+}
+
 // Accounting invariant maintained by the candidate evaluator:
 // considered = pruned0 + pruned1 + fully_probed.
 TEST(ExecStatsTest, CandidateAccountingInvariantHolds) {

@@ -164,5 +164,140 @@ TEST_P(FuzzExactnessTest, ExactSchemesAndSessionAgree) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzExactnessTest,
                          ::testing::Range<uint64_t>(1, 21));
 
+// Sampling composes with pruning: with a fixed (sample_fraction,
+// sample_seed), every exact scheme evaluates the same deterministic row
+// sample, so the schemes must still agree with one another — the pruning
+// bounds hold on the sampled estimates exactly as they do on full scans.
+// Datasets with categorical dimensions are included (40% of seeds), which
+// exercises the sampled categorical-deviation merge path.
+class SampledFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SampledFuzzTest, ExactSchemesAgreeUnderSampling) {
+  const uint64_t seed = GetParam();
+  common::Rng rng(seed * 1723);
+  const data::Dataset ds = RandomDataset(seed);
+  auto recommender = Recommender::Create(ds);
+  ASSERT_TRUE(recommender.ok()) << recommender.status().ToString();
+
+  for (int trial = 0; trial < 2; ++trial) {
+    SearchOptions base;
+    base.weights = RandomWeights(rng);
+    base.k = 1 + static_cast<int>(rng.UniformInt(0, 4));
+    base.sample_fraction = 0.3 + rng.Uniform(0, 0.6);  // (0.3, 0.9)
+    base.sample_seed = seed * 31 + static_cast<uint64_t>(trial);
+
+    SearchOptions linear = base;
+    linear.horizontal = HorizontalStrategy::kLinear;
+    linear.vertical = VerticalStrategy::kLinear;
+    SearchOptions muve_linear = base;
+    muve_linear.horizontal = HorizontalStrategy::kMuve;
+    muve_linear.vertical = VerticalStrategy::kLinear;
+    SearchOptions muve_muve = base;  // defaults are MuVE-MuVE
+
+    auto r_lin = recommender->Recommend(linear);
+    auto r_ml = recommender->Recommend(muve_linear);
+    auto r_mm = recommender->Recommend(muve_muve);
+    ASSERT_TRUE(r_lin.ok()) << r_lin.status().ToString();
+    ASSERT_TRUE(r_ml.ok());
+    ASSERT_TRUE(r_mm.ok());
+
+    ASSERT_EQ(r_lin->views.size(), r_ml->views.size());
+    ASSERT_EQ(r_lin->views.size(), r_mm->views.size());
+    for (size_t i = 0; i < r_lin->views.size(); ++i) {
+      const double expected = r_lin->views[i].utility;
+      EXPECT_NEAR(r_ml->views[i].utility, expected, 1e-9)
+          << "seed " << seed << " trial " << trial << " rank " << i
+          << " fraction " << base.sample_fraction;
+      EXPECT_NEAR(r_mm->views[i].utility, expected, 1e-9)
+          << "seed " << seed << " trial " << trial << " rank " << i
+          << " fraction " << base.sample_fraction;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SampledFuzzTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// Parallel determinism fuzz: for every vertical strategy and
+// approximation, a 3-thread run recommends the same utilities as the
+// serial run on random datasets.  Exact vertical-Linear schemes must
+// match view-for-view; pruning schemes (vertical MuVE, refinement,
+// skipping) must match utility-for-utility (their lagging threshold
+// snapshots can change probe counts and tie resolution, never the
+// recommended utilities).
+class ParallelFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelFuzzTest, EverySchemeIsThreadCountInvariant) {
+  const uint64_t seed = GetParam();
+  common::Rng rng(seed * 409);
+  const data::Dataset ds = RandomDataset(seed + 100);  // fresh shapes
+  auto recommender = Recommender::Create(ds);
+  ASSERT_TRUE(recommender.ok()) << recommender.status().ToString();
+
+  SearchOptions base;
+  base.weights = RandomWeights(rng);
+  base.k = 1 + static_cast<int>(rng.UniformInt(0, 4));
+
+  std::vector<SearchOptions> schemes;
+  for (const HorizontalStrategy h :
+       {HorizontalStrategy::kLinear, HorizontalStrategy::kHillClimbing,
+        HorizontalStrategy::kMuve}) {
+    SearchOptions o = base;
+    o.horizontal = h;
+    o.vertical = VerticalStrategy::kLinear;
+    schemes.push_back(o);
+  }
+  {
+    SearchOptions muve_muve = base;
+    muve_muve.horizontal = HorizontalStrategy::kMuve;
+    muve_muve.vertical = VerticalStrategy::kMuve;
+    schemes.push_back(muve_muve);
+    SearchOptions shared = base;
+    shared.horizontal = HorizontalStrategy::kLinear;
+    shared.vertical = VerticalStrategy::kLinear;
+    shared.shared_scans = true;
+    schemes.push_back(shared);
+    SearchOptions refine = base;
+    refine.horizontal = HorizontalStrategy::kLinear;
+    refine.vertical = VerticalStrategy::kLinear;
+    refine.approximation = VerticalApproximation::kRefinement;
+    schemes.push_back(refine);
+    SearchOptions skip = refine;
+    skip.approximation = VerticalApproximation::kSkipping;
+    schemes.push_back(skip);
+  }
+
+  for (const SearchOptions& serial : schemes) {
+    SearchOptions parallel = serial;
+    parallel.num_threads = 3;
+    auto r_serial = recommender->Recommend(serial);
+    auto r_parallel = recommender->Recommend(parallel);
+    ASSERT_TRUE(r_serial.ok())
+        << serial.SchemeName() << ": " << r_serial.status().ToString();
+    ASSERT_TRUE(r_parallel.ok())
+        << serial.SchemeName() << ": " << r_parallel.status().ToString();
+    ASSERT_EQ(r_serial->views.size(), r_parallel->views.size())
+        << serial.SchemeName();
+    const bool pruning_shared_threshold =
+        serial.vertical == VerticalStrategy::kMuve ||
+        serial.approximation != VerticalApproximation::kNone;
+    for (size_t i = 0; i < r_serial->views.size(); ++i) {
+      EXPECT_NEAR(r_parallel->views[i].utility, r_serial->views[i].utility,
+                  1e-12)
+          << serial.SchemeName() << " seed " << seed << " rank " << i;
+      if (!pruning_shared_threshold) {
+        EXPECT_EQ(r_parallel->views[i].view.Key(),
+                  r_serial->views[i].view.Key())
+            << serial.SchemeName() << " seed " << seed << " rank " << i;
+        EXPECT_EQ(r_parallel->views[i].bins, r_serial->views[i].bins)
+            << serial.SchemeName() << " seed " << seed << " rank " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelFuzzTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
 }  // namespace
 }  // namespace muve::core

@@ -187,6 +187,46 @@ TEST_F(HorizontalSearchTest, HillClimbingDeterministicGivenSeed) {
   EXPECT_DOUBLE_EQ(a.best->utility, b.best->utility);
 }
 
+// Regression guard for HorizontalHillClimbing's memoization lifetime:
+// `evaluate` used to return a reference into the memo (an unordered_map)
+// and one climbing step held that reference across a *second* evaluate
+// call, which inserts and can rehash.  unordered_map's node stability
+// kept that accidentally correct, but any flat/open-addressing memo
+// would turn it into a read from reallocated storage.  `evaluate` now
+// returns by value; this test drives long downhill walks
+// (usability-dominant weights push the climber toward b = 1 from a
+// random high start) over a large bin range, so each step freshly
+// evaluates b - s and b + s back to back and the memo crosses several
+// rehash boundaries mid-step — if a future memo swap reintroduces
+// reference-holding, the re-evaluation cross-check below (run under
+// -DMUVE_SANITIZE=address in CI) catches it.
+TEST_F(HorizontalSearchTest, MemoRehashDoesNotInvalidateCandidates) {
+  SearchOptions options;
+  options.weights = Weights{0.1, 0.1, 0.8};  // utility falls with bins
+  const int max_bins = 300;
+  for (uint64_t seed : {1ull, 2ull, 3ull, 5ull, 8ull, 13ull, 21ull, 34ull,
+                        55ull, 89ull}) {
+    ViewEvaluator eval(dataset_, *space_);
+    common::Rng rng(seed);
+    const HorizontalResult result =
+        HorizontalHillClimbing(eval, view_, max_bins, options, rng);
+    ASSERT_TRUE(result.best.has_value());
+    ASSERT_GE(result.best->bins, 1);
+    ASSERT_LE(result.best->bins, max_bins);
+    // The returned candidate must be internally consistent: re-evaluating
+    // the same (view, bins) pair from scratch yields the same utility.
+    ViewEvaluator check(dataset_, *space_);
+    const auto recomputed = EvaluateCandidate(
+        check, view_, result.best->bins, options, kNoThreshold, false);
+    EXPECT_DOUBLE_EQ(result.best->utility, recomputed.scored.utility)
+        << "seed " << seed << " bins " << result.best->bins;
+    EXPECT_DOUBLE_EQ(result.best->deviation, recomputed.scored.deviation)
+        << "seed " << seed;
+    EXPECT_DOUBLE_EQ(result.best->accuracy, recomputed.scored.accuracy)
+        << "seed " << seed;
+  }
+}
+
 TEST_F(HorizontalSearchTest, GeometricDomainRestrictsCandidates) {
   PartitionSpec geo;
   geo.kind = PartitionKind::kGeometric;
