@@ -115,6 +115,9 @@ int main() {
            << "{\"threads\": " << threads << ", \"elapsed_ms\": " << elapsed
            << ", \"work_cost_ms\": " << rec->stats.TotalCostMillis()
            << ", \"workers\": " << rec->stats.num_workers
+           << ", \"rows_scanned\": " << rec->stats.rows_scanned
+           << ", \"base_builds\": " << rec->stats.base_builds
+           << ", \"base_cache_hits\": " << rec->stats.base_cache_hits
            << ", \"matches_serial\": " << (identical ? "true" : "false")
            << "}";
     }

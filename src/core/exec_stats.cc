@@ -12,6 +12,8 @@ void ExecStats::Merge(const ExecStats& other) {
   deviation_evals += other.deviation_evals;
   accuracy_evals += other.accuracy_evals;
   rows_scanned += other.rows_scanned;
+  base_builds += other.base_builds;
+  base_cache_hits += other.base_cache_hits;
   candidates_considered += other.candidates_considered;
   pruned_before_probes += other.pruned_before_probes;
   pruned_after_first_probe += other.pruned_after_first_probe;
@@ -39,6 +41,7 @@ std::string ExecStats::ToString() const {
       << " early_term=" << early_terminations
       << " queries(t/c)=" << target_queries << "/" << comparison_queries
       << " rows=" << rows_scanned
+      << " base(b/h)=" << base_builds << "/" << base_cache_hits
       << " workers=" << num_workers;
   return out.str();
 }

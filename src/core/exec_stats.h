@@ -23,6 +23,14 @@ struct ExecStats {
   int64_t accuracy_evals = 0;
   int64_t rows_scanned = 0;
 
+  // Base-histogram cache accounting (the O(1) re-binning optimization):
+  // finest-granularity histograms built (each is one row scan, charged
+  // into rows_scanned) vs probes served from an already-built histogram
+  // without touching rows.  Both stay 0 when the cache is off, so
+  // rows_scanned remains directly comparable across the ablation.
+  int64_t base_builds = 0;
+  int64_t base_cache_hits = 0;
+
   // Candidate accounting.
   int64_t candidates_considered = 0;
   // Pruned by the S-bound before any probe (incremental evaluation, step 1).

@@ -20,6 +20,9 @@ common::Status ExplorationSession::Materialize(DistanceKind distance) {
 
   ViewEvaluator::Options options;
   options.distance = distance;
+  // Materialization probes every (view, b) pair — the base-histogram
+  // cache's best case (one scan per (A, M) side, O(b) per candidate).
+  options.use_base_histogram_cache = true;
   ViewEvaluator evaluator(dataset_, space_, options);
   std::vector<CandidateScores> all;
 

@@ -344,6 +344,14 @@ common::Result<Recommendation> Recommender::Recommend(
   eval_options.distance = options.distance;
   eval_options.sample_fraction = options.sample_fraction;
   eval_options.sample_seed = options.sample_seed;
+  eval_options.use_base_histogram_cache = options.base_histogram_cache;
+  if (options.base_histogram_cache) {
+    // ONE store per run, shared by every worker evaluator: all workers
+    // probe identical row sets (same dataset + sampling draw), so a
+    // histogram built by any lane serves them all.
+    eval_options.base_cache =
+        std::make_shared<storage::BaseHistogramCache>();
+  }
 
   // More workers than views can never help; everything degrades to the
   // serial inline path at one worker.

@@ -71,6 +71,19 @@ struct SearchOptions {
   // processing, not latency); see Recommender's threading-model comment.
   int num_threads = 1;
 
+  // Base-histogram prefix-sum cache (sharing optimization, Section II-A):
+  // horizontal search probes one view at many bin counts, so each (A, M)
+  // side is scanned ONCE into a finest-granularity histogram and every
+  // (view, b) probe afterwards is derived by prefix-sum coarsening
+  // without touching rows.  One store is shared across all strategies
+  // and pool workers of a Recommend() call.  Exact for COUNT (and SUM
+  // over integer measures) and FP-tolerant otherwise — top-k output is
+  // identical in practice (pinned by tests/core/rebin_differential_test);
+  // turn off to measure the savings (bench/ablate_sharing) or to force
+  // the direct scan path.  MIN/MAX and categorical probes always scan
+  // directly.
+  bool base_histogram_cache = true;
+
   // SeeDB-style shared scans (Section II-A's orthogonal optimization):
   // evaluate all same-dimension views of each bin count with one target
   // and one comparison scan.  Linear-Linear without approximations only

@@ -55,6 +55,11 @@ ViewEvaluator::ViewEvaluator(const data::Dataset& dataset,
   MUVE_CHECK(options_.sample_fraction > 0.0 &&
              options_.sample_fraction <= 1.0)
       << "sample_fraction must lie in (0, 1]";
+  if (options_.use_base_histogram_cache) {
+    base_cache_ = options_.base_cache != nullptr
+                      ? options_.base_cache
+                      : std::make_shared<storage::BaseHistogramCache>();
+  }
   if (options_.sample_fraction < 1.0) {
     all_rows_ = SampleSubset(dataset.all_rows, options_.sample_fraction,
                              options_.sample_seed);
@@ -79,6 +84,45 @@ ViewEvaluator::ViewEvaluator(const data::Dataset& dataset,
   }
 }
 
+bool ViewEvaluator::CacheEligible(const View& view) const {
+  if (base_cache_ == nullptr) return false;
+  if (space_.dimension_info(view.dimension).categorical) return false;
+  if (!storage::BaseServableFunction(view.function)) return false;
+  // String measures only pair with COUNT on the direct path; the base
+  // histogram stores measure moments, so they stay direct.
+  auto measure = dataset_.table->ColumnByName(view.measure);
+  return measure.ok() &&
+         (*measure)->type() != storage::ValueType::kString;
+}
+
+std::shared_ptr<const storage::BaseHistogram> ViewEvaluator::BaseFor(
+    const View& view, bool target_side) {
+  // Key is F-agnostic: one histogram serves every servable aggregate of
+  // the (A, M) pair.  '|' cannot occur in column names ('\x1f' separates
+  // View::Key fields; '|' keeps these keys grep-able in logs).
+  const std::string key = (target_side ? "t|" : "c|") + view.dimension +
+                          "|" + view.measure;
+  const storage::RowSet& rows = target_side ? target_rows_ : all_rows_;
+  bool built = false;
+  auto result = base_cache_->GetOrBuild(
+      key,
+      [&]() {
+        return storage::BuildBaseHistogram(*dataset_.table, rows,
+                                           view.dimension, view.measure);
+      },
+      &built);
+  MUVE_CHECK(result.ok()) << result.status().ToString();
+  if (built) {
+    // The one row scan the cache amortizes; every later probe of this
+    // (A, M) side touches zero rows.
+    ++stats_.base_builds;
+    stats_.rows_scanned += static_cast<int64_t>(rows.size());
+  } else {
+    ++stats_.base_cache_hits;
+  }
+  return std::move(result).value();
+}
+
 storage::BinnedResult ViewEvaluator::ExecuteBinnedTarget(const View& view,
                                                          int bins) {
   if (options_.reuse_target_within_candidate &&
@@ -88,15 +132,24 @@ storage::BinnedResult ViewEvaluator::ExecuteBinnedTarget(const View& view,
   }
   const DimensionInfo& dim = space_.dimension_info(view.dimension);
   common::Stopwatch timer;
-  auto result = storage::BinnedAggregate(
-      *dataset_.table, target_rows_, view.dimension, view.measure,
-      view.function, bins, dim.lo, dim.hi);
+  common::Result<storage::BinnedResult> result = [&] {
+    if (CacheEligible(view)) {
+      // Build (first touch) + coarsen; the whole probe's wall-clock is
+      // charged to C_t below, so the cost model sees the true per-probe
+      // cost including amortized builds.
+      return common::Result<storage::BinnedResult>(CoarsenBaseHistogram(
+          *BaseFor(view, /*target_side=*/true), view.function, bins,
+          dim.lo, dim.hi));
+    }
+    stats_.rows_scanned += static_cast<int64_t>(target_rows_.size());
+    return storage::BinnedAggregate(*dataset_.table, target_rows_,
+                                    view.dimension, view.measure,
+                                    view.function, bins, dim.lo, dim.hi);
+  }();
   const double ms = timer.ElapsedMillis();
   MUVE_CHECK(result.ok()) << result.status().ToString();
   stats_.target_time_ms += ms;
   ++stats_.target_queries;
-  stats_.rows_scanned +=
-      static_cast<int64_t>(target_rows_.size());
   cost_model_.Observe(CostKind::kTargetQuery, ms);
   if (options_.reuse_target_within_candidate) {
     cached_target_key_ = view.Key();
@@ -110,14 +163,21 @@ storage::BinnedResult ViewEvaluator::ExecuteBinnedComparison(const View& view,
                                                              int bins) {
   const DimensionInfo& dim = space_.dimension_info(view.dimension);
   common::Stopwatch timer;
-  auto result = storage::BinnedAggregate(
-      *dataset_.table, all_rows_, view.dimension, view.measure,
-      view.function, bins, dim.lo, dim.hi);
+  common::Result<storage::BinnedResult> result = [&] {
+    if (CacheEligible(view)) {
+      return common::Result<storage::BinnedResult>(CoarsenBaseHistogram(
+          *BaseFor(view, /*target_side=*/false), view.function, bins,
+          dim.lo, dim.hi));
+    }
+    stats_.rows_scanned += static_cast<int64_t>(all_rows_.size());
+    return storage::BinnedAggregate(*dataset_.table, all_rows_,
+                                    view.dimension, view.measure,
+                                    view.function, bins, dim.lo, dim.hi);
+  }();
   const double ms = timer.ElapsedMillis();
   MUVE_CHECK(result.ok()) << result.status().ToString();
   stats_.comparison_time_ms += ms;
   ++stats_.comparison_queries;
-  stats_.rows_scanned += static_cast<int64_t>(all_rows_.size());
   cost_model_.Observe(CostKind::kComparisonQuery, ms);
   return std::move(result).value();
 }
@@ -129,24 +189,30 @@ const ViewEvaluator::RawSeries& ViewEvaluator::RawTargetSeries(
   if (it != raw_cache_.end()) return it->second;
 
   common::Stopwatch timer;
-  auto grouped = storage::GroupByAggregate(*dataset_.table,
-                                           target_rows_,
-                                           view.dimension, view.measure,
-                                           view.function);
-  MUVE_CHECK(grouped.ok()) << grouped.status().ToString();
   RawSeries series;
-  series.keys.reserve(grouped->num_groups());
-  series.aggregates = grouped->aggregates;
-  for (const storage::Value& v : grouped->keys) {
-    auto d = v.ToDouble();
-    MUVE_CHECK(d.ok()) << d.status().ToString();
-    series.keys.push_back(*d);
+  if (CacheEligible(view)) {
+    // The raw series IS the base histogram finished per fine bin: same
+    // keys, same per-group association, zero rows touched on a hit.
+    BaseRawSeries(*BaseFor(view, /*target_side=*/true), view.function,
+                  &series.keys, &series.aggregates);
+  } else {
+    auto grouped = storage::GroupByAggregate(*dataset_.table, target_rows_,
+                                             view.dimension, view.measure,
+                                             view.function);
+    MUVE_CHECK(grouped.ok()) << grouped.status().ToString();
+    series.keys.reserve(grouped->num_groups());
+    series.aggregates = grouped->aggregates;
+    for (const storage::Value& v : grouped->keys) {
+      auto d = v.ToDouble();
+      MUVE_CHECK(d.ok()) << d.status().ToString();
+      series.keys.push_back(*d);
+    }
+    stats_.rows_scanned += static_cast<int64_t>(target_rows_.size());
   }
   const double ms = timer.ElapsedMillis();
   // The raw series is an input to the accuracy objective; its (one-off)
   // computation is charged to C_a.
   stats_.accuracy_time_ms += ms;
-  stats_.rows_scanned += static_cast<int64_t>(target_rows_.size());
   cost_model_.Observe(CostKind::kAccuracy, ms);
   return raw_cache_.emplace(key, std::move(series)).first->second;
 }
@@ -263,56 +329,98 @@ ViewEvaluator::BatchScores ViewEvaluator::EvaluateSharedBatch(
   const DimensionInfo& dim = space_.dimension_info(views[0].dimension);
   MUVE_CHECK(!dim.categorical)
       << "shared scans apply to numeric dimensions only";
+
+  // Cache-eligible views derive their binned results per view from the
+  // shared base histograms (zero rows after first touch); the rest ride
+  // the legacy multi-aggregate shared scans.  Counter compatibility: one
+  // batch still charges exactly ONE target and ONE comparison query —
+  // the batch remains "one shared scan's worth" of querying regardless
+  // of which engine serves it.
+  std::vector<size_t> ineligible;
   std::vector<storage::AggregateSpec> specs;
-  specs.reserve(views.size());
-  for (const View& view : views) {
-    MUVE_DCHECK(view.dimension == views[0].dimension)
+  for (size_t i = 0; i < views.size(); ++i) {
+    MUVE_DCHECK(views[i].dimension == views[0].dimension)
         << "batch must share one dimension";
-    specs.push_back({view.measure, view.function});
+    if (!CacheEligible(views[i])) {
+      ineligible.push_back(i);
+      specs.push_back({views[i].measure, views[i].function});
+    }
   }
 
-  // One shared target scan and one shared comparison scan (C_t, C_c).
+  std::vector<storage::BinnedResult> targets(views.size());
+  std::vector<storage::BinnedResult> comparisons(views.size());
+
   common::Stopwatch target_timer;
-  auto targets = storage::MultiBinnedAggregate(
-      *dataset_.table, target_rows_, views[0].dimension, specs,
-      bins, dim.lo, dim.hi);
-  MUVE_CHECK(targets.ok()) << targets.status().ToString();
+  for (size_t i = 0; i < views.size(); ++i) {
+    if (CacheEligible(views[i])) {
+      targets[i] = CoarsenBaseHistogram(
+          *BaseFor(views[i], /*target_side=*/true), views[i].function,
+          bins, dim.lo, dim.hi);
+    }
+  }
+  if (!ineligible.empty()) {
+    auto multi = storage::MultiBinnedAggregate(
+        *dataset_.table, target_rows_, views[0].dimension, specs, bins,
+        dim.lo, dim.hi);
+    MUVE_CHECK(multi.ok()) << multi.status().ToString();
+    stats_.rows_scanned += static_cast<int64_t>(target_rows_.size());
+    for (size_t j = 0; j < ineligible.size(); ++j) {
+      targets[ineligible[j]] = std::move((*multi)[j]);
+    }
+  }
   const double target_ms = target_timer.ElapsedMillis();
   stats_.target_time_ms += target_ms;
   ++stats_.target_queries;
-  stats_.rows_scanned += static_cast<int64_t>(target_rows_.size());
   cost_model_.Observe(CostKind::kTargetQuery, target_ms);
 
   common::Stopwatch comparison_timer;
-  auto comparisons = storage::MultiBinnedAggregate(
-      *dataset_.table, all_rows_, views[0].dimension, specs, bins,
-      dim.lo, dim.hi);
-  MUVE_CHECK(comparisons.ok()) << comparisons.status().ToString();
+  for (size_t i = 0; i < views.size(); ++i) {
+    if (CacheEligible(views[i])) {
+      comparisons[i] = CoarsenBaseHistogram(
+          *BaseFor(views[i], /*target_side=*/false), views[i].function,
+          bins, dim.lo, dim.hi);
+    }
+  }
+  if (!ineligible.empty()) {
+    auto multi = storage::MultiBinnedAggregate(
+        *dataset_.table, all_rows_, views[0].dimension, specs, bins,
+        dim.lo, dim.hi);
+    MUVE_CHECK(multi.ok()) << multi.status().ToString();
+    stats_.rows_scanned += static_cast<int64_t>(all_rows_.size());
+    for (size_t j = 0; j < ineligible.size(); ++j) {
+      comparisons[ineligible[j]] = std::move((*multi)[j]);
+    }
+  }
   const double comparison_ms = comparison_timer.ElapsedMillis();
   stats_.comparison_time_ms += comparison_ms;
   ++stats_.comparison_queries;
-  stats_.rows_scanned += static_cast<int64_t>(all_rows_.size());
   cost_model_.Observe(CostKind::kComparisonQuery, comparison_ms);
 
-  // Shared raw scan for any view whose accuracy series is not cached yet.
+  // Raw series for any view whose accuracy input is not cached yet:
+  // eligible views finish theirs from the base histogram, the rest share
+  // one multi group-by scan.
+  common::Stopwatch raw_timer;
+  bool raw_work = false;
   std::vector<size_t> missing;
+  std::vector<storage::AggregateSpec> missing_specs;
   for (size_t i = 0; i < views.size(); ++i) {
-    if (!raw_cache_.contains(views[i].Key())) missing.push_back(i);
+    if (raw_cache_.contains(views[i].Key())) continue;
+    if (CacheEligible(views[i])) {
+      RawSeries series;
+      BaseRawSeries(*BaseFor(views[i], /*target_side=*/true),
+                    views[i].function, &series.keys, &series.aggregates);
+      raw_cache_.emplace(views[i].Key(), std::move(series));
+      raw_work = true;
+    } else {
+      missing.push_back(i);
+      missing_specs.push_back({views[i].measure, views[i].function});
+    }
   }
   if (!missing.empty()) {
-    std::vector<storage::AggregateSpec> missing_specs;
-    missing_specs.reserve(missing.size());
-    for (size_t i : missing) missing_specs.push_back(specs[i]);
-    common::Stopwatch raw_timer;
     auto raw = storage::MultiGroupByAggregate(
-        *dataset_.table, target_rows_, views[0].dimension,
-        missing_specs);
+        *dataset_.table, target_rows_, views[0].dimension, missing_specs);
     MUVE_CHECK(raw.ok()) << raw.status().ToString();
-    const double raw_ms = raw_timer.ElapsedMillis();
-    stats_.accuracy_time_ms += raw_ms;
-    stats_.rows_scanned +=
-        static_cast<int64_t>(target_rows_.size());
-    cost_model_.Observe(CostKind::kAccuracy, raw_ms);
+    stats_.rows_scanned += static_cast<int64_t>(target_rows_.size());
     for (size_t m = 0; m < missing.size(); ++m) {
       RawSeries series;
       series.aggregates = (*raw)[m].aggregates;
@@ -324,6 +432,12 @@ ViewEvaluator::BatchScores ViewEvaluator::EvaluateSharedBatch(
       }
       raw_cache_.emplace(views[missing[m]].Key(), std::move(series));
     }
+    raw_work = true;
+  }
+  if (raw_work) {
+    const double raw_ms = raw_timer.ElapsedMillis();
+    stats_.accuracy_time_ms += raw_ms;
+    cost_model_.Observe(CostKind::kAccuracy, raw_ms);
   }
 
   BatchScores scores;
@@ -332,9 +446,9 @@ ViewEvaluator::BatchScores ViewEvaluator::EvaluateSharedBatch(
   for (size_t i = 0; i < views.size(); ++i) {
     common::Stopwatch distance_timer;
     const std::vector<double> p =
-        NormalizeToDistribution((*targets)[i].aggregates);
+        NormalizeToDistribution(targets[i].aggregates);
     const std::vector<double> q =
-        NormalizeToDistribution((*comparisons)[i].aggregates);
+        NormalizeToDistribution(comparisons[i].aggregates);
     scores.deviations[i] = Distance(options_.distance, p, q);
     const double distance_ms = distance_timer.ElapsedMillis();
     stats_.deviation_time_ms += distance_ms;
@@ -344,7 +458,7 @@ ViewEvaluator::BatchScores ViewEvaluator::EvaluateSharedBatch(
     common::Stopwatch accuracy_timer;
     const RawSeries& raw = raw_cache_.at(views[i].Key());
     scores.accuracies[i] =
-        AccuracyFromSeries(raw.keys, raw.aggregates, (*targets)[i]);
+        AccuracyFromSeries(raw.keys, raw.aggregates, targets[i]);
     const double accuracy_ms = accuracy_timer.ElapsedMillis();
     stats_.accuracy_time_ms += accuracy_ms;
     ++stats_.accuracy_evals;
@@ -388,6 +502,10 @@ void ViewEvaluator::ResetAll() {
   cached_target_.reset();
   cached_target_key_.clear();
   cached_target_bins_ = -1;
+  // Note: clears the SHARED store when Options::base_cache was handed
+  // in — ResetAll means "cold-cache run", and a shared cache that kept
+  // entries would silently serve them to this evaluator again.
+  if (base_cache_ != nullptr) base_cache_->Clear();
 }
 
 }  // namespace muve::core

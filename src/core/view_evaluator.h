@@ -22,6 +22,7 @@
 #ifndef MUVE_CORE_VIEW_EVALUATOR_H_
 #define MUVE_CORE_VIEW_EVALUATOR_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -33,6 +34,7 @@
 #include "core/utility.h"
 #include "core/view.h"
 #include "data/dataset.h"
+#include "storage/base_histogram_cache.h"
 #include "storage/binned_group_by.h"
 
 namespace muve::core {
@@ -49,6 +51,27 @@ struct ViewEvaluatorOptions {
   // bench/ablate_sampling.
   double sample_fraction = 1.0;
   uint64_t sample_seed = 0x5A3D1E;
+
+  // Base-histogram prefix-sum cache (the sharing optimization of Section
+  // II-A, realized in storage/base_histogram_cache): when on, every
+  // numeric-dimension probe whose aggregate is servable from moments
+  // (SUM/COUNT/AVG/STD/VAR over a non-string measure) builds ONE
+  // finest-granularity histogram per (row set, A, M) side and derives
+  // each b-bin view by prefix-sum coarsening — O(d) fine bins instead of a
+  // full row scan.  COUNT/SUM over integer measures are bit-identical to
+  // the direct scan; AVG/STD/VAR agree to FP tolerance (see
+  // tests/core/rebin_differential_test.cc, which pins this contract).
+  //
+  // Off by default at the evaluator level: unit tests of the direct path
+  // assert exact query/row counters.  SearchOptions turns it on for
+  // recommendation runs (`base_histogram_cache`, default true).
+  bool use_base_histogram_cache = false;
+  // The shared store.  The Recommender creates one per Recommend() call
+  // and hands it to every pool worker's evaluator — safe because all
+  // those evaluators probe identical row sets (same dataset, same
+  // sampling draw).  When null and use_base_histogram_cache is set, the
+  // evaluator creates a private cache of default size.
+  std::shared_ptr<storage::BaseHistogramCache> base_cache;
 };
 
 class ViewEvaluator {
@@ -124,6 +147,19 @@ class ViewEvaluator {
   double EvaluateCategoricalDeviation(const View& view);
   const RawSeries& RawTargetSeries(const View& view);
 
+  // Whether (view, any b) probes can be served by prefix-sum coarsening:
+  // cache on, numeric dimension, moment-servable function, numeric
+  // measure.  Ineligible probes (MIN/MAX, categorical, string measures)
+  // keep using the direct scans.
+  bool CacheEligible(const View& view) const;
+  // The base histogram of `view`'s (A, M) pair over the target or
+  // comparison row set, built through the shared cache.  Charges the
+  // build's row scan into rows_scanned / base_builds on a miss and
+  // base_cache_hits otherwise; wall-clock is charged by the caller (the
+  // whole probe, build included, lands on the triggering cost kind).
+  std::shared_ptr<const storage::BaseHistogram> BaseFor(const View& view,
+                                                        bool target_side);
+
   const data::Dataset& dataset_;
   const ViewSpace& space_;
   Options options_;
@@ -134,6 +170,9 @@ class ViewEvaluator {
 
   // Per-view raw target series cache (accuracy objective input).
   std::unordered_map<std::string, RawSeries> raw_cache_;
+  // Base-histogram store (shared across workers when handed in via
+  // Options::base_cache; private otherwise).  Null when the cache is off.
+  std::shared_ptr<storage::BaseHistogramCache> base_cache_;
   // One-entry binned-target cache for within-candidate reuse.
   std::string cached_target_key_;
   int cached_target_bins_ = -1;

@@ -1,0 +1,34 @@
+// A small deterministic exploration dataset, shared by the unit tests,
+// the CLI's `--dataset=toy`, and the golden-file regression suite.
+//
+// 90 rows over:
+//   * dimension `x` with integer values 0..29 (max_bins = 29),
+//   * dimension `y` with integer values 0..9,
+//   * measures `m1` (rises with x for the target subset, flat overall)
+//     and `m2` (uniform noise-free ramp),
+//   * selector `grp` ('a' = target subset, 'b' = rest).
+//
+// Small enough that exhaustive Linear-Linear runs in well under a second,
+// rich enough that deviation/accuracy/usability all vary with binning —
+// and fully deterministic (no RNG), which is what makes the committed
+// golden snapshot of the CLI's output stable across platforms.
+
+#ifndef MUVE_DATA_TOY_H_
+#define MUVE_DATA_TOY_H_
+
+#include "data/dataset.h"
+
+namespace muve::data {
+
+inline constexpr size_t kToyRows = 90;
+
+// Builds the toy dataset with its default workload:
+//   dimensions: x, y
+//   measures:   m1, m2
+//   functions:  SUM, AVG
+//   predicate:  grp = 'a'
+Dataset MakeToyDataset();
+
+}  // namespace muve::data
+
+#endif  // MUVE_DATA_TOY_H_

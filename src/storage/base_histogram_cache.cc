@@ -1,0 +1,274 @@
+#include "storage/base_histogram_cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace muve::storage {
+
+size_t BaseHistogram::ApproxBytes() const {
+  const size_t d = values.size();
+  // Three double arrays of size d, three prefix arrays of size d + 1
+  // (one int64, two double), plus the struct itself.
+  return sizeof(BaseHistogram) + d * 3 * sizeof(double) +
+         (d + 1) * (sizeof(int64_t) + 2 * sizeof(double));
+}
+
+bool BaseServableFunction(AggregateFunction function) {
+  switch (function) {
+    case AggregateFunction::kSum:
+    case AggregateFunction::kCount:
+    case AggregateFunction::kAvg:
+    case AggregateFunction::kStd:
+    case AggregateFunction::kVar:
+      return true;
+    case AggregateFunction::kMin:
+    case AggregateFunction::kMax:
+      return false;
+  }
+  return false;
+}
+
+double FinishFromMoments(AggregateFunction function, int64_t count, double sum,
+                         double sum_sq) {
+  // Conventions mirror AggregateAccumulator::Finish: empty groups are 0
+  // for every function, and STD/VAR are 0 for fewer than two observations.
+  if (count == 0) return 0.0;
+  switch (function) {
+    case AggregateFunction::kSum:
+      return sum;
+    case AggregateFunction::kCount:
+      return static_cast<double>(count);
+    case AggregateFunction::kAvg:
+      return sum / static_cast<double>(count);
+    case AggregateFunction::kStd:
+    case AggregateFunction::kVar: {
+      if (count < 2) return 0.0;
+      const double n = static_cast<double>(count);
+      const double mean = sum / n;
+      // Population variance from raw moments; clamp against catastrophic
+      // cancellation producing a tiny negative.
+      double var = sum_sq / n - mean * mean;
+      if (var < 0.0) var = 0.0;
+      return function == AggregateFunction::kVar ? var : std::sqrt(var);
+    }
+    case AggregateFunction::kMin:
+    case AggregateFunction::kMax:
+      break;
+  }
+  MUVE_CHECK(false) << "FinishFromMoments: unservable function";
+  return 0.0;
+}
+
+common::Result<BaseHistogram> BuildBaseHistogram(const Table& table,
+                                                 const RowSet& rows,
+                                                 std::string_view dimension,
+                                                 std::string_view measure) {
+  MUVE_ASSIGN_OR_RETURN(const Column* dim, table.ColumnByName(dimension));
+  MUVE_ASSIGN_OR_RETURN(const Column* mea, table.ColumnByName(measure));
+  if (dim->type() == ValueType::kString) {
+    return common::Status::TypeMismatch(
+        "cannot bin string dimension '" + std::string(dimension) + "'");
+  }
+  if (mea->type() == ValueType::kString) {
+    // String measures are only aggregatable with COUNT; that combination
+    // keeps using the direct scan (BaseHistogram stores measure moments).
+    return common::Status::TypeMismatch(
+        "cannot build base histogram over string measure '" +
+        std::string(measure) + "'");
+  }
+
+  // One pass to collect (dimension value, measure value) for rows where
+  // both are non-NULL — exactly the rows every aggregate kernel consumes.
+  std::vector<std::pair<double, double>> pairs;
+  pairs.reserve(rows.size());
+  for (uint32_t row : rows) {
+    if (dim->IsNull(row)) continue;
+    if (mea->IsNull(row)) continue;
+    pairs.emplace_back(dim->NumericAt(row), mea->NumericAt(row));
+  }
+  // Stable sort by dimension value: rows within one fine bin stay in row
+  // order, so per-bin sums associate exactly like GroupByAggregate's.
+  std::stable_sort(pairs.begin(), pairs.end(),
+                   [](const std::pair<double, double>& a,
+                      const std::pair<double, double>& b) {
+                     return a.first < b.first;
+                   });
+
+  BaseHistogram base;
+  base.source_rows = static_cast<int64_t>(rows.size());
+  base.prefix_counts.push_back(0);
+  base.prefix_sums.push_back(0.0);
+  base.prefix_sum_sqs.push_back(0.0);
+  size_t i = 0;
+  while (i < pairs.size()) {
+    const double value = pairs[i].first;
+    int64_t count = 0;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (; i < pairs.size() && pairs[i].first == value; ++i) {
+      const double m = pairs[i].second;
+      ++count;
+      sum += m;
+      sum_sq += m * m;
+    }
+    base.values.push_back(value);
+    base.sums.push_back(sum);
+    base.sum_sqs.push_back(sum_sq);
+    base.prefix_counts.push_back(base.prefix_counts.back() + count);
+    base.prefix_sums.push_back(base.prefix_sums.back() + sum);
+    base.prefix_sum_sqs.push_back(base.prefix_sum_sqs.back() + sum_sq);
+  }
+  return base;
+}
+
+BinnedResult CoarsenBaseHistogram(const BaseHistogram& base,
+                                  AggregateFunction function, int num_bins,
+                                  double lo, double hi) {
+  MUVE_CHECK(num_bins >= 1);
+  MUVE_CHECK(BaseServableFunction(function));
+
+  BinnedResult out;
+  out.lo = lo;
+  out.hi = hi;
+  out.num_bins = num_bins;
+  out.aggregates.resize(static_cast<size_t>(num_bins), 0.0);
+  out.row_counts.resize(static_cast<size_t>(num_bins), 0);
+
+  const size_t d = base.num_fine_bins();
+  // Group consecutive fine bins by their coarse bin under the SAME
+  // BinIndexFor the direct scan uses, so the row-to-bin assignment is
+  // identical by construction.  BinIndexFor is monotone non-decreasing
+  // in the value and the fine bins are sorted, so one forward pass
+  // suffices: O(d) BinIndexFor calls, independent of num_bins — which
+  // matters when b greatly exceeds the number of distinct values (e.g.
+  // b_max = 1440 over a few hundred distinct minutes-played values;
+  // the earlier per-bin binary search was O(b log d) and dominated the
+  // probe).  Empty coarse bins are skipped implicitly (left at 0).
+  size_t start = 0;
+  while (start < d) {
+    const int k = BinIndexFor(base.values[start], lo, hi, num_bins);
+    size_t end = start + 1;
+    while (end < d && BinIndexFor(base.values[end], lo, hi, num_bins) == k) {
+      ++end;
+    }
+    const int64_t count =
+        base.prefix_counts[end] - base.prefix_counts[start];
+    if (count > 0) {
+      const double sum = base.prefix_sums[end] - base.prefix_sums[start];
+      const double sum_sq =
+          base.prefix_sum_sqs[end] - base.prefix_sum_sqs[start];
+      out.aggregates[static_cast<size_t>(k)] =
+          FinishFromMoments(function, count, sum, sum_sq);
+      out.row_counts[static_cast<size_t>(k)] = static_cast<size_t>(count);
+    }
+    start = end;
+  }
+  return out;
+}
+
+void BaseRawSeries(const BaseHistogram& base, AggregateFunction function,
+                   std::vector<double>* keys,
+                   std::vector<double>* aggregates) {
+  MUVE_CHECK(BaseServableFunction(function));
+  const size_t d = base.num_fine_bins();
+  keys->assign(base.values.begin(), base.values.end());
+  aggregates->clear();
+  aggregates->reserve(d);
+  for (size_t j = 0; j < d; ++j) {
+    aggregates->push_back(FinishFromMoments(function, base.CountOf(j),
+                                            base.sums[j], base.sum_sqs[j]));
+  }
+}
+
+BaseHistogramCache::BaseHistogramCache() : BaseHistogramCache(Options()) {}
+
+BaseHistogramCache::BaseHistogramCache(Options options)
+    : options_(options) {
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  per_shard_budget_ =
+      std::max<size_t>(1, options_.max_bytes / options_.num_shards);
+  shards_.reserve(options_.num_shards);
+  for (size_t i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+BaseHistogramCache::Shard& BaseHistogramCache::ShardFor(
+    const std::string& key) {
+  const size_t h = std::hash<std::string>{}(key);
+  return *shards_[h % shards_.size()];
+}
+
+common::Result<std::shared_ptr<const BaseHistogram>>
+BaseHistogramCache::GetOrBuild(const std::string& key, const Builder& builder,
+                               bool* built) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    ++shard.hits;
+    if (built != nullptr) *built = false;
+    // Move to LRU front.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+    return it->second.histogram;
+  }
+
+  // Build under the shard lock: concurrent requests for one key build
+  // once (the second requester blocks and then hits).  Builds are row
+  // scans — expensive relative to any lock hold we could save.
+  common::Result<BaseHistogram> result = builder();
+  if (!result.ok()) return result.status();
+  auto histogram =
+      std::make_shared<const BaseHistogram>(std::move(result).value());
+  const size_t bytes = histogram->ApproxBytes();
+
+  shard.lru.push_front(key);
+  Shard::Entry entry;
+  entry.histogram = histogram;
+  entry.lru_it = shard.lru.begin();
+  entry.bytes = bytes;
+  shard.entries.emplace(key, std::move(entry));
+  shard.bytes += bytes;
+  ++shard.builds;
+  if (built != nullptr) *built = true;
+
+  // Per-shard LRU eviction under the byte budget.  The entry just
+  // inserted (LRU front) is never evicted, so an oversized histogram
+  // still serves the probes that triggered its build.
+  while (shard.bytes > per_shard_budget_ && shard.entries.size() > 1) {
+    const std::string& victim_key = shard.lru.back();
+    const auto victim = shard.entries.find(victim_key);
+    MUVE_CHECK(victim != shard.entries.end());
+    shard.bytes -= victim->second.bytes;
+    shard.entries.erase(victim);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  return histogram;
+}
+
+void BaseHistogramCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->entries.clear();
+    shard->lru.clear();
+    shard->bytes = 0;
+  }
+}
+
+BaseHistogramCache::CacheStats BaseHistogramCache::TotalStats() const {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->hits;
+    total.builds += shard->builds;
+    total.evictions += shard->evictions;
+    total.bytes += static_cast<int64_t>(shard->bytes);
+  }
+  return total;
+}
+
+}  // namespace muve::storage

@@ -1,0 +1,200 @@
+// Base-histogram prefix-sum cache: the sharing optimization behind O(1)
+// re-binning (Section II-A's "shared computation" family).
+//
+// Horizontal search probes the same non-binned view (A, M, F) at many bin
+// counts b.  Re-executing the binned group-by scan per (view, b) costs
+// O(|rows|) each time; this module instead materializes ONE base histogram
+// per (row set, A, M) at the finest granularity any equi-width binning can
+// distinguish — one fine bin per distinct dimension value — in a single
+// row scan, storing per-fine-bin count / sum / sum-of-squares plus their
+// prefix arrays.  Any b-bin view is then derived by prefix-sum differences
+// between bin boundaries found in one forward pass over the d fine bins:
+// O(d) work, independent of b, zero rows touched.
+//
+// Why distinct values and not a fixed b_max-bin grid: a fine equi-width
+// grid can only coarsen exactly into bin counts that divide b_max (a fine
+// bin straddling a coarse boundary would misassign whole rows), and the
+// search domain is {1..B} — most b do not divide any fixed b_max.  At
+// distinct-value granularity every coarse bin edge falls between fine
+// bins, because bin assignment is a monotone function of the dimension
+// value.  Bin boundaries are located with the SAME BinIndexFor used by
+// the direct scan, so the row-to-bin assignment is identical by
+// construction, not merely up to floating-point luck.
+//
+// Exactness contract (pinned by tests/core/rebin_differential_test.cc):
+//   * COUNT — bit-identical to BinnedAggregate (integer counts).
+//   * SUM / AVG — identical row-to-bin assignment; the per-bin sum is
+//     re-associated (per-value partials in value order instead of row
+//     order), so results are bit-identical whenever every partial sum is
+//     exactly representable (e.g. integer-valued measures) and within
+//     ~1e-12 relative rounding error otherwise.
+//   * STD / VAR — computed from (count, sum, sum_sq) moments instead of
+//     the direct path's Welford recurrence; equal within FP tolerance,
+//     with the same "0 for fewer than two observations" convention.
+//   * MIN / MAX — NOT servable from prefix sums; callers fall back to the
+//     direct scan (ViewEvaluator gates on BaseServableFunction).
+//
+// `BaseHistogramCache` is the shared, size-bounded store: shard-locked
+// (16-way by default) so every ThreadPool worker of a recommendation run
+// can probe concurrently, with per-shard LRU eviction under a byte budget.
+// Entries are immutable once built and handed out as shared_ptr<const>,
+// so eviction never invalidates a histogram a worker is still coarsening.
+
+#ifndef MUVE_STORAGE_BASE_HISTOGRAM_CACHE_H_
+#define MUVE_STORAGE_BASE_HISTOGRAM_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/aggregate.h"
+#include "storage/binned_group_by.h"
+#include "storage/table.h"
+
+namespace muve::storage {
+
+// Finest-granularity histogram of one (row set, dimension, measure) pair:
+// one fine bin per distinct dimension value, restricted to rows where
+// both the dimension and the measure are non-NULL (the rows every
+// aggregate kernel consumes).
+struct BaseHistogram {
+  // Sorted distinct dimension values ("fine bin" keys), size d.
+  std::vector<double> values;
+  // Per-fine-bin measure sums / sums of squares, accumulated in row order
+  // within each fine bin (matching GroupByAggregate's association, which
+  // keeps the derived raw series bit-exact for SUM/AVG), size d.
+  std::vector<double> sums;
+  std::vector<double> sum_sqs;
+  // Prefix arrays, size d + 1: prefix_x[j] aggregates fine bins [0, j).
+  std::vector<int64_t> prefix_counts;
+  std::vector<double> prefix_sums;
+  std::vector<double> prefix_sum_sqs;
+  // Rows scanned by the build (the cost the cache amortizes).
+  int64_t source_rows = 0;
+
+  size_t num_fine_bins() const { return values.size(); }
+  int64_t CountOf(size_t fine_bin) const {
+    return prefix_counts[fine_bin + 1] - prefix_counts[fine_bin];
+  }
+  // Rough retained-memory estimate used by the cache's byte budget.
+  size_t ApproxBytes() const;
+};
+
+// True for the aggregate functions a BaseHistogram can serve (SUM, COUNT,
+// AVG, STD, VAR — everything derivable from count/sum/sum_sq moments).
+bool BaseServableFunction(AggregateFunction function);
+
+// Finishes one bin from its moments with the exact empty/singleton
+// conventions of AggregateAccumulator::Finish (0 for empty bins; STD/VAR
+// are 0 for fewer than two rows, clamped at 0 against cancellation).
+double FinishFromMoments(AggregateFunction function, int64_t count,
+                         double sum, double sum_sq);
+
+// Builds the base histogram in one scan of `rows`.  Errors mirror
+// BinnedAggregate's: unknown columns, string dimension, or string measure
+// (string measures are only aggregatable with COUNT, which the direct
+// path keeps serving).
+common::Result<BaseHistogram> BuildBaseHistogram(const Table& table,
+                                                 const RowSet& rows,
+                                                 std::string_view dimension,
+                                                 std::string_view measure);
+
+// Derives the `num_bins`-bin equi-width view over [lo, hi] by prefix-sum
+// differences.  Bin boundaries are located by binary search with the same
+// BinIndexFor the direct scan uses, so every row lands in the same bin as
+// under BinnedAggregate.  Requires BaseServableFunction(function).
+BinnedResult CoarsenBaseHistogram(const BaseHistogram& base,
+                                  AggregateFunction function, int num_bins,
+                                  double lo, double hi);
+
+// The raw (non-binned) series of the same (row set, dimension, measure)
+// pair under `function`: keys = distinct values, one aggregate per fine
+// bin.  Bit-exact vs GroupByAggregate for SUM/COUNT/AVG (same per-group
+// association); moment-derived (FP tolerance) for STD/VAR.  Requires
+// BaseServableFunction(function).
+void BaseRawSeries(const BaseHistogram& base, AggregateFunction function,
+                   std::vector<double>* keys,
+                   std::vector<double>* aggregates);
+
+// Thread-safe, size-bounded store of BaseHistograms keyed by caller
+// strings (ViewEvaluator uses "t|<dim>|<measure>" / "c|<dim>|<measure>"
+// for the target / comparison side).  One cache instance must only be
+// shared by evaluators probing the SAME row sets (the Recommender creates
+// one per Recommend() call and hands it to every pool worker).
+class BaseHistogramCache {
+ public:
+  struct Options {
+    // Total byte budget across shards; per-shard LRU eviction keeps each
+    // shard under its slice.  The most recently built entry of a shard is
+    // never evicted (a histogram larger than the slice still serves the
+    // probes that triggered it).
+    size_t max_bytes = size_t{64} << 20;  // 64 MiB
+    size_t num_shards = 16;
+  };
+
+  struct CacheStats {
+    int64_t hits = 0;
+    int64_t builds = 0;
+    int64_t evictions = 0;
+    int64_t bytes = 0;  // currently retained
+  };
+
+  // Two overloads instead of one defaulted argument: a `= Options()`
+  // default would require the nested class's member initializers before
+  // the enclosing class is complete (ill-formed per [dcl.fct.default]).
+  BaseHistogramCache();
+  explicit BaseHistogramCache(Options options);
+
+  using Builder = std::function<common::Result<BaseHistogram>()>;
+
+  // Returns the cached histogram for `key`, invoking `builder` under the
+  // shard lock on a miss (concurrent requests for one key build once).
+  // `built`, when non-null, reports whether THIS call performed the
+  // build — callers charge scan costs only then.  Builder errors are
+  // propagated and nothing is cached.
+  common::Result<std::shared_ptr<const BaseHistogram>> GetOrBuild(
+      const std::string& key, const Builder& builder, bool* built);
+
+  // Drops every entry (a fresh cold-cache run).  Outstanding shared_ptrs
+  // stay valid.
+  void Clear();
+
+  // Aggregated across shards; `bytes` is the current retained footprint.
+  CacheStats TotalStats() const;
+
+  size_t max_bytes() const { return options_.max_bytes; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // Front = most recently used.
+    std::list<std::string> lru;
+    struct Entry {
+      std::shared_ptr<const BaseHistogram> histogram;
+      std::list<std::string>::iterator lru_it;
+      size_t bytes = 0;
+    };
+    std::unordered_map<std::string, Entry> entries;
+    size_t bytes = 0;
+    int64_t hits = 0;
+    int64_t builds = 0;
+    int64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  Options options_;
+  size_t per_shard_budget_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace muve::storage
+
+#endif  // MUVE_STORAGE_BASE_HISTOGRAM_CACHE_H_

@@ -4,6 +4,10 @@
 // identical utilities, and the exploration session must agree with them.
 // This is the repository's strongest guard on the pruning logic: any
 // unsound bound shows up here as a utility mismatch.
+//
+// Seeding: every case seed derives from MUVE_FUZZ_SEED (fixed default)
+// via tests/fuzz_util.h, and every failure prints the seeds needed to
+// reproduce it.
 
 #include <gtest/gtest.h>
 
@@ -14,6 +18,7 @@
 #include "core/exploration_session.h"
 #include "core/recommender.h"
 #include "data/dataset.h"
+#include "fuzz_util.h"
 #include "storage/predicate.h"
 
 namespace muve::core {
@@ -110,7 +115,8 @@ Weights RandomWeights(common::Rng& rng) {
 class FuzzExactnessTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(FuzzExactnessTest, ExactSchemesAndSessionAgree) {
-  const uint64_t seed = GetParam();
+  const uint64_t seed = testutil::FuzzSeed(GetParam());
+  SCOPED_TRACE(testutil::FuzzTrace(GetParam(), seed));
   common::Rng rng(seed * 977);
   const data::Dataset ds = RandomDataset(seed);
   auto recommender = Recommender::Create(ds);
@@ -173,7 +179,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzExactnessTest,
 class SampledFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(SampledFuzzTest, ExactSchemesAgreeUnderSampling) {
-  const uint64_t seed = GetParam();
+  const uint64_t seed = testutil::FuzzSeed(GetParam() ^ 0xA5A5A5A5ULL);
+  SCOPED_TRACE(testutil::FuzzTrace(GetParam(), seed));
   common::Rng rng(seed * 1723);
   const data::Dataset ds = RandomDataset(seed);
   auto recommender = Recommender::Create(ds);
@@ -228,7 +235,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SampledFuzzTest,
 class ParallelFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ParallelFuzzTest, EverySchemeIsThreadCountInvariant) {
-  const uint64_t seed = GetParam();
+  const uint64_t seed = testutil::FuzzSeed(GetParam() ^ 0x7171717171ULL);
+  SCOPED_TRACE(testutil::FuzzTrace(GetParam(), seed));
   common::Rng rng(seed * 409);
   const data::Dataset ds = RandomDataset(seed + 100);  // fresh shapes
   auto recommender = Recommender::Create(ds);

@@ -1,0 +1,349 @@
+// Differential oracle for the base-histogram prefix-sum cache: the
+// cached evaluator must produce the SAME objectives as the direct-scan
+// evaluator, which serves as ground truth (the VizRec/Zeng framing: a
+// recommendation loop is only trustworthy if validated against an
+// oracle).  ~200 fuzzed (dataset, view, b, distance, alpha)
+// configurations, plus recommender-level cache-on/off runs at 1 and 8
+// threads.
+//
+// Exactness contract being pinned (see DESIGN.md §7):
+//   * COUNT — bit-identical (integer counts, identical row-to-bin
+//     assignment by construction).
+//   * SUM / AVG over integer-valued measures — bit-identical: every
+//     per-value partial sum is exactly representable, so the cache's
+//     re-association (value order instead of row order) is lossless.
+//   * SUM / AVG over fractional measures, STD / VAR — equal within 1e-9
+//     relative tolerance (re-association / moment-form rounding).
+//   * MIN / MAX — cache-ineligible; both evaluators run the direct scan,
+//     so objectives are trivially identical (the gate is what's tested).
+//
+// Seeding: per-case seeds derive from MUVE_FUZZ_SEED (fixed default) via
+// tests/fuzz_util.h; every failure prints the seeds to reproduce it.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/recommender.h"
+#include "core/view_evaluator.h"
+#include "data/dataset.h"
+#include "fuzz_util.h"
+#include "storage/predicate.h"
+
+namespace muve::core {
+namespace {
+
+struct FuzzConfig {
+  bool integral_measures = false;   // floor() every measure value
+  bool moment_functions = false;    // include STD/VAR in the workload
+  bool minmax_functions = false;    // include MIN/MAX (cache-ineligible)
+};
+
+// Random exploration dataset: 1-3 integer dimensions, optional
+// categorical, 1-3 measures with sporadic NULLs, selector sel in {0,1,2}.
+data::Dataset RandomDataset(uint64_t seed, const FuzzConfig& config) {
+  common::Rng rng(seed);
+  const int num_numeric = 1 + static_cast<int>(rng.UniformInt(0, 2));
+  const bool with_categorical = rng.Bernoulli(0.3);
+  const int num_measures = 1 + static_cast<int>(rng.UniformInt(0, 2));
+  const size_t rows = 30 + static_cast<size_t>(rng.UniformInt(0, 90));
+
+  storage::Schema schema;
+  data::Dataset ds;
+  for (int d = 0; d < num_numeric; ++d) {
+    const std::string name = "dim" + std::to_string(d);
+    MUVE_CHECK(schema
+                   .AddField({name, storage::ValueType::kInt64,
+                              storage::FieldRole::kDimension})
+                   .ok());
+    ds.dimensions.push_back(name);
+  }
+  if (with_categorical) {
+    MUVE_CHECK(schema
+                   .AddField({"cat", storage::ValueType::kString,
+                              storage::FieldRole::kCategoricalDimension})
+                   .ok());
+    ds.categorical_dimensions.push_back("cat");
+  }
+  MUVE_CHECK(schema.AddField({"sel", storage::ValueType::kInt64}).ok());
+  for (int m = 0; m < num_measures; ++m) {
+    const std::string name = "m" + std::to_string(m);
+    MUVE_CHECK(schema
+                   .AddField({name, storage::ValueType::kDouble,
+                              storage::FieldRole::kMeasure})
+                   .ok());
+    ds.measures.push_back(name);
+  }
+
+  auto table = std::make_shared<storage::Table>(schema);
+  const char* cats[] = {"p", "q", "r"};
+  std::vector<int64_t> ranges(static_cast<size_t>(num_numeric));
+  for (auto& r : ranges) r = 4 + rng.UniformInt(0, 36);
+  for (size_t i = 0; i < rows; ++i) {
+    std::vector<storage::Value> row;
+    for (int d = 0; d < num_numeric; ++d) {
+      row.emplace_back(rng.UniformInt(0, ranges[static_cast<size_t>(d)]));
+    }
+    if (with_categorical) row.emplace_back(cats[rng.UniformInt(0, 2)]);
+    row.emplace_back(rng.UniformInt(0, 2));  // sel
+    for (int m = 0; m < num_measures; ++m) {
+      if (rng.Bernoulli(0.05)) {
+        row.emplace_back();  // NULL measure
+      } else {
+        double v = rng.Bernoulli(0.1)   ? 0.0
+                   : rng.Bernoulli(0.1) ? rng.Uniform(-5, 0)
+                                        : rng.Uniform(0, 20);
+        if (config.integral_measures) v = std::floor(v);
+        row.emplace_back(v);
+      }
+    }
+    MUVE_CHECK(table->AppendRow(row).ok());
+  }
+
+  ds.name = "rebin-fuzz" + std::to_string(seed);
+  ds.table = table;
+  ds.functions = {storage::AggregateFunction::kSum,
+                  storage::AggregateFunction::kAvg,
+                  storage::AggregateFunction::kCount};
+  if (config.moment_functions) {
+    ds.functions.push_back(storage::AggregateFunction::kStd);
+    ds.functions.push_back(storage::AggregateFunction::kVar);
+  }
+  if (config.minmax_functions) {
+    ds.functions.push_back(storage::AggregateFunction::kMin);
+    ds.functions.push_back(storage::AggregateFunction::kMax);
+  }
+  ds.query_predicate_sql = "sel = 1";
+  auto pred = storage::MakeComparison("sel", storage::CompareOp::kEq,
+                                      storage::Value(int64_t{1}));
+  auto selected = storage::Filter(*table, pred.get());
+  MUVE_CHECK(selected.ok());
+  ds.target_rows = std::move(selected).value();
+  if (ds.target_rows.empty()) ds.target_rows = {0};
+  ds.all_rows = storage::AllRows(table->num_rows());
+  return ds;
+}
+
+Weights RandomWeights(common::Rng& rng) {
+  const double d = rng.Uniform(0.01, 1);
+  const double a = rng.Uniform(0.01, 1);
+  const double s = rng.Uniform(0.01, 1);
+  const double total = d + a + s;
+  return Weights{d / total, a / total, s / total};
+}
+
+// Whether a cached probe of `function` must be bit-identical to the
+// direct scan on this dataset (per the contract at the top of the file).
+bool MustBeBitExact(storage::AggregateFunction function, bool integral) {
+  switch (function) {
+    case storage::AggregateFunction::kCount:
+    case storage::AggregateFunction::kMin:
+    case storage::AggregateFunction::kMax:
+      return true;  // COUNT: exact moments; MIN/MAX: both run direct.
+    case storage::AggregateFunction::kSum:
+    case storage::AggregateFunction::kAvg:
+      return integral;
+    case storage::AggregateFunction::kStd:
+    case storage::AggregateFunction::kVar:
+      return false;  // Welford vs moment form.
+  }
+  return false;
+}
+
+// === Evaluator-level differential: ~200 (dataset, view, b, distance,
+// alpha) configurations.  40 parameterized cases x 5 probes each. ===
+
+class RebinDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RebinDifferentialTest, CachedObjectivesMatchDirectOracle) {
+  const uint64_t seed = testutil::FuzzSeed(GetParam() ^ 0xD1FFULL);
+  SCOPED_TRACE(testutil::FuzzTrace(GetParam(), seed));
+  common::Rng rng(seed * 31337);
+
+  FuzzConfig config;
+  config.integral_measures = (GetParam() % 2) == 0;
+  config.moment_functions = rng.Bernoulli(0.5);
+  config.minmax_functions = rng.Bernoulli(0.3);
+  const data::Dataset ds = RandomDataset(seed, config);
+  auto space = ViewSpace::Create(ds);
+  ASSERT_TRUE(space.ok()) << space.status().ToString();
+
+  ViewEvaluator::Options direct_options;
+  ViewEvaluator::Options cached_options;
+  cached_options.use_base_histogram_cache = true;
+  // A handful of cases also sample, proving the cache keys the SAMPLED
+  // row sets (same sampling draw on both sides).
+  if (rng.Bernoulli(0.25)) {
+    const double fraction = 0.4 + rng.Uniform(0, 0.5);
+    direct_options.sample_fraction = fraction;
+    cached_options.sample_fraction = fraction;
+    direct_options.sample_seed = seed;
+    cached_options.sample_seed = seed;
+  }
+
+  const std::vector<View>& views = space->views();
+  for (int probe = 0; probe < 5; ++probe) {
+    const View& view = views[rng.UniformInt(0, views.size() - 1)];
+    const DimensionInfo& dim = space->dimension_info(view.dimension);
+    const int bins =
+        1 + static_cast<int>(rng.UniformInt(0, dim.max_bins - 1));
+    const DistanceKind distance =
+        static_cast<DistanceKind>(rng.UniformInt(0, 5));
+    direct_options.distance = distance;
+    cached_options.distance = distance;
+    // Fresh evaluators per probe so each (view, b, distance, alpha)
+    // configuration is independent; histogram sharing across many probes
+    // is pinned by RebinDifferentialStatsTest below.
+    ViewEvaluator direct_probe(ds, *space, direct_options);
+    ViewEvaluator cached_probe(ds, *space, cached_options);
+
+    const double d_direct = direct_probe.EvaluateDeviation(view, bins);
+    const double d_cached = cached_probe.EvaluateDeviation(view, bins);
+    const double a_direct = direct_probe.EvaluateAccuracy(view, bins);
+    const double a_cached = cached_probe.EvaluateAccuracy(view, bins);
+
+    const std::string label =
+        view.Label() + " b=" + std::to_string(bins) +
+        " distance=" + std::to_string(static_cast<int>(distance)) +
+        (config.integral_measures ? " [integral]" : " [fractional]");
+    if (MustBeBitExact(view.function, config.integral_measures)) {
+      EXPECT_EQ(d_cached, d_direct) << "deviation " << label;
+      EXPECT_EQ(a_cached, a_direct) << "accuracy " << label;
+    } else {
+      EXPECT_NEAR(d_cached, d_direct, 1e-9 * (1.0 + std::abs(d_direct)))
+          << "deviation " << label;
+      EXPECT_NEAR(a_cached, a_direct, 1e-9 * (1.0 + std::abs(a_direct)))
+          << "accuracy " << label;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RebinDifferentialTest,
+                         ::testing::Range<uint64_t>(1, 41));
+
+// One cached evaluator probing a whole S-list must scan each (A, M) side
+// once; the direct evaluator scans per probe.  This is the observable
+// form of the O(1)-re-binning claim the bench relies on.
+TEST(RebinDifferentialStatsTest, CachedEvaluatorScansEachSideOnce) {
+  const uint64_t seed = testutil::FuzzSeed(12345);
+  FuzzConfig config;
+  config.integral_measures = true;
+  const data::Dataset ds = RandomDataset(seed, config);
+  auto space = ViewSpace::Create(ds);
+  ASSERT_TRUE(space.ok());
+
+  ViewEvaluator::Options cached_options;
+  cached_options.use_base_histogram_cache = true;
+  ViewEvaluator direct(ds, *space, {});
+  ViewEvaluator cached(ds, *space, cached_options);
+
+  const View* numeric_view = nullptr;
+  for (const View& view : space->views()) {
+    if (!space->dimension_info(view.dimension).categorical) {
+      numeric_view = &view;
+      break;
+    }
+  }
+  ASSERT_NE(numeric_view, nullptr);
+  const DimensionInfo& dim = space->dimension_info(numeric_view->dimension);
+  for (int bins = 1; bins <= dim.max_bins; ++bins) {
+    EXPECT_EQ(cached.EvaluateDeviation(*numeric_view, bins),
+              direct.EvaluateDeviation(*numeric_view, bins));
+    EXPECT_EQ(cached.EvaluateAccuracy(*numeric_view, bins),
+              direct.EvaluateAccuracy(*numeric_view, bins));
+  }
+  // Cached: 2 builds (target + comparison side; the raw series reuses the
+  // target-side histogram), each one row scan.  Direct: a scan per probe.
+  EXPECT_EQ(cached.stats().base_builds, 2);
+  EXPECT_GT(cached.stats().base_cache_hits, 0);
+  EXPECT_EQ(cached.stats().rows_scanned,
+            static_cast<int64_t>(ds.target_rows.size() +
+                                 ds.all_rows.size()));
+  // Direct: every one of the max_bins probes rescans both sides (plus
+  // one raw scan); cached: those two side scans happen once, total.
+  EXPECT_GE(direct.stats().rows_scanned,
+            dim.max_bins * cached.stats().rows_scanned);
+  EXPECT_EQ(direct.stats().base_builds, 0);
+  EXPECT_EQ(direct.stats().base_cache_hits, 0);
+}
+
+// === Recommender-level differential: whole Linear-Linear searches with
+// the cache on vs off, serial and at 8 threads. ===
+
+class RebinRecommenderTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RebinRecommenderTest, TopKIdenticalWithCacheOnAndOff) {
+  const uint64_t seed = testutil::FuzzSeed(GetParam() ^ 0x5EC0ULL);
+  SCOPED_TRACE(testutil::FuzzTrace(GetParam(), seed));
+  common::Rng rng(seed * 811);
+
+  FuzzConfig config;
+  config.integral_measures = (GetParam() % 2) == 0;
+  config.moment_functions = rng.Bernoulli(0.4);
+  config.minmax_functions = rng.Bernoulli(0.4);
+  const data::Dataset ds = RandomDataset(seed, config);
+  auto recommender = Recommender::Create(ds);
+  ASSERT_TRUE(recommender.ok()) << recommender.status().ToString();
+
+  SearchOptions base;
+  base.weights = RandomWeights(rng);
+  base.k = 1 + static_cast<int>(rng.UniformInt(0, 5));
+  base.distance = static_cast<DistanceKind>(rng.UniformInt(0, 5));
+  base.horizontal = HorizontalStrategy::kLinear;
+  base.vertical = VerticalStrategy::kLinear;
+
+  for (const int threads : {1, 8}) {
+    SearchOptions with_cache = base;
+    with_cache.base_histogram_cache = true;
+    with_cache.num_threads = threads;
+    SearchOptions without_cache = base;
+    without_cache.base_histogram_cache = false;
+    without_cache.num_threads = threads;
+
+    auto r_on = recommender->Recommend(with_cache);
+    auto r_off = recommender->Recommend(without_cache);
+    ASSERT_TRUE(r_on.ok()) << r_on.status().ToString();
+    ASSERT_TRUE(r_off.ok()) << r_off.status().ToString();
+
+    ASSERT_EQ(r_on->views.size(), r_off->views.size())
+        << "threads=" << threads;
+    const bool all_exact =
+        config.integral_measures && !config.moment_functions;
+    for (size_t i = 0; i < r_on->views.size(); ++i) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) + " rank " +
+                   std::to_string(i));
+      EXPECT_EQ(r_on->views[i].view.Key(), r_off->views[i].view.Key());
+      EXPECT_EQ(r_on->views[i].bins, r_off->views[i].bins);
+      if (all_exact) {
+        // Bit-identical objectives => bit-identical utilities.
+        EXPECT_EQ(r_on->views[i].utility, r_off->views[i].utility);
+      } else {
+        EXPECT_NEAR(r_on->views[i].utility, r_off->views[i].utility,
+                    1e-9 * (1.0 + std::abs(r_off->views[i].utility)));
+      }
+    }
+    // The observable saving: cache-on scans strictly fewer rows while
+    // the query counters stay identical (the cache changes HOW a query
+    // is served, never whether it is charged).
+    EXPECT_EQ(r_on->stats.target_queries, r_off->stats.target_queries)
+        << "threads=" << threads;
+    EXPECT_EQ(r_on->stats.comparison_queries,
+              r_off->stats.comparison_queries)
+        << "threads=" << threads;
+    EXPECT_LT(r_on->stats.rows_scanned, r_off->stats.rows_scanned)
+        << "threads=" << threads;
+    EXPECT_GT(r_on->stats.base_builds, 0) << "threads=" << threads;
+    EXPECT_EQ(r_off->stats.base_builds, 0) << "threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RebinRecommenderTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace muve::core

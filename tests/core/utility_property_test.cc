@@ -1,0 +1,283 @@
+// Metamorphic / property-based tests for the utility layer (Eq. 3-6)
+// and for MuVE's early-termination soundness.  Where the differential
+// suite checks the cache against a direct-scan oracle, this suite checks
+// *relations that must hold for any input*:
+//
+//   P1  S(b) = 1/b is strictly decreasing in b (the premise behind the
+//       S-list traversal order).
+//   P2  U_max(b) = aD + aA + aS*S(b) is non-increasing along any bin
+//       domain, for any valid weights (the premise behind early
+//       termination: once the bound dips below U_seen, nothing ahead of
+//       the cursor can win).
+//   P3  Utility is invariant (to ~1e-12) under scaling all three alphas
+//       by a constant c > 0 and renormalizing — the weights are a
+//       *direction*, not a magnitude.
+//   P4  HorizontalMuve never early-terminates unsoundly: replaying the
+//       same S-list with full (unpruned) evaluations shows that at the
+//       moment MuVE stopped, no remaining candidate's utility exceeded
+//       the running threshold, and the returned best matches Linear's
+//       whenever it beats the initial threshold.
+//
+// All fuzzed alphas/datasets derive from MUVE_FUZZ_SEED (tests/fuzz_util.h).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/horizontal_search.h"
+#include "core/partitioner.h"
+#include "core/utility.h"
+#include "core/view_evaluator.h"
+#include "data/dataset.h"
+#include "fuzz_util.h"
+#include "storage/predicate.h"
+
+namespace muve::core {
+namespace {
+
+Weights RandomWeights(common::Rng& rng) {
+  const double d = rng.Uniform(0.01, 1);
+  const double a = rng.Uniform(0.01, 1);
+  const double s = rng.Uniform(0.01, 1);
+  const double total = d + a + s;
+  return Weights{d / total, a / total, s / total};
+}
+
+// Small random exploration dataset for the search-level property (P4).
+data::Dataset RandomDataset(uint64_t seed) {
+  common::Rng rng(seed);
+  const size_t rows = 40 + static_cast<size_t>(rng.UniformInt(0, 80));
+
+  storage::Schema schema;
+  MUVE_CHECK(schema
+                 .AddField({"x", storage::ValueType::kInt64,
+                            storage::FieldRole::kDimension})
+                 .ok());
+  MUVE_CHECK(schema.AddField({"sel", storage::ValueType::kInt64}).ok());
+  MUVE_CHECK(schema
+                 .AddField({"m", storage::ValueType::kDouble,
+                            storage::FieldRole::kMeasure})
+                 .ok());
+
+  auto table = std::make_shared<storage::Table>(schema);
+  const int64_t range = 8 + rng.UniformInt(0, 40);
+  for (size_t i = 0; i < rows; ++i) {
+    std::vector<storage::Value> row;
+    row.emplace_back(rng.UniformInt(0, range));
+    row.emplace_back(rng.UniformInt(0, 2));
+    row.emplace_back(rng.Uniform(0, 25));
+    MUVE_CHECK(table->AppendRow(row).ok());
+  }
+
+  data::Dataset ds;
+  ds.name = "utility-fuzz" + std::to_string(seed);
+  ds.table = table;
+  ds.dimensions = {"x"};
+  ds.measures = {"m"};
+  ds.functions = {storage::AggregateFunction::kSum,
+                  storage::AggregateFunction::kAvg};
+  ds.query_predicate_sql = "sel = 1";
+  auto pred = storage::MakeComparison("sel", storage::CompareOp::kEq,
+                                      storage::Value(int64_t{1}));
+  auto selected = storage::Filter(*table, pred.get());
+  MUVE_CHECK(selected.ok());
+  ds.target_rows = std::move(selected).value();
+  if (ds.target_rows.empty()) ds.target_rows = {0};
+  ds.all_rows = storage::AllRows(table->num_rows());
+  return ds;
+}
+
+// P1: S(b) strictly decreasing, in (0, 1], S(1) = 1.
+TEST(UtilityPropertyTest, UsabilityStrictlyDecreasing) {
+  EXPECT_EQ(Usability(1), 1.0);
+  for (int b = 2; b <= 512; ++b) {
+    EXPECT_LT(Usability(b), Usability(b - 1)) << "b=" << b;
+    EXPECT_GT(Usability(b), 0.0) << "b=" << b;
+    EXPECT_LE(Usability(b), 1.0) << "b=" << b;
+  }
+}
+
+// P2: the pruning bound is non-increasing along any ascending bin
+// domain for any valid (fuzzed) weights — the invariant that makes
+// "break on first bound failure" sound.
+class UtilityBoundTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UtilityBoundTest, UpperBoundMonotoneAlongDomains) {
+  const uint64_t seed = testutil::FuzzSeed(GetParam() ^ 0xB0B0ULL);
+  SCOPED_TRACE(testutil::FuzzTrace(GetParam(), seed));
+  common::Rng rng(seed);
+
+  const Weights w = RandomWeights(rng);
+  ASSERT_TRUE(w.Validate().ok()) << w.ToString();
+
+  // Every partitioning scheme produces an ascending domain; the bound
+  // must be non-increasing (strictly decreasing when alpha_S > 0) along
+  // each of them.
+  std::vector<PartitionSpec> specs;
+  specs.push_back(PartitionSpec{PartitionKind::kAdditive, 1});
+  specs.push_back(PartitionSpec{
+      PartitionKind::kAdditive, 1 + static_cast<int>(rng.UniformInt(1, 7))});
+  specs.push_back(PartitionSpec{PartitionKind::kGeometric, 1});
+  const int max_bins = 2 + static_cast<int>(rng.UniformInt(0, 126));
+
+  for (const PartitionSpec& spec : specs) {
+    const std::vector<int> domain = BinDomain(spec, max_bins);
+    ASSERT_FALSE(domain.empty());
+    double prev = std::numeric_limits<double>::infinity();
+    for (const int bins : domain) {
+      const double bound = UtilityUpperBound(w, Usability(bins));
+      EXPECT_LT(bound, prev) << "bins=" << bins;
+      // The bound dominates every achievable utility at this b: D and A
+      // are capped at 1.
+      const double d = rng.Uniform(0, 1);
+      const double a = rng.Uniform(0, 1);
+      EXPECT_LE(Utility(w, d, a, Usability(bins)), bound + 1e-15)
+          << "bins=" << bins;
+      prev = bound;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UtilityBoundTest,
+                         ::testing::Range<uint64_t>(1, 25));
+
+// P3: scaling all alphas by c > 0 and renormalizing leaves every utility
+// unchanged (weights are a direction).  Also: the paper's convex
+// combination keeps U inside [0, 1] for objectives in [0, 1].
+class UtilityInvarianceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UtilityInvarianceTest, UtilityInvariantUnderAlphaRenormalization) {
+  const uint64_t seed = testutil::FuzzSeed(GetParam() ^ 0xA11AULL);
+  SCOPED_TRACE(testutil::FuzzTrace(GetParam(), seed));
+  common::Rng rng(seed);
+
+  for (int trial = 0; trial < 32; ++trial) {
+    const Weights w = RandomWeights(rng);
+    const double c = rng.Uniform(0.05, 20);
+    const double total =
+        c * w.deviation + c * w.accuracy + c * w.usability;
+    const Weights scaled{c * w.deviation / total, c * w.accuracy / total,
+                         c * w.usability / total};
+    ASSERT_TRUE(scaled.Validate().ok()) << scaled.ToString();
+
+    const double d = rng.Uniform(0, 1);
+    const double a = rng.Uniform(0, 1);
+    const double s = Usability(1 + static_cast<int>(rng.UniformInt(0, 63)));
+    const double u = Utility(w, d, a, s);
+    EXPECT_NEAR(Utility(scaled, d, a, s), u, 1e-12) << "c=" << c;
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0 + 1e-12);
+    EXPECT_NEAR(UtilityUpperBound(scaled, s), UtilityUpperBound(w, s), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UtilityInvarianceTest,
+                         ::testing::Range<uint64_t>(1, 17));
+
+// P4: early-termination soundness.  For fuzzed datasets, weights and
+// initial thresholds, replay MuVE's S-list with full evaluations and
+// check (a) MuVE stops only once the bound — and hence every remaining
+// candidate — is at or below the running threshold, and (b) the returned
+// best matches the Linear oracle whenever the oracle beats the initial
+// threshold.
+class EarlyTerminationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EarlyTerminationTest, NeverFiresWhileARemainingCandidateCouldWin) {
+  const uint64_t seed = testutil::FuzzSeed(GetParam() ^ 0xE1E1ULL);
+  SCOPED_TRACE(testutil::FuzzTrace(GetParam(), seed));
+  common::Rng rng(seed * 977);
+
+  const data::Dataset ds = RandomDataset(seed);
+  auto space = ViewSpace::Create(ds);
+  ASSERT_TRUE(space.ok()) << space.status().ToString();
+
+  SearchOptions options;
+  options.weights = RandomWeights(rng);
+  options.distance = static_cast<DistanceKind>(rng.UniformInt(0, 5));
+  options.horizontal = HorizontalStrategy::kMuve;
+
+  // Threshold settings: standalone (0), mid-range, and prune-everything.
+  const double thresholds[] = {0.0, rng.Uniform(0.2, 0.8),
+                               UtilityUpperBound(options.weights, 1.0)};
+
+  for (const View& view : space->views()) {
+    const DimensionInfo& dim = space->dimension_info(view.dimension);
+    if (dim.categorical) continue;
+    const std::vector<int> domain = BinDomain(options.partition, dim.max_bins);
+
+    // Ground truth: full utilities of every candidate in domain order.
+    std::vector<double> full_utilities;
+    {
+      ViewEvaluator oracle_eval(ds, *space, {});
+      for (const int bins : domain) {
+        const CandidateResult cand = EvaluateCandidate(
+            oracle_eval, view, bins, options,
+            -std::numeric_limits<double>::infinity(),
+            /*allow_pruning=*/false);
+        ASSERT_EQ(cand.outcome, CandidateResult::Outcome::kFullyEvaluated);
+        full_utilities.push_back(cand.scored.utility);
+      }
+    }
+
+    for (const double initial_threshold : thresholds) {
+      SCOPED_TRACE(view.Label() + " threshold=" +
+                   std::to_string(initial_threshold));
+      ViewEvaluator eval(ds, *space, {});
+      const HorizontalResult muve =
+          HorizontalMuve(eval, view, domain, options, initial_threshold);
+
+      // Replay the traversal independently: the running threshold after
+      // position i is max(initial, utilities seen so far), and MuVE's
+      // stop position is the first i whose bound fails it.
+      double u_seen = initial_threshold;
+      size_t stop = domain.size();
+      for (size_t i = 0; i < domain.size(); ++i) {
+        const double bound =
+            UtilityUpperBound(options.weights, Usability(domain[i]));
+        if (u_seen >= bound) {
+          stop = i;
+          break;
+        }
+        if (full_utilities[i] > u_seen) u_seen = full_utilities[i];
+      }
+
+      if (muve.early_terminated) {
+        ASSERT_LT(stop, domain.size());
+        // Soundness: every candidate at or beyond the stop position is
+        // provably at or below the threshold at that moment — skipping
+        // them cannot change the outcome.
+        for (size_t i = stop; i < domain.size(); ++i) {
+          EXPECT_LE(full_utilities[i], u_seen + 1e-12)
+              << "bins=" << domain[i] << " skipped unsoundly";
+        }
+      } else {
+        EXPECT_EQ(stop, domain.size())
+            << "simulation says termination should have fired";
+      }
+
+      // Agreement with the exhaustive oracle: when Linear's best beats
+      // the initial threshold, MuVE must find the same utility.
+      double oracle_best = -std::numeric_limits<double>::infinity();
+      for (const double u : full_utilities) oracle_best = std::max(oracle_best, u);
+      if (oracle_best > initial_threshold) {
+        ASSERT_TRUE(muve.best.has_value());
+        EXPECT_EQ(muve.best->utility, oracle_best);
+      } else if (muve.best.has_value()) {
+        // MuVE may still surface a fully-evaluated candidate, but never
+        // one better than the oracle's.
+        EXPECT_LE(muve.best->utility, oracle_best + 1e-12);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EarlyTerminationTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace muve::core

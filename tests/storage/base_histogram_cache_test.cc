@@ -1,0 +1,300 @@
+// Unit tests for the base-histogram prefix-sum cache: build correctness
+// against the direct BinnedAggregate scan, coarsening across the whole
+// bin-count domain, raw-series derivation, LRU eviction, and concurrent
+// GetOrBuild (runs under -L tsan).
+
+#include "storage/base_histogram_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "storage/binned_group_by.h"
+#include "storage/group_by.h"
+#include "storage/table.h"
+
+namespace muve::storage {
+namespace {
+
+Table MakeTable(uint64_t seed, int num_rows, int num_distinct,
+                bool integer_measures) {
+  Table table(Schema({{"d", ValueType::kInt64},
+                      {"m", ValueType::kDouble},
+                      {"s", ValueType::kString}}));
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int64_t> dim(0, num_distinct - 1);
+  std::uniform_real_distribution<double> mea(-50.0, 50.0);
+  for (int i = 0; i < num_rows; ++i) {
+    const double m = integer_measures ? std::floor(mea(rng)) : mea(rng);
+    std::vector<Value> row = {Value(dim(rng)), Value(m), Value("x")};
+    if (rng() % 17 == 0) row[1] = Value();  // sporadic NULL measures
+    if (rng() % 23 == 0) row[0] = Value();  // sporadic NULL dimensions
+    EXPECT_TRUE(table.AppendRow(row).ok());
+  }
+  return table;
+}
+
+TEST(BaseHistogramTest, ServableFunctions) {
+  EXPECT_TRUE(BaseServableFunction(AggregateFunction::kSum));
+  EXPECT_TRUE(BaseServableFunction(AggregateFunction::kCount));
+  EXPECT_TRUE(BaseServableFunction(AggregateFunction::kAvg));
+  EXPECT_TRUE(BaseServableFunction(AggregateFunction::kStd));
+  EXPECT_TRUE(BaseServableFunction(AggregateFunction::kVar));
+  EXPECT_FALSE(BaseServableFunction(AggregateFunction::kMin));
+  EXPECT_FALSE(BaseServableFunction(AggregateFunction::kMax));
+}
+
+TEST(BaseHistogramTest, BuildErrorsMirrorBinnedAggregate) {
+  Table table = MakeTable(1, 50, 8, true);
+  EXPECT_FALSE(BuildBaseHistogram(table, AllRows(50), "nope", "m").ok());
+  EXPECT_FALSE(BuildBaseHistogram(table, AllRows(50), "s", "m").ok());
+  EXPECT_FALSE(BuildBaseHistogram(table, AllRows(50), "d", "s").ok());
+}
+
+TEST(BaseHistogramTest, FineBinsAreSortedDistinct) {
+  Table table = MakeTable(2, 300, 12, false);
+  auto base = BuildBaseHistogram(table, AllRows(300), "d", "m");
+  ASSERT_TRUE(base.ok());
+  for (size_t j = 1; j < base->num_fine_bins(); ++j) {
+    EXPECT_LT(base->values[j - 1], base->values[j]);
+  }
+  EXPECT_EQ(base->prefix_counts.size(), base->num_fine_bins() + 1);
+  EXPECT_EQ(base->source_rows, 300);
+}
+
+// The core exactness claim: coarsening the base histogram to ANY bin
+// count over ANY range yields the same bins as the direct scan —
+// bit-identical for COUNT and integer-measure SUM, FP-tolerant otherwise.
+TEST(BaseHistogramTest, CoarsenMatchesDirectScanAllBinCounts) {
+  for (const bool integral : {true, false}) {
+    Table table = MakeTable(integral ? 3 : 4, 500, 20, integral);
+    const RowSet rows = AllRows(500);
+    auto base = BuildBaseHistogram(table, rows, "d", "m");
+    ASSERT_TRUE(base.ok());
+    const double lo = 0.0, hi = 19.0;
+    for (const auto function :
+         {AggregateFunction::kSum, AggregateFunction::kCount,
+          AggregateFunction::kAvg, AggregateFunction::kStd,
+          AggregateFunction::kVar}) {
+      for (int bins = 1; bins <= 40; ++bins) {
+        auto direct = BinnedAggregate(table, rows, "d", "m", function,
+                                      bins, lo, hi);
+        ASSERT_TRUE(direct.ok());
+        const BinnedResult derived =
+            CoarsenBaseHistogram(*base, function, bins, lo, hi);
+        ASSERT_EQ(derived.num_bins, direct->num_bins);
+        for (int b = 0; b < bins; ++b) {
+          // Row-to-bin assignment must match exactly in all cases.
+          ASSERT_EQ(derived.row_counts[b], direct->row_counts[b])
+              << "fn=" << AggregateName(function) << " bins=" << bins
+              << " b=" << b;
+          const double got = derived.aggregates[b];
+          const double want = direct->aggregates[b];
+          if (function == AggregateFunction::kCount ||
+              (integral && function == AggregateFunction::kSum)) {
+            ASSERT_EQ(got, want)
+                << "fn=" << AggregateName(function) << " bins=" << bins
+                << " b=" << b;
+          } else {
+            ASSERT_NEAR(got, want, 1e-9 * (1.0 + std::abs(want)))
+                << "fn=" << AggregateName(function) << " bins=" << bins
+                << " b=" << b;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Coarsening with a range narrower than the data exercises BinIndexFor's
+// clamping (out-of-range values land in the first/last bin).
+TEST(BaseHistogramTest, CoarsenMatchesDirectScanWithClampedRange) {
+  Table table = MakeTable(5, 400, 16, true);
+  const RowSet rows = AllRows(400);
+  auto base = BuildBaseHistogram(table, rows, "d", "m");
+  ASSERT_TRUE(base.ok());
+  for (int bins : {1, 2, 3, 7}) {
+    auto direct = BinnedAggregate(table, rows, "d", "m",
+                                  AggregateFunction::kSum, bins, 4.0, 11.0);
+    ASSERT_TRUE(direct.ok());
+    const BinnedResult derived = CoarsenBaseHistogram(
+        *base, AggregateFunction::kSum, bins, 4.0, 11.0);
+    for (int b = 0; b < bins; ++b) {
+      EXPECT_EQ(derived.row_counts[b], direct->row_counts[b]) << b;
+      EXPECT_EQ(derived.aggregates[b], direct->aggregates[b]) << b;
+    }
+  }
+}
+
+TEST(BaseHistogramTest, RawSeriesMatchesGroupBy) {
+  Table table = MakeTable(6, 350, 14, true);
+  const RowSet rows = AllRows(350);
+  auto base = BuildBaseHistogram(table, rows, "d", "m");
+  ASSERT_TRUE(base.ok());
+  for (const auto function :
+       {AggregateFunction::kSum, AggregateFunction::kCount,
+        AggregateFunction::kAvg}) {
+    auto grouped = GroupByAggregate(table, rows, "d", "m", function);
+    ASSERT_TRUE(grouped.ok());
+    std::vector<double> keys, aggregates;
+    BaseRawSeries(*base, function, &keys, &aggregates);
+    ASSERT_EQ(keys.size(), grouped->num_groups());
+    for (size_t g = 0; g < keys.size(); ++g) {
+      auto key = grouped->keys[g].ToDouble();
+      ASSERT_TRUE(key.ok());
+      EXPECT_EQ(keys[g], *key);
+      // Integer measures, per-group row-order association: bit-exact.
+      EXPECT_EQ(aggregates[g], grouped->aggregates[g])
+          << "fn=" << AggregateName(function) << " g=" << g;
+    }
+  }
+}
+
+TEST(BaseHistogramCacheTest, HitAfterBuildAndStats) {
+  Table table = MakeTable(7, 100, 10, true);
+  BaseHistogramCache cache;
+  int builder_calls = 0;
+  const auto builder = [&]() {
+    ++builder_calls;
+    return BuildBaseHistogram(table, AllRows(100), "d", "m");
+  };
+  bool built = false;
+  auto first = cache.GetOrBuild("t|d|m", builder, &built);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(built);
+  auto second = cache.GetOrBuild("t|d|m", builder, &built);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(built);
+  EXPECT_EQ(builder_calls, 1);
+  EXPECT_EQ(first.value().get(), second.value().get());
+  const auto stats = cache.TotalStats();
+  EXPECT_EQ(stats.builds, 1);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_GT(stats.bytes, 0);
+}
+
+TEST(BaseHistogramCacheTest, BuilderErrorIsPropagatedAndNotCached) {
+  Table table = MakeTable(8, 40, 6, true);
+  BaseHistogramCache cache;
+  const auto bad = [&]() {
+    return BuildBaseHistogram(table, AllRows(40), "d", "s");
+  };
+  bool built = true;
+  EXPECT_FALSE(cache.GetOrBuild("k", bad, &built).ok());
+  // A later good builder under the same key still runs (nothing cached).
+  const auto good = [&]() {
+    return BuildBaseHistogram(table, AllRows(40), "d", "m");
+  };
+  auto ok = cache.GetOrBuild("k", good, &built);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(built);
+}
+
+TEST(BaseHistogramCacheTest, LruEvictionUnderByteBudget) {
+  Table table = MakeTable(9, 2000, 400, false);
+  auto probe = BuildBaseHistogram(table, AllRows(2000), "d", "m");
+  ASSERT_TRUE(probe.ok());
+  const size_t entry_bytes = probe->ApproxBytes();
+
+  // One shard with room for ~2 entries.
+  BaseHistogramCache::Options options;
+  options.num_shards = 1;
+  options.max_bytes = entry_bytes * 2 + entry_bytes / 2;
+  BaseHistogramCache cache(options);
+  const auto builder = [&]() {
+    return BuildBaseHistogram(table, AllRows(2000), "d", "m");
+  };
+  auto a = cache.GetOrBuild("a", builder, nullptr);
+  auto b = cache.GetOrBuild("b", builder, nullptr);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Touch "a" so "b" is the LRU victim when "c" lands.
+  ASSERT_TRUE(cache.GetOrBuild("a", builder, nullptr).ok());
+  ASSERT_TRUE(cache.GetOrBuild("c", builder, nullptr).ok());
+  auto stats = cache.TotalStats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_LE(stats.bytes, static_cast<int64_t>(options.max_bytes));
+  // "a" survives (hit, no rebuild) while "b" rebuilds.
+  bool built = true;
+  ASSERT_TRUE(cache.GetOrBuild("a", builder, &built).ok());
+  EXPECT_FALSE(built);
+  ASSERT_TRUE(cache.GetOrBuild("b", builder, &built).ok());
+  EXPECT_TRUE(built);
+  // Evicted histograms handed out earlier stay valid (immutable entries).
+  EXPECT_EQ(b.value()->num_fine_bins(), probe->num_fine_bins());
+}
+
+TEST(BaseHistogramCacheTest, OversizedEntryStillServesItsProbe) {
+  Table table = MakeTable(10, 1000, 300, false);
+  BaseHistogramCache::Options options;
+  options.num_shards = 1;
+  options.max_bytes = 16;  // smaller than any histogram
+  BaseHistogramCache cache(options);
+  const auto builder = [&]() {
+    return BuildBaseHistogram(table, AllRows(1000), "d", "m");
+  };
+  bool built = false;
+  auto entry = cache.GetOrBuild("big", builder, &built);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_TRUE(built);
+  // The sole (just-inserted) entry is never evicted by its own insert.
+  ASSERT_TRUE(cache.GetOrBuild("big", builder, &built).ok());
+  EXPECT_FALSE(built);
+}
+
+TEST(BaseHistogramCacheTest, ClearForcesRebuild) {
+  Table table = MakeTable(11, 60, 8, true);
+  BaseHistogramCache cache;
+  const auto builder = [&]() {
+    return BuildBaseHistogram(table, AllRows(60), "d", "m");
+  };
+  ASSERT_TRUE(cache.GetOrBuild("k", builder, nullptr).ok());
+  cache.Clear();
+  EXPECT_EQ(cache.TotalStats().bytes, 0);
+  bool built = false;
+  ASSERT_TRUE(cache.GetOrBuild("k", builder, &built).ok());
+  EXPECT_TRUE(built);
+}
+
+// Many threads racing on overlapping keys: each key builds exactly once,
+// every returned histogram is complete and identical.  Exercised under
+// -DMUVE_SANITIZE=thread via the tsan ctest label.
+TEST(BaseHistogramCacheTest, ConcurrentGetOrBuildBuildsOncePerKey) {
+  Table table = MakeTable(12, 800, 25, true);
+  BaseHistogramCache cache;
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 5;
+  std::atomic<int> builds{0};
+  std::vector<std::thread> threads;
+  std::vector<size_t> fine_bins(kThreads * kKeys, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int k = 0; k < kKeys; ++k) {
+        const std::string key = "key-" + std::to_string(k);
+        bool built = false;
+        auto entry = cache.GetOrBuild(
+            key,
+            [&]() {
+              builds.fetch_add(1, std::memory_order_relaxed);
+              return BuildBaseHistogram(table, AllRows(800), "d", "m");
+            },
+            &built);
+        ASSERT_TRUE(entry.ok());
+        fine_bins[static_cast<size_t>(t * kKeys + k)] =
+            entry.value()->num_fine_bins();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(builds.load(), kKeys);
+  EXPECT_EQ(cache.TotalStats().builds, kKeys);
+  EXPECT_EQ(cache.TotalStats().hits, kThreads * kKeys - kKeys);
+  for (size_t f : fine_bins) EXPECT_EQ(f, fine_bins[0]);
+}
+
+}  // namespace
+}  // namespace muve::storage

@@ -3,68 +3,15 @@
 #ifndef MUVE_TESTS_TEST_UTIL_H_
 #define MUVE_TESTS_TEST_UTIL_H_
 
-#include <memory>
-#include <string>
-#include <vector>
-
-#include "common/logging.h"
 #include "data/dataset.h"
-#include "storage/predicate.h"
-#include "storage/table.h"
+#include "data/toy.h"
 
 namespace muve::testutil {
 
-// Builds a small deterministic exploration dataset:
-//   * dimension `x` with integer values 0..29 (max_bins = 29 wait-free),
-//   * dimension `y` with integer values 0..9,
-//   * measures `m1` (rises with x for the target subset, flat overall)
-//     and `m2` (uniform noise-free ramp),
-//   * selector `grp` ('a' = target subset, 'b' = rest).
-//
-// Small enough that exhaustive Linear-Linear runs in well under a second,
-// rich enough that deviation/accuracy/usability all vary with binning.
-inline data::Dataset MakeToyDataset() {
-  storage::Schema schema({
-      {"x", storage::ValueType::kInt64, storage::FieldRole::kDimension},
-      {"y", storage::ValueType::kInt64, storage::FieldRole::kDimension},
-      {"grp", storage::ValueType::kString, storage::FieldRole::kNone},
-      {"m1", storage::ValueType::kDouble, storage::FieldRole::kMeasure},
-      {"m2", storage::ValueType::kDouble, storage::FieldRole::kMeasure},
-  });
-  auto table = std::make_shared<storage::Table>(schema);
-  // 90 rows: x cycles 0..29, y cycles 0..9; every third row is 'a'.
-  for (int i = 0; i < 90; ++i) {
-    const int x = i % 30;
-    const int y = i % 10;
-    const bool target = i % 3 == 0;
-    const double m1 = target ? 1.0 + 0.5 * x : 10.0;
-    const double m2 = 1.0 + 0.1 * i;
-    const common::Status st = table->AppendRow({
-        storage::Value(static_cast<int64_t>(x)),
-        storage::Value(static_cast<int64_t>(y)),
-        storage::Value(target ? "a" : "b"),
-        storage::Value(m1),
-        storage::Value(m2),
-    });
-    MUVE_CHECK(st.ok()) << st.ToString();
-  }
-
-  data::Dataset ds;
-  ds.name = "toy";
-  ds.table = table;
-  ds.dimensions = {"x", "y"};
-  ds.measures = {"m1", "m2"};
-  ds.functions = {storage::AggregateFunction::kSum,
-                  storage::AggregateFunction::kAvg};
-  ds.query_predicate_sql = "grp = 'a'";
-  auto pred = storage::MakeComparison("grp", storage::CompareOp::kEq,
-                                      storage::Value("a"));
-  auto rows = storage::Filter(*table, pred.get());
-  MUVE_CHECK(rows.ok()) << rows.status().ToString();
-  ds.target_rows = std::move(rows).value();
-  ds.all_rows = storage::AllRows(table->num_rows());
-  return ds;
-}
+// The small deterministic exploration dataset the suites share; now owned
+// by the library (src/data/toy) so the CLI's `--dataset=toy` and the
+// golden-file regression test build the exact same workload.
+inline data::Dataset MakeToyDataset() { return data::MakeToyDataset(); }
 
 }  // namespace muve::testutil
 

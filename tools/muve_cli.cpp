@@ -8,7 +8,8 @@
 //              --fidelity
 //
 // Flags:
-//   --dataset=diab|nba        bundled synthetic dataset (default: diab)
+//   --dataset=diab|nba|toy    bundled dataset (default: diab; `toy` is the
+//                             90-row deterministic test workload)
 //   --csv=PATH                load a CSV instead (requires --dims,
 //                             --measures, --predicate)
 //   --dims=a,b  --measures=x,y  --cat-dims=p,q   workload columns for CSV
@@ -21,6 +22,9 @@
 //   --partition=additive|geometric  --step=N
 //   --approx=none|refine|skip [--def-bins=N]
 //   --shared                  SeeDB-style shared scans (linear-linear only)
+//   --threads=N               worker threads (default 1)
+//   --no-base-cache           disable the base-histogram prefix-sum cache
+//                             (forces direct scans for every probe)
 //   --fidelity                also run Linear-Linear and report fidelity
 //   --charts                  render the recommended views as bar charts
 
@@ -35,6 +39,7 @@
 #include "core/recommender.h"
 #include "data/diab.h"
 #include "data/nba.h"
+#include "data/toy.h"
 #include "sql/parser.h"
 #include "storage/binned_group_by.h"
 #include "storage/csv.h"
@@ -66,6 +71,8 @@ struct Flags {
   std::string approx = "none";
   int def_bins = 4;
   bool shared = false;
+  int threads = 1;
+  bool base_cache = true;
   bool fidelity = false;
   bool charts = false;
   std::string html_path;  // write an SVG/HTML report of the top-k
@@ -119,6 +126,10 @@ Status ParseFlags(int argc, char** argv, Flags* flags) {
       flags->def_bins = std::atoi(value_of("--def-bins=").c_str());
     } else if (arg == "--shared") {
       flags->shared = true;
+    } else if (has("--threads=")) {
+      flags->threads = std::atoi(value_of("--threads=").c_str());
+    } else if (arg == "--no-base-cache") {
+      flags->base_cache = false;
     } else if (arg == "--fidelity") {
       flags->fidelity = true;
     } else if (arg == "--charts") {
@@ -177,6 +188,8 @@ Result<muve::core::SearchOptions> BuildOptions(const Flags& flags) {
   }
   options.refinement_default_bins = flags.def_bins;
   options.shared_scans = flags.shared;
+  options.num_threads = flags.threads;
+  options.base_histogram_cache = flags.base_cache;
   return options;
 }
 
@@ -228,6 +241,8 @@ Result<muve::data::Dataset> BuildDataset(const Flags& flags) {
     base = muve::data::MakeDiabDataset();
   } else if (flags.dataset == "nba") {
     base = muve::data::MakeNbaDataset();
+  } else if (flags.dataset == "toy") {
+    base = muve::data::MakeToyDataset();
   } else {
     return Status::InvalidArgument("unknown --dataset: " + flags.dataset);
   }
