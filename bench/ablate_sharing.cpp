@@ -126,11 +126,17 @@ void RunCacheAblation(const muve::data::Dataset& dataset) {
        << ", \"scheme\": \"Linear-Linear\""
        << ", \"b_max\": " << b_max
        << ", \"cache_off\": {\"rows_scanned\": " << r_off.stats.rows_scanned
+       << ", \"build_rows_scanned\": " << r_off.stats.build_rows_scanned
+       << ", \"probe_rows_scanned\": " << r_off.stats.probe_rows_scanned
        << ", \"base_builds\": " << r_off.stats.base_builds
        << ", \"cost_ms\": " << r_off.cost_ms << "}"
        << ", \"cache_on\": {\"rows_scanned\": " << r_on.stats.rows_scanned
+       << ", \"build_rows_scanned\": " << r_on.stats.build_rows_scanned
+       << ", \"probe_rows_scanned\": " << r_on.stats.probe_rows_scanned
        << ", \"base_builds\": " << r_on.stats.base_builds
        << ", \"base_cache_hits\": " << r_on.stats.base_cache_hits
+       << ", \"fused_builds\": " << r_on.stats.fused_builds
+       << ", \"morsels\": " << r_on.stats.morsels_dispatched
        << ", \"cost_ms\": " << r_on.cost_ms << "}"
        << ", \"rows_scanned_ratio\": " << ratio
        << ", \"identical_top_k\": " << (identical ? "true" : "false") << "}";

@@ -116,8 +116,12 @@ int main() {
            << ", \"work_cost_ms\": " << rec->stats.TotalCostMillis()
            << ", \"workers\": " << rec->stats.num_workers
            << ", \"rows_scanned\": " << rec->stats.rows_scanned
+           << ", \"build_rows_scanned\": " << rec->stats.build_rows_scanned
+           << ", \"probe_rows_scanned\": " << rec->stats.probe_rows_scanned
            << ", \"base_builds\": " << rec->stats.base_builds
            << ", \"base_cache_hits\": " << rec->stats.base_cache_hits
+           << ", \"fused_builds\": " << rec->stats.fused_builds
+           << ", \"morsels\": " << rec->stats.morsels_dispatched
            << ", \"matches_serial\": " << (identical ? "true" : "false")
            << "}";
     }

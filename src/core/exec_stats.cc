@@ -12,8 +12,14 @@ void ExecStats::Merge(const ExecStats& other) {
   deviation_evals += other.deviation_evals;
   accuracy_evals += other.accuracy_evals;
   rows_scanned += other.rows_scanned;
+  build_rows_scanned += other.build_rows_scanned;
+  probe_rows_scanned += other.probe_rows_scanned;
   base_builds += other.base_builds;
   base_cache_hits += other.base_cache_hits;
+  fused_builds += other.fused_builds;
+  morsels_dispatched += other.morsels_dispatched;
+  predicate_rows_filtered += other.predicate_rows_filtered;
+  setup_time_ms += other.setup_time_ms;
   candidates_considered += other.candidates_considered;
   pruned_before_probes += other.pruned_before_probes;
   pruned_after_first_probe += other.pruned_after_first_probe;
@@ -41,8 +47,15 @@ std::string ExecStats::ToString() const {
       << " early_term=" << early_terminations
       << " queries(t/c)=" << target_queries << "/" << comparison_queries
       << " rows=" << rows_scanned
+      << " rows(b/p)=" << build_rows_scanned << "/" << probe_rows_scanned
       << " base(b/h)=" << base_builds << "/" << base_cache_hits
+      << " fused=" << fused_builds
+      << " morsels=" << morsels_dispatched
       << " workers=" << num_workers;
+  if (predicate_rows_filtered > 0 || setup_time_ms > 0.0) {
+    out << " filtered=" << predicate_rows_filtered
+        << " setup=" << common::FormatDouble(setup_time_ms, 3) << "ms";
+  }
   return out.str();
 }
 

@@ -21,15 +21,38 @@ struct ExecStats {
   int64_t comparison_queries = 0;
   int64_t deviation_evals = 0;
   int64_t accuracy_evals = 0;
+  // Total row-set traversals, in rows: every scan pass over a row set
+  // charges its size once, whether the pass serves one (A, M) pair (a
+  // direct probe) or every pair at once (a fused build — ONE traversal
+  // that reads each row's dimension and measure cells once each).
+  // Invariant: rows_scanned == build_rows_scanned + probe_rows_scanned.
   int64_t rows_scanned = 0;
+  // The build/probe split (attribution for the sharing ablations): rows
+  // traversed building base histograms vs rows traversed by direct probe
+  // scans (cache-ineligible probes, cache-off runs, categorical views).
+  int64_t build_rows_scanned = 0;
+  int64_t probe_rows_scanned = 0;
 
   // Base-histogram cache accounting (the O(1) re-binning optimization):
-  // finest-granularity histograms built (each is one row scan, charged
-  // into rows_scanned) vs probes served from an already-built histogram
-  // without touching rows.  Both stay 0 when the cache is off, so
-  // rows_scanned remains directly comparable across the ablation.
+  // build PASSES executed (each is one row-set traversal, charged into
+  // rows_scanned; a fused pass builds every missing (A, M) of its side
+  // at once) vs probes served from an already-built histogram without
+  // touching rows.  Both stay 0 when the cache is off, so rows_scanned
+  // remains directly comparable across the ablation.
   int64_t base_builds = 0;
   int64_t base_cache_hits = 0;
+
+  // Fused scan engine accounting: fused multi-(A, M) build passes, and
+  // morsel tasks dispatched by their accumulation phases (1 per ~64K
+  // rows per pass; > passes only when row sets exceed one morsel).
+  int64_t fused_builds = 0;
+  int64_t morsels_dispatched = 0;
+
+  // Setup accounting (outside the paper's C: one-off costs before any
+  // probe runs).  Rows eliminated by the WHERE predicate selecting D_Q,
+  // and wall-clock spent on dataset load + predicate filtering.
+  int64_t predicate_rows_filtered = 0;
+  double setup_time_ms = 0.0;
 
   // Candidate accounting.
   int64_t candidates_considered = 0;

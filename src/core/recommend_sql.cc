@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "sql/parser.h"
 #include "storage/predicate.h"
@@ -74,8 +75,17 @@ common::Result<Recommendation> ExecuteRecommend(sql::RecommendStatement& stmt,
         "schema with FieldRole::kDimension and kMeasure fields");
   }
   dataset.query_predicate_sql = stmt.where->ToString();
-  MUVE_ASSIGN_OR_RETURN(dataset.target_rows,
-                        storage::Filter(*table, stmt.where.get()));
+  // Setup accounting: the predicate scan selecting D_Q runs through the
+  // selection-vector kernels; its eliminated-row count and wall-clock are
+  // reported on the recommendation's ExecStats as one-off setup cost.
+  common::Stopwatch filter_timer;
+  storage::FilterStats filter_stats;
+  MUVE_ASSIGN_OR_RETURN(
+      dataset.target_rows,
+      storage::Filter(*table, stmt.where.get(), nullptr, &filter_stats));
+  dataset.predicate_rows_filtered =
+      filter_stats.rows_in - filter_stats.rows_out;
+  dataset.setup_time_ms = filter_timer.ElapsedMillis();
   dataset.all_rows = storage::AllRows(table->num_rows());
   if (dataset.target_rows.empty()) {
     return common::Status::InvalidArgument(

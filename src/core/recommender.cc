@@ -345,6 +345,8 @@ common::Result<Recommendation> Recommender::Recommend(
   eval_options.sample_fraction = options.sample_fraction;
   eval_options.sample_seed = options.sample_seed;
   eval_options.use_base_histogram_cache = options.base_histogram_cache;
+  eval_options.fused_morsel_size = options.fused_morsel_size;
+  eval_options.fused_miss_batching = options.fused_miss_batching;
   if (options.base_histogram_cache) {
     // ONE store per run, shared by every worker evaluator: all workers
     // probe identical row sets (same dataset + sampling draw), so a
@@ -359,6 +361,14 @@ common::Result<Recommendation> Recommender::Recommend(
       static_cast<size_t>(options.num_threads),
       std::max<size_t>(space_.views().size(), 1));
   WorkerSet workers(num_workers, dataset_, space_, eval_options);
+  if (options.base_histogram_cache && options.fused_prewarm) {
+    // Fused prewarm: ONE morsel-parallel pass per side fills the shared
+    // cache with every eligible (A, M) base histogram before any strategy
+    // probes.  Must run here — before the strategy fan-out — because
+    // ParallelFor is not reentrant, so builds triggered inside worker
+    // lanes cannot themselves use the pool.
+    workers.main().PrewarmBaseHistograms(&workers.pool());
+  }
   common::Rng rng(options.hc_seed);
 
   Recommendation rec;
@@ -381,6 +391,11 @@ common::Result<Recommendation> Recommender::Recommend(
       break;
   }
   rec.stats = workers.MergedStats();
+  // One-off setup costs measured when the dataset was assembled (load +
+  // predicate filtering).  Reported, not added to TotalCostMillis(): the
+  // paper's C covers only the four per-probe components.
+  rec.stats.predicate_rows_filtered = dataset_.predicate_rows_filtered;
+  rec.stats.setup_time_ms = dataset_.setup_time_ms;
   return rec;
 }
 

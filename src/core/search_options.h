@@ -84,6 +84,32 @@ struct SearchOptions {
   // directly.
   bool base_histogram_cache = true;
 
+  // Fused prewarm (the fused morsel-parallel scan engine): before any
+  // strategy runs, ONE fused pass per side (D_Q, D_B) builds the base
+  // histograms of EVERY cache-eligible (A, M) pair at once — |A| x |M|
+  // per-pair build scans collapse into two row-set traversals, and the
+  // pass splits into ~64K-row morsels across the worker pool.  Strictly
+  // an execution-plan change: the histograms (and hence the top-k) are
+  // identical to on-demand per-pair builds.  No effect when
+  // base_histogram_cache is off.  Turn off to measure the savings
+  // (bench/fused_scan_bench).
+  bool fused_prewarm = true;
+
+  // When a probe misses the base-histogram cache (prewarm off, or a pair
+  // the prewarm could not see), batch the build: one fused pass builds
+  // every still-missing (A, M) pair that shares the probe's dimension on
+  // that side, instead of just the pair that missed.  Off = strict
+  // per-pair on-demand builds (the pre-fused-engine behavior; the
+  // bench/fused_scan_bench baseline).  No effect when
+  // base_histogram_cache is off.
+  bool fused_miss_batching = true;
+
+  // Rows per morsel for fused builds; 0 = engine default (64K).  The
+  // morsel partitioning fixes the floating-point association of fused
+  // sums, so changing it can shift AVG/STD/VAR results within FP
+  // tolerance; thread count never does.
+  size_t fused_morsel_size = 0;
+
   // SeeDB-style shared scans (Section II-A's orthogonal optimization):
   // evaluate all same-dimension views of each bin count with one target
   // and one comparison scan.  Linear-Linear without approximations only

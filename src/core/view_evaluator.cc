@@ -1,6 +1,7 @@
 #include "core/view_evaluator.h"
 
 #include <algorithm>
+#include <unordered_set>
 #include <utility>
 
 #include "common/logging.h"
@@ -95,6 +96,66 @@ bool ViewEvaluator::CacheEligible(const View& view) const {
          (*measure)->type() != storage::ValueType::kString;
 }
 
+std::vector<storage::BaseHistogramCache::FusedPairRequest>
+ViewEvaluator::MissingPairs(const std::string* dimension,
+                            bool target_side) const {
+  std::vector<storage::BaseHistogramCache::FusedPairRequest> pairs;
+  if (base_cache_ == nullptr) return pairs;
+  std::unordered_set<std::string> seen;
+  for (const View& view : space_.views()) {
+    if (dimension != nullptr && view.dimension != *dimension) continue;
+    if (!CacheEligible(view)) continue;
+    std::string key = (target_side ? "t|" : "c|") + view.dimension + "|" +
+                      view.measure;
+    if (!seen.insert(key).second) continue;  // one request per (A, M)
+    if (base_cache_->Contains(key)) continue;
+    pairs.push_back({std::move(key), view.dimension, view.measure});
+  }
+  return pairs;
+}
+
+void ViewEvaluator::RunFusedBuild(
+    storage::BaseHistogramCache::FusedHistogramBuildRequest request) {
+  if (request.pairs.empty()) return;
+  storage::BaseHistogramCache::FusedBuildOutcome outcome;
+  const common::Status status = base_cache_->FusedBuild(
+      *dataset_.table, request, &outcome, &fused_scratch_);
+  MUVE_CHECK(status.ok()) << status.ToString();
+  // One pass = one row-set traversal, whatever the number of pairs it
+  // builds; `passes` is 0 when a concurrent builder beat us to all of
+  // them, and then nothing is charged.
+  stats_.base_builds += outcome.passes;
+  stats_.fused_builds += outcome.passes;
+  stats_.rows_scanned += outcome.rows_scanned;
+  stats_.build_rows_scanned += outcome.rows_scanned;
+  stats_.morsels_dispatched += outcome.morsels;
+}
+
+void ViewEvaluator::PrewarmBaseHistograms(common::ThreadPool* pool) {
+  if (base_cache_ == nullptr) return;
+  for (const bool target_side : {true, false}) {
+    std::vector<storage::BaseHistogramCache::FusedPairRequest> pairs =
+        MissingPairs(/*dimension=*/nullptr, target_side);
+    if (pairs.empty()) continue;
+    common::Stopwatch timer;
+    storage::BaseHistogramCache::FusedHistogramBuildRequest request;
+    request.rows = target_side ? &target_rows_ : &all_rows_;
+    request.pairs = std::move(pairs);
+    request.pool = pool;
+    request.morsel_size = options_.fused_morsel_size;
+    RunFusedBuild(std::move(request));
+    // The pass's wall-clock lands on the side it prepaid (C_t or C_c);
+    // no CostModel observation — a whole-space fused pass is not a
+    // representative per-probe cost and would skew the priority rule.
+    const double ms = timer.ElapsedMillis();
+    if (target_side) {
+      stats_.target_time_ms += ms;
+    } else {
+      stats_.comparison_time_ms += ms;
+    }
+  }
+}
+
 std::shared_ptr<const storage::BaseHistogram> ViewEvaluator::BaseFor(
     const View& view, bool target_side) {
   // Key is F-agnostic: one histogram serves every servable aggregate of
@@ -103,21 +164,41 @@ std::shared_ptr<const storage::BaseHistogram> ViewEvaluator::BaseFor(
   const std::string key = (target_side ? "t|" : "c|") + view.dimension +
                           "|" + view.measure;
   const storage::RowSet& rows = target_side ? target_rows_ : all_rows_;
+  const bool missing = !base_cache_->Contains(key);
+  if (missing) {
+    // Cache miss: one fused traversal builds every still-missing measure
+    // of this (dimension, side) — the remaining misses of the batch turn
+    // into hits without touching rows.  Runs inline (no pool): misses
+    // fire inside worker lanes, and ParallelFor is not reentrant.
+    storage::BaseHistogramCache::FusedHistogramBuildRequest request;
+    request.rows = &rows;
+    request.morsel_size = options_.fused_morsel_size;
+    if (options_.fused_miss_batching) {
+      request.pairs = MissingPairs(&view.dimension, target_side);
+    } else {
+      request.pairs.push_back({key, view.dimension, view.measure});
+    }
+    RunFusedBuild(std::move(request));
+  }
   bool built = false;
   auto result = base_cache_->GetOrBuild(
       key,
       [&]() {
         return storage::BuildBaseHistogram(*dataset_.table, rows,
-                                           view.dimension, view.measure);
+                                           view.dimension, view.measure,
+                                           &fused_scratch_);
       },
       &built);
   MUVE_CHECK(result.ok()) << result.status().ToString();
   if (built) {
-    // The one row scan the cache amortizes; every later probe of this
-    // (A, M) side touches zero rows.
+    // Defensive fallback: the fused build's entry was evicted before we
+    // could read it back (possible only under byte budgets smaller than
+    // one side's batch).  Charged like any single-pair build pass.
     ++stats_.base_builds;
     stats_.rows_scanned += static_cast<int64_t>(rows.size());
-  } else {
+    stats_.build_rows_scanned += static_cast<int64_t>(rows.size());
+  } else if (!missing) {
+    // Probes served from an already-built histogram touch zero rows.
     ++stats_.base_cache_hits;
   }
   return std::move(result).value();
@@ -142,6 +223,7 @@ storage::BinnedResult ViewEvaluator::ExecuteBinnedTarget(const View& view,
           dim.lo, dim.hi));
     }
     stats_.rows_scanned += static_cast<int64_t>(target_rows_.size());
+    stats_.probe_rows_scanned += static_cast<int64_t>(target_rows_.size());
     return storage::BinnedAggregate(*dataset_.table, target_rows_,
                                     view.dimension, view.measure,
                                     view.function, bins, dim.lo, dim.hi);
@@ -170,6 +252,7 @@ storage::BinnedResult ViewEvaluator::ExecuteBinnedComparison(const View& view,
           dim.lo, dim.hi));
     }
     stats_.rows_scanned += static_cast<int64_t>(all_rows_.size());
+    stats_.probe_rows_scanned += static_cast<int64_t>(all_rows_.size());
     return storage::BinnedAggregate(*dataset_.table, all_rows_,
                                     view.dimension, view.measure,
                                     view.function, bins, dim.lo, dim.hi);
@@ -208,6 +291,7 @@ const ViewEvaluator::RawSeries& ViewEvaluator::RawTargetSeries(
       series.keys.push_back(*d);
     }
     stats_.rows_scanned += static_cast<int64_t>(target_rows_.size());
+    stats_.probe_rows_scanned += static_cast<int64_t>(target_rows_.size());
   }
   const double ms = timer.ElapsedMillis();
   // The raw series is an input to the accuracy objective; its (one-off)
@@ -250,6 +334,7 @@ double ViewEvaluator::EvaluateCategoricalDeviation(const View& view) {
   stats_.comparison_time_ms += comparison_ms;
   ++stats_.comparison_queries;
   stats_.rows_scanned += static_cast<int64_t>(all_rows_.size());
+  stats_.probe_rows_scanned += static_cast<int64_t>(all_rows_.size());
   cost_model_.Observe(CostKind::kComparisonQuery, comparison_ms);
 
   common::Stopwatch target_timer;
@@ -262,6 +347,7 @@ double ViewEvaluator::EvaluateCategoricalDeviation(const View& view) {
   stats_.target_time_ms += target_ms;
   ++stats_.target_queries;
   stats_.rows_scanned += static_cast<int64_t>(target_rows_.size());
+  stats_.probe_rows_scanned += static_cast<int64_t>(target_rows_.size());
   cost_model_.Observe(CostKind::kTargetQuery, target_ms);
 
   common::Stopwatch distance_timer;
@@ -364,6 +450,7 @@ ViewEvaluator::BatchScores ViewEvaluator::EvaluateSharedBatch(
         dim.lo, dim.hi);
     MUVE_CHECK(multi.ok()) << multi.status().ToString();
     stats_.rows_scanned += static_cast<int64_t>(target_rows_.size());
+    stats_.probe_rows_scanned += static_cast<int64_t>(target_rows_.size());
     for (size_t j = 0; j < ineligible.size(); ++j) {
       targets[ineligible[j]] = std::move((*multi)[j]);
     }
@@ -387,6 +474,7 @@ ViewEvaluator::BatchScores ViewEvaluator::EvaluateSharedBatch(
         dim.lo, dim.hi);
     MUVE_CHECK(multi.ok()) << multi.status().ToString();
     stats_.rows_scanned += static_cast<int64_t>(all_rows_.size());
+    stats_.probe_rows_scanned += static_cast<int64_t>(all_rows_.size());
     for (size_t j = 0; j < ineligible.size(); ++j) {
       comparisons[ineligible[j]] = std::move((*multi)[j]);
     }
@@ -421,6 +509,7 @@ ViewEvaluator::BatchScores ViewEvaluator::EvaluateSharedBatch(
         *dataset_.table, target_rows_, views[0].dimension, missing_specs);
     MUVE_CHECK(raw.ok()) << raw.status().ToString();
     stats_.rows_scanned += static_cast<int64_t>(target_rows_.size());
+    stats_.probe_rows_scanned += static_cast<int64_t>(target_rows_.size());
     for (size_t m = 0; m < missing.size(); ++m) {
       RawSeries series;
       series.aggregates = (*raw)[m].aggregates;

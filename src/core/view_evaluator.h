@@ -36,6 +36,11 @@
 #include "data/dataset.h"
 #include "storage/base_histogram_cache.h"
 #include "storage/binned_group_by.h"
+#include "storage/fused_scan.h"
+
+namespace muve::common {
+class ThreadPool;
+}  // namespace muve::common
 
 namespace muve::core {
 
@@ -72,6 +77,19 @@ struct ViewEvaluatorOptions {
   // sampling draw).  When null and use_base_histogram_cache is set, the
   // evaluator creates a private cache of default size.
   std::shared_ptr<storage::BaseHistogramCache> base_cache;
+
+  // Fused miss batching (the fused scan engine on the demand path): when
+  // a probe misses the base cache, build the histograms of EVERY still-
+  // missing eligible measure of that (dimension, side) in one fused
+  // traversal instead of one scan per (A, M).  Identical histograms —
+  // only the build schedule changes.  Off = per-pair builds (the PR 2
+  // behavior), kept for differential tests.
+  bool fused_miss_batching = true;
+
+  // Rows per morsel for fused builds through this evaluator; 0 = engine
+  // default.  Miss-batch builds run inline (no pool — they fire inside
+  // worker lanes); PrewarmBaseHistograms takes the pool explicitly.
+  size_t fused_morsel_size = 0;
 };
 
 class ViewEvaluator {
@@ -123,6 +141,19 @@ class ViewEvaluator {
   const ExecStats& stats() const { return stats_; }
   const CostModel& cost_model() const { return cost_model_; }
 
+  // Fused cache prewarm: ONE fused pass per side (target rows, then
+  // comparison rows) builds the base histogram of every cache-eligible
+  // (A, M) pair that is not cached yet — the whole candidate space costs
+  // two row-set traversals instead of |A| x |M| per-pair build scans.
+  // The pass splits into morsels on `pool` when provided (must not be
+  // mid-ParallelFor; the Recommender calls this before any strategy
+  // fan-out).  Wall-clock is charged to C_t / C_c respectively and rows
+  // to build_rows_scanned, but no per-probe cost-model observation is
+  // recorded (a fused pass is not a representative probe) and no query
+  // counters move — probe accounting stays comparable cache on/off.
+  // No-op when the cache is off.
+  void PrewarmBaseHistograms(common::ThreadPool* pool = nullptr);
+
   // Clears stats and cost observations (caches are kept: they hold pure
   // data, not accounting state).  Used between benchmark repetitions.
   void ResetAccounting();
@@ -159,6 +190,16 @@ class ViewEvaluator {
   // whole probe, build included, lands on the triggering cost kind).
   std::shared_ptr<const storage::BaseHistogram> BaseFor(const View& view,
                                                         bool target_side);
+  // The cache-eligible (A, M) pairs of one side that are NOT cached yet,
+  // as fused build requests.  `dimension` restricts to one dimension
+  // (miss batching); nullptr covers the whole view space (prewarm).
+  std::vector<storage::BaseHistogramCache::FusedPairRequest> MissingPairs(
+      const std::string* dimension, bool target_side) const;
+  // Runs one fused build over `request` and charges its accounting
+  // (base_builds / fused_builds / rows_scanned / build_rows_scanned /
+  // morsels_dispatched).  Wall-clock is charged by the caller.
+  void RunFusedBuild(
+      storage::BaseHistogramCache::FusedHistogramBuildRequest request);
 
   const data::Dataset& dataset_;
   const ViewSpace& space_;
@@ -173,6 +214,9 @@ class ViewEvaluator {
   // Base-histogram store (shared across workers when handed in via
   // Options::base_cache; private otherwise).  Null when the cache is off.
   std::shared_ptr<storage::BaseHistogramCache> base_cache_;
+  // Reusable fused-scan arena (dictionaries, key arrays, morsel
+  // partials): builds through this evaluator stop allocating per build.
+  storage::FusedScanScratch fused_scratch_;
   // One-entry binned-target cache for within-candidate reuse.
   std::string cached_target_key_;
   int cached_target_bins_ = -1;

@@ -38,6 +38,14 @@ struct Dataset {
   // Rows of D_Q (the predicate's selection) and D_B (everything).
   storage::RowSet target_rows;
   storage::RowSet all_rows;
+
+  // Setup accounting (outside the paper's per-probe cost C): rows the
+  // analyst predicate eliminated when selecting D_Q, and wall-clock spent
+  // on data load + predicate filtering.  The Recommender copies these
+  // into every Recommendation's ExecStats (predicate_rows_filtered /
+  // setup_time_ms) so end-to-end runs report one-off costs explicitly.
+  int64_t predicate_rows_filtered = 0;
+  double setup_time_ms = 0.0;
 };
 
 // Restricts `dataset`'s workload to the first `num_dimensions` dimensions /

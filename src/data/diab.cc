@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "storage/predicate.h"
 
 namespace muve::data {
@@ -28,6 +29,7 @@ int64_t ClampInt(double v, int64_t lo, int64_t hi) {
 }  // namespace
 
 Dataset MakeDiabDataset(uint64_t seed) {
+  common::Stopwatch setup_timer;
   Schema schema({
       Field("Pregnancies", ValueType::kInt64, FieldRole::kDimension),
       Field("Glucose", ValueType::kInt64, FieldRole::kMeasure),
@@ -103,10 +105,13 @@ Dataset MakeDiabDataset(uint64_t seed) {
 
   auto pred = storage::MakeComparison("Outcome", storage::CompareOp::kEq,
                                       Value(static_cast<int64_t>(1)));
-  auto rows = storage::Filter(*table, pred.get());
+  storage::FilterStats filter_stats;
+  auto rows = storage::Filter(*table, pred.get(), nullptr, &filter_stats);
   MUVE_CHECK(rows.ok()) << rows.status().ToString();
   out.target_rows = std::move(rows).value();
   out.all_rows = storage::AllRows(table->num_rows());
+  out.predicate_rows_filtered = filter_stats.rows_in - filter_stats.rows_out;
+  out.setup_time_ms = setup_timer.ElapsedMillis();
   return out;
 }
 

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "storage/predicate.h"
 
 namespace muve::data {
@@ -33,6 +34,7 @@ int64_t ClampInt(double v, int64_t lo, int64_t hi) {
 }  // namespace
 
 Dataset MakeNbaDataset(uint64_t seed) {
+  common::Stopwatch setup_timer;
   // 28 attributes matching the shape of basketball-reference's advanced
   // player table: identity (Player, Team, Pos), dimensions (Age, G, MP),
   // and 22 observation measures.
@@ -184,10 +186,13 @@ Dataset MakeNbaDataset(uint64_t seed) {
 
   auto pred = storage::MakeComparison("Team", storage::CompareOp::kEq,
                                       Value("GSW"));
-  auto rows = storage::Filter(*table, pred.get());
+  storage::FilterStats filter_stats;
+  auto rows = storage::Filter(*table, pred.get(), nullptr, &filter_stats);
   MUVE_CHECK(rows.ok()) << rows.status().ToString();
   out.target_rows = std::move(rows).value();
   out.all_rows = storage::AllRows(table->num_rows());
+  out.predicate_rows_filtered = filter_stats.rows_in - filter_stats.rows_out;
+  out.setup_time_ms = setup_timer.ElapsedMillis();
   return out;
 }
 

@@ -3,11 +3,13 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "storage/predicate.h"
 
 namespace muve::data {
 
 Dataset MakeToyDataset() {
+  common::Stopwatch setup_timer;
   storage::Schema schema({
       {"x", storage::ValueType::kInt64, storage::FieldRole::kDimension},
       {"y", storage::ValueType::kInt64, storage::FieldRole::kDimension},
@@ -43,10 +45,13 @@ Dataset MakeToyDataset() {
   ds.query_predicate_sql = "grp = 'a'";
   auto pred = storage::MakeComparison("grp", storage::CompareOp::kEq,
                                       storage::Value("a"));
-  auto rows = storage::Filter(*table, pred.get());
+  storage::FilterStats filter_stats;
+  auto rows = storage::Filter(*table, pred.get(), nullptr, &filter_stats);
   MUVE_CHECK(rows.ok()) << rows.status().ToString();
   ds.target_rows = std::move(rows).value();
   ds.all_rows = storage::AllRows(table->num_rows());
+  ds.predicate_rows_filtered = filter_stats.rows_in - filter_stats.rows_out;
+  ds.setup_time_ms = setup_timer.ElapsedMillis();
   return ds;
 }
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "storage/fused_scan.h"
 
 namespace muve::storage {
 
@@ -65,63 +66,21 @@ double FinishFromMoments(AggregateFunction function, int64_t count, double sum,
 common::Result<BaseHistogram> BuildBaseHistogram(const Table& table,
                                                  const RowSet& rows,
                                                  std::string_view dimension,
-                                                 std::string_view measure) {
-  MUVE_ASSIGN_OR_RETURN(const Column* dim, table.ColumnByName(dimension));
-  MUVE_ASSIGN_OR_RETURN(const Column* mea, table.ColumnByName(measure));
-  if (dim->type() == ValueType::kString) {
-    return common::Status::TypeMismatch(
-        "cannot bin string dimension '" + std::string(dimension) + "'");
-  }
-  if (mea->type() == ValueType::kString) {
-    // String measures are only aggregatable with COUNT; that combination
-    // keeps using the direct scan (BaseHistogram stores measure moments).
-    return common::Status::TypeMismatch(
-        "cannot build base histogram over string measure '" +
-        std::string(measure) + "'");
-  }
-
-  // One pass to collect (dimension value, measure value) for rows where
-  // both are non-NULL — exactly the rows every aggregate kernel consumes.
-  std::vector<std::pair<double, double>> pairs;
-  pairs.reserve(rows.size());
-  for (uint32_t row : rows) {
-    if (dim->IsNull(row)) continue;
-    if (mea->IsNull(row)) continue;
-    pairs.emplace_back(dim->NumericAt(row), mea->NumericAt(row));
-  }
-  // Stable sort by dimension value: rows within one fine bin stay in row
-  // order, so per-bin sums associate exactly like GroupByAggregate's.
-  std::stable_sort(pairs.begin(), pairs.end(),
-                   [](const std::pair<double, double>& a,
-                      const std::pair<double, double>& b) {
-                     return a.first < b.first;
-                   });
-
-  BaseHistogram base;
-  base.source_rows = static_cast<int64_t>(rows.size());
-  base.prefix_counts.push_back(0);
-  base.prefix_sums.push_back(0.0);
-  base.prefix_sum_sqs.push_back(0.0);
-  size_t i = 0;
-  while (i < pairs.size()) {
-    const double value = pairs[i].first;
-    int64_t count = 0;
-    double sum = 0.0;
-    double sum_sq = 0.0;
-    for (; i < pairs.size() && pairs[i].first == value; ++i) {
-      const double m = pairs[i].second;
-      ++count;
-      sum += m;
-      sum_sq += m * m;
-    }
-    base.values.push_back(value);
-    base.sums.push_back(sum);
-    base.sum_sqs.push_back(sum_sq);
-    base.prefix_counts.push_back(base.prefix_counts.back() + count);
-    base.prefix_sums.push_back(base.prefix_sums.back() + sum);
-    base.prefix_sum_sqs.push_back(base.prefix_sum_sqs.back() + sum_sq);
-  }
-  return base;
+                                                 std::string_view measure,
+                                                 FusedScanScratch* scratch) {
+  // Single-pair fused build with ONE morsel: per-fine-bin sums accumulate
+  // in row order, bit-identical to the historical sort-based builder (and
+  // to GroupByAggregate's association).  The old builder's per-build
+  // (value, measure) pair vector + stable sort are gone; `scratch` reuses
+  // the engine's arenas across builds.
+  std::vector<FusedScanPair> pairs{
+      {std::string(dimension), std::string(measure)}};
+  const size_t one_morsel = std::max<size_t>(rows.size(), 1);
+  MUVE_ASSIGN_OR_RETURN(
+      std::vector<BaseHistogram> built,
+      FusedBuildBaseHistograms(table, rows, pairs, /*pool=*/nullptr,
+                               one_morsel, /*stats=*/nullptr, scratch));
+  return std::move(built[0]);
 }
 
 BinnedResult CoarsenBaseHistogram(const BaseHistogram& base,
@@ -202,6 +161,39 @@ BaseHistogramCache::Shard& BaseHistogramCache::ShardFor(
   return *shards_[h % shards_.size()];
 }
 
+const BaseHistogramCache::Shard& BaseHistogramCache::ShardFor(
+    const std::string& key) const {
+  const size_t h = std::hash<std::string>{}(key);
+  return *shards_[h % shards_.size()];
+}
+
+void BaseHistogramCache::InsertLocked(
+    Shard& shard, const std::string& key,
+    std::shared_ptr<const BaseHistogram> histogram) {
+  const size_t bytes = histogram->ApproxBytes();
+  shard.lru.push_front(key);
+  Shard::Entry entry;
+  entry.histogram = std::move(histogram);
+  entry.lru_it = shard.lru.begin();
+  entry.bytes = bytes;
+  shard.entries.emplace(key, std::move(entry));
+  shard.bytes += bytes;
+  ++shard.builds;
+
+  // Per-shard LRU eviction under the byte budget.  The entry just
+  // inserted (LRU front) is never evicted, so an oversized histogram
+  // still serves the probes that triggered its build.
+  while (shard.bytes > per_shard_budget_ && shard.entries.size() > 1) {
+    const std::string& victim_key = shard.lru.back();
+    const auto victim = shard.entries.find(victim_key);
+    MUVE_CHECK(victim != shard.entries.end());
+    shard.bytes -= victim->second.bytes;
+    shard.entries.erase(victim);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
 common::Result<std::shared_ptr<const BaseHistogram>>
 BaseHistogramCache::GetOrBuild(const std::string& key, const Builder& builder,
                                bool* built) {
@@ -223,31 +215,71 @@ BaseHistogramCache::GetOrBuild(const std::string& key, const Builder& builder,
   if (!result.ok()) return result.status();
   auto histogram =
       std::make_shared<const BaseHistogram>(std::move(result).value());
-  const size_t bytes = histogram->ApproxBytes();
-
-  shard.lru.push_front(key);
-  Shard::Entry entry;
-  entry.histogram = histogram;
-  entry.lru_it = shard.lru.begin();
-  entry.bytes = bytes;
-  shard.entries.emplace(key, std::move(entry));
-  shard.bytes += bytes;
-  ++shard.builds;
+  InsertLocked(shard, key, histogram);
   if (built != nullptr) *built = true;
-
-  // Per-shard LRU eviction under the byte budget.  The entry just
-  // inserted (LRU front) is never evicted, so an oversized histogram
-  // still serves the probes that triggered its build.
-  while (shard.bytes > per_shard_budget_ && shard.entries.size() > 1) {
-    const std::string& victim_key = shard.lru.back();
-    const auto victim = shard.entries.find(victim_key);
-    MUVE_CHECK(victim != shard.entries.end());
-    shard.bytes -= victim->second.bytes;
-    shard.entries.erase(victim);
-    shard.lru.pop_back();
-    ++shard.evictions;
-  }
   return histogram;
+}
+
+bool BaseHistogramCache::Contains(const std::string& key) const {
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.entries.find(key) != shard.entries.end();
+}
+
+common::Status BaseHistogramCache::FusedBuild(
+    const Table& table, const FusedHistogramBuildRequest& request,
+    FusedBuildOutcome* outcome, FusedScanScratch* scratch) {
+  MUVE_CHECK(request.rows != nullptr);
+  FusedBuildOutcome local;
+  FusedBuildOutcome* result = outcome != nullptr ? outcome : &local;
+
+  // Snapshot which pairs are still missing.  A concurrent builder may
+  // insert one of them before we do — handled first-wins below, so the
+  // worst case is redundant work, never inconsistency.
+  std::vector<size_t> missing;
+  missing.reserve(request.pairs.size());
+  for (size_t i = 0; i < request.pairs.size(); ++i) {
+    if (Contains(request.pairs[i].key)) {
+      ++result->already_cached;
+    } else {
+      missing.push_back(i);
+    }
+  }
+  if (missing.empty()) return common::Status::OK();
+
+  std::vector<FusedScanPair> pairs;
+  pairs.reserve(missing.size());
+  for (const size_t i : missing) {
+    pairs.push_back(
+        {request.pairs[i].dimension, request.pairs[i].measure});
+  }
+
+  // ONE pass over the row set builds every missing pair; the scan runs
+  // outside any shard lock (it may fan out over the thread pool).
+  FusedScanStats scan_stats;
+  MUVE_ASSIGN_OR_RETURN(
+      std::vector<BaseHistogram> built,
+      FusedBuildBaseHistograms(table, *request.rows, pairs, request.pool,
+                               request.morsel_size, &scan_stats, scratch));
+  ++result->passes;
+  result->rows_scanned += static_cast<int64_t>(request.rows->size());
+  result->morsels += scan_stats.morsels;
+
+  for (size_t j = 0; j < missing.size(); ++j) {
+    const std::string& key = request.pairs[missing[j]].key;
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.entries.find(key) != shard.entries.end()) {
+      // First-wins: a concurrent build landed this key already; both
+      // histograms cover identical row sets, keep the cached one.
+      ++result->already_cached;
+      continue;
+    }
+    InsertLocked(shard, key,
+                 std::make_shared<const BaseHistogram>(std::move(built[j])));
+    ++result->histograms_built;
+  }
+  return common::Status::OK();
 }
 
 void BaseHistogramCache::Clear() {

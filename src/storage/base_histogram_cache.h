@@ -58,7 +58,13 @@
 #include "storage/binned_group_by.h"
 #include "storage/table.h"
 
+namespace muve::common {
+class ThreadPool;
+}  // namespace muve::common
+
 namespace muve::storage {
+
+struct FusedScanScratch;  // storage/fused_scan.h
 
 // Finest-granularity histogram of one (row set, dimension, measure) pair:
 // one fine bin per distinct dimension value, restricted to rows where
@@ -100,11 +106,14 @@ double FinishFromMoments(AggregateFunction function, int64_t count,
 // Builds the base histogram in one scan of `rows`.  Errors mirror
 // BinnedAggregate's: unknown columns, string dimension, or string measure
 // (string measures are only aggregatable with COUNT, which the direct
-// path keeps serving).
-common::Result<BaseHistogram> BuildBaseHistogram(const Table& table,
-                                                 const RowSet& rows,
-                                                 std::string_view dimension,
-                                                 std::string_view measure);
+// path keeps serving).  Since the fused scan engine landed this is a
+// thin single-pair wrapper over FusedBuildBaseHistograms with one morsel
+// (bit-identical to the historical sort-based builder: per-fine-bin sums
+// accumulate in row order).  `scratch`, when provided, reuses the
+// engine's dictionaries / key arrays / partial arenas across builds.
+common::Result<BaseHistogram> BuildBaseHistogram(
+    const Table& table, const RowSet& rows, std::string_view dimension,
+    std::string_view measure, FusedScanScratch* scratch = nullptr);
 
 // Derives the `num_bins`-bin equi-width view over [lo, hi] by prefix-sum
 // differences.  Bin boundaries are located by binary search with the same
@@ -162,6 +171,51 @@ class BaseHistogramCache {
   common::Result<std::shared_ptr<const BaseHistogram>> GetOrBuild(
       const std::string& key, const Builder& builder, bool* built);
 
+  // Whether `key` currently has an entry.  Does not touch LRU order —
+  // callers use it to assemble fused build batches of the still-missing
+  // pairs without perturbing eviction priority.
+  bool Contains(const std::string& key) const;
+
+  // One pair of a fused build request: the cache key under which the
+  // histogram is stored plus the (dimension, measure) columns it covers.
+  struct FusedPairRequest {
+    std::string key;
+    std::string dimension;
+    std::string measure;
+  };
+
+  // A fused build: ONE pass over `*rows` produces the base histograms of
+  // every still-missing pair (pairs already cached are skipped), split
+  // into ~`morsel_size`-row morsels on `pool` when provided.  This is
+  // how ViewEvaluator prewarms the cache at recommendation start and
+  // batches cache-miss builds: one traversal instead of |A| x |M|.
+  struct FusedHistogramBuildRequest {
+    const RowSet* rows = nullptr;
+    std::vector<FusedPairRequest> pairs;
+    common::ThreadPool* pool = nullptr;
+    size_t morsel_size = 0;  // 0 = engine default (64K rows)
+  };
+
+  // Accounting for one FusedBuild call, for the caller's ExecStats:
+  // `passes` is 0 or 1 (whether a scan actually ran), `rows_scanned` is
+  // rows->size() per pass (ONE traversal covers every pair).
+  struct FusedBuildOutcome {
+    int64_t passes = 0;
+    int64_t histograms_built = 0;
+    int64_t already_cached = 0;
+    int64_t rows_scanned = 0;
+    int64_t morsels = 0;
+  };
+
+  // Executes the fused build.  Histograms are inserted first-wins: a
+  // concurrent builder of the same key keeps the existing entry (both
+  // are built from identical row sets).  Errors from the scan engine are
+  // propagated; nothing is cached on error.
+  common::Status FusedBuild(const Table& table,
+                            const FusedHistogramBuildRequest& request,
+                            FusedBuildOutcome* outcome = nullptr,
+                            FusedScanScratch* scratch = nullptr);
+
   // Drops every entry (a fresh cold-cache run).  Outstanding shared_ptrs
   // stay valid.
   void Clear();
@@ -189,6 +243,11 @@ class BaseHistogramCache {
   };
 
   Shard& ShardFor(const std::string& key);
+  const Shard& ShardFor(const std::string& key) const;
+  // Inserts under the shard lock (caller holds it): LRU front, byte
+  // accounting, build counter, budget eviction.
+  void InsertLocked(Shard& shard, const std::string& key,
+                    std::shared_ptr<const BaseHistogram> histogram);
 
   Options options_;
   size_t per_shard_budget_;

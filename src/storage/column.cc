@@ -9,19 +9,19 @@ namespace muve::storage {
 void Column::AppendInt64(int64_t v) {
   MUVE_DCHECK(type_ == ValueType::kInt64);
   ints_.push_back(v);
-  valid_.push_back(true);
+  valid_.PushBack(true);
 }
 
 void Column::AppendDouble(double v) {
   MUVE_DCHECK(type_ == ValueType::kDouble);
   doubles_.push_back(v);
-  valid_.push_back(true);
+  valid_.PushBack(true);
 }
 
 void Column::AppendString(std::string v) {
   MUVE_DCHECK(type_ == ValueType::kString);
   strings_.push_back(std::move(v));
-  valid_.push_back(true);
+  valid_.PushBack(true);
 }
 
 void Column::AppendNull() {
@@ -38,7 +38,7 @@ void Column::AppendNull() {
     case ValueType::kNull:
       break;
   }
-  valid_.push_back(false);
+  valid_.PushBack(false);
 }
 
 common::Status Column::AppendValue(const Value& v) {
@@ -118,7 +118,7 @@ double Column::NumericAt(size_t row) const {
 
 Value Column::ValueAt(size_t row) const {
   MUVE_DCHECK(row < valid_.size());
-  if (!valid_[row]) return Value::Null();
+  if (!valid_.Get(row)) return Value::Null();
   switch (type_) {
     case ValueType::kInt64:
       return Value(ints_[row]);
@@ -139,7 +139,7 @@ common::Result<double> Column::NumericMin() const {
   bool found = false;
   double best = 0.0;
   for (size_t i = 0; i < size(); ++i) {
-    if (!valid_[i]) continue;
+    if (!valid_.Get(i)) continue;
     const double v = NumericAt(i);
     if (!found || v < best) {
       best = v;
@@ -157,7 +157,7 @@ common::Result<double> Column::NumericMax() const {
   bool found = false;
   double best = 0.0;
   for (size_t i = 0; i < size(); ++i) {
-    if (!valid_[i]) continue;
+    if (!valid_.Get(i)) continue;
     const double v = NumericAt(i);
     if (!found || v > best) {
       best = v;
@@ -169,7 +169,7 @@ common::Result<double> Column::NumericMax() const {
 }
 
 void Column::Reserve(size_t n) {
-  valid_.reserve(n);
+  valid_.Reserve(n);
   switch (type_) {
     case ValueType::kInt64:
       ints_.reserve(n);

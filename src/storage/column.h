@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/validity_bitmap.h"
 #include "storage/value.h"
 
 namespace muve::storage {
@@ -33,7 +34,12 @@ class Column {
   void AppendNull();
   common::Status AppendValue(const Value& v);
 
-  bool IsNull(size_t row) const { return !valid_[row]; }
+  bool IsNull(size_t row) const { return !valid_.Get(row); }
+
+  // Word-addressable null mask: bit i of word i/64 set means row i is
+  // valid.  Scan kernels use AllValid() to skip the per-row null test
+  // and words() for word-at-a-time null handling.
+  const ValidityBitmap& validity() const { return valid_; }
 
   // Typed fast-path accessors.  Undefined for null cells or wrong types
   // (checked in debug builds).
@@ -54,9 +60,26 @@ class Column {
 
   void Reserve(size_t n);
 
+  // Raw array access for tight typed loops (selection-vector predicate
+  // kernels, the fused scan engine).  Valid only for the matching type;
+  // null cells hold a zero/default slot — callers must consult
+  // validity() before trusting a value.
+  const int64_t* int64_data() const {
+    MUVE_DCHECK(type_ == ValueType::kInt64);
+    return ints_.data();
+  }
+  const double* double_data() const {
+    MUVE_DCHECK(type_ == ValueType::kDouble);
+    return doubles_.data();
+  }
+  const std::string* string_data() const {
+    MUVE_DCHECK(type_ == ValueType::kString);
+    return strings_.data();
+  }
+
  private:
   ValueType type_;
-  std::vector<bool> valid_;
+  ValidityBitmap valid_;
   std::vector<int64_t> ints_;
   std::vector<double> doubles_;
   std::vector<std::string> strings_;

@@ -23,13 +23,28 @@ struct CsvOptions {
   std::optional<Schema> schema;
 };
 
-// Parses CSV text into a table.  The first row is the header.
-common::Result<Table> ReadCsvString(const std::string& text,
-                                    const CsvOptions& options = {});
+// Load accounting: filled by the readers when passed (never required).
+// `parse_ms` covers parse + type inference + column materialization (for
+// ReadCsvFile, file I/O too); consumers fold it into ExecStats'
+// setup-time accounting.
+struct CsvLoadStats {
+  int64_t rows = 0;
+  int64_t bytes = 0;
+  double parse_ms = 0.0;
+};
 
-// Reads a CSV file from disk.
+// Parses CSV text into a table.  The first row is the header.  Record
+// storage is pre-sized from the text's newline count, so parsing large
+// inputs does not repeatedly regrow the record vector.
+common::Result<Table> ReadCsvString(const std::string& text,
+                                    const CsvOptions& options = {},
+                                    CsvLoadStats* stats = nullptr);
+
+// Reads a CSV file from disk.  The file is read in one pre-sized
+// allocation (sized by the file length) instead of stream-buffer chunks.
 common::Result<Table> ReadCsvFile(const std::string& path,
-                                  const CsvOptions& options = {});
+                                  const CsvOptions& options = {},
+                                  CsvLoadStats* stats = nullptr);
 
 // Serializes `table` as CSV (header + rows).  Fields containing the
 // delimiter, quotes, or newlines are quoted.

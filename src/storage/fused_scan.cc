@@ -1,0 +1,262 @@
+#include "storage/fused_scan.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "storage/column.h"
+
+namespace muve::storage {
+
+namespace {
+
+// Dense-key sentinel for NULL dimension cells.
+constexpr uint32_t kNullKey = std::numeric_limits<uint32_t>::max();
+
+// Runs fn(index) for every index in [0, count): inline when no pool (or
+// trivially small), data-parallel on the shared pool otherwise.  Every
+// task writes disjoint state, so results never depend on the schedule.
+void RunIndexed(common::ThreadPool* pool, size_t count,
+                const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (pool == nullptr || pool->num_workers() == 1 || count == 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  pool->ParallelFor(count, [&fn](size_t, size_t index) { fn(index); });
+}
+
+// Phase A kernel: gather the non-NULL values of `col` over `rows` into
+// `out` through the raw typed array (no Value boxing, no virtual calls).
+template <typename T>
+void GatherValues(const ValidityBitmap& valid, const T* data,
+                  const RowSet& rows, bool all_valid,
+                  std::vector<double>* out) {
+  if (all_valid) {
+    for (const uint32_t row : rows) {
+      out->push_back(static_cast<double>(data[row]));
+    }
+    return;
+  }
+  for (const uint32_t row : rows) {
+    if (valid.Get(row)) out->push_back(static_cast<double>(data[row]));
+  }
+}
+
+// Phase B kernel: dense dictionary key per row position of one morsel.
+template <typename T>
+void FillKeys(const ValidityBitmap& valid, const T* data,
+              const std::vector<double>& dict, const uint32_t* rows,
+              size_t begin, size_t end, bool all_valid, uint32_t* keys) {
+  for (size_t p = begin; p < end; ++p) {
+    const uint32_t row = rows[p];
+    if (!all_valid && !valid.Get(row)) {
+      keys[p] = kNullKey;
+      continue;
+    }
+    const double v = static_cast<double>(data[row]);
+    const auto it = std::lower_bound(dict.begin(), dict.end(), v);
+    MUVE_DCHECK(it != dict.end() && *it == v);
+    keys[p] = static_cast<uint32_t>(it - dict.begin());
+  }
+}
+
+// Phase C kernel: accumulate one (pair, morsel) block.  `keys` is indexed
+// by row POSITION (position within the row set), measure data by row id.
+// Per fine bin, additions happen in row order within the morsel — the
+// association the exactness contract relies on.
+template <typename T>
+void AccumulatePair(const uint32_t* rows, size_t begin, size_t end,
+                    const uint32_t* keys, const ValidityBitmap& valid,
+                    const T* data, bool all_valid, int64_t* counts,
+                    double* sums, double* sum_sqs) {
+  for (size_t p = begin; p < end; ++p) {
+    const uint32_t k = keys[p];
+    if (k == kNullKey) continue;  // NULL dimension cell
+    const uint32_t row = rows[p];
+    if (!all_valid && !valid.Get(row)) continue;  // NULL measure cell
+    const double m = static_cast<double>(data[row]);
+    ++counts[k];
+    sums[k] += m;
+    sum_sqs[k] += m * m;
+  }
+}
+
+}  // namespace
+
+common::Result<std::vector<BaseHistogram>> FusedBuildBaseHistograms(
+    const Table& table, const RowSet& rows,
+    const std::vector<FusedScanPair>& pairs, common::ThreadPool* pool,
+    size_t morsel_size, FusedScanStats* stats, FusedScanScratch* scratch) {
+  std::vector<BaseHistogram> out(pairs.size());
+  if (pairs.empty()) return out;
+  if (morsel_size == 0) morsel_size = kDefaultFusedMorselSize;
+
+  // Resolve and validate every column up front (nothing builds on error).
+  std::vector<std::string_view> dim_names;  // first-appearance order
+  std::vector<const Column*> dim_cols;
+  std::vector<size_t> pair_dim(pairs.size());
+  std::vector<const Column*> mea_cols(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    MUVE_ASSIGN_OR_RETURN(const Column* dim,
+                          table.ColumnByName(pairs[i].dimension));
+    if (dim->type() == ValueType::kString) {
+      return common::Status::TypeMismatch(
+          "cannot bin string dimension '" + pairs[i].dimension + "'");
+    }
+    MUVE_ASSIGN_OR_RETURN(mea_cols[i], table.ColumnByName(pairs[i].measure));
+    if (mea_cols[i]->type() == ValueType::kString) {
+      // String measures are only aggregatable with COUNT; that
+      // combination keeps using the direct scan (BaseHistogram stores
+      // measure moments).
+      return common::Status::TypeMismatch(
+          "cannot build base histogram over string measure '" +
+          pairs[i].measure + "'");
+    }
+    size_t slot = dim_names.size();
+    for (size_t d = 0; d < dim_names.size(); ++d) {
+      if (dim_names[d] == pairs[i].dimension) {
+        slot = d;
+        break;
+      }
+    }
+    if (slot == dim_names.size()) {
+      dim_names.push_back(pairs[i].dimension);
+      dim_cols.push_back(dim);
+    }
+    pair_dim[i] = slot;
+  }
+
+  const size_t num_dims = dim_cols.size();
+  const size_t n = rows.size();
+  const size_t num_morsels = n == 0 ? 0 : (n + morsel_size - 1) / morsel_size;
+
+  FusedScanScratch local;
+  if (scratch == nullptr) scratch = &local;
+  if (scratch->dicts.size() < num_dims) scratch->dicts.resize(num_dims);
+  if (scratch->keys.size() < num_dims) scratch->keys.resize(num_dims);
+
+  // Whole-column validity precomputed once (AllValid is O(words)).
+  std::vector<bool> dim_all_valid(num_dims);
+  for (size_t d = 0; d < num_dims; ++d) {
+    dim_all_valid[d] = dim_cols[d]->validity().AllValid();
+  }
+  std::vector<bool> mea_all_valid(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    mea_all_valid[i] = mea_cols[i]->validity().AllValid();
+  }
+
+  // Phase A: one sorted distinct-value dictionary per dimension, shared
+  // by every measure paired with it.
+  RunIndexed(pool, num_dims, [&](size_t d) {
+    std::vector<double>& dict = scratch->dicts[d];
+    dict.clear();
+    dict.reserve(n);
+    const Column& col = *dim_cols[d];
+    if (col.type() == ValueType::kInt64) {
+      GatherValues(col.validity(), col.int64_data(), rows, dim_all_valid[d],
+                   &dict);
+    } else {
+      GatherValues(col.validity(), col.double_data(), rows, dim_all_valid[d],
+                   &dict);
+    }
+    std::sort(dict.begin(), dict.end());
+    dict.erase(std::unique(dict.begin(), dict.end()), dict.end());
+  });
+
+  // Phase B: dense key arrays, morsel x dimension parallel.
+  for (size_t d = 0; d < num_dims; ++d) scratch->keys[d].resize(n);
+  RunIndexed(pool, num_dims * num_morsels, [&](size_t t) {
+    const size_t d = t / num_morsels;
+    const size_t m = t % num_morsels;
+    const size_t begin = m * morsel_size;
+    const size_t end = std::min(n, begin + morsel_size);
+    const Column& col = *dim_cols[d];
+    uint32_t* keys = scratch->keys[d].data();
+    if (col.type() == ValueType::kInt64) {
+      FillKeys(col.validity(), col.int64_data(), scratch->dicts[d],
+               rows.data(), begin, end, dim_all_valid[d], keys);
+    } else {
+      FillKeys(col.validity(), col.double_data(), scratch->dicts[d],
+               rows.data(), begin, end, dim_all_valid[d], keys);
+    }
+  });
+
+  // Arena layout: one slab per morsel; within a slab, pair i owns
+  // [pair_offset[i], pair_offset[i] + dict_size(i)).
+  std::vector<size_t> pair_offset(pairs.size());
+  size_t slab = 0;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    pair_offset[i] = slab;
+    slab += scratch->dicts[pair_dim[i]].size();
+  }
+  scratch->counts.assign(slab * num_morsels, 0);
+  scratch->sums.assign(slab * num_morsels, 0.0);
+  scratch->sum_sqs.assign(slab * num_morsels, 0.0);
+
+  // Phase C: morsel-parallel accumulation into per-morsel partials.
+  RunIndexed(pool, num_morsels, [&](size_t m) {
+    const size_t begin = m * morsel_size;
+    const size_t end = std::min(n, begin + morsel_size);
+    int64_t* counts = scratch->counts.data() + m * slab;
+    double* sums = scratch->sums.data() + m * slab;
+    double* sum_sqs = scratch->sum_sqs.data() + m * slab;
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      const uint32_t* keys = scratch->keys[pair_dim[i]].data();
+      const Column& mea = *mea_cols[i];
+      const size_t off = pair_offset[i];
+      if (mea.type() == ValueType::kInt64) {
+        AccumulatePair(rows.data(), begin, end, keys, mea.validity(),
+                       mea.int64_data(), mea_all_valid[i], counts + off,
+                       sums + off, sum_sqs + off);
+      } else {
+        AccumulatePair(rows.data(), begin, end, keys, mea.validity(),
+                       mea.double_data(), mea_all_valid[i], counts + off,
+                       sums + off, sum_sqs + off);
+      }
+    }
+  });
+
+  // Phase D: serial merge in ascending morsel order (fixed association —
+  // identical output for any worker count), then compact fine bins with
+  // zero rows (dimension values whose every row is NULL on this measure),
+  // which restores the exact per-(A, M) fine-bin set of the per-pair
+  // builder.
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const std::vector<double>& dict = scratch->dicts[pair_dim[i]];
+    const size_t off = pair_offset[i];
+    BaseHistogram& base = out[i];
+    base.source_rows = static_cast<int64_t>(n);
+    base.prefix_counts.push_back(0);
+    base.prefix_sums.push_back(0.0);
+    base.prefix_sum_sqs.push_back(0.0);
+    for (size_t j = 0; j < dict.size(); ++j) {
+      int64_t count = 0;
+      double sum = 0.0;
+      double sum_sq = 0.0;
+      for (size_t m = 0; m < num_morsels; ++m) {
+        const size_t idx = m * slab + off + j;
+        count += scratch->counts[idx];
+        sum += scratch->sums[idx];
+        sum_sq += scratch->sum_sqs[idx];
+      }
+      if (count == 0) continue;
+      base.values.push_back(dict[j]);
+      base.sums.push_back(sum);
+      base.sum_sqs.push_back(sum_sq);
+      base.prefix_counts.push_back(base.prefix_counts.back() + count);
+      base.prefix_sums.push_back(base.prefix_sums.back() + sum);
+      base.prefix_sum_sqs.push_back(base.prefix_sum_sqs.back() + sum_sq);
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->morsels += static_cast<int64_t>(num_morsels);
+    stats->dimensions += static_cast<int64_t>(num_dims);
+  }
+  return out;
+}
+
+}  // namespace muve::storage

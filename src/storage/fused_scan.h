@@ -1,0 +1,116 @@
+// Fused morsel-parallel scan engine: ONE pass over a row set builds the
+// base histograms of EVERY requested (dimension, measure) pair.
+//
+// MuVE's dominant cost is query execution against D_Q / D_B (Section IV),
+// and the base-histogram cache already collapsed per-(view, b) probes into
+// O(d) re-binning — but each (A, M) pair still paid a full row scan for
+// its build, so a run over |A| dimensions x |M| measures traversed the
+// same rows |A| x |M| times per side.  This module fuses all those builds
+// into a single traversal (SeeDB's shared-scan idea applied to the build
+// phase):
+//
+//   Phase A (dictionaries, parallel across dimensions): for each distinct
+//     dimension, gather its non-NULL values over the row set, sort,
+//     dedupe -> the sorted fine-bin key dictionary, built ONCE and shared
+//     by every measure paired with that dimension (the per-pair stable
+//     sort of the old builder disappears).
+//   Phase B (key arrays, morsel x dimension parallel): map each row
+//     position to its dense dictionary index (kNullKey for NULL cells),
+//     so Phase C's accumulators are plain array indexing.
+//   Phase C (accumulation, morsel-parallel): the row set splits into
+//     ~64K-row morsels dispatched on the shared ThreadPool; each morsel
+//     accumulates count / sum / sum-of-squares per (pair, fine bin) into
+//     its OWN partial arena slab (no sharing, no locks).
+//   Phase D (merge, serial): partials fold in ascending morsel order —
+//     a fixed association independent of which worker ran which morsel,
+//     so results are identical for 1 and N threads.  Fine bins whose
+//     merged count is 0 (every row NULL on the measure) are compacted
+//     away, restoring the exact per-(A, M) fine-bin set of the old
+//     per-pair builder.
+//
+// Determinism / exactness contract (pinned by
+// tests/storage/fused_scan_differential_test.cc):
+//   * Thread-count invariant: the output depends on the morsel
+//     partitioning, never on the worker schedule.
+//   * With a single morsel (morsel_size >= rows), per-fine-bin sums
+//     accumulate in row order — bit-identical to the legacy per-pair
+//     builder (which BuildBaseHistogram now delegates to).
+//   * With multiple morsels, per-bin sums re-associate at morsel
+//     boundaries: still bit-exact for COUNT and for integer-valued
+//     measures, and within ~1e-12 relative error otherwise (the same
+//     contract the prefix-sum cache already carries for AVG/STD/VAR).
+
+#ifndef MUVE_STORAGE_FUSED_SCAN_H_
+#define MUVE_STORAGE_FUSED_SCAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/base_histogram_cache.h"
+#include "storage/table.h"
+
+namespace muve::common {
+class ThreadPool;
+}  // namespace muve::common
+
+namespace muve::storage {
+
+// Default morsel width: large enough that per-morsel fixed costs vanish,
+// small enough that a few hundred thousand rows still split across
+// workers.
+inline constexpr size_t kDefaultFusedMorselSize = size_t{64} * 1024;
+
+// One (dimension, measure) pair whose base histogram the fused pass
+// should produce.
+struct FusedScanPair {
+  std::string dimension;
+  std::string measure;
+};
+
+// Accounting for one fused build pass.
+struct FusedScanStats {
+  // Morsel tasks dispatched in the accumulation phase (Phase C).
+  int64_t morsels = 0;
+  // Distinct dimensions whose dictionary was built (Phase A).
+  int64_t dimensions = 0;
+};
+
+// Reusable scratch arena: dictionaries, dense key arrays, and the
+// per-morsel partial accumulators.  Passing the same scratch across
+// builds reuses the allocations (the old per-pair builder allocated and
+// sorted a fresh (value, measure) pair vector on every build — that
+// churn is gone).  A scratch instance must not be shared by concurrent
+// builds; per-evaluator ownership is the intended pattern.
+struct FusedScanScratch {
+  std::vector<std::vector<double>> dicts;     // per-dimension sorted values
+  std::vector<std::vector<uint32_t>> keys;    // per-dimension dense keys
+  std::vector<int64_t> counts;                // morsel-partial arenas
+  std::vector<double> sums;
+  std::vector<double> sum_sqs;
+};
+
+// Builds the base histogram of every pair in `pairs` over `rows` in one
+// fused pass.  Output order matches `pairs`.  Errors mirror the per-pair
+// builder's (unknown column, string dimension, string measure) and are
+// reported for the FIRST offending pair; nothing is built on error.
+//
+//   * `pool` — when non-null, phases A-C run data-parallel on it (the
+//     caller participates as worker 0; the pool must not be mid-
+//     ParallelFor).  Null runs fully inline.
+//   * `morsel_size` — rows per morsel; 0 selects
+//     kDefaultFusedMorselSize.  The morsel partitioning (not the worker
+//     count) is what determines FP association, so fixing it fixes the
+//     output bits.
+//   * `stats` / `scratch` — optional accounting and allocation reuse.
+common::Result<std::vector<BaseHistogram>> FusedBuildBaseHistograms(
+    const Table& table, const RowSet& rows,
+    const std::vector<FusedScanPair>& pairs,
+    common::ThreadPool* pool = nullptr, size_t morsel_size = 0,
+    FusedScanStats* stats = nullptr, FusedScanScratch* scratch = nullptr);
+
+}  // namespace muve::storage
+
+#endif  // MUVE_STORAGE_FUSED_SCAN_H_

@@ -1,8 +1,147 @@
 #include "storage/predicate.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "storage/validity_bitmap.h"
+
 namespace muve::storage {
+
+void Predicate::FilterInto(const Table& table, const RowSet& candidates,
+                           RowSet* out) const {
+  // Generic fallback: per-row virtual Matches.  Leaf nodes override with
+  // typed kernels; this path remains for mixed-type comparisons.
+  for (const uint32_t row : candidates) {
+    if (Matches(table, row)) out->push_back(row);
+  }
+}
+
+namespace {
+
+// Tight typed scan: one comparator instantiation per CompareOp, null-skip
+// hoisted to a whole-column AllValid check (the common case — the MuVE
+// datasets carry no NULLs on predicate columns — runs a branch-per-row-
+// free loop over the raw array).
+template <typename T, typename Cmp>
+void ScanTyped(const ValidityBitmap& valid, const T* data,
+               const RowSet& candidates, Cmp cmp, RowSet* out) {
+  if (valid.AllValid()) {
+    for (const uint32_t row : candidates) {
+      if (cmp(data[row])) out->push_back(row);
+    }
+    return;
+  }
+  for (const uint32_t row : candidates) {
+    if (valid.Get(row) && cmp(data[row])) out->push_back(row);
+  }
+}
+
+// Numeric comparison kernel.  Values compare after coercion to double,
+// exactly like Value::operator== / operator< (which also coerce int64
+// through double), so kernel results match Matches bit-for-bit.
+template <typename T>
+void ScanCompareNumeric(const ValidityBitmap& valid, const T* data,
+                        const RowSet& candidates, CompareOp op, double lit,
+                        RowSet* out) {
+  switch (op) {
+    case CompareOp::kEq:
+      ScanTyped(valid, data, candidates,
+                [lit](T v) { return static_cast<double>(v) == lit; }, out);
+      return;
+    case CompareOp::kNe:
+      ScanTyped(valid, data, candidates,
+                [lit](T v) { return static_cast<double>(v) != lit; }, out);
+      return;
+    case CompareOp::kLt:
+      ScanTyped(valid, data, candidates,
+                [lit](T v) { return static_cast<double>(v) < lit; }, out);
+      return;
+    case CompareOp::kLe:
+      ScanTyped(valid, data, candidates,
+                [lit](T v) { return static_cast<double>(v) <= lit; }, out);
+      return;
+    case CompareOp::kGt:
+      ScanTyped(valid, data, candidates,
+                [lit](T v) { return static_cast<double>(v) > lit; }, out);
+      return;
+    case CompareOp::kGe:
+      ScanTyped(valid, data, candidates,
+                [lit](T v) { return static_cast<double>(v) >= lit; }, out);
+      return;
+  }
+}
+
+void ScanCompareString(const ValidityBitmap& valid, const std::string* data,
+                       const RowSet& candidates, CompareOp op,
+                       const std::string& lit, RowSet* out) {
+  switch (op) {
+    case CompareOp::kEq:
+      ScanTyped(valid, data, candidates,
+                [&lit](const std::string& v) { return v == lit; }, out);
+      return;
+    case CompareOp::kNe:
+      ScanTyped(valid, data, candidates,
+                [&lit](const std::string& v) { return v != lit; }, out);
+      return;
+    case CompareOp::kLt:
+      ScanTyped(valid, data, candidates,
+                [&lit](const std::string& v) { return v < lit; }, out);
+      return;
+    case CompareOp::kLe:
+      ScanTyped(valid, data, candidates,
+                [&lit](const std::string& v) { return v <= lit; }, out);
+      return;
+    case CompareOp::kGt:
+      ScanTyped(valid, data, candidates,
+                [&lit](const std::string& v) { return v > lit; }, out);
+      return;
+    case CompareOp::kGe:
+      ScanTyped(valid, data, candidates,
+                [&lit](const std::string& v) { return v >= lit; }, out);
+      return;
+  }
+}
+
+// Numeric literal as double under the same coercion Value uses.
+double LiteralAsDouble(const Value& v) {
+  return v.type() == ValueType::kInt64 ? static_cast<double>(v.AsInt64())
+                                       : v.AsDoubleExact();
+}
+
+// Sorted union of two ascending row sets into `out` (appended).
+void UnionInto(const RowSet& a, const RowSet& b, RowSet* out) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      out->push_back(a[i++]);
+    } else if (b[j] < a[i]) {
+      out->push_back(b[j++]);
+    } else {
+      out->push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  out->insert(out->end(), a.begin() + static_cast<ptrdiff_t>(i), a.end());
+  out->insert(out->end(), b.begin() + static_cast<ptrdiff_t>(j), b.end());
+}
+
+// Rows of `candidates` not present in `exclude` (both ascending,
+// `exclude` a subset of `candidates`), appended onto `out`.
+void DifferenceInto(const RowSet& candidates, const RowSet& exclude,
+                    RowSet* out) {
+  size_t j = 0;
+  for (const uint32_t row : candidates) {
+    if (j < exclude.size() && exclude[j] == row) {
+      ++j;
+      continue;
+    }
+    out->push_back(row);
+  }
+}
+
+}  // namespace
 
 const char* CompareOpSymbol(CompareOp op) {
   switch (op) {
@@ -55,6 +194,40 @@ class ComparisonPredicate final : public Predicate {
     return false;
   }
 
+  void FilterInto(const Table& table, const RowSet& candidates,
+                  RowSet* out) const override {
+    if (literal_.is_null()) return;  // comparisons with NULL never match
+    const Column& col = table.column(index_);
+    switch (col.type()) {
+      case ValueType::kInt64:
+        if (literal_.is_numeric()) {
+          ScanCompareNumeric(col.validity(), col.int64_data(), candidates,
+                             op_, LiteralAsDouble(literal_), out);
+          return;
+        }
+        break;
+      case ValueType::kDouble:
+        if (literal_.is_numeric()) {
+          ScanCompareNumeric(col.validity(), col.double_data(), candidates,
+                             op_, LiteralAsDouble(literal_), out);
+          return;
+        }
+        break;
+      case ValueType::kString:
+        if (literal_.type() == ValueType::kString) {
+          ScanCompareString(col.validity(), col.string_data(), candidates,
+                            op_, literal_.AsString(), out);
+          return;
+        }
+        break;
+      case ValueType::kNull:
+        break;
+    }
+    // Mixed type classes (string column vs numeric literal and vice
+    // versa) keep the rank-ordering semantics of Value::operator<.
+    Predicate::FilterInto(table, candidates, out);
+  }
+
   std::string ToString() const override {
     return column_ + " " + CompareOpSymbol(op_) + " " + literal_.ToString();
   }
@@ -83,6 +256,43 @@ class BetweenPredicate final : public Predicate {
     const bool ge_lo = lo_ < v || v == lo_;
     const bool le_hi = v < hi_ || v == hi_;
     return ge_lo && le_hi;
+  }
+
+  void FilterInto(const Table& table, const RowSet& candidates,
+                  RowSet* out) const override {
+    if (lo_.is_null() || hi_.is_null()) return;  // never matches
+    const Column& col = table.column(index_);
+    if ((col.type() == ValueType::kInt64 ||
+         col.type() == ValueType::kDouble) &&
+        lo_.is_numeric() && hi_.is_numeric()) {
+      const double lo = LiteralAsDouble(lo_);
+      const double hi = LiteralAsDouble(hi_);
+      auto in_range = [lo, hi](auto v) {
+        const double d = static_cast<double>(v);
+        return lo <= d && d <= hi;
+      };
+      if (col.type() == ValueType::kInt64) {
+        ScanTyped(col.validity(), col.int64_data(), candidates, in_range,
+                  out);
+      } else {
+        ScanTyped(col.validity(), col.double_data(), candidates, in_range,
+                  out);
+      }
+      return;
+    }
+    if (col.type() == ValueType::kString &&
+        lo_.type() == ValueType::kString &&
+        hi_.type() == ValueType::kString) {
+      const std::string& lo = lo_.AsString();
+      const std::string& hi = hi_.AsString();
+      ScanTyped(col.validity(), col.string_data(), candidates,
+                [&lo, &hi](const std::string& v) {
+                  return lo <= v && v <= hi;
+                },
+                out);
+      return;
+    }
+    Predicate::FilterInto(table, candidates, out);
   }
 
   std::string ToString() const override {
@@ -115,6 +325,54 @@ class InListPredicate final : public Predicate {
     return false;
   }
 
+  void FilterInto(const Table& table, const RowSet& candidates,
+                  RowSet* out) const override {
+    const Column& col = table.column(index_);
+    if (col.type() == ValueType::kInt64 || col.type() == ValueType::kDouble) {
+      // NULL list elements never match and non-numeric elements cannot
+      // equal a numeric cell (Value::operator== requires matching type
+      // classes), so both drop out of the probe set.
+      std::vector<double> lits;
+      lits.reserve(values_.size());
+      for (const Value& v : values_) {
+        if (v.is_numeric()) lits.push_back(LiteralAsDouble(v));
+      }
+      // Linear probe over the (small) literal list: `==` comparisons
+      // exactly mirror Matches, including NaN cells never matching.
+      auto contains = [&lits](auto v) {
+        const double d = static_cast<double>(v);
+        for (const double lit : lits) {
+          if (d == lit) return true;
+        }
+        return false;
+      };
+      if (col.type() == ValueType::kInt64) {
+        ScanTyped(col.validity(), col.int64_data(), candidates, contains,
+                  out);
+      } else {
+        ScanTyped(col.validity(), col.double_data(), candidates, contains,
+                  out);
+      }
+      return;
+    }
+    if (col.type() == ValueType::kString) {
+      std::vector<std::string> lits;
+      lits.reserve(values_.size());
+      for (const Value& v : values_) {
+        if (v.type() == ValueType::kString) lits.push_back(v.AsString());
+      }
+      std::sort(lits.begin(), lits.end());
+      lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+      ScanTyped(col.validity(), col.string_data(), candidates,
+                [&lits](const std::string& v) {
+                  return std::binary_search(lits.begin(), lits.end(), v);
+                },
+                out);
+      return;
+    }
+    Predicate::FilterInto(table, candidates, out);
+  }
+
   std::string ToString() const override {
     std::string out = column_ + " IN (";
     for (size_t i = 0; i < values_.size(); ++i) {
@@ -142,6 +400,21 @@ class IsNullPredicate final : public Predicate {
 
   bool Matches(const Table& table, size_t row) const override {
     return table.column(index_).IsNull(row) != negate_;
+  }
+
+  void FilterInto(const Table& table, const RowSet& candidates,
+                  RowSet* out) const override {
+    const ValidityBitmap& valid = table.column(index_).validity();
+    if (valid.AllValid()) {
+      // No NULLs at all: IS NULL selects nothing, IS NOT NULL everything.
+      if (negate_) out->insert(out->end(), candidates.begin(),
+                               candidates.end());
+      return;
+    }
+    const bool want_valid = negate_;
+    for (const uint32_t row : candidates) {
+      if (valid.Get(row) == want_valid) out->push_back(row);
+    }
   }
 
   std::string ToString() const override {
@@ -173,6 +446,28 @@ class BinaryLogicalPredicate final : public Predicate {
     return lhs_->Matches(table, row) || rhs_->Matches(table, row);
   }
 
+  void FilterInto(const Table& table, const RowSet& candidates,
+                  RowSet* out) const override {
+    if (kind_ == Kind::kAnd) {
+      // Selection-vector intersection by cascade: the rhs kernel only
+      // scans rows the lhs kept.
+      RowSet kept;
+      lhs_->FilterInto(table, candidates, &kept);
+      rhs_->FilterInto(table, kept, out);
+      return;
+    }
+    // OR: union of two ascending selections.  rhs scans only the rows
+    // lhs rejected, so each candidate is evaluated at most twice and the
+    // merge is a linear sorted union.
+    RowSet left;
+    lhs_->FilterInto(table, candidates, &left);
+    RowSet rest;
+    DifferenceInto(candidates, left, &rest);
+    RowSet right;
+    rhs_->FilterInto(table, rest, &right);
+    UnionInto(left, right, out);
+  }
+
   std::string ToString() const override {
     return "(" + lhs_->ToString() +
            (kind_ == Kind::kAnd ? " AND " : " OR ") + rhs_->ToString() + ")";
@@ -196,6 +491,16 @@ class NotPredicate final : public Predicate {
     return !inner_->Matches(table, row);
   }
 
+  void FilterInto(const Table& table, const RowSet& candidates,
+                  RowSet* out) const override {
+    // Sorted difference: candidates minus the inner selection.  Keeps
+    // the two-valued NULL semantics (NOT of a false NULL-comparison is
+    // true) because rows the inner kernel skipped stay in the result.
+    RowSet inner;
+    inner_->FilterInto(table, candidates, &inner);
+    DifferenceInto(candidates, inner, out);
+  }
+
   std::string ToString() const override {
     return "NOT (" + inner_->ToString() + ")";
   }
@@ -208,6 +513,10 @@ class TruePredicate final : public Predicate {
  public:
   common::Status Bind(const Schema&) override { return common::Status::OK(); }
   bool Matches(const Table&, size_t) const override { return true; }
+  void FilterInto(const Table&, const RowSet& candidates,
+                  RowSet* out) const override {
+    out->insert(out->end(), candidates.begin(), candidates.end());
+  }
   std::string ToString() const override { return "TRUE"; }
 };
 
@@ -249,18 +558,24 @@ PredicatePtr MakeNot(PredicatePtr inner) {
 PredicatePtr MakeTrue() { return std::make_unique<TruePredicate>(); }
 
 common::Result<RowSet> Filter(const Table& table, Predicate* pred,
-                              const RowSet* base) {
+                              const RowSet* base, FilterStats* stats) {
   MUVE_RETURN_IF_ERROR(pred->Bind(table.schema()));
   RowSet out;
   if (base != nullptr) {
-    for (uint32_t row : *base) {
-      if (pred->Matches(table, row)) out.push_back(row);
+    out.reserve(base->size());
+    pred->FilterInto(table, *base, &out);
+    if (stats != nullptr) {
+      stats->rows_in += static_cast<int64_t>(base->size());
+      stats->rows_out += static_cast<int64_t>(out.size());
     }
-  } else {
-    const size_t n = table.num_rows();
-    for (size_t row = 0; row < n; ++row) {
-      if (pred->Matches(table, row)) out.push_back(static_cast<uint32_t>(row));
-    }
+    return out;
+  }
+  const RowSet all = AllRows(table.num_rows());
+  out.reserve(all.size());
+  pred->FilterInto(table, all, &out);
+  if (stats != nullptr) {
+    stats->rows_in += static_cast<int64_t>(all.size());
+    stats->rows_out += static_cast<int64_t>(out.size());
   }
   return out;
 }

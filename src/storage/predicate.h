@@ -29,11 +29,25 @@ class Predicate {
   virtual ~Predicate() = default;
 
   // Resolves column references against `schema`.  Must be called (and
-  // succeed) before Matches.
+  // succeed) before Matches / FilterInto.
   virtual common::Status Bind(const Schema& schema) = 0;
 
   // True when `row` of `table` satisfies the predicate.
   virtual bool Matches(const Table& table, size_t row) const = 0;
+
+  // Selection-vector evaluation: appends the rows of `candidates`
+  // (ascending) that satisfy the predicate onto `out`, preserving order.
+  // Leaf nodes override this with tight typed loops over the raw column
+  // arrays (one comparator branch hoisted out of the loop, null-skip via
+  // the validity bitmap) instead of the per-row virtual Matches +
+  // Value-boxing path; AND composes by cascading the selection vector,
+  // OR by sorted union, NOT by sorted difference.  Mixed-type
+  // comparisons (e.g. string column vs numeric literal) fall back to the
+  // base implementation, which loops Matches — so FilterInto is always
+  // exactly row-equivalent to Matches (pinned by
+  // tests/storage/selection_vector_test.cc).
+  virtual void FilterInto(const Table& table, const RowSet& candidates,
+                          RowSet* out) const;
 
   virtual std::string ToString() const = 0;
 };
@@ -54,10 +68,20 @@ PredicatePtr MakeNot(PredicatePtr inner);
 // Matches every row (absent WHERE clause).
 PredicatePtr MakeTrue();
 
+// Filter accounting: how many candidate rows went in and how many came
+// out.  `rows_in - rows_out` is the number of rows the predicate
+// eliminated (ExecStats::predicate_rows_filtered).
+struct FilterStats {
+  int64_t rows_in = 0;
+  int64_t rows_out = 0;
+};
+
 // Scans `table` (restricted to `base` when non-null) and returns matching
-// row indexes.  Binds `pred` as part of the call.
+// row indexes.  Binds `pred` as part of the call.  Runs through the
+// selection-vector kernels (FilterInto), not per-row virtual dispatch.
 common::Result<RowSet> Filter(const Table& table, Predicate* pred,
-                              const RowSet* base = nullptr);
+                              const RowSet* base = nullptr,
+                              FilterStats* stats = nullptr);
 
 }  // namespace muve::storage
 

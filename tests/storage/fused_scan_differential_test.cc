@@ -1,0 +1,361 @@
+// Differential oracle for the fused morsel-parallel scan engine: one
+// fused pass over a row set must produce, for EVERY requested (A, M)
+// pair, the same base histogram as an independent reference builder
+// (gather -> stable sort -> row-order accumulation, the algorithm the
+// pre-fusion per-pair builder implemented).
+//
+// Contract being pinned (see the header of storage/fused_scan.h):
+//   * fine-bin key sets and per-bin COUNTS — bit-identical, always;
+//   * per-bin sums / sums of squares — bit-identical with a single
+//     morsel (row-order association) and for integer-valued measures at
+//     any morsel size; within 1e-9 relative error otherwise;
+//   * thread-count invariance — for a FIXED morsel size, 1-worker,
+//     8-worker, and inline (no pool) runs are bitwise identical;
+//   * BuildBaseHistogram (the single-pair wrapper) — bit-identical to
+//     the reference, preserving the PR 2 cache contract.
+//
+// Seeding: per-case seeds derive from MUVE_FUZZ_SEED (fixed default) via
+// tests/fuzz_util.h; every failure prints the seeds to reproduce it.
+
+#include "storage/fused_scan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "fuzz_util.h"
+#include "storage/base_histogram_cache.h"
+#include "storage/predicate.h"
+#include "storage/table.h"
+
+namespace muve::storage {
+namespace {
+
+// Independent reference: gather the (dimension value, measure value)
+// pairs of rows valid on both columns, stable-sort by dimension value,
+// accumulate count / sum / sum_sq per distinct value in row order.
+BaseHistogram ReferenceBuild(const Table& table, const RowSet& rows,
+                             const std::string& dimension,
+                             const std::string& measure) {
+  auto dim_col = table.ColumnByName(dimension);
+  auto mea_col = table.ColumnByName(measure);
+  MUVE_CHECK(dim_col.ok() && mea_col.ok());
+  struct Pair {
+    double key;
+    double value;
+  };
+  std::vector<Pair> pairs;
+  for (const size_t row : rows) {
+    if ((*dim_col)->IsNull(row) || (*mea_col)->IsNull(row)) continue;
+    auto k = (*dim_col)->ValueAt(row).ToDouble();
+    auto v = (*mea_col)->ValueAt(row).ToDouble();
+    MUVE_CHECK(k.ok() && v.ok());
+    pairs.push_back({*k, *v});
+  }
+  std::stable_sort(pairs.begin(), pairs.end(),
+                   [](const Pair& a, const Pair& b) { return a.key < b.key; });
+  BaseHistogram h;
+  h.source_rows = static_cast<int64_t>(rows.size());
+  h.prefix_counts.push_back(0);
+  h.prefix_sums.push_back(0.0);
+  h.prefix_sum_sqs.push_back(0.0);
+  size_t i = 0;
+  while (i < pairs.size()) {
+    const double key = pairs[i].key;
+    int64_t count = 0;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    while (i < pairs.size() && pairs[i].key == key) {
+      ++count;
+      sum += pairs[i].value;
+      sum_sq += pairs[i].value * pairs[i].value;
+      ++i;
+    }
+    h.values.push_back(key);
+    h.sums.push_back(sum);
+    h.sum_sqs.push_back(sum_sq);
+    h.prefix_counts.push_back(h.prefix_counts.back() + count);
+    h.prefix_sums.push_back(h.prefix_sums.back() + sum);
+    h.prefix_sum_sqs.push_back(h.prefix_sum_sqs.back() + sum_sq);
+  }
+  return h;
+}
+
+void ExpectSameShape(const BaseHistogram& got, const BaseHistogram& want) {
+  ASSERT_EQ(got.values, want.values);
+  ASSERT_EQ(got.prefix_counts, want.prefix_counts);
+  ASSERT_EQ(got.source_rows, want.source_rows);
+}
+
+// Bitwise equality (single morsel / integral measures / thread pairs).
+void ExpectBitIdentical(const BaseHistogram& got, const BaseHistogram& want) {
+  ExpectSameShape(got, want);
+  EXPECT_EQ(got.sums, want.sums);
+  EXPECT_EQ(got.sum_sqs, want.sum_sqs);
+  EXPECT_EQ(got.prefix_sums, want.prefix_sums);
+  EXPECT_EQ(got.prefix_sum_sqs, want.prefix_sum_sqs);
+}
+
+void ExpectClose(const BaseHistogram& got, const BaseHistogram& want,
+                 double rel_tol) {
+  ExpectSameShape(got, want);
+  for (size_t j = 0; j < want.sums.size(); ++j) {
+    const double scale =
+        std::max({1.0, std::abs(want.sums[j]), std::abs(want.sum_sqs[j])});
+    EXPECT_NEAR(got.sums[j], want.sums[j], rel_tol * scale) << "bin " << j;
+    EXPECT_NEAR(got.sum_sqs[j], want.sum_sqs[j], rel_tol * scale)
+        << "bin " << j;
+  }
+}
+
+struct FuzzWorkload {
+  std::shared_ptr<Table> table;
+  RowSet rows;
+  std::vector<FusedScanPair> pairs;
+};
+
+// Random table (2-3 int dimensions, 1-3 double measures with sporadic
+// NULLs and optional NULL dimension cells), a random predicate-selected
+// row subset, and every (dimension, measure) pair.
+FuzzWorkload RandomWorkload(uint64_t seed, bool integral_measures) {
+  common::Rng rng(seed);
+  const int num_dims = 2 + static_cast<int>(rng.UniformInt(0, 1));
+  const int num_measures = 1 + static_cast<int>(rng.UniformInt(0, 2));
+  const size_t rows = 1 + static_cast<size_t>(rng.UniformInt(0, 400));
+
+  Schema schema;
+  for (int d = 0; d < num_dims; ++d) {
+    MUVE_CHECK(schema
+                   .AddField({"dim" + std::to_string(d),
+                              ValueType::kInt64})
+                   .ok());
+  }
+  for (int m = 0; m < num_measures; ++m) {
+    MUVE_CHECK(schema
+                   .AddField({"m" + std::to_string(m),
+                              ValueType::kDouble})
+                   .ok());
+  }
+  MUVE_CHECK(schema.AddField({"sel", ValueType::kInt64}).ok());
+
+  auto table = std::make_shared<Table>(schema);
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<Value> row;
+    for (int d = 0; d < num_dims; ++d) {
+      if (rng.Bernoulli(0.05)) {
+        row.emplace_back();  // NULL dimension cell
+      } else {
+        row.emplace_back(rng.UniformInt(0, 25));
+      }
+    }
+    for (int m = 0; m < num_measures; ++m) {
+      if (rng.Bernoulli(0.08)) {
+        row.emplace_back();  // NULL measure
+      } else {
+        double v = rng.Uniform(-10.0, 10.0);
+        if (integral_measures) v = std::floor(v);
+        row.emplace_back(v);
+      }
+    }
+    row.emplace_back(rng.UniformInt(0, 2));
+    MUVE_CHECK(table->AppendRow(row).ok());
+  }
+
+  FuzzWorkload w;
+  w.table = table;
+  // Row subset selected through the predicate path (sel <= 1 keeps ~2/3).
+  auto pred = MakeComparison("sel", CompareOp::kLe,
+                             Value(rng.UniformInt(0, 1)));
+  auto filtered = Filter(*table, pred.get());
+  MUVE_CHECK(filtered.ok());
+  w.rows = std::move(filtered).value();
+  for (int d = 0; d < num_dims; ++d) {
+    for (int m = 0; m < num_measures; ++m) {
+      w.pairs.push_back(
+          {"dim" + std::to_string(d), "m" + std::to_string(m)});
+    }
+  }
+  return w;
+}
+
+TEST(FusedScanDifferentialTest, FuzzedFusedMatchesReference) {
+  common::ThreadPool pool_1(1);
+  common::ThreadPool pool_8(8);
+  FusedScanScratch scratch;
+
+  for (uint64_t c = 0; c < 60; ++c) {
+    const uint64_t seed = testutil::FuzzSeed(c);
+    SCOPED_TRACE(testutil::FuzzTrace(c, seed));
+    const bool integral = c % 3 == 0;
+    FuzzWorkload w = RandomWorkload(seed, integral);
+
+    std::vector<BaseHistogram> reference;
+    for (const FusedScanPair& p : w.pairs) {
+      reference.push_back(
+          ReferenceBuild(*w.table, w.rows, p.dimension, p.measure));
+    }
+
+    common::Rng rng(seed ^ 0xF05EDULL);
+    const size_t morsel_sizes[] = {
+        7, 64, std::max<size_t>(w.rows.size(), 1), 0 /* engine default */};
+    for (const size_t morsel_size : morsel_sizes) {
+      SCOPED_TRACE("morsel_size=" + std::to_string(morsel_size));
+      // Inline, 1-worker, and 8-worker runs of the SAME partitioning.
+      FusedScanStats stats;
+      auto inline_run = FusedBuildBaseHistograms(
+          *w.table, w.rows, w.pairs, nullptr, morsel_size, &stats, &scratch);
+      ASSERT_TRUE(inline_run.ok()) << inline_run.status().ToString();
+      auto pool1_run = FusedBuildBaseHistograms(*w.table, w.rows, w.pairs,
+                                                &pool_1, morsel_size);
+      ASSERT_TRUE(pool1_run.ok()) << pool1_run.status().ToString();
+      auto pool8_run = FusedBuildBaseHistograms(*w.table, w.rows, w.pairs,
+                                                &pool_8, morsel_size);
+      ASSERT_TRUE(pool8_run.ok()) << pool8_run.status().ToString();
+
+      ASSERT_EQ(inline_run->size(), w.pairs.size());
+      const size_t effective =
+          morsel_size == 0 ? kDefaultFusedMorselSize : morsel_size;
+      const bool single_morsel = effective >= w.rows.size();
+      EXPECT_EQ(stats.morsels,
+                static_cast<int64_t>(
+                    std::max<size_t>(
+                        (w.rows.size() + effective - 1) / effective, 1)));
+
+      for (size_t i = 0; i < w.pairs.size(); ++i) {
+        SCOPED_TRACE(w.pairs[i].dimension + "/" + w.pairs[i].measure);
+        // Thread-count invariance is bitwise, unconditionally.
+        ExpectBitIdentical((*pool1_run)[i], (*inline_run)[i]);
+        ExpectBitIdentical((*pool8_run)[i], (*inline_run)[i]);
+        // Against the reference: bit-exact when association cannot
+        // differ (single morsel, or exactly representable partials).
+        if (single_morsel || integral) {
+          ExpectBitIdentical((*inline_run)[i], reference[i]);
+        } else {
+          ExpectClose((*inline_run)[i], reference[i], 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST(FusedScanDifferentialTest, SinglePairWrapperIsBitIdentical) {
+  for (uint64_t c = 0; c < 20; ++c) {
+    const uint64_t seed = testutil::FuzzSeed(c + 1000);
+    SCOPED_TRACE(testutil::FuzzTrace(c + 1000, seed));
+    FuzzWorkload w = RandomWorkload(seed, /*integral_measures=*/false);
+    FusedScanScratch scratch;
+    for (const FusedScanPair& p : w.pairs) {
+      auto built = BuildBaseHistogram(*w.table, w.rows, p.dimension,
+                                      p.measure, &scratch);
+      ASSERT_TRUE(built.ok()) << built.status().ToString();
+      ExpectBitIdentical(
+          *built, ReferenceBuild(*w.table, w.rows, p.dimension, p.measure));
+    }
+  }
+}
+
+TEST(FusedScanDifferentialTest, EmptyRowSetAndEmptyPairs) {
+  FuzzWorkload w = RandomWorkload(testutil::FuzzSeed(7), false);
+  const RowSet empty;
+  auto built =
+      FusedBuildBaseHistograms(*w.table, empty, w.pairs);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  for (const BaseHistogram& h : *built) {
+    EXPECT_EQ(h.num_fine_bins(), 0u);
+    EXPECT_EQ(h.source_rows, 0);
+    EXPECT_EQ(h.prefix_counts, std::vector<int64_t>{0});
+  }
+  auto none = FusedBuildBaseHistograms(*w.table, w.rows, {});
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(FusedScanDifferentialTest, ErrorsMirrorPerPairBuilder) {
+  Schema schema({{"s", ValueType::kString}, {"m", ValueType::kDouble}});
+  Table table(schema);
+  ASSERT_TRUE(table.AppendRow({Value("a"), Value(1.0)}).ok());
+  const RowSet rows = AllRows(table.num_rows());
+
+  auto string_dim =
+      FusedBuildBaseHistograms(table, rows, {{"s", "m"}});
+  EXPECT_FALSE(string_dim.ok());
+  auto string_measure =
+      FusedBuildBaseHistograms(table, rows, {{"m", "s"}});
+  EXPECT_FALSE(string_measure.ok());
+  auto unknown =
+      FusedBuildBaseHistograms(table, rows, {{"nope", "m"}});
+  EXPECT_FALSE(unknown.ok());
+}
+
+// Cache-level fused build: one FusedBuild call populates every missing
+// key, skips already-cached keys, and serves subsequent lookups.
+TEST(FusedScanDifferentialTest, CacheFusedBuildPopulatesMissingPairs) {
+  FuzzWorkload w = RandomWorkload(testutil::FuzzSeed(42), false);
+  BaseHistogramCache cache;
+
+  // Pre-populate the first pair through the single-pair path.
+  const std::string pre_key =
+      "t|" + w.pairs[0].dimension + "|" + w.pairs[0].measure;
+  bool built_flag = false;
+  auto pre = cache.GetOrBuild(
+      pre_key,
+      [&] {
+        return BuildBaseHistogram(*w.table, w.rows, w.pairs[0].dimension,
+                                  w.pairs[0].measure);
+      },
+      &built_flag);
+  ASSERT_TRUE(pre.ok());
+  ASSERT_TRUE(built_flag);
+
+  BaseHistogramCache::FusedHistogramBuildRequest request;
+  request.rows = &w.rows;
+  for (const FusedScanPair& p : w.pairs) {
+    request.pairs.push_back(
+        {"t|" + p.dimension + "|" + p.measure, p.dimension, p.measure});
+  }
+  BaseHistogramCache::FusedBuildOutcome outcome;
+  ASSERT_TRUE(cache.FusedBuild(*w.table, request, &outcome).ok());
+  EXPECT_EQ(outcome.passes, 1);
+  EXPECT_EQ(outcome.already_cached, 1);
+  EXPECT_EQ(outcome.histograms_built,
+            static_cast<int64_t>(w.pairs.size()) - 1);
+  EXPECT_EQ(outcome.rows_scanned, static_cast<int64_t>(w.rows.size()));
+
+  // Every pair is now resident and matches the reference.
+  for (const FusedScanPair& p : w.pairs) {
+    const std::string key = "t|" + p.dimension + "|" + p.measure;
+    ASSERT_TRUE(cache.Contains(key));
+    bool rebuilt = false;
+    auto got = cache.GetOrBuild(
+        key,
+        [&] {
+          ADD_FAILURE() << "builder invoked for cached key " << key;
+          return BuildBaseHistogram(*w.table, w.rows, p.dimension,
+                                    p.measure);
+        },
+        &rebuilt);
+    ASSERT_TRUE(got.ok());
+    EXPECT_FALSE(rebuilt);
+    ExpectBitIdentical(
+        **got, ReferenceBuild(*w.table, w.rows, p.dimension, p.measure));
+  }
+
+  // A second fused build is a no-op: everything already cached.
+  BaseHistogramCache::FusedBuildOutcome second;
+  ASSERT_TRUE(cache.FusedBuild(*w.table, request, &second).ok());
+  EXPECT_EQ(second.passes, 0);
+  EXPECT_EQ(second.histograms_built, 0);
+  EXPECT_EQ(second.already_cached,
+            static_cast<int64_t>(w.pairs.size()));
+}
+
+}  // namespace
+}  // namespace muve::storage

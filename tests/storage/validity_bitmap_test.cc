@@ -1,0 +1,142 @@
+// Unit + differential tests for the word-addressable validity bitmap
+// backing Column's null tracking: bit semantics (PushBack/Get/Set),
+// popcount-based counting including the partial tail word, and a fuzzed
+// differential against the obvious std::vector<bool> model.
+
+#include "storage/validity_bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "fuzz_util.h"
+
+namespace muve::storage {
+namespace {
+
+TEST(ValidityBitmapTest, EmptyBitmap) {
+  ValidityBitmap bm;
+  EXPECT_EQ(bm.size(), 0u);
+  EXPECT_EQ(bm.CountValid(), 0u);
+  EXPECT_EQ(bm.CountNull(), 0u);
+  EXPECT_TRUE(bm.AllValid());
+  EXPECT_EQ(bm.num_words(), 0u);
+}
+
+TEST(ValidityBitmapTest, PushBackAndGet) {
+  ValidityBitmap bm;
+  bm.PushBack(true);
+  bm.PushBack(false);
+  bm.PushBack(true);
+  ASSERT_EQ(bm.size(), 3u);
+  EXPECT_TRUE(bm.Get(0));
+  EXPECT_FALSE(bm.Get(1));
+  EXPECT_TRUE(bm.Get(2));
+  EXPECT_EQ(bm.CountValid(), 2u);
+  EXPECT_EQ(bm.CountNull(), 1u);
+  EXPECT_FALSE(bm.AllValid());
+}
+
+TEST(ValidityBitmapTest, SetFlipsBothDirections) {
+  ValidityBitmap bm;
+  for (int i = 0; i < 10; ++i) bm.PushBack(true);
+  bm.Set(4, false);
+  EXPECT_FALSE(bm.Get(4));
+  EXPECT_EQ(bm.CountValid(), 9u);
+  bm.Set(4, true);
+  EXPECT_TRUE(bm.Get(4));
+  EXPECT_EQ(bm.CountValid(), 10u);
+  EXPECT_TRUE(bm.AllValid());
+}
+
+TEST(ValidityBitmapTest, WordBoundaries) {
+  // Sizes straddling the 64-bit word edges: the tail word's unused bits
+  // must stay zero so CountValid can popcount words blindly.
+  for (const size_t n : {63u, 64u, 65u, 127u, 128u, 129u}) {
+    ValidityBitmap bm;
+    for (size_t i = 0; i < n; ++i) bm.PushBack(i % 2 == 0);
+    ASSERT_EQ(bm.size(), n);
+    EXPECT_EQ(bm.num_words(), (n + 63) / 64);
+    size_t expect_valid = 0;
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(bm.Get(i), i % 2 == 0) << "n=" << n << " i=" << i;
+      if (i % 2 == 0) ++expect_valid;
+    }
+    EXPECT_EQ(bm.CountValid(), expect_valid) << "n=" << n;
+    EXPECT_EQ(bm.CountNull(), n - expect_valid);
+  }
+}
+
+TEST(ValidityBitmapTest, AllValidFastPathAcrossWords) {
+  ValidityBitmap bm;
+  for (int i = 0; i < 200; ++i) bm.PushBack(true);
+  EXPECT_TRUE(bm.AllValid());
+  bm.Set(137, false);
+  EXPECT_FALSE(bm.AllValid());
+  bm.Set(137, true);
+  EXPECT_TRUE(bm.AllValid());
+}
+
+TEST(ValidityBitmapTest, ClearResets) {
+  ValidityBitmap bm;
+  for (int i = 0; i < 70; ++i) bm.PushBack(i != 13);
+  bm.Clear();
+  EXPECT_EQ(bm.size(), 0u);
+  EXPECT_EQ(bm.num_words(), 0u);
+  EXPECT_TRUE(bm.AllValid());
+  // Reusable after Clear, with no stale bits leaking in.
+  bm.PushBack(false);
+  EXPECT_EQ(bm.size(), 1u);
+  EXPECT_FALSE(bm.Get(0));
+  EXPECT_EQ(bm.CountValid(), 0u);
+}
+
+TEST(ValidityBitmapTest, ReserveDoesNotChangeContents) {
+  ValidityBitmap bm;
+  bm.PushBack(true);
+  bm.PushBack(false);
+  bm.Reserve(1000);
+  ASSERT_EQ(bm.size(), 2u);
+  EXPECT_TRUE(bm.Get(0));
+  EXPECT_FALSE(bm.Get(1));
+}
+
+TEST(ValidityBitmapTest, FuzzDifferentialAgainstVectorBool) {
+  for (uint64_t c = 0; c < 20; ++c) {
+    const uint64_t seed = testutil::FuzzSeed(c);
+    SCOPED_TRACE(testutil::FuzzTrace(c, seed));
+    common::Rng rng(seed);
+    ValidityBitmap bm;
+    std::vector<bool> model;
+    const size_t n = 1 + static_cast<size_t>(rng.UniformInt(0, 300));
+    for (size_t i = 0; i < n; ++i) {
+      const bool v = rng.Bernoulli(0.8);
+      bm.PushBack(v);
+      model.push_back(v);
+    }
+    // Random in-place flips.
+    for (int f = 0; f < 32; ++f) {
+      const size_t i = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+      const bool v = rng.Bernoulli(0.5);
+      bm.Set(i, v);
+      model[i] = v;
+    }
+    ASSERT_EQ(bm.size(), model.size());
+    size_t valid = 0;
+    bool all = true;
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(bm.Get(i), model[i]) << "i=" << i;
+      valid += model[i] ? 1 : 0;
+      all = all && model[i];
+    }
+    EXPECT_EQ(bm.CountValid(), valid);
+    EXPECT_EQ(bm.CountNull(), n - valid);
+    EXPECT_EQ(bm.AllValid(), all);
+  }
+}
+
+}  // namespace
+}  // namespace muve::storage

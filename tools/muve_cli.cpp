@@ -25,6 +25,13 @@
 //   --threads=N               worker threads (default 1)
 //   --no-base-cache           disable the base-histogram prefix-sum cache
 //                             (forces direct scans for every probe)
+//   --no-fused-prewarm        keep the cache but skip the fused prewarm
+//                             pass (base histograms build on demand)
+//   --probe-order=priority|deviation-first|accuracy-first
+//                             MuVE's incremental-evaluation probe order;
+//                             `priority` (default) is the wall-clock-driven
+//                             cost/benefit rule, the fixed orders are
+//                             deterministic (used by the golden tests)
 //   --fidelity                also run Linear-Linear and report fidelity
 //   --charts                  render the recommended views as bar charts
 
@@ -34,6 +41,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "core/fidelity.h"
 #include "core/recommender.h"
@@ -73,6 +81,8 @@ struct Flags {
   bool shared = false;
   int threads = 1;
   bool base_cache = true;
+  bool fused_prewarm = true;
+  std::string probe_order = "priority";
   bool fidelity = false;
   bool charts = false;
   std::string html_path;  // write an SVG/HTML report of the top-k
@@ -130,6 +140,10 @@ Status ParseFlags(int argc, char** argv, Flags* flags) {
       flags->threads = std::atoi(value_of("--threads=").c_str());
     } else if (arg == "--no-base-cache") {
       flags->base_cache = false;
+    } else if (arg == "--no-fused-prewarm") {
+      flags->fused_prewarm = false;
+    } else if (has("--probe-order=")) {
+      flags->probe_order = muve::common::ToLower(value_of("--probe-order="));
     } else if (arg == "--fidelity") {
       flags->fidelity = true;
     } else if (arg == "--charts") {
@@ -190,6 +204,15 @@ Result<muve::core::SearchOptions> BuildOptions(const Flags& flags) {
   options.shared_scans = flags.shared;
   options.num_threads = flags.threads;
   options.base_histogram_cache = flags.base_cache;
+  options.fused_prewarm = flags.fused_prewarm;
+  if (flags.probe_order == "deviation-first") {
+    options.probe_order = muve::core::ProbeOrderPolicy::kDeviationFirst;
+  } else if (flags.probe_order == "accuracy-first") {
+    options.probe_order = muve::core::ProbeOrderPolicy::kAccuracyFirst;
+  } else if (flags.probe_order != "priority") {
+    return Status::InvalidArgument("unknown --probe-order: " +
+                                   flags.probe_order);
+  }
   return options;
 }
 
@@ -200,8 +223,10 @@ Result<muve::data::Dataset> BuildDataset(const Flags& flags) {
       return Status::InvalidArgument(
           "--csv requires --dims, --measures, and --predicate");
     }
-    MUVE_ASSIGN_OR_RETURN(muve::storage::Table table,
-                          muve::storage::ReadCsvFile(flags.csv_path));
+    muve::storage::CsvLoadStats load_stats;
+    MUVE_ASSIGN_OR_RETURN(
+        muve::storage::Table table,
+        muve::storage::ReadCsvFile(flags.csv_path, {}, &load_stats));
     muve::data::Dataset ds;
     ds.name = flags.csv_path;
     auto shared = std::make_shared<muve::storage::Table>(std::move(table));
@@ -226,13 +251,19 @@ Result<muve::data::Dataset> BuildDataset(const Flags& flags) {
     MUVE_ASSIGN_OR_RETURN(
         muve::sql::SelectStatement stmt,
         muve::sql::ParseSelect("SELECT * FROM t WHERE " + flags.predicate));
+    muve::common::Stopwatch filter_timer;
+    muve::storage::FilterStats filter_stats;
     MUVE_ASSIGN_OR_RETURN(
         ds.target_rows,
-        muve::storage::Filter(*shared, stmt.where.get()));
+        muve::storage::Filter(*shared, stmt.where.get(), nullptr,
+                              &filter_stats));
     if (ds.target_rows.empty()) {
       return Status::InvalidArgument("--predicate selects no rows");
     }
     ds.all_rows = muve::storage::AllRows(shared->num_rows());
+    ds.predicate_rows_filtered =
+        filter_stats.rows_in - filter_stats.rows_out;
+    ds.setup_time_ms = load_stats.parse_ms + filter_timer.ElapsedMillis();
     return ds;
   }
 
