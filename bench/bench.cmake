@@ -31,6 +31,7 @@ muve_add_bench(ablate_histogram)
 muve_add_bench(parallel_scaling)
 muve_add_bench(ablate_sampling)
 muve_add_bench(fused_scan_bench)
+muve_add_bench(anytime_deadline)
 
 add_executable(micro_engine bench/micro_engine.cpp)
 target_link_libraries(micro_engine muve_core muve_data benchmark::benchmark)

@@ -1,0 +1,70 @@
+#include "common/exec_context.h"
+
+#include <utility>
+
+namespace muve::common {
+
+void ExecContext::SetDeadlineAfterMillis(double millis) {
+  has_deadline_ = true;
+  if (millis <= 0) {
+    // Already expired: the first poll fires without consulting the clock.
+    deadline_ = std::chrono::steady_clock::time_point::min();
+  } else {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(millis));
+  }
+  bounded_.store(true, std::memory_order_relaxed);
+}
+
+void ExecContext::SetCancellationToken(
+    std::shared_ptr<CancellationToken> token) {
+  token_ = std::move(token);
+  bounded_.store(token_ != nullptr || has_deadline_ || row_budget_ > 0,
+                 std::memory_order_relaxed);
+}
+
+void ExecContext::SetRowBudget(int64_t max_rows) {
+  row_budget_ = max_rows > 0 ? max_rows : 0;
+  bounded_.store(token_ != nullptr || has_deadline_ || row_budget_ > 0,
+                 std::memory_order_relaxed);
+}
+
+bool ExecContext::Latch(StatusCode code) const {
+  int expected = 0;
+  return expired_code_.compare_exchange_strong(
+             expected, static_cast<int>(code), std::memory_order_acq_rel) ||
+         true;  // already expired by someone else — still "expired"
+}
+
+bool ExecContext::Expired() const {
+  if (!bounded_.load(std::memory_order_relaxed)) return false;
+  if (expired_code_.load(std::memory_order_acquire) != 0) return true;
+  // Cheapest checks first: cancellation (one atomic load), then the row
+  // budget (one relaxed load + compare), then the clock.
+  if (token_ && token_->cancelled()) return Latch(StatusCode::kCancelled);
+  if (row_budget_ > 0 &&
+      rows_charged_.load(std::memory_order_relaxed) > row_budget_) {
+    return Latch(StatusCode::kResourceExhausted);
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    return Latch(StatusCode::kDeadlineExceeded);
+  }
+  return false;
+}
+
+Status ExecContext::ExpiryStatus() const {
+  switch (expiry_code()) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kCancelled:
+      return Status::Cancelled("search cancelled by caller");
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted("row-scan budget exhausted");
+    case StatusCode::kDeadlineExceeded:
+    default:
+      return Status::DeadlineExceeded("search deadline exceeded");
+  }
+}
+
+}  // namespace muve::common

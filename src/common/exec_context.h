@@ -1,0 +1,132 @@
+// Execution control for bounded, cancellable, anytime searches.
+//
+// A search that serves interactive traffic must return in bounded time with
+// whatever it has found so far, not run to completion or die.  ExecContext
+// is the contract object for that: it carries an optional monotonic
+// wall-clock deadline, an optional shared CancellationToken, and an optional
+// row-scan budget.  The search stack polls `Expired()` at natural work
+// boundaries (per view, per bin count, per vertical round, per fused-scan
+// morsel, per base-histogram build) and, when it fires, stops starting new
+// work and returns the partial result built so far together with a
+// completeness report (core/exec_stats.h).
+//
+// Expiry is *sticky* and records its first cause: once any bound trips, the
+// context stays expired with that StatusCode (kDeadlineExceeded, kCancelled
+// or kResourceExhausted) even if, say, the clock answer would flap or more
+// budget is notionally available.  This makes concurrent polls race-free and
+// the degradation decision deterministic per run.
+//
+// Thread safety: configure (Set*) before sharing the context with workers;
+// after that, Expired() / ChargeRows() / expiry_code() are safe to call
+// concurrently from any thread.  An unbounded context (the default) answers
+// Expired() with a single relaxed load and never takes a lock or reads the
+// clock, so threading a context through hot loops costs nothing when no
+// bound is set.
+
+#ifndef MUVE_COMMON_EXEC_CONTEXT_H_
+#define MUVE_COMMON_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+
+namespace muve::common {
+
+// A shared cancel flag: the owner (e.g. a frontend handling a user's
+// "stop") calls Cancel(); every search holding the token observes it at
+// the next boundary poll.  Copyable via shared_ptr; cheap to test.
+class CancellationToken {
+ public:
+  CancellationToken() : cancelled_(false) {}
+
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> cancelled_;
+};
+
+class ExecContext {
+ public:
+  // Default: unbounded.  Expired() is always false, ChargeRows() only
+  // counts.
+  ExecContext() = default;
+
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  // --- Configuration (call before sharing across threads) ---
+
+  // Sets a wall-clock deadline `millis` from now (steady clock).  millis
+  // <= 0 means the deadline has already passed: the very first Expired()
+  // poll fires.  Calling again replaces the previous deadline.
+  void SetDeadlineAfterMillis(double millis);
+
+  // Attaches a cancellation token; polls observe token->cancelled().
+  void SetCancellationToken(std::shared_ptr<CancellationToken> token);
+
+  // Caps the total rows charged via ChargeRows() across all threads.
+  // `max_rows` <= 0 clears the budget (unbounded).  The cap is best-effort
+  // under concurrency: workers poll at boundaries, so a run may scan a few
+  // morsels past the cap before every worker observes expiry.
+  void SetRowBudget(int64_t max_rows);
+
+  // --- Runtime (thread-safe) ---
+
+  // Adds `rows` to the shared scanned-row counter.  Cheap (one relaxed
+  // fetch_add); does not itself check the budget — Expired() does.
+  void ChargeRows(int64_t rows) {
+    if (rows > 0) rows_charged_.fetch_add(rows, std::memory_order_relaxed);
+  }
+
+  int64_t rows_charged() const {
+    return rows_charged_.load(std::memory_order_relaxed);
+  }
+
+  // True once any bound has tripped.  First call that observes a tripped
+  // bound latches the cause; later calls return true without re-checking.
+  // On an unbounded context this is a single relaxed load.
+  bool Expired() const;
+
+  // kOk while not expired; else the first cause (kDeadlineExceeded,
+  // kCancelled, kResourceExhausted).
+  StatusCode expiry_code() const {
+    return static_cast<StatusCode>(
+        expired_code_.load(std::memory_order_acquire));
+  }
+
+  // OK while not expired; else an error Status describing the first cause.
+  Status ExpiryStatus() const;
+
+  bool bounded() const { return bounded_.load(std::memory_order_relaxed); }
+
+ private:
+  // Tries to latch `code` as the expiry cause; first writer wins.
+  bool Latch(StatusCode code) const;
+
+  std::atomic<bool> bounded_{false};
+
+  // StatusCode::kOk (0) while alive; else the first tripped cause.
+  mutable std::atomic<int> expired_code_{0};
+
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+
+  std::shared_ptr<CancellationToken> token_;
+
+  int64_t row_budget_ = 0;  // 0 = unbounded
+  std::atomic<int64_t> rows_charged_{0};
+};
+
+// Null-tolerant poll helper: strategies hold `ExecContext*` that is
+// nullptr on unbounded runs.
+inline bool Expired(const ExecContext* ctx) {
+  return ctx != nullptr && ctx->Expired();
+}
+
+}  // namespace muve::common
+
+#endif  // MUVE_COMMON_EXEC_CONTEXT_H_

@@ -1,0 +1,169 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+namespace muve::common {
+namespace {
+
+struct FailpointSpec {
+  FailpointAction action = FailpointAction::kOff;
+  int delay_ms = 0;  // only for kDelay
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, FailpointSpec> sites;
+  bool env_loaded = false;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leaked: no exit-order issues
+  return *registry;
+}
+
+// Parses a single spec ("error", "delay(5ms)", ...).  Returns false on a
+// malformed spec.
+bool ParseSpec(const std::string& spec, FailpointSpec* out) {
+  if (spec == "off") {
+    out->action = FailpointAction::kOff;
+    return true;
+  }
+  if (spec == "error") {
+    out->action = FailpointAction::kError;
+    return true;
+  }
+  if (spec == "oom") {
+    out->action = FailpointAction::kOom;
+    return true;
+  }
+  if (spec == "throw") {
+    out->action = FailpointAction::kThrow;
+    return true;
+  }
+  // delay(<N>ms)
+  const std::string prefix = "delay(";
+  if (spec.size() > prefix.size() + 3 && spec.compare(0, prefix.size(), prefix) == 0 &&
+      spec.compare(spec.size() - 3, 3, "ms)") == 0) {
+    const std::string digits =
+        spec.substr(prefix.size(), spec.size() - prefix.size() - 3);
+    if (digits.empty()) return false;
+    int value = 0;
+    for (char c : digits) {
+      if (c < '0' || c > '9') return false;
+      value = value * 10 + (c - '0');
+      if (value > 60'000) return false;  // cap injected sleeps at 1 min
+    }
+    out->action = FailpointAction::kDelay;
+    out->delay_ms = value;
+    return true;
+  }
+  return false;
+}
+
+// Must hold registry.mu.
+Status ConfigureLocked(Registry& registry, const std::string& config) {
+  size_t pos = 0;
+  while (pos <= config.size()) {
+    size_t end = config.find(';', pos);
+    if (end == std::string::npos) end = config.size();
+    const std::string entry = config.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("malformed failpoint entry: '" + entry +
+                                     "' (want site=spec)");
+    }
+    const std::string site = entry.substr(0, eq);
+    const std::string spec = entry.substr(eq + 1);
+    FailpointSpec parsed;
+    if (!ParseSpec(spec, &parsed)) {
+      return Status::InvalidArgument("malformed failpoint spec for '" + site +
+                                     "': '" + spec + "'");
+    }
+    if (parsed.action == FailpointAction::kOff) {
+      registry.sites.erase(site);
+    } else {
+      registry.sites[site] = parsed;
+    }
+  }
+  return Status::OK();
+}
+
+// Must hold registry.mu.  Loads MUVE_FAILPOINTS from the environment on
+// the first registry access; a malformed env var is ignored (the process
+// must not die because of a typo in a debugging knob).
+void MaybeLoadEnvLocked(Registry& registry) {
+  if (registry.env_loaded) return;
+  registry.env_loaded = true;
+  const char* env = std::getenv("MUVE_FAILPOINTS");
+  if (env != nullptr && env[0] != '\0') {
+    (void)ConfigureLocked(registry, env);
+  }
+}
+
+}  // namespace
+
+bool FailpointsCompiledIn() {
+#ifdef MUVE_FAILPOINTS
+  return true;
+#else
+  return false;
+#endif
+}
+
+FailpointAction FailpointHit(const char* site) {
+  Registry& registry = GetRegistry();
+  FailpointSpec spec;
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    MaybeLoadEnvLocked(registry);
+    auto it = registry.sites.find(site);
+    if (it == registry.sites.end()) return FailpointAction::kOff;
+    spec = it->second;
+  }
+  if (spec.action == FailpointAction::kDelay && spec.delay_ms > 0) {
+    // Sleep outside the lock so concurrent sites don't serialize.
+    std::this_thread::sleep_for(std::chrono::milliseconds(spec.delay_ms));
+  }
+  return spec.action;
+}
+
+Status SetFailpoint(const std::string& site, const std::string& spec) {
+  if (site.empty()) return Status::InvalidArgument("empty failpoint site");
+  FailpointSpec parsed;
+  if (!ParseSpec(spec, &parsed)) {
+    return Status::InvalidArgument("malformed failpoint spec for '" + site +
+                                   "': '" + spec + "'");
+  }
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  MaybeLoadEnvLocked(registry);
+  if (parsed.action == FailpointAction::kOff) {
+    registry.sites.erase(site);
+  } else {
+    registry.sites[site] = parsed;
+  }
+  return Status::OK();
+}
+
+Status ConfigureFailpointsFromString(const std::string& config) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  MaybeLoadEnvLocked(registry);
+  return ConfigureLocked(registry, config);
+}
+
+void ClearFailpoints() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  MaybeLoadEnvLocked(registry);
+  registry.sites.clear();
+}
+
+}  // namespace muve::common

@@ -1,0 +1,83 @@
+// Deterministic fault injection for robustness tests.
+//
+// A *failpoint* is a named site in production code where a test (or an
+// operator chasing a bug) can inject a failure without touching the code:
+//
+//   switch (MUVE_FAILPOINT("csv.read")) {
+//     case common::FailpointAction::kError:
+//       return common::Status::IoError("failpoint csv.read");
+//     default:
+//       break;
+//   }
+//
+// Sites are compiled in only when the build defines MUVE_FAILPOINTS
+// (cmake -DMUVE_FAILPOINTS=ON); otherwise MUVE_FAILPOINT(site) folds to
+// kOff and the production binary carries zero overhead.  The registry
+// itself (this header's functions) is always compiled so tests can probe
+// FailpointsCompiledIn() and skip gracefully.
+//
+// Activation, in either build, is config-driven:
+//   - env var, read once lazily:  MUVE_FAILPOINTS=csv.read=error;cache.insert=oom
+//   - programmatic:               SetFailpoint("fused_scan.morsel", "delay(5ms)")
+//
+// Spec grammar (per site):  off | error | oom | throw | delay(<N>ms)
+//   error  -> the site returns its natural error Status
+//   oom    -> the site behaves as if an allocation was refused
+//   throw  -> the site throws FailpointError (exercises exception paths)
+//   delay  -> the site sleeps N ms, then proceeds normally (exercises
+//             deadline interactions; the sleep happens inside FailpointHit
+//             and the caller sees kDelay after waking)
+//
+// Known sites: csv.read, fused_scan.morsel, cache.insert, thread_pool.task.
+// The registry accepts any name, so adding a site needs no central edit.
+
+#ifndef MUVE_COMMON_FAILPOINT_H_
+#define MUVE_COMMON_FAILPOINT_H_
+
+#include <stdexcept>
+#include <string>
+
+#include "common/status.h"
+
+namespace muve::common {
+
+enum class FailpointAction { kOff, kError, kOom, kThrow, kDelay };
+
+// Thrown by sites configured with "throw".
+class FailpointError : public std::runtime_error {
+ public:
+  explicit FailpointError(const std::string& site)
+      : std::runtime_error("failpoint " + site + " threw") {}
+};
+
+// True when the build compiles MUVE_FAILPOINT sites in (MUVE_FAILPOINTS
+// defined).  Tests that rely on injection should GTEST_SKIP otherwise.
+bool FailpointsCompiledIn();
+
+// Looks up `site` in the registry (loading MUVE_FAILPOINTS from the
+// environment on first call).  For a "delay(Nms)" spec this sleeps N ms
+// before returning kDelay.  Thread-safe.
+FailpointAction FailpointHit(const char* site);
+
+// Programmatic (test) configuration.  `spec` follows the grammar above;
+// "off" removes the site.  Returns InvalidArgument on a malformed spec.
+Status SetFailpoint(const std::string& site, const std::string& spec);
+
+// Parses "site=spec;site=spec;..." (the env-var syntax) into the registry.
+// Empty segments are ignored.  Stops at the first malformed entry.
+Status ConfigureFailpointsFromString(const std::string& config);
+
+// Deactivates every failpoint (tests call this in TearDown).
+void ClearFailpoints();
+
+}  // namespace muve::common
+
+// Compile-time gate: call sites cost nothing unless MUVE_FAILPOINTS is
+// defined by the build.
+#ifdef MUVE_FAILPOINTS
+#define MUVE_FAILPOINT(site) (::muve::common::FailpointHit(site))
+#else
+#define MUVE_FAILPOINT(site) (::muve::common::FailpointAction::kOff)
+#endif
+
+#endif  // MUVE_COMMON_FAILPOINT_H_

@@ -24,6 +24,12 @@ const char* StatusCodeName(StatusCode code) {
       return "type_mismatch";
     case StatusCode::kIoError:
       return "io_error";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
   }
   return "unknown";
 }

@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <optional>
 #include <ostream>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
@@ -28,6 +29,14 @@ enum class StatusCode {
   kParseError,
   kTypeMismatch,
   kIoError,
+  // Execution-control outcomes (common/exec_context.h): a bounded run hit
+  // its wall-clock deadline, was cancelled by its CancellationToken, or
+  // exhausted a resource budget (rows scanned / bytes).  These classify
+  // *graceful degradation*, not programming errors: searches that trip
+  // them still return their best partial result.
+  kDeadlineExceeded,
+  kCancelled,
+  kResourceExhausted,
 };
 
 // Returns a stable lowercase name for `code` (e.g. "invalid_argument").
@@ -70,6 +79,15 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -86,6 +104,22 @@ class Status {
 inline std::ostream& operator<<(std::ostream& os, const Status& status) {
   return os << status.ToString();
 }
+
+// Carries a Status across a boundary that can only propagate exceptions
+// (e.g. a worker task running under common::ThreadPool, whose ParallelFor
+// rethrows on the calling thread).  The catcher unwraps `status()` and
+// resumes normal Status/Result flow — the exception is transport, not an
+// error model: non-exception paths must keep returning Status directly.
+class StatusError : public std::runtime_error {
+ public:
+  explicit StatusError(Status status)
+      : std::runtime_error(status.ToString()), status_(std::move(status)) {}
+
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
 
 // A value of type T or an error Status.  Accessing the value of an error
 // result aborts the process (programming error), so callers must check

@@ -1,5 +1,9 @@
 #include "common/thread_pool.h"
 
+#include <utility>
+
+#include "common/failpoint.h"
+
 namespace muve::common {
 
 ThreadPool::ThreadPool(size_t num_workers)
@@ -28,8 +32,24 @@ void ThreadPool::ParallelFor(size_t count,
   if (count == 0) return;
   if (num_workers_ == 1 || count == 1) {
     // Inline, in index order: the serial semantics every parallel scheme
-    // must reduce to at one worker.
-    for (size_t i = 0; i < count; ++i) fn(0, i);
+    // must reduce to at one worker.  Exception semantics must reduce too:
+    // every index still runs, the first exception is rethrown at the end.
+    for (size_t i = 0; i < count; ++i) {
+      try {
+        if (MUVE_FAILPOINT("thread_pool.task") == FailpointAction::kThrow) {
+          throw FailpointError("thread_pool.task");
+        }
+        fn(0, i);
+      } catch (...) {
+        CaptureTaskException();
+      }
+    }
+    std::exception_ptr eptr;
+    {
+      std::lock_guard<std::mutex> lock(exception_mu_);
+      eptr = std::exchange(first_exception_, nullptr);
+    }
+    if (eptr) std::rethrow_exception(eptr);
     return;
   }
 
@@ -55,6 +75,16 @@ void ThreadPool::ParallelFor(size_t count,
                   [this] { return workers_finished_ == num_workers_ - 1; });
     fn_ = nullptr;
   }
+
+  // Surface a task failure on the caller's thread, after the round has
+  // fully drained (every background worker is back to waiting, so the
+  // pool is reusable even when this throws).
+  std::exception_ptr eptr;
+  {
+    std::lock_guard<std::mutex> lock(exception_mu_);
+    eptr = std::exchange(first_exception_, nullptr);
+  }
+  if (eptr) std::rethrow_exception(eptr);
 }
 
 void ThreadPool::WorkerLoop(size_t id) {
@@ -82,13 +112,28 @@ void ThreadPool::RunShard(size_t id) {
   size_t index;
   for (;;) {
     if (PopOwn(id, &index) || StealFromSiblings(id, &index)) {
-      fn(id, index);
+      // A throwing task must not escape a worker thread (std::terminate);
+      // capture it and keep draining so the round's exactly-once and
+      // completion bookkeeping stay intact.
+      try {
+        if (MUVE_FAILPOINT("thread_pool.task") == FailpointAction::kThrow) {
+          throw FailpointError("thread_pool.task");
+        }
+        fn(id, index);
+      } catch (...) {
+        CaptureTaskException();
+      }
       continue;
     }
     // Every shard is empty: indices still in flight belong to workers
     // that will finish them before reporting done.
     return;
   }
+}
+
+void ThreadPool::CaptureTaskException() {
+  std::lock_guard<std::mutex> lock(exception_mu_);
+  if (!first_exception_) first_exception_ = std::current_exception();
 }
 
 bool ThreadPool::PopOwn(size_t id, size_t* index) {

@@ -17,8 +17,14 @@
 //   * ParallelFor blocks until every index has finished; it must not be
 //     called concurrently from two threads or reentrantly from inside
 //     `fn`.
-//   * Tasks must not throw (the library is no-exception on hot paths);
-//     report failure through captured state instead.
+//   * A task that throws no longer brings the process down: the pool
+//     captures the first exception (std::exception_ptr), keeps draining
+//     the remaining indices (so the exactly-once contract holds and the
+//     round's bookkeeping stays consistent), and rethrows on the CALLING
+//     thread after the round completes.  The library itself is
+//     no-exception on hot paths — this exists so third-party callbacks
+//     and injected faults degrade to a caller-side error instead of
+//     std::terminate.
 //
 // The pool is cheap enough to construct per recommendation request but
 // reusable across any number of ParallelFor rounds (the MuVE-MuVE
@@ -32,6 +38,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -53,7 +60,9 @@ class ThreadPool {
   size_t num_workers() const { return num_workers_; }
 
   // Runs fn(worker_id, index) for every index in [0, count), work-stealing
-  // across workers; blocks the caller (worker 0) until all are done.
+  // across workers; blocks the caller (worker 0) until all are done.  If
+  // any task threw, rethrows the first captured exception here (on the
+  // caller's thread) after every index has been attempted.
   void ParallelFor(size_t count,
                    const std::function<void(size_t, size_t)>& fn);
 
@@ -69,6 +78,8 @@ class ThreadPool {
   void RunShard(size_t id);
   bool PopOwn(size_t id, size_t* index);
   bool StealFromSiblings(size_t id, size_t* index);
+  // Records std::current_exception() as the round's failure; first wins.
+  void CaptureTaskException();
 
   const size_t num_workers_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -81,6 +92,11 @@ class ThreadPool {
   size_t workers_finished_ = 0;      // background workers done this round
   const std::function<void(size_t, size_t)>* fn_ = nullptr;
   bool stop_ = false;
+
+  // First exception thrown by any task this round; rethrown by
+  // ParallelFor on the calling thread once the round has drained.
+  std::mutex exception_mu_;
+  std::exception_ptr first_exception_;
 };
 
 }  // namespace muve::common

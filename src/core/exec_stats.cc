@@ -6,6 +6,15 @@
 
 namespace muve::core {
 
+void ExecCompleteness::Merge(const ExecCompleteness& other) {
+  degraded = degraded || other.degraded;
+  views_fully_searched += other.views_fully_searched;
+  bins_pruned_by_deadline += other.bins_pruned_by_deadline;
+  // Keep the first (already-recorded) cause; adopt the other's only when
+  // this block has none.
+  if (status == common::StatusCode::kOk) status = other.status;
+}
+
 void ExecStats::Merge(const ExecStats& other) {
   target_queries += other.target_queries;
   comparison_queries += other.comparison_queries;
@@ -31,6 +40,7 @@ void ExecStats::Merge(const ExecStats& other) {
   deviation_time_ms += other.deviation_time_ms;
   accuracy_time_ms += other.accuracy_time_ms;
   if (other.num_workers > num_workers) num_workers = other.num_workers;
+  completeness.Merge(other.completeness);
 }
 
 std::string ExecStats::ToString() const {
@@ -55,6 +65,12 @@ std::string ExecStats::ToString() const {
   if (predicate_rows_filtered > 0 || setup_time_ms > 0.0) {
     out << " filtered=" << predicate_rows_filtered
         << " setup=" << common::FormatDouble(setup_time_ms, 3) << "ms";
+  }
+  // Printed only for degraded runs so unbounded output stays unchanged.
+  if (completeness.degraded) {
+    out << " DEGRADED code=" << common::StatusCodeName(completeness.status)
+        << " views_done=" << completeness.views_fully_searched
+        << " bins_deadline_pruned=" << completeness.bins_pruned_by_deadline;
   }
   return out.str();
 }

@@ -13,7 +13,32 @@
 #include <cstdint>
 #include <string>
 
+#include "common/status.h"
+
 namespace muve::core {
+
+// Completeness report for a bounded (deadline / cancellation / budget)
+// run.  The paper's S-list walk makes MuVE naturally *anytime*: stopping
+// between probes leaves a valid partial top-k, and this block says how
+// partial.  On an unbounded (or unexpired) run `degraded` is false, the
+// counters equal the full workload, and status is kOk.
+struct ExecCompleteness {
+  // True iff execution control actually skipped work.  A run whose
+  // deadline expires after the last probe finished is NOT degraded.
+  bool degraded = false;
+  // Views whose horizontal search ran to its natural end (exhausted the
+  // bin domain, hill-climbing converged, or early-terminated — any
+  // outcome the unbounded run would also have produced).
+  int64_t views_fully_searched = 0;
+  // Bin-count probes skipped because execution control expired (distinct
+  // from the paper's pruning counters, which an unbounded run also has).
+  int64_t bins_pruned_by_deadline = 0;
+  // kOk, or the first cause of degradation: kDeadlineExceeded,
+  // kCancelled, kResourceExhausted.
+  common::StatusCode status = common::StatusCode::kOk;
+
+  void Merge(const ExecCompleteness& other);
+};
 
 struct ExecStats {
   // Operation counts.
@@ -78,6 +103,10 @@ struct ExecStats {
   // and merging two runs reports the wider.  The recommender overwrites
   // this with the actual pool width after the per-worker merge.
   int num_workers = 1;
+
+  // How complete the run was under execution control (deadline /
+  // cancellation / row budget).  Default: complete.
+  ExecCompleteness completeness;
 
   // The paper's total cost C (Eq. 7): sum of the four components.
   double TotalCostMillis() const {

@@ -24,9 +24,15 @@ HorizontalResult HorizontalLinear(ViewEvaluator& evaluator, const View& view,
                                   const SearchOptions& options) {
   ++evaluator.stats().views_searched;
   HorizontalResult result;
-  for (const int bins : domain) {
-    const CandidateResult cand = EvaluateCandidate(
-        evaluator, view, bins, options, kNoThreshold, /*allow_pruning=*/false);
+  for (size_t idx = 0; idx < domain.size(); ++idx) {
+    if (common::Expired(evaluator.exec())) {
+      result.truncated = true;
+      result.bins_skipped = static_cast<int64_t>(domain.size() - idx);
+      break;
+    }
+    const CandidateResult cand =
+        EvaluateCandidate(evaluator, view, domain[idx], options, kNoThreshold,
+                          /*allow_pruning=*/false);
     MUVE_DCHECK(cand.outcome == CandidateResult::Outcome::kFullyEvaluated);
     TakeIfBetter(&result.best, cand.scored);
   }
@@ -63,7 +69,15 @@ HorizontalResult HorizontalHillClimbing(ViewEvaluator& evaluator,
   int current = static_cast<int>(rng.UniformInt(1, max_bins));
   ScoredView best = evaluate(current);
   int step = max_bins;
+  bool truncated = false;
   while (step >= 1) {
+    // Boundary poll: stop climbing once execution control expires.  The
+    // best-so-far is a valid HC answer (the climb just stops early, as
+    // it would on convergence).
+    if (common::Expired(evaluator.exec())) {
+      truncated = true;
+      break;
+    }
     // Consider b - s and b + s; move to the better one if it improves.
     std::optional<ScoredView> move;
     for (const int cand_bins : {current - step, current + step}) {
@@ -84,6 +98,7 @@ HorizontalResult HorizontalHillClimbing(ViewEvaluator& evaluator,
 
   HorizontalResult result;
   result.best = best;
+  result.truncated = truncated;
   return result;
 }
 
@@ -94,7 +109,17 @@ HorizontalResult HorizontalMuve(ViewEvaluator& evaluator, const View& view,
   ++evaluator.stats().views_searched;
   HorizontalResult result;
   double u_seen = initial_threshold;
-  for (const int bins : domain) {
+  for (size_t idx = 0; idx < domain.size(); ++idx) {
+    const int bins = domain[idx];
+    // Execution-control poll FIRST: an expired run must not keep probing
+    // even when early termination would not have fired yet.  (An
+    // unexpired run falls straight through, so the probe sequence — and
+    // hence the early-termination point — is untouched.)
+    if (common::Expired(evaluator.exec())) {
+      result.truncated = true;
+      result.bins_skipped = static_cast<int64_t>(domain.size() - idx);
+      break;
+    }
     // Early termination: every later domain entry has strictly lower S,
     // so once the bound falls below U_seen nothing ahead can win.
     const double u_max = UtilityUpperBound(options.weights, Usability(bins));

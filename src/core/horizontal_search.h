@@ -32,6 +32,16 @@ struct HorizontalResult {
   // enter the top-k).
   std::optional<ScoredView> best;
   bool early_terminated = false;
+  // Execution control tripped mid-search: `best` reflects only the bin
+  // counts probed before expiry (a valid partial answer — the strategies
+  // never return a half-evaluated candidate).  `bins_skipped` counts the
+  // domain entries never probed (Linear/MuVE; Hill Climbing reports 0 —
+  // its remaining trajectory has no fixed length to count).  All checks
+  // happen BETWEEN candidates via the evaluator's ExecContext, so an
+  // unexpired run takes the exact same probe sequence as an unbounded
+  // one.
+  bool truncated = false;
+  int64_t bins_skipped = 0;
 };
 
 // Exhaustive scan of `domain` (ascending bin counts).

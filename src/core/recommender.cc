@@ -1,13 +1,17 @@
 #include "core/recommender.h"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
 #include <limits>
 #include <memory>
 #include <sstream>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -90,13 +94,28 @@ std::vector<ScoredView> VerticalLinear(WorkerSet& workers,
   workers.pool().ParallelFor(
       views.size(), [&](size_t worker, size_t i) {
         ViewEvaluator& evaluator = workers.evaluator(worker);
+        ExecCompleteness& comp = evaluator.stats().completeness;
         const View& view = views[i];
         const DimensionInfo& dim = space.dimension_info(view.dimension);
         const std::vector<int> domain =
             BinDomain(options.partition, dim.max_bins);
+        // Boundary poll: an expired run skips whole views (the cheapest
+        // unit of work not yet started); views already in flight finish
+        // their own truncation below.
+        if (common::Expired(evaluator.exec())) {
+          comp.degraded = true;
+          comp.bins_pruned_by_deadline += static_cast<int64_t>(domain.size());
+          return;
+        }
         common::Rng rng = ViewRng(options, i);
         const HorizontalResult result = RunHorizontalSearch(
             evaluator, view, domain, dim.max_bins, options, rng);
+        if (result.truncated) {
+          comp.degraded = true;
+          comp.bins_pruned_by_deadline += result.bins_skipped;
+        } else {
+          ++comp.views_fully_searched;
+        }
         if (result.best.has_value()) tracker.Update(i, *result.best);
       });
   return tracker.TopK();
@@ -126,8 +145,27 @@ std::vector<ScoredView> VerticalMuve(WorkerSet& workers,
 
   std::vector<size_t> round_views;
   round_views.reserve(views.size());
+  // Degradation accounting: the round loop IS the paper's S-list walk,
+  // so stopping between rounds (or skipping in-round candidates) leaves
+  // a valid anytime prefix of the exact search.
+  std::atomic<bool> degraded{false};
   for (size_t r = 0; r < max_len; ++r) {
     const int bins_r = SequenceBins(options.partition, r);
+    // Boundary poll per round: on expiry, charge every not-yet-walked
+    // S-list entry as deadline-pruned and stop.
+    if (common::Expired(workers.main().exec())) {
+      int64_t remaining = 0;
+      for (const std::vector<int>& domain : domains) {
+        if (r < domain.size()) {
+          remaining += static_cast<int64_t>(domain.size() - r);
+        }
+      }
+      ExecCompleteness& comp = workers.main().stats().completeness;
+      comp.degraded = true;
+      comp.bins_pruned_by_deadline += remaining;
+      degraded.store(true, std::memory_order_relaxed);
+      break;
+    }
     // Global early termination: every candidate from this round on (any
     // view) has usability <= 1/bins_r.
     if (options.enable_early_termination &&
@@ -142,15 +180,32 @@ std::vector<ScoredView> VerticalMuve(WorkerSet& workers,
     }
     workers.pool().ParallelFor(
         round_views.size(), [&](size_t worker, size_t j) {
+          ViewEvaluator& evaluator = workers.evaluator(worker);
+          // In-round poll: expiry mid-round skips the remaining
+          // candidates of THIS round; the round loop then stops at its
+          // own boundary check.
+          if (common::Expired(evaluator.exec())) {
+            ExecCompleteness& comp = evaluator.stats().completeness;
+            comp.degraded = true;
+            ++comp.bins_pruned_by_deadline;
+            degraded.store(true, std::memory_order_relaxed);
+            return;
+          }
           const size_t i = round_views[j];
           MUVE_DCHECK(domains[i][r] == bins_r);
           const CandidateResult cand = EvaluateCandidate(
-              workers.evaluator(worker), views[i], domains[i][r], options,
+              evaluator, views[i], domains[i][r], options,
               tracker.Threshold(), /*allow_pruning=*/true);
           if (cand.outcome == CandidateResult::Outcome::kFullyEvaluated) {
             tracker.Update(i, cand.scored);
           }
         });
+  }
+  if (!degraded.load(std::memory_order_relaxed)) {
+    // The walk ended the way the unbounded walk would have (domains
+    // exhausted or global early termination): every view completed.
+    workers.main().stats().completeness.views_fully_searched +=
+        static_cast<int64_t>(views.size());
   }
   return tracker.TopK();
 }
@@ -180,14 +235,24 @@ std::vector<ScoredView> VerticalSharedLinear(WorkerSet& workers,
   workers.pool().ParallelFor(
       dimension_order.size(), [&](size_t worker, size_t d) {
         ViewEvaluator& evaluator = workers.evaluator(worker);
+        ExecCompleteness& comp = evaluator.stats().completeness;
         const std::vector<size_t>& group = groups[dimension_order[d]];
         const DimensionInfo& dim = space.dimension_info(dimension_order[d]);
         if (dim.categorical) {
-          for (size_t idx : group) {
+          for (size_t g = 0; g < group.size(); ++g) {
+            // Boundary poll per categorical view (each is one group-by).
+            if (common::Expired(evaluator.exec())) {
+              comp.degraded = true;
+              comp.bins_pruned_by_deadline +=
+                  static_cast<int64_t>(group.size() - g);
+              return;
+            }
+            const size_t idx = group[g];
             const CandidateResult cand = EvaluateCandidate(
                 evaluator, views[idx], 1, options, kNoThreshold,
                 /*allow_pruning=*/false);
             tracker.Update(idx, cand.scored);
+            ++comp.views_fully_searched;
           }
           return;
         }
@@ -196,7 +261,16 @@ std::vector<ScoredView> VerticalSharedLinear(WorkerSet& workers,
         for (size_t idx : group) batch.push_back(views[idx]);
         const std::vector<int> domain =
             BinDomain(options.partition, dim.max_bins);
-        for (const int bins : domain) {
+        for (size_t b = 0; b < domain.size(); ++b) {
+          const int bins = domain[b];
+          // Boundary poll per shared bin count: skipping one bin skips it
+          // for the whole batch.
+          if (common::Expired(evaluator.exec())) {
+            comp.degraded = true;
+            comp.bins_pruned_by_deadline +=
+                static_cast<int64_t>((domain.size() - b) * group.size());
+            return;
+          }
           const ViewEvaluator::BatchScores scores =
               evaluator.EvaluateSharedBatch(batch, bins);
           evaluator.stats().candidates_considered +=
@@ -215,6 +289,7 @@ std::vector<ScoredView> VerticalSharedLinear(WorkerSet& workers,
             tracker.Update(group[g], scored);
           }
         }
+        comp.views_fully_searched += static_cast<int64_t>(group.size());
       });
   return tracker.TopK();
 }
@@ -235,10 +310,18 @@ std::vector<ScoredView> VerticalRefinement(WorkerSet& workers,
 
   workers.pool().ParallelFor(
       views.size(), [&](size_t worker, size_t i) {
+        ViewEvaluator& evaluator = workers.evaluator(worker);
+        // Boundary poll per first-pass probe.
+        if (common::Expired(evaluator.exec())) {
+          ExecCompleteness& comp = evaluator.stats().completeness;
+          comp.degraded = true;
+          ++comp.bins_pruned_by_deadline;
+          return;
+        }
         const DimensionInfo& dim = space.dimension_info(views[i].dimension);
         const int def = std::min(options.refinement_default_bins, dim.max_bins);
         const CandidateResult cand = EvaluateCandidate(
-            workers.evaluator(worker), views[i], def, options,
+            evaluator, views[i], def, options,
             tracker.Threshold(), muve_pruning);
         if (cand.outcome == CandidateResult::Outcome::kFullyEvaluated) {
           tracker.Update(i, cand.scored);
@@ -248,11 +331,27 @@ std::vector<ScoredView> VerticalRefinement(WorkerSet& workers,
   std::vector<ScoredView> selected = tracker.TopK();
   std::vector<ScoredView> refined;
   refined.reserve(selected.size());
+  ExecCompleteness& main_comp = workers.main().stats().completeness;
   for (const ScoredView& sv : selected) {
     const DimensionInfo& dim = space.dimension_info(sv.view.dimension);
     const std::vector<int> domain = BinDomain(options.partition, dim.max_bins);
+    // Boundary poll per refinement: an expired run keeps the first-pass
+    // def-bin score for the remaining selections — still a valid
+    // refinement answer, just unrefined.
+    if (common::Expired(workers.main().exec())) {
+      main_comp.degraded = true;
+      main_comp.bins_pruned_by_deadline += static_cast<int64_t>(domain.size());
+      refined.push_back(sv);
+      continue;
+    }
     const HorizontalResult result = RunHorizontalSearch(
         workers.main(), sv.view, domain, dim.max_bins, options, rng);
+    if (result.truncated) {
+      main_comp.degraded = true;
+      main_comp.bins_pruned_by_deadline += result.bins_skipped;
+    } else {
+      ++main_comp.views_fully_searched;
+    }
     // A full horizontal search always finds at least the def-bin utility.
     refined.push_back(result.best.has_value() ? *result.best : sv);
   }
@@ -288,20 +387,42 @@ std::vector<ScoredView> VerticalSkipping(WorkerSet& workers,
   workers.pool().ParallelFor(
       dimension_order.size(), [&](size_t worker, size_t d) {
         ViewEvaluator& evaluator = workers.evaluator(worker);
+        ExecCompleteness& comp = evaluator.stats().completeness;
         const std::vector<size_t>& group = groups[dimension_order[d]];
         const DimensionInfo& dim = space.dimension_info(dimension_order[d]);
         const std::vector<int> domain =
             BinDomain(options.partition, dim.max_bins);
 
+        // Boundary poll per dimension: skipping one dimension skips its
+        // representative search AND the per-member probes.
+        if (common::Expired(evaluator.exec())) {
+          comp.degraded = true;
+          comp.bins_pruned_by_deadline += static_cast<int64_t>(
+              domain.size() + (group.size() - 1));
+          return;
+        }
         const size_t rep = group.front();
         common::Rng rng = ViewRng(options, rep);
         const HorizontalResult rep_result = RunHorizontalSearch(
             evaluator, views[rep], domain, dim.max_bins, options, rng);
+        if (rep_result.truncated) {
+          comp.degraded = true;
+          comp.bins_pruned_by_deadline += rep_result.bins_skipped;
+        } else {
+          ++comp.views_fully_searched;
+        }
         if (!rep_result.best.has_value()) return;
         tracker.Update(rep, *rep_result.best);
         const int opt_bins = rep_result.best->bins;
 
         for (size_t j = 1; j < group.size(); ++j) {
+          // Boundary poll per member probe.
+          if (common::Expired(evaluator.exec())) {
+            comp.degraded = true;
+            comp.bins_pruned_by_deadline +=
+                static_cast<int64_t>(group.size() - j);
+            return;
+          }
           const size_t idx = group[j];
           const CandidateResult cand =
               EvaluateCandidate(evaluator, views[idx], opt_bins, options,
@@ -309,6 +430,7 @@ std::vector<ScoredView> VerticalSkipping(WorkerSet& workers,
           if (cand.outcome == CandidateResult::Outcome::kFullyEvaluated) {
             tracker.Update(idx, cand.scored);
           }
+          ++comp.views_fully_searched;
         }
       });
   return tracker.TopK();
@@ -340,6 +462,23 @@ common::Result<Recommender> Recommender::Create(data::Dataset dataset) {
 common::Result<Recommendation> Recommender::Recommend(
     const SearchOptions& options) const {
   MUVE_RETURN_IF_ERROR(options.Validate());
+
+  // Execution control for this run: one context shared (by pointer) with
+  // every worker evaluator, the strategies' boundary polls, and the fused
+  // scan engine.  The deadline clock starts HERE — option validation is
+  // the only work not covered by it.  Unbounded when no knob is set, in
+  // which case every poll is a single relaxed load.
+  common::ExecContext ctx;
+  if (options.deadline_ms >= 0.0) {
+    ctx.SetDeadlineAfterMillis(options.deadline_ms);
+  }
+  if (options.cancel_token != nullptr) {
+    ctx.SetCancellationToken(options.cancel_token);
+  }
+  if (options.max_rows_scanned > 0) {
+    ctx.SetRowBudget(options.max_rows_scanned);
+  }
+
   ViewEvaluator::Options eval_options;
   eval_options.distance = options.distance;
   eval_options.sample_fraction = options.sample_fraction;
@@ -347,12 +486,17 @@ common::Result<Recommendation> Recommender::Recommend(
   eval_options.use_base_histogram_cache = options.base_histogram_cache;
   eval_options.fused_morsel_size = options.fused_morsel_size;
   eval_options.fused_miss_batching = options.fused_miss_batching;
+  eval_options.exec = &ctx;
   if (options.base_histogram_cache) {
     // ONE store per run, shared by every worker evaluator: all workers
     // probe identical row sets (same dataset + sampling draw), so a
     // histogram built by any lane serves them all.
+    storage::BaseHistogramCache::Options cache_options;
+    if (options.max_cache_bytes > 0) {
+      cache_options.max_bytes = options.max_cache_bytes;
+    }
     eval_options.base_cache =
-        std::make_shared<storage::BaseHistogramCache>();
+        std::make_shared<storage::BaseHistogramCache>(cache_options);
   }
 
   // More workers than views can never help; everything degrades to the
@@ -361,36 +505,60 @@ common::Result<Recommendation> Recommender::Recommend(
       static_cast<size_t>(options.num_threads),
       std::max<size_t>(space_.views().size(), 1));
   WorkerSet workers(num_workers, dataset_, space_, eval_options);
-  if (options.base_histogram_cache && options.fused_prewarm) {
-    // Fused prewarm: ONE morsel-parallel pass per side fills the shared
-    // cache with every eligible (A, M) base histogram before any strategy
-    // probes.  Must run here — before the strategy fan-out — because
-    // ParallelFor is not reentrant, so builds triggered inside worker
-    // lanes cannot themselves use the pool.
-    workers.main().PrewarmBaseHistograms(&workers.pool());
-  }
   common::Rng rng(options.hc_seed);
 
   Recommendation rec;
   rec.scheme = options.SchemeName();
-  switch (options.approximation) {
-    case VerticalApproximation::kRefinement:
-      rec.views = VerticalRefinement(workers, space_, options, rng);
-      break;
-    case VerticalApproximation::kSkipping:
-      rec.views = VerticalSkipping(workers, space_, options);
-      break;
-    case VerticalApproximation::kNone:
-      if (options.shared_scans) {
-        rec.views = VerticalSharedLinear(workers, space_, options);
-      } else if (options.vertical == VerticalStrategy::kMuve) {
-        rec.views = VerticalMuve(workers, space_, options);
-      } else {
-        rec.views = VerticalLinear(workers, space_, options);
-      }
-      break;
+  // Worker-task exceptions (third-party distance callbacks, injected
+  // faults) are captured by the pool and rethrown here on the calling
+  // thread; convert them to the library's Status idiom so Recommend()
+  // never leaks an exception OR terminates the process.  The prewarm
+  // fan-out runs the same pool, so it sits inside the same guard.
+  try {
+    if (options.base_histogram_cache && options.fused_prewarm) {
+      // Fused prewarm: ONE morsel-parallel pass per side fills the shared
+      // cache with every eligible (A, M) base histogram before any
+      // strategy probes.  Must run here — before the strategy fan-out —
+      // because ParallelFor is not reentrant, so builds triggered inside
+      // worker lanes cannot themselves use the pool.
+      workers.main().PrewarmBaseHistograms(&workers.pool());
+    }
+    switch (options.approximation) {
+      case VerticalApproximation::kRefinement:
+        rec.views = VerticalRefinement(workers, space_, options, rng);
+        break;
+      case VerticalApproximation::kSkipping:
+        rec.views = VerticalSkipping(workers, space_, options);
+        break;
+      case VerticalApproximation::kNone:
+        if (options.shared_scans) {
+          rec.views = VerticalSharedLinear(workers, space_, options);
+        } else if (options.vertical == VerticalStrategy::kMuve) {
+          rec.views = VerticalMuve(workers, space_, options);
+        } else {
+          rec.views = VerticalLinear(workers, space_, options);
+        }
+        break;
+    }
+  } catch (const common::StatusError& e) {
+    // Typed transport (e.g. a base-histogram build failing on a real or
+    // injected I/O fault): unwrap the original Status so callers see the
+    // true cause, not a generic kInternal.
+    return e.status();
+  } catch (const std::exception& e) {
+    return common::Status::Internal(std::string("search worker failed: ") +
+                                    e.what());
+  } catch (...) {
+    return common::Status::Internal("search worker failed: unknown exception");
   }
   rec.stats = workers.MergedStats();
+  // Completeness finalization: degradation only ever happens after the
+  // context expired, so the first cause recorded by the context IS the
+  // run's degradation code.  A run whose deadline expired after its last
+  // probe is complete, not degraded — `degraded` comes from actual skips.
+  if (rec.stats.completeness.degraded) {
+    rec.stats.completeness.status = ctx.expiry_code();
+  }
   // One-off setup costs measured when the dataset was assembled (load +
   // predicate filtering).  Reported, not added to TotalCostMillis(): the
   // paper's C covers only the four per-probe components.

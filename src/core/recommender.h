@@ -57,6 +57,17 @@ struct Recommendation {
 // Reported time components sum *work* across workers — the paper's
 // total-cost metric (Eq. 7) — not elapsed wall-clock;
 // ExecStats::num_workers records the pool width.
+//
+// Execution control (options.deadline_ms / cancel_token /
+// max_rows_scanned): every Recommend() is *anytime* — when a bound trips
+// mid-run the strategies stop starting probes at their next work
+// boundary and the call still returns OK with the best top-k found so
+// far; ExecStats::completeness reports how partial the run was
+// (degraded flag, first cause as a StatusCode, views fully searched,
+// bin probes skipped).  A run whose bounds never trip is bit-identical
+// to the unbounded run (pinned by tests/core/deadline_test.cc).  Errors
+// (invalid options, worker-task exceptions converted to kInternal) are
+// the only non-OK returns.
 class Recommender {
  public:
   static common::Result<Recommender> Create(data::Dataset dataset);

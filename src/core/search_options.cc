@@ -43,6 +43,10 @@ common::Status SearchOptions::Validate() const {
     return common::Status::InvalidArgument(
         "sample_fraction must lie in (0, 1]");
   }
+  if (max_rows_scanned < 0) {
+    return common::Status::InvalidArgument(
+        "max_rows_scanned must be >= 0 (0 = unbounded)");
+  }
   if (shared_scans &&
       (horizontal != HorizontalStrategy::kLinear ||
        vertical != VerticalStrategy::kLinear ||

@@ -10,8 +10,10 @@
 #define MUVE_CORE_SEARCH_OPTIONS_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "common/exec_context.h"
 #include "common/status.h"
 #include "core/distance.h"
 #include "core/utility.h"
@@ -116,6 +118,35 @@ struct SearchOptions {
   // (pruning and sharing pull in opposite directions; the ablate_sharing
   // bench quantifies the trade).
   bool shared_scans = false;
+
+  // --- Execution control (common/exec_context.h) ---
+  //
+  // A bounded run stops *starting* probes once any bound trips and
+  // returns the best top-k found so far, flagged in
+  // ExecStats::completeness with the first cause.  Guarantee: a run
+  // whose bounds never trip is bit-identical to the unbounded run.
+
+  // Wall-clock deadline in milliseconds from the start of Recommend().
+  // < 0 (default) = unbounded; 0 = already expired (useful for testing
+  // the empty-but-valid degraded path); the deadline is polled at work
+  // boundaries (per view, per bin count, per round, per morsel), so
+  // overshoot is bounded by one probe, not one view.
+  double deadline_ms = -1.0;
+
+  // Cooperative cancellation: the caller keeps the token and calls
+  // Cancel() (e.g. the user navigated away); the search observes it at
+  // the next boundary poll.  nullptr = not cancellable.
+  std::shared_ptr<common::CancellationToken> cancel_token;
+
+  // Caps total rows scanned (build + probe passes) across all workers.
+  // 0 = unbounded.  Best-effort under concurrency: in-flight passes
+  // complete before every worker observes the trip.
+  int64_t max_rows_scanned = 0;
+
+  // Caps the base-histogram cache's resident bytes (0 = the cache's own
+  // default, 64 MiB).  Evictions past the cap degrade to rebuilds, never
+  // to errors.
+  size_t max_cache_bytes = 0;
 
   // Hill Climbing's random starting point.
   uint64_t hc_seed = 0x5EEDB;

@@ -114,26 +114,47 @@ ViewEvaluator::MissingPairs(const std::string* dimension,
   return pairs;
 }
 
+void ViewEvaluator::ChargeProbeRows(int64_t rows) {
+  stats_.rows_scanned += rows;
+  stats_.probe_rows_scanned += rows;
+  if (options_.exec != nullptr) options_.exec->ChargeRows(rows);
+}
+
+void ViewEvaluator::ChargeBuildRows(int64_t rows) {
+  stats_.rows_scanned += rows;
+  stats_.build_rows_scanned += rows;
+  if (options_.exec != nullptr) options_.exec->ChargeRows(rows);
+}
+
 void ViewEvaluator::RunFusedBuild(
     storage::BaseHistogramCache::FusedHistogramBuildRequest request) {
   if (request.pairs.empty()) return;
+  request.exec = options_.exec;
   storage::BaseHistogramCache::FusedBuildOutcome outcome;
   const common::Status status = base_cache_->FusedBuild(
       *dataset_.table, request, &outcome, &fused_scratch_);
-  MUVE_CHECK(status.ok()) << status.ToString();
+  if (!status.ok()) {
+    // Graceful degradation, not a programming error: the fused pass was
+    // aborted between morsels (expired context or injected fault) and
+    // cached nothing.  The caller's GetOrBuild falls back to a direct
+    // single-pair build, so the probe still gets its histogram.
+    return;
+  }
   // One pass = one row-set traversal, whatever the number of pairs it
   // builds; `passes` is 0 when a concurrent builder beat us to all of
   // them, and then nothing is charged.
   stats_.base_builds += outcome.passes;
   stats_.fused_builds += outcome.passes;
-  stats_.rows_scanned += outcome.rows_scanned;
-  stats_.build_rows_scanned += outcome.rows_scanned;
+  ChargeBuildRows(outcome.rows_scanned);
   stats_.morsels_dispatched += outcome.morsels;
 }
 
 void ViewEvaluator::PrewarmBaseHistograms(common::ThreadPool* pool) {
   if (base_cache_ == nullptr) return;
   for (const bool target_side : {true, false}) {
+    // A bounded run that is already out of time skips prewarm entirely:
+    // demand-path probes (if any still run) build exactly what they need.
+    if (common::Expired(options_.exec)) return;
     std::vector<storage::BaseHistogramCache::FusedPairRequest> pairs =
         MissingPairs(/*dimension=*/nullptr, target_side);
     if (pairs.empty()) continue;
@@ -189,14 +210,21 @@ std::shared_ptr<const storage::BaseHistogram> ViewEvaluator::BaseFor(
                                            &fused_scratch_);
       },
       &built);
-  MUVE_CHECK(result.ok()) << result.status().ToString();
+  if (!result.ok()) {
+    // Even the direct single-pair build failed (injected fault or real
+    // I/O error).  BaseFor's callers return values, not Results, so the
+    // Status rides a StatusError up to Recommender::Recommend — possibly
+    // across the thread pool, whose ParallelFor rethrows caller-side —
+    // where it is unwrapped back into the original error Status.  A
+    // scan fault must fail the call gracefully, never abort the process.
+    throw common::StatusError(result.status());
+  }
   if (built) {
-    // Defensive fallback: the fused build's entry was evicted before we
-    // could read it back (possible only under byte budgets smaller than
-    // one side's batch).  Charged like any single-pair build pass.
+    // Fallback build: the fused pass was aborted or its entry was
+    // evicted/refused before we could read it back.  Charged like any
+    // single-pair build pass.
     ++stats_.base_builds;
-    stats_.rows_scanned += static_cast<int64_t>(rows.size());
-    stats_.build_rows_scanned += static_cast<int64_t>(rows.size());
+    ChargeBuildRows(static_cast<int64_t>(rows.size()));
   } else if (!missing) {
     // Probes served from an already-built histogram touch zero rows.
     ++stats_.base_cache_hits;
@@ -222,8 +250,7 @@ storage::BinnedResult ViewEvaluator::ExecuteBinnedTarget(const View& view,
           *BaseFor(view, /*target_side=*/true), view.function, bins,
           dim.lo, dim.hi));
     }
-    stats_.rows_scanned += static_cast<int64_t>(target_rows_.size());
-    stats_.probe_rows_scanned += static_cast<int64_t>(target_rows_.size());
+    ChargeProbeRows(static_cast<int64_t>(target_rows_.size()));
     return storage::BinnedAggregate(*dataset_.table, target_rows_,
                                     view.dimension, view.measure,
                                     view.function, bins, dim.lo, dim.hi);
@@ -251,8 +278,7 @@ storage::BinnedResult ViewEvaluator::ExecuteBinnedComparison(const View& view,
           *BaseFor(view, /*target_side=*/false), view.function, bins,
           dim.lo, dim.hi));
     }
-    stats_.rows_scanned += static_cast<int64_t>(all_rows_.size());
-    stats_.probe_rows_scanned += static_cast<int64_t>(all_rows_.size());
+    ChargeProbeRows(static_cast<int64_t>(all_rows_.size()));
     return storage::BinnedAggregate(*dataset_.table, all_rows_,
                                     view.dimension, view.measure,
                                     view.function, bins, dim.lo, dim.hi);
@@ -290,8 +316,7 @@ const ViewEvaluator::RawSeries& ViewEvaluator::RawTargetSeries(
       MUVE_CHECK(d.ok()) << d.status().ToString();
       series.keys.push_back(*d);
     }
-    stats_.rows_scanned += static_cast<int64_t>(target_rows_.size());
-    stats_.probe_rows_scanned += static_cast<int64_t>(target_rows_.size());
+    ChargeProbeRows(static_cast<int64_t>(target_rows_.size()));
   }
   const double ms = timer.ElapsedMillis();
   // The raw series is an input to the accuracy objective; its (one-off)
@@ -333,8 +358,7 @@ double ViewEvaluator::EvaluateCategoricalDeviation(const View& view) {
   const double comparison_ms = comparison_timer.ElapsedMillis();
   stats_.comparison_time_ms += comparison_ms;
   ++stats_.comparison_queries;
-  stats_.rows_scanned += static_cast<int64_t>(all_rows_.size());
-  stats_.probe_rows_scanned += static_cast<int64_t>(all_rows_.size());
+  ChargeProbeRows(static_cast<int64_t>(all_rows_.size()));
   cost_model_.Observe(CostKind::kComparisonQuery, comparison_ms);
 
   common::Stopwatch target_timer;
@@ -346,8 +370,7 @@ double ViewEvaluator::EvaluateCategoricalDeviation(const View& view) {
   const double target_ms = target_timer.ElapsedMillis();
   stats_.target_time_ms += target_ms;
   ++stats_.target_queries;
-  stats_.rows_scanned += static_cast<int64_t>(target_rows_.size());
-  stats_.probe_rows_scanned += static_cast<int64_t>(target_rows_.size());
+  ChargeProbeRows(static_cast<int64_t>(target_rows_.size()));
   cost_model_.Observe(CostKind::kTargetQuery, target_ms);
 
   common::Stopwatch distance_timer;
@@ -449,8 +472,7 @@ ViewEvaluator::BatchScores ViewEvaluator::EvaluateSharedBatch(
         *dataset_.table, target_rows_, views[0].dimension, specs, bins,
         dim.lo, dim.hi);
     MUVE_CHECK(multi.ok()) << multi.status().ToString();
-    stats_.rows_scanned += static_cast<int64_t>(target_rows_.size());
-    stats_.probe_rows_scanned += static_cast<int64_t>(target_rows_.size());
+    ChargeProbeRows(static_cast<int64_t>(target_rows_.size()));
     for (size_t j = 0; j < ineligible.size(); ++j) {
       targets[ineligible[j]] = std::move((*multi)[j]);
     }
@@ -473,8 +495,7 @@ ViewEvaluator::BatchScores ViewEvaluator::EvaluateSharedBatch(
         *dataset_.table, all_rows_, views[0].dimension, specs, bins,
         dim.lo, dim.hi);
     MUVE_CHECK(multi.ok()) << multi.status().ToString();
-    stats_.rows_scanned += static_cast<int64_t>(all_rows_.size());
-    stats_.probe_rows_scanned += static_cast<int64_t>(all_rows_.size());
+    ChargeProbeRows(static_cast<int64_t>(all_rows_.size()));
     for (size_t j = 0; j < ineligible.size(); ++j) {
       comparisons[ineligible[j]] = std::move((*multi)[j]);
     }
@@ -508,8 +529,7 @@ ViewEvaluator::BatchScores ViewEvaluator::EvaluateSharedBatch(
     auto raw = storage::MultiGroupByAggregate(
         *dataset_.table, target_rows_, views[0].dimension, missing_specs);
     MUVE_CHECK(raw.ok()) << raw.status().ToString();
-    stats_.rows_scanned += static_cast<int64_t>(target_rows_.size());
-    stats_.probe_rows_scanned += static_cast<int64_t>(target_rows_.size());
+    ChargeProbeRows(static_cast<int64_t>(target_rows_.size()));
     for (size_t m = 0; m < missing.size(); ++m) {
       RawSeries series;
       series.aggregates = (*raw)[m].aggregates;

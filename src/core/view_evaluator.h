@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "core/cost_model.h"
 #include "core/distance.h"
 #include "core/exec_stats.h"
@@ -90,6 +91,17 @@ struct ViewEvaluatorOptions {
   // default.  Miss-batch builds run inline (no pool — they fire inside
   // worker lanes); PrewarmBaseHistograms takes the pool explicitly.
   size_t fused_morsel_size = 0;
+
+  // Execution control (deadline / cancellation / row budget), or nullptr
+  // for an unbounded run.  The evaluator never aborts a probe mid-flight
+  // — in-flight work completes so results stay well-formed — but it (a)
+  // charges every row-set traversal into the context's row budget, (b)
+  // skips prewarm sides once expired, and (c) lets an expired context
+  // abort *fused* builds between morsels (the probe then falls back to a
+  // direct single-pair build, so the answer is still produced).  The
+  // strategies poll the same context at their own boundaries; see
+  // common/exec_context.h.  Must outlive the evaluator.
+  common::ExecContext* exec = nullptr;
 };
 
 class ViewEvaluator {
@@ -137,6 +149,10 @@ class ViewEvaluator {
 
   const ViewSpace& space() const { return space_; }
   const data::Dataset& dataset() const { return dataset_; }
+  // The run's execution-control context (nullptr = unbounded).  The
+  // strategies reach it through their evaluator so no search-function
+  // signature had to change.
+  common::ExecContext* exec() const { return options_.exec; }
   ExecStats& stats() { return stats_; }
   const ExecStats& stats() const { return stats_; }
   const CostModel& cost_model() const { return cost_model_; }
@@ -197,9 +213,15 @@ class ViewEvaluator {
       const std::string* dimension, bool target_side) const;
   // Runs one fused build over `request` and charges its accounting
   // (base_builds / fused_builds / rows_scanned / build_rows_scanned /
-  // morsels_dispatched).  Wall-clock is charged by the caller.
+  // morsels_dispatched).  Wall-clock is charged by the caller.  An
+  // aborted build (expired context, injected fault) charges nothing and
+  // caches nothing; the caller's GetOrBuild then builds the single pair
+  // it needs directly.
   void RunFusedBuild(
       storage::BaseHistogramCache::FusedHistogramBuildRequest request);
+  // Row-scan charging: stats counters plus the exec context's budget.
+  void ChargeProbeRows(int64_t rows);
+  void ChargeBuildRows(int64_t rows);
 
   const data::Dataset& dataset_;
   const ViewSpace& space_;

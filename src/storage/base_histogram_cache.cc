@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "storage/fused_scan.h"
 
@@ -170,6 +171,14 @@ const BaseHistogramCache::Shard& BaseHistogramCache::ShardFor(
 void BaseHistogramCache::InsertLocked(
     Shard& shard, const std::string& key,
     std::shared_ptr<const BaseHistogram> histogram) {
+  // Injected allocation refusal: behave as if caching the entry failed.
+  // The histogram the caller already holds stays usable — the cache
+  // simply "forgets", so later probes of this key rebuild directly.
+  // This is the OOM degradation contract: losing the cache costs rescans,
+  // never correctness.
+  if (MUVE_FAILPOINT("cache.insert") == common::FailpointAction::kOom) {
+    return;
+  }
   const size_t bytes = histogram->ApproxBytes();
   shard.lru.push_front(key);
   Shard::Entry entry;
@@ -260,7 +269,8 @@ common::Status BaseHistogramCache::FusedBuild(
   MUVE_ASSIGN_OR_RETURN(
       std::vector<BaseHistogram> built,
       FusedBuildBaseHistograms(table, *request.rows, pairs, request.pool,
-                               request.morsel_size, &scan_stats, scratch));
+                               request.morsel_size, &scan_stats, scratch,
+                               request.exec));
   ++result->passes;
   result->rows_scanned += static_cast<int64_t>(request.rows->size());
   result->morsels += scan_stats.morsels;

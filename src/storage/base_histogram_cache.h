@@ -59,6 +59,7 @@
 #include "storage/table.h"
 
 namespace muve::common {
+class ExecContext;
 class ThreadPool;
 }  // namespace muve::common
 
@@ -194,6 +195,10 @@ class BaseHistogramCache {
     std::vector<FusedPairRequest> pairs;
     common::ThreadPool* pool = nullptr;
     size_t morsel_size = 0;  // 0 = engine default (64K rows)
+    // Execution control: the fused pass polls it per morsel and aborts
+    // (caching nothing) once expired — see FusedBuildBaseHistograms.
+    // Null = unbounded.
+    common::ExecContext* exec = nullptr;
   };
 
   // Accounting for one FusedBuild call, for the caller's ExecStats:

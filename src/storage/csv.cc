@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cerrno>
 #include <charconv>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 
@@ -148,6 +150,11 @@ common::Result<Table> ReadCsvString(const std::string& text,
   if (text.empty()) {
     return common::Status::ParseError("empty CSV input");
   }
+  if (text.size() > options.max_bytes) {
+    return common::Status::IoError(
+        "CSV input is " + std::to_string(text.size()) +
+        " bytes, exceeds max_bytes=" + std::to_string(options.max_bytes));
+  }
   MUVE_ASSIGN_OR_RETURN(const std::vector<std::string> header,
                         ParseRecord(text, &pos, options.delimiter));
 
@@ -221,6 +228,13 @@ common::Result<Table> ReadCsvFile(const std::string& path,
                                   const CsvOptions& options,
                                   CsvLoadStats* stats) {
   common::Stopwatch timer;
+  // Injected read failure: model a disk that disappears under us.  The
+  // caller sees the same IoError a real ENXIO would produce, so the whole
+  // Result<> propagation chain (CLI exit code included) is testable
+  // without actual hardware faults.
+  if (MUVE_FAILPOINT("csv.read") == common::FailpointAction::kError) {
+    return common::Status::IoError("failpoint csv.read: injected read error");
+  }
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) {
     return common::Status::IoError("cannot open file: " + path);
@@ -230,6 +244,14 @@ common::Result<Table> ReadCsvFile(const std::string& path,
   const std::streamoff size = in.tellg();
   if (size < 0) {
     return common::Status::IoError("cannot stat file: " + path);
+  }
+  // Size guard BEFORE the allocation: a >2 GiB (by default) file must not
+  // drag the process through an allocation of that size just to be
+  // rejected, and std::streamoff → size_t narrowing below stays safe.
+  if (static_cast<uint64_t>(size) > options.max_bytes) {
+    return common::Status::IoError(
+        "file " + path + " is " + std::to_string(size) +
+        " bytes, exceeds max_bytes=" + std::to_string(options.max_bytes));
   }
   in.seekg(0, std::ios::beg);
   std::string text(static_cast<size_t>(size), '\0');

@@ -21,6 +21,13 @@ struct CsvOptions {
   // insensitive) header name; cells parse to the schema's types.
   // When unset, types are inferred per column.
   std::optional<Schema> schema;
+  // Input-size ceiling.  Inputs larger than this return IoError before
+  // any parsing starts.  The default (2 GiB) is the point where size_t
+  // offsets into the backing string stop being representable as the
+  // 32-bit offsets some downstream consumers keep, so the guard turns a
+  // would-be silent truncation into a typed, testable refusal.  Tests
+  // lower it to exercise the path without allocating gigabytes.
+  size_t max_bytes = size_t{2} << 30;
 };
 
 // Load accounting: filled by the readers when passed (never required).

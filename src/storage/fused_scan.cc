@@ -1,9 +1,12 @@
 #include "storage/fused_scan.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <utility>
 
+#include "common/exec_context.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "storage/column.h"
@@ -89,10 +92,13 @@ void AccumulatePair(const uint32_t* rows, size_t begin, size_t end,
 common::Result<std::vector<BaseHistogram>> FusedBuildBaseHistograms(
     const Table& table, const RowSet& rows,
     const std::vector<FusedScanPair>& pairs, common::ThreadPool* pool,
-    size_t morsel_size, FusedScanStats* stats, FusedScanScratch* scratch) {
+    size_t morsel_size, FusedScanStats* stats, FusedScanScratch* scratch,
+    common::ExecContext* ctx) {
   std::vector<BaseHistogram> out(pairs.size());
   if (pairs.empty()) return out;
   if (morsel_size == 0) morsel_size = kDefaultFusedMorselSize;
+  // A pass that is out of time before it starts builds nothing.
+  if (common::Expired(ctx)) return ctx->ExpiryStatus();
 
   // Resolve and validate every column up front (nothing builds on error).
   std::vector<std::string_view> dim_names;  // first-appearance order
@@ -184,6 +190,11 @@ common::Result<std::vector<BaseHistogram>> FusedBuildBaseHistograms(
     }
   });
 
+  // Phase boundary poll: dictionaries and key arrays for a large row set
+  // are themselves row-order work, so re-check before committing to the
+  // accumulation phase.
+  if (common::Expired(ctx)) return ctx->ExpiryStatus();
+
   // Arena layout: one slab per morsel; within a slab, pair i owns
   // [pair_offset[i], pair_offset[i] + dict_size(i)).
   std::vector<size_t> pair_offset(pairs.size());
@@ -196,8 +207,29 @@ common::Result<std::vector<BaseHistogram>> FusedBuildBaseHistograms(
   scratch->sums.assign(slab * num_morsels, 0.0);
   scratch->sum_sqs.assign(slab * num_morsels, 0.0);
 
+  // Mid-pass abort plumbing: once any morsel observes an expired context
+  // (or an injected fault), every not-yet-started morsel returns
+  // immediately.  In-flight morsels finish — they only write their own
+  // partial slab, which the abort below discards wholesale.
+  std::atomic<bool> aborted{false};
+  std::atomic<bool> fault_injected{false};
+
   // Phase C: morsel-parallel accumulation into per-morsel partials.
   RunIndexed(pool, num_morsels, [&](size_t m) {
+    if (aborted.load(std::memory_order_relaxed)) return;
+    switch (MUVE_FAILPOINT("fused_scan.morsel")) {
+      case common::FailpointAction::kError:
+      case common::FailpointAction::kOom:
+        fault_injected.store(true, std::memory_order_relaxed);
+        aborted.store(true, std::memory_order_relaxed);
+        return;
+      default:
+        break;  // kDelay already slept inside the failpoint lookup
+    }
+    if (common::Expired(ctx)) {
+      aborted.store(true, std::memory_order_relaxed);
+      return;
+    }
     const size_t begin = m * morsel_size;
     const size_t end = std::min(n, begin + morsel_size);
     int64_t* counts = scratch->counts.data() + m * slab;
@@ -218,6 +250,17 @@ common::Result<std::vector<BaseHistogram>> FusedBuildBaseHistograms(
       }
     }
   });
+
+  // An aborted pass returns NOTHING: some morsels never ran, so the
+  // merged histograms would silently under-count.  The caller degrades
+  // (direct per-pair builds for whatever probes still run).
+  if (aborted.load(std::memory_order_relaxed)) {
+    if (fault_injected.load(std::memory_order_relaxed)) {
+      return common::Status::IoError(
+          "fused scan aborted by failpoint fused_scan.morsel");
+    }
+    return ctx->ExpiryStatus();
+  }
 
   // Phase D: serial merge in ascending morsel order (fixed association —
   // identical output for any worker count), then compact fine bins with

@@ -53,6 +53,7 @@
 #include "storage/table.h"
 
 namespace muve::common {
+class ExecContext;
 class ThreadPool;
 }  // namespace muve::common
 
@@ -105,11 +106,19 @@ struct FusedScanScratch {
 //     count) is what determines FP association, so fixing it fixes the
 //     output bits.
 //   * `stats` / `scratch` — optional accounting and allocation reuse.
+//   * `ctx` — execution control (common/exec_context.h).  The pass polls
+//     it before each phase and per Phase-C morsel; once it expires no new
+//     morsel starts and the whole build aborts with the context's expiry
+//     Status.  NOTHING is returned or cached from an aborted pass —
+//     partial histograms must never be mistaken for complete ones — so
+//     callers degrade to direct single-pair builds for the probes they
+//     still run.  Null = unbounded (today's behavior).
 common::Result<std::vector<BaseHistogram>> FusedBuildBaseHistograms(
     const Table& table, const RowSet& rows,
     const std::vector<FusedScanPair>& pairs,
     common::ThreadPool* pool = nullptr, size_t morsel_size = 0,
-    FusedScanStats* stats = nullptr, FusedScanScratch* scratch = nullptr);
+    FusedScanStats* stats = nullptr, FusedScanScratch* scratch = nullptr,
+    common::ExecContext* ctx = nullptr);
 
 }  // namespace muve::storage
 

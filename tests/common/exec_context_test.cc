@@ -1,0 +1,165 @@
+#include "common/exec_context.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace muve::common {
+namespace {
+
+TEST(ExecContextTest, DefaultIsUnbounded) {
+  ExecContext ctx;
+  EXPECT_FALSE(ctx.bounded());
+  EXPECT_FALSE(ctx.Expired());
+  EXPECT_EQ(ctx.expiry_code(), StatusCode::kOk);
+  EXPECT_TRUE(ctx.ExpiryStatus().ok());
+}
+
+TEST(ExecContextTest, NullHelperNeverExpires) {
+  EXPECT_FALSE(Expired(nullptr));
+  ExecContext ctx;
+  EXPECT_FALSE(Expired(&ctx));
+}
+
+TEST(ExecContextTest, ZeroDeadlineExpiresImmediately) {
+  ExecContext ctx;
+  ctx.SetDeadlineAfterMillis(0.0);
+  EXPECT_TRUE(ctx.bounded());
+  EXPECT_TRUE(ctx.Expired());
+  EXPECT_EQ(ctx.expiry_code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(ctx.ExpiryStatus().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ExecContextTest, NegativeDeadlineExpiresImmediately) {
+  ExecContext ctx;
+  ctx.SetDeadlineAfterMillis(-5.0);
+  EXPECT_TRUE(ctx.Expired());
+  EXPECT_EQ(ctx.expiry_code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ExecContextTest, GenerousDeadlineDoesNotExpire) {
+  ExecContext ctx;
+  ctx.SetDeadlineAfterMillis(60'000.0);
+  EXPECT_TRUE(ctx.bounded());
+  EXPECT_FALSE(ctx.Expired());
+  EXPECT_EQ(ctx.expiry_code(), StatusCode::kOk);
+}
+
+TEST(ExecContextTest, DeadlineFiresAfterElapsing) {
+  ExecContext ctx;
+  ctx.SetDeadlineAfterMillis(1.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(ctx.Expired());
+  EXPECT_EQ(ctx.expiry_code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ExecContextTest, CancellationTokenTrips) {
+  ExecContext ctx;
+  auto token = std::make_shared<CancellationToken>();
+  ctx.SetCancellationToken(token);
+  EXPECT_TRUE(ctx.bounded());
+  EXPECT_FALSE(ctx.Expired());
+  token->Cancel();
+  EXPECT_TRUE(ctx.Expired());
+  EXPECT_EQ(ctx.expiry_code(), StatusCode::kCancelled);
+  EXPECT_EQ(ctx.ExpiryStatus().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecContextTest, RowBudgetTripsAfterCharge) {
+  ExecContext ctx;
+  ctx.SetRowBudget(100);
+  EXPECT_FALSE(ctx.Expired());
+  ctx.ChargeRows(100);
+  // At the budget, not over it: still alive.
+  EXPECT_FALSE(ctx.Expired());
+  ctx.ChargeRows(1);
+  EXPECT_TRUE(ctx.Expired());
+  EXPECT_EQ(ctx.expiry_code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ctx.rows_charged(), 101);
+}
+
+TEST(ExecContextTest, ClearingRowBudgetUnbounds) {
+  ExecContext ctx;
+  ctx.SetRowBudget(10);
+  EXPECT_TRUE(ctx.bounded());
+  ctx.SetRowBudget(0);
+  EXPECT_FALSE(ctx.bounded());
+  ctx.ChargeRows(1'000'000);
+  EXPECT_FALSE(ctx.Expired());
+}
+
+TEST(ExecContextTest, NegativeAndZeroChargesAreIgnored) {
+  ExecContext ctx;
+  ctx.ChargeRows(-50);
+  ctx.ChargeRows(0);
+  EXPECT_EQ(ctx.rows_charged(), 0);
+}
+
+TEST(ExecContextTest, ExpiryIsStickyAndKeepsFirstCause) {
+  ExecContext ctx;
+  auto token = std::make_shared<CancellationToken>();
+  ctx.SetCancellationToken(token);
+  ctx.SetRowBudget(10);
+  token->Cancel();
+  EXPECT_TRUE(ctx.Expired());
+  EXPECT_EQ(ctx.expiry_code(), StatusCode::kCancelled);
+  // A second bound tripping later must not overwrite the first cause.
+  ctx.ChargeRows(1'000);
+  EXPECT_TRUE(ctx.Expired());
+  EXPECT_EQ(ctx.expiry_code(), StatusCode::kCancelled);
+}
+
+TEST(ExecContextTest, CheckOrderPrefersCancellationOverBudget) {
+  // When several bounds are simultaneously trippable at the first poll,
+  // the documented check order (cancellation, budget, clock) decides the
+  // reported cause deterministically.
+  ExecContext ctx;
+  auto token = std::make_shared<CancellationToken>();
+  ctx.SetCancellationToken(token);
+  ctx.SetRowBudget(1);
+  ctx.SetDeadlineAfterMillis(0.0);
+  token->Cancel();
+  ctx.ChargeRows(100);
+  EXPECT_TRUE(ctx.Expired());
+  EXPECT_EQ(ctx.expiry_code(), StatusCode::kCancelled);
+}
+
+TEST(ExecContextTest, ConcurrentChargesAndPollsAgreeOnOneCause) {
+  ExecContext ctx;
+  ctx.SetRowBudget(1'000);
+  constexpr int kThreads = 8;
+  std::atomic<int> expired_seen{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ctx, &expired_seen] {
+      for (int i = 0; i < 1'000; ++i) {
+        ctx.ChargeRows(10);
+        if (ctx.Expired()) {
+          ++expired_seen;
+          break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(ctx.Expired());
+  EXPECT_EQ(ctx.expiry_code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(expired_seen.load(), 0);
+}
+
+TEST(CancellationTokenTest, StartsAliveAndLatchesCancelled) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.Cancel();  // Idempotent.
+  EXPECT_TRUE(token.cancelled());
+}
+
+}  // namespace
+}  // namespace muve::common

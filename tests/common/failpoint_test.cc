@@ -1,0 +1,107 @@
+// Registry-level failpoint tests.  These exercise the spec grammar and the
+// configuration API, which compile in EVERY build; tests that need a site
+// to actually fire (MUVE_FAILPOINT in production code) live in
+// tests/integration/fault_injection_test.cc and skip when the build did
+// not define MUVE_FAILPOINTS.
+
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace muve::common {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ClearFailpoints(); }
+};
+
+TEST_F(FailpointTest, SetAcceptsEveryActionSpelling) {
+  EXPECT_TRUE(SetFailpoint("x", "error").ok());
+  EXPECT_TRUE(SetFailpoint("x", "oom").ok());
+  EXPECT_TRUE(SetFailpoint("x", "throw").ok());
+  EXPECT_TRUE(SetFailpoint("x", "delay(5ms)").ok());
+  EXPECT_TRUE(SetFailpoint("x", "off").ok());
+}
+
+TEST_F(FailpointTest, MalformedSpecsAreRejected) {
+  EXPECT_EQ(SetFailpoint("x", "").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(SetFailpoint("x", "explode").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SetFailpoint("x", "delay").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(SetFailpoint("x", "delay(ms)").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SetFailpoint("x", "delay(5s)").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SetFailpoint("x", "delay(5ms").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(FailpointTest, DelayBeyondCapIsRejected) {
+  EXPECT_EQ(SetFailpoint("x", "delay(600000ms)").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(FailpointTest, HitReflectsConfiguredAction) {
+  ASSERT_TRUE(SetFailpoint("site.a", "error").ok());
+  EXPECT_EQ(FailpointHit("site.a"), FailpointAction::kError);
+  EXPECT_EQ(FailpointHit("site.unconfigured"), FailpointAction::kOff);
+}
+
+TEST_F(FailpointTest, OffRemovesASite) {
+  ASSERT_TRUE(SetFailpoint("site.a", "oom").ok());
+  EXPECT_EQ(FailpointHit("site.a"), FailpointAction::kOom);
+  ASSERT_TRUE(SetFailpoint("site.a", "off").ok());
+  EXPECT_EQ(FailpointHit("site.a"), FailpointAction::kOff);
+}
+
+TEST_F(FailpointTest, ClearRemovesEverything) {
+  ASSERT_TRUE(SetFailpoint("a", "error").ok());
+  ASSERT_TRUE(SetFailpoint("b", "oom").ok());
+  ClearFailpoints();
+  EXPECT_EQ(FailpointHit("a"), FailpointAction::kOff);
+  EXPECT_EQ(FailpointHit("b"), FailpointAction::kOff);
+}
+
+TEST_F(FailpointTest, ConfigureFromStringParsesMultipleSites) {
+  ASSERT_TRUE(
+      ConfigureFailpointsFromString("a=error;b=oom;;c=delay(1ms)").ok());
+  EXPECT_EQ(FailpointHit("a"), FailpointAction::kError);
+  EXPECT_EQ(FailpointHit("b"), FailpointAction::kOom);
+  EXPECT_EQ(FailpointHit("c"), FailpointAction::kDelay);
+}
+
+TEST_F(FailpointTest, ConfigureFromStringRejectsMalformedEntry) {
+  EXPECT_EQ(ConfigureFailpointsFromString("a=error;b").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ConfigureFailpointsFromString("=error").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(FailpointTest, DelaySleepsBeforeReturning) {
+  ASSERT_TRUE(SetFailpoint("slow", "delay(20ms)").ok());
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(FailpointHit("slow"), FailpointAction::kDelay);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            15);
+}
+
+TEST_F(FailpointTest, FailpointErrorCarriesSiteName) {
+  const FailpointError err("csv.read");
+  EXPECT_STREQ(err.what(), "failpoint csv.read threw");
+}
+
+TEST_F(FailpointTest, CompiledInMatchesBuildFlag) {
+#ifdef MUVE_FAILPOINTS
+  EXPECT_TRUE(FailpointsCompiledIn());
+#else
+  EXPECT_FALSE(FailpointsCompiledIn());
+#endif
+}
+
+}  // namespace
+}  // namespace muve::common

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <numeric>
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -101,6 +103,88 @@ TEST(ThreadPoolTest, StealingDrainsUnevenShards) {
   });
   for (size_t i = 0; i < kCount; ++i) {
     EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+// --- Exception propagation (the "no std::terminate" contract) ---
+
+TEST(ThreadPoolTest, ThrowingTaskRethrownOnCallerThread) {
+  ThreadPool pool(4);
+  bool caught = false;
+  try {
+    pool.ParallelFor(16, [&](size_t, size_t i) {
+      if (i == 7) throw std::runtime_error("boom at 7");
+    });
+  } catch (const std::runtime_error& e) {
+    caught = true;
+    EXPECT_STREQ(e.what(), "boom at 7");
+  }
+  EXPECT_TRUE(caught);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskStillRunsEveryOtherIndex) {
+  // One throwing index must not lose the rest of the round: the pool
+  // drains every index (exactly-once) and rethrows only afterwards.
+  ThreadPool pool(4);
+  constexpr size_t kCount = 64;
+  std::vector<std::atomic<int>> hits(kCount);
+  EXPECT_THROW(pool.ParallelFor(kCount,
+                                [&](size_t, size_t i) {
+                                  hits[i].fetch_add(
+                                      1, std::memory_order_relaxed);
+                                  if (i == 13) {
+                                    throw std::runtime_error("13");
+                                  }
+                                }),
+               std::runtime_error);
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, FirstExceptionWinsWhenSeveralThrow) {
+  ThreadPool pool(4);
+  // Every index throws; exactly one exception must surface and it must
+  // be one of the thrown ones (first capture wins, the rest are dropped).
+  bool caught = false;
+  try {
+    pool.ParallelFor(8, [&](size_t, size_t i) {
+      throw std::runtime_error("task " + std::to_string(i));
+    });
+  } catch (const std::runtime_error& e) {
+    caught = true;
+    EXPECT_EQ(std::string(e.what()).rfind("task ", 0), 0u) << e.what();
+  }
+  EXPECT_TRUE(caught);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterAThrowingRound) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(4, [](size_t, size_t) { throw std::logic_error("x"); }),
+      std::logic_error);
+  // The next round must behave as if nothing happened.
+  std::atomic<int> sum{0};
+  pool.ParallelFor(10, [&](size_t, size_t i) {
+    sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, InlinePathPropagatesExceptionsToo) {
+  // num_workers == 1 runs inline on the caller; the contract must match
+  // the N-thread path: every index runs, then the first exception
+  // surfaces.
+  ThreadPool pool(1);
+  std::vector<int> hits(8, 0);
+  EXPECT_THROW(pool.ParallelFor(8,
+                                [&](size_t, size_t i) {
+                                  hits[i] = 1;
+                                  if (i == 2) throw std::runtime_error("2");
+                                }),
+               std::runtime_error);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 1) << "index " << i;
   }
 }
 

@@ -97,6 +97,80 @@ TEST(CsvFileTest, MissingFileFails) {
   EXPECT_FALSE(ReadCsvFile("/nonexistent/path.csv").ok());
 }
 
+TEST(CsvFileTest, OversizedFileIsRefusedByMaxBytes) {
+  auto table = ReadCsvString("a,b\n1,2\n2,3\n");
+  ASSERT_TRUE(table.ok());
+  const std::string path = ::testing::TempDir() + "/muve_csv_maxbytes.csv";
+  ASSERT_TRUE(WriteCsvFile(*table, path).ok());
+  CsvOptions options;
+  options.max_bytes = 4;  // Far below the file's size.
+  auto refused = ReadCsvFile(path, options);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), common::StatusCode::kIoError);
+  // The same file reads fine at the default ceiling.
+  EXPECT_TRUE(ReadCsvFile(path).ok());
+}
+
+TEST(CsvReadTest, OversizedStringIsRefusedByMaxBytes) {
+  CsvOptions options;
+  options.max_bytes = 4;
+  auto refused = ReadCsvString("a,b\n1,2\n", options);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), common::StatusCode::kIoError);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed-input corpus (tests/data/bad_csv): every file must be refused
+// with a typed ParseError — never a crash, never a truncated table.  See
+// the corpus README for what each file breaks.
+
+std::string BadCsvPath(const std::string& name) {
+  return std::string(MUVE_BAD_CSV_DIR) + "/" + name;
+}
+
+void ExpectCorpusParseError(const std::string& name) {
+  auto result = ReadCsvFile(BadCsvPath(name));
+  ASSERT_FALSE(result.ok()) << name << " unexpectedly parsed";
+  EXPECT_EQ(result.status().code(), common::StatusCode::kParseError)
+      << name << ": " << result.status().ToString();
+}
+
+TEST(CsvBadCorpusTest, EmptyFile) { ExpectCorpusParseError("empty.csv"); }
+
+TEST(CsvBadCorpusTest, UnterminatedQuote) {
+  ExpectCorpusParseError("unterminated_quote.csv");
+}
+
+TEST(CsvBadCorpusTest, RaggedRow) {
+  ExpectCorpusParseError("ragged_row.csv");
+}
+
+TEST(CsvBadCorpusTest, TruncatedFinalLine) {
+  ExpectCorpusParseError("truncated_final_line.csv");
+}
+
+TEST(CsvBadCorpusTest, EmptyHeaderName) {
+  ExpectCorpusParseError("empty_header.csv");
+}
+
+TEST(CsvBadCorpusTest, OnlyBlankLines) {
+  ExpectCorpusParseError("only_blank_lines.csv");
+}
+
+TEST(CsvBadCorpusTest, BadCellUnderSchema) {
+  // Well-formed under inference (column a becomes string)...
+  ASSERT_TRUE(ReadCsvFile(BadCsvPath("bad_cell.csv")).ok());
+  // ...but a pinned int64 schema turns the 'x' cell into a ParseError.
+  Schema schema;
+  ASSERT_TRUE(schema.AddField(Field("a", ValueType::kInt64)).ok());
+  ASSERT_TRUE(schema.AddField(Field("b", ValueType::kInt64)).ok());
+  CsvOptions options;
+  options.schema = schema;
+  auto result = ReadCsvFile(BadCsvPath("bad_cell.csv"), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kParseError);
+}
+
 TEST(CsvFileTest, WriteAndReadBack) {
   auto table = ReadCsvString("a,b\n1,two\n");
   ASSERT_TRUE(table.ok());

@@ -88,13 +88,14 @@ std::string ScrubTimings(const std::string& text) {
   return out.str();
 }
 
-void CheckGolden(const std::string& name, const std::string& args) {
+void CheckGolden(const std::string& name, const std::string& args,
+                 int expected_exit = 0) {
   const std::string golden_path =
       std::string(MUVE_GOLDEN_DIR) + "/" + name + ".golden";
   int exit_code = -1;
   const std::string raw =
       RunCommand(std::string(MUVE_CLI_BINARY) + " " + args, &exit_code);
-  ASSERT_EQ(exit_code, 0) << "CLI failed:\n" << raw;
+  ASSERT_EQ(exit_code, expected_exit) << "CLI exit drifted:\n" << raw;
   const std::string actual = ScrubTimings(raw);
 
   if (std::getenv("MUVE_UPDATE_GOLDEN") != nullptr) {
@@ -133,6 +134,16 @@ TEST(CliGoldenTest, ToyMuveMuve) {
 TEST(CliGoldenTest, ToyLinearLinearNoBaseCache) {
   CheckGolden("muve_cli_toy_linear_nocache",
               "--dataset=toy --scheme=linear-linear --k=5 --no-base-cache");
+}
+
+// Anytime contract at the CLI surface: an already-expired deadline prints
+// an empty-but-valid top-k, the completeness tokens in the stats line, a
+// DEGRADED banner, and exits 4 (deadline_exceeded).  Deterministic because
+// nothing is probed: every counter is zero except the skip accounting.
+TEST(CliGoldenTest, ToyLinearLinearDeadlineZero) {
+  CheckGolden("muve_cli_toy_deadline0",
+              "--dataset=toy --scheme=linear-linear --k=5 --deadline-ms=0",
+              /*expected_exit=*/4);
 }
 
 }  // namespace

@@ -32,13 +32,35 @@
 //                             `priority` (default) is the wall-clock-driven
 //                             cost/benefit rule, the fixed orders are
 //                             deterministic (used by the golden tests)
+//   --deadline-ms=N           anytime budget: stop searching after N ms and
+//                             print the best top-k found so far (0 = expire
+//                             immediately; negative/absent = unbounded)
+//   --cancel-after-ms=N       cancel the search from a watchdog thread
+//                             after N ms (0 = cancel before it starts)
+//   --max-rows=N              stop after charging ~N scanned rows
+//   --max-cache-mb=N          cap the base-histogram cache at N MiB
 //   --fidelity                also run Linear-Linear and report fidelity
 //   --charts                  render the recommended views as bar charts
+//
+// Exit codes (from common::StatusCode, so scripts can branch on cause):
+//   0  OK, complete results
+//   1  internal / unclassified error
+//   2  invalid arguments, parse error, or type mismatch
+//   3  I/O error or missing file
+//   4  deadline exceeded (partial results were printed, DEGRADED banner)
+//   5  cancelled (partial results were printed, DEGRADED banner)
+//   6  resource budget exhausted (partial results, DEGRADED banner)
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "common/exec_context.h"
 
 #include "common/status.h"
 #include "common/stopwatch.h"
@@ -83,10 +105,37 @@ struct Flags {
   bool base_cache = true;
   bool fused_prewarm = true;
   std::string probe_order = "priority";
+  double deadline_ms = -1.0;      // < 0: unbounded
+  double cancel_after_ms = -1.0;  // < 0: no watchdog
+  int64_t max_rows = 0;           // 0: unbounded
+  int max_cache_mb = 0;           // 0: library default
   bool fidelity = false;
   bool charts = false;
   std::string html_path;  // write an SVG/HTML report of the top-k
 };
+
+// Maps a StatusCode to the CLI's documented exit codes (header table).
+int ExitCodeFor(muve::common::StatusCode code) {
+  switch (code) {
+    case muve::common::StatusCode::kOk:
+      return 0;
+    case muve::common::StatusCode::kInvalidArgument:
+    case muve::common::StatusCode::kParseError:
+    case muve::common::StatusCode::kTypeMismatch:
+      return 2;
+    case muve::common::StatusCode::kIoError:
+    case muve::common::StatusCode::kNotFound:
+      return 3;
+    case muve::common::StatusCode::kDeadlineExceeded:
+      return 4;
+    case muve::common::StatusCode::kCancelled:
+      return 5;
+    case muve::common::StatusCode::kResourceExhausted:
+      return 6;
+    default:
+      return 1;
+  }
+}
 
 Status ParseFlags(int argc, char** argv, Flags* flags) {
   for (int i = 1; i < argc; ++i) {
@@ -144,6 +193,15 @@ Status ParseFlags(int argc, char** argv, Flags* flags) {
       flags->fused_prewarm = false;
     } else if (has("--probe-order=")) {
       flags->probe_order = muve::common::ToLower(value_of("--probe-order="));
+    } else if (has("--deadline-ms=")) {
+      flags->deadline_ms = std::atof(value_of("--deadline-ms=").c_str());
+    } else if (has("--cancel-after-ms=")) {
+      flags->cancel_after_ms =
+          std::atof(value_of("--cancel-after-ms=").c_str());
+    } else if (has("--max-rows=")) {
+      flags->max_rows = std::atoll(value_of("--max-rows=").c_str());
+    } else if (has("--max-cache-mb=")) {
+      flags->max_cache_mb = std::atoi(value_of("--max-cache-mb=").c_str());
     } else if (arg == "--fidelity") {
       flags->fidelity = true;
     } else if (arg == "--charts") {
@@ -212,6 +270,12 @@ Result<muve::core::SearchOptions> BuildOptions(const Flags& flags) {
   } else if (flags.probe_order != "priority") {
     return Status::InvalidArgument("unknown --probe-order: " +
                                    flags.probe_order);
+  }
+  options.deadline_ms = flags.deadline_ms;
+  options.max_rows_scanned = flags.max_rows > 0 ? flags.max_rows : 0;
+  if (flags.max_cache_mb > 0) {
+    options.max_cache_bytes =
+        static_cast<size_t>(flags.max_cache_mb) * (size_t{1} << 20);
   }
   return options;
 }
@@ -364,18 +428,18 @@ int RunCli(int argc, char** argv) {
   auto dataset = BuildDataset(flags);
   if (!dataset.ok()) {
     std::cerr << "dataset error: " << dataset.status().ToString() << "\n";
-    return 1;
+    return ExitCodeFor(dataset.status().code());
   }
   auto options = BuildOptions(flags);
   if (!options.ok()) {
     std::cerr << "options error: " << options.status().ToString() << "\n";
-    return 1;
+    return ExitCodeFor(options.status().code());
   }
   auto recommender = muve::core::Recommender::Create(*dataset);
   if (!recommender.ok()) {
     std::cerr << "workload error: " << recommender.status().ToString()
               << "\n";
-    return 1;
+    return ExitCodeFor(recommender.status().code());
   }
   std::cout << "dataset: " << dataset->name << " ("
             << dataset->table->num_rows() << " rows, "
@@ -383,12 +447,52 @@ int RunCli(int argc, char** argv) {
             << "views:   " << recommender->space().views().size()
             << " candidates, " << recommender->space().TotalBinnedViews()
             << " binned views\n";
+  // Optional cancellation watchdog: a side thread trips the token after
+  // --cancel-after-ms.  The search notices at its next work boundary and
+  // returns the best top-k found so far (DEGRADED, exit code 5).
+  std::shared_ptr<muve::common::CancellationToken> cancel_token;
+  std::thread watchdog;
+  std::atomic<bool> search_done{false};
+  if (flags.cancel_after_ms >= 0.0) {
+    cancel_token = std::make_shared<muve::common::CancellationToken>();
+    options->cancel_token = cancel_token;
+    if (flags.cancel_after_ms == 0.0) {
+      cancel_token->Cancel();  // Cancel before the search even starts.
+    } else {
+      watchdog = std::thread([cancel_token, &search_done,
+                              ms = flags.cancel_after_ms] {
+        const auto stop =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double, std::milli>(ms));
+        // Poll so a fast search does not leave the CLI waiting out the
+        // full timer before it can exit.
+        while (!search_done.load(std::memory_order_relaxed) &&
+               std::chrono::steady_clock::now() < stop) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        if (!search_done.load(std::memory_order_relaxed)) {
+          cancel_token->Cancel();
+        }
+      });
+    }
+  }
   auto rec = recommender->Recommend(*options);
+  search_done.store(true, std::memory_order_relaxed);
+  if (watchdog.joinable()) watchdog.join();
   if (!rec.ok()) {
     std::cerr << "recommendation error: " << rec.status().ToString() << "\n";
-    return 1;
+    return ExitCodeFor(rec.status().code());
   }
   std::cout << rec->ToString() << "\n";
+  const muve::core::ExecCompleteness& completeness = rec->stats.completeness;
+  if (completeness.degraded) {
+    std::cout << "*** DEGRADED ("
+              << muve::common::StatusCodeName(completeness.status)
+              << "): partial top-k — views_done="
+              << completeness.views_fully_searched << " bins_pruned="
+              << completeness.bins_pruned_by_deadline << " ***\n";
+  }
 
   if (flags.fidelity) {
     auto baseline_options = *options;
@@ -418,12 +522,15 @@ int RunCli(int argc, char** argv) {
         charts);
     if (!st.ok()) {
       std::cerr << "html report error: " << st.ToString() << "\n";
-      return 1;
+      return ExitCodeFor(st.code());
     }
     std::cout << "wrote " << flags.html_path << " (" << charts.size()
               << " charts)\n";
   }
-  return 0;
+  // Degraded runs exit nonzero even though partial results were printed,
+  // so scripts can distinguish "complete top-k" from "whatever fit in the
+  // budget" without parsing the banner.
+  return completeness.degraded ? ExitCodeFor(completeness.status) : 0;
 }
 
 }  // namespace
