@@ -17,7 +17,8 @@
 #include "storage/group_by.h"
 #include "storage/histogram.h"
 
-int main() {
+int main(int argc, char** argv) {
+  muve::bench::InitBench(&argc, argv);
   using muve::storage::BuildHistogram;
   using muve::storage::Histogram;
 

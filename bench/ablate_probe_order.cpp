@@ -17,7 +17,8 @@
 #include "data/diab.h"
 #include "harness.h"
 
-int main() {
+int main(int argc, char** argv) {
+  muve::bench::InitBench(&argc, argv);
   using muve::bench::Ms;
   using muve::bench::RunScheme;
   using muve::core::ProbeOrderPolicy;

@@ -59,7 +59,8 @@ void RunDataset(const muve::data::Dataset& dataset) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  muve::bench::InitBench(&argc, argv);
   std::cout << "=== Ablation: early termination vs incremental "
                "evaluation ===\n";
   RunDataset(muve::data::WithWorkloadSize(muve::data::MakeDiabDataset(), 3,

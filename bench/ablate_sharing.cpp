@@ -145,7 +145,8 @@ void RunCacheAblation(const muve::data::Dataset& dataset) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  muve::bench::InitBench(&argc, argv);
   std::cout << "=== Ablation: shared scans (SeeDB) vs pruning (MuVE) ===\n";
   const auto diab =
       muve::data::WithWorkloadSize(muve::data::MakeDiabDataset(), 3, 3, 3);

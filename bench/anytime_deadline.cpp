@@ -37,7 +37,8 @@ struct SchemeSpec {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  muve::bench::InitBench(&argc, argv);
   std::cout << "=== Extension: anytime deadline sweep (NBA, 13 measures) "
                "===\n";
   const muve::data::Dataset dataset =

@@ -5,6 +5,10 @@
 add_library(muve_bench_harness STATIC bench/harness.cc)
 target_link_libraries(muve_bench_harness PUBLIC muve_core muve_data)
 target_include_directories(muve_bench_harness PUBLIC ${PROJECT_SOURCE_DIR}/bench)
+# Default --json-out artifacts land at the repo root as BENCH_<name>.json;
+# the runtime git-sha lookup also runs from here.
+target_compile_definitions(muve_bench_harness PUBLIC
+  MUVE_BENCH_REPO_ROOT="${PROJECT_SOURCE_DIR}")
 
 function(muve_add_bench name)
   add_executable(${name} bench/${name}.cpp)
@@ -34,6 +38,10 @@ muve_add_bench(fused_scan_bench)
 muve_add_bench(anytime_deadline)
 
 add_executable(micro_engine bench/micro_engine.cpp)
-target_link_libraries(micro_engine muve_core muve_data benchmark::benchmark)
+target_link_libraries(micro_engine muve_bench_harness benchmark::benchmark)
 set_target_properties(micro_engine PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
+# Differential kernel bench: ns/element for every SIMD kernel at every
+# compiled-in dispatch level (the tentpole's speedup evidence).
+muve_add_bench(kernel_bench)

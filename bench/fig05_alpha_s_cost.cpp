@@ -59,7 +59,8 @@ void RunDataset(const muve::data::Dataset& dataset, const char* figure) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  muve::bench::InitBench(&argc, argv);
   std::cout << "=== Figure 5: impact of alpha_S on cost ===\n";
   RunDataset(muve::data::WithWorkloadSize(muve::data::MakeDiabDataset(), 3, 3, 3), "5a");
   RunDataset(muve::data::WithWorkloadSize(muve::data::MakeNbaDataset(), 3, 3,

@@ -71,7 +71,8 @@ void RunDataset(const muve::data::Dataset& dataset, const char* figure,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  muve::bench::InitBench(&argc, argv);
   std::cout << "=== Figure 6: impact of alpha_D on cost and probes ===\n";
   RunDataset(muve::data::WithWorkloadSize(muve::data::MakeDiabDataset(), 3, 3, 3), "6a", /*report_probes=*/true);
   RunDataset(muve::data::WithWorkloadSize(muve::data::MakeNbaDataset(), 3, 3,

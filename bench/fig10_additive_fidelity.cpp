@@ -14,7 +14,8 @@
 #include "common/string_util.h"
 #include "harness.h"
 
-int main() {
+int main(int argc, char** argv) {
+  muve::bench::InitBench(&argc, argv);
   using muve::bench::Pct;
   using muve::bench::RunScheme;
 

@@ -210,10 +210,7 @@ void RunDataset(const muve::data::Dataset& dataset, bool smoke,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-  }
+  const bool smoke = muve::bench::InitBench(&argc, argv).smoke;
 
   std::cout << "=== Extension: fused morsel-parallel scan engine ===\n";
   std::ostringstream json;

@@ -2,16 +2,172 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "common/logging.h"
+#include "common/simd/simd.h"
 #include "common/string_util.h"
 
+#ifndef MUVE_BENCH_REPO_ROOT
+#define MUVE_BENCH_REPO_ROOT "."
+#endif
+
 namespace muve::bench {
+namespace {
+
+// Process-wide bench session, set up by InitBench.
+struct BenchSession {
+  BenchOptions options;
+  std::string bench_name = "bench";
+  std::string original_args;
+  // Pre-rendered JSON fragments for the results[] array.
+  std::vector<std::string> results;
+  bool written = false;
+};
+
+BenchSession& Session() {
+  static BenchSession session;
+  return session;
+}
+
+std::string Basename(const char* path) {
+  std::string name = path == nullptr ? "" : path;
+  const size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  return name.empty() ? "bench" : name;
+}
+
+}  // namespace
+
+const BenchOptions& InitBench(int* argc, char** argv) {
+  BenchSession& session = Session();
+  session.bench_name = Basename(*argc >= 1 ? argv[0] : nullptr);
+  // Record the original invocation before consuming flags.
+  for (int i = 1; i < *argc; ++i) {
+    if (i > 1) session.original_args += ' ';
+    session.original_args += argv[i];
+  }
+  // Consume the shared flags; keep everything else in place.
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--repeat=", 9) == 0) {
+      const int parsed = std::atoi(arg + 9);
+      MUVE_CHECK(parsed >= 1) << "--repeat wants a positive integer: " << arg;
+      session.options.repeat = parsed;
+    } else if (std::strcmp(arg, "--json-out") == 0) {
+      session.options.json = true;
+    } else if (std::strncmp(arg, "--json-out=", 11) == 0) {
+      session.options.json = true;
+      session.options.json_path = arg + 11;
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      session.options.smoke = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  if (session.options.json && session.options.json_path.empty()) {
+    session.options.json_path = std::string(MUVE_BENCH_REPO_ROOT) + "/BENCH_" +
+                                session.bench_name + ".json";
+  }
+  std::atexit(FinishBench);
+  return session.options;
+}
+
+const BenchOptions& CurrentBenchOptions() { return Session().options; }
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string GitShaOrUnknown() {
+  FILE* pipe = popen(
+      "git -C \"" MUVE_BENCH_REPO_ROOT "\" rev-parse --short HEAD "
+      "2>/dev/null",
+      "r");
+  if (pipe == nullptr) return "unknown";
+  char buffer[128];
+  std::string sha;
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) sha += buffer;
+  const int status = pclose(pipe);
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+    sha.pop_back();
+  }
+  if (status != 0 || sha.empty()) return "unknown";
+  return sha;
+}
+
+void RecordJsonResult(
+    const std::string& label,
+    const std::vector<std::pair<std::string, std::string>>& str_fields,
+    const std::vector<std::pair<std::string, double>>& num_fields) {
+  BenchSession& session = Session();
+  if (!session.options.json) return;
+  std::ostringstream entry;
+  entry << "{\"type\": \"record\", \"label\": \"" << JsonEscape(label) << '"';
+  for (const auto& [key, value] : str_fields) {
+    entry << ", \"" << JsonEscape(key) << "\": \"" << JsonEscape(value)
+          << '"';
+  }
+  for (const auto& [key, value] : num_fields) {
+    entry << ", \"" << JsonEscape(key)
+          << "\": " << common::FormatDouble(value, 6);
+  }
+  entry << '}';
+  session.results.push_back(entry.str());
+}
+
+void FinishBench() {
+  BenchSession& session = Session();
+  if (!session.options.json || session.written) return;
+  session.written = true;
+  std::ofstream out(session.options.json_path, std::ios::binary);
+  if (!out) {
+    std::cerr << "warning: cannot write " << session.options.json_path
+              << "\n";
+    return;
+  }
+  out << "{\n  \"bench\": \"" << JsonEscape(session.bench_name) << "\",\n"
+      << "  \"git_sha\": \"" << JsonEscape(GitShaOrUnknown()) << "\",\n"
+      << "  \"config\": {\"repetitions\": " << Repetitions()
+      << ", \"simd\": \"" << common::simd::ActiveLevelName()
+      << "\", \"smoke\": " << (session.options.smoke ? "true" : "false")
+      << ", \"args\": \"" << JsonEscape(session.original_args) << "\"},\n"
+      << "  \"results\": [";
+  for (size_t i = 0; i < session.results.size(); ++i) {
+    out << (i == 0 ? "\n    " : ",\n    ") << session.results[i];
+  }
+  out << "\n  ]\n}\n";
+  std::cout << "(json: " << session.options.json_path << ")\n";
+}
 
 int Repetitions() {
+  if (Session().options.repeat >= 1) return Session().options.repeat;
   static const int reps = [] {
     const char* env = std::getenv("MUVE_BENCH_REPS");
     if (env != nullptr) {
@@ -26,8 +182,9 @@ int Repetitions() {
 RunResult RunScheme(const core::Recommender& recommender,
                     const core::SearchOptions& options) {
   RunResult result;
-  double total = 0.0;
   const int reps = Repetitions();
+  std::vector<double> costs;
+  costs.reserve(reps);
   // One unrecorded warmup run per configuration: the first recommendation
   // in a fresh process pays page-fault/allocator costs that would bias
   // the first row of every figure.
@@ -40,13 +197,21 @@ RunResult RunScheme(const core::Recommender& recommender,
     auto rec = recommender.Recommend(options);
     MUVE_CHECK(rec.ok()) << options.SchemeName() << ": "
                          << rec.status().ToString();
-    total += rec->stats.TotalCostMillis();
+    costs.push_back(rec->stats.TotalCostMillis());
     if (r + 1 == reps) {
       result.stats = rec->stats;
       result.recommendation = std::move(rec).value();
     }
   }
+  double total = 0.0;
+  for (const double c : costs) total += c;
   result.cost_ms = total / reps;
+  std::sort(costs.begin(), costs.end());
+  result.cost_ms_min = costs.front();
+  result.cost_ms_median = (costs.size() % 2 == 1)
+                              ? costs[costs.size() / 2]
+                              : 0.5 * (costs[costs.size() / 2 - 1] +
+                                       costs[costs.size() / 2]);
   return result;
 }
 
@@ -112,6 +277,30 @@ void TablePrinter::Print(const std::string& title) const {
     std::cout << "\n";
   }
   MaybeExportCsv(title);
+  MaybeRecordJson(title);
+}
+
+// Appends this table to the bench session's results[] as a
+// {"type":"table", ...} entry (no-op unless --json-out is active).
+void TablePrinter::MaybeRecordJson(const std::string& title) const {
+  BenchSession& session = Session();
+  if (!session.options.json) return;
+  std::ostringstream entry;
+  entry << "{\"type\": \"table\", \"title\": \"" << JsonEscape(title)
+        << "\", \"headers\": [";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    entry << (c == 0 ? "" : ", ") << '"' << JsonEscape(headers_[c]) << '"';
+  }
+  entry << "], \"rows\": [";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    entry << (r == 0 ? "" : ", ") << '[';
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      entry << (c == 0 ? "" : ", ") << '"' << JsonEscape(rows_[r][c]) << '"';
+    }
+    entry << ']';
+  }
+  entry << "]}";
+  session.results.push_back(entry.str());
 }
 
 void TablePrinter::MaybeExportCsv(const std::string& title) const {

@@ -13,6 +13,7 @@
 #define MUVE_BENCH_HARNESS_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/recommender.h"
@@ -20,18 +21,91 @@
 
 namespace muve::bench {
 
+// ---------------------------------------------------------------------------
+// Bench session: standardized flags + machine-readable artifacts.
+//
+// Every bench main starts with
+//
+//   int main(int argc, char** argv) {
+//     muve::bench::InitBench(&argc, argv);
+//     ...
+//
+// which parses the shared flags (consuming them from argv, so benches
+// with their own flags — or google-benchmark flags — see only the rest):
+//
+//   --repeat=N        repetitions per configuration (overrides the
+//                     MUVE_BENCH_REPS environment variable)
+//   --json-out[=path] after the run, write a machine-readable artifact.
+//                     Default path: <repo-root>/BENCH_<bench-name>.json
+//                     where <bench-name> is the binary's basename.
+//   --smoke           reduced workload (benches that support it; exposed
+//                     via CurrentBenchOptions().smoke)
+//
+// The JSON schema is shared by every bench:
+//
+//   { "bench":   "<name>",
+//     "git_sha": "<short sha or 'unknown'>",
+//     "config":  { "repetitions": N, "simd": "<dispatch>", "smoke": bool,
+//                  "args": "<original argv>" },
+//     "results": [ ... ] }
+//
+// results[] entries come from two sources: every TablePrinter::Print call
+// appends a {"type":"table", "title", "headers", "rows"} entry
+// automatically, and benches with structured numeric output (e.g.
+// kernel_bench) append {"type":"record", ...} entries via
+// RecordJsonResult.  The artifact is written by FinishBench, which
+// InitBench registers with atexit — benches need no explicit teardown.
+// ---------------------------------------------------------------------------
+
+struct BenchOptions {
+  int repeat = 0;          // 0 = MUVE_BENCH_REPS / built-in default
+  bool json = false;       // --json-out given
+  std::string json_path;   // resolved output path (when json)
+  bool smoke = false;      // --smoke given
+};
+
+// Parses and consumes the shared flags from argv (shifting the rest
+// down and updating *argc).  Unknown flags are left in argv for the
+// bench's own parsing.  Registers FinishBench with atexit.
+const BenchOptions& InitBench(int* argc, char** argv);
+
+// The options parsed by InitBench (defaults if InitBench was not called).
+const BenchOptions& CurrentBenchOptions();
+
+// Appends one {"type":"record", "label": ..., ...} entry to the JSON
+// results[] array.  String fields are escaped; numeric fields are
+// emitted as JSON numbers.  No-op unless --json-out is active.
+void RecordJsonResult(
+    const std::string& label,
+    const std::vector<std::pair<std::string, std::string>>& str_fields,
+    const std::vector<std::pair<std::string, double>>& num_fields);
+
+// Writes the BENCH_<name>.json artifact if --json-out is active.
+// Idempotent; called automatically at exit.
+void FinishBench();
+
+// `git rev-parse --short HEAD` at the repo root, or "unknown".
+std::string GitShaOrUnknown();
+
+// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(const std::string& text);
+
 // Number of repetitions per configuration (the paper averages 10 runs).
-// Override with the MUVE_BENCH_REPS environment variable.
+// Priority: --repeat flag, then the MUVE_BENCH_REPS environment
+// variable, then 5.
 int Repetitions();
 
 struct RunResult {
-  double cost_ms = 0.0;  // mean TotalCostMillis over repetitions
+  double cost_ms = 0.0;         // mean TotalCostMillis over repetitions
+  double cost_ms_median = 0.0;  // median over repetitions
+  double cost_ms_min = 0.0;     // min over repetitions
   core::ExecStats stats;  // from the last repetition
   core::Recommendation recommendation;  // from the last repetition
 };
 
-// Runs `options` against `recommender` Repetitions() times and averages
-// the cost.  Aborts on configuration errors (benchmark misuse).
+// Runs `options` against `recommender` Repetitions() times after one
+// unrecorded warmup run, reporting mean/median/min cost.  Aborts on
+// configuration errors (benchmark misuse).
 RunResult RunScheme(const core::Recommender& recommender,
                     const core::SearchOptions& options);
 
@@ -55,6 +129,7 @@ class TablePrinter {
 
  private:
   void MaybeExportCsv(const std::string& title) const;
+  void MaybeRecordJson(const std::string& title) const;
 
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

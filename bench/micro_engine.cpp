@@ -6,8 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "common/logging.h"
 #include "common/rng.h"
+#include "harness.h"
 #include "core/distance.h"
 #include "core/distribution.h"
 #include "data/nba.h"
@@ -104,6 +107,41 @@ BENCHMARK(BM_Distance)
     ->ArgsProduct({{0, 3, 4},  // Euclidean, EMD, KL
                    {4, 64, 1024}});
 
+// Console reporter that additionally captures every finished run into
+// the shared BENCH_<name>.json schema when --json-out is active (the
+// record fields mirror google-benchmark's own JSON: adjusted real/cpu
+// time in the run's time unit, iteration count, items/s when set).
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.error_occurred) continue;
+      std::vector<std::pair<std::string, double>> nums = {
+          {"real_time", run.GetAdjustedRealTime()},
+          {"cpu_time", run.GetAdjustedCPUTime()},
+          {"iterations", static_cast<double>(run.iterations)},
+      };
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        nums.emplace_back("items_per_second", items->second.value);
+      }
+      muve::bench::RecordJsonResult(
+          run.benchmark_name(),
+          {{"time_unit", benchmark::GetTimeUnitString(run.time_unit)}},
+          nums);
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  muve::bench::InitBench(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

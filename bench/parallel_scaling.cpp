@@ -65,7 +65,8 @@ bool SameTopK(const muve::core::Recommendation& a,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  muve::bench::InitBench(&argc, argv);
   std::cout << "=== Extension: parallel scaling across schemes (NBA, 13 "
                "measures) ===\n";
   const muve::data::Dataset dataset =

@@ -1,0 +1,65 @@
+// 64-byte-aligned allocation for kernel scratch arenas.
+//
+// The SIMD kernel layer (common/simd/simd.h) loads its operands with
+// unaligned instructions, so alignment is never a *correctness*
+// requirement — but cache-line-aligned arenas keep hot accumulator slabs
+// from straddling lines and let the compiler/hardware coalesce streaming
+// stores.  `AlignedVector<T>` is a drop-in std::vector whose backing
+// store is 64-byte aligned; the fused-scan partial arenas and the
+// evaluator's distribution buffers use it.
+
+#ifndef MUVE_COMMON_SIMD_ALIGNED_H_
+#define MUVE_COMMON_SIMD_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace muve::common::simd {
+
+inline constexpr std::size_t kKernelAlignment = 64;
+
+// Minimal C++17 allocator handing out 64-byte-aligned storage.
+template <typename T, std::size_t Alignment = kKernelAlignment>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static_assert(Alignment >= alignof(T),
+                "Alignment must satisfy the element type's alignment");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    return static_cast<T*>(::operator new(
+        n * sizeof(T), std::align_val_t{Alignment}));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+// std::vector with a 64-byte-aligned backing store.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace muve::common::simd
+
+#endif  // MUVE_COMMON_SIMD_ALIGNED_H_

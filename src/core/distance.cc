@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/simd/simd.h"
 #include "common/string_util.h"
 
 namespace muve::core {
@@ -12,47 +13,38 @@ namespace {
 
 constexpr double kSmoothingEpsilon = 1e-9;
 
-double Euclidean(const std::vector<double>& p, const std::vector<double>& q) {
-  double sum = 0.0;
-  for (size_t i = 0; i < p.size(); ++i) {
-    const double d = p[i] - q[i];
-    sum += d * d;
-  }
+// The dense cores (squared-L2 / L1 / Linf / prefix-sum EMD) dispatch
+// through the SIMD kernel table; the normalization wrappers stay here.
+
+double Euclidean(const double* p, const double* q, size_t n) {
+  const double sum = common::simd::ActiveKernels().squared_l2_diff(p, q, n);
   return std::sqrt(sum) / std::sqrt(2.0);
 }
 
-double Manhattan(const std::vector<double>& p, const std::vector<double>& q) {
-  double sum = 0.0;
-  for (size_t i = 0; i < p.size(); ++i) sum += std::abs(p[i] - q[i]);
-  return sum / 2.0;
+double Manhattan(const double* p, const double* q, size_t n) {
+  return common::simd::ActiveKernels().abs_diff_sum(p, q, n) / 2.0;
 }
 
-double Chebyshev(const std::vector<double>& p, const std::vector<double>& q) {
-  double best = 0.0;
-  for (size_t i = 0; i < p.size(); ++i) {
-    best = std::max(best, std::abs(p[i] - q[i]));
-  }
-  return best;
+double Chebyshev(const double* p, const double* q, size_t n) {
+  return common::simd::ActiveKernels().max_abs_diff(p, q, n);
 }
 
-double EarthMovers(const std::vector<double>& p,
-                   const std::vector<double>& q) {
-  if (p.size() <= 1) return 0.0;
+double EarthMovers(const double* p, const double* q, size_t n) {
+  if (n <= 1) return 0.0;
   // 1-D EMD with unit ground distance between adjacent bins equals the
   // sum of absolute prefix-sum differences; max is (b - 1) (all mass moved
   // across the whole axis).
-  double cum = 0.0;
-  double total = 0.0;
-  for (size_t i = 0; i + 1 < p.size(); ++i) {
-    cum += p[i] - q[i];
-    total += std::abs(cum);
-  }
-  return total / static_cast<double>(p.size() - 1);
+  const double total =
+      common::simd::ActiveKernels().prefix_abs_diff_sum(p, q, n - 1);
+  return total / static_cast<double>(n - 1);
 }
 
-double KlOneWay(const std::vector<double>& p, const std::vector<double>& q) {
+// KL and JS are transcendental-bound (log per element); they keep the
+// scalar loops.
+
+double KlOneWay(const double* p, const double* q, size_t n) {
   double sum = 0.0;
-  for (size_t i = 0; i < p.size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     const double pi = p[i] + kSmoothingEpsilon;
     const double qi = q[i] + kSmoothingEpsilon;
     sum += pi * std::log(pi / qi);
@@ -60,17 +52,15 @@ double KlOneWay(const std::vector<double>& p, const std::vector<double>& q) {
   return std::max(0.0, sum);
 }
 
-double KlSymmetric(const std::vector<double>& p,
-                   const std::vector<double>& q) {
-  const double j = KlOneWay(p, q) + KlOneWay(q, p);
+double KlSymmetric(const double* p, const double* q, size_t n) {
+  const double j = KlOneWay(p, q, n) + KlOneWay(q, p, n);
   // Squash the unbounded Jeffreys divergence into [0, 1).
   return 1.0 - std::exp(-j / 2.0);
 }
 
-double JensenShannon(const std::vector<double>& p,
-                     const std::vector<double>& q) {
+double JensenShannon(const double* p, const double* q, size_t n) {
   double sum = 0.0;
-  for (size_t i = 0; i < p.size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     const double pi = p[i] + kSmoothingEpsilon;
     const double qi = q[i] + kSmoothingEpsilon;
     const double mi = (pi + qi) / 2.0;
@@ -119,25 +109,30 @@ common::Result<DistanceKind> DistanceKindFromName(std::string_view name) {
                                   std::string(name));
 }
 
+double Distance(DistanceKind kind, const double* p, const double* q,
+                size_t n) {
+  if (n == 0) return 0.0;
+  switch (kind) {
+    case DistanceKind::kEuclidean:
+      return Euclidean(p, q, n);
+    case DistanceKind::kManhattan:
+      return Manhattan(p, q, n);
+    case DistanceKind::kChebyshev:
+      return Chebyshev(p, q, n);
+    case DistanceKind::kEarthMovers:
+      return EarthMovers(p, q, n);
+    case DistanceKind::kKlDivergence:
+      return KlSymmetric(p, q, n);
+    case DistanceKind::kJensenShannon:
+      return JensenShannon(p, q, n);
+  }
+  return 0.0;
+}
+
 double Distance(DistanceKind kind, const std::vector<double>& p,
                 const std::vector<double>& q) {
   MUVE_DCHECK(p.size() == q.size()) << "distribution length mismatch";
-  if (p.empty()) return 0.0;
-  switch (kind) {
-    case DistanceKind::kEuclidean:
-      return Euclidean(p, q);
-    case DistanceKind::kManhattan:
-      return Manhattan(p, q);
-    case DistanceKind::kChebyshev:
-      return Chebyshev(p, q);
-    case DistanceKind::kEarthMovers:
-      return EarthMovers(p, q);
-    case DistanceKind::kKlDivergence:
-      return KlSymmetric(p, q);
-    case DistanceKind::kJensenShannon:
-      return JensenShannon(p, q);
-  }
-  return 0.0;
+  return Distance(kind, p.data(), q.data(), p.size());
 }
 
 }  // namespace muve::core

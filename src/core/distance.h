@@ -16,6 +16,7 @@
 #ifndef MUVE_CORE_DISTANCE_H_
 #define MUVE_CORE_DISTANCE_H_
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -37,9 +38,17 @@ const char* DistanceKindName(DistanceKind kind);
 common::Result<DistanceKind> DistanceKindFromName(std::string_view name);
 
 // Computes the normalized distance between two equal-length probability
-// distributions.  Aborts (debug) on length mismatch; returns 0 for empty
-// or singleton inputs where the metric is degenerate (e.g. EMD with one
-// bin).
+// distributions of length `n`.  Returns 0 for empty or singleton inputs
+// where the metric is degenerate (e.g. EMD with one bin).  The dense
+// cores (Euclidean/Manhattan/Chebyshev/EMD) dispatch through the SIMD
+// kernel layer (common/simd/simd.h); KL and JS stay scalar
+// (transcendental-bound).  Span-style view: callers pass scratch buffers
+// without materializing vectors.
+double Distance(DistanceKind kind, const double* p, const double* q,
+                size_t n);
+
+// Thin vector overload (tests, cold paths).  Aborts (debug) on length
+// mismatch.
 double Distance(DistanceKind kind, const std::vector<double>& p,
                 const std::vector<double>& q);
 

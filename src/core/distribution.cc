@@ -2,23 +2,19 @@
 
 #include <cmath>
 
+#include "common/simd/simd.h"
+
 namespace muve::core {
+
+double NormalizeToDistribution(const double* src, size_t n, double* dst) {
+  return common::simd::ActiveKernels().normalize_into(src, n, dst);
+}
 
 std::vector<double> NormalizeToDistribution(
     const std::vector<double>& aggregates) {
   std::vector<double> p(aggregates.size());
   if (aggregates.empty()) return p;
-  double total = 0.0;
-  for (size_t i = 0; i < aggregates.size(); ++i) {
-    p[i] = aggregates[i] > 0.0 ? aggregates[i] : 0.0;
-    total += p[i];
-  }
-  if (total <= 0.0) {
-    const double uniform = 1.0 / static_cast<double>(p.size());
-    for (double& v : p) v = uniform;
-    return p;
-  }
-  for (double& v : p) v /= total;
+  NormalizeToDistribution(aggregates.data(), aggregates.size(), p.data());
   return p;
 }
 

@@ -11,9 +11,17 @@
 #ifndef MUVE_CORE_DISTRIBUTION_H_
 #define MUVE_CORE_DISTRIBUTION_H_
 
+#include <cstddef>
 #include <vector>
 
 namespace muve::core {
+
+// Span-style core: normalizes src[0..n) into dst[0..n) (clamp negatives
+// to zero; all-zero input becomes uniform).  dst may not alias src.
+// Returns the clamped pre-normalization total (the G of Section II-A).
+// Dispatches through the SIMD kernel layer; hot callers (the evaluator's
+// probe loop) reuse scratch buffers through this entry point.
+double NormalizeToDistribution(const double* src, size_t n, double* dst);
 
 // Normalizes `aggregates` into a probability distribution (non-negative,
 // summing to 1).  Empty input returns empty.

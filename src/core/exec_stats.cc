@@ -40,6 +40,7 @@ void ExecStats::Merge(const ExecStats& other) {
   deviation_time_ms += other.deviation_time_ms;
   accuracy_time_ms += other.accuracy_time_ms;
   if (other.num_workers > num_workers) num_workers = other.num_workers;
+  if (simd_dispatch.empty()) simd_dispatch = other.simd_dispatch;
   completeness.Merge(other.completeness);
 }
 
@@ -62,6 +63,7 @@ std::string ExecStats::ToString() const {
       << " fused=" << fused_builds
       << " morsels=" << morsels_dispatched
       << " workers=" << num_workers;
+  if (!simd_dispatch.empty()) out << " simd=" << simd_dispatch;
   if (predicate_rows_filtered > 0 || setup_time_ms > 0.0) {
     out << " filtered=" << predicate_rows_filtered
         << " setup=" << common::FormatDouble(setup_time_ms, 3) << "ms";

@@ -97,6 +97,12 @@ struct ExecStats {
   double deviation_time_ms = 0.0;
   double accuracy_time_ms = 0.0;
 
+  // SIMD dispatch level the kernels ran at ("scalar" / "avx2" / "neon");
+  // set by the recommender from common::simd::ActiveLevelName().  Merge
+  // adopts the other block's value when this one is empty (per-worker
+  // stat blocks all run the same process-wide dispatch table).
+  std::string simd_dispatch;
+
   // Width of the thread pool whose workers produced these stats
   // (1 = serial).  Merge keeps the maximum: folding W per-worker stat
   // blocks into one run total must report the pool width W, not W * 1,

@@ -4,10 +4,14 @@
 
 namespace muve::core {
 
-double TotalUtility(const std::vector<ScoredView>& views) {
+double TotalUtility(const ScoredView* views, size_t n) {
   double total = 0.0;
-  for (const ScoredView& v : views) total += v.utility;
+  for (size_t i = 0; i < n; ++i) total += views[i].utility;
   return total;
+}
+
+double TotalUtility(const std::vector<ScoredView>& views) {
+  return TotalUtility(views.data(), views.size());
 }
 
 double Fidelity(const std::vector<ScoredView>& optimal,

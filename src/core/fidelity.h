@@ -9,11 +9,16 @@
 #ifndef MUVE_CORE_FIDELITY_H_
 #define MUVE_CORE_FIDELITY_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "core/candidate.h"
 
 namespace muve::core {
+
+// Sum of utilities of a recommendation set (span-style view; the vector
+// overload below forwards here).
+double TotalUtility(const ScoredView* views, size_t n);
 
 // Sum of utilities of a recommendation set.
 double TotalUtility(const std::vector<ScoredView>& views);

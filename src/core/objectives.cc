@@ -1,8 +1,10 @@
 #include "core/objectives.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/logging.h"
+#include "common/simd/simd.h"
 
 namespace muve::core {
 
@@ -14,28 +16,33 @@ double AccuracyFromSeries(const std::vector<double>& raw_keys,
   if (t == 0) return 1.0;
   MUVE_DCHECK(binned.num_bins >= 1);
 
-  // n_x: observed distinct values per bin.
+  const auto& kernels = common::simd::ActiveKernels();
+
+  // Bin index per distinct key (bit-exact across dispatch levels).
+  std::vector<int32_t> bin_of_key(t);
+  kernels.bin_index_into(raw_keys.data(), t, binned.lo, binned.hi,
+                         binned.num_bins, bin_of_key.data());
+
+  // n_x: observed distinct values per bin (scatter; stays scalar).
   std::vector<size_t> distinct_per_bin(
       static_cast<size_t>(binned.num_bins), 0);
-  std::vector<int> bin_of_key(t);
   for (size_t j = 0; j < t; ++j) {
-    const int bin =
-        storage::BinIndexFor(raw_keys[j], binned.lo, binned.hi,
-                             binned.num_bins);
-    bin_of_key[j] = bin;
-    ++distinct_per_bin[static_cast<size_t>(bin)];
+    ++distinct_per_bin[static_cast<size_t>(bin_of_key[j])];
   }
 
-  double r = 0.0;
+  // Per-key representative (gather + the same divide as the historical
+  // loop), then the relative-SSE reduction over the dense arrays.  In
+  // scalar dispatch this computes bit-identically to the historical
+  // fused loop: the per-element ops and their order are unchanged, the
+  // g == 0 keys are skipped inside the kernel.
+  std::vector<double> representative(t);
   for (size_t j = 0; j < t; ++j) {
-    const double g = raw_aggregates[j];
-    if (g == 0.0) continue;  // relative error undefined; see header
     const size_t bin = static_cast<size_t>(bin_of_key[j]);
-    const double n_x = static_cast<double>(distinct_per_bin[bin]);
-    const double representative = binned.aggregates[bin] / n_x;
-    const double diff = g - representative;
-    r += (diff * diff) / (g * g);
+    representative[j] = binned.aggregates[bin] /
+                        static_cast<double>(distinct_per_bin[bin]);
   }
+  const double r = kernels.relative_sse(raw_aggregates.data(),
+                                        representative.data(), t);
   const double accuracy = 1.0 - r / static_cast<double>(t);
   return std::clamp(accuracy, 0.0, 1.0);
 }

@@ -14,6 +14,7 @@
 #include "common/exec_context.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/simd/simd.h"
 #include "common/thread_pool.h"
 #include "core/horizontal_search.h"
 #include "core/partitioner.h"
@@ -73,6 +74,7 @@ class WorkerSet {
       merged.Merge(evaluator->stats());
     }
     merged.num_workers = static_cast<int>(evaluators_.size());
+    merged.simd_dispatch = common::simd::ActiveLevelName();
     return merged;
   }
 

@@ -326,6 +326,21 @@ const ViewEvaluator::RawSeries& ViewEvaluator::RawTargetSeries(
   return raw_cache_.emplace(key, std::move(series)).first->second;
 }
 
+double ViewEvaluator::NormalizedSeriesDistance(
+    const std::vector<double>& target_aggs,
+    const std::vector<double>& comparison_aggs) {
+  MUVE_DCHECK(target_aggs.size() == comparison_aggs.size())
+      << "distribution length mismatch";
+  const size_t n = target_aggs.size();
+  if (dist_p_.size() < n) {
+    dist_p_.resize(n);
+    dist_q_.resize(n);
+  }
+  NormalizeToDistribution(target_aggs.data(), n, dist_p_.data());
+  NormalizeToDistribution(comparison_aggs.data(), n, dist_q_.data());
+  return Distance(options_.distance, dist_p_.data(), dist_q_.data(), n);
+}
+
 double ViewEvaluator::EvaluateDeviation(const View& view, int bins) {
   if (space_.dimension_info(view.dimension).categorical) {
     return EvaluateCategoricalDeviation(view);
@@ -335,10 +350,8 @@ double ViewEvaluator::EvaluateDeviation(const View& view, int bins) {
       ExecuteBinnedComparison(view, bins);
 
   common::Stopwatch timer;
-  const std::vector<double> p = NormalizeToDistribution(target.aggregates);
-  const std::vector<double> q =
-      NormalizeToDistribution(comparison.aggregates);
-  const double deviation = Distance(options_.distance, p, q);
+  const double deviation =
+      NormalizedSeriesDistance(target.aggregates, comparison.aggregates);
   const double ms = timer.ElapsedMillis();
   stats_.deviation_time_ms += ms;
   ++stats_.deviation_evals;
@@ -402,10 +415,8 @@ double ViewEvaluator::EvaluateCategoricalDeviation(const View& view) {
   MUVE_CHECK(t == target->num_groups())
       << "categorical alignment dropped " << (target->num_groups() - t)
       << " trailing target group(s) — D_Q is not a subset of D_B";
-  const std::vector<double> p = NormalizeToDistribution(aligned);
-  const std::vector<double> q =
-      NormalizeToDistribution(comparison->aggregates);
-  const double deviation = Distance(options_.distance, p, q);
+  const double deviation =
+      NormalizedSeriesDistance(aligned, comparison->aggregates);
   const double ms = distance_timer.ElapsedMillis();
   stats_.deviation_time_ms += ms;
   ++stats_.deviation_evals;
@@ -554,11 +565,8 @@ ViewEvaluator::BatchScores ViewEvaluator::EvaluateSharedBatch(
   scores.accuracies.resize(views.size());
   for (size_t i = 0; i < views.size(); ++i) {
     common::Stopwatch distance_timer;
-    const std::vector<double> p =
-        NormalizeToDistribution(targets[i].aggregates);
-    const std::vector<double> q =
-        NormalizeToDistribution(comparisons[i].aggregates);
-    scores.deviations[i] = Distance(options_.distance, p, q);
+    scores.deviations[i] = NormalizedSeriesDistance(
+        targets[i].aggregates, comparisons[i].aggregates);
     const double distance_ms = distance_timer.ElapsedMillis();
     stats_.deviation_time_ms += distance_ms;
     ++stats_.deviation_evals;

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/exec_context.h"
+#include "common/simd/aligned.h"
 #include "core/cost_model.h"
 #include "core/distance.h"
 #include "core/exec_stats.h"
@@ -193,6 +194,11 @@ class ViewEvaluator {
   storage::BinnedResult ExecuteBinnedComparison(const View& view, int bins);
   double EvaluateCategoricalDeviation(const View& view);
   const RawSeries& RawTargetSeries(const View& view);
+  // Normalizes both aggregate series into the reusable aligned
+  // distribution buffers (dist_p_ / dist_q_) and returns their distance —
+  // the shared tail of every deviation probe.  No per-probe allocation.
+  double NormalizedSeriesDistance(const std::vector<double>& target_aggs,
+                                  const std::vector<double>& comparison_aggs);
 
   // Whether (view, any b) probes can be served by prefix-sum coarsening:
   // cache on, numeric dimension, moment-servable function, numeric
@@ -239,6 +245,11 @@ class ViewEvaluator {
   // Reusable fused-scan arena (dictionaries, key arrays, morsel
   // partials): builds through this evaluator stop allocating per build.
   storage::FusedScanScratch fused_scratch_;
+  // Reusable 64-byte-aligned distribution buffers for the deviation
+  // probes (see NormalizedSeriesDistance); sized to the largest series
+  // seen, never shrunk.
+  common::simd::AlignedVector<double> dist_p_;
+  common::simd::AlignedVector<double> dist_q_;
   // One-entry binned-target cache for within-candidate reuse.
   std::string cached_target_key_;
   int cached_target_bins_ = -1;

@@ -6,6 +6,8 @@
 
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "common/simd/aligned.h"
+#include "common/simd/simd.h"
 #include "storage/fused_scan.h"
 
 namespace muve::storage {
@@ -102,29 +104,36 @@ BinnedResult CoarsenBaseHistogram(const BaseHistogram& base,
   // BinIndexFor the direct scan uses, so the row-to-bin assignment is
   // identical by construction.  BinIndexFor is monotone non-decreasing
   // in the value and the fine bins are sorted, so one forward pass
-  // suffices: O(d) BinIndexFor calls, independent of num_bins — which
-  // matters when b greatly exceeds the number of distinct values (e.g.
-  // b_max = 1440 over a few hundred distinct minutes-played values;
-  // the earlier per-bin binary search was O(b log d) and dominated the
-  // probe).  Empty coarse bins are skipped implicitly (left at 0).
-  size_t start = 0;
-  while (start < d) {
-    const int k = BinIndexFor(base.values[start], lo, hi, num_bins);
-    size_t end = start + 1;
-    while (end < d && BinIndexFor(base.values[end], lo, hi, num_bins) == k) {
-      ++end;
-    }
-    const int64_t count =
-        base.prefix_counts[end] - base.prefix_counts[start];
+  // suffices: O(d) bin-index evaluations, independent of num_bins —
+  // which matters when b greatly exceeds the number of distinct values
+  // (e.g. b_max = 1440 over a few hundred distinct minutes-played
+  // values; the earlier per-bin binary search was O(b log d) and
+  // dominated the probe).  Empty coarse bins are skipped implicitly
+  // (left at 0).  The pass runs through the SIMD kernel table's
+  // coarsen_by_prefix_diff (bit-identical across dispatch levels: the
+  // index computation is pinned bit-exact and the moment diffs subtract
+  // identical prefix values); per-thread aligned scratch keeps the
+  // moment slabs allocation-free across probes.
+  thread_local common::simd::AlignedVector<int64_t> counts;
+  thread_local common::simd::AlignedVector<double> sums;
+  thread_local common::simd::AlignedVector<double> sum_sqs;
+  const size_t nb = static_cast<size_t>(num_bins);
+  if (counts.size() < nb) {
+    counts.resize(nb);
+    sums.resize(nb);
+    sum_sqs.resize(nb);
+  }
+  common::simd::ActiveKernels().coarsen_by_prefix_diff(
+      base.values.data(), d, lo, hi, num_bins, base.prefix_counts.data(),
+      base.prefix_sums.data(), base.prefix_sum_sqs.data(), counts.data(),
+      sums.data(), sum_sqs.data());
+  for (size_t k = 0; k < nb; ++k) {
+    const int64_t count = counts[k];
     if (count > 0) {
-      const double sum = base.prefix_sums[end] - base.prefix_sums[start];
-      const double sum_sq =
-          base.prefix_sum_sqs[end] - base.prefix_sum_sqs[start];
-      out.aggregates[static_cast<size_t>(k)] =
-          FinishFromMoments(function, count, sum, sum_sq);
-      out.row_counts[static_cast<size_t>(k)] = static_cast<size_t>(count);
+      out.aggregates[k] =
+          FinishFromMoments(function, count, sums[k], sum_sqs[k]);
+      out.row_counts[k] = static_cast<size_t>(count);
     }
-    start = end;
   }
   return out;
 }

@@ -2,17 +2,14 @@
 
 #include <cmath>
 
+#include "common/simd/simd.h"
+
 namespace muve::storage {
 
 int BinIndexFor(double value, double lo, double hi, int num_bins) {
-  if (num_bins <= 1) return 0;
-  if (value <= lo) return 0;
-  if (value >= hi) return num_bins - 1;
-  const double width = (hi - lo) / static_cast<double>(num_bins);
-  int idx = static_cast<int>((value - lo) / width);
-  if (idx >= num_bins) idx = num_bins - 1;
-  if (idx < 0) idx = 0;
-  return idx;
+  // Single source of truth: the SIMD layer's reference semantics (every
+  // vectorized bin_index_into kernel is pinned bit-exact against it).
+  return common::simd::BinIndexReference(value, lo, hi, num_bins);
 }
 
 common::Result<BinnedResult> BinnedAggregate(

@@ -8,6 +8,7 @@
 #include "common/exec_context.h"
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "common/simd/simd.h"
 #include "common/thread_pool.h"
 #include "storage/column.h"
 
@@ -15,8 +16,10 @@ namespace muve::storage {
 
 namespace {
 
-// Dense-key sentinel for NULL dimension cells.
-constexpr uint32_t kNullKey = std::numeric_limits<uint32_t>::max();
+// Dense-key sentinel for NULL dimension cells (the SIMD keyed
+// accumulators share the same sentinel).
+constexpr uint32_t kNullKey = common::simd::kNullKey32;
+static_assert(kNullKey == std::numeric_limits<uint32_t>::max());
 
 // Runs fn(index) for every index in [0, count): inline when no pool (or
 // trivially small), data-parallel on the shared pool otherwise.  Every
@@ -63,27 +66,6 @@ void FillKeys(const ValidityBitmap& valid, const T* data,
     const auto it = std::lower_bound(dict.begin(), dict.end(), v);
     MUVE_DCHECK(it != dict.end() && *it == v);
     keys[p] = static_cast<uint32_t>(it - dict.begin());
-  }
-}
-
-// Phase C kernel: accumulate one (pair, morsel) block.  `keys` is indexed
-// by row POSITION (position within the row set), measure data by row id.
-// Per fine bin, additions happen in row order within the morsel — the
-// association the exactness contract relies on.
-template <typename T>
-void AccumulatePair(const uint32_t* rows, size_t begin, size_t end,
-                    const uint32_t* keys, const ValidityBitmap& valid,
-                    const T* data, bool all_valid, int64_t* counts,
-                    double* sums, double* sum_sqs) {
-  for (size_t p = begin; p < end; ++p) {
-    const uint32_t k = keys[p];
-    if (k == kNullKey) continue;  // NULL dimension cell
-    const uint32_t row = rows[p];
-    if (!all_valid && !valid.Get(row)) continue;  // NULL measure cell
-    const double m = static_cast<double>(data[row]);
-    ++counts[k];
-    sums[k] += m;
-    sum_sqs[k] += m * m;
   }
 }
 
@@ -215,6 +197,12 @@ common::Result<std::vector<BaseHistogram>> FusedBuildBaseHistograms(
   std::atomic<bool> fault_injected{false};
 
   // Phase C: morsel-parallel accumulation into per-morsel partials.
+  // The keyed scatter-adds run through the SIMD kernel table; `keys` is
+  // indexed by row POSITION, measure data by row id, and per fine bin
+  // the additions happen in row order within the morsel — the
+  // association the exactness contract relies on (the kernels are
+  // bit-identical across dispatch levels here).
+  const common::simd::KernelTable& kernels = common::simd::ActiveKernels();
   RunIndexed(pool, num_morsels, [&](size_t m) {
     if (aborted.load(std::memory_order_relaxed)) return;
     switch (MUVE_FAILPOINT("fused_scan.morsel")) {
@@ -239,14 +227,16 @@ common::Result<std::vector<BaseHistogram>> FusedBuildBaseHistograms(
       const uint32_t* keys = scratch->keys[pair_dim[i]].data();
       const Column& mea = *mea_cols[i];
       const size_t off = pair_offset[i];
+      const uint64_t* validity_words =
+          mea_all_valid[i] ? nullptr : mea.validity().words();
       if (mea.type() == ValueType::kInt64) {
-        AccumulatePair(rows.data(), begin, end, keys, mea.validity(),
-                       mea.int64_data(), mea_all_valid[i], counts + off,
-                       sums + off, sum_sqs + off);
+        kernels.accumulate_count_sum_sq_i64(
+            rows.data(), begin, end, keys, validity_words,
+            mea.int64_data(), counts + off, sums + off, sum_sqs + off);
       } else {
-        AccumulatePair(rows.data(), begin, end, keys, mea.validity(),
-                       mea.double_data(), mea_all_valid[i], counts + off,
-                       sums + off, sum_sqs + off);
+        kernels.accumulate_count_sum_sq_f64(
+            rows.data(), begin, end, keys, validity_words,
+            mea.double_data(), counts + off, sums + off, sum_sqs + off);
       }
     }
   });

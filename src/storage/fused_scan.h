@@ -48,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd/aligned.h"
 #include "common/status.h"
 #include "storage/base_histogram_cache.h"
 #include "storage/table.h"
@@ -85,12 +86,17 @@ struct FusedScanStats {
 // sorted a fresh (value, measure) pair vector on every build — that
 // churn is gone).  A scratch instance must not be shared by concurrent
 // builds; per-evaluator ownership is the intended pattern.
+// The key arrays and morsel-partial arenas are 64-byte aligned
+// (common/simd/aligned.h): Phase C feeds them straight into the SIMD
+// keyed accumulators, and cache-line-aligned slabs keep the per-morsel
+// partials from straddling lines.
 struct FusedScanScratch {
-  std::vector<std::vector<double>> dicts;     // per-dimension sorted values
-  std::vector<std::vector<uint32_t>> keys;    // per-dimension dense keys
-  std::vector<int64_t> counts;                // morsel-partial arenas
-  std::vector<double> sums;
-  std::vector<double> sum_sqs;
+  std::vector<std::vector<double>> dicts;  // per-dimension sorted values
+  // per-dimension dense keys
+  std::vector<common::simd::AlignedVector<uint32_t>> keys;
+  common::simd::AlignedVector<int64_t> counts;  // morsel-partial arenas
+  common::simd::AlignedVector<double> sums;
+  common::simd::AlignedVector<double> sum_sqs;
 };
 
 // Builds the base histogram of every pair in `pairs` over `rows` in one

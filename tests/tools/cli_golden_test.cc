@@ -2,7 +2,8 @@
 // dataset (src/data/toy): the CLI's end-to-end output — dataset summary,
 // top-k lines, and the ExecStats counters — is pinned byte-for-byte
 // against checked-in golden files.  Wall-clock tokens (cost= / Ct= /
-// Cc= / Cd= / Ca= / setup=) are scrubbed to `*` before comparison; everything else
+// Cc= / Cd= / Ca= / setup=) and the host-dependent SIMD dispatch token
+// (simd=) are scrubbed to `*` before comparison; everything else
 // (utilities, objective values, query/row/base-histogram counters) is
 // deterministic on the toy workload and must not drift silently.
 //
@@ -76,7 +77,7 @@ std::string ScrubTimings(const std::string& text) {
                                   ? ""
                                   : token.substr(key_start, eq - key_start);
       if (key == "cost" || key == "Ct" || key == "Cc" || key == "Cd" ||
-          key == "Ca" || key == "setup") {
+          key == "Ca" || key == "setup" || key == "simd") {
         rebuilt << token.substr(0, eq + 1) << '*';
         if (!token.empty() && token.back() == ')') rebuilt << ')';
       } else {

@@ -61,7 +61,7 @@
 #include <vector>
 
 #include "common/exec_context.h"
-
+#include "common/simd/simd.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
@@ -446,7 +446,9 @@ int RunCli(int argc, char** argv) {
             << dataset->target_rows.size() << " in D_Q)\n"
             << "views:   " << recommender->space().views().size()
             << " candidates, " << recommender->space().TotalBinnedViews()
-            << " binned views\n";
+            << " binned views\n"
+            << "engine:  simd=" << muve::common::simd::ActiveLevelName()
+            << "\n";
   // Optional cancellation watchdog: a side thread trips the token after
   // --cancel-after-ms.  The search notices at its next work boundary and
   // returns the best top-k found so far (DEGRADED, exit code 5).
