@@ -1,0 +1,154 @@
+#include "common/parse.h"
+
+#include <charconv>
+#include <cmath>
+#include <locale>
+#include <sstream>
+
+namespace muve::common {
+
+namespace {
+
+std::string Quoted(std::string_view text) {
+  std::string out = "'";
+  // Bound the echoed token so a pathological input can't balloon the
+  // diagnostic (and with it, a protocol error frame).
+  constexpr size_t kMaxEcho = 64;
+  if (text.size() <= kMaxEcho) {
+    out.append(text);
+  } else {
+    out.append(text.substr(0, kMaxEcho));
+    out += "...";
+  }
+  out += "'";
+  return out;
+}
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+// Validates the exact grammar both int and double parsing accept:
+//   sign? ( digits ('.' digits?)? | '.' digits ) ( [eE] sign? digits )?
+// The validator is what keeps the from_chars and fallback paths
+// identical: strtod-family fallbacks would otherwise accept hex floats,
+// "inf", "nan", and locale decimal points that from_chars never does.
+bool ValidDoubleToken(std::string_view text) {
+  size_t i = 0;
+  const size_t n = text.size();
+  if (i < n && (text[i] == '+' || text[i] == '-')) ++i;
+  size_t int_digits = 0;
+  while (i < n && IsDigit(text[i])) ++i, ++int_digits;
+  size_t frac_digits = 0;
+  if (i < n && text[i] == '.') {
+    ++i;
+    while (i < n && IsDigit(text[i])) ++i, ++frac_digits;
+  }
+  if (int_digits + frac_digits == 0) return false;
+  if (i < n && (text[i] == 'e' || text[i] == 'E')) {
+    ++i;
+    if (i < n && (text[i] == '+' || text[i] == '-')) ++i;
+    size_t exp_digits = 0;
+    while (i < n && IsDigit(text[i])) ++i, ++exp_digits;
+    if (exp_digits == 0) return false;
+  }
+  return i == n;
+}
+
+}  // namespace
+
+Result<int64_t> ParseInt64Strict(std::string_view text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("empty integer token");
+  }
+  // from_chars rejects a leading '+'; accept it here so "+5" parses the
+  // way every other numeric frontend treats it.
+  std::string_view body = text;
+  if (body.front() == '+') {
+    body.remove_prefix(1);
+    if (body.empty() || body.front() == '-' || body.front() == '+') {
+      return Status::InvalidArgument("cannot parse " + Quoted(text) +
+                                     " as an integer");
+    }
+  }
+  int64_t value = 0;
+  const char* begin = body.data();
+  const char* end = body.data() + body.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value, 10);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::InvalidArgument("integer " + Quoted(text) +
+                                   " is out of int64 range");
+  }
+  if (ec != std::errc() || ptr != end) {
+    return Status::InvalidArgument("cannot parse " + Quoted(text) +
+                                   " as an integer");
+  }
+  return value;
+}
+
+Result<double> ParseDoubleStrict(std::string_view text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("empty numeric token");
+  }
+  if (!ValidDoubleToken(text)) {
+    return Status::InvalidArgument("cannot parse " + Quoted(text) +
+                                   " as a number");
+  }
+  std::string_view body = text;
+  if (body.front() == '+') body.remove_prefix(1);  // from_chars rejects '+'
+  double value = 0.0;
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+  const char* begin = body.data();
+  const char* end = body.data() + body.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::InvalidArgument("number " + Quoted(text) +
+                                   " is out of double range");
+  }
+  if (ec != std::errc() || ptr != end) {
+    return Status::InvalidArgument("cannot parse " + Quoted(text) +
+                                   " as a number");
+  }
+#else
+  // Fallback: classic-locale stream extraction.  The validator above has
+  // already pinned the grammar, so this only converts digits.
+  std::istringstream in{std::string(body)};
+  in.imbue(std::locale::classic());
+  in >> value;
+  if (!in || !in.eof()) {
+    return Status::InvalidArgument("cannot parse " + Quoted(text) +
+                                   " as a number");
+  }
+#endif
+  if (!std::isfinite(value)) {
+    return Status::InvalidArgument("number " + Quoted(text) +
+                                   " is out of double range");
+  }
+  return value;
+}
+
+Result<int64_t> ParseFlagInt64(std::string_view flag, std::string_view text,
+                               int64_t min_value, int64_t max_value) {
+  auto parsed = ParseInt64Strict(text);
+  if (!parsed.ok() || *parsed < min_value || *parsed > max_value) {
+    return Status::InvalidArgument(
+        std::string(flag) + ": expected an integer in [" +
+        std::to_string(min_value) + ", " + std::to_string(max_value) +
+        "], got " + Quoted(text));
+  }
+  return *parsed;
+}
+
+Result<double> ParseFlagDouble(std::string_view flag, std::string_view text,
+                               double min_value, double max_value) {
+  auto parsed = ParseDoubleStrict(text);
+  if (!parsed.ok() || *parsed < min_value || *parsed > max_value) {
+    std::ostringstream range;
+    range.imbue(std::locale::classic());
+    range << min_value << ", " << max_value;
+    return Status::InvalidArgument(std::string(flag) +
+                                   ": expected a number in [" + range.str() +
+                                   "], got " + Quoted(text));
+  }
+  return *parsed;
+}
+
+}  // namespace muve::common

@@ -34,6 +34,28 @@ const char* StatusCodeName(StatusCode code) {
   return "unknown";
 }
 
+int ExitCodeForStatus(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+    case StatusCode::kTypeMismatch:
+      return 2;
+    case StatusCode::kIoError:
+    case StatusCode::kNotFound:
+      return 3;
+    case StatusCode::kDeadlineExceeded:
+      return 4;
+    case StatusCode::kCancelled:
+      return 5;
+    case StatusCode::kResourceExhausted:
+      return 6;
+    default:
+      return 1;
+  }
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeName(code_);

@@ -42,6 +42,13 @@ enum class StatusCode {
 // Returns a stable lowercase name for `code` (e.g. "invalid_argument").
 const char* StatusCodeName(StatusCode code);
 
+// The shared outcome-code table of the user-facing frontends: muve_cli
+// exits with it, muved sends it as the protocol error's `exit_code`.
+//   0 OK · 1 internal/unclassified · 2 invalid input (argument/parse/
+//   type) · 3 I/O or missing file · 4 deadline exceeded · 5 cancelled ·
+//   6 resource budget exhausted
+int ExitCodeForStatus(StatusCode code);
+
 // A cheap, value-semantic success-or-error type.  An OK status carries no
 // message; an error status carries a code and a human-readable message.
 class Status {

@@ -1,0 +1,93 @@
+// Minimal JSON value model for the muved wire protocol.
+//
+// muved frames carry one JSON object each (server/protocol.h).  This is
+// a deliberately small, dependency-free document model:
+//
+//   * Parsing is strict: one complete value, no trailing bytes, no
+//     comments, no NaN/Infinity literals, depth-limited.  Numbers decode
+//     through common/parse.h — the same strict, locale-independent rules
+//     as CLI flags and CSV cells — and keep the int64/double distinction
+//     (a token without '.', 'e' or 'E' is an int64; int64 overflow makes
+//     it a parse error rather than silently becoming an imprecise
+//     double, so ids and row budgets can't be corrupted in transit).
+//   * Objects preserve insertion order and serialization is canonical
+//     (compact separators, shortest-round-trip doubles via to_chars),
+//     so two responses built from bit-identical values serialize to
+//     byte-identical frames — which is what lets the dispatch-invariance
+//     check run across the wire.
+//   * Duplicate object keys are a parse error (request fields must not
+//     be smuggled twice with different values).
+
+#ifndef MUVE_SERVER_JSON_H_
+#define MUVE_SERVER_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace muve::server {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() : kind_(Kind::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Int(int64_t i);
+  static JsonValue Double(double d);
+  static JsonValue String(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_double() const { return kind_ == Kind::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  // Accessors abort on kind mismatch (programming error — protocol code
+  // must check kind()/Find first).
+  bool bool_value() const;
+  int64_t int_value() const;
+  // Numeric value as double; valid for both kInt and kDouble.
+  double number_value() const;
+  const std::string& string_value() const;
+  const std::vector<JsonValue>& array() const;
+  std::vector<JsonValue>& array();
+  const std::vector<Member>& members() const;
+
+  // Object helpers.  Find returns nullptr when absent (or non-object).
+  const JsonValue* Find(std::string_view key) const;
+  void Set(std::string_view key, JsonValue value);  // appends or replaces
+  void Append(JsonValue value);                     // arrays only
+
+  // Canonical compact serialization (see header comment).
+  std::string Write() const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<Member> members_;
+};
+
+// Parses exactly one JSON value spanning all of `text`.
+common::Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace muve::server
+
+#endif  // MUVE_SERVER_JSON_H_

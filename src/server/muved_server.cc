@@ -1,0 +1,753 @@
+#include "server/muved_server.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <initializer_list>
+#include <limits>
+#include <utility>
+
+#include "common/exec_context.h"
+#include "common/simd/simd.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/search_options.h"
+#include "data/diab.h"
+#include "data/nba.h"
+#include "data/toy.h"
+#include "server/protocol.h"
+#include "sql/parser.h"
+#include "storage/predicate.h"
+
+namespace muve::server {
+
+namespace {
+
+using common::Result;
+using common::Status;
+
+// ---------------------------------------------------------------------------
+// Strict request-field decoding.
+//
+// Every field is checked for type AND range, unknown fields are
+// rejected, and every diagnostic names the offending field — the wire
+// mirror of the CLI's flag parsing.  Numbers already passed the shared
+// strict parser inside ParseJson; these helpers add the per-field
+// semantics.
+// ---------------------------------------------------------------------------
+
+Status CheckAllowedFields(const JsonValue& request,
+                          std::initializer_list<std::string_view> allowed) {
+  for (const auto& [key, value] : request.members()) {
+    (void)value;
+    bool known = false;
+    for (std::string_view name : allowed) {
+      if (key == name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument("unknown request field \"" + key + "\"");
+    }
+  }
+  return Status::OK();
+}
+
+// Optional string field; `*out` is left alone when absent.
+Status GetString(const JsonValue& request, std::string_view name,
+                 std::string* out) {
+  const JsonValue* field = request.Find(name);
+  if (field == nullptr) return Status::OK();
+  if (!field->is_string()) {
+    return Status::InvalidArgument(std::string(name) + ": expected a string");
+  }
+  *out = field->string_value();
+  return Status::OK();
+}
+
+// Optional integer field with an inclusive range; `*out` untouched when
+// absent.  A double-typed JSON number is rejected: ids, k, and budgets
+// must arrive as integers.
+Status GetInt64(const JsonValue& request, std::string_view name, int64_t* out,
+                int64_t min_value, int64_t max_value) {
+  const JsonValue* field = request.Find(name);
+  if (field == nullptr) return Status::OK();
+  if (!field->is_int()) {
+    return Status::InvalidArgument(std::string(name) +
+                                   ": expected an integer");
+  }
+  const int64_t value = field->int_value();
+  if (value < min_value || value > max_value) {
+    return Status::InvalidArgument(
+        std::string(name) + ": expected an integer in [" +
+        std::to_string(min_value) + ", " + std::to_string(max_value) +
+        "], got " + std::to_string(value));
+  }
+  *out = value;
+  return Status::OK();
+}
+
+Status GetDouble(const JsonValue& request, std::string_view name, double* out,
+                 double min_value, double max_value) {
+  const JsonValue* field = request.Find(name);
+  if (field == nullptr) return Status::OK();
+  if (!field->is_number()) {
+    return Status::InvalidArgument(std::string(name) + ": expected a number");
+  }
+  const double value = field->number_value();
+  if (!(value >= min_value && value <= max_value)) {
+    return Status::InvalidArgument(std::string(name) + ": out of range");
+  }
+  *out = value;
+  return Status::OK();
+}
+
+Status GetBool(const JsonValue& request, std::string_view name, bool* out) {
+  const JsonValue* field = request.Find(name);
+  if (field == nullptr) return Status::OK();
+  if (!field->is_bool()) {
+    return Status::InvalidArgument(std::string(name) + ": expected a bool");
+  }
+  *out = field->bool_value();
+  return Status::OK();
+}
+
+// Optional "weights": [alpha_D, alpha_A, alpha_S], each in [0, 1].
+Status GetWeights(const JsonValue& request, std::string_view name,
+                  core::Weights* out, bool* present) {
+  const JsonValue* field = request.Find(name);
+  if (field == nullptr) return Status::OK();
+  if (!field->is_array() || field->array().size() != 3) {
+    return Status::InvalidArgument(
+        std::string(name) + ": expected an array of 3 numbers [D, A, S]");
+  }
+  double w[3];
+  for (size_t i = 0; i < 3; ++i) {
+    const JsonValue& e = field->array()[i];
+    if (!e.is_number() || !(e.number_value() >= 0.0) ||
+        !(e.number_value() <= 1.0)) {
+      return Status::InvalidArgument(std::string(name) +
+                                     ": each weight must be in [0, 1]");
+    }
+    w[i] = e.number_value();
+  }
+  *out = core::Weights{w[0], w[1], w[2]};
+  if (present != nullptr) *present = true;
+  return Status::OK();
+}
+
+Result<core::SearchOptions> SchemeByName(const std::string& scheme) {
+  core::SearchOptions options;
+  const std::string lower = common::ToLower(scheme);
+  if (lower == "linear-linear") {
+    options.horizontal = core::HorizontalStrategy::kLinear;
+    options.vertical = core::VerticalStrategy::kLinear;
+  } else if (lower == "hc-linear") {
+    options.horizontal = core::HorizontalStrategy::kHillClimbing;
+    options.vertical = core::VerticalStrategy::kLinear;
+  } else if (lower == "muve-linear") {
+    options.horizontal = core::HorizontalStrategy::kMuve;
+    options.vertical = core::VerticalStrategy::kLinear;
+  } else if (lower == "muve-muve") {
+    options.horizontal = core::HorizontalStrategy::kMuve;
+    options.vertical = core::VerticalStrategy::kMuve;
+  } else {
+    return Status::InvalidArgument("scheme: unknown \"" + scheme + "\"");
+  }
+  return options;
+}
+
+Result<core::ProbeOrderPolicy> ProbeOrderByName(const std::string& name) {
+  const std::string lower = common::ToLower(name);
+  if (lower == "priority") return core::ProbeOrderPolicy::kPriorityRule;
+  if (lower == "deviation-first") {
+    return core::ProbeOrderPolicy::kDeviationFirst;
+  }
+  if (lower == "accuracy-first") {
+    return core::ProbeOrderPolicy::kAccuracyFirst;
+  }
+  return Status::InvalidArgument("probe_order: unknown \"" + name + "\"");
+}
+
+JsonValue SerializeViews(const std::vector<core::ScoredView>& views) {
+  JsonValue array = JsonValue::Array();
+  for (const core::ScoredView& sv : views) {
+    JsonValue v = JsonValue::Object();
+    v.Set("dimension", JsonValue::String(sv.view.dimension));
+    v.Set("measure", JsonValue::String(sv.view.measure));
+    v.Set("function",
+          JsonValue::String(storage::AggregateName(sv.view.function)));
+    v.Set("bins", JsonValue::Int(sv.bins));
+    v.Set("utility", JsonValue::Double(sv.utility));
+    v.Set("deviation", JsonValue::Double(sv.deviation));
+    v.Set("accuracy", JsonValue::Double(sv.accuracy));
+    v.Set("usability", JsonValue::Double(sv.usability));
+    array.Append(std::move(v));
+  }
+  return array;
+}
+
+// Deterministic counters only — wall-clock and dispatch-level live in
+// the opt-in "timings" block, so the default recommend payload is
+// byte-identical across SIMD dispatch levels (for configurations the
+// engine itself makes deterministic).
+JsonValue SerializeStats(const core::ExecStats& stats) {
+  JsonValue s = JsonValue::Object();
+  s.Set("rows_scanned", JsonValue::Int(stats.rows_scanned));
+  s.Set("build_rows_scanned", JsonValue::Int(stats.build_rows_scanned));
+  s.Set("probe_rows_scanned", JsonValue::Int(stats.probe_rows_scanned));
+  s.Set("base_builds", JsonValue::Int(stats.base_builds));
+  s.Set("base_cache_hits", JsonValue::Int(stats.base_cache_hits));
+  s.Set("fused_builds", JsonValue::Int(stats.fused_builds));
+  s.Set("candidates_considered", JsonValue::Int(stats.candidates_considered));
+  s.Set("fully_probed", JsonValue::Int(stats.fully_probed));
+  s.Set("views_searched", JsonValue::Int(stats.views_searched));
+  s.Set("num_workers", JsonValue::Int(stats.num_workers));
+  return s;
+}
+
+JsonValue SerializeCompleteness(const core::ExecCompleteness& c) {
+  JsonValue out = JsonValue::Object();
+  out.Set("status", JsonValue::String(common::StatusCodeName(c.status)));
+  out.Set("views_fully_searched", JsonValue::Int(c.views_fully_searched));
+  out.Set("bins_pruned", JsonValue::Int(c.bins_pruned_by_deadline));
+  return out;
+}
+
+}  // namespace
+
+// Per-session protocol state: the session *is* the connection.
+struct MuvedServer::Session {
+  std::string dataset;    // current dataset ("" until a `use`)
+  std::string predicate;  // "" = the dataset's built-in predicate
+  int64_t default_k = 5;
+  core::Weights default_weights = core::Weights::PaperDefault();
+  std::string default_scheme = "muve-muve";
+};
+
+struct MuvedServer::Connection {
+  int fd = -1;
+  std::thread thread;
+  std::atomic<bool> done{false};
+
+  // The in-flight request's cancel token, if any; Stop() trips it so a
+  // long-deadline search cannot stall shutdown.
+  std::mutex cancel_mu;
+  std::shared_ptr<common::CancellationToken> active_cancel;
+
+  // The handler thread never close()s the socket itself — it only
+  // shutdown()s (FIN) and marks done.  The fd number stays allocated
+  // until the owner joins the thread and destroys the Connection, so
+  // Stop()'s shutdown(conn->fd) can never hit a recycled descriptor.
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+MuvedServer::MuvedServer(ServerOptions options)
+    : options_(std::move(options)) {}
+
+MuvedServer::~MuvedServer() { Stop(); }
+
+Status MuvedServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("bind 127.0.0.1:" + std::to_string(options_.port) +
+                           ": " + std::strerror(err));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError(std::string("listen: ") + std::strerror(err));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void MuvedServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket closed (shutdown) or fatal
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.connections_accepted;
+    }
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    // Reap finished handlers so a long-lived daemon doesn't accumulate
+    // one dead thread object per past connection.
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        if ((*it)->thread.joinable()) (*it)->thread.join();
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    conn->thread = std::thread([this, raw] { HandleConnection(raw); });
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void MuvedServer::HandleConnection(Connection* conn) {
+  Session session;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::string payload;
+    const Status read_status = ReadFrame(conn->fd, &payload);
+    if (!read_status.ok()) {
+      // kParseError = a malformed frame header (bad length prefix): the
+      // stream cannot be resynchronized, so answer with a protocol
+      // error and drop the connection — the server itself lives on.
+      if (read_status.code() == common::StatusCode::kParseError) {
+        (void)WriteMessage(conn->fd, ErrorResponse(read_status));
+      }
+      break;  // clean EOF (kNotFound), I/O error, or unsyncable frame
+    }
+    JsonValue response;
+    auto parsed = ParseJson(payload);
+    if (!parsed.ok()) {
+      // Malformed JSON inside a well-framed payload: the framing is
+      // intact, so report the error and KEEP the session alive.
+      response = ErrorResponse(parsed.status());
+    } else {
+      response = Dispatch(*parsed, &session, conn);
+    }
+    {
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.requests_served;
+      const JsonValue* ok = response.Find("ok");
+      if (ok == nullptr || !ok->is_bool() || !ok->bool_value()) {
+        ++counters_.errors_returned;
+      }
+    }
+    if (!WriteMessage(conn->fd, response).ok()) break;
+  }
+  ::shutdown(conn->fd, SHUT_RDWR);  // FIN now; the fd closes at reap/Stop
+  conn->done.store(true, std::memory_order_release);
+}
+
+JsonValue MuvedServer::Dispatch(const JsonValue& request, Session* session,
+                                Connection* conn) {
+  if (!request.is_object()) {
+    return ErrorResponse(
+        Status::InvalidArgument("request must be a JSON object"));
+  }
+  const JsonValue* op = request.Find("op");
+  if (op == nullptr || !op->is_string()) {
+    return ErrorResponse(
+        Status::InvalidArgument("request needs a string \"op\" field"));
+  }
+  const std::string& name = op->string_value();
+  if (name == "ping") return HandlePing(request);
+  if (name == "use") return HandleUse(request, session);
+  if (name == "defaults") return HandleDefaults(request, session);
+  if (name == "recommend") return HandleRecommend(request, session, conn);
+  if (name == "shutdown") {
+    if (!options_.allow_shutdown_op) {
+      return ErrorResponse(
+          Status::InvalidArgument("shutdown op disabled on this server"));
+    }
+    return HandleShutdown(session);
+  }
+  return ErrorResponse(Status::InvalidArgument("unknown op \"" + name + "\""));
+}
+
+JsonValue MuvedServer::HandlePing(const JsonValue& request) {
+  if (Status st = CheckAllowedFields(request, {"op"}); !st.ok()) {
+    return ErrorResponse(st);
+  }
+  JsonValue response = OkResponse("pong");
+  response.Set("simd",
+               JsonValue::String(common::simd::ActiveLevelName()));
+  response.Set("max_concurrent", JsonValue::Int(options_.max_concurrent));
+  return response;
+}
+
+JsonValue MuvedServer::HandleUse(const JsonValue& request, Session* session) {
+  if (Status st = CheckAllowedFields(request, {"op", "dataset", "predicate"});
+      !st.ok()) {
+    return ErrorResponse(st);
+  }
+  std::string dataset;
+  std::string predicate;
+  if (Status st = GetString(request, "dataset", &dataset); !st.ok()) {
+    return ErrorResponse(st);
+  }
+  if (Status st = GetString(request, "predicate", &predicate); !st.ok()) {
+    return ErrorResponse(st);
+  }
+  if (dataset.empty()) {
+    return ErrorResponse(Status::InvalidArgument("use: dataset is required"));
+  }
+  auto recommender = GetRecommender(dataset, predicate);
+  if (!recommender.ok()) return ErrorResponse(recommender.status());
+  session->dataset = dataset;
+  session->predicate = predicate;
+  JsonValue response = OkResponse("use");
+  response.Set("dataset", JsonValue::String(dataset));
+  response.Set("rows",
+               JsonValue::Int(static_cast<int64_t>(
+                   (*recommender)->dataset().table->num_rows())));
+  response.Set("target_rows",
+               JsonValue::Int(static_cast<int64_t>(
+                   (*recommender)->dataset().target_rows.size())));
+  response.Set("views", JsonValue::Int(static_cast<int64_t>(
+                            (*recommender)->space().views().size())));
+  response.Set("binned_views",
+               JsonValue::Int((*recommender)->space().TotalBinnedViews()));
+  return response;
+}
+
+JsonValue MuvedServer::HandleDefaults(const JsonValue& request,
+                                      Session* session) {
+  if (Status st = CheckAllowedFields(request, {"op", "k", "weights", "scheme"});
+      !st.ok()) {
+    return ErrorResponse(st);
+  }
+  int64_t k = session->default_k;
+  core::Weights weights = session->default_weights;
+  std::string scheme = session->default_scheme;
+  if (Status st = GetInt64(request, "k", &k, 1, 1000000); !st.ok()) {
+    return ErrorResponse(st);
+  }
+  if (Status st = GetWeights(request, "weights", &weights, nullptr);
+      !st.ok()) {
+    return ErrorResponse(st);
+  }
+  if (Status st = GetString(request, "scheme", &scheme); !st.ok()) {
+    return ErrorResponse(st);
+  }
+  if (auto probe = SchemeByName(scheme); !probe.ok()) {
+    return ErrorResponse(probe.status());
+  }
+  session->default_k = k;
+  session->default_weights = weights;
+  session->default_scheme = scheme;
+  JsonValue response = OkResponse("defaults");
+  response.Set("k", JsonValue::Int(k));
+  JsonValue w = JsonValue::Array();
+  w.Append(JsonValue::Double(weights.deviation));
+  w.Append(JsonValue::Double(weights.accuracy));
+  w.Append(JsonValue::Double(weights.usability));
+  response.Set("weights", std::move(w));
+  response.Set("scheme", JsonValue::String(common::ToLower(scheme)));
+  return response;
+}
+
+JsonValue MuvedServer::HandleRecommend(const JsonValue& request,
+                                       Session* session, Connection* conn) {
+  if (Status st = CheckAllowedFields(
+          request, {"op", "dataset", "predicate", "scheme", "k", "weights",
+                    "distance", "probe_order", "deadline_ms", "max_rows",
+                    "threads", "include_timings"});
+      !st.ok()) {
+    return ErrorResponse(st);
+  }
+  std::string dataset = session->dataset;
+  std::string predicate = session->predicate;
+  std::string scheme = session->default_scheme;
+  if (Status st = GetString(request, "dataset", &dataset); !st.ok()) {
+    return ErrorResponse(st);
+  }
+  if (request.Find("dataset") != nullptr) {
+    // An explicit dataset resets the predicate unless one rides along.
+    predicate.clear();
+  }
+  if (Status st = GetString(request, "predicate", &predicate); !st.ok()) {
+    return ErrorResponse(st);
+  }
+  if (dataset.empty()) {
+    return ErrorResponse(Status::InvalidArgument(
+        "recommend: no dataset (send {\"op\":\"use\",...} first or pass "
+        "\"dataset\")"));
+  }
+  if (Status st = GetString(request, "scheme", &scheme); !st.ok()) {
+    return ErrorResponse(st);
+  }
+  auto options = SchemeByName(scheme);
+  if (!options.ok()) return ErrorResponse(options.status());
+
+  options->weights = session->default_weights;
+  if (Status st = GetWeights(request, "weights", &options->weights, nullptr);
+      !st.ok()) {
+    return ErrorResponse(st);
+  }
+  int64_t k = session->default_k;
+  if (Status st = GetInt64(request, "k", &k, 1, 1000000); !st.ok()) {
+    return ErrorResponse(st);
+  }
+  options->k = static_cast<int>(k);
+
+  std::string distance;
+  if (Status st = GetString(request, "distance", &distance); !st.ok()) {
+    return ErrorResponse(st);
+  }
+  if (!distance.empty()) {
+    auto kind = core::DistanceKindFromName(distance);
+    if (!kind.ok()) return ErrorResponse(kind.status());
+    options->distance = *kind;
+  }
+  std::string probe_order;
+  if (Status st = GetString(request, "probe_order", &probe_order); !st.ok()) {
+    return ErrorResponse(st);
+  }
+  if (!probe_order.empty()) {
+    auto policy = ProbeOrderByName(probe_order);
+    if (!policy.ok()) return ErrorResponse(policy.status());
+    options->probe_order = *policy;
+  }
+  double deadline_ms = -1.0;
+  if (Status st = GetDouble(request, "deadline_ms", &deadline_ms, 0.0, 1e12);
+      !st.ok()) {
+    return ErrorResponse(st);
+  }
+  options->deadline_ms = deadline_ms;
+  int64_t max_rows = 0;
+  if (Status st = GetInt64(request, "max_rows", &max_rows, 0,
+                           std::numeric_limits<int64_t>::max());
+      !st.ok()) {
+    return ErrorResponse(st);
+  }
+  options->max_rows_scanned = max_rows;
+  int64_t threads = 1;
+  if (Status st = GetInt64(request, "threads", &threads, 1,
+                           options_.max_request_threads);
+      !st.ok()) {
+    return ErrorResponse(st);
+  }
+  options->num_threads = static_cast<int>(threads);
+  bool include_timings = false;
+  if (Status st = GetBool(request, "include_timings", &include_timings);
+      !st.ok()) {
+    return ErrorResponse(st);
+  }
+
+  auto recommender = GetRecommender(dataset, predicate);
+  if (!recommender.ok()) return ErrorResponse(recommender.status());
+
+  // Shutdown must not wait out a long deadline: every in-flight request
+  // carries a token Stop() can trip.
+  auto cancel = std::make_shared<common::CancellationToken>();
+  options->cancel_token = cancel;
+  {
+    std::lock_guard<std::mutex> lock(conn->cancel_mu);
+    conn->active_cancel = cancel;
+  }
+
+  double queue_ms = 0.0;
+  if (!AdmitRequest(&queue_ms)) {
+    std::lock_guard<std::mutex> lock(conn->cancel_mu);
+    conn->active_cancel.reset();
+    return ErrorResponse(
+        Status::Cancelled("server is shutting down; request not admitted"));
+  }
+  common::Stopwatch exec_timer;
+  auto rec = (*recommender)->Recommend(*options);
+  const double exec_ms = exec_timer.ElapsedMillis();
+  ReleaseRequest();
+  {
+    std::lock_guard<std::mutex> lock(conn->cancel_mu);
+    conn->active_cancel.reset();
+  }
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.recommends_executed;
+  }
+  if (!rec.ok()) return ErrorResponse(rec.status());
+
+  JsonValue response = OkResponse("recommend");
+  response.Set("dataset", JsonValue::String(dataset));
+  response.Set("scheme", JsonValue::String(rec->scheme));
+  response.Set("k", JsonValue::Int(k));
+  response.Set("degraded",
+               JsonValue::Bool(rec->stats.completeness.degraded));
+  response.Set("completeness", SerializeCompleteness(rec->stats.completeness));
+  response.Set("views", SerializeViews(rec->views));
+  response.Set("stats", SerializeStats(rec->stats));
+  if (include_timings) {
+    JsonValue timings = JsonValue::Object();
+    timings.Set("queue_ms", JsonValue::Double(queue_ms));
+    timings.Set("exec_ms", JsonValue::Double(exec_ms));
+    timings.Set("cost_ms", JsonValue::Double(rec->stats.TotalCostMillis()));
+    timings.Set("simd", JsonValue::String(rec->stats.simd_dispatch));
+    response.Set("timings", std::move(timings));
+  }
+  return response;
+}
+
+JsonValue MuvedServer::HandleShutdown(Session* session) {
+  (void)session;
+  RequestStop();
+  return OkResponse("shutdown");
+}
+
+Result<std::shared_ptr<const core::Recommender>> MuvedServer::GetRecommender(
+    const std::string& dataset, const std::string& predicate) {
+  const std::string key = dataset + '\x01' + predicate;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (auto& [k, rec] : registry_) {
+      if (k == key) return rec;
+    }
+  }
+  // Build outside the registry lock: a cold NBA build must not block a
+  // concurrent session's cache hit on another dataset.  Two sessions
+  // racing the same cold key both build; first insert wins and the loser
+  // adopts it.
+  data::Dataset base;
+  if (dataset == "diab") {
+    base = data::MakeDiabDataset();
+  } else if (dataset == "nba") {
+    base = data::MakeNbaDataset();
+  } else if (dataset == "toy") {
+    base = data::MakeToyDataset();
+  } else {
+    return Status::InvalidArgument("dataset: unknown \"" + dataset +
+                                   "\" (expected diab|nba|toy)");
+  }
+  if (!predicate.empty() && predicate != base.query_predicate_sql) {
+    MUVE_ASSIGN_OR_RETURN(
+        sql::SelectStatement stmt,
+        sql::ParseSelect("SELECT * FROM t WHERE " + predicate));
+    storage::FilterStats filter_stats;
+    MUVE_ASSIGN_OR_RETURN(
+        base.target_rows,
+        storage::Filter(*base.table, stmt.where.get(), nullptr,
+                        &filter_stats));
+    if (base.target_rows.empty()) {
+      return Status::InvalidArgument("predicate selects no rows: " +
+                                     predicate);
+    }
+    base.query_predicate_sql = predicate;
+    base.predicate_rows_filtered =
+        filter_stats.rows_in - filter_stats.rows_out;
+    base.name += " WHERE " + predicate;
+  }
+  MUVE_ASSIGN_OR_RETURN(core::Recommender built,
+                        core::Recommender::Create(std::move(base)));
+  auto shared = std::make_shared<const core::Recommender>(std::move(built));
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (auto& [k, rec] : registry_) {
+    if (k == key) return rec;  // lost the build race; adopt the winner
+  }
+  registry_.emplace_back(key, shared);
+  if (registry_.size() > options_.max_recommenders) {
+    registry_.erase(registry_.begin());  // oldest first
+  }
+  return shared;
+}
+
+bool MuvedServer::AdmitRequest(double* queue_ms) {
+  common::Stopwatch timer;
+  std::unique_lock<std::mutex> lock(gate_mu_);
+  gate_cv_.wait(lock, [this] {
+    return stopping_.load(std::memory_order_acquire) ||
+           in_flight_ < options_.max_concurrent;
+  });
+  if (stopping_.load(std::memory_order_acquire)) return false;
+  ++in_flight_;
+  *queue_ms = timer.ElapsedMillis();
+  return true;
+}
+
+void MuvedServer::ReleaseRequest() {
+  {
+    std::lock_guard<std::mutex> lock(gate_mu_);
+    --in_flight_;
+  }
+  gate_cv_.notify_one();
+}
+
+void MuvedServer::RequestStop() {
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  stop_requested_ = true;
+  stop_cv_.notify_all();
+}
+
+void MuvedServer::Wait() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  stop_cv_.wait(lock, [this] { return stop_requested_ || stopped_; });
+}
+
+void MuvedServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    stop_requested_ = true;
+    stop_cv_.notify_all();
+  }
+  stopping_.store(true, std::memory_order_release);
+  // 1. Stop accepting.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listen_fd_ = -1;
+  // 2. Wake admission waiters (they answer `cancelled`).
+  gate_cv_.notify_all();
+  // 3. Drain sessions: SHUT_RD unblocks pending frame reads without
+  //    cutting off in-flight responses; trip any active search's cancel
+  //    token so long deadlines end at the next work boundary.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& conn : conns_) {
+      {
+        std::lock_guard<std::mutex> cancel_lock(conn->cancel_mu);
+        if (conn->active_cancel != nullptr) conn->active_cancel->Cancel();
+      }
+      ::shutdown(conn->fd, SHUT_RD);
+    }
+  }
+  // 4. Join every handler.
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+MuvedServer::Counters MuvedServer::counters() const {
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  return counters_;
+}
+
+}  // namespace muve::server

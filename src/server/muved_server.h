@@ -1,0 +1,169 @@
+// muved — the long-lived MuVE recommendation server.
+//
+// One MuvedServer owns the shared state every request rides on: the
+// dataset/recommender registry (a Recommender per (dataset, predicate),
+// built once and shared by every session that asks for it) and the
+// admission gate that caps how many Recommend() calls execute at once —
+// excess requests queue FIFO-ish on a condition variable instead of
+// oversubscribing the machine.  Each accepted TCP connection IS one
+// session: a dedicated handler thread with per-session defaults
+// (dataset, k, alpha weights, scheme) that serves length-prefixed JSON
+// request frames (server/protocol.h) strictly one at a time, in order.
+//
+// Per-request execution control maps protocol fields straight onto the
+// engine's SearchOptions: `deadline_ms` → SearchOptions::deadline_ms,
+// `max_rows` → max_rows_scanned, and every connection's in-flight
+// request holds a CancellationToken that Stop() trips so shutdown never
+// waits out a long deadline.  Degraded (deadline/budget-tripped)
+// requests still answer ok:true with the best partial top-k plus a
+// completeness block — the protocol mirror of the engine's anytime
+// contract.
+//
+// Shutdown (Stop(), or the "shutdown" op relayed through RequestStop):
+//   1. stop accepting — the listen socket closes;
+//   2. admission waiters are woken and answer `cancelled`;
+//   3. every session socket gets SHUT_RD, so handlers finish the request
+//      they are on (its response is still written) and then exit;
+//   4. all handler threads are joined.
+// In-flight work is drained, never abandoned mid-write.
+//
+// Binds 127.0.0.1 only: muved has no authentication and must not be
+// exposed beyond the host.
+
+#ifndef MUVE_SERVER_MUVED_SERVER_H_
+#define MUVE_SERVER_MUVED_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/recommender.h"
+#include "server/json.h"
+
+namespace muve::server {
+
+struct ServerOptions {
+  // TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it
+  // back via port() — the integration tests run this way).
+  int port = 0;
+
+  // Admission cap: Recommend() calls executing concurrently.  Requests
+  // beyond the cap wait in the gate (the wait is reported back as
+  // queue_ms when timings are requested).
+  int max_concurrent = 4;
+
+  // Upper bound a request's "threads" field may ask for.
+  int max_request_threads = 8;
+
+  // Distinct (dataset, predicate) recommenders kept resident; building
+  // past the cap evicts the oldest so hostile predicate churn cannot
+  // grow the registry without bound.
+  size_t max_recommenders = 32;
+
+  // Honor the {"op":"shutdown"} request (the loadgen/CI smoke path).
+  // Off = only signals/Stop() end the server.
+  bool allow_shutdown_op = true;
+};
+
+class MuvedServer {
+ public:
+  explicit MuvedServer(ServerOptions options);
+  ~MuvedServer();
+
+  MuvedServer(const MuvedServer&) = delete;
+  MuvedServer& operator=(const MuvedServer&) = delete;
+
+  // Binds, listens, and starts the accept thread.  Fails (kIoError) if
+  // the port is taken.
+  common::Status Start();
+
+  // The bound port (valid after Start; resolves port 0 requests).
+  int port() const { return port_; }
+
+  // Asynchronous stop request: makes Wait() return.  Safe from any
+  // thread, including a session handler (the "shutdown" op uses it).
+  void RequestStop();
+
+  // Blocks until RequestStop() (or a previous Stop()).
+  void Wait();
+
+  // Graceful shutdown; see the header comment.  Idempotent; blocks
+  // until every handler thread is joined.
+  void Stop();
+
+  struct Counters {
+    int64_t connections_accepted = 0;
+    int64_t requests_served = 0;
+    int64_t errors_returned = 0;
+    int64_t recommends_executed = 0;
+  };
+  Counters counters() const;
+
+ private:
+  struct Session;
+  struct Connection;
+
+  void AcceptLoop();
+  void HandleConnection(Connection* conn);
+  JsonValue Dispatch(const JsonValue& request, Session* session,
+                     Connection* conn);
+  JsonValue HandlePing(const JsonValue& request);
+  JsonValue HandleUse(const JsonValue& request, Session* session);
+  JsonValue HandleDefaults(const JsonValue& request, Session* session);
+  JsonValue HandleRecommend(const JsonValue& request, Session* session,
+                            Connection* conn);
+  JsonValue HandleShutdown(Session* session);
+
+  // Registry: returns (building on first use) the shared recommender for
+  // `dataset` (diab|nba|toy) filtered by `predicate` ("" = the
+  // dataset's built-in analyst predicate).
+  common::Result<std::shared_ptr<const core::Recommender>> GetRecommender(
+      const std::string& dataset, const std::string& predicate);
+
+  // Admission gate: blocks until a slot frees; false when the server is
+  // stopping (the request is answered `cancelled`).  `queue_ms` gets the
+  // time spent waiting.
+  bool AdmitRequest(double* queue_ms);
+  void ReleaseRequest();
+
+  const ServerOptions options_;
+  int port_ = 0;
+  int listen_fd_ = -1;
+
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  // Stop()/Wait() coordination.
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+
+  // Live connections (handler threads + their sockets).
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+
+  // Admission gate.
+  std::mutex gate_mu_;
+  std::condition_variable gate_cv_;
+  int in_flight_ = 0;
+
+  // (dataset \x01 predicate) -> recommender, insertion-ordered for
+  // oldest-first eviction.
+  std::mutex registry_mu_;
+  std::vector<std::pair<std::string, std::shared_ptr<const core::Recommender>>>
+      registry_;
+
+  mutable std::mutex counters_mu_;
+  Counters counters_;
+};
+
+}  // namespace muve::server
+
+#endif  // MUVE_SERVER_MUVED_SERVER_H_

@@ -1,0 +1,160 @@
+#include "server/protocol.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace muve::server {
+
+namespace {
+
+using common::Result;
+using common::Status;
+
+// read() the full `count` bytes, looping over EINTR and short reads.
+// Returns bytes read (== count), 0 on immediate clean EOF, -1 on error;
+// `*eof_mid_read` distinguishes EOF after partial data.
+ssize_t ReadFull(int fd, char* buf, size_t count, bool* eof_mid_read) {
+  size_t done = 0;
+  *eof_mid_read = false;
+  while (done < count) {
+    const ssize_t n = ::read(fd, buf + done, count - done);
+    if (n == 0) {
+      if (done > 0) *eof_mid_read = true;
+      return static_cast<ssize_t>(done);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return static_cast<ssize_t>(done);
+}
+
+Status WriteFull(int fd, const char* buf, size_t count) {
+  size_t done = 0;
+  while (done < count) {
+    const ssize_t n = ::write(fd, buf + done, count - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("frame write failed: ") +
+                             std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ReadFrame(int fd, std::string* payload) {
+  unsigned char header[4];
+  bool eof_mid_read = false;
+  const ssize_t got =
+      ReadFull(fd, reinterpret_cast<char*>(header), sizeof(header),
+               &eof_mid_read);
+  if (got == 0) {
+    return Status::NotFound("peer closed the connection");
+  }
+  if (got < 0) {
+    return Status::IoError(std::string("frame header read failed: ") +
+                           std::strerror(errno));
+  }
+  if (got < static_cast<ssize_t>(sizeof(header))) {
+    return Status::IoError("truncated frame header");
+  }
+  const uint32_t length = (static_cast<uint32_t>(header[0]) << 24) |
+                          (static_cast<uint32_t>(header[1]) << 16) |
+                          (static_cast<uint32_t>(header[2]) << 8) |
+                          static_cast<uint32_t>(header[3]);
+  if (length == 0 || length > kMaxFrameBytes) {
+    return Status::ParseError("frame length " + std::to_string(length) +
+                              " outside [1, " + std::to_string(kMaxFrameBytes) +
+                              "]");
+  }
+  payload->resize(length);
+  const ssize_t body = ReadFull(fd, payload->data(), length, &eof_mid_read);
+  if (body < 0) {
+    return Status::IoError(std::string("frame body read failed: ") +
+                           std::strerror(errno));
+  }
+  if (body < static_cast<ssize_t>(length)) {
+    return Status::IoError("truncated frame body (" + std::to_string(body) +
+                           " of " + std::to_string(length) + " bytes)");
+  }
+  return Status::OK();
+}
+
+Status WriteFrame(int fd, std::string_view payload) {
+  if (payload.empty() || payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame payload of " +
+                                   std::to_string(payload.size()) +
+                                   " bytes outside [1, " +
+                                   std::to_string(kMaxFrameBytes) + "]");
+  }
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  const unsigned char header[4] = {
+      static_cast<unsigned char>((length >> 24) & 0xFF),
+      static_cast<unsigned char>((length >> 16) & 0xFF),
+      static_cast<unsigned char>((length >> 8) & 0xFF),
+      static_cast<unsigned char>(length & 0xFF)};
+  MUVE_RETURN_IF_ERROR(
+      WriteFull(fd, reinterpret_cast<const char*>(header), sizeof(header)));
+  return WriteFull(fd, payload.data(), payload.size());
+}
+
+Status WriteMessage(int fd, const JsonValue& message) {
+  return WriteFrame(fd, message.Write());
+}
+
+JsonValue ErrorResponse(const Status& status) {
+  JsonValue error = JsonValue::Object();
+  error.Set("code", JsonValue::String(common::StatusCodeName(status.code())));
+  error.Set("exit_code",
+            JsonValue::Int(common::ExitCodeForStatus(status.code())));
+  error.Set("message", JsonValue::String(status.message()));
+  JsonValue response = JsonValue::Object();
+  response.Set("ok", JsonValue::Bool(false));
+  response.Set("error", std::move(error));
+  return response;
+}
+
+JsonValue OkResponse(std::string_view op) {
+  JsonValue response = JsonValue::Object();
+  response.Set("ok", JsonValue::Bool(true));
+  response.Set("op", JsonValue::String(std::string(op)));
+  return response;
+}
+
+Result<int> DialLocal(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  while (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+         0) {
+    if (errno == EINTR) continue;
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("connect to 127.0.0.1:" + std::to_string(port) +
+                           ": " + std::strerror(err));
+  }
+  return fd;
+}
+
+Result<JsonValue> RoundTrip(int fd, const JsonValue& request) {
+  MUVE_RETURN_IF_ERROR(WriteMessage(fd, request));
+  std::string payload;
+  MUVE_RETURN_IF_ERROR(ReadFrame(fd, &payload));
+  return ParseJson(payload);
+}
+
+}  // namespace muve::server

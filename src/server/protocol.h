@@ -1,0 +1,72 @@
+// muved wire protocol: length-prefixed JSON frames over TCP.
+//
+// Frame layout (both directions):
+//
+//   +----------------+----------------------+
+//   | 4 bytes, big-  | N bytes of UTF-8     |
+//   | endian uint32 N| JSON (one object)    |
+//   +----------------+----------------------+
+//
+// N must be in [1, kMaxFrameBytes].  Requests are objects with an "op"
+// field ("ping", "use", "defaults", "recommend", "shutdown" — see
+// README "muved" for the full field tables); responses always carry
+// "ok" (bool) and echo "op".  Errors are
+//
+//   {"ok":false,"error":{"code":"<StatusCodeName>",
+//                        "exit_code":<ExitCodeForStatus>,
+//                        "message":"..."}}
+//
+// — the same typed-code table muve_cli exits with, so a scripted client
+// can branch on cause identically over the wire and at the shell.
+//
+// This header also carries the blocking socket helpers both muved and
+// the muve_loadgen client use.  All I/O loops over EINTR; a frame read
+// distinguishes clean EOF (kNotFound — peer closed between frames) from
+// a truncated frame or oversized length (kParseError / kIoError).
+
+#ifndef MUVE_SERVER_PROTOCOL_H_
+#define MUVE_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "server/json.h"
+
+namespace muve::server {
+
+// Hard cap on one frame's payload: large enough for any recommendation
+// response, small enough that a hostile length prefix cannot make the
+// server allocate gigabytes.
+constexpr uint32_t kMaxFrameBytes = 16u * 1024u * 1024u;
+
+// Reads exactly one frame's payload from `fd` into `*payload`.
+//   kNotFound   — clean EOF before any length byte (peer hung up).
+//   kParseError — length prefix of 0 or > kMaxFrameBytes (the connection
+//                 cannot be resynchronized afterwards).
+//   kIoError    — read error or EOF mid-frame.
+common::Status ReadFrame(int fd, std::string* payload);
+
+// Writes one frame (length prefix + payload).  kInvalidArgument when the
+// payload exceeds kMaxFrameBytes; kIoError on short/failed writes.
+common::Status WriteFrame(int fd, std::string_view payload);
+
+// Convenience: WriteFrame(message.Write()).
+common::Status WriteMessage(int fd, const JsonValue& message);
+
+// Builds the protocol's error response for `status` (see header comment).
+JsonValue ErrorResponse(const common::Status& status);
+
+// Builds an ok response skeleton {"ok":true,"op":<op>}.
+JsonValue OkResponse(std::string_view op);
+
+// Client-side: connects to 127.0.0.1:`port` (muved binds loopback only),
+// returning the connected fd.  The caller owns/closes it.
+common::Result<int> DialLocal(int port);
+
+// One blocking request/response exchange on an open connection.
+common::Result<JsonValue> RoundTrip(int fd, const JsonValue& request);
+
+}  // namespace muve::server
+
+#endif  // MUVE_SERVER_PROTOCOL_H_

@@ -1,14 +1,13 @@
 #include "storage/csv.h"
 
 #include <algorithm>
-#include <cerrno>
-#include <charconv>
+#include <cmath>
 #include <cstdint>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "common/failpoint.h"
+#include "common/parse.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 
@@ -72,21 +71,32 @@ common::Result<std::vector<std::string>> ParseRecord(const std::string& text,
 }
 
 bool ParseInt64(const std::string& text, int64_t* out) {
-  const std::string_view sv = common::Trim(text);
-  if (sv.empty()) return false;
-  const char* begin = sv.data();
-  const char* end = sv.data() + sv.size();
-  auto [ptr, ec] = std::from_chars(begin, end, *out);
-  return ec == std::errc() && ptr == end;
+  auto parsed = common::ParseInt64Strict(common::Trim(text));
+  if (!parsed.ok()) return false;
+  *out = *parsed;
+  return true;
 }
 
+// Locale-independent (common/parse.h): a CSV's "1.5" is 1.5 no matter
+// what LC_NUMERIC the host process runs under, and inf/nan/hex-float
+// spellings are rejected by policy (they fall through to string typing
+// under inference, or a ParseError under an explicit numeric schema).
 bool ParseDouble(const std::string& text, double* out) {
-  const std::string trimmed(common::Trim(text));
-  if (trimmed.empty()) return false;
-  errno = 0;
-  char* end = nullptr;
-  *out = std::strtod(trimmed.c_str(), &end);
-  return errno == 0 && end == trimmed.c_str() + trimmed.size();
+  auto parsed = common::ParseDoubleStrict(common::Trim(text));
+  if (!parsed.ok()) return false;
+  *out = *parsed;
+  return true;
+}
+
+// True when `d` is integral and inside int64's representable range, so
+// static_cast<int64_t>(d) is well defined.  The bounds are exact double
+// values: -2^63 is representable, and the upper comparison uses 2^63
+// (also representable) exclusively — a plain cast-and-compare against
+// INT64_MAX would itself be UB for cells like "1e30" or "9.3e18".
+bool FitsInt64Exactly(double d) {
+  constexpr double kLower = -9223372036854775808.0;  // -2^63
+  constexpr double kUpper = 9223372036854775808.0;   // 2^63
+  return d >= kLower && d < kUpper && d == std::trunc(d);
 }
 
 common::Result<Value> ParseCell(const std::string& raw, ValueType type) {
@@ -95,9 +105,10 @@ common::Result<Value> ParseCell(const std::string& raw, ValueType type) {
     case ValueType::kInt64: {
       int64_t v;
       if (ParseInt64(raw, &v)) return Value(v);
-      // Accept integral doubles like "3.0" in an int column.
+      // Accept integral doubles like "3.0" (or "9e18") in an int column,
+      // but only when the value actually fits int64.
       double d;
-      if (ParseDouble(raw, &d) && d == static_cast<int64_t>(d)) {
+      if (ParseDouble(raw, &d) && FitsInt64Exactly(d)) {
         return Value(static_cast<int64_t>(d));
       }
       return common::Status::ParseError("cannot parse '" + raw +

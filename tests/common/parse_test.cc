@@ -1,0 +1,213 @@
+// Unit tests for the shared strict numeric parser (common/parse.h): the
+// single frontend for CLI flags, CSV cells, and muved protocol fields.
+
+#include "common/parse.h"
+
+#include <clocale>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <random>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace muve::common {
+namespace {
+
+TEST(ParseInt64Strict, AcceptsCanonicalIntegers) {
+  EXPECT_EQ(*ParseInt64Strict("0"), 0);
+  EXPECT_EQ(*ParseInt64Strict("42"), 42);
+  EXPECT_EQ(*ParseInt64Strict("-7"), -7);
+  EXPECT_EQ(*ParseInt64Strict("+5"), 5);
+  EXPECT_EQ(*ParseInt64Strict("007"), 7);
+  EXPECT_EQ(*ParseInt64Strict("-0"), 0);
+}
+
+TEST(ParseInt64Strict, ExactInt64Boundaries) {
+  EXPECT_EQ(*ParseInt64Strict("9223372036854775807"),
+            std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(*ParseInt64Strict("-9223372036854775808"),
+            std::numeric_limits<int64_t>::min());
+  // One past either end is out of range, not wrapped.
+  EXPECT_FALSE(ParseInt64Strict("9223372036854775808").ok());
+  EXPECT_FALSE(ParseInt64Strict("-9223372036854775809").ok());
+  EXPECT_FALSE(ParseInt64Strict("99999999999999999999").ok());
+}
+
+TEST(ParseInt64Strict, RejectsMalformedTokens) {
+  for (const char* bad :
+       {"", " 5", "5 ", "5x", "x5", "1.5", "1e3", "0x10", "--3", "++5", "+-5",
+        "+", "-", "1,000", "12 34"}) {
+    EXPECT_FALSE(ParseInt64Strict(bad).ok()) << "accepted: '" << bad << "'";
+  }
+}
+
+TEST(ParseInt64Strict, ErrorEchoesTokenBounded) {
+  const std::string long_token(500, '9');
+  auto result = ParseInt64Strict(long_token + "x");
+  ASSERT_FALSE(result.ok());
+  // The echoed token is truncated so hostile input can't balloon the
+  // diagnostic.
+  EXPECT_LT(result.status().message().size(), 200u);
+}
+
+TEST(ParseDoubleStrict, AcceptsDecimalAndScientific) {
+  EXPECT_DOUBLE_EQ(*ParseDoubleStrict("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*ParseDoubleStrict(".5"), 0.5);
+  EXPECT_DOUBLE_EQ(*ParseDoubleStrict("7."), 7.0);
+  EXPECT_DOUBLE_EQ(*ParseDoubleStrict("1e30"), 1e30);
+  EXPECT_DOUBLE_EQ(*ParseDoubleStrict("+3E-2"), 0.03);
+  EXPECT_DOUBLE_EQ(*ParseDoubleStrict("-2.5e-3"), -2.5e-3);
+  EXPECT_DOUBLE_EQ(*ParseDoubleStrict("0"), 0.0);
+  EXPECT_DOUBLE_EQ(*ParseDoubleStrict("-0.0"), 0.0);
+}
+
+TEST(ParseDoubleStrict, RejectsInfNanAndHexByPolicy) {
+  for (const char* bad : {"inf", "INF", "-inf", "infinity", "nan", "NaN",
+                          "-nan", "0x1p3", "0x10", "0X1.8p1"}) {
+    EXPECT_FALSE(ParseDoubleStrict(bad).ok()) << "accepted: '" << bad << "'";
+  }
+}
+
+TEST(ParseDoubleStrict, RejectsMalformedTokens) {
+  for (const char* bad : {"", " 1.5", "1.5 ", "1.5x", "1,5", "1.2.3", "e5",
+                          ".", "-.", "1e", "1e+", "1e1.5", "+-1", "--1"}) {
+    EXPECT_FALSE(ParseDoubleStrict(bad).ok()) << "accepted: '" << bad << "'";
+  }
+}
+
+TEST(ParseDoubleStrict, RejectsOverflowAndUnderflow) {
+  // Overflow to inf and underflow past subnormals are both malformed by
+  // policy — never a silent inf or 0.
+  EXPECT_FALSE(ParseDoubleStrict("1e400").ok());
+  EXPECT_FALSE(ParseDoubleStrict("-1e400").ok());
+  EXPECT_FALSE(ParseDoubleStrict("1e-400").ok());
+  // The largest finite double round-trips.
+  EXPECT_DOUBLE_EQ(*ParseDoubleStrict("1.7976931348623157e308"),
+                   std::numeric_limits<double>::max());
+}
+
+TEST(ParseDoubleStrict, LocaleIndependent) {
+  // Force a decimal-comma C locale if the host has one; the parser must
+  // not notice.  (setlocale only moves the C locale, which is exactly
+  // what strtod-style parsers would have consulted.)
+  const char* old = std::setlocale(LC_NUMERIC, nullptr);
+  std::string saved = old != nullptr ? old : "C";
+  bool injected = false;
+  for (const char* name :
+       {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8", "fr_FR"}) {
+    if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+      injected = true;
+      break;
+    }
+  }
+  EXPECT_DOUBLE_EQ(*ParseDoubleStrict("1.5"), 1.5);
+  EXPECT_FALSE(ParseDoubleStrict("1,5").ok());
+  std::setlocale(LC_NUMERIC, saved.c_str());
+  if (!injected) {
+    GTEST_LOG_(INFO) << "no comma-decimal locale installed; ran under C";
+  }
+}
+
+TEST(ParseFlagInt64, RangeCheckAndDiagnosticNamesFlag) {
+  EXPECT_EQ(*ParseFlagInt64("--k", "10", 1, 100), 10);
+  for (const char* bad : {"abc", "0", "-3", "101", "99999999999999999999"}) {
+    auto result = ParseFlagInt64("--k", bad, 1, 100);
+    ASSERT_FALSE(result.ok()) << bad;
+    EXPECT_NE(result.status().message().find("--k"), std::string::npos);
+    EXPECT_NE(result.status().message().find("[1, 100]"), std::string::npos);
+  }
+}
+
+TEST(ParseFlagDouble, RangeCheckAndDiagnosticNamesFlag) {
+  EXPECT_DOUBLE_EQ(*ParseFlagDouble("--weights", "0.25", 0.0, 1.0), 0.25);
+  for (const char* bad : {"abc", "-0.1", "1.1", "nan", "1e400"}) {
+    auto result = ParseFlagDouble("--weights", bad, 0.0, 1.0);
+    ASSERT_FALSE(result.ok()) << bad;
+    EXPECT_NE(result.status().message().find("--weights"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz vs oracle: on tokens BOTH sides accept, the strict parser must
+// agree exactly with the C library under the classic locale.
+// ---------------------------------------------------------------------------
+
+TEST(ParseFuzz, Int64AgreesWithStrtollOracle) {
+  std::mt19937_64 rng(20260807);
+  std::uniform_int_distribution<int> len_dist(1, 19);
+  std::uniform_int_distribution<int> digit(0, 9);
+  std::uniform_int_distribution<int> sign(0, 2);
+  for (int iter = 0; iter < 20000; ++iter) {
+    std::string token;
+    const int s = sign(rng);
+    if (s == 1) token += '-';
+    if (s == 2) token += '+';
+    const int len = len_dist(rng);
+    for (int i = 0; i < len; ++i) token += static_cast<char>('0' + digit(rng));
+    errno = 0;
+    char* end = nullptr;
+    const long long oracle = std::strtoll(token.c_str(), &end, 10);
+    const bool oracle_ok =
+        errno == 0 && end == token.c_str() + token.size();
+    auto parsed = ParseInt64Strict(token);
+    ASSERT_EQ(parsed.ok(), oracle_ok) << token;
+    if (oracle_ok) {
+      EXPECT_EQ(*parsed, static_cast<int64_t>(oracle)) << token;
+    }
+  }
+}
+
+TEST(ParseFuzz, DoubleRoundTripsPrintedValues) {
+  // Print random finite doubles with %.17g (guaranteed round-trippable)
+  // and parse them back: bit-exact equality required.
+  std::mt19937_64 rng(20260808);
+  std::uniform_real_distribution<double> mantissa(-1.0, 1.0);
+  std::uniform_int_distribution<int> exponent(-300, 300);
+  for (int iter = 0; iter < 20000; ++iter) {
+    const double value = std::ldexp(mantissa(rng), exponent(rng));
+    if (!std::isfinite(value)) continue;
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    auto parsed = ParseDoubleStrict(buffer);
+    // %.17g of a tiny value may print as subnormal-range scientific
+    // notation the parser rejects as underflow; only fully-normal values
+    // are asserted round-trippable.
+    if (value != 0.0 && std::fabs(value) < 2.3e-308) {
+      continue;
+    }
+    ASSERT_TRUE(parsed.ok()) << buffer << " -> " << parsed.status().ToString();
+    EXPECT_EQ(*parsed, value) << buffer;
+  }
+}
+
+TEST(ParseFuzz, RandomJunkNeverCrashesAndNeverSilentlyTruncates) {
+  std::mt19937_64 rng(20260809);
+  const std::string alphabet = "0123456789+-.eEx, \tinfa";
+  std::uniform_int_distribution<size_t> pick(0, alphabet.size() - 1);
+  std::uniform_int_distribution<int> len_dist(0, 24);
+  for (int iter = 0; iter < 50000; ++iter) {
+    std::string token;
+    const int len = len_dist(rng);
+    for (int i = 0; i < len; ++i) token += alphabet[pick(rng)];
+    auto as_int = ParseInt64Strict(token);
+    auto as_double = ParseDoubleStrict(token);
+    // Whatever parses as int64 must parse as the same double (ints embed
+    // in the double grammar) unless it exceeds double's integer range.
+    if (as_int.ok() && as_double.ok()) {
+      EXPECT_EQ(*as_double, static_cast<double>(*as_int)) << token;
+    }
+    // Anything accepted must be whole-token: re-serializing through the
+    // oracle and comparing lengths would be circular, so instead check
+    // the cheap invariant that accepted tokens contain no blessed-junk
+    // characters.
+    if (as_double.ok()) {
+      EXPECT_EQ(token.find_first_of("x, \tinfa"), std::string::npos) << token;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace muve::common

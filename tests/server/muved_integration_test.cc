@@ -1,0 +1,363 @@
+// In-process integration tests for muved: a real MuvedServer on an
+// ephemeral loopback port, driven through the same DialLocal/RoundTrip
+// client path muve_loadgen uses.
+//
+// Uses the toy dataset almost everywhere (milliseconds to search) so the
+// suite stays fast; the deadline test uses NBA, whose full muve-muve
+// search is comfortably longer than a 1 ms deadline.
+
+#include "server/muved_server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/simd/simd.h"
+#include "common/status.h"
+#include "gtest/gtest.h"
+#include "server/json.h"
+#include "server/protocol.h"
+
+namespace muve::server {
+namespace {
+
+using muve::common::StatusCode;
+
+class MuvedIntegrationTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions options = {}) {
+    options.port = 0;  // ephemeral
+    server_ = std::make_unique<MuvedServer>(options);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+  }
+
+  int Dial() {
+    auto fd = DialLocal(server_->port());
+    EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+    return fd.ok() ? *fd : -1;
+  }
+
+  static JsonValue Request(const std::string& op) {
+    JsonValue r = JsonValue::Object();
+    r.Set("op", JsonValue::String(op));
+    return r;
+  }
+
+  // RoundTrip that asserts transport health.
+  static JsonValue Call(int fd, const JsonValue& request) {
+    auto response = RoundTrip(fd, request);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    return response.ok() ? *response : JsonValue::Object();
+  }
+
+  static bool IsOk(const JsonValue& response) {
+    const JsonValue* ok = response.Find("ok");
+    return ok != nullptr && ok->is_bool() && ok->bool_value();
+  }
+
+  static std::string ErrorCode(const JsonValue& response) {
+    const JsonValue* error = response.Find("error");
+    if (error == nullptr || error->Find("code") == nullptr) return "";
+    return error->Find("code")->string_value();
+  }
+
+  static std::string ErrorMessage(const JsonValue& response) {
+    const JsonValue* error = response.Find("error");
+    if (error == nullptr || error->Find("message") == nullptr) return "";
+    return error->Find("message")->string_value();
+  }
+
+  static JsonValue ToyRecommend() {
+    JsonValue r = Request("recommend");
+    r.Set("dataset", JsonValue::String("toy"));
+    r.Set("k", JsonValue::Int(3));
+    return r;
+  }
+
+  std::unique_ptr<MuvedServer> server_;
+};
+
+TEST_F(MuvedIntegrationTest, PingReportsDispatchLevel) {
+  StartServer();
+  const int fd = Dial();
+  JsonValue response = Call(fd, Request("ping"));
+  EXPECT_TRUE(IsOk(response));
+  EXPECT_EQ(response.Find("simd")->string_value(),
+            common::simd::ActiveLevelName());
+  ::close(fd);
+}
+
+TEST_F(MuvedIntegrationTest, UseThenRecommendInheritsSessionState) {
+  StartServer();
+  const int fd = Dial();
+  JsonValue use = Request("use");
+  use.Set("dataset", JsonValue::String("toy"));
+  JsonValue use_response = Call(fd, use);
+  ASSERT_TRUE(IsOk(use_response)) << use_response.Write();
+  EXPECT_GT(use_response.Find("rows")->int_value(), 0);
+  EXPECT_GT(use_response.Find("views")->int_value(), 0);
+
+  JsonValue defaults = Request("defaults");
+  defaults.Set("k", JsonValue::Int(2));
+  defaults.Set("scheme", JsonValue::String("muve-linear"));
+  ASSERT_TRUE(IsOk(Call(fd, defaults)));
+
+  // Bare recommend: dataset, k, and scheme all come from the session.
+  JsonValue response = Call(fd, Request("recommend"));
+  ASSERT_TRUE(IsOk(response)) << response.Write();
+  EXPECT_EQ(response.Find("dataset")->string_value(), "toy");
+  EXPECT_EQ(response.Find("k")->int_value(), 2);
+  EXPECT_LE(response.Find("views")->array().size(), 2u);
+  EXPECT_FALSE(response.Find("degraded")->bool_value());
+  ::close(fd);
+}
+
+TEST_F(MuvedIntegrationTest, RecommendWithoutDatasetFailsWithGuidance) {
+  StartServer();
+  const int fd = Dial();
+  JsonValue response = Call(fd, Request("recommend"));
+  EXPECT_FALSE(IsOk(response));
+  EXPECT_EQ(ErrorCode(response), "invalid_argument");
+  EXPECT_NE(ErrorMessage(response).find("use"), std::string::npos);
+  ::close(fd);
+}
+
+TEST_F(MuvedIntegrationTest, StrictFieldValidation) {
+  StartServer();
+  const int fd = Dial();
+
+  // Unknown field.
+  JsonValue unknown = ToyRecommend();
+  unknown.Set("kay", JsonValue::Int(3));
+  JsonValue response = Call(fd, unknown);
+  EXPECT_FALSE(IsOk(response));
+  EXPECT_NE(ErrorMessage(response).find("kay"), std::string::npos);
+
+  // Integer field sent as a double.
+  JsonValue doubled = ToyRecommend();
+  doubled.Set("k", JsonValue::Double(3.0));
+  response = Call(fd, doubled);
+  EXPECT_FALSE(IsOk(response));
+  EXPECT_NE(ErrorMessage(response).find("k"), std::string::npos);
+
+  // Out-of-range k.
+  JsonValue zero_k = ToyRecommend();
+  zero_k.Set("k", JsonValue::Int(0));
+  response = Call(fd, zero_k);
+  EXPECT_FALSE(IsOk(response));
+  EXPECT_EQ(ErrorCode(response), "invalid_argument");
+
+  // Malformed weights.
+  JsonValue bad_weights = ToyRecommend();
+  JsonValue weights = JsonValue::Array();
+  weights.Append(JsonValue::Double(0.5));
+  bad_weights.Set("weights", std::move(weights));
+  response = Call(fd, bad_weights);
+  EXPECT_FALSE(IsOk(response));
+  EXPECT_NE(ErrorMessage(response).find("weights"), std::string::npos);
+
+  // Unknown scheme and dataset.
+  JsonValue bad_scheme = ToyRecommend();
+  bad_scheme.Set("scheme", JsonValue::String("quantum"));
+  EXPECT_FALSE(IsOk(Call(fd, bad_scheme)));
+  JsonValue bad_dataset = Request("recommend");
+  bad_dataset.Set("dataset", JsonValue::String("mnist"));
+  EXPECT_FALSE(IsOk(Call(fd, bad_dataset)));
+
+  // The session survived every rejected request.
+  EXPECT_TRUE(IsOk(Call(fd, ToyRecommend())));
+  ::close(fd);
+}
+
+TEST_F(MuvedIntegrationTest, MalformedJsonKeepsSessionAlive) {
+  StartServer();
+  const int fd = Dial();
+  ASSERT_TRUE(WriteFrame(fd, "{not json at all").ok());
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(fd, &payload).ok());
+  auto response = ParseJson(payload);
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(IsOk(*response));
+  EXPECT_EQ(ErrorCode(*response), "parse_error");
+  // Same connection still serves requests.
+  EXPECT_TRUE(IsOk(Call(fd, Request("ping"))));
+  ::close(fd);
+}
+
+TEST_F(MuvedIntegrationTest, BadFrameHeaderDropsConnectionNotServer) {
+  StartServer();
+  const int bad_fd = Dial();
+  // A zero length prefix cannot be resynchronized: the server answers
+  // with a protocol error and hangs up this connection.
+  const unsigned char zero[4] = {0, 0, 0, 0};
+  ASSERT_EQ(::write(bad_fd, zero, 4), 4);
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(bad_fd, &payload).ok());
+  auto response = ParseJson(payload);
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(IsOk(*response));
+  EXPECT_EQ(ErrorCode(*response), "parse_error");
+  EXPECT_EQ(ReadFrame(bad_fd, &payload).code(), StatusCode::kNotFound);
+  ::close(bad_fd);
+
+  // The server keeps serving fresh connections.
+  const int fd = Dial();
+  EXPECT_TRUE(IsOk(Call(fd, Request("ping"))));
+  ::close(fd);
+}
+
+TEST_F(MuvedIntegrationTest, DeadlineTrippedRequestIsDegradedButOk) {
+  StartServer();
+  const int fd = Dial();
+  JsonValue request = Request("recommend");
+  request.Set("dataset", JsonValue::String("nba"));
+  request.Set("k", JsonValue::Int(5));
+  request.Set("deadline_ms", JsonValue::Double(1.0));
+  JsonValue response = Call(fd, request);
+  ASSERT_TRUE(IsOk(response)) << response.Write();
+  // The anytime contract over the wire: ok:true with a completeness
+  // block, never an error.  (A 1 ms deadline on a cold NBA search always
+  // trips; if a future machine finishes in time, degraded=false is also
+  // legal — assert consistency, not the trip.)
+  const JsonValue* completeness = response.Find("completeness");
+  ASSERT_NE(completeness, nullptr);
+  if (response.Find("degraded")->bool_value()) {
+    EXPECT_EQ(completeness->Find("status")->string_value(),
+              "deadline_exceeded");
+  } else {
+    EXPECT_EQ(completeness->Find("status")->string_value(), "ok");
+  }
+  ::close(fd);
+}
+
+TEST_F(MuvedIntegrationTest, EightConcurrentSessions) {
+  ServerOptions options;
+  options.max_concurrent = 4;  // half the sessions queue at the gate
+  StartServer(options);
+  constexpr int kSessions = 8;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kSessions, 0);
+  for (int s = 0; s < kSessions; ++s) {
+    threads.emplace_back([this, s, &failures] {
+      auto fd = DialLocal(server_->port());
+      if (!fd.ok()) {
+        failures[s] = 1;
+        return;
+      }
+      for (int i = 0; i < 3; ++i) {
+        auto response = RoundTrip(*fd, ToyRecommend());
+        if (!response.ok() || !IsOk(*response)) {
+          failures[s] = 1;
+          break;
+        }
+      }
+      ::close(*fd);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int s = 0; s < kSessions; ++s) {
+    EXPECT_EQ(failures[s], 0) << "session " << s;
+  }
+  const auto counters = server_->counters();
+  EXPECT_GE(counters.connections_accepted, kSessions);
+  EXPECT_GE(counters.recommends_executed, kSessions * 3);
+  EXPECT_EQ(counters.errors_returned, 0);
+}
+
+TEST_F(MuvedIntegrationTest, DispatchInvarianceAcrossTheWire) {
+  // The acceptance check: the same request answered under forced-scalar
+  // and native dispatch must produce byte-identical payloads.
+  StartServer();
+  JsonValue request = ToyRecommend();
+  request.Set("scheme", JsonValue::String("muve-muve"));
+  request.Set("probe_order", JsonValue::String("deviation-first"));
+
+  auto payload_under = [&](common::simd::DispatchLevel level) {
+    EXPECT_TRUE(common::simd::SetActiveLevel(level));
+    const int fd = Dial();
+    auto response = RoundTrip(fd, request);
+    EXPECT_TRUE(response.ok());
+    ::close(fd);
+    return response.ok() ? response->Write() : std::string();
+  };
+  const std::string scalar =
+      payload_under(common::simd::DispatchLevel::kScalar);
+  const std::string native =
+      payload_under(common::simd::BestSupportedLevel());
+  EXPECT_TRUE(common::simd::SetActiveLevel(common::simd::BestSupportedLevel()));
+  ASSERT_FALSE(scalar.empty());
+  EXPECT_EQ(scalar, native);
+}
+
+TEST_F(MuvedIntegrationTest, ShutdownOpDrainsAndStops) {
+  StartServer();
+  const int fd = Dial();
+  JsonValue response = Call(fd, Request("shutdown"));
+  EXPECT_TRUE(IsOk(response));
+  ::close(fd);
+  server_->Wait();  // returns because the op requested stop
+  server_->Stop();
+  // New connections are refused once stopped.
+  EXPECT_FALSE(DialLocal(server_->port()).ok());
+}
+
+TEST_F(MuvedIntegrationTest, ShutdownOpCanBeDisabled) {
+  ServerOptions options;
+  options.allow_shutdown_op = false;
+  StartServer(options);
+  const int fd = Dial();
+  JsonValue response = Call(fd, Request("shutdown"));
+  EXPECT_FALSE(IsOk(response));
+  // Still serving.
+  EXPECT_TRUE(IsOk(Call(fd, Request("ping"))));
+  ::close(fd);
+}
+
+TEST_F(MuvedIntegrationTest, StopWithIdleOpenConnectionsDoesNotHang) {
+  StartServer();
+  const int fd = Dial();
+  ASSERT_TRUE(IsOk(Call(fd, Request("ping"))));
+  // Leave the connection idle (blocked in the server's frame read) and
+  // stop: Stop() must unblock the handler and join it promptly.
+  server_->Stop();
+  std::string payload;
+  EXPECT_FALSE(ReadFrame(fd, &payload).ok());  // server hung up
+  ::close(fd);
+  server_ = nullptr;
+}
+
+TEST_F(MuvedIntegrationTest, PredicateFiltersAndValidates) {
+  StartServer();
+  const int fd = Dial();
+  JsonValue request = Request("recommend");
+  request.Set("dataset", JsonValue::String("nba"));
+  request.Set("predicate", JsonValue::String("Age >= 30"));
+  request.Set("k", JsonValue::Int(2));
+  request.Set("scheme", JsonValue::String("muve-linear"));
+  JsonValue response = Call(fd, request);
+  EXPECT_TRUE(IsOk(response)) << response.Write();
+
+  JsonValue empty = Request("recommend");
+  empty.Set("dataset", JsonValue::String("nba"));
+  empty.Set("predicate", JsonValue::String("Age > 1000"));
+  response = Call(fd, empty);
+  EXPECT_FALSE(IsOk(response));
+  EXPECT_NE(ErrorMessage(response).find("no rows"), std::string::npos);
+
+  JsonValue malformed = Request("recommend");
+  malformed.Set("dataset", JsonValue::String("nba"));
+  malformed.Set("predicate", JsonValue::String("Age >>> 30"));
+  EXPECT_FALSE(IsOk(Call(fd, malformed)));
+  ::close(fd);
+}
+
+}  // namespace
+}  // namespace muve::server

@@ -1,0 +1,208 @@
+// Unit tests for the muved wire layer: the strict JSON document model
+// (server/json.h) and the length-prefixed framing (server/protocol.h).
+
+#include "server/protocol.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "gtest/gtest.h"
+#include "server/json.h"
+
+namespace muve::server {
+namespace {
+
+using muve::common::StatusCode;
+
+// ---------------------------------------------------------------------------
+// JSON model.
+// ---------------------------------------------------------------------------
+
+TEST(Json, RoundTripsCanonicalDocument) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("ok", JsonValue::Bool(true));
+  doc.Set("k", JsonValue::Int(5));
+  doc.Set("utility", JsonValue::Double(0.25));
+  doc.Set("name", JsonValue::String("nba"));
+  JsonValue weights = JsonValue::Array();
+  weights.Append(JsonValue::Double(0.8));
+  weights.Append(JsonValue::Double(0.1));
+  weights.Append(JsonValue::Double(0.1));
+  doc.Set("weights", std::move(weights));
+  doc.Set("nothing", JsonValue::Null());
+
+  const std::string text = doc.Write();
+  EXPECT_EQ(text,
+            "{\"ok\":true,\"k\":5,\"utility\":0.25,\"name\":\"nba\","
+            "\"weights\":[0.8,0.1,0.1],\"nothing\":null}");
+
+  auto parsed = ParseJson(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  // Canonical: serialize(parse(serialize(x))) == serialize(x).
+  EXPECT_EQ(parsed->Write(), text);
+}
+
+TEST(Json, KeepsIntDoubleDistinction) {
+  auto parsed = ParseJson("{\"a\":5,\"b\":5.0,\"c\":5e0,\"d\":-0.0}");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->Find("a")->is_int());
+  EXPECT_TRUE(parsed->Find("b")->is_double());
+  EXPECT_TRUE(parsed->Find("c")->is_double());
+  EXPECT_TRUE(parsed->Find("d")->is_double());
+  EXPECT_EQ(parsed->Find("a")->int_value(), 5);
+  EXPECT_DOUBLE_EQ(parsed->Find("b")->number_value(), 5.0);
+  // An integer-valued double serializes with ".0" so the kind survives a
+  // round trip (5 and 5.0 must not collapse).
+  EXPECT_EQ(parsed->Write(), "{\"a\":5,\"b\":5.0,\"c\":5.0,\"d\":-0.0}");
+}
+
+TEST(Json, Int64OverflowIsAParseErrorNotADouble) {
+  EXPECT_TRUE(ParseJson("{\"n\":9223372036854775807}").ok());
+  auto overflowed = ParseJson("{\"n\":9223372036854775808}");
+  EXPECT_FALSE(overflowed.ok());
+  EXPECT_EQ(overflowed.status().code(), StatusCode::kParseError);
+}
+
+TEST(Json, RejectsDuplicateKeys) {
+  auto parsed = ParseJson("{\"k\":1,\"k\":2}");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "}", "{]", "[}", "{\"a\":}", "{\"a\" 1}", "{'a':1}",
+        "{\"a\":1,}", "[1,]", "{\"a\":1}x", "{\"a\":01}", "{\"a\":+1}",
+        "{\"a\":NaN}", "{\"a\":Infinity}", "{\"a\":1e}", "{\"a\":.5}",
+        "nul", "tru", "{\"a\":\"\\q\"}", "{\"a\":\"\\ud800\"}"}) {
+    EXPECT_FALSE(ParseJson(bad).ok()) << "accepted: " << bad;
+  }
+}
+
+TEST(Json, DecodesEscapesAndUnicode) {
+  auto parsed = ParseJson(
+      "{\"s\":\"a\\\"b\\\\c\\n\\t\\u0041\\u00e9\\ud83d\\ude00\"}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const std::string& s = parsed->Find("s")->string_value();
+  EXPECT_EQ(s, std::string("a\"b\\c\n\tA\xc3\xa9\xf0\x9f\x98\x80"));
+}
+
+TEST(Json, DepthLimited) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  for (int i = 0; i < 200; ++i) deep += "]";
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(Json, FindAndSetReplace) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("a", JsonValue::Int(1));
+  doc.Set("a", JsonValue::Int(2));  // replaces, no duplicate member
+  EXPECT_EQ(doc.members().size(), 1u);
+  EXPECT_EQ(doc.Find("a")->int_value(), 2);
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Framing over a socketpair.
+// ---------------------------------------------------------------------------
+
+class FramingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+  }
+  void TearDown() override {
+    if (fds_[0] >= 0) ::close(fds_[0]);
+    if (fds_[1] >= 0) ::close(fds_[1]);
+  }
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(FramingTest, WriteThenReadRoundTrips) {
+  ASSERT_TRUE(WriteFrame(fds_[0], "{\"op\":\"ping\"}").ok());
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(fds_[1], &payload).ok());
+  EXPECT_EQ(payload, "{\"op\":\"ping\"}");
+}
+
+TEST_F(FramingTest, SequentialFramesKeepBoundaries) {
+  ASSERT_TRUE(WriteFrame(fds_[0], "first").ok());
+  ASSERT_TRUE(WriteFrame(fds_[0], "second frame").ok());
+  std::string a, b;
+  ASSERT_TRUE(ReadFrame(fds_[1], &a).ok());
+  ASSERT_TRUE(ReadFrame(fds_[1], &b).ok());
+  EXPECT_EQ(a, "first");
+  EXPECT_EQ(b, "second frame");
+}
+
+TEST_F(FramingTest, CleanEofIsNotFound) {
+  ::close(fds_[0]);
+  fds_[0] = -1;
+  std::string payload;
+  EXPECT_EQ(ReadFrame(fds_[1], &payload).code(), StatusCode::kNotFound);
+}
+
+TEST_F(FramingTest, TruncatedFrameIsIoError) {
+  // Length prefix promises 100 bytes; only 3 arrive before EOF.
+  const unsigned char header[4] = {0, 0, 0, 100};
+  ASSERT_EQ(::write(fds_[0], header, 4), 4);
+  ASSERT_EQ(::write(fds_[0], "abc", 3), 3);
+  ::close(fds_[0]);
+  fds_[0] = -1;
+  std::string payload;
+  EXPECT_EQ(ReadFrame(fds_[1], &payload).code(), StatusCode::kIoError);
+}
+
+TEST_F(FramingTest, ZeroAndOversizedLengthsAreParseErrors) {
+  const unsigned char zero[4] = {0, 0, 0, 0};
+  ASSERT_EQ(::write(fds_[0], zero, 4), 4);
+  std::string payload;
+  EXPECT_EQ(ReadFrame(fds_[1], &payload).code(), StatusCode::kParseError);
+
+  // 0xFFFFFFFF length: far past kMaxFrameBytes.
+  const unsigned char huge[4] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::write(fds_[0], huge, 4), 4);
+  EXPECT_EQ(ReadFrame(fds_[1], &payload).code(), StatusCode::kParseError);
+}
+
+TEST_F(FramingTest, RejectsOversizedOutboundPayload) {
+  std::string huge(kMaxFrameBytes + 1, 'x');
+  EXPECT_EQ(WriteFrame(fds_[0], huge).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FramingTest, LargeFrameSurvivesPartialReads) {
+  // 1 MiB frame across a SOCK_STREAM pair exercises the read/write loops
+  // (the kernel will split this into many partial transfers).
+  std::string big(1 << 20, 'z');
+  big[12345] = 'q';
+  std::thread writer([this, &big] {
+    EXPECT_TRUE(WriteFrame(fds_[0], big).ok());
+  });
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(fds_[1], &payload).ok());
+  writer.join();
+  EXPECT_EQ(payload, big);
+}
+
+TEST(Protocol, ErrorResponseCarriesTypedCodeAndExitCode) {
+  const auto status =
+      muve::common::Status::DeadlineExceeded("too slow");
+  JsonValue response = ErrorResponse(status);
+  EXPECT_FALSE(response.Find("ok")->bool_value());
+  const JsonValue* error = response.Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->Find("code")->string_value(), "deadline_exceeded");
+  EXPECT_EQ(error->Find("exit_code")->int_value(),
+            muve::common::ExitCodeForStatus(StatusCode::kDeadlineExceeded));
+  EXPECT_EQ(error->Find("message")->string_value(), "too slow");
+}
+
+}  // namespace
+}  // namespace muve::server

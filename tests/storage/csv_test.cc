@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <limits>
+#include <string>
+
 namespace muve::storage {
 namespace {
 
@@ -169,6 +173,84 @@ TEST(CsvBadCorpusTest, BadCellUnderSchema) {
   auto result = ReadCsvFile(BadCsvPath("bad_cell.csv"), options);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), common::StatusCode::kParseError);
+}
+
+TEST(CsvBadCorpusTest, ExtremeValuesUnderSchema) {
+  // Well-formed under inference: the impossible numerics (1e400, inf,
+  // nan, 0x10) demote the column to string.
+  auto inferred = ReadCsvFile(BadCsvPath("extreme_values.csv"));
+  ASSERT_TRUE(inferred.ok()) << inferred.status().ToString();
+  EXPECT_EQ(inferred->schema().field(0).type, ValueType::kString);
+  // Under a pinned int64 schema the first impossible cell (1e30: a fine
+  // double, but outside int64) is a typed ParseError — this exact cell
+  // was UB in the old `d == (int64_t)d` conversion check.
+  CsvOptions int_options;
+  int_options.schema = Schema({{"v", ValueType::kInt64}});
+  auto as_int = ReadCsvFile(BadCsvPath("extreme_values.csv"), int_options);
+  ASSERT_FALSE(as_int.ok());
+  EXPECT_EQ(as_int.status().code(), common::StatusCode::kParseError);
+  // A pinned double schema rejects the overflow/inf/nan/hex tail too.
+  CsvOptions double_options;
+  double_options.schema = Schema({{"v", ValueType::kDouble}});
+  auto as_double =
+      ReadCsvFile(BadCsvPath("extreme_values.csv"), double_options);
+  ASSERT_FALSE(as_double.ok());
+  EXPECT_EQ(as_double.status().code(), common::StatusCode::kParseError);
+}
+
+TEST(CsvNumericEdgeTest, ScientificIntegersConvertExactlyOrFail) {
+  Schema schema({{"v", ValueType::kInt64}});
+  CsvOptions options;
+  options.schema = schema;
+  // 9e18 < 2^63 and is integral (>= 2^53 doubles are whole): exact.
+  auto fits = ReadCsvString("v\n9e18\n-9e18\n", options);
+  ASSERT_TRUE(fits.ok()) << fits.status().ToString();
+  EXPECT_EQ(fits->At(0, 0), Value(int64_t{9000000000000000000}));
+  EXPECT_EQ(fits->At(1, 0), Value(int64_t{-9000000000000000000}));
+  // 2^63 itself (and everything above) must fail, not wrap: the upper
+  // bound is exclusive because 2^63 is representable as a double but not
+  // as an int64.
+  EXPECT_FALSE(ReadCsvString("v\n9223372036854775808.0\n", options).ok());
+  EXPECT_FALSE(ReadCsvString("v\n9.3e18\n", options).ok());
+  EXPECT_FALSE(ReadCsvString("v\n1e30\n", options).ok());
+  EXPECT_FALSE(ReadCsvString("v\n-1e30\n", options).ok());
+  // Non-integral doubles under an int64 schema fail too.
+  EXPECT_FALSE(ReadCsvString("v\n1.5\n", options).ok());
+  // INT64_MIN is exactly representable as a double and must round-trip.
+  auto min_ok = ReadCsvString("v\n-9.223372036854775808e18\n", options);
+  ASSERT_TRUE(min_ok.ok()) << min_ok.status().ToString();
+  EXPECT_EQ(min_ok->At(0, 0),
+            Value(std::numeric_limits<int64_t>::min()));
+}
+
+TEST(CsvNumericEdgeTest, InfNanHexCellsAreNotNumbers) {
+  // Under inference these cells demote the column to string...
+  auto inferred = ReadCsvString("v\n1.5\ninf\n");
+  ASSERT_TRUE(inferred.ok());
+  EXPECT_EQ(inferred->schema().field(0).type, ValueType::kString);
+  // ...and under a double schema they are parse errors.
+  CsvOptions options;
+  options.schema = Schema({{"v", ValueType::kDouble}});
+  for (const char* cell : {"inf", "-inf", "nan", "NaN", "0x10", "1e400"}) {
+    EXPECT_FALSE(ReadCsvString(std::string("v\n") + cell + "\n", options).ok())
+        << cell;
+  }
+}
+
+TEST(CsvNumericEdgeTest, LocaleIndependentCells) {
+  const char* old = std::setlocale(LC_NUMERIC, nullptr);
+  std::string saved = old != nullptr ? old : "C";
+  for (const char* name :
+       {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8", "fr_FR"}) {
+    if (std::setlocale(LC_NUMERIC, name) != nullptr) break;
+  }
+  // "1.5" is 1.5 under every locale; "1,5" splits into two fields (the
+  // comma is the CSV delimiter, never a decimal point).
+  auto table = ReadCsvString("a,b\n1.5,2\n");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->schema().field(0).type, ValueType::kDouble);
+  EXPECT_EQ(table->At(0, 0), Value(1.5));
+  std::setlocale(LC_NUMERIC, saved.c_str());
 }
 
 TEST(CsvFileTest, WriteAndReadBack) {

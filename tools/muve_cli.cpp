@@ -53,14 +53,17 @@
 
 #include <atomic>
 #include <chrono>
-#include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "common/exec_context.h"
+#include "common/parse.h"
 #include "common/simd/simd.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
@@ -114,29 +117,16 @@ struct Flags {
   std::string html_path;  // write an SVG/HTML report of the top-k
 };
 
-// Maps a StatusCode to the CLI's documented exit codes (header table).
+// Maps a StatusCode to the CLI's documented exit codes (header table,
+// shared with muved's protocol error codes).
 int ExitCodeFor(muve::common::StatusCode code) {
-  switch (code) {
-    case muve::common::StatusCode::kOk:
-      return 0;
-    case muve::common::StatusCode::kInvalidArgument:
-    case muve::common::StatusCode::kParseError:
-    case muve::common::StatusCode::kTypeMismatch:
-      return 2;
-    case muve::common::StatusCode::kIoError:
-    case muve::common::StatusCode::kNotFound:
-      return 3;
-    case muve::common::StatusCode::kDeadlineExceeded:
-      return 4;
-    case muve::common::StatusCode::kCancelled:
-      return 5;
-    case muve::common::StatusCode::kResourceExhausted:
-      return 6;
-    default:
-      return 1;
-  }
+  return muve::common::ExitCodeForStatus(code);
 }
 
+// Every numeric flag goes through the strict parser (common/parse.h):
+// malformed or out-of-range values ("--k=abc", "--threads=0",
+// "--max-rows=99999999999999999999") are InvalidArgument errors that
+// name the flag — exit 2 — never a silent 0 from atoi.
 Status ParseFlags(int argc, char** argv, Flags* flags) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -145,6 +135,27 @@ Status ParseFlags(int argc, char** argv, Flags* flags) {
     };
     auto has = [&arg](const std::string& name) {
       return muve::common::StartsWith(arg, name);
+    };
+    // Strict numeric flag parsing: on success assigns through `out`
+    // (narrowing from int64 is safe inside the given range), on failure
+    // propagates the flag-naming error.
+    auto parse_int = [&](const char* name, auto* out, int64_t min_value,
+                         int64_t max_value) -> Status {
+      auto parsed = muve::common::ParseFlagInt64(
+          std::string_view(name, std::strlen(name) - 1), value_of(name),
+          min_value, max_value);
+      if (!parsed.ok()) return parsed.status();
+      *out = static_cast<std::decay_t<decltype(*out)>>(*parsed);
+      return Status::OK();
+    };
+    auto parse_double = [&](const char* name, double* out, double min_value,
+                            double max_value) -> Status {
+      auto parsed = muve::common::ParseFlagDouble(
+          std::string_view(name, std::strlen(name) - 1), value_of(name),
+          min_value, max_value);
+      if (!parsed.ok()) return parsed.status();
+      *out = *parsed;
+      return Status::OK();
     };
     if (has("--dataset=")) {
       flags->dataset = value_of("--dataset=");
@@ -159,34 +170,35 @@ Status ParseFlags(int argc, char** argv, Flags* flags) {
     } else if (has("--predicate=")) {
       flags->predicate = value_of("--predicate=");
     } else if (has("--num-dims=")) {
-      flags->num_dims = std::strtoul(value_of("--num-dims=").c_str(),
-                                     nullptr, 10);
+      MUVE_RETURN_IF_ERROR(
+          parse_int("--num-dims=", &flags->num_dims, 1, 1 << 20));
     } else if (has("--num-measures=")) {
-      flags->num_measures =
-          std::strtoul(value_of("--num-measures=").c_str(), nullptr, 10);
+      MUVE_RETURN_IF_ERROR(
+          parse_int("--num-measures=", &flags->num_measures, 1, 1 << 20));
     } else if (has("--num-functions=")) {
-      flags->num_functions =
-          std::strtoul(value_of("--num-functions=").c_str(), nullptr, 10);
+      MUVE_RETURN_IF_ERROR(
+          parse_int("--num-functions=", &flags->num_functions, 1, 1 << 20));
     } else if (has("--scheme=")) {
       flags->scheme = muve::common::ToLower(value_of("--scheme="));
     } else if (has("--weights=")) {
       flags->weights = value_of("--weights=");
     } else if (has("--k=")) {
-      flags->k = std::atoi(value_of("--k=").c_str());
+      MUVE_RETURN_IF_ERROR(parse_int("--k=", &flags->k, 1, 1000000));
     } else if (has("--distance=")) {
       flags->distance = value_of("--distance=");
     } else if (has("--partition=")) {
       flags->partition = muve::common::ToLower(value_of("--partition="));
     } else if (has("--step=")) {
-      flags->step = std::atoi(value_of("--step=").c_str());
+      MUVE_RETURN_IF_ERROR(parse_int("--step=", &flags->step, 1, 1000000));
     } else if (has("--approx=")) {
       flags->approx = muve::common::ToLower(value_of("--approx="));
     } else if (has("--def-bins=")) {
-      flags->def_bins = std::atoi(value_of("--def-bins=").c_str());
+      MUVE_RETURN_IF_ERROR(
+          parse_int("--def-bins=", &flags->def_bins, 1, 1000000));
     } else if (arg == "--shared") {
       flags->shared = true;
     } else if (has("--threads=")) {
-      flags->threads = std::atoi(value_of("--threads=").c_str());
+      MUVE_RETURN_IF_ERROR(parse_int("--threads=", &flags->threads, 1, 4096));
     } else if (arg == "--no-base-cache") {
       flags->base_cache = false;
     } else if (arg == "--no-fused-prewarm") {
@@ -194,14 +206,18 @@ Status ParseFlags(int argc, char** argv, Flags* flags) {
     } else if (has("--probe-order=")) {
       flags->probe_order = muve::common::ToLower(value_of("--probe-order="));
     } else if (has("--deadline-ms=")) {
-      flags->deadline_ms = std::atof(value_of("--deadline-ms=").c_str());
+      // Negative = unbounded (documented); still must parse strictly.
+      MUVE_RETURN_IF_ERROR(parse_double("--deadline-ms=", &flags->deadline_ms,
+                                        -1e15, 1e15));
     } else if (has("--cancel-after-ms=")) {
-      flags->cancel_after_ms =
-          std::atof(value_of("--cancel-after-ms=").c_str());
+      MUVE_RETURN_IF_ERROR(parse_double("--cancel-after-ms=",
+                                        &flags->cancel_after_ms, -1e15, 1e15));
     } else if (has("--max-rows=")) {
-      flags->max_rows = std::atoll(value_of("--max-rows=").c_str());
+      MUVE_RETURN_IF_ERROR(parse_int("--max-rows=", &flags->max_rows, 0,
+                                     std::numeric_limits<int64_t>::max()));
     } else if (has("--max-cache-mb=")) {
-      flags->max_cache_mb = std::atoi(value_of("--max-cache-mb=").c_str());
+      MUVE_RETURN_IF_ERROR(
+          parse_int("--max-cache-mb=", &flags->max_cache_mb, 0, 1 << 20));
     } else if (arg == "--fidelity") {
       flags->fidelity = true;
     } else if (arg == "--charts") {
@@ -239,9 +255,13 @@ Result<muve::core::SearchOptions> BuildOptions(const Flags& flags) {
   if (parts.size() != 3) {
     return Status::InvalidArgument("--weights needs D,A,S");
   }
-  options.weights = muve::core::Weights{
-      std::atof(parts[0].c_str()), std::atof(parts[1].c_str()),
-      std::atof(parts[2].c_str())};
+  double w[3];
+  for (int i = 0; i < 3; ++i) {
+    MUVE_ASSIGN_OR_RETURN(
+        w[i], muve::common::ParseFlagDouble(
+                  "--weights", muve::common::Trim(parts[i]), 0.0, 1.0));
+  }
+  options.weights = muve::core::Weights{w[0], w[1], w[2]};
   options.k = flags.k;
   MUVE_ASSIGN_OR_RETURN(options.distance,
                         muve::core::DistanceKindFromName(flags.distance));

@@ -6,10 +6,11 @@
 //   /tmp/muve_data/diab.csv   (768 rows, UCI Pima schema)
 //   /tmp/muve_data/nba.csv    (651 rows, 2015 NBA advanced-stats schema)
 
-#include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <string>
 
+#include "common/parse.h"
 #include "common/string_util.h"
 #include "data/diab.h"
 #include "data/nba.h"
@@ -24,9 +25,14 @@ int main(int argc, char** argv) {
     if (muve::common::StartsWith(arg, "--out=")) {
       out_dir = arg.substr(6);
     } else if (muve::common::StartsWith(arg, "--seed=")) {
-      const uint64_t seed = std::strtoull(arg.substr(7).c_str(), nullptr, 10);
-      diab_seed = seed;
-      nba_seed = seed;
+      auto seed = muve::common::ParseFlagInt64(
+          "--seed", arg.substr(7), 0, std::numeric_limits<int64_t>::max());
+      if (!seed.ok()) {
+        std::cerr << seed.status().message() << "\n";
+        return 2;
+      }
+      diab_seed = static_cast<uint64_t>(*seed);
+      nba_seed = diab_seed;
     } else {
       std::cerr << "usage: muve_datagen [--out=DIR] [--seed=N]\n";
       return 2;

@@ -1,0 +1,179 @@
+// muved — the MuVE recommendation daemon.
+//
+//   $ muved --port=7171 --max-concurrent=4 --preload=nba,diab
+//
+// Serves length-prefixed JSON frames over 127.0.0.1 TCP (protocol in
+// src/server/protocol.h; field tables in README "muved").  Runs until
+// SIGINT/SIGTERM or a client's {"op":"shutdown"} request, then drains
+// in-flight requests and exits 0.
+//
+// Flags (all numeric values parsed strictly — garbage exits 2):
+//   --port=N            TCP port on 127.0.0.1 (default 7171; 0 = pick an
+//                       ephemeral port and print it)
+//   --max-concurrent=N  admission cap: Recommend() calls executing at
+//                       once (default 4); excess requests queue
+//   --max-threads=N     upper bound on a request's "threads" field
+//                       (default 8)
+//   --preload=a,b       build these datasets' recommenders before
+//                       accepting traffic (diab|nba|toy), so first
+//                       requests don't pay cold-build latency
+//   --no-shutdown-op    refuse {"op":"shutdown"} (signals only)
+
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "common/parse.h"
+#include "common/simd/simd.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "server/muved_server.h"
+#include "server/protocol.h"
+
+namespace {
+
+using muve::common::Status;
+
+struct Flags {
+  int port = 7171;
+  int max_concurrent = 4;
+  int max_threads = 8;
+  std::string preload;
+  bool allow_shutdown_op = true;
+};
+
+Status ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto has = [&arg](const std::string& name) {
+      return muve::common::StartsWith(arg, name);
+    };
+    auto value_of = [&arg](const std::string& name) {
+      return arg.substr(name.size());
+    };
+    if (has("--port=")) {
+      MUVE_ASSIGN_OR_RETURN(
+          flags->port, muve::common::ParseFlagInt64(
+                           "--port", value_of("--port="), 0, 65535));
+    } else if (has("--max-concurrent=")) {
+      MUVE_ASSIGN_OR_RETURN(flags->max_concurrent,
+                            muve::common::ParseFlagInt64(
+                                "--max-concurrent",
+                                value_of("--max-concurrent="), 1, 1024));
+    } else if (has("--max-threads=")) {
+      MUVE_ASSIGN_OR_RETURN(
+          flags->max_threads,
+          muve::common::ParseFlagInt64("--max-threads",
+                                       value_of("--max-threads="), 1, 4096));
+    } else if (has("--preload=")) {
+      flags->preload = value_of("--preload=");
+    } else if (arg == "--no-shutdown-op") {
+      flags->allow_shutdown_op = false;
+    } else {
+      return Status::InvalidArgument("unknown flag: " + arg);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (Status st = ParseFlags(argc, argv, &flags); !st.ok()) {
+    std::cerr << st.message() << "\n\nSee the header of tools/muved.cpp for "
+              << "flag documentation.\n";
+    return 2;
+  }
+
+  muve::server::ServerOptions options;
+  options.port = flags.port;
+  options.max_concurrent = flags.max_concurrent;
+  options.max_request_threads = flags.max_threads;
+  options.allow_shutdown_op = flags.allow_shutdown_op;
+  muve::server::MuvedServer server(options);
+
+  // Block SIGINT/SIGTERM in every thread the server will spawn, then
+  // collect them synchronously below — no async-signal-unsafe handler
+  // code, and worker threads never steal the signal.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  if (Status st = server.Start(); !st.ok()) {
+    std::cerr << "muved: " << st.ToString() << "\n";
+    return muve::common::ExitCodeForStatus(st.code());
+  }
+  std::cout << "muved listening on 127.0.0.1:" << server.port()
+            << " (max_concurrent=" << flags.max_concurrent
+            << ", simd=" << muve::common::simd::ActiveLevelName() << ")\n"
+            << std::flush;
+
+  // Warm the registry before traffic by issuing a real `use` through a
+  // loopback connection — same code path as a client, so the preload
+  // list is validated exactly like client input.
+  if (!flags.preload.empty()) {
+    auto fd = muve::server::DialLocal(server.port());
+    if (fd.ok()) {
+      for (const auto& name : muve::common::Split(flags.preload, ',')) {
+        auto request = muve::server::JsonValue::Object();
+        request.Set("op", muve::server::JsonValue::String("use"));
+        request.Set("dataset", muve::server::JsonValue::String(
+                                   std::string(muve::common::Trim(name))));
+        auto response = muve::server::RoundTrip(*fd, request);
+        const muve::server::JsonValue* ok =
+            response.ok() ? response->Find("ok") : nullptr;
+        if (!response.ok() || ok == nullptr || !ok->bool_value()) {
+          std::cerr << "muved: preload of '" << std::string(name)
+                    << "' failed\n";
+          ::close(*fd);
+          server.Stop();
+          return 2;
+        }
+        std::cout << "muved: preloaded " << std::string(name) << "\n"
+                  << std::flush;
+      }
+      ::close(*fd);
+    }
+  }
+
+  // Wait for a signal OR a protocol shutdown request, whichever first.
+  // The signal waiter runs in a side thread so both wake paths converge
+  // on server.Wait().  `exiting` distinguishes a real signal from the
+  // self-raised SIGTERM that unblocks sigwait when shutdown came over
+  // the wire.
+  std::atomic<bool> exiting{false};
+  std::thread signal_thread([&signals, &server, &exiting] {
+    int sig = 0;
+    // sigwait returns EINTR-free; a failure here means the set was
+    // empty, which cannot happen.
+    if (sigwait(&signals, &sig) == 0 && !exiting.load()) {
+      std::cout << "muved: caught " << (sig == SIGINT ? "SIGINT" : "SIGTERM")
+                << ", draining\n"
+                << std::flush;
+      server.RequestStop();
+    }
+  });
+
+  server.Wait();
+  server.Stop();
+  // Unblock the signal thread if shutdown came over the wire: raise the
+  // signal it is waiting for.
+  exiting.store(true);
+  pthread_kill(signal_thread.native_handle(), SIGTERM);
+  signal_thread.join();
+
+  const auto counters = server.counters();
+  std::cout << "muved: stopped cleanly (connections="
+            << counters.connections_accepted
+            << " requests=" << counters.requests_served
+            << " recommends=" << counters.recommends_executed
+            << " errors=" << counters.errors_returned << ")\n";
+  return 0;
+}
