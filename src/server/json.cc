@@ -1,6 +1,7 @@
 #include "server/json.h"
 
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -169,6 +170,14 @@ void WriteEscaped(const std::string& s, std::string* out) {
 }
 
 void WriteDouble(double d, std::string* out) {
+  // inf/nan have no RFC 8259 spelling — to_chars/%.17g would emit
+  // "inf"/"nan" and the frame would be unparseable by our own strict
+  // parser.  Serialize them as null: deterministic, valid JSON, and the
+  // absence of a number is exactly what a non-finite stat means.
+  if (!std::isfinite(d)) {
+    *out += "null";
+    return;
+  }
   // Shortest round-trip form: deterministic, exact, locale-free.  A
   // to_chars form with no '.', 'e' or 'E' (e.g. "42") would re-parse as
   // an int64 — append ".0" so doubles stay doubles across a round trip.
@@ -504,22 +513,35 @@ class Parser {
         text_[pos_ + 1] >= '0' && text_[pos_ + 1] <= '9') {
       return Fail("leading zero in number");
     }
+    // Scan exactly the RFC 8259 grammar — int [frac] [exp] — instead of
+    // greedily grabbing number-ish bytes: the shared token parser below
+    // tolerates trailing-dot forms ("1.", "1.e5") that are not JSON, so
+    // the frac/exp digit requirements must be enforced here.
+    auto digit = [this] {
+      return pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9';
+    };
     bool is_double = false;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c >= '0' && c <= '9') {
+    while (digit()) ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      is_double = true;
+      ++pos_;
+      if (!digit()) return Fail("expected digit after '.' in number");
+      while (digit()) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '+' || text_[pos_] == '-')) {
         ++pos_;
-      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
-        if (c == '.' || c == 'e' || c == 'E') is_double = true;
-        ++pos_;
-      } else {
-        break;
       }
+      if (!digit()) return Fail("expected digit in exponent");
+      while (digit()) ++pos_;
     }
     const std::string_view token = text_.substr(start, pos_ - start);
-    if (token.empty()) return Fail("invalid value");
-    // Token decode goes through the shared strict parser, so JSON number
-    // acceptance matches CLI flags and CSV cells exactly.
+    // Value decode goes through the shared strict parser, so range
+    // handling (int64 overflow, double overflow/underflow) matches CLI
+    // flags and CSV cells exactly.
     if (!is_double) {
       auto parsed = common::ParseInt64Strict(token);
       if (!parsed.ok()) {

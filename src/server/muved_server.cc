@@ -8,8 +8,10 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <initializer_list>
 #include <limits>
+#include <thread>
 #include <utility>
 
 #include "common/exec_context.h"
@@ -293,8 +295,19 @@ void MuvedServer::AcceptLoop() {
   while (!stopping_.load(std::memory_order_acquire)) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listen socket closed (shutdown) or fatal
+      const int err = errno;
+      if (stopping_.load(std::memory_order_acquire)) break;
+      // A connection aborted between listen and accept is the CLIENT's
+      // failure; fd/buffer exhaustion from a burst is transient.  Neither
+      // may retire the accept thread — that would leave a daemon that
+      // looks alive but can never take another connection.
+      if (err == EINTR || err == ECONNABORTED) continue;
+      if (err == EMFILE || err == ENFILE || err == ENOBUFS ||
+          err == ENOMEM) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      break;  // listen socket gone (EBADF/EINVAL after Stop) or fatal
     }
     if (stopping_.load(std::memory_order_acquire)) {
       ::close(fd);

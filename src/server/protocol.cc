@@ -38,7 +38,10 @@ ssize_t ReadFull(int fd, char* buf, size_t count, bool* eof_mid_read) {
 Status WriteFull(int fd, const char* buf, size_t count) {
   size_t done = 0;
   while (done < count) {
-    const ssize_t n = ::write(fd, buf + done, count - done);
+    // send(MSG_NOSIGNAL), never write(): a peer that disconnects before
+    // its response lands must surface as EPIPE on THIS connection, not
+    // raise SIGPIPE and kill the whole daemon with default disposition.
+    const ssize_t n = ::send(fd, buf + done, count - done, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::IoError(std::string("frame write failed: ") +

@@ -214,6 +214,26 @@ TEST_F(MuvedIntegrationTest, BadFrameHeaderDropsConnectionNotServer) {
   ::close(fd);
 }
 
+TEST_F(MuvedIntegrationTest, ClientVanishingBeforeResponseDoesNotKillServer) {
+  StartServer();
+  // A client that sends a request and immediately RSTs the connection
+  // (SO_LINGER 0 + close) races the server's response write.  Whichever
+  // side of the race an iteration lands on — the read fails, or the
+  // response write hits the dead socket with EPIPE — the daemon must
+  // survive.  The server runs in-process, so a raised SIGPIPE would kill
+  // this very test binary.
+  for (int i = 0; i < 20; ++i) {
+    const int fd = Dial();
+    ASSERT_TRUE(WriteMessage(fd, Request("ping")).ok());
+    struct linger hard = {1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+    ::close(fd);
+  }
+  const int fd = Dial();
+  EXPECT_TRUE(IsOk(Call(fd, Request("ping"))));
+  ::close(fd);
+}
+
 TEST_F(MuvedIntegrationTest, DeadlineTrippedRequestIsDegradedButOk) {
   StartServer();
   const int fd = Dial();

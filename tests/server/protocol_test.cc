@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cstring>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -83,6 +84,33 @@ TEST(Json, RejectsMalformedDocuments) {
         "nul", "tru", "{\"a\":\"\\q\"}", "{\"a\":\"\\ud800\"}"}) {
     EXPECT_FALSE(ParseJson(bad).ok()) << "accepted: " << bad;
   }
+}
+
+TEST(Json, NumbersFollowRfc8259NotTheLooserSharedGrammar) {
+  // The shared strict parser (common/parse.h) accepts "1." and "1.e5";
+  // RFC 8259 does not — frac and exp each require at least one digit.
+  for (const char* bad :
+       {"[1.]", "[1.e5]", "[-3.]", "[1.E2]", "[2e]", "[2e+]", "[2E-]",
+        "[0.]", "[1e++2]", "[1.2.3]"}) {
+    EXPECT_FALSE(ParseJson(bad).ok()) << "accepted: " << bad;
+  }
+  for (const char* good :
+       {"[1.0]", "[1.0e5]", "[0.5]", "[-0.25E-2]", "[2e7]", "[1e+2]"}) {
+    EXPECT_TRUE(ParseJson(good).ok()) << "rejected: " << good;
+  }
+}
+
+TEST(Json, NonFiniteDoublesSerializeAsNullNotInvalidJson) {
+  // "inf"/"nan" bytes would make the frame unparseable by our own strict
+  // parser; null is deterministic and survives the round trip.
+  JsonValue doc = JsonValue::Object();
+  doc.Set("a", JsonValue::Double(std::numeric_limits<double>::infinity()));
+  doc.Set("b", JsonValue::Double(-std::numeric_limits<double>::infinity()));
+  doc.Set("c", JsonValue::Double(std::numeric_limits<double>::quiet_NaN()));
+  doc.Set("d", JsonValue::Double(1.5));
+  const std::string text = doc.Write();
+  EXPECT_EQ(text, "{\"a\":null,\"b\":null,\"c\":null,\"d\":1.5}");
+  EXPECT_TRUE(ParseJson(text).ok());
 }
 
 TEST(Json, DecodesEscapesAndUnicode) {
@@ -175,6 +203,20 @@ TEST_F(FramingTest, ZeroAndOversizedLengthsAreParseErrors) {
 TEST_F(FramingTest, RejectsOversizedOutboundPayload) {
   std::string huge(kMaxFrameBytes + 1, 'x');
   EXPECT_EQ(WriteFrame(fds_[0], huge).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FramingTest, WriteAfterPeerCloseIsIoErrorNotSigpipe) {
+  // The peer disconnects before the response is written — the canonical
+  // "client gave up" race.  On an AF_UNIX pair the very first send after
+  // the close hits EPIPE, so without MSG_NOSIGNAL this test would die of
+  // SIGPIPE instead of failing an assertion.
+  ::close(fds_[1]);
+  fds_[1] = -1;
+  const auto first = WriteFrame(fds_[0], "{\"op\":\"ping\"}");
+  EXPECT_EQ(first.code(), StatusCode::kIoError);
+  // And again: the error is sticky per-write, never process-fatal.
+  EXPECT_EQ(WriteFrame(fds_[0], "{\"op\":\"ping\"}").code(),
+            StatusCode::kIoError);
 }
 
 TEST_F(FramingTest, LargeFrameSurvivesPartialReads) {

@@ -97,6 +97,11 @@ int main(int argc, char** argv) {
   options.allow_shutdown_op = flags.allow_shutdown_op;
   muve::server::MuvedServer server(options);
 
+  // A client may vanish between its request and our response; writes go
+  // through send(MSG_NOSIGNAL) in the protocol layer, and SIGPIPE is
+  // ignored here too so no future write path can kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+
   // Block SIGINT/SIGTERM in every thread the server will spawn, then
   // collect them synchronously below — no async-signal-unsafe handler
   // code, and worker threads never steal the signal.
@@ -120,27 +125,33 @@ int main(int argc, char** argv) {
   // list is validated exactly like client input.
   if (!flags.preload.empty()) {
     auto fd = muve::server::DialLocal(server.port());
-    if (fd.ok()) {
-      for (const auto& name : muve::common::Split(flags.preload, ',')) {
-        auto request = muve::server::JsonValue::Object();
-        request.Set("op", muve::server::JsonValue::String("use"));
-        request.Set("dataset", muve::server::JsonValue::String(
-                                   std::string(muve::common::Trim(name))));
-        auto response = muve::server::RoundTrip(*fd, request);
-        const muve::server::JsonValue* ok =
-            response.ok() ? response->Find("ok") : nullptr;
-        if (!response.ok() || ok == nullptr || !ok->bool_value()) {
-          std::cerr << "muved: preload of '" << std::string(name)
-                    << "' failed\n";
-          ::close(*fd);
-          server.Stop();
-          return 2;
-        }
-        std::cout << "muved: preloaded " << std::string(name) << "\n"
-                  << std::flush;
-      }
-      ::close(*fd);
+    if (!fd.ok()) {
+      // --preload promised warm datasets; starting cold anyway would
+      // silently break that contract.  Fail loudly, like a bad dataset.
+      std::cerr << "muved: preload connection failed: "
+                << fd.status().ToString() << "\n";
+      server.Stop();
+      return 2;
     }
+    for (const auto& name : muve::common::Split(flags.preload, ',')) {
+      auto request = muve::server::JsonValue::Object();
+      request.Set("op", muve::server::JsonValue::String("use"));
+      request.Set("dataset", muve::server::JsonValue::String(
+                                 std::string(muve::common::Trim(name))));
+      auto response = muve::server::RoundTrip(*fd, request);
+      const muve::server::JsonValue* ok =
+          response.ok() ? response->Find("ok") : nullptr;
+      if (!response.ok() || ok == nullptr || !ok->bool_value()) {
+        std::cerr << "muved: preload of '" << std::string(name)
+                  << "' failed\n";
+        ::close(*fd);
+        server.Stop();
+        return 2;
+      }
+      std::cout << "muved: preloaded " << std::string(name) << "\n"
+                << std::flush;
+    }
+    ::close(*fd);
   }
 
   // Wait for a signal OR a protocol shutdown request, whichever first.
