@@ -36,6 +36,9 @@ muve_add_bench(parallel_scaling)
 muve_add_bench(ablate_sampling)
 muve_add_bench(fused_scan_bench)
 muve_add_bench(anytime_deadline)
+# Cross-request shared execution: duplicate-heavy workload against an
+# in-process muved, sharing on vs off (DESIGN.md §13).
+muve_add_bench(ablate_cross_query muve_server)
 
 add_executable(micro_engine bench/micro_engine.cpp)
 target_link_libraries(micro_engine muve_bench_harness benchmark::benchmark)

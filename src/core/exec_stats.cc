@@ -27,6 +27,7 @@ void ExecStats::Merge(const ExecStats& other) {
   base_cache_hits += other.base_cache_hits;
   fused_builds += other.fused_builds;
   morsels_dispatched += other.morsels_dispatched;
+  fused_coalesced += other.fused_coalesced;
   predicate_rows_filtered += other.predicate_rows_filtered;
   setup_time_ms += other.setup_time_ms;
   candidates_considered += other.candidates_considered;
@@ -63,6 +64,7 @@ std::string ExecStats::ToString() const {
       << " fused=" << fused_builds
       << " morsels=" << morsels_dispatched
       << " workers=" << num_workers;
+  if (fused_coalesced > 0) out << " coalesced=" << fused_coalesced;
   if (!simd_dispatch.empty()) out << " simd=" << simd_dispatch;
   if (predicate_rows_filtered > 0 || setup_time_ms > 0.0) {
     out << " filtered=" << predicate_rows_filtered

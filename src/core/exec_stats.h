@@ -72,6 +72,11 @@ struct ExecStats {
   // rows per pass; > passes only when row sets exceed one morsel).
   int64_t fused_builds = 0;
   int64_t morsels_dispatched = 0;
+  // Cross-request sharing: fused passes this run did NOT scan because an
+  // identical pass was already in flight on the shared cache — the
+  // single-flight scheduler parked this side and it woke to cache hits
+  // (SearchOptions::fused_coalescing).  0 on a run that shares nothing.
+  int64_t fused_coalesced = 0;
 
   // Setup accounting (outside the paper's C: one-off costs before any
   // probe runs).  Rows eliminated by the WHERE predicate selecting D_Q,

@@ -488,17 +488,27 @@ common::Result<Recommendation> Recommender::Recommend(
   eval_options.use_base_histogram_cache = options.base_histogram_cache;
   eval_options.fused_morsel_size = options.fused_morsel_size;
   eval_options.fused_miss_batching = options.fused_miss_batching;
+  eval_options.fused_coalescing = options.fused_coalescing;
   eval_options.exec = &ctx;
   if (options.base_histogram_cache) {
-    // ONE store per run, shared by every worker evaluator: all workers
-    // probe identical row sets (same dataset + sampling draw), so a
-    // histogram built by any lane serves them all.
-    storage::BaseHistogramCache::Options cache_options;
-    if (options.max_cache_bytes > 0) {
-      cache_options.max_bytes = options.max_cache_bytes;
+    if (options.shared_base_cache != nullptr &&
+        options.sample_fraction >= 1.0) {
+      // Cross-request sharing: the caller's store outlives this run, so
+      // a warm run's prewarm is all hits.  Valid only when every run on
+      // the store probes identical row sets — sampling draws a run-local
+      // subset, so sampled runs fall through to a private store.
+      eval_options.base_cache = options.shared_base_cache;
+    } else {
+      // ONE store per run, shared by every worker evaluator: all workers
+      // probe identical row sets (same dataset + sampling draw), so a
+      // histogram built by any lane serves them all.
+      storage::BaseHistogramCache::Options cache_options;
+      if (options.max_cache_bytes > 0) {
+        cache_options.max_bytes = options.max_cache_bytes;
+      }
+      eval_options.base_cache =
+          std::make_shared<storage::BaseHistogramCache>(cache_options);
     }
-    eval_options.base_cache =
-        std::make_shared<storage::BaseHistogramCache>(cache_options);
   }
 
   // More workers than views can never help; everything degrades to the

@@ -18,6 +18,10 @@
 #include "core/distance.h"
 #include "core/utility.h"
 
+namespace muve::storage {
+class BaseHistogramCache;
+}  // namespace muve::storage
+
 namespace muve::core {
 
 enum class HorizontalStrategy { kLinear, kHillClimbing, kMuve };
@@ -111,6 +115,28 @@ struct SearchOptions {
   // sums, so changing it can shift AVG/STD/VAR results within FP
   // tolerance; thread count never does.
   size_t fused_morsel_size = 0;
+
+  // Cross-request sharing (the serving-path optimization): a base-
+  // histogram store OWNED BY THE CALLER and reused across Recommend()
+  // calls, so the second identical request's prewarm is all cache hits
+  // instead of two fused scans.  muved holds one per (dataset, canonical
+  // predicate) registry entry.  Hard requirement: every run handed this
+  // store must probe IDENTICAL row sets — same dataset, same predicate,
+  // no sampling — so Recommend() ignores it (fresh per-run store, as
+  // before) when sample_fraction < 1.0.  The histograms a run reads back
+  // are identical to the ones it would have built (pinned by
+  // tests/storage/cross_query_cache_test.cc), so the top-k does not
+  // change; only the stats blocks' build/hit split does.  nullptr
+  // (default) = no sharing.
+  std::shared_ptr<storage::BaseHistogramCache> shared_base_cache;
+
+  // Coalesce concurrent identical fused passes on the (shared) cache
+  // into one single-flight scan with waiting consumers: N requests
+  // racing the same cold (dataset, predicate) run ONE build pass
+  // (ExecStats::fused_coalesced counts the parked sides).  Semantically
+  // invisible — waiters wake to cache hits over the same histograms —
+  // and a no-op without concurrency, so it defaults on.
+  bool fused_coalescing = true;
 
   // SeeDB-style shared scans (Section II-A's orthogonal optimization):
   // evaluate all same-dimension views of each bin count with one target

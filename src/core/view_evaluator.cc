@@ -130,9 +130,11 @@ void ViewEvaluator::RunFusedBuild(
     storage::BaseHistogramCache::FusedHistogramBuildRequest request) {
   if (request.pairs.empty()) return;
   request.exec = options_.exec;
+  request.coalesce = options_.fused_coalescing;
   storage::BaseHistogramCache::FusedBuildOutcome outcome;
   const common::Status status = base_cache_->FusedBuild(
       *dataset_.table, request, &outcome, &fused_scratch_);
+  stats_.fused_coalesced += outcome.coalesced;
   if (!status.ok()) {
     // Graceful degradation, not a programming error: the fused pass was
     // aborted between morsels (expired context or injected fault) and

@@ -93,6 +93,12 @@ struct ViewEvaluatorOptions {
   // worker lanes); PrewarmBaseHistograms takes the pool explicitly.
   size_t fused_morsel_size = 0;
 
+  // Coalesce identical concurrent fused passes on the cache into one
+  // single-flight scan (matters when `base_cache` is shared across
+  // requests; see SearchOptions::fused_coalescing).  A parked pass is
+  // charged as ExecStats::fused_coalesced instead of a build.
+  bool fused_coalescing = true;
+
   // Execution control (deadline / cancellation / row budget), or nullptr
   // for an unbounded run.  The evaluator never aborts a probe mid-flight
   // — in-flight work completes so results stay well-formed — but it (a)

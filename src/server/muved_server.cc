@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <initializer_list>
 #include <limits>
 #include <thread>
@@ -207,6 +208,7 @@ JsonValue SerializeStats(const core::ExecStats& stats) {
   s.Set("base_builds", JsonValue::Int(stats.base_builds));
   s.Set("base_cache_hits", JsonValue::Int(stats.base_cache_hits));
   s.Set("fused_builds", JsonValue::Int(stats.fused_builds));
+  s.Set("fused_coalesced", JsonValue::Int(stats.fused_coalesced));
   s.Set("candidates_considered", JsonValue::Int(stats.candidates_considered));
   s.Set("fully_probed", JsonValue::Int(stats.fully_probed));
   s.Set("views_searched", JsonValue::Int(stats.views_searched));
@@ -220,6 +222,33 @@ JsonValue SerializeCompleteness(const core::ExecCompleteness& c) {
   out.Set("views_fully_searched", JsonValue::Int(c.views_fully_searched));
   out.Set("bins_pruned", JsonValue::Int(c.bins_pruned_by_deadline));
   return out;
+}
+
+// Canonical result-cache key: the registry entry's epoch-qualified
+// prefix plus every RESOLVED parameter that can shape the response body.
+// Session defaults are resolved before this point, so two sessions with
+// different spellings of one request share a key.
+std::string ResultCacheKey(const std::string& entry_key,
+                           const core::SearchOptions& options, int64_t k,
+                           int64_t threads) {
+  char weights[128];
+  std::snprintf(weights, sizeof(weights), "%.17g,%.17g,%.17g",
+                options.weights.deviation, options.weights.accuracy,
+                options.weights.usability);
+  std::string key = entry_key;
+  key += '\x01';
+  key += options.SchemeName();
+  key += '\x01';
+  key += std::to_string(k);
+  key += '\x01';
+  key += weights;
+  key += '\x01';
+  key += std::to_string(static_cast<int>(options.distance));
+  key += '\x01';
+  key += std::to_string(static_cast<int>(options.probe_order));
+  key += '\x01';
+  key += std::to_string(threads);
+  return key;
 }
 
 }  // namespace
@@ -389,6 +418,8 @@ JsonValue MuvedServer::Dispatch(const JsonValue& request, Session* session,
   if (name == "use") return HandleUse(request, session);
   if (name == "defaults") return HandleDefaults(request, session);
   if (name == "recommend") return HandleRecommend(request, session, conn);
+  if (name == "stats") return HandleStats(request);
+  if (name == "invalidate") return HandleInvalidate(request);
   if (name == "shutdown") {
     if (!options_.allow_shutdown_op) {
       return ErrorResponse(
@@ -426,22 +457,20 @@ JsonValue MuvedServer::HandleUse(const JsonValue& request, Session* session) {
   if (dataset.empty()) {
     return ErrorResponse(Status::InvalidArgument("use: dataset is required"));
   }
-  auto recommender = GetRecommender(dataset, predicate);
-  if (!recommender.ok()) return ErrorResponse(recommender.status());
+  auto entry = GetRecommender(dataset, predicate);
+  if (!entry.ok()) return ErrorResponse(entry.status());
+  const core::Recommender& rec = *entry->recommender;
   session->dataset = dataset;
   session->predicate = predicate;
   JsonValue response = OkResponse("use");
   response.Set("dataset", JsonValue::String(dataset));
-  response.Set("rows",
-               JsonValue::Int(static_cast<int64_t>(
-                   (*recommender)->dataset().table->num_rows())));
-  response.Set("target_rows",
-               JsonValue::Int(static_cast<int64_t>(
-                   (*recommender)->dataset().target_rows.size())));
+  response.Set("rows", JsonValue::Int(static_cast<int64_t>(
+                           rec.dataset().table->num_rows())));
+  response.Set("target_rows", JsonValue::Int(static_cast<int64_t>(
+                                  rec.dataset().target_rows.size())));
   response.Set("views", JsonValue::Int(static_cast<int64_t>(
-                            (*recommender)->space().views().size())));
-  response.Set("binned_views",
-               JsonValue::Int((*recommender)->space().TotalBinnedViews()));
+                            rec.space().views().size())));
+  response.Set("binned_views", JsonValue::Int(rec.space().TotalBinnedViews()));
   return response;
 }
 
@@ -569,8 +598,33 @@ JsonValue MuvedServer::HandleRecommend(const JsonValue& request,
     return ErrorResponse(st);
   }
 
-  auto recommender = GetRecommender(dataset, predicate);
-  if (!recommender.ok()) return ErrorResponse(recommender.status());
+  auto entry = GetRecommender(dataset, predicate);
+  if (!entry.ok()) return ErrorResponse(entry.status());
+
+  // Result cache: only unbounded, timing-free requests participate — a
+  // deadline or row budget makes the response depend on wall-clock, and
+  // a timings block is wall-clock by definition.  A hit re-serializes
+  // the FIRST response's JsonValue through the canonical writer, so the
+  // wire bytes are identical, and skips admission entirely (it costs no
+  // execution slot).
+  const bool cacheable = options_.enable_result_cache && deadline_ms < 0.0 &&
+                         max_rows == 0 && !include_timings;
+  std::string result_key;
+  if (cacheable) {
+    result_key = ResultCacheKey(entry->key, *options, k, threads);
+    JsonValue cached;
+    if (LookupResult(result_key, &cached)) {
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.result_cache_hits;
+      return cached;
+    }
+  }
+
+  // Cross-request base-histogram sharing: every request on this registry
+  // entry probes identical row sets, so they may share one store.
+  if (options_.enable_shared_base_cache) {
+    options->shared_base_cache = entry->base_cache;
+  }
 
   // Shutdown must not wait out a long deadline: every in-flight request
   // carries a token Stop() can trip.
@@ -589,7 +643,7 @@ JsonValue MuvedServer::HandleRecommend(const JsonValue& request,
         Status::Cancelled("server is shutting down; request not admitted"));
   }
   common::Stopwatch exec_timer;
-  auto rec = (*recommender)->Recommend(*options);
+  auto rec = entry->recommender->Recommend(*options);
   const double exec_ms = exec_timer.ElapsedMillis();
   ReleaseRequest();
   {
@@ -611,6 +665,13 @@ JsonValue MuvedServer::HandleRecommend(const JsonValue& request,
   response.Set("completeness", SerializeCompleteness(rec->stats.completeness));
   response.Set("views", SerializeViews(rec->views));
   response.Set("stats", SerializeStats(rec->stats));
+  // Store before the (never-cached) timings block would be attached.  A
+  // degraded response is excluded belt-and-braces: unbounded runs only
+  // degrade when shutdown cancellation catches them mid-flight, and that
+  // partial top-k must not outlive the shutdown that caused it.
+  if (cacheable && !rec->stats.completeness.degraded) {
+    StoreResult(result_key, response);
+  }
   if (include_timings) {
     JsonValue timings = JsonValue::Object();
     timings.Set("queue_ms", JsonValue::Double(queue_ms));
@@ -628,13 +689,32 @@ JsonValue MuvedServer::HandleShutdown(Session* session) {
   return OkResponse("shutdown");
 }
 
-Result<std::shared_ptr<const core::Recommender>> MuvedServer::GetRecommender(
+Result<MuvedServer::RegistryEntry> MuvedServer::GetRecommender(
     const std::string& dataset, const std::string& predicate) {
-  const std::string key = dataset + '\x01' + predicate;
+  // Validate the dataset name before anything predicate-shaped, so the
+  // first diagnostic matches what a predicate-free request would get.
+  if (dataset != "diab" && dataset != "nba" && dataset != "toy") {
+    return Status::InvalidArgument("dataset: unknown \"" + dataset +
+                                   "\" (expected diab|nba|toy)");
+  }
+  // Canonicalize the predicate FIRST: registry, selection cache and
+  // result cache all key on the canonical form under the dataset's
+  // current epoch, so operand-permuted spellings of one WHERE clause
+  // share a recommender and its caches.
+  std::string canonical;
+  sql::SelectStatement stmt;
+  if (!predicate.empty()) {
+    MUVE_ASSIGN_OR_RETURN(
+        stmt, sql::ParseSelect("SELECT * FROM t WHERE " + predicate));
+    canonical = storage::CanonicalPredicateKey(*stmt.where);
+  }
+  const std::string key = dataset + '\x01' +
+                          std::to_string(EpochOf(dataset)) + '\x01' +
+                          canonical;
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
-    for (auto& [k, rec] : registry_) {
-      if (k == key) return rec;
+    for (const RegistryEntry& entry : registry_) {
+      if (entry.key == key) return entry;
     }
   }
   // Build outside the registry lock: a cold NBA build must not block a
@@ -646,42 +726,194 @@ Result<std::shared_ptr<const core::Recommender>> MuvedServer::GetRecommender(
     base = data::MakeDiabDataset();
   } else if (dataset == "nba") {
     base = data::MakeNbaDataset();
-  } else if (dataset == "toy") {
-    base = data::MakeToyDataset();
   } else {
-    return Status::InvalidArgument("dataset: unknown \"" + dataset +
-                                   "\" (expected diab|nba|toy)");
+    base = data::MakeToyDataset();
   }
   if (!predicate.empty() && predicate != base.query_predicate_sql) {
-    MUVE_ASSIGN_OR_RETURN(
-        sql::SelectStatement stmt,
-        sql::ParseSelect("SELECT * FROM t WHERE " + predicate));
-    storage::FilterStats filter_stats;
-    MUVE_ASSIGN_OR_RETURN(
-        base.target_rows,
-        storage::Filter(*base.table, stmt.where.get(), nullptr,
-                        &filter_stats));
+    const int64_t rows_total =
+        static_cast<int64_t>(base.table->num_rows());
+    std::shared_ptr<const storage::RowSet> cached;
+    if (options_.enable_selection_cache) cached = selection_cache_.Get(key);
+    if (cached != nullptr) {
+      base.target_rows = *cached;
+    } else {
+      MUVE_ASSIGN_OR_RETURN(base.target_rows,
+                            storage::Filter(*base.table, stmt.where.get()));
+      if (options_.enable_selection_cache && !base.target_rows.empty()) {
+        selection_cache_.Put(key, std::make_shared<const storage::RowSet>(
+                                      base.target_rows));
+      }
+    }
     if (base.target_rows.empty()) {
       return Status::InvalidArgument("predicate selects no rows: " +
                                      predicate);
     }
     base.query_predicate_sql = predicate;
     base.predicate_rows_filtered =
-        filter_stats.rows_in - filter_stats.rows_out;
+        rows_total - static_cast<int64_t>(base.target_rows.size());
     base.name += " WHERE " + predicate;
   }
   MUVE_ASSIGN_OR_RETURN(core::Recommender built,
                         core::Recommender::Create(std::move(base)));
-  auto shared = std::make_shared<const core::Recommender>(std::move(built));
+  RegistryEntry entry;
+  entry.key = key;
+  entry.dataset = dataset;
+  entry.recommender =
+      std::make_shared<const core::Recommender>(std::move(built));
+  entry.base_cache = std::make_shared<storage::BaseHistogramCache>();
   std::lock_guard<std::mutex> lock(registry_mu_);
-  for (auto& [k, rec] : registry_) {
-    if (k == key) return rec;  // lost the build race; adopt the winner
+  for (const RegistryEntry& existing : registry_) {
+    if (existing.key == key) return existing;  // lost the race; adopt
   }
-  registry_.emplace_back(key, shared);
+  registry_.push_back(entry);
   if (registry_.size() > options_.max_recommenders) {
     registry_.erase(registry_.begin());  // oldest first
   }
-  return shared;
+  return entry;
+}
+
+int64_t MuvedServer::EpochOf(const std::string& dataset) {
+  std::lock_guard<std::mutex> lock(epochs_mu_);
+  auto it = epochs_.find(dataset);
+  return it == epochs_.end() ? 0 : it->second;
+}
+
+bool MuvedServer::LookupResult(const std::string& key, JsonValue* response) {
+  std::lock_guard<std::mutex> lock(results_mu_);
+  auto it = results_.find(key);
+  if (it == results_.end()) return false;
+  results_lru_.splice(results_lru_.begin(), results_lru_, it->second.lru_it);
+  *response = it->second.response;
+  return true;
+}
+
+void MuvedServer::StoreResult(const std::string& key,
+                              const JsonValue& response) {
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    auto it = results_.find(key);
+    if (it != results_.end()) return;  // first store wins; racers agree anyway
+    results_lru_.push_front(key);
+    results_.emplace(key, ResultEntry{response, results_lru_.begin()});
+    while (results_.size() > options_.result_cache_entries) {
+      results_.erase(results_lru_.back());
+      results_lru_.pop_back();
+    }
+  }
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  ++counters_.result_cache_stores;
+}
+
+JsonValue MuvedServer::HandleStats(const JsonValue& request) {
+  if (Status st = CheckAllowedFields(request, {"op"}); !st.ok()) {
+    return ErrorResponse(st);
+  }
+  JsonValue response = OkResponse("stats");
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    response.Set("connections_accepted",
+                 JsonValue::Int(counters_.connections_accepted));
+    response.Set("requests_served", JsonValue::Int(counters_.requests_served));
+    response.Set("errors_returned", JsonValue::Int(counters_.errors_returned));
+    response.Set("recommends_executed",
+                 JsonValue::Int(counters_.recommends_executed));
+    response.Set("result_cache_hits",
+                 JsonValue::Int(counters_.result_cache_hits));
+    response.Set("result_cache_stores",
+                 JsonValue::Int(counters_.result_cache_stores));
+  }
+  {
+    const storage::SelectionCache::Stats sel = selection_cache_.TotalStats();
+    JsonValue s = JsonValue::Object();
+    s.Set("lookups", JsonValue::Int(sel.lookups));
+    s.Set("hits", JsonValue::Int(sel.hits));
+    s.Set("misses", JsonValue::Int(sel.misses));
+    s.Set("insertions", JsonValue::Int(sel.insertions));
+    s.Set("evictions", JsonValue::Int(sel.evictions));
+    s.Set("bytes", JsonValue::Int(sel.bytes));
+    response.Set("selection_cache", std::move(s));
+  }
+  {
+    // Aggregate across every resident registry entry's shared store.
+    storage::BaseHistogramCache::CacheStats total;
+    {
+      std::lock_guard<std::mutex> lock(registry_mu_);
+      for (const RegistryEntry& entry : registry_) {
+        const auto s = entry.base_cache->TotalStats();
+        total.lookups += s.lookups;
+        total.hits += s.hits;
+        total.misses += s.misses;
+        total.builds += s.builds;
+        total.evictions += s.evictions;
+        total.bytes += s.bytes;
+      }
+    }
+    JsonValue b = JsonValue::Object();
+    b.Set("lookups", JsonValue::Int(total.lookups));
+    b.Set("hits", JsonValue::Int(total.hits));
+    b.Set("misses", JsonValue::Int(total.misses));
+    b.Set("builds", JsonValue::Int(total.builds));
+    b.Set("evictions", JsonValue::Int(total.evictions));
+    b.Set("bytes", JsonValue::Int(total.bytes));
+    response.Set("base_cache", std::move(b));
+  }
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    response.Set("result_cache_entries",
+                 JsonValue::Int(static_cast<int64_t>(results_.size())));
+  }
+  return response;
+}
+
+JsonValue MuvedServer::HandleInvalidate(const JsonValue& request) {
+  if (Status st = CheckAllowedFields(request, {"op", "dataset"}); !st.ok()) {
+    return ErrorResponse(st);
+  }
+  std::string dataset;
+  if (Status st = GetString(request, "dataset", &dataset); !st.ok()) {
+    return ErrorResponse(st);
+  }
+  if (dataset != "diab" && dataset != "nba" && dataset != "toy") {
+    return ErrorResponse(
+        Status::InvalidArgument("dataset: unknown \"" + dataset +
+                                "\" (expected diab|nba|toy)"));
+  }
+  // Bump the epoch FIRST: from here on, no new request can key into the
+  // old generation.  Then drop what is resident — in-flight requests
+  // holding old shared_ptrs finish safely on the old snapshot; their
+  // results are stored (if at all) under the old epoch's key, which is
+  // now unreachable and ages out of the LRU.
+  int64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(epochs_mu_);
+    epoch = ++epochs_[dataset];
+  }
+  const std::string prefix = dataset + '\x01';
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (auto it = registry_.begin(); it != registry_.end();) {
+      if (it->dataset == dataset) {
+        it = registry_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    for (auto it = results_.begin(); it != results_.end();) {
+      if (it->first.compare(0, prefix.size(), prefix) == 0) {
+        results_lru_.erase(it->second.lru_it);
+        it = results_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  JsonValue response = OkResponse("invalidate");
+  response.Set("dataset", JsonValue::String(dataset));
+  response.Set("epoch", JsonValue::Int(epoch));
+  return response;
 }
 
 bool MuvedServer::AdmitRequest(double* queue_ms) {

@@ -36,15 +36,19 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
 #include "core/recommender.h"
 #include "server/json.h"
+#include "storage/base_histogram_cache.h"
+#include "storage/selection_cache.h"
 
 namespace muve::server {
 
@@ -69,6 +73,31 @@ struct ServerOptions {
   // Honor the {"op":"shutdown"} request (the loadgen/CI smoke path).
   // Off = only signals/Stop() end the server.
   bool allow_shutdown_op = true;
+
+  // --- Cross-request shared execution (DESIGN.md §13) ---
+  //
+  // Three independently toggleable layers; all default on.  Every key
+  // includes the dataset's epoch, so {"op":"invalidate"} makes stale
+  // entries unreachable without coordinating with in-flight requests.
+
+  // Canonical-predicate → selection-vector cache: identical (and
+  // permuted-operand) WHERE clauses filter the table once per epoch.
+  bool enable_selection_cache = true;
+
+  // One base-histogram store per registry entry, handed to Recommend()
+  // via SearchOptions::shared_base_cache: the second request on a
+  // (dataset, predicate) prewarms from cache instead of rescanning, and
+  // concurrent cold requests coalesce into single-flight fused scans.
+  bool enable_shared_base_cache = true;
+
+  // Canonical top-k response cache: an unbounded (no deadline_ms /
+  // max_rows, no timings) recommend with the same resolved parameters is
+  // answered byte-identically from the first response, zero rows
+  // touched.
+  bool enable_result_cache = true;
+
+  // LRU cap on cached responses.
+  size_t result_cache_entries = 256;
 };
 
 class MuvedServer {
@@ -102,12 +131,29 @@ class MuvedServer {
     int64_t requests_served = 0;
     int64_t errors_returned = 0;
     int64_t recommends_executed = 0;
+    // Cross-request sharing: recommends answered from / stored into the
+    // result cache.  hits + recommends_executed counts every successful
+    // recommend (a hit skips execution entirely).
+    int64_t result_cache_hits = 0;
+    int64_t result_cache_stores = 0;
   };
   Counters counters() const;
 
  private:
   struct Session;
   struct Connection;
+
+  // One resident (dataset, canonical predicate, epoch) unit of shared
+  // state: the recommender plus the base-histogram store every request
+  // on this entry shares (SearchOptions::shared_base_cache).
+  struct RegistryEntry {
+    // dataset \x01 epoch \x01 canonical-predicate — the composed prefix
+    // the selection and result caches also key under.
+    std::string key;
+    std::string dataset;
+    std::shared_ptr<const core::Recommender> recommender;
+    std::shared_ptr<storage::BaseHistogramCache> base_cache;
+  };
 
   void AcceptLoop();
   void HandleConnection(Connection* conn);
@@ -118,13 +164,24 @@ class MuvedServer {
   JsonValue HandleDefaults(const JsonValue& request, Session* session);
   JsonValue HandleRecommend(const JsonValue& request, Session* session,
                             Connection* conn);
+  JsonValue HandleStats(const JsonValue& request);
+  JsonValue HandleInvalidate(const JsonValue& request);
   JsonValue HandleShutdown(Session* session);
 
   // Registry: returns (building on first use) the shared recommender for
   // `dataset` (diab|nba|toy) filtered by `predicate` ("" = the
-  // dataset's built-in analyst predicate).
-  common::Result<std::shared_ptr<const core::Recommender>> GetRecommender(
-      const std::string& dataset, const std::string& predicate);
+  // dataset's built-in analyst predicate).  Lookup is by CANONICAL
+  // predicate under the dataset's current epoch, so operand-permuted
+  // spellings of one WHERE clause share an entry.
+  common::Result<RegistryEntry> GetRecommender(const std::string& dataset,
+                                               const std::string& predicate);
+
+  // Current epoch of `dataset` (0 until first bumped).
+  int64_t EpochOf(const std::string& dataset);
+
+  // Result cache (epoch-keyed canonical responses, LRU).
+  bool LookupResult(const std::string& key, JsonValue* response);
+  void StoreResult(const std::string& key, const JsonValue& response);
 
   // Admission gate: blocks until a slot frees; false when the server is
   // stopping (the request is answered `cancelled`).  `queue_ms` gets the
@@ -154,11 +211,27 @@ class MuvedServer {
   std::condition_variable gate_cv_;
   int in_flight_ = 0;
 
-  // (dataset \x01 predicate) -> recommender, insertion-ordered for
-  // oldest-first eviction.
+  // Registry entries, insertion-ordered for oldest-first eviction.
   std::mutex registry_mu_;
-  std::vector<std::pair<std::string, std::shared_ptr<const core::Recommender>>>
-      registry_;
+  std::vector<RegistryEntry> registry_;
+
+  // Per-dataset epochs; {"op":"invalidate"} bumps one, making every
+  // epoch-keyed cache entry of that dataset unreachable.
+  std::mutex epochs_mu_;
+  std::unordered_map<std::string, int64_t> epochs_;
+
+  // Cross-request caches.  The selection cache is its own shard-locked
+  // store; the result cache is a small mutex-guarded LRU of canonical
+  // JSON responses (a stored JsonValue re-serializes to the exact bytes
+  // of the first response — the writer is canonical).
+  storage::SelectionCache selection_cache_;
+  std::mutex results_mu_;
+  std::list<std::string> results_lru_;  // front = most recently used
+  struct ResultEntry {
+    JsonValue response;
+    std::list<std::string>::iterator lru_it;
+  };
+  std::unordered_map<std::string, ResultEntry> results_;
 
   mutable std::mutex counters_mu_;
   Counters counters_;

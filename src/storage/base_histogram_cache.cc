@@ -1,9 +1,11 @@
 #include "storage/base_histogram_cache.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <utility>
 
+#include "common/exec_context.h"
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/simd/aligned.h"
@@ -217,6 +219,7 @@ BaseHistogramCache::GetOrBuild(const std::string& key, const Builder& builder,
                                bool* built) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.lookups;
   const auto it = shard.entries.find(key);
   if (it != shard.entries.end()) {
     ++shard.hits;
@@ -225,6 +228,7 @@ BaseHistogramCache::GetOrBuild(const std::string& key, const Builder& builder,
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
     return it->second.histogram;
   }
+  ++shard.misses;
 
   // Build under the shard lock: concurrent requests for one key build
   // once (the second requester blocks and then hits).  Builds are row
@@ -251,54 +255,111 @@ common::Status BaseHistogramCache::FusedBuild(
   FusedBuildOutcome local;
   FusedBuildOutcome* result = outcome != nullptr ? outcome : &local;
 
-  // Snapshot which pairs are still missing.  A concurrent builder may
-  // insert one of them before we do — handled first-wins below, so the
-  // worst case is redundant work, never inconsistency.
-  std::vector<size_t> missing;
-  missing.reserve(request.pairs.size());
-  for (size_t i = 0; i < request.pairs.size(); ++i) {
-    if (Contains(request.pairs[i].key)) {
-      ++result->already_cached;
-    } else {
-      missing.push_back(i);
+  // The retry loop only ever iterates when coalescing makes this call
+  // wait out another thread's pass; each iteration re-snapshots and
+  // either finds everything cached, waits again, or leads a pass itself
+  // — every iteration follows a completed pass, so the loop terminates.
+  for (;;) {
+    // Snapshot which pairs are still missing.  A concurrent builder may
+    // insert one of them before we do — handled first-wins below, so the
+    // worst case is redundant work, never inconsistency.  `cached_now`
+    // folds into the outcome only on the iteration that completes, so a
+    // coalesced retry does not double-count.
+    std::vector<size_t> missing;
+    missing.reserve(request.pairs.size());
+    int64_t cached_now = 0;
+    for (size_t i = 0; i < request.pairs.size(); ++i) {
+      if (Contains(request.pairs[i].key)) {
+        ++cached_now;
+      } else {
+        missing.push_back(i);
+      }
     }
-  }
-  if (missing.empty()) return common::Status::OK();
-
-  std::vector<FusedScanPair> pairs;
-  pairs.reserve(missing.size());
-  for (const size_t i : missing) {
-    pairs.push_back(
-        {request.pairs[i].dimension, request.pairs[i].measure});
-  }
-
-  // ONE pass over the row set builds every missing pair; the scan runs
-  // outside any shard lock (it may fan out over the thread pool).
-  FusedScanStats scan_stats;
-  MUVE_ASSIGN_OR_RETURN(
-      std::vector<BaseHistogram> built,
-      FusedBuildBaseHistograms(table, *request.rows, pairs, request.pool,
-                               request.morsel_size, &scan_stats, scratch,
-                               request.exec));
-  ++result->passes;
-  result->rows_scanned += static_cast<int64_t>(request.rows->size());
-  result->morsels += scan_stats.morsels;
-
-  for (size_t j = 0; j < missing.size(); ++j) {
-    const std::string& key = request.pairs[missing[j]].key;
-    Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
-    if (shard.entries.find(key) != shard.entries.end()) {
-      // First-wins: a concurrent build landed this key already; both
-      // histograms cover identical row sets, keep the cached one.
-      ++result->already_cached;
-      continue;
+    if (missing.empty()) {
+      result->already_cached += cached_now;
+      return common::Status::OK();
     }
-    InsertLocked(shard, key,
-                 std::make_shared<const BaseHistogram>(std::move(built[j])));
-    ++result->histograms_built;
+
+    // Single-flight admission: the pass's identity is its sorted set of
+    // missing cache keys.  First thread in registers the flight and
+    // scans; threads arriving with the SAME set wait for it and then
+    // re-snapshot (normally all hits — zero rows scanned).  A waiter
+    // polls its own ExecContext between time-boxed waits, so a tripped
+    // deadline abandons the wait without touching the shared pass.
+    std::string flight_key;
+    if (request.coalesce) {
+      std::vector<size_t> order = missing;
+      std::sort(order.begin(), order.end(),
+                [&request](size_t a, size_t b) {
+                  return request.pairs[a].key < request.pairs[b].key;
+                });
+      for (const size_t i : order) {
+        flight_key += request.pairs[i].key;
+        flight_key += '\n';
+      }
+      std::unique_lock<std::mutex> lock(flights_mu_);
+      if (!flights_.insert(flight_key).second) {
+        ++result->coalesced;
+        while (flights_.count(flight_key) != 0) {
+          if (request.exec != nullptr && request.exec->Expired()) {
+            return request.exec->ExpiryStatus();
+          }
+          flights_cv_.wait_for(lock, std::chrono::milliseconds(2));
+        }
+        continue;  // the pass landed: hits now, or lead a retry
+      }
+    }
+    // Leader (or coalescing off): deregister the flight on EVERY exit,
+    // success or error, and wake waiters.
+    struct FlightGuard {
+      BaseHistogramCache* cache;
+      const std::string* key;
+      ~FlightGuard() {
+        if (key->empty()) return;
+        {
+          std::lock_guard<std::mutex> lock(cache->flights_mu_);
+          cache->flights_.erase(*key);
+        }
+        cache->flights_cv_.notify_all();
+      }
+    } flight_guard{this, &flight_key};
+
+    std::vector<FusedScanPair> pairs;
+    pairs.reserve(missing.size());
+    for (const size_t i : missing) {
+      pairs.push_back(
+          {request.pairs[i].dimension, request.pairs[i].measure});
+    }
+
+    // ONE pass over the row set builds every missing pair; the scan runs
+    // outside any shard lock (it may fan out over the thread pool).
+    FusedScanStats scan_stats;
+    MUVE_ASSIGN_OR_RETURN(
+        std::vector<BaseHistogram> built,
+        FusedBuildBaseHistograms(table, *request.rows, pairs, request.pool,
+                                 request.morsel_size, &scan_stats, scratch,
+                                 request.exec));
+    ++result->passes;
+    result->rows_scanned += static_cast<int64_t>(request.rows->size());
+    result->morsels += scan_stats.morsels;
+    result->already_cached += cached_now;
+
+    for (size_t j = 0; j < missing.size(); ++j) {
+      const std::string& key = request.pairs[missing[j]].key;
+      Shard& shard = ShardFor(key);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (shard.entries.find(key) != shard.entries.end()) {
+        // First-wins: a concurrent build landed this key already; both
+        // histograms cover identical row sets, keep the cached one.
+        ++result->already_cached;
+        continue;
+      }
+      InsertLocked(shard, key,
+                   std::make_shared<const BaseHistogram>(std::move(built[j])));
+      ++result->histograms_built;
+    }
+    return common::Status::OK();
   }
-  return common::Status::OK();
 }
 
 void BaseHistogramCache::Clear() {
@@ -314,7 +375,9 @@ BaseHistogramCache::CacheStats BaseHistogramCache::TotalStats() const {
   CacheStats total;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
+    total.lookups += shard->lookups;
     total.hits += shard->hits;
+    total.misses += shard->misses;
     total.builds += shard->builds;
     total.evictions += shard->evictions;
     total.bytes += static_cast<int64_t>(shard->bytes);

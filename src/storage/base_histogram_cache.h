@@ -43,6 +43,7 @@
 #ifndef MUVE_STORAGE_BASE_HISTOGRAM_CACHE_H_
 #define MUVE_STORAGE_BASE_HISTOGRAM_CACHE_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -51,6 +52,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -150,7 +152,14 @@ class BaseHistogramCache {
   };
 
   struct CacheStats {
+    // GetOrBuild probes: every call counts one lookup and exactly one of
+    // hit / miss (hits + misses == lookups — pinned by the cross-query
+    // differential suite).  `builds` counts entries inserted, which can
+    // exceed `misses`: fused passes insert histograms no GetOrBuild ever
+    // probed for.
+    int64_t lookups = 0;
     int64_t hits = 0;
+    int64_t misses = 0;
     int64_t builds = 0;
     int64_t evictions = 0;
     int64_t bytes = 0;  // currently retained
@@ -199,6 +208,17 @@ class BaseHistogramCache {
     // (caching nothing) once expired — see FusedBuildBaseHistograms.
     // Null = unbounded.
     common::ExecContext* exec = nullptr;
+    // Single-flight coalescing: when another thread is already running a
+    // fused pass over the SAME missing-pair set, wait for it instead of
+    // scanning again, then re-check what is still missing (normally
+    // nothing — the call returns having scanned zero rows).  A waiter
+    // whose own `exec` expires gives up with that expiry status and the
+    // in-flight pass is NOT disturbed; a waiter whose leader aborted or
+    // whose entries were already evicted simply becomes the next leader.
+    // Only concurrent IDENTICAL builds coalesce — overlapping-but-
+    // different pair sets run independently (first-wins insert keeps
+    // that correct, as today).
+    bool coalesce = false;
   };
 
   // Accounting for one FusedBuild call, for the caller's ExecStats:
@@ -210,6 +230,9 @@ class BaseHistogramCache {
     int64_t already_cached = 0;
     int64_t rows_scanned = 0;
     int64_t morsels = 0;
+    // Times this call waited on another thread's identical in-flight
+    // pass instead of scanning (ExecStats::fused_coalesced).
+    int64_t coalesced = 0;
   };
 
   // Executes the fused build.  Histograms are inserted first-wins: a
@@ -242,7 +265,9 @@ class BaseHistogramCache {
     };
     std::unordered_map<std::string, Entry> entries;
     size_t bytes = 0;
+    int64_t lookups = 0;
     int64_t hits = 0;
+    int64_t misses = 0;
     int64_t builds = 0;
     int64_t evictions = 0;
   };
@@ -257,6 +282,15 @@ class BaseHistogramCache {
   Options options_;
   size_t per_shard_budget_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Single-flight registry for coalesced fused builds: the set of
+  // missing-pair-set keys with a pass in flight.  One cv for all flights
+  // — coalescing events are rare and short-lived, so waiters tolerate
+  // spurious wakes from unrelated flights; they also time-box each wait
+  // to poll their own ExecContext.
+  std::mutex flights_mu_;
+  std::condition_variable flights_cv_;
+  std::unordered_set<std::string> flights_;
 };
 
 }  // namespace muve::storage

@@ -1,6 +1,7 @@
 #include "storage/predicate.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "storage/validity_bitmap.h"
@@ -106,6 +107,43 @@ void ScanCompareString(const ValidityBitmap& valid, const std::string* data,
 double LiteralAsDouble(const Value& v) {
   return v.type() == ValueType::kInt64 ? static_cast<double>(v.AsInt64())
                                        : v.AsDoubleExact();
+}
+
+// Canonical literal rendering for cache keys.  Numerics render through a
+// 17-significant-digit round-trip double form whether typed int64 or
+// double — Value comparisons coerce int64 through double, so `10` and
+// `10.0` are one literal semantically and must share a key.  Strings are
+// length-prefixed so literal content cannot forge the key grammar's
+// separators.
+void AppendCanonicalValue(const Value& v, std::string* out) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      *out += "null";
+      return;
+    case ValueType::kInt64:
+    case ValueType::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", LiteralAsDouble(v));
+      *out += "n:";
+      *out += buf;
+      return;
+    }
+    case ValueType::kString: {
+      const std::string& s = v.AsString();
+      *out += 's';
+      *out += std::to_string(s.size());
+      *out += ':';
+      *out += s;
+      return;
+    }
+  }
+}
+
+void AppendCanonicalColumn(const std::string& column, std::string* out) {
+  *out += 'c';
+  *out += std::to_string(column.size());
+  *out += ':';
+  *out += column;
 }
 
 // Sorted union of two ascending row sets into `out` (appended).
@@ -232,6 +270,16 @@ class ComparisonPredicate final : public Predicate {
     return column_ + " " + CompareOpSymbol(op_) + " " + literal_.ToString();
   }
 
+  void AppendCanonicalKey(std::string* out) const override {
+    *out += "cmp(";
+    AppendCanonicalColumn(column_, out);
+    *out += ',';
+    *out += CompareOpSymbol(op_);
+    *out += ',';
+    AppendCanonicalValue(literal_, out);
+    *out += ')';
+  }
+
  private:
   std::string column_;
   CompareOp op_;
@@ -297,6 +345,16 @@ class BetweenPredicate final : public Predicate {
 
   std::string ToString() const override {
     return column_ + " BETWEEN " + lo_.ToString() + " AND " + hi_.ToString();
+  }
+
+  void AppendCanonicalKey(std::string* out) const override {
+    *out += "between(";
+    AppendCanonicalColumn(column_, out);
+    *out += ',';
+    AppendCanonicalValue(lo_, out);
+    *out += ',';
+    AppendCanonicalValue(hi_, out);
+    *out += ')';
   }
 
  private:
@@ -382,6 +440,27 @@ class InListPredicate final : public Predicate {
     return out + ")";
   }
 
+  void AppendCanonicalKey(std::string* out) const override {
+    // IN is an OR of equalities: element order is irrelevant and
+    // duplicates are idempotent, so the rendered literals sort and dedup.
+    std::vector<std::string> lits;
+    lits.reserve(values_.size());
+    for (const Value& v : values_) {
+      std::string lit;
+      AppendCanonicalValue(v, &lit);
+      lits.push_back(std::move(lit));
+    }
+    std::sort(lits.begin(), lits.end());
+    lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+    *out += "in(";
+    AppendCanonicalColumn(column_, out);
+    for (const std::string& lit : lits) {
+      *out += ',';
+      *out += lit;
+    }
+    *out += ')';
+  }
+
  private:
   std::string column_;
   std::vector<Value> values_;
@@ -419,6 +498,12 @@ class IsNullPredicate final : public Predicate {
 
   std::string ToString() const override {
     return column_ + (negate_ ? " IS NOT NULL" : " IS NULL");
+  }
+
+  void AppendCanonicalKey(std::string* out) const override {
+    *out += negate_ ? "notnull(" : "isnull(";
+    AppendCanonicalColumn(column_, out);
+    *out += ')';
   }
 
  private:
@@ -473,7 +558,44 @@ class BinaryLogicalPredicate final : public Predicate {
            (kind_ == Kind::kAnd ? " AND " : " OR ") + rhs_->ToString() + ")";
   }
 
+  void AppendCanonicalKey(std::string* out) const override {
+    // Flatten the same-kind subtree (associativity), sort the operand
+    // keys (commutativity), and dedup (idempotence — Matches combines
+    // children with plain && / ||, so a repeated operand cannot change
+    // the outcome).  A chain collapsing to one distinct operand IS that
+    // operand: `p AND p` keys like `p`.
+    std::vector<std::string> operands;
+    CollectOperands(*lhs_, kind_, &operands);
+    CollectOperands(*rhs_, kind_, &operands);
+    std::sort(operands.begin(), operands.end());
+    operands.erase(std::unique(operands.begin(), operands.end()),
+                   operands.end());
+    if (operands.size() == 1) {
+      *out += operands[0];
+      return;
+    }
+    *out += kind_ == Kind::kAnd ? "and(" : "or(";
+    for (size_t i = 0; i < operands.size(); ++i) {
+      if (i > 0) *out += ';';
+      *out += operands[i];
+    }
+    *out += ')';
+  }
+
  private:
+  static void CollectOperands(const Predicate& node, Kind kind,
+                              std::vector<std::string>* out) {
+    const auto* same = dynamic_cast<const BinaryLogicalPredicate*>(&node);
+    if (same != nullptr && same->kind_ == kind) {
+      CollectOperands(*same->lhs_, kind, out);
+      CollectOperands(*same->rhs_, kind, out);
+      return;
+    }
+    std::string key;
+    node.AppendCanonicalKey(&key);
+    out->push_back(std::move(key));
+  }
+
   Kind kind_;
   PredicatePtr lhs_;
   PredicatePtr rhs_;
@@ -505,6 +627,12 @@ class NotPredicate final : public Predicate {
     return "NOT (" + inner_->ToString() + ")";
   }
 
+  void AppendCanonicalKey(std::string* out) const override {
+    *out += "not(";
+    inner_->AppendCanonicalKey(out);
+    *out += ')';
+  }
+
  private:
   PredicatePtr inner_;
 };
@@ -518,6 +646,7 @@ class TruePredicate final : public Predicate {
     out->insert(out->end(), candidates.begin(), candidates.end());
   }
   std::string ToString() const override { return "TRUE"; }
+  void AppendCanonicalKey(std::string* out) const override { *out += "true"; }
 };
 
 }  // namespace
@@ -556,6 +685,12 @@ PredicatePtr MakeNot(PredicatePtr inner) {
 }
 
 PredicatePtr MakeTrue() { return std::make_unique<TruePredicate>(); }
+
+std::string CanonicalPredicateKey(const Predicate& pred) {
+  std::string key;
+  pred.AppendCanonicalKey(&key);
+  return key;
+}
 
 common::Result<RowSet> Filter(const Table& table, Predicate* pred,
                               const RowSet* base, FilterStats* stats) {

@@ -50,6 +50,11 @@ class Predicate {
                           RowSet* out) const;
 
   virtual std::string ToString() const = 0;
+
+  // Appends this node's canonical cache-key form (see CanonicalPredicateKey
+  // below for the guarantees).  Internal building block; callers use the
+  // free function.
+  virtual void AppendCanonicalKey(std::string* out) const = 0;
 };
 
 using PredicatePtr = std::unique_ptr<Predicate>;
@@ -67,6 +72,22 @@ PredicatePtr MakeOr(PredicatePtr lhs, PredicatePtr rhs);
 PredicatePtr MakeNot(PredicatePtr inner);
 // Matches every row (absent WHERE clause).
 PredicatePtr MakeTrue();
+
+// Canonical, order-insensitive cache key of a predicate tree.  Two
+// predicates with equal keys match exactly the same rows on every table:
+//   * AND / OR chains flatten (associativity), their operands sort by
+//     canonical form (commutativity) and duplicates collapse
+//     (idempotence under the two-valued logic Matches implements);
+//   * numeric literals render through one canonical round-trip double
+//     form, so `x = 10` and `x = 10.0` share a key — sound because every
+//     Value comparison coerces int64 through double (storage/value.cc);
+//   * string literals are length-prefixed, so no literal content can
+//     forge the grammar's separators.
+// Distinct keys do NOT imply distinct semantics (`x < 5` vs `NOT x >= 5`
+// keep different keys); a canonical-key cache then loses a possible hit,
+// never serves a wrong entry.  Works on unbound trees — no schema needed
+// (pinned by tests/storage/predicate_canon_test.cc).
+std::string CanonicalPredicateKey(const Predicate& pred);
 
 // Filter accounting: how many candidate rows went in and how many came
 // out.  `rows_in - rows_out` is the number of rows the predicate

@@ -288,7 +288,11 @@ TEST_F(MuvedIntegrationTest, EightConcurrentSessions) {
   }
   const auto counters = server_->counters();
   EXPECT_GE(counters.connections_accepted, kSessions);
-  EXPECT_GE(counters.recommends_executed, kSessions * 3);
+  // Identical frames may be answered from the result cache: every request
+  // is accounted for either as an execution or as a cache hit.
+  EXPECT_GE(counters.recommends_executed + counters.result_cache_hits,
+            kSessions * 3);
+  EXPECT_GE(counters.recommends_executed, 1);
   EXPECT_EQ(counters.errors_returned, 0);
 }
 
@@ -377,6 +381,166 @@ TEST_F(MuvedIntegrationTest, PredicateFiltersAndValidates) {
   malformed.Set("predicate", JsonValue::String("Age >>> 30"));
   EXPECT_FALSE(IsOk(Call(fd, malformed)));
   ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-request shared execution (DESIGN.md §13).
+// ---------------------------------------------------------------------------
+
+// A fully cacheable, deterministic frame: no deadline, no row budget, no
+// timings, deviation-first probe order.
+JsonValue CacheableToyRecommend() {
+  JsonValue r = JsonValue::Object();
+  r.Set("op", JsonValue::String("recommend"));
+  r.Set("dataset", JsonValue::String("toy"));
+  r.Set("k", JsonValue::Int(3));
+  r.Set("scheme", JsonValue::String("muve-muve"));
+  r.Set("probe_order", JsonValue::String("deviation-first"));
+  return r;
+}
+
+TEST_F(MuvedIntegrationTest, ResultCacheServesByteIdenticalSecondResponse) {
+  StartServer();
+  const JsonValue request = CacheableToyRecommend();
+
+  // First session: executes and stores.
+  const int fd1 = Dial();
+  auto first = RoundTrip(fd1, request);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(IsOk(*first)) << first->Write();
+  ::close(fd1);
+
+  // Second session, same frame: answered from the result cache with the
+  // exact bytes of the first response.
+  const int fd2 = Dial();
+  auto second = RoundTrip(fd2, request);
+  ASSERT_TRUE(second.ok());
+  ::close(fd2);
+  EXPECT_EQ(first->Write(), second->Write());
+
+  const auto counters = server_->counters();
+  EXPECT_EQ(counters.recommends_executed, 1);
+  EXPECT_EQ(counters.result_cache_hits, 1);
+  EXPECT_EQ(counters.result_cache_stores, 1);
+}
+
+TEST_F(MuvedIntegrationTest, PermutedPredicateSpellingsShareCaches) {
+  StartServer();
+  auto with_predicate = [](const char* predicate) {
+    JsonValue r = CacheableToyRecommend();
+    r.Set("predicate", JsonValue::String(predicate));
+    return r;
+  };
+  const int fd = Dial();
+  auto first = RoundTrip(fd, with_predicate("x >= 2 AND m1 > 0"));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(IsOk(*first)) << first->Write();
+  // The operand-permuted spelling keys identically end to end (registry,
+  // selection vector, result cache): served without executing.
+  auto second = RoundTrip(fd, with_predicate("m1 > 0 AND x >= 2"));
+  ASSERT_TRUE(second.ok());
+  ::close(fd);
+  EXPECT_EQ(first->Write(), second->Write());
+  const auto counters = server_->counters();
+  EXPECT_EQ(counters.recommends_executed, 1);
+  EXPECT_EQ(counters.result_cache_hits, 1);
+}
+
+TEST_F(MuvedIntegrationTest, InvalidateBumpsEpochAndRecomputes) {
+  StartServer();
+  const JsonValue request = CacheableToyRecommend();
+  const int fd = Dial();
+  auto first = RoundTrip(fd, request);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(IsOk(*first)) << first->Write();
+
+  JsonValue invalidate = Request("invalidate");
+  invalidate.Set("dataset", JsonValue::String("toy"));
+  auto bumped = RoundTrip(fd, invalidate);
+  ASSERT_TRUE(bumped.ok());
+  ASSERT_TRUE(IsOk(*bumped)) << bumped->Write();
+  EXPECT_EQ(bumped->Find("epoch")->int_value(), 1);
+
+  // Post-invalidation the same frame must NOT be served stale: it
+  // re-executes under the new epoch.  (The toy search is deterministic,
+  // so the recomputed payload still matches byte for byte — staleness is
+  // asserted through the counters, not the bytes.)
+  auto third = RoundTrip(fd, request);
+  ASSERT_TRUE(third.ok());
+  ASSERT_TRUE(IsOk(*third)) << third->Write();
+  EXPECT_EQ(first->Write(), third->Write());
+  const auto counters = server_->counters();
+  EXPECT_EQ(counters.recommends_executed, 2);
+  EXPECT_EQ(counters.result_cache_hits, 0);
+
+  // Unknown dataset is rejected; epoch of others untouched.
+  JsonValue bad = Request("invalidate");
+  bad.Set("dataset", JsonValue::String("mnist"));
+  EXPECT_FALSE(IsOk(Call(fd, bad)));
+  ::close(fd);
+}
+
+TEST_F(MuvedIntegrationTest, StatsOpReportsConsistentCacheCounters) {
+  StartServer();
+  const int fd = Dial();
+  JsonValue with_pred = CacheableToyRecommend();
+  with_pred.Set("predicate", JsonValue::String("x >= 2"));
+  ASSERT_TRUE(IsOk(Call(fd, with_pred)));
+  ASSERT_TRUE(IsOk(Call(fd, with_pred)));  // result-cache hit
+
+  JsonValue stats = Call(fd, Request("stats"));
+  ASSERT_TRUE(IsOk(stats)) << stats.Write();
+  EXPECT_EQ(stats.Find("result_cache_hits")->int_value(), 1);
+  EXPECT_EQ(stats.Find("result_cache_stores")->int_value(), 1);
+  EXPECT_EQ(stats.Find("result_cache_entries")->int_value(), 1);
+  const JsonValue* selection = stats.Find("selection_cache");
+  ASSERT_NE(selection, nullptr);
+  EXPECT_EQ(selection->Find("hits")->int_value() +
+                selection->Find("misses")->int_value(),
+            selection->Find("lookups")->int_value());
+  const JsonValue* base = stats.Find("base_cache");
+  ASSERT_NE(base, nullptr);
+  EXPECT_EQ(base->Find("hits")->int_value() +
+                base->Find("misses")->int_value(),
+            base->Find("lookups")->int_value());
+
+  // The op has a strict field whitelist like every other.
+  JsonValue bad = Request("stats");
+  bad.Set("verbose", JsonValue::Bool(true));
+  EXPECT_FALSE(IsOk(Call(fd, bad)));
+  ::close(fd);
+}
+
+TEST_F(MuvedIntegrationTest, SharingOffMatchesSharingOnByteForByte) {
+  // The server-level differential: the same frames answered with every
+  // sharing layer disabled produce exactly the bytes the sharing path
+  // serves — caching is semantically invisible on the wire.
+  const JsonValue request = CacheableToyRecommend();
+  auto run_pair = [&](bool sharing) {
+    ServerOptions options;
+    options.enable_selection_cache = sharing;
+    options.enable_shared_base_cache = sharing;
+    options.enable_result_cache = sharing;
+    StartServer(options);
+    const int fd = Dial();
+    auto first = RoundTrip(fd, request);
+    auto second = RoundTrip(fd, request);
+    EXPECT_TRUE(first.ok() && second.ok());
+    EXPECT_TRUE(IsOk(*first));
+    ::close(fd);
+    const auto counters = server_->counters();
+    server_->Stop();
+    return std::make_pair(
+        std::make_pair(first->Write(), second->Write()), counters);
+  };
+  const auto on = run_pair(true);
+  const auto off = run_pair(false);
+  EXPECT_EQ(on.first.first, on.first.second);
+  EXPECT_EQ(off.first.first, off.first.second);
+  EXPECT_EQ(on.first.first, off.first.first);
+  EXPECT_EQ(on.second.result_cache_hits, 1);
+  EXPECT_EQ(off.second.result_cache_hits, 0);
+  EXPECT_EQ(off.second.recommends_executed, 2);
 }
 
 }  // namespace

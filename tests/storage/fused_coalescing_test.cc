@@ -1,0 +1,194 @@
+// Single-flight coalescing of fused base-histogram builds
+// (BaseHistogramCache::FusedBuild with coalesce=true; DESIGN.md §13).
+//
+// The stampede proof: N threads hit one cold cache with IDENTICAL build
+// requests while a `fused_scan.morsel` failpoint delay holds the leader
+// in flight — exactly ONE pass scans rows, every other caller waits and
+// adopts the leader's entries.  The cancellation proof: a waiter whose
+// own deadline trips while parked gives up with ITS expiry status and
+// the shared flight is not poisoned — the leader still completes and
+// later callers are served from cache.
+//
+// The delay-dependent tests skip unless the build compiles failpoints in
+// (-DMUVE_FAILPOINTS=ON, `ctest -L faults`); the plain concurrency test
+// runs everywhere and is the TSan target.
+
+#include "storage/base_histogram_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/exec_context.h"
+#include "common/failpoint.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace muve::storage {
+namespace {
+
+using common::Status;
+
+class FusedCoalescingTest : public ::testing::Test {
+ protected:
+  FusedCoalescingTest()
+      : table_(Schema({{"d", ValueType::kInt64},
+                       {"m1", ValueType::kDouble},
+                       {"m2", ValueType::kDouble}})) {
+    for (int64_t i = 0; i < 512; ++i) {
+      EXPECT_TRUE(table_
+                      .AppendRow({Value(i % 13), Value(0.5 * (i % 7)),
+                                  Value(1.0 * (i % 5))})
+                      .ok());
+    }
+    for (uint32_t i = 0; i < 512; ++i) rows_.push_back(i);
+  }
+
+  ~FusedCoalescingTest() override { common::ClearFailpoints(); }
+
+  BaseHistogramCache::FusedHistogramBuildRequest Request() {
+    BaseHistogramCache::FusedHistogramBuildRequest request;
+    request.rows = &rows_;
+    request.pairs = {{"t|d|m1", "d", "m1"}, {"t|d|m2", "d", "m2"}};
+    request.coalesce = true;
+    return request;
+  }
+
+  Table table_;
+  RowSet rows_;
+};
+
+// Runs everywhere (and under -DMUVE_SANITIZE=thread): concurrent
+// identical coalesced builds are correct — whoever scans, everyone ends
+// with both histograms resident and consistent counters.
+TEST_F(FusedCoalescingTest, ConcurrentIdenticalBuildsAreCorrect) {
+  BaseHistogramCache cache;
+  constexpr int kThreads = 8;
+  std::atomic<int> ready{0};
+  std::vector<Status> statuses(kThreads, Status::OK());
+  std::vector<BaseHistogramCache::FusedBuildOutcome> outcomes(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      const auto request = Request();
+      statuses[t] = cache.FusedBuild(table_, request, &outcomes[t]);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  int64_t total_passes = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(statuses[t].ok()) << statuses[t].ToString();
+    total_passes += outcomes[t].passes;
+    // Every caller accounts for both pairs, one way or another.
+    EXPECT_EQ(outcomes[t].histograms_built + outcomes[t].already_cached, 2)
+        << "thread " << t;
+  }
+  EXPECT_GE(total_passes, 1);
+  EXPECT_TRUE(cache.Contains("t|d|m1"));
+  EXPECT_TRUE(cache.Contains("t|d|m2"));
+  const auto stats = cache.TotalStats();
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+}
+
+// The stampede pin: with the leader held in flight by a failpoint delay,
+// the N-thread stampede performs EXACTLY one fused pass.
+TEST_F(FusedCoalescingTest, StampedePerformsExactlyOneFusedPass) {
+  if (!common::FailpointsCompiledIn()) {
+    GTEST_SKIP() << "build has no failpoints (-DMUVE_FAILPOINTS=ON)";
+  }
+  ASSERT_TRUE(common::SetFailpoint("fused_scan.morsel", "delay(100ms)").ok());
+  BaseHistogramCache cache;
+  constexpr int kThreads = 6;
+  std::atomic<int> ready{0};
+  std::vector<Status> statuses(kThreads, Status::OK());
+  std::vector<BaseHistogramCache::FusedBuildOutcome> outcomes(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      const auto request = Request();
+      statuses[t] = cache.FusedBuild(table_, request, &outcomes[t]);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  int64_t total_passes = 0;
+  int64_t total_coalesced = 0;
+  int64_t total_rows = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(statuses[t].ok()) << statuses[t].ToString();
+    total_passes += outcomes[t].passes;
+    total_coalesced += outcomes[t].coalesced;
+    total_rows += outcomes[t].rows_scanned;
+  }
+  // The heart of the feature: one scan, everyone else waited.
+  EXPECT_EQ(total_passes, 1);
+  EXPECT_EQ(total_rows, static_cast<int64_t>(rows_.size()));
+  EXPECT_GE(total_coalesced, kThreads - 1);
+  EXPECT_TRUE(cache.Contains("t|d|m1"));
+  EXPECT_TRUE(cache.Contains("t|d|m2"));
+}
+
+// A deadline-tripped waiter returns ITS OWN expiry and must not poison
+// the shared flight: the leader completes, the cache fills, and later
+// coalesced callers are served without another scan.
+TEST_F(FusedCoalescingTest, ExpiredWaiterDoesNotPoisonTheFlight) {
+  if (!common::FailpointsCompiledIn()) {
+    GTEST_SKIP() << "build has no failpoints (-DMUVE_FAILPOINTS=ON)";
+  }
+  ASSERT_TRUE(common::SetFailpoint("fused_scan.morsel", "delay(200ms)").ok());
+  BaseHistogramCache cache;
+
+  Status leader_status = Status::OK();
+  BaseHistogramCache::FusedBuildOutcome leader_outcome;
+  std::atomic<bool> leader_started{false};
+  std::thread leader([&] {
+    leader_started.store(true);
+    const auto request = Request();
+    leader_status = cache.FusedBuild(table_, request, &leader_outcome);
+  });
+  while (!leader_started.load()) std::this_thread::yield();
+  // Give the leader time to register its flight and enter the delayed
+  // scan before the doomed waiter arrives.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  common::ExecContext exec;
+  exec.SetDeadlineAfterMillis(20.0);
+  auto request = Request();
+  request.exec = &exec;
+  BaseHistogramCache::FusedBuildOutcome waiter_outcome;
+  const Status waiter_status =
+      cache.FusedBuild(table_, request, &waiter_outcome);
+  // The waiter gave up with its own deadline, having scanned nothing.
+  EXPECT_EQ(waiter_status.code(), common::StatusCode::kDeadlineExceeded)
+      << waiter_status.ToString();
+  EXPECT_EQ(waiter_outcome.passes, 0);
+
+  leader.join();
+  EXPECT_TRUE(leader_status.ok()) << leader_status.ToString();
+  EXPECT_EQ(leader_outcome.passes, 1);
+  EXPECT_TRUE(cache.Contains("t|d|m1"));
+  EXPECT_TRUE(cache.Contains("t|d|m2"));
+
+  // The flight is clean: a fresh coalesced caller is served from cache.
+  common::ClearFailpoints();
+  BaseHistogramCache::FusedBuildOutcome after_outcome;
+  const auto after = Request();
+  EXPECT_TRUE(cache.FusedBuild(table_, after, &after_outcome).ok());
+  EXPECT_EQ(after_outcome.passes, 0);
+  EXPECT_EQ(after_outcome.already_cached, 2);
+}
+
+}  // namespace
+}  // namespace muve::storage

@@ -1,0 +1,272 @@
+// Property tests for CanonicalPredicateKey (storage/predicate.h): the
+// cache key the cross-request sharing layers (DESIGN.md §13) key on.
+//
+// The contract under test:
+//   * equal keys for operand-permuted / reassociated / duplicated
+//     spellings of one AND/OR chain;
+//   * distinct keys whenever a fuzzed pair of predicates disagrees on
+//     any row of the oracle table (equal key ==> equal Matches
+//     semantics — the direction a cache needs; the converse is not
+//     promised and not tested);
+//   * literal canonicalization: `x = 10` and `x = 10.0` share a key;
+//   * the grammar cannot be forged by literal content.
+
+#include "storage/predicate.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "fuzz_util.h"
+#include "storage/table.h"
+
+namespace muve::storage {
+namespace {
+
+using muve::testutil::FuzzSeed;
+using muve::testutil::FuzzTrace;
+
+PredicatePtr Cmp(const char* col, CompareOp op, Value v) {
+  return MakeComparison(col, op, std::move(v));
+}
+
+class PredicateCanonTest : public ::testing::Test {
+ protected:
+  PredicateCanonTest()
+      : table_(Schema({{"x", ValueType::kInt64},
+                       {"name", ValueType::kString},
+                       {"w", ValueType::kDouble}})) {
+    // Small but adversarial: duplicates, a NULL, negative values, and
+    // boundary-adjacent doubles so off-by-one predicates disagree.
+    const struct {
+      Value x, name, w;
+    } rows[] = {
+        {Value(int64_t{1}), Value("a"), Value(0.5)},
+        {Value(int64_t{2}), Value("b"), Value(1.5)},
+        {Value(int64_t{2}), Value("a"), Value(2.0)},
+        {Value(int64_t{3}), Value("c"), Value(2.5)},
+        {Value(int64_t{-4}), Value("d"), Value(-3.5)},
+        {Value::Null(), Value("e"), Value(4.5)},
+        {Value(int64_t{7}), Value("a"), Value(0.0)},
+    };
+    for (const auto& r : rows) {
+      EXPECT_TRUE(table_.AppendRow({r.x, r.name, r.w}).ok());
+    }
+  }
+
+  RowSet Rows(const Predicate& pred) {
+    // Matches-oracle evaluation: clone-free, works on any bound tree.
+    RowSet out;
+    for (size_t row = 0; row < table_.num_rows(); ++row) {
+      if (pred.Matches(table_, row)) out.push_back(static_cast<uint32_t>(row));
+    }
+    return out;
+  }
+
+  Table table_;
+};
+
+TEST_F(PredicateCanonTest, AndOperandOrderIsCanonical) {
+  auto a = [] { return Cmp("x", CompareOp::kGe, Value(int64_t{2})); };
+  auto b = [] { return Cmp("w", CompareOp::kLt, Value(2.5)); };
+  EXPECT_EQ(CanonicalPredicateKey(*MakeAnd(a(), b())),
+            CanonicalPredicateKey(*MakeAnd(b(), a())));
+  EXPECT_EQ(CanonicalPredicateKey(*MakeOr(a(), b())),
+            CanonicalPredicateKey(*MakeOr(b(), a())));
+  // AND and OR of the same operands must NOT collide.
+  EXPECT_NE(CanonicalPredicateKey(*MakeAnd(a(), b())),
+            CanonicalPredicateKey(*MakeOr(a(), b())));
+}
+
+TEST_F(PredicateCanonTest, ChainsFlattenAcrossAssociativity) {
+  auto a = [] { return Cmp("x", CompareOp::kGe, Value(int64_t{2})); };
+  auto b = [] { return Cmp("w", CompareOp::kLt, Value(2.5)); };
+  auto c = [] { return Cmp("name", CompareOp::kEq, Value("a")); };
+  const std::string left =
+      CanonicalPredicateKey(*MakeAnd(MakeAnd(a(), b()), c()));
+  const std::string right =
+      CanonicalPredicateKey(*MakeAnd(a(), MakeAnd(b(), c())));
+  const std::string rotated =
+      CanonicalPredicateKey(*MakeAnd(MakeAnd(c(), a()), b()));
+  EXPECT_EQ(left, right);
+  EXPECT_EQ(left, rotated);
+}
+
+TEST_F(PredicateCanonTest, DuplicateClausesCollapse) {
+  auto a = [] { return Cmp("x", CompareOp::kGt, Value(int64_t{1})); };
+  // p AND p keys exactly like p (idempotence), including through nesting.
+  EXPECT_EQ(CanonicalPredicateKey(*MakeAnd(a(), a())),
+            CanonicalPredicateKey(*a()));
+  EXPECT_EQ(CanonicalPredicateKey(*MakeOr(a(), MakeOr(a(), a()))),
+            CanonicalPredicateKey(*a()));
+  auto b = [] { return Cmp("w", CompareOp::kLe, Value(0.5)); };
+  EXPECT_EQ(CanonicalPredicateKey(*MakeAnd(MakeAnd(a(), b()), a())),
+            CanonicalPredicateKey(*MakeAnd(a(), b())));
+}
+
+TEST_F(PredicateCanonTest, NumericLiteralFormsShareAKey) {
+  EXPECT_EQ(CanonicalPredicateKey(*Cmp("x", CompareOp::kEq,
+                                       Value(int64_t{10}))),
+            CanonicalPredicateKey(*Cmp("x", CompareOp::kEq, Value(10.0))));
+  EXPECT_EQ(
+      CanonicalPredicateKey(*MakeBetween("x", Value(int64_t{2}),
+                                         Value(int64_t{5}))),
+      CanonicalPredicateKey(*MakeBetween("x", Value(2.0), Value(5.0))));
+  // ...but different values never do.
+  EXPECT_NE(CanonicalPredicateKey(*Cmp("x", CompareOp::kEq,
+                                       Value(int64_t{10}))),
+            CanonicalPredicateKey(*Cmp("x", CompareOp::kEq, Value(10.5))));
+}
+
+TEST_F(PredicateCanonTest, InListSortsAndDedupes) {
+  EXPECT_EQ(CanonicalPredicateKey(*MakeInList(
+                "x", {Value(int64_t{3}), Value(int64_t{1}), Value(int64_t{2}),
+                      Value(int64_t{2})})),
+            CanonicalPredicateKey(*MakeInList(
+                "x", {Value(int64_t{1}), Value(int64_t{2}),
+                      Value(int64_t{3})})));
+}
+
+TEST_F(PredicateCanonTest, LiteralContentCannotForgeTheGrammar) {
+  // A string literal that *spells* another predicate's key must not
+  // collide with it — length prefixes make content inert.
+  auto honest = Cmp("name", CompareOp::kEq, Value("a"));
+  auto forged = Cmp("name", CompareOp::kEq,
+                    Value(CanonicalPredicateKey(*honest).c_str()));
+  EXPECT_NE(CanonicalPredicateKey(*honest), CanonicalPredicateKey(*forged));
+  // Column vs string-literal confusion: cmp(c4:name,=,s1:a) must differ
+  // from a spelling where column and literal content swap roles.
+  EXPECT_NE(CanonicalPredicateKey(*Cmp("a", CompareOp::kEq, Value("name"))),
+            CanonicalPredicateKey(*honest));
+}
+
+TEST_F(PredicateCanonTest, DistinctStructuresKeepDistinctKeys) {
+  auto a = [] { return Cmp("x", CompareOp::kLt, Value(int64_t{5})); };
+  EXPECT_NE(CanonicalPredicateKey(*a()),
+            CanonicalPredicateKey(*MakeNot(a())));
+  EXPECT_NE(CanonicalPredicateKey(*Cmp("x", CompareOp::kLt, Value(5.0))),
+            CanonicalPredicateKey(*Cmp("x", CompareOp::kLe, Value(5.0))));
+  EXPECT_NE(CanonicalPredicateKey(*Cmp("x", CompareOp::kLt, Value(5.0))),
+            CanonicalPredicateKey(*Cmp("w", CompareOp::kLt, Value(5.0))));
+  EXPECT_NE(CanonicalPredicateKey(*MakeIsNull("x")),
+            CanonicalPredicateKey(*MakeIsNull("x", /*negate=*/true)));
+  EXPECT_NE(CanonicalPredicateKey(*MakeTrue()),
+            CanonicalPredicateKey(*MakeIsNull("x")));
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz: random trees, checked two ways against the Matches oracle.
+// ---------------------------------------------------------------------------
+
+// Deterministic random predicate generator.  `Leaf(i)` regenerates the
+// SAME leaf for one `Gen`, so semantically-equal rearranged chains can be
+// built from a shared leaf pool.
+class Gen {
+ public:
+  explicit Gen(uint64_t seed) : rng_(seed) {}
+
+  PredicatePtr Leaf(uint64_t salt) {
+    std::mt19937_64 rng(salt * 0x9E3779B97F4A7C15ULL + 1);
+    switch (rng() % 6) {
+      case 0:
+        return Cmp("x", Op(rng), Value(static_cast<int64_t>(rng() % 9) - 4));
+      case 1:
+        return Cmp("w", Op(rng),
+                   Value(static_cast<double>(rng() % 17) / 2.0 - 4.0));
+      case 2:
+        return Cmp("name", rng() % 2 == 0 ? CompareOp::kEq : CompareOp::kNe,
+                   Value(kNames[rng() % 5]));
+      case 3:
+        return MakeBetween("x", Value(static_cast<int64_t>(rng() % 5) - 2),
+                           Value(static_cast<int64_t>(rng() % 5) + 1));
+      case 4:
+        return MakeInList("x", {Value(static_cast<int64_t>(rng() % 4)),
+                                Value(static_cast<int64_t>(rng() % 8))});
+      default:
+        return MakeIsNull("x", rng() % 2 == 0);
+    }
+  }
+
+  PredicatePtr Tree(int depth) {
+    if (depth <= 0 || rng_() % 3 == 0) return Leaf(rng_() % 32);
+    switch (rng_() % 3) {
+      case 0:
+        return MakeAnd(Tree(depth - 1), Tree(depth - 1));
+      case 1:
+        return MakeOr(Tree(depth - 1), Tree(depth - 1));
+      default:
+        return MakeNot(Tree(depth - 1));
+    }
+  }
+
+  std::mt19937_64& rng() { return rng_; }
+
+ private:
+  static CompareOp Op(std::mt19937_64& rng) {
+    static const CompareOp kOps[] = {CompareOp::kEq, CompareOp::kNe,
+                                     CompareOp::kLt, CompareOp::kLe,
+                                     CompareOp::kGt, CompareOp::kGe};
+    return kOps[rng() % 6];
+  }
+  static constexpr const char* kNames[5] = {"a", "b", "c", "d", "e"};
+  std::mt19937_64 rng_;
+};
+
+TEST_F(PredicateCanonTest, FuzzPermutedChainsShareKeyAndSemantics) {
+  for (uint64_t i = 0; i < 200; ++i) {
+    const uint64_t seed = FuzzSeed(i);
+    SCOPED_TRACE(FuzzTrace(i, seed));
+    Gen gen(seed);
+    // A chain over a pooled leaf set, folded in two shuffled orders with
+    // a duplicated operand thrown into one of them.
+    const bool conjunction = gen.rng()() % 2 == 0;
+    const size_t n = 2 + gen.rng()() % 4;
+    std::vector<uint64_t> salts;
+    for (size_t j = 0; j < n; ++j) salts.push_back(gen.rng()() % 16);
+    auto fold = [&](std::vector<uint64_t> order) {
+      order.push_back(order[gen.rng()() % order.size()]);  // duplicate
+      PredicatePtr acc = gen.Leaf(order[0]);
+      for (size_t j = 1; j < order.size(); ++j) {
+        acc = conjunction ? MakeAnd(std::move(acc), gen.Leaf(order[j]))
+                          : MakeOr(std::move(acc), gen.Leaf(order[j]));
+      }
+      return acc;
+    };
+    std::vector<uint64_t> shuffled = salts;
+    std::shuffle(shuffled.begin(), shuffled.end(), gen.rng());
+    PredicatePtr lhs = fold(salts);
+    PredicatePtr rhs = fold(shuffled);
+    EXPECT_EQ(CanonicalPredicateKey(*lhs), CanonicalPredicateKey(*rhs));
+    ASSERT_TRUE(lhs->Bind(table_.schema()).ok());
+    ASSERT_TRUE(rhs->Bind(table_.schema()).ok());
+    EXPECT_EQ(Rows(*lhs), Rows(*rhs));
+  }
+}
+
+TEST_F(PredicateCanonTest, FuzzEqualKeysImplyEqualRowSets) {
+  // Generate a pile of random trees; any two that land on one canonical
+  // key must select identical rows.  (Collisions DO happen by design —
+  // that is exactly the sharing the cache exploits.)
+  std::map<std::string, RowSet> by_key;
+  for (uint64_t i = 0; i < 400; ++i) {
+    const uint64_t seed = FuzzSeed(i + 10000);
+    SCOPED_TRACE(FuzzTrace(i, seed));
+    Gen gen(seed);
+    PredicatePtr pred = gen.Tree(3);
+    const std::string key = CanonicalPredicateKey(*pred);
+    ASSERT_TRUE(pred->Bind(table_.schema()).ok());
+    const RowSet rows = Rows(*pred);
+    auto [it, inserted] = by_key.emplace(key, rows);
+    if (!inserted) {
+      EXPECT_EQ(it->second, rows) << "key collision with divergent "
+                                     "semantics on key: " << key;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace muve::storage

@@ -17,6 +17,16 @@
 //   --smoke             tiny workload (CI): fewer sessions and requests
 //   --shutdown          send {"op":"shutdown"} after the run (CI smoke
 //                       uses this to prove a clean drain)
+//   --duplicates=P      duplicate-heavy workload: P percent of requests
+//                       (0..100) are drawn from a small fixed pool of
+//                       cacheable frames (no deadline, no timings) that
+//                       every session shares — the shape that exercises
+//                       the server's cross-request sharing layers
+//   --assert-sharing    after the run, query {"op":"stats"} and exit 1
+//                       unless the server reports at least one sharing
+//                       hit (result cache, selection cache, or shared
+//                       base store) — the CI smoke proof that sharing
+//                       actually engaged
 //   --invariance-out=F  instead of the load run, replay one FIXED
 //                       deterministic workload on a single session and
 //                       dump every raw response payload to F, one per
@@ -61,6 +71,8 @@ struct Flags {
   int sessions = 8;
   int requests = 25;
   uint64_t seed = 42;
+  int duplicates = 0;  // percent of requests drawn from the hot pool
+  bool assert_sharing = false;
   bool smoke = false;
   bool do_shutdown = false;
   std::string json_out;
@@ -94,6 +106,13 @@ Status ParseFlags(int argc, char** argv, Flags* flags) {
           flags->seed,
           muve::common::ParseFlagInt64("--seed", value_of("--seed="), 0,
                                        std::numeric_limits<int64_t>::max()));
+    } else if (has("--duplicates=")) {
+      MUVE_ASSIGN_OR_RETURN(
+          flags->duplicates,
+          muve::common::ParseFlagInt64("--duplicates",
+                                       value_of("--duplicates="), 0, 100));
+    } else if (arg == "--assert-sharing") {
+      flags->assert_sharing = true;
     } else if (arg == "--smoke") {
       flags->smoke = true;
     } else if (arg == "--shutdown") {
@@ -199,7 +218,43 @@ JsonValue DrawRecommend(std::mt19937_64& rng) {
   return request;
 }
 
-SessionResult RunSession(int port, int requests, uint64_t seed) {
+// The hot pool for duplicate-heavy runs: a handful of FIXED, fully
+// cacheable frames (no deadline, no timings) that every session shares.
+// Requests drawn here are the ones the server's cross-request layers can
+// answer from cache; the pool deliberately spells one predicate two
+// operand-permuted ways to exercise canonicalization end to end.
+JsonValue DrawHotRecommend(std::mt19937_64& rng) {
+  struct HotFrame {
+    const char* dataset;
+    const char* predicate;  // nullptr = the dataset's built-in predicate
+    const char* scheme;
+    int64_t k;
+    double weights[3];
+  };
+  static const HotFrame kPool[] = {
+      {"nba", nullptr, "muve-muve", 5, {0.8, 0.1, 0.1}},
+      {"nba", "Age >= 30 AND MP > 500", "muve-muve", 5, {0.8, 0.1, 0.1}},
+      {"nba", "MP > 500 AND Age >= 30", "muve-muve", 5, {0.8, 0.1, 0.1}},
+      {"toy", nullptr, "muve-linear", 3, {0.4, 0.3, 0.3}},
+  };
+  const HotFrame& frame = kPool[rng() % (sizeof(kPool) / sizeof(kPool[0]))];
+  JsonValue request = MakeRequest("recommend");
+  request.Set("dataset", JsonValue::String(frame.dataset));
+  if (frame.predicate != nullptr) {
+    request.Set("predicate", JsonValue::String(frame.predicate));
+  }
+  request.Set("scheme", JsonValue::String(frame.scheme));
+  request.Set("k", JsonValue::Int(frame.k));
+  JsonValue weights = JsonValue::Array();
+  weights.Append(JsonValue::Double(frame.weights[0]));
+  weights.Append(JsonValue::Double(frame.weights[1]));
+  weights.Append(JsonValue::Double(frame.weights[2]));
+  request.Set("weights", std::move(weights));
+  return request;
+}
+
+SessionResult RunSession(int port, int requests, uint64_t seed,
+                         int duplicates_pct) {
   SessionResult result;
   auto fd = muve::server::DialLocal(port);
   if (!fd.ok()) {
@@ -220,8 +275,11 @@ SessionResult RunSession(int port, int requests, uint64_t seed) {
   }
   if (!ResponseOk(response)) ++result.errors;
   result.latencies_ms.reserve(requests);
+  std::uniform_int_distribution<int> pct(0, 99);
   for (int i = 0; i < requests; ++i) {
-    const JsonValue request = DrawRecommend(rng);
+    const JsonValue request = pct(rng) < duplicates_pct
+                                  ? DrawHotRecommend(rng)
+                                  : DrawRecommend(rng);
     const double start = NowMs();
     if (!Send(*fd, request, &response)) {
       result.transport_ok = false;
@@ -360,7 +418,8 @@ int main(int argc, char** argv) {
   for (int s = 0; s < flags.sessions; ++s) {
     threads.emplace_back([&flags, &results, s] {
       results[s] = RunSession(flags.port, flags.requests,
-                              flags.seed * 8191 + static_cast<uint64_t>(s));
+                              flags.seed * 8191 + static_cast<uint64_t>(s),
+                              flags.duplicates);
     });
   }
   for (auto& t : threads) t.join();
@@ -437,6 +496,48 @@ int main(int argc, char** argv) {
     std::cout << "loadgen: wrote " << flags.json_out << "\n";
   }
 
+  // Cross-request sharing report (queried BEFORE any shutdown).  With
+  // --assert-sharing a run that produced zero sharing hits of any kind
+  // fails: the duplicate-heavy smoke leg exists to prove sharing engages.
+  bool sharing_ok = true;
+  if (flags.assert_sharing || flags.duplicates > 0) {
+    auto fd = muve::server::DialLocal(flags.port);
+    JsonValue stats;
+    if (fd.ok() && Send(*fd, MakeRequest("stats"), &stats) &&
+        ResponseOk(stats)) {
+      auto int_of = [](const JsonValue* v) {
+        return (v != nullptr && v->is_int()) ? v->int_value() : int64_t{0};
+      };
+      auto nested = [&stats](const char* obj, const char* field)
+          -> const JsonValue* {
+        const JsonValue* o = stats.Find(obj);
+        return (o != nullptr && o->is_object()) ? o->Find(field) : nullptr;
+      };
+      const int64_t result_hits = int_of(stats.Find("result_cache_hits"));
+      const int64_t selection_hits = int_of(nested("selection_cache", "hits"));
+      const int64_t base_hits = int_of(nested("base_cache", "hits"));
+      const int64_t recommends = int_of(stats.Find("recommends_executed"));
+      const int64_t answered = recommends + result_hits;
+      const double hit_rate =
+          answered > 0
+              ? static_cast<double>(result_hits) / static_cast<double>(answered)
+              : 0.0;
+      std::cout << "loadgen: sharing  result_cache_hits=" << result_hits
+                << " (hit-rate " << muve::bench::Ms(hit_rate * 100.0)
+                << "%)  selection_hits=" << selection_hits
+                << "  base_hits=" << base_hits << "\n";
+      if (flags.assert_sharing &&
+          result_hits + selection_hits + base_hits == 0) {
+        std::cerr << "loadgen: --assert-sharing: no sharing hits recorded\n";
+        sharing_ok = false;
+      }
+    } else {
+      std::cerr << "loadgen: stats query failed\n";
+      if (flags.assert_sharing) sharing_ok = false;
+    }
+    if (fd.ok()) ::close(*fd);
+  }
+
   if (flags.do_shutdown) {
     auto fd = muve::server::DialLocal(flags.port);
     if (fd.ok()) {
@@ -451,5 +552,5 @@ int main(int argc, char** argv) {
     }
   }
 
-  return (transport_ok && errors == 0) ? 0 : 1;
+  return (transport_ok && sharing_ok && errors == 0) ? 0 : 1;
 }
