@@ -30,6 +30,8 @@ const char* StatusCodeName(StatusCode code) {
       return "cancelled";
     case StatusCode::kResourceExhausted:
       return "resource_exhausted";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }
@@ -51,6 +53,8 @@ int ExitCodeForStatus(StatusCode code) {
       return 5;
     case StatusCode::kResourceExhausted:
       return 6;
+    case StatusCode::kUnavailable:
+      return 7;
     default:
       return 1;
   }

@@ -37,6 +37,13 @@ enum class StatusCode {
   kDeadlineExceeded,
   kCancelled,
   kResourceExhausted,
+  // The service is temporarily unable to take the work: overload shedding
+  // (muved's bounded admission queue is full or timed out) or a capacity
+  // cap (max connections).  Distinct from kResourceExhausted — that is a
+  // *request's own* budget running out; kUnavailable is the *server*
+  // declining, and the right client reaction is to back off and retry
+  // (the protocol error frame carries a retry_after_ms hint).
+  kUnavailable,
 };
 
 // Returns a stable lowercase name for `code` (e.g. "invalid_argument").
@@ -46,7 +53,8 @@ const char* StatusCodeName(StatusCode code);
 // exits with it, muved sends it as the protocol error's `exit_code`.
 //   0 OK · 1 internal/unclassified · 2 invalid input (argument/parse/
 //   type) · 3 I/O or missing file · 4 deadline exceeded · 5 cancelled ·
-//   6 resource budget exhausted
+//   6 resource budget exhausted · 7 server unavailable (overloaded —
+//   retry later)
 int ExitCodeForStatus(StatusCode code);
 
 // A cheap, value-semantic success-or-error type.  An OK status carries no
@@ -94,6 +102,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

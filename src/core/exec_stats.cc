@@ -30,6 +30,10 @@ void ExecStats::Merge(const ExecStats& other) {
   fused_coalesced += other.fused_coalesced;
   predicate_rows_filtered += other.predicate_rows_filtered;
   setup_time_ms += other.setup_time_ms;
+  queue_ms += other.queue_ms;
+  if (other.queue_depth_on_admit > queue_depth_on_admit) {
+    queue_depth_on_admit = other.queue_depth_on_admit;
+  }
   candidates_considered += other.candidates_considered;
   pruned_before_probes += other.pruned_before_probes;
   pruned_after_first_probe += other.pruned_after_first_probe;
@@ -69,6 +73,12 @@ std::string ExecStats::ToString() const {
   if (predicate_rows_filtered > 0 || setup_time_ms > 0.0) {
     out << " filtered=" << predicate_rows_filtered
         << " setup=" << common::FormatDouble(setup_time_ms, 3) << "ms";
+  }
+  // Printed only for served (gate-admitted) runs so library output stays
+  // unchanged.
+  if (queue_ms > 0.0 || queue_depth_on_admit > 0) {
+    out << " queue=" << common::FormatDouble(queue_ms, 3) << "ms"
+        << " queue_depth=" << queue_depth_on_admit;
   }
   // Printed only for degraded runs so unbounded output stays unchanged.
   if (completeness.degraded) {

@@ -84,6 +84,15 @@ struct ExecStats {
   int64_t predicate_rows_filtered = 0;
   double setup_time_ms = 0.0;
 
+  // Admission accounting (outside the paper's C, set by a serving
+  // frontend such as muved): wall-clock this request spent queued at the
+  // admission gate before execution began, and the gate's queue depth
+  // when it was admitted.  Both stay 0 for library callers; queue_ms is
+  // wall-clock, so it lives beside setup_time_ms in the timing block and
+  // never in deterministic output.
+  double queue_ms = 0.0;
+  int64_t queue_depth_on_admit = 0;
+
   // Candidate accounting.
   int64_t candidates_considered = 0;
   // Pruned by the S-bound before any probe (incremental evaluation, step 1).

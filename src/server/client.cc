@@ -1,0 +1,111 @@
+#include "server/client.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "server/protocol.h"
+
+namespace muve::server {
+
+using common::Result;
+using common::Status;
+
+bool IsOverloadedResponse(const JsonValue& response, int64_t* retry_after_ms) {
+  if (retry_after_ms != nullptr) *retry_after_ms = 0;
+  const JsonValue* ok = response.Find("ok");
+  if (ok == nullptr || !ok->is_bool() || ok->bool_value()) return false;
+  const JsonValue* error = response.Find("error");
+  if (error == nullptr || !error->is_object()) return false;
+  const JsonValue* code = error->Find("code");
+  if (code == nullptr || !code->is_string() ||
+      code->string_value() != "unavailable") {
+    return false;
+  }
+  const JsonValue* hint = error->Find("retry_after_ms");
+  if (retry_after_ms != nullptr && hint != nullptr && hint->is_int()) {
+    *retry_after_ms = hint->int_value();
+  }
+  return true;
+}
+
+RetryingClient::RetryingClient(int port, RetryPolicy policy)
+    : port_(port), policy_(policy), jitter_(policy.jitter_seed) {}
+
+RetryingClient::~RetryingClient() { Disconnect(); }
+
+void RetryingClient::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int RetryingClient::BackoffMs(int attempt, int64_t retry_after_ms) {
+  const int shift = std::min(attempt, 20);
+  int64_t backoff = static_cast<int64_t>(policy_.base_backoff_ms) << shift;
+  backoff = std::min<int64_t>(backoff, policy_.max_backoff_ms);
+  backoff = std::max<int64_t>(backoff, retry_after_ms);
+  backoff = std::max<int64_t>(backoff, 1);
+  // Full jitter over the upper half: [backoff/2, backoff].  Keeps the
+  // exponential shape (per-attempt means still double) while breaking
+  // the lockstep of many clients shed by the same burst.
+  const int64_t low = std::max<int64_t>(1, backoff / 2);
+  std::uniform_int_distribution<int64_t> dist(low, backoff);
+  return static_cast<int>(dist(jitter_));
+}
+
+Result<JsonValue> RetryingClient::Call(const JsonValue& request) {
+  const int attempts = std::max(1, policy_.max_attempts);
+  Status last_transport = Status::OK();
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) stats_.retries++;
+    if (fd_ < 0) {
+      Result<int> dialed = DialLocal(port_);
+      if (!dialed.ok()) {
+        stats_.transport_errors++;
+        last_transport = dialed.status();
+        if (attempt + 1 < attempts) {
+          const int sleep_ms = BackoffMs(attempt, 0);
+          stats_.backoff_ms_total += sleep_ms;
+          std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+        }
+        continue;
+      }
+      fd_ = *dialed;
+    }
+    Result<JsonValue> response = RoundTrip(fd_, request);
+    if (!response.ok()) {
+      // Transport failure: the connection is unusable (the server may
+      // have reaped it, or it died mid-frame).  Drop it and retry fresh;
+      // recommends are idempotent so a duplicate send is harmless.
+      stats_.transport_errors++;
+      last_transport = response.status();
+      Disconnect();
+      if (attempt + 1 < attempts) {
+        const int sleep_ms = BackoffMs(attempt, 0);
+        stats_.backoff_ms_total += sleep_ms;
+        std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      }
+      continue;
+    }
+    int64_t retry_after_ms = 0;
+    if (IsOverloadedResponse(*response, &retry_after_ms)) {
+      stats_.sheds_seen++;
+      if (attempt + 1 < attempts) {
+        const int sleep_ms = BackoffMs(attempt, retry_after_ms);
+        stats_.backoff_ms_total += sleep_ms;
+        std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+        continue;
+      }
+    }
+    return response;  // success, a non-overload error, or budget spent
+  }
+  return last_transport.ok()
+             ? Status::Unavailable("retry budget exhausted")
+             : last_transport;
+}
+
+}  // namespace muve::server

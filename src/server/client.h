@@ -1,0 +1,100 @@
+// Retrying muved client: dial-on-demand, overload-aware backoff.
+//
+// The server's admission gate (muved_server.h) answers overload with a
+// typed `unavailable` error frame carrying `error.retry_after_ms`.
+// Because every recommend is a pure function of its request (and result-
+// cached server-side), retrying one is always safe — so a well-behaved
+// client should absorb sheds with jittered exponential backoff instead
+// of surfacing them as failures.  RetryingClient packages that policy
+// for muve_loadgen and any future tool: it redials on transport errors
+// (the server may have reaped or shed the connection), honors the
+// server's retry_after_ms hint as a floor under its own backoff, and
+// keeps taxonomy counters (RetryStats) so callers can report sheds and
+// retries separately from genuine transport failures.
+
+#ifndef MUVE_SERVER_CLIENT_H_
+#define MUVE_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <random>
+
+#include "common/status.h"
+#include "server/json.h"
+
+namespace muve::server {
+
+// Backoff policy for one client.  Defaults suit loopback loadgen:
+// short base so overload tests converge quickly, capped so a saturated
+// server is probed at a bounded rate.
+struct RetryPolicy {
+  // Total tries per Call(): the first attempt plus up to
+  // (max_attempts - 1) retries.  1 disables retrying entirely.
+  int max_attempts = 4;
+  // Backoff before retry i (0-based) is base_backoff_ms << i, clamped to
+  // max_backoff_ms, raised to at least the server's retry_after_ms hint,
+  // then jittered uniformly over [1/2, 1] of itself (full-jitter halves:
+  // concurrent shed clients must not re-arrive in lockstep).
+  int base_backoff_ms = 25;
+  int max_backoff_ms = 1000;
+  // Seed for the jitter PRNG (deterministic per-session jitter streams).
+  uint64_t jitter_seed = 1;
+};
+
+// What happened across all Call()s on one client, for bench reporting.
+struct RetryStats {
+  // Overloaded (`unavailable`) responses observed, whether or not the
+  // retry budget had room left.
+  int64_t sheds_seen = 0;
+  // Attempts re-issued (after a shed or a transport error).
+  int64_t retries = 0;
+  // Transport-level failures (dial/read/write) observed, also whether or
+  // not they were retried away.
+  int64_t transport_errors = 0;
+  // Total wall-clock slept in backoff, for latency attribution.
+  int64_t backoff_ms_total = 0;
+};
+
+class RetryingClient {
+ public:
+  RetryingClient(int port, RetryPolicy policy = RetryPolicy());
+  ~RetryingClient();
+
+  RetryingClient(const RetryingClient&) = delete;
+  RetryingClient& operator=(const RetryingClient&) = delete;
+
+  // One request/response exchange.  Dials lazily on first use and
+  // redials after any transport error.  Retries (with backoff) on
+  // transport errors and on `unavailable` error responses; any OTHER
+  // error response (bad input, deadline, internal) is returned to the
+  // caller as a parsed JsonValue without retrying — those are answers,
+  // not overload.  Exhausting the retry budget on sheds returns the
+  // last overloaded response; on transport errors, the last Status.
+  common::Result<JsonValue> Call(const JsonValue& request);
+
+  // Drops the connection (next Call redials).  Safe when not connected.
+  void Disconnect();
+
+  const RetryStats& stats() const { return stats_; }
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  // Backoff duration before 0-based retry `attempt`, honoring
+  // `retry_after_ms` (the server hint; <= 0 when none).
+  int BackoffMs(int attempt, int64_t retry_after_ms);
+
+  const int port_;
+  const RetryPolicy policy_;
+  int fd_ = -1;
+  RetryStats stats_;
+  std::mt19937_64 jitter_;
+};
+
+// True iff `response` is an error frame whose code is "unavailable"
+// (the overload shed).  `retry_after_ms` (optional out) receives the
+// server's hint, or 0 when the frame carries none.
+bool IsOverloadedResponse(const JsonValue& response,
+                          int64_t* retry_after_ms = nullptr);
+
+}  // namespace muve::server
+
+#endif  // MUVE_SERVER_CLIENT_H_

@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "common/exec_context.h"
+#include "common/failpoint.h"
 #include "common/simd/simd.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
@@ -316,6 +317,8 @@ Status MuvedServer::Start() {
       0) {
     port_ = ntohs(addr.sin_port);
   }
+  started_at_ = std::chrono::steady_clock::now();
+  started_ = true;
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
@@ -342,62 +345,171 @@ void MuvedServer::AcceptLoop() {
       ::close(fd);
       break;
     }
+    // Chaos site: an injected error here simulates the accept path
+    // failing after the kernel handed over a socket (delay simulates a
+    // slow accept thread under load).
+    switch (MUVE_FAILPOINT("server.accept")) {
+      case common::FailpointAction::kError:
+      case common::FailpointAction::kOom:
+        ::close(fd);
+        continue;
+      default:
+        break;
+    }
     {
       std::lock_guard<std::mutex> lock(counters_mu_);
       ++counters_.connections_accepted;
     }
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    // Reap finished handlers so a long-lived daemon doesn't accumulate
-    // one dead thread object per past connection.
-    for (auto it = conns_.begin(); it != conns_.end();) {
-      if ((*it)->done.load(std::memory_order_acquire)) {
-        if ((*it)->thread.joinable()) (*it)->thread.join();
-        it = conns_.erase(it);
-      } else {
-        ++it;
+    int64_t reaped_now = 0;
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      // Reap finished handlers so a long-lived daemon doesn't accumulate
+      // one dead thread object (and one fd) per past connection.
+      for (auto it = conns_.begin(); it != conns_.end();) {
+        if ((*it)->done.load(std::memory_order_acquire)) {
+          if ((*it)->thread.joinable()) (*it)->thread.join();
+          it = conns_.erase(it);
+          ++reaped_now;
+        } else {
+          ++it;
+        }
+      }
+      shed = options_.max_connections > 0 &&
+             static_cast<int>(conns_.size()) >= options_.max_connections;
+      if (!shed) {
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        Connection* raw = conn.get();
+        conn->thread = std::thread([this, raw] { HandleConnection(raw); });
+        conns_.push_back(std::move(conn));
       }
     }
-    auto conn = std::make_unique<Connection>();
-    conn->fd = fd;
-    Connection* raw = conn.get();
-    conn->thread = std::thread([this, raw] { HandleConnection(raw); });
-    conns_.push_back(std::move(conn));
+    if (shed) {
+      // Close-after-error: one typed shed frame, then the socket closes.
+      // The write is bounded (a hostile connector that never reads must
+      // not pin the ONLY accept thread) and best-effort — a peer that
+      // missed the frame still sees a prompt close.
+      const int shed_write_ms =
+          options_.write_timeout_ms > 0 ? options_.write_timeout_ms : 100;
+      (void)WriteMessage(
+          fd,
+          OverloadedResponse(
+              Status::Unavailable("overloaded: connection limit reached"),
+              RetryAfterHintMs()),
+          shed_write_ms);
+      ::close(fd);
+    }
+    if (reaped_now > 0 || shed) {
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      counters_.connections_reaped += reaped_now;
+      if (shed) ++counters_.connections_shed;
+    }
   }
 }
 
 void MuvedServer::HandleConnection(Connection* conn) {
   Session session;
+  const FrameTimeouts timeouts{options_.idle_timeout_ms,
+                               options_.frame_timeout_ms};
+  // Best-effort close-after-error: one bounded-write error frame before
+  // the drop, so a live-but-slow client learns WHY it was cut off.  The
+  // bound keeps a hostile never-reading peer from turning its own
+  // eviction into a thread pin.
+  const int goodbye_write_ms =
+      options_.write_timeout_ms > 0 ? options_.write_timeout_ms : 100;
   while (!stopping_.load(std::memory_order_acquire)) {
-    std::string payload;
-    const Status read_status = ReadFrame(conn->fd, &payload);
-    if (!read_status.ok()) {
-      // kParseError = a malformed frame header (bad length prefix): the
-      // stream cannot be resynchronized, so answer with a protocol
-      // error and drop the connection — the server itself lives on.
-      if (read_status.code() == common::StatusCode::kParseError) {
-        (void)WriteMessage(conn->fd, ErrorResponse(read_status));
-      }
-      break;  // clean EOF (kNotFound), I/O error, or unsyncable frame
-    }
-    JsonValue response;
-    auto parsed = ParseJson(payload);
-    if (!parsed.ok()) {
-      // Malformed JSON inside a well-framed payload: the framing is
-      // intact, so report the error and KEEP the session alive.
-      response = ErrorResponse(parsed.status());
-    } else {
-      response = Dispatch(*parsed, &session, conn);
+    // Chaos site: injected error = the read path failing hard (delay =
+    // a handler stalled before its read, holding the session open).
+    switch (MUVE_FAILPOINT("server.read")) {
+      case common::FailpointAction::kError:
+      case common::FailpointAction::kOom:
+        goto drop;
+      default:
+        break;
     }
     {
-      std::lock_guard<std::mutex> lock(counters_mu_);
-      ++counters_.requests_served;
-      const JsonValue* ok = response.Find("ok");
-      if (ok == nullptr || !ok->is_bool() || !ok->bool_value()) {
-        ++counters_.errors_returned;
+      std::string payload;
+      FrameTimeoutKind timeout_kind = FrameTimeoutKind::kNone;
+      const Status read_status =
+          ReadFrame(conn->fd, &payload, timeouts, &timeout_kind);
+      if (!read_status.ok()) {
+        if (timeout_kind == FrameTimeoutKind::kIdle) {
+          // Silent between frames past idle_timeout_ms: reclaim the
+          // session.  The peer was not mid-request, so no error frame is
+          // owed — just a prompt FIN.
+          std::lock_guard<std::mutex> lock(counters_mu_);
+          ++counters_.idle_timeouts;
+          goto drop;
+        }
+        if (timeout_kind == FrameTimeoutKind::kMidFrame) {
+          // Started a frame but never finished it (slowloris / stalled
+          // client): the stream is torn, disconnect within the window.
+          {
+            std::lock_guard<std::mutex> lock(counters_mu_);
+            ++counters_.frame_timeouts;
+          }
+          (void)WriteMessage(conn->fd, ErrorResponse(read_status),
+                             goodbye_write_ms);
+          goto drop;
+        }
+        // kParseError = a malformed frame header (bad length prefix): the
+        // stream cannot be resynchronized, so answer with a protocol
+        // error and drop the connection — the server itself lives on.
+        if (read_status.code() == common::StatusCode::kParseError) {
+          (void)WriteMessage(conn->fd, ErrorResponse(read_status),
+                             goodbye_write_ms);
+        }
+        goto drop;  // clean EOF (kNotFound), I/O error, or unsyncable frame
+      }
+      JsonValue response;
+      auto parsed = ParseJson(payload);
+      if (!parsed.ok()) {
+        // Malformed JSON inside a well-framed payload: the framing is
+        // intact, so report the error and KEEP the session alive.
+        response = ErrorResponse(parsed.status());
+      } else {
+        // A throw below (failpoint-injected or a genuine bug) must cost
+        // this request, not the whole daemon: the RAII slot guard has
+        // already released any admission slot on unwind, so answering
+        // `internal` and keeping the session alive is safe.
+        try {
+          response = Dispatch(*parsed, &session, conn);
+        } catch (const std::exception& e) {
+          response = ErrorResponse(Status::Internal(
+              std::string("unhandled exception in request handler: ") +
+              e.what()));
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(counters_mu_);
+        ++counters_.requests_served;
+        const JsonValue* ok = response.Find("ok");
+        if (ok == nullptr || !ok->is_bool() || !ok->bool_value()) {
+          ++counters_.errors_returned;
+        }
+      }
+      // Chaos site: injected error = the response write failing (delay =
+      // a slow write path, e.g. a congested peer).
+      switch (MUVE_FAILPOINT("server.write")) {
+        case common::FailpointAction::kError:
+        case common::FailpointAction::kOom:
+          goto drop;
+        default:
+          break;
+      }
+      const Status write_status =
+          WriteMessage(conn->fd, response, options_.write_timeout_ms);
+      if (!write_status.ok()) {
+        if (write_status.code() == common::StatusCode::kDeadlineExceeded) {
+          std::lock_guard<std::mutex> lock(counters_mu_);
+          ++counters_.write_timeouts;
+        }
+        goto drop;
       }
     }
-    if (!WriteMessage(conn->fd, response).ok()) break;
   }
+drop:
   ::shutdown(conn->fd, SHUT_RDWR);  // FIN now; the fd closes at reap/Stop
   conn->done.store(true, std::memory_order_release);
 }
@@ -418,6 +530,7 @@ JsonValue MuvedServer::Dispatch(const JsonValue& request, Session* session,
   if (name == "use") return HandleUse(request, session);
   if (name == "defaults") return HandleDefaults(request, session);
   if (name == "recommend") return HandleRecommend(request, session, conn);
+  if (name == "health") return HandleHealth(request);
   if (name == "stats") return HandleStats(request);
   if (name == "invalidate") return HandleInvalidate(request);
   if (name == "shutdown") {
@@ -512,6 +625,12 @@ JsonValue MuvedServer::HandleDefaults(const JsonValue& request,
 
 JsonValue MuvedServer::HandleRecommend(const JsonValue& request,
                                        Session* session, Connection* conn) {
+  // Starts at decode so time spent parsing, building a cold recommender,
+  // and above all WAITING AT THE ADMISSION GATE is charged against the
+  // request's own deadline — a request that queued its whole budget away
+  // executes with none left and degrades immediately, instead of running
+  // a full search its client has already given up on.
+  common::Stopwatch request_timer;
   if (Status st = CheckAllowedFields(
           request, {"op", "dataset", "predicate", "scheme", "k", "weights",
                     "distance", "probe_order", "deadline_ms", "max_rows",
@@ -626,6 +745,47 @@ JsonValue MuvedServer::HandleRecommend(const JsonValue& request,
     options->shared_base_cache = entry->base_cache;
   }
 
+  // Bounded, deadline-aware admission (DESIGN.md §14).  The remaining
+  // budget is what is left of deadline_ms after decode/registry work; a
+  // request with none left that would have to queue is shed typed.
+  const double remaining_ms =
+      deadline_ms < 0.0
+          ? -1.0
+          : std::max(0.0, deadline_ms - request_timer.ElapsedMillis());
+  double queue_ms = 0.0;
+  int64_t queue_depth = 0;
+  switch (AdmitRequest(remaining_ms, &queue_ms, &queue_depth)) {
+    case Admission::kAdmitted:
+      break;
+    case Admission::kRejectedStopping:
+      return ErrorResponse(
+          Status::Cancelled("server is shutting down; request not admitted"));
+    case Admission::kShedQueueFull:
+      return OverloadedResponse(
+          Status::Unavailable("overloaded: admission queue is full"),
+          RetryAfterHintMs());
+    case Admission::kShedDeadline:
+      return OverloadedResponse(
+          Status::Unavailable(
+              "overloaded: request deadline already spent before admission"),
+          RetryAfterHintMs());
+    case Admission::kShedQueueTimeout:
+      return OverloadedResponse(
+          Status::Unavailable(
+              "overloaded: no execution slot freed within queue timeout"),
+          RetryAfterHintMs());
+  }
+
+  // Admitted.  Re-charge the wait against the deadline so the engine
+  // sees only what the client has left, and hold the slot through an
+  // RAII guard — a throw anywhere below (failpoint-injected or real)
+  // releases it on unwind instead of wedging the gate one slot smaller
+  // forever.
+  if (options->deadline_ms >= 0.0) {
+    options->deadline_ms =
+        std::max(0.0, deadline_ms - request_timer.ElapsedMillis());
+  }
+
   // Shutdown must not wait out a long deadline: every in-flight request
   // carries a token Stop() can trip.
   auto cancel = std::make_shared<common::CancellationToken>();
@@ -635,17 +795,28 @@ JsonValue MuvedServer::HandleRecommend(const JsonValue& request,
     conn->active_cancel = cancel;
   }
 
-  double queue_ms = 0.0;
-  if (!AdmitRequest(&queue_ms)) {
-    std::lock_guard<std::mutex> lock(conn->cancel_mu);
-    conn->active_cancel.reset();
-    return ErrorResponse(
-        Status::Cancelled("server is shutting down; request not admitted"));
+  common::Result<core::Recommendation> rec =
+      Status::Internal("recommend did not run");
+  double exec_ms = 0.0;
+  {
+    SlotGuard slot(this);
+    // Deterministic unwind path: armed with throw, this exercises
+    // exactly the leak the RAII guard exists to prevent (the engine
+    // catches its own worker throws, so nothing else reaches here).
+    switch (MUVE_FAILPOINT("server.recommend")) {
+      case common::FailpointAction::kThrow:
+        throw common::FailpointError("server.recommend");
+      case common::FailpointAction::kError:
+        rec = Status::Internal("failpoint server.recommend");
+        break;
+      default: {
+        common::Stopwatch exec_timer;
+        rec = entry->recommender->Recommend(*options);
+        exec_ms = exec_timer.ElapsedMillis();
+        break;
+      }
+    }
   }
-  common::Stopwatch exec_timer;
-  auto rec = entry->recommender->Recommend(*options);
-  const double exec_ms = exec_timer.ElapsedMillis();
-  ReleaseRequest();
   {
     std::lock_guard<std::mutex> lock(conn->cancel_mu);
     conn->active_cancel.reset();
@@ -655,6 +826,8 @@ JsonValue MuvedServer::HandleRecommend(const JsonValue& request,
     ++counters_.recommends_executed;
   }
   if (!rec.ok()) return ErrorResponse(rec.status());
+  rec->stats.queue_ms = queue_ms;
+  rec->stats.queue_depth_on_admit = queue_depth;
 
   JsonValue response = OkResponse("recommend");
   response.Set("dataset", JsonValue::String(dataset));
@@ -675,6 +848,7 @@ JsonValue MuvedServer::HandleRecommend(const JsonValue& request,
   if (include_timings) {
     JsonValue timings = JsonValue::Object();
     timings.Set("queue_ms", JsonValue::Double(queue_ms));
+    timings.Set("queue_depth", JsonValue::Int(queue_depth));
     timings.Set("exec_ms", JsonValue::Double(exec_ms));
     timings.Set("cost_ms", JsonValue::Double(rec->stats.TotalCostMillis()));
     timings.Set("simd", JsonValue::String(rec->stats.simd_dispatch));
@@ -804,11 +978,39 @@ void MuvedServer::StoreResult(const std::string& key,
   ++counters_.result_cache_stores;
 }
 
+JsonValue MuvedServer::HandleHealth(const JsonValue& request) {
+  if (Status st = CheckAllowedFields(request, {"op"}); !st.ok()) {
+    return ErrorResponse(st);
+  }
+  // Deliberately gate-free: health never touches the admission gate's
+  // condition variable, so it answers instantly even when every
+  // execution slot is busy and the queue is full — exactly when an
+  // operator most needs to see the numbers below.
+  JsonValue response = OkResponse("health");
+  response.Set("uptime_ms", JsonValue::Int(UptimeMs()));
+  response.Set("stopping",
+               JsonValue::Bool(stopping_.load(std::memory_order_acquire)));
+  {
+    std::lock_guard<std::mutex> lock(gate_mu_);
+    response.Set("in_flight", JsonValue::Int(in_flight_));
+    response.Set("queue_depth", JsonValue::Int(queued_));
+  }
+  response.Set("max_concurrent", JsonValue::Int(options_.max_concurrent));
+  response.Set("max_queue", JsonValue::Int(options_.max_queue));
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    response.Set("connections_live",
+                 JsonValue::Int(static_cast<int64_t>(conns_.size())));
+  }
+  return response;
+}
+
 JsonValue MuvedServer::HandleStats(const JsonValue& request) {
   if (Status st = CheckAllowedFields(request, {"op"}); !st.ok()) {
     return ErrorResponse(st);
   }
   JsonValue response = OkResponse("stats");
+  response.Set("uptime_ms", JsonValue::Int(UptimeMs()));
   {
     std::lock_guard<std::mutex> lock(counters_mu_);
     response.Set("connections_accepted",
@@ -821,6 +1023,37 @@ JsonValue MuvedServer::HandleStats(const JsonValue& request) {
                  JsonValue::Int(counters_.result_cache_hits));
     response.Set("result_cache_stores",
                  JsonValue::Int(counters_.result_cache_stores));
+    JsonValue admission = JsonValue::Object();
+    admission.Set("offered", JsonValue::Int(counters_.requests_offered));
+    admission.Set("admitted", JsonValue::Int(counters_.requests_admitted));
+    admission.Set("shed_queue_full",
+                  JsonValue::Int(counters_.requests_shed_queue_full));
+    admission.Set("shed_timeout",
+                  JsonValue::Int(counters_.requests_shed_timeout));
+    admission.Set("shed_deadline",
+                  JsonValue::Int(counters_.requests_shed_deadline));
+    admission.Set("rejected_stopping",
+                  JsonValue::Int(counters_.requests_rejected_stopping));
+    admission.Set("queue_peak_depth",
+                  JsonValue::Int(counters_.queue_peak_depth));
+    response.Set("admission", std::move(admission));
+    JsonValue conns = JsonValue::Object();
+    conns.Set("shed", JsonValue::Int(counters_.connections_shed));
+    conns.Set("reaped", JsonValue::Int(counters_.connections_reaped));
+    conns.Set("idle_timeouts", JsonValue::Int(counters_.idle_timeouts));
+    conns.Set("frame_timeouts", JsonValue::Int(counters_.frame_timeouts));
+    conns.Set("write_timeouts", JsonValue::Int(counters_.write_timeouts));
+    response.Set("connections", std::move(conns));
+  }
+  {
+    std::lock_guard<std::mutex> lock(gate_mu_);
+    response.Set("in_flight", JsonValue::Int(in_flight_));
+    response.Set("queue_depth", JsonValue::Int(queued_));
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    response.Set("connections_live",
+                 JsonValue::Int(static_cast<int64_t>(conns_.size())));
   }
   {
     const storage::SelectionCache::Stats sel = selection_cache_.TotalStats();
@@ -916,17 +1149,85 @@ JsonValue MuvedServer::HandleInvalidate(const JsonValue& request) {
   return response;
 }
 
-bool MuvedServer::AdmitRequest(double* queue_ms) {
+MuvedServer::Admission MuvedServer::AdmitRequest(double remaining_deadline_ms,
+                                                 double* queue_ms,
+                                                 int64_t* queue_depth) {
   common::Stopwatch timer;
-  std::unique_lock<std::mutex> lock(gate_mu_);
-  gate_cv_.wait(lock, [this] {
-    return stopping_.load(std::memory_order_acquire) ||
-           in_flight_ < options_.max_concurrent;
-  });
-  if (stopping_.load(std::memory_order_acquire)) return false;
-  ++in_flight_;
-  *queue_ms = timer.ElapsedMillis();
-  return true;
+  Admission outcome;
+  {
+    std::unique_lock<std::mutex> lock(gate_mu_);
+    const auto admit = [&]() -> Admission {
+      if (stopping_.load(std::memory_order_acquire)) {
+        return Admission::kRejectedStopping;
+      }
+      if (in_flight_ < options_.max_concurrent) {
+        ++in_flight_;
+        *queue_ms = timer.ElapsedMillis();
+        *queue_depth = queued_;
+        return Admission::kAdmitted;
+      }
+      // All slots busy: the request would have to queue.  Shed NOW when
+      // queuing cannot end well — no waiting room left, or the request's
+      // own deadline is already spent (it would only expire further in
+      // line; the client should back off and retry instead).
+      if (queued_ >= options_.max_queue) return Admission::kShedQueueFull;
+      const bool bounded = remaining_deadline_ms >= 0.0;
+      if (bounded && remaining_deadline_ms == 0.0) {
+        return Admission::kShedDeadline;
+      }
+      ++queued_;
+      {
+        std::lock_guard<std::mutex> clock(counters_mu_);
+        if (queued_ > counters_.queue_peak_depth) {
+          counters_.queue_peak_depth = queued_;
+        }
+      }
+      const auto slot_free = [this] {
+        return stopping_.load(std::memory_order_acquire) ||
+               in_flight_ < options_.max_concurrent;
+      };
+      bool woke = true;
+      if (options_.queue_timeout_ms > 0) {
+        woke = gate_cv_.wait_for(
+            lock, std::chrono::milliseconds(options_.queue_timeout_ms),
+            slot_free);
+      } else {
+        gate_cv_.wait(lock, slot_free);
+      }
+      --queued_;
+      if (stopping_.load(std::memory_order_acquire)) {
+        return Admission::kRejectedStopping;
+      }
+      if (!woke) return Admission::kShedQueueTimeout;
+      ++in_flight_;
+      *queue_ms = timer.ElapsedMillis();
+      *queue_depth = queued_;
+      return Admission::kAdmitted;
+    };
+    outcome = admit();
+  }
+  // Offered/outcome counters move together outside gate_mu_, so the soak
+  // harness reads an exactly balanced ledger at any quiescent point.
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  ++counters_.requests_offered;
+  switch (outcome) {
+    case Admission::kAdmitted:
+      ++counters_.requests_admitted;
+      break;
+    case Admission::kShedQueueFull:
+      ++counters_.requests_shed_queue_full;
+      break;
+    case Admission::kShedDeadline:
+      ++counters_.requests_shed_deadline;
+      break;
+    case Admission::kShedQueueTimeout:
+      ++counters_.requests_shed_timeout;
+      break;
+    case Admission::kRejectedStopping:
+      ++counters_.requests_rejected_stopping;
+      break;
+  }
+  return outcome;
 }
 
 void MuvedServer::ReleaseRequest() {
@@ -935,6 +1236,21 @@ void MuvedServer::ReleaseRequest() {
     --in_flight_;
   }
   gate_cv_.notify_one();
+}
+
+int64_t MuvedServer::RetryAfterHintMs() const {
+  // The honest hint is the gate's own patience: a client that waits at
+  // least one queue-timeout window arrives after the current cohort has
+  // either drained or been shed.  Deterministic (configuration-only), so
+  // the overloaded frame is byte-stable for a fixed configuration.
+  return std::max(1, options_.queue_timeout_ms);
+}
+
+int64_t MuvedServer::UptimeMs() const {
+  if (!started_) return 0;
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - started_at_)
+      .count();
 }
 
 void MuvedServer::RequestStop() {

@@ -5,10 +5,19 @@
 // built once and shared by every session that asks for it) and the
 // admission gate that caps how many Recommend() calls execute at once —
 // excess requests queue FIFO-ish on a condition variable instead of
-// oversubscribing the machine.  Each accepted TCP connection IS one
-// session: a dedicated handler thread with per-session defaults
-// (dataset, k, alpha weights, scheme) that serves length-prefixed JSON
-// request frames (server/protocol.h) strictly one at a time, in order.
+// oversubscribing the machine.  The gate is BOUNDED (max_queue waiters,
+// queue_timeout_ms each, deadline-aware): overload is answered with a
+// typed `unavailable` shed frame carrying retry_after_ms, never with an
+// unbounded invisible backlog (DESIGN.md §14).
+//
+// Each accepted TCP connection IS one session: a dedicated handler
+// thread with per-session defaults (dataset, k, alpha weights, scheme)
+// that serves length-prefixed JSON request frames (server/protocol.h)
+// strictly one at a time, in order.  Connections themselves are
+// lifecycle-managed: idle_timeout_ms bounds silence between frames,
+// frame_timeout_ms bounds a frame's arrival once started (slowloris),
+// write_timeout_ms bounds a response write against a never-reading
+// peer, and max_connections caps live sessions at accept time.
 //
 // Per-request execution control maps protocol fields straight onto the
 // engine's SearchOptions: `deadline_ms` → SearchOptions::deadline_ms,
@@ -34,6 +43,7 @@
 #define MUVE_SERVER_MUVED_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <list>
@@ -61,6 +71,50 @@ struct ServerOptions {
   // beyond the cap wait in the gate (the wait is reported back as
   // queue_ms when timings are requested).
   int max_concurrent = 4;
+
+  // --- Overload control (DESIGN.md §14) ---
+  //
+  // The admission gate is BOUNDED: at most `max_queue` requests may wait
+  // for a slot, each for at most `queue_timeout_ms`.  A request that
+  // cannot be queued — the queue is full, its own deadline has already
+  // expired, or its wait times out — is shed with a typed `unavailable`
+  // error frame carrying `retry_after_ms` (protocol.h:
+  // OverloadedResponse) instead of waiting unboundedly.  Under overload
+  // the server degrades by answering fast instead of by growing an
+  // invisible backlog.
+
+  // Waiters allowed at the admission gate.  0 = no waiting room: any
+  // request arriving while all slots are busy is shed immediately.
+  int max_queue = 64;
+
+  // Longest one request may wait at the gate before being shed.
+  // 0 = wait indefinitely (the pre-overload-control behavior; the muved
+  // tool sets a production default).
+  int queue_timeout_ms = 0;
+
+  // --- Connection lifecycle (DESIGN.md §14) ---
+  //
+  // Read-side poll() timeouts per connection (protocol.h FrameTimeouts).
+  // All default 0 = off so library/test embedders keep blocking
+  // semantics; the muved tool sets production defaults.
+
+  // Longest a connected session may sit silent between frames before the
+  // server drops it (reclaims its handler thread and fd).
+  int idle_timeout_ms = 0;
+
+  // Once a frame's first byte arrives, the budget for the rest of the
+  // frame — the anti-slowloris bound.  A client trickling bytes or
+  // stalling mid-frame is disconnected within this window.
+  int frame_timeout_ms = 0;
+
+  // Budget for writing one response frame.  A peer that never reads
+  // (full socket buffer) cannot pin a handler thread past this.
+  int write_timeout_ms = 0;
+
+  // Accept-time cap on live connections.  An accept beyond the cap is
+  // answered with one `unavailable` frame and closed (close-after-error)
+  // so the client sees a typed shed, not a silent RST.  0 = unlimited.
+  int max_connections = 0;
 
   // Upper bound a request's "threads" field may ask for.
   int max_request_threads = 8;
@@ -136,6 +190,28 @@ class MuvedServer {
     // recommend (a hit skips execution entirely).
     int64_t result_cache_hits = 0;
     int64_t result_cache_stores = 0;
+
+    // Admission accounting.  Every recommend that reaches the gate is
+    // *offered* and leaves through exactly one of the outcome counters —
+    // the soak harness asserts the balance exactly:
+    //
+    //   requests_offered == requests_admitted + requests_shed_queue_full
+    //                     + requests_shed_timeout + requests_shed_deadline
+    //                     + requests_rejected_stopping
+    int64_t requests_offered = 0;
+    int64_t requests_admitted = 0;
+    int64_t requests_shed_queue_full = 0;   // no waiting room left
+    int64_t requests_shed_timeout = 0;      // waited queue_timeout_ms
+    int64_t requests_shed_deadline = 0;     // own deadline already spent
+    int64_t requests_rejected_stopping = 0;  // server shutting down
+    int64_t queue_peak_depth = 0;           // high-water mark of waiters
+
+    // Connection lifecycle accounting.
+    int64_t connections_shed = 0;    // accept-time max_connections shed
+    int64_t connections_reaped = 0;  // finished handlers joined+freed
+    int64_t idle_timeouts = 0;       // sessions dropped for silence
+    int64_t frame_timeouts = 0;      // sessions dropped mid-frame (slowloris)
+    int64_t write_timeouts = 0;      // responses abandoned (peer not reading)
   };
   Counters counters() const;
 
@@ -164,6 +240,7 @@ class MuvedServer {
   JsonValue HandleDefaults(const JsonValue& request, Session* session);
   JsonValue HandleRecommend(const JsonValue& request, Session* session,
                             Connection* conn);
+  JsonValue HandleHealth(const JsonValue& request);
   JsonValue HandleStats(const JsonValue& request);
   JsonValue HandleInvalidate(const JsonValue& request);
   JsonValue HandleShutdown(Session* session);
@@ -183,11 +260,47 @@ class MuvedServer {
   bool LookupResult(const std::string& key, JsonValue* response);
   void StoreResult(const std::string& key, const JsonValue& response);
 
-  // Admission gate: blocks until a slot frees; false when the server is
-  // stopping (the request is answered `cancelled`).  `queue_ms` gets the
-  // time spent waiting.
-  bool AdmitRequest(double* queue_ms);
+  // How one request left the admission gate (see Counters for the exact
+  // balance invariant these map onto).
+  enum class Admission {
+    kAdmitted,
+    kShedQueueFull,     // max_queue waiters already queued
+    kShedDeadline,      // the request's own deadline had already expired
+    kShedQueueTimeout,  // waited queue_timeout_ms without a slot freeing
+    kRejectedStopping,  // server shutting down
+  };
+
+  // Bounded, deadline-aware admission.  `remaining_deadline_ms` is the
+  // request's unspent deadline budget (< 0 = unbounded): a request that
+  // would have to queue with none left is shed instead of parked.  On
+  // kAdmitted, `queue_ms` gets the wait and `queue_depth` the number of
+  // waiters still queued at admit time.  Each outcome has already been
+  // counted into Counters when this returns.
+  Admission AdmitRequest(double remaining_deadline_ms, double* queue_ms,
+                         int64_t* queue_depth);
   void ReleaseRequest();
+
+  // RAII release of one admitted slot: HandleRecommend holds one of
+  // these across Recommend() so a throw (failpoint-injected or real)
+  // between admission and response cannot leak the slot.
+  class SlotGuard {
+   public:
+    explicit SlotGuard(MuvedServer* server) : server_(server) {}
+    ~SlotGuard() {
+      if (server_ != nullptr) server_->ReleaseRequest();
+    }
+    SlotGuard(const SlotGuard&) = delete;
+    SlotGuard& operator=(const SlotGuard&) = delete;
+
+   private:
+    MuvedServer* server_;
+  };
+
+  // The retry_after_ms hint stamped into every overloaded frame.
+  int64_t RetryAfterHintMs() const;
+
+  // Milliseconds since Start() (0 before it).
+  int64_t UptimeMs() const;
 
   const ServerOptions options_;
   int port_ = 0;
@@ -206,10 +319,16 @@ class MuvedServer {
   std::mutex conns_mu_;
   std::vector<std::unique_ptr<Connection>> conns_;
 
-  // Admission gate.
+  // Admission gate.  `queued_` counts waiters parked on gate_cv_; it is
+  // what max_queue bounds.
   std::mutex gate_mu_;
   std::condition_variable gate_cv_;
   int in_flight_ = 0;
+  int queued_ = 0;
+
+  // Set by Start(); UptimeMs() and the health/stats ops read it.
+  std::chrono::steady_clock::time_point started_at_{};
+  bool started_ = false;
 
   // Registry entries, insertion-ordered for oldest-first eviction.
   std::mutex registry_mu_;

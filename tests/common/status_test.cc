@@ -31,11 +31,21 @@ TEST(StatusTest, FactoryFunctionsSetDistinctCodes) {
   EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
   EXPECT_EQ(Status::TypeMismatch("x").code(), StatusCode::kTypeMismatch);
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
 }
 
 TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "ok");
   EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "parse_error");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "unavailable");
+}
+
+TEST(StatusTest, UnavailableMapsToExitCode7) {
+  // The shed/overload outcome gets its own shell-visible exit code so a
+  // scripted client can tell "back off and retry" (7) apart from both a
+  // request-budget trip (6) and a hard failure (1-3).
+  EXPECT_EQ(ExitCodeForStatus(StatusCode::kUnavailable), 7);
+  EXPECT_EQ(ExitCodeForStatus(StatusCode::kResourceExhausted), 6);
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -11,13 +11,16 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/simd/simd.h"
 #include "common/status.h"
 #include "gtest/gtest.h"
+#include "server/client.h"
 #include "server/json.h"
 #include "server/protocol.h"
 
@@ -541,6 +544,334 @@ TEST_F(MuvedIntegrationTest, SharingOffMatchesSharingOnByteForByte) {
   EXPECT_EQ(on.second.result_cache_hits, 1);
   EXPECT_EQ(off.second.result_cache_hits, 0);
   EXPECT_EQ(off.second.recommends_executed, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Overload & connection lifecycle (DESIGN.md §14)
+
+// A recommend that holds an execution slot for a long-but-bounded
+// stretch: the exhaustive NBA linear-linear search (hundreds of
+// milliseconds natively) under a deadline that caps it even when a
+// sanitizer slows the search by an order of magnitude — tests that
+// join the occupant must not wait out a full TSan-speed exhaustive
+// scan.  include_timings keeps it out of the result cache, so every
+// copy executes and takes a real slot.
+JsonValue SlowNbaRecommend() {
+  JsonValue r = JsonValue::Object();
+  r.Set("op", JsonValue::String("recommend"));
+  r.Set("dataset", JsonValue::String("nba"));
+  r.Set("scheme", JsonValue::String("linear-linear"));
+  r.Set("k", JsonValue::Int(5));
+  r.Set("deadline_ms", JsonValue::Double(1500.0));
+  r.Set("include_timings", JsonValue::Bool(true));
+  return r;
+}
+
+// Polls the gate-free health op until in_flight reaches `expected` (or
+// ~10 s pass — generous for sanitizer builds).  Returns the last health
+// response so callers can assert on the rest of its fields.
+JsonValue WaitForInFlight(int port, int64_t expected) {
+  auto fd = DialLocal(port);
+  EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+  if (!fd.ok()) return JsonValue::Object();
+  JsonValue request = JsonValue::Object();
+  request.Set("op", JsonValue::String("health"));
+  JsonValue health = JsonValue::Object();
+  for (int i = 0; i < 5000; ++i) {
+    auto response = RoundTrip(*fd, request);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    if (!response.ok()) break;
+    health = *response;
+    const JsonValue* in_flight = health.Find("in_flight");
+    if (in_flight != nullptr && in_flight->int_value() >= expected) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ::close(*fd);
+  return health;
+}
+
+TEST_F(MuvedIntegrationTest, FullQueueBurstShedsByteStableOverloadedFrame) {
+  ServerOptions options;
+  options.max_concurrent = 1;
+  options.max_queue = 0;          // no waiting room: busy slot => shed now
+  options.queue_timeout_ms = 77;  // doubles as the retry_after_ms hint
+  StartServer(options);
+
+  const int slow_fd = Dial();
+  std::thread occupant([slow_fd] {
+    auto response = RoundTrip(slow_fd, SlowNbaRecommend());
+    EXPECT_TRUE(response.ok());
+  });
+  JsonValue health = WaitForInFlight(server_->port(), 1);
+  ASSERT_EQ(health.Find("in_flight")->int_value(), 1) << health.Write();
+
+  // The shed frame's exact bytes are protocol surface: scripted clients
+  // parse this shape, so pin it byte for byte.
+  const int fd = Dial();
+  ASSERT_TRUE(WriteMessage(fd, ToyRecommend()).ok());
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(fd, &payload).ok());
+  EXPECT_EQ(payload,
+            "{\"ok\":false,\"error\":{\"code\":\"unavailable\",\"exit_code\":7,"
+            "\"message\":\"overloaded: admission queue is full\","
+            "\"retry_after_ms\":77}}");
+  ::close(fd);
+  occupant.join();
+  ::close(slow_fd);
+
+  const auto counters = server_->counters();
+  EXPECT_EQ(counters.requests_shed_queue_full, 1);
+  // At quiescence the admission ledger balances exactly.
+  EXPECT_EQ(counters.requests_offered,
+            counters.requests_admitted + counters.requests_shed_queue_full +
+                counters.requests_shed_timeout +
+                counters.requests_shed_deadline +
+                counters.requests_rejected_stopping);
+}
+
+TEST_F(MuvedIntegrationTest, QueueTimeoutShedsWithTypedFrame) {
+  ServerOptions options;
+  options.max_concurrent = 1;
+  options.max_queue = 8;
+  options.queue_timeout_ms = 60;  // far below the NBA search's runtime
+  StartServer(options);
+
+  const int slow_fd = Dial();
+  std::thread occupant([slow_fd] {
+    auto response = RoundTrip(slow_fd, SlowNbaRecommend());
+    EXPECT_TRUE(response.ok());
+  });
+  WaitForInFlight(server_->port(), 1);
+
+  const int fd = Dial();
+  JsonValue response = Call(fd, ToyRecommend());
+  EXPECT_FALSE(IsOk(response));
+  EXPECT_EQ(ErrorCode(response), "unavailable");
+  EXPECT_EQ(ErrorMessage(response),
+            "overloaded: no execution slot freed within queue timeout");
+  EXPECT_EQ(response.Find("error")->Find("retry_after_ms")->int_value(), 60);
+  ::close(fd);
+  occupant.join();
+  ::close(slow_fd);
+  EXPECT_EQ(server_->counters().requests_shed_timeout, 1);
+}
+
+TEST_F(MuvedIntegrationTest, SpentDeadlineIsShedInsteadOfQueueing) {
+  ServerOptions options;
+  options.max_concurrent = 1;
+  options.max_queue = 8;
+  options.queue_timeout_ms = 0;  // would wait forever — the shed is typed
+  StartServer(options);
+
+  const int slow_fd = Dial();
+  std::thread occupant([slow_fd] {
+    auto response = RoundTrip(slow_fd, SlowNbaRecommend());
+    EXPECT_TRUE(response.ok());
+  });
+  WaitForInFlight(server_->port(), 1);
+
+  // deadline_ms:0 has no budget left by admission time; queueing it
+  // could only ever produce a fully degraded answer, so it sheds typed.
+  const int fd = Dial();
+  JsonValue request = ToyRecommend();
+  request.Set("deadline_ms", JsonValue::Double(0.0));
+  JsonValue response = Call(fd, request);
+  EXPECT_FALSE(IsOk(response));
+  EXPECT_EQ(ErrorCode(response), "unavailable");
+  EXPECT_EQ(ErrorMessage(response),
+            "overloaded: request deadline already spent before admission");
+  ::close(fd);
+  occupant.join();
+  ::close(slow_fd);
+  EXPECT_EQ(server_->counters().requests_shed_deadline, 1);
+}
+
+TEST_F(MuvedIntegrationTest, QueueWaitIsChargedAgainstDeadline) {
+  // Satellite regression: a request that queues past its own deadline is
+  // admitted (it had budget when it joined the queue) but the engine
+  // sees a spent deadline and returns the anytime degraded answer — an
+  // ok:true frame, never an error and never a wedged connection.
+  ServerOptions options;
+  options.max_concurrent = 1;
+  options.max_queue = 8;
+  options.queue_timeout_ms = 0;  // wait as long as it takes
+  StartServer(options);
+
+  const int slow_fd = Dial();
+  std::thread occupant([slow_fd] {
+    auto response = RoundTrip(slow_fd, SlowNbaRecommend());
+    EXPECT_TRUE(response.ok());
+  });
+  WaitForInFlight(server_->port(), 1);
+
+  const int fd = Dial();
+  JsonValue request = ToyRecommend();
+  request.Set("deadline_ms", JsonValue::Double(20.0));  // << NBA runtime
+  request.Set("include_timings", JsonValue::Bool(true));
+  JsonValue response = Call(fd, request);
+  ASSERT_TRUE(IsOk(response)) << response.Write();
+  EXPECT_TRUE(response.Find("degraded")->bool_value()) << response.Write();
+  EXPECT_EQ(response.Find("completeness")->Find("status")->string_value(),
+            "deadline_exceeded");
+  // The wait itself is visible: queue_ms covers the occupant's runtime.
+  EXPECT_GT(response.Find("timings")->Find("queue_ms")->number_value(), 20.0);
+  ::close(fd);
+  occupant.join();
+  ::close(slow_fd);
+  EXPECT_EQ(server_->counters().requests_shed_deadline, 0);
+}
+
+TEST_F(MuvedIntegrationTest, HealthAnswersWhileSaturated) {
+  ServerOptions options;
+  options.max_concurrent = 1;
+  options.max_queue = 0;
+  StartServer(options);
+
+  const int slow_fd = Dial();
+  std::thread occupant([slow_fd] {
+    auto response = RoundTrip(slow_fd, SlowNbaRecommend());
+    EXPECT_TRUE(response.ok());
+  });
+  // WaitForInFlight goes through the health op itself, so reaching
+  // in_flight==1 proves health answered while the only slot was busy.
+  JsonValue health = WaitForInFlight(server_->port(), 1);
+  ASSERT_TRUE(IsOk(health)) << health.Write();
+  EXPECT_EQ(health.Find("in_flight")->int_value(), 1);
+  EXPECT_EQ(health.Find("queue_depth")->int_value(), 0);
+  EXPECT_FALSE(health.Find("stopping")->bool_value());
+  EXPECT_EQ(health.Find("max_concurrent")->int_value(), 1);
+  EXPECT_GE(health.Find("uptime_ms")->int_value(), 0);
+  EXPECT_GE(health.Find("connections_live")->int_value(), 1);
+  occupant.join();
+  ::close(slow_fd);
+}
+
+TEST_F(MuvedIntegrationTest, StalledMidFrameClientIsDisconnected) {
+  ServerOptions options;
+  options.frame_timeout_ms = 100;
+  StartServer(options);
+
+  const int fd = Dial();
+  // Two header bytes, then silence: a torn frame that would pin the
+  // handler thread forever without the mid-frame deadline.
+  ASSERT_EQ(::send(fd, "\x00\x00", 2, MSG_NOSIGNAL), 2);
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(fd, &payload).ok());
+  auto response = ParseJson(payload);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(ErrorCode(*response), "deadline_exceeded");
+  EXPECT_NE(ErrorMessage(*response).find("frame timeout"), std::string::npos);
+  // After the goodbye frame the server hangs up.
+  EXPECT_EQ(ReadFrame(fd, &payload).code(), StatusCode::kNotFound);
+  ::close(fd);
+  EXPECT_EQ(server_->counters().frame_timeouts, 1);
+}
+
+TEST_F(MuvedIntegrationTest, IdleSessionIsReapedSilently) {
+  ServerOptions options;
+  options.idle_timeout_ms = 60;
+  StartServer(options);
+
+  const int fd = Dial();
+  // Say nothing.  An idle drop is not an error — no goodbye frame, just
+  // a clean EOF, exactly what a client library treats as "server closed".
+  std::string payload;
+  EXPECT_EQ(ReadFrame(fd, &payload).code(), StatusCode::kNotFound);
+  ::close(fd);
+  EXPECT_EQ(server_->counters().idle_timeouts, 1);
+
+  // The port still accepts fresh sessions afterwards.
+  const int fd2 = Dial();
+  EXPECT_TRUE(IsOk(Call(fd2, Request("ping"))));
+  ::close(fd2);
+}
+
+TEST_F(MuvedIntegrationTest, ConnectionLimitShedsWithGoodbyeFrame) {
+  ServerOptions options;
+  options.max_connections = 1;
+  StartServer(options);
+
+  const int fd1 = Dial();
+  // A served request proves fd1's handler is registered before fd2
+  // arrives (the accept loop is serial, so ordering is deterministic).
+  ASSERT_TRUE(IsOk(Call(fd1, Request("ping"))));
+
+  const int fd2 = Dial();
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(fd2, &payload).ok());
+  auto response = ParseJson(payload);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(ErrorCode(*response), "unavailable");
+  EXPECT_EQ(ErrorMessage(*response), "overloaded: connection limit reached");
+  EXPECT_GE(response->Find("error")->Find("retry_after_ms")->int_value(), 1);
+  EXPECT_EQ(ReadFrame(fd2, &payload).code(), StatusCode::kNotFound);
+  ::close(fd2);
+
+  // The admitted session is untouched.
+  EXPECT_TRUE(IsOk(Call(fd1, Request("ping"))));
+  ::close(fd1);
+  EXPECT_EQ(server_->counters().connections_shed, 1);
+}
+
+TEST_F(MuvedIntegrationTest, RetryingClientAbsorbsShedsAndEventuallyLands) {
+  ServerOptions options;
+  options.max_concurrent = 1;
+  options.max_queue = 0;
+  options.queue_timeout_ms = 20;  // small retry_after_ms hint
+  StartServer(options);
+
+  const int slow_fd = Dial();
+  std::thread occupant([slow_fd] {
+    auto response = RoundTrip(slow_fd, SlowNbaRecommend());
+    EXPECT_TRUE(response.ok());
+  });
+  WaitForInFlight(server_->port(), 1);
+
+  // The first attempt is guaranteed to shed (slot busy, no queue); the
+  // generous budget means the client outlives the occupant and lands.
+  RetryPolicy policy;
+  policy.max_attempts = 60;
+  policy.base_backoff_ms = 40;
+  policy.max_backoff_ms = 250;
+  policy.jitter_seed = 7;
+  RetryingClient client(server_->port(), policy);
+  auto response = client.Call(ToyRecommend());
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(IsOk(*response)) << response->Write();
+  EXPECT_GE(client.stats().sheds_seen, 1);
+  EXPECT_GE(client.stats().retries, 1);
+  EXPECT_EQ(client.stats().transport_errors, 0);
+  client.Disconnect();
+  occupant.join();
+  ::close(slow_fd);
+}
+
+TEST_F(MuvedIntegrationTest, SlotReleasedWhenHandlerThrows) {
+  if (!common::FailpointsCompiledIn()) {
+    GTEST_SKIP() << "requires -DMUVE_FAILPOINTS=ON";
+  }
+  // The engine catches its own worker-pool throws, so the dedicated
+  // server.recommend failpoint is the only deterministic way to unwind
+  // through HandleRecommend while a slot is held.
+  ServerOptions options;
+  options.max_concurrent = 1;
+  options.max_queue = 0;
+  StartServer(options);
+
+  const int fd = Dial();
+  ASSERT_TRUE(common::SetFailpoint("server.recommend", "throw").ok());
+  JsonValue response = Call(fd, ToyRecommend());
+  common::ClearFailpoints();
+  EXPECT_FALSE(IsOk(response));
+  EXPECT_EQ(ErrorCode(response), "internal");
+  EXPECT_NE(ErrorMessage(response).find("unhandled exception"),
+            std::string::npos);
+
+  // The slot the throwing request held was released on unwind: with one
+  // slot and no waiting room, a leaked slot would shed this follow-up.
+  JsonValue retry = Call(fd, ToyRecommend());
+  EXPECT_TRUE(IsOk(retry)) << retry.Write();
+  ::close(fd);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <limits>
 #include <string>
@@ -231,6 +232,118 @@ TEST_F(FramingTest, LargeFrameSurvivesPartialReads) {
   ASSERT_TRUE(ReadFrame(fds_[1], &payload).ok());
   writer.join();
   EXPECT_EQ(payload, big);
+}
+
+// ---------------------------------------------------------------------------
+// Read/write timeouts (poll-based; FrameTimeouts / WriteFrame timeout_ms).
+// ---------------------------------------------------------------------------
+
+TEST_F(FramingTest, IdleTimeoutFiresBeforeFirstByte) {
+  // Nothing ever arrives: the idle phase expires and reports kIdle.
+  std::string payload;
+  FrameTimeoutKind kind = FrameTimeoutKind::kNone;
+  const auto status =
+      ReadFrame(fds_[1], &payload, FrameTimeouts{/*idle_ms=*/30,
+                                                 /*frame_ms=*/0},
+                &kind);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(kind, FrameTimeoutKind::kIdle);
+}
+
+TEST_F(FramingTest, MidFrameTimeoutFiresOnStalledBody) {
+  // The header promises 100 bytes but only 3 arrive, then the peer
+  // stalls (without closing): the mid-frame deadline must cut the read
+  // off and say so — this is the anti-slowloris bound.
+  const unsigned char header[4] = {0, 0, 0, 100};
+  ASSERT_EQ(::write(fds_[0], header, 4), 4);
+  ASSERT_EQ(::write(fds_[0], "abc", 3), 3);
+  std::string payload;
+  FrameTimeoutKind kind = FrameTimeoutKind::kNone;
+  const auto status =
+      ReadFrame(fds_[1], &payload, FrameTimeouts{/*idle_ms=*/0,
+                                                 /*frame_ms=*/30},
+                &kind);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(kind, FrameTimeoutKind::kMidFrame);
+}
+
+TEST_F(FramingTest, MidFrameDeadlineIsAbsoluteNotPerByte) {
+  // A drip-feeding writer sends one byte at a time.  If the frame
+  // deadline reset on every byte, this would never time out; absolute
+  // means the whole frame must land within one window.
+  const unsigned char header[4] = {0, 0, 0, 100};
+  std::thread dripper([this, &header] {
+    // MSG_NOSIGNAL: the reader closes its end mid-drip, and a plain
+    // write() would raise SIGPIPE and kill the whole test binary.
+    ::send(fds_[0], header, 4, MSG_NOSIGNAL);
+    for (int i = 0; i < 30; ++i) {
+      if (::send(fds_[0], "x", 1, MSG_NOSIGNAL) != 1) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  std::string payload;
+  FrameTimeoutKind kind = FrameTimeoutKind::kNone;
+  const auto status = ReadFrame(
+      fds_[1], &payload, FrameTimeouts{/*idle_ms=*/0, /*frame_ms=*/50},
+      &kind);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(kind, FrameTimeoutKind::kMidFrame);
+  ::close(fds_[1]);
+  fds_[1] = -1;
+  dripper.join();
+}
+
+TEST_F(FramingTest, TimeoutsOffPreservesBlockingSemantics) {
+  // FrameTimeouts{0, 0} must behave exactly like the untimed overload:
+  // a complete frame round-trips, EOF is still kNotFound.
+  ASSERT_TRUE(WriteFrame(fds_[0], "hello").ok());
+  std::string payload;
+  FrameTimeoutKind kind = FrameTimeoutKind::kMidFrame;  // must be reset
+  ASSERT_TRUE(ReadFrame(fds_[1], &payload, FrameTimeouts{}, &kind).ok());
+  EXPECT_EQ(payload, "hello");
+  EXPECT_EQ(kind, FrameTimeoutKind::kNone);
+  ::close(fds_[0]);
+  fds_[0] = -1;
+  EXPECT_EQ(ReadFrame(fds_[1], &payload, FrameTimeouts{}, &kind).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FramingTest, WriteTimeoutFiresAgainstNeverReadingPeer) {
+  // Shrink the pair's buffers so a modest frame cannot be absorbed by
+  // the kernel, then write against a peer that never reads: the write
+  // deadline must fire instead of blocking forever.
+  const int small = 4096;
+  ::setsockopt(fds_[0], SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+  ::setsockopt(fds_[1], SOL_SOCKET, SO_RCVBUF, &small, sizeof(small));
+  std::string big(4 << 20, 'x');
+  const auto status = WriteFrame(fds_[0], big, /*timeout_ms=*/50);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(FramingTest, WriteTimeoutZeroStillBlocksUntilDrained) {
+  // timeout_ms=0 keeps the pre-timeout blocking contract: a concurrent
+  // reader drains the frame and the write completes.
+  std::string big(1 << 20, 'y');
+  std::thread reader([this] {
+    std::string payload;
+    EXPECT_TRUE(ReadFrame(fds_[1], &payload).ok());
+    EXPECT_EQ(payload.size(), 1u << 20);
+  });
+  EXPECT_TRUE(WriteFrame(fds_[0], big, /*timeout_ms=*/0).ok());
+  reader.join();
+}
+
+TEST(Protocol, OverloadedResponseCarriesRetryAfterHint) {
+  const auto status = muve::common::Status::Unavailable(
+      "overloaded: admission queue is full");
+  JsonValue response = OverloadedResponse(status, 250);
+  EXPECT_FALSE(response.Find("ok")->bool_value());
+  const JsonValue* error = response.Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->Find("code")->string_value(), "unavailable");
+  EXPECT_EQ(error->Find("exit_code")->int_value(), 7);
+  ASSERT_NE(error->Find("retry_after_ms"), nullptr);
+  EXPECT_EQ(error->Find("retry_after_ms")->int_value(), 250);
 }
 
 TEST(Protocol, ErrorResponseCarriesTypedCodeAndExitCode) {

@@ -1,0 +1,390 @@
+// Socket-layer soak: a bounded storm of well-behaved, overloading, and
+// actively hostile traffic against an in-process muved with deliberately
+// tight limits, followed by an exact accounting audit.
+//
+// What "passes" means here (DESIGN.md §14):
+//   * the server still answers after the storm — no wedged gate, no dead
+//     accept loop;
+//   * the admission ledger balances EXACTLY at quiescence:
+//       offered == admitted + shed_queue_full + shed_timeout
+//                + shed_deadline + rejected_stopping
+//     (an off-by-one means a slot or counter leaked under contention);
+//   * after Stop(), the process returns to its pre-soak /proc/self/task
+//     thread count and /proc/self/fd descriptor count — handler threads
+//     and sockets are reclaimed, not leaked.
+//
+// Runtime is bounded by MUVE_SOAK_MS (default 1500 ms — a smoke level
+// that still drives thousands of admissions; CI's soak leg raises it).
+// When MUVE_SOAK_REPORT names a file, the final ledger is written there
+// as JSON so CI can archive the counter-balance evidence.
+//
+// Labeled tsan+faults: the interesting failures are exactly the races a
+// -DMUVE_SANITIZE=thread build catches.
+
+#include <dirent.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "server/client.h"
+#include "server/json.h"
+#include "server/muved_server.h"
+#include "server/protocol.h"
+
+namespace muve::server {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoll(value, nullptr, 10);
+}
+
+// Counts entries under a /proc/self directory.  The count includes ".",
+// ".." and (for fd) the directory stream's own descriptor — a constant
+// bias, so before/after comparisons are exact.
+int CountProcEntries(const char* path) {
+  DIR* dir = ::opendir(path);
+  if (dir == nullptr) return -1;
+  int count = 0;
+  while (::readdir(dir) != nullptr) ++count;
+  ::closedir(dir);
+  return count;
+}
+
+int CountFds() { return CountProcEntries("/proc/self/fd"); }
+int CountThreads() { return CountProcEntries("/proc/self/task"); }
+
+// Names of every live thread (for the leak-check failure message).
+std::string DescribeThreads() {
+  std::string out;
+  DIR* dir = ::opendir("/proc/self/task");
+  if (dir == nullptr) return out;
+  while (struct dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] == '.') continue;
+    std::string comm_path =
+        std::string("/proc/self/task/") + entry->d_name + "/comm";
+    std::ifstream comm(comm_path);
+    std::string name;
+    std::getline(comm, name);
+    out += std::string(entry->d_name) + ":" + name + " ";
+  }
+  ::closedir(dir);
+  return out;
+}
+
+// Polls `count` until it returns `target` (kernel-side teardown of
+// sockets can lag a close by a scheduling quantum).
+bool SettleTo(int target, int (*count)(), int budget_ms) {
+  for (int waited = 0; waited < budget_ms; waited += 20) {
+    if (count() == target) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return count() == target;
+}
+
+void BestEffortSend(int fd, const void* data, size_t len) {
+  (void)::send(fd, data, len, MSG_NOSIGNAL | MSG_DONTWAIT);
+}
+
+JsonValue Op(const std::string& op) {
+  JsonValue r = JsonValue::Object();
+  r.Set("op", JsonValue::String(op));
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Hostile acts.  Each opens its own connection, misbehaves, and leaves;
+// none of them may take the server (or this process) down.
+
+void ChaosTornFrame(int port) {
+  auto fd = DialLocal(port);
+  if (!fd.ok()) return;
+  BestEffortSend(*fd, "\x00\x00", 2);  // header fragment, then hang up
+  ::close(*fd);
+}
+
+void ChaosOversizedPrefix(int port) {
+  auto fd = DialLocal(port);
+  if (!fd.ok()) return;
+  BestEffortSend(*fd, "\xff\xff\xff\xff", 4);  // 4 GiB promise
+  ::close(*fd);
+}
+
+void ChaosMidFrameStall(int port, std::mt19937_64* rng) {
+  auto fd = DialLocal(port);
+  if (!fd.ok()) return;
+  const unsigned char header[4] = {0, 0, 0, 64};  // promise 64 bytes
+  BestEffortSend(*fd, header, 4);
+  BestEffortSend(*fd, "{{{{{{{{{{{{{{{{", 16);  // deliver a quarter
+  // Sometimes outlives the server's frame timeout (slowloris caught),
+  // sometimes hangs up first (torn frame) — both paths get exercised.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1 + (*rng)() % 120));
+  ::close(*fd);
+}
+
+void ChaosSilentSitter(int port) {
+  auto fd = DialLocal(port);
+  if (!fd.ok()) return;
+  // Past the server's idle timeout: the reaper should hang up on us.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  ::close(*fd);
+}
+
+void ChaosRstClose(int port) {
+  auto fd = DialLocal(port);
+  if (!fd.ok()) return;
+  (void)WriteMessage(*fd, Op("ping"));
+  struct linger hard = {1, 0};  // close() sends RST, not FIN
+  ::setsockopt(*fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+  ::close(*fd);
+}
+
+void ChaosNeverReadingWriter(int port, std::mt19937_64* rng) {
+  auto fd = DialLocal(port);
+  if (!fd.ok()) return;
+  for (int i = 0; i < 4; ++i) (void)WriteMessage(*fd, Op("ping"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(1 + (*rng)() % 20));
+  ::close(*fd);  // responses still queued server-side — never read
+}
+
+void ChaosConnectAndLeave(int port) {
+  auto fd = DialLocal(port);
+  if (fd.ok()) ::close(*fd);
+}
+
+struct SoakTally {
+  int64_t ok = 0;
+  int64_t degraded = 0;
+  int64_t sheds = 0;
+  int64_t transport = 0;
+  int64_t other_errors = 0;
+};
+
+// One well-behaved-but-demanding client: retrying mixed traffic, heavy
+// on deadline-bound NBA recommends that hold execution slots long enough
+// to keep the tiny gate saturated.
+void WorkloadThread(int port, int seed, const std::atomic<bool>* stop,
+                    SoakTally* tally) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff_ms = 2;
+  policy.max_backoff_ms = 20;
+  policy.jitter_seed = static_cast<uint64_t>(seed) * 0x9e3779b97f4a7c15ULL + 1;
+  RetryingClient client(port, policy);
+  int64_t i = 0;
+  while (!stop->load(std::memory_order_relaxed)) {
+    JsonValue request;
+    switch (i++ % 8) {
+      case 0:
+        request = Op("ping");
+        break;
+      case 1:
+        request = Op("health");
+        break;
+      case 2: {  // fast toy recommend
+        request = Op("recommend");
+        request.Set("dataset", JsonValue::String("toy"));
+        request.Set("k", JsonValue::Int(3));
+        request.Set("include_timings", JsonValue::Bool(true));
+        break;
+      }
+      default: {  // slot-holding NBA recommend, bounded by its deadline
+        request = Op("recommend");
+        request.Set("dataset", JsonValue::String("nba"));
+        request.Set("k", JsonValue::Int(5));
+        request.Set("deadline_ms", JsonValue::Double(i % 7 == 0 ? 0.0 : 25.0));
+        break;
+      }
+    }
+    auto response = client.Call(request);
+    if (!response.ok()) {
+      ++tally->transport;
+      continue;
+    }
+    if (IsOverloadedResponse(*response)) {
+      ++tally->sheds;
+      continue;
+    }
+    const JsonValue* ok = response->Find("ok");
+    if (ok != nullptr && ok->is_bool() && ok->bool_value()) {
+      ++tally->ok;
+      const JsonValue* degraded = response->Find("degraded");
+      if (degraded != nullptr && degraded->is_bool() &&
+          degraded->bool_value()) {
+        ++tally->degraded;
+      }
+    } else {
+      ++tally->other_errors;
+    }
+  }
+  tally->sheds += static_cast<int64_t>(client.stats().sheds_seen);
+  tally->transport += static_cast<int64_t>(client.stats().transport_errors);
+}
+
+void ChaosThread(int port, int seed, const std::atomic<bool>* stop) {
+  std::mt19937_64 rng(static_cast<uint64_t>(seed) * 131071u + 7u);
+  while (!stop->load(std::memory_order_relaxed)) {
+    switch (rng() % 7) {
+      case 0: ChaosTornFrame(port); break;
+      case 1: ChaosOversizedPrefix(port); break;
+      case 2: ChaosMidFrameStall(port, &rng); break;
+      case 3: ChaosRstClose(port); break;
+      case 4: ChaosNeverReadingWriter(port, &rng); break;
+      case 5: ChaosSilentSitter(port); break;
+      default: ChaosConnectAndLeave(port); break;
+    }
+  }
+}
+
+TEST(MuvedSoakTest, StormThenExactAccountingAndNoLeaks) {
+  const int64_t soak_ms = EnvInt("MUVE_SOAK_MS", 1500);
+
+  // Warm lazy per-process machinery before taking baselines: a
+  // sanitizer runtime spawns its background thread on the first
+  // pthread_create, and that thread (correctly) never exits.
+  std::thread([] {}).join();
+
+  // Baselines before any server state exists.
+  const int fds_before = CountFds();
+  const int threads_before = CountThreads();
+  ASSERT_GT(fds_before, 0);
+  ASSERT_GT(threads_before, 0);
+
+  ServerOptions options;
+  options.port = 0;
+  // Tight enough that the workload alone overloads it: one execution
+  // slot, one queue seat, six clients whose traffic is 60% recommends.
+  options.max_concurrent = 1;
+  options.max_queue = 1;
+  options.queue_timeout_ms = 10;
+  options.idle_timeout_ms = 250;   // ChaosSilentSitter outsits this
+  options.frame_timeout_ms = 60;   // ChaosMidFrameStall outsits this
+  options.write_timeout_ms = 200;
+  options.max_connections = 32;
+  {
+    MuvedServer server(options);
+    ASSERT_TRUE(server.Start().ok());
+    const int port = server.port();
+
+    std::atomic<bool> stop{false};
+    constexpr int kWorkers = 6;
+    constexpr int kChaos = 3;
+    std::vector<SoakTally> tallies(kWorkers);
+    std::vector<std::thread> threads;
+    threads.reserve(kWorkers + kChaos);
+    for (int w = 0; w < kWorkers; ++w) {
+      threads.emplace_back(WorkloadThread, port, w, &stop, &tallies[w]);
+    }
+    for (int c = 0; c < kChaos; ++c) {
+      threads.emplace_back(ChaosThread, port, c, &stop);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(soak_ms));
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& t : threads) t.join();
+
+    // 1. Still alive: a fresh session gets a real answer.  (Retrying:
+    // the accept-time cap may briefly count chaos corpses until the
+    // accept loop's next reap pass.)
+    RetryPolicy policy;
+    policy.max_attempts = 20;
+    policy.base_backoff_ms = 10;
+    policy.max_backoff_ms = 100;
+    RetryingClient prober(port, policy);
+    auto pong = prober.Call(Op("ping"));
+    ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+    EXPECT_TRUE(pong->Find("ok")->bool_value()) << pong->Write();
+    prober.Disconnect();
+
+    // 2. The ledger balances exactly at quiescence.
+    const auto counters = server.counters();
+    const int64_t accounted =
+        counters.requests_admitted + counters.requests_shed_queue_full +
+        counters.requests_shed_timeout + counters.requests_shed_deadline +
+        counters.requests_rejected_stopping;
+    EXPECT_EQ(counters.requests_offered, accounted)
+        << "admission ledger leaked: offered=" << counters.requests_offered
+        << " admitted=" << counters.requests_admitted
+        << " shed_full=" << counters.requests_shed_queue_full
+        << " shed_timeout=" << counters.requests_shed_timeout
+        << " shed_deadline=" << counters.requests_shed_deadline
+        << " rejected=" << counters.requests_rejected_stopping;
+    EXPECT_GT(counters.requests_offered, 0);
+    EXPECT_GT(counters.requests_admitted, 0);
+    // Six clients contending for one slot and one queue seat must shed:
+    // a shed-free storm means the gate was not actually exercised.
+    EXPECT_GT(counters.requests_shed_queue_full +
+                  counters.requests_shed_timeout +
+                  counters.requests_shed_deadline,
+              0);
+
+    SoakTally total;
+    for (const auto& t : tallies) {
+      total.ok += t.ok;
+      total.degraded += t.degraded;
+      total.sheds += t.sheds;
+      total.transport += t.transport;
+      total.other_errors += t.other_errors;
+    }
+    EXPECT_GT(total.ok, 0);
+    // Strict protocol traffic never yields a non-shed error.
+    EXPECT_EQ(total.other_errors, 0);
+
+    if (const char* report = std::getenv("MUVE_SOAK_REPORT");
+        report != nullptr && *report != '\0') {
+      JsonValue summary = JsonValue::Object();
+      summary.Set("soak_ms", JsonValue::Int(soak_ms));
+      summary.Set("offered", JsonValue::Int(counters.requests_offered));
+      summary.Set("admitted", JsonValue::Int(counters.requests_admitted));
+      summary.Set("shed_queue_full",
+                  JsonValue::Int(counters.requests_shed_queue_full));
+      summary.Set("shed_timeout",
+                  JsonValue::Int(counters.requests_shed_timeout));
+      summary.Set("shed_deadline",
+                  JsonValue::Int(counters.requests_shed_deadline));
+      summary.Set("rejected_stopping",
+                  JsonValue::Int(counters.requests_rejected_stopping));
+      summary.Set("ledger_balanced",
+                  JsonValue::Bool(counters.requests_offered == accounted));
+      summary.Set("connections_accepted",
+                  JsonValue::Int(counters.connections_accepted));
+      summary.Set("connections_shed",
+                  JsonValue::Int(counters.connections_shed));
+      summary.Set("idle_timeouts", JsonValue::Int(counters.idle_timeouts));
+      summary.Set("frame_timeouts", JsonValue::Int(counters.frame_timeouts));
+      summary.Set("write_timeouts", JsonValue::Int(counters.write_timeouts));
+      summary.Set("client_ok", JsonValue::Int(total.ok));
+      summary.Set("client_degraded", JsonValue::Int(total.degraded));
+      summary.Set("client_sheds", JsonValue::Int(total.sheds));
+      summary.Set("client_transport_errors", JsonValue::Int(total.transport));
+      std::ofstream out(report, std::ios::trunc);
+      out << summary.Write() << "\n";
+      ASSERT_TRUE(out.good()) << "could not write " << report;
+    }
+
+    server.Stop();
+  }
+
+  // 3. Everything the storm created is gone: handler threads and every
+  // socket (server, client, and chaos casualties alike).
+  EXPECT_TRUE(SettleTo(threads_before, CountThreads, 5000))
+      << "thread count " << CountThreads() << " != baseline " << threads_before
+      << " — live: " << DescribeThreads();
+  EXPECT_TRUE(SettleTo(fds_before, CountFds, 5000))
+      << "fd count " << CountFds() << " != baseline " << fds_before;
+}
+
+}  // namespace
+}  // namespace muve::server

@@ -35,10 +35,25 @@
 //                       two files proves recommendation payloads are
 //                       byte-identical across the wire regardless of
 //                       dispatch level.
+//   --retries=N         retry budget per request (default 4 attempts
+//                       total; 1 disables retrying).  Overloaded
+//                       (`unavailable`) responses and transport errors
+//                       are retried with jittered exponential backoff
+//                       honoring the server's retry_after_ms hint.
+//   --chaos=N           spawn N hostile threads ALONGSIDE the normal
+//                       sessions, each replaying socket-layer abuse
+//                       drawn from its seed: torn frames, oversized
+//                       length prefixes, mid-frame stalls (slowloris),
+//                       SO_LINGER-0 RST closes, never-reading writers,
+//                       and slow readers.  Chaos outcomes are never
+//                       counted as failures — the point is that the
+//                       WELL-BEHAVED sessions still succeed around them.
 //
 // Exit codes: 0 all requests answered ok (degraded-but-ok counts as
-// ok — that is the anytime contract), 1 any transport/protocol failure,
-// 2 bad flags.
+// ok — that is the anytime contract; responses shed with `unavailable`
+// after the retry budget also do NOT fail the run — shedding under
+// overload is the server doing its job), 1 any unrecovered
+// transport/protocol failure or server error, 2 bad flags.
 
 #include <unistd.h>
 
@@ -46,6 +61,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -54,10 +70,13 @@
 #include <thread>
 #include <vector>
 
+#include <sys/socket.h>
+
 #include "common/parse.h"
 #include "common/status.h"
 #include "common/string_util.h"
 #include "harness.h"
+#include "server/client.h"
 #include "server/json.h"
 #include "server/protocol.h"
 
@@ -72,6 +91,8 @@ struct Flags {
   int requests = 25;
   uint64_t seed = 42;
   int duplicates = 0;  // percent of requests drawn from the hot pool
+  int retries = 4;     // attempts per request (1 = no retrying)
+  int chaos = 0;       // hostile threads alongside the workload
   bool assert_sharing = false;
   bool smoke = false;
   bool do_shutdown = false;
@@ -111,6 +132,16 @@ Status ParseFlags(int argc, char** argv, Flags* flags) {
           flags->duplicates,
           muve::common::ParseFlagInt64("--duplicates",
                                        value_of("--duplicates="), 0, 100));
+    } else if (has("--retries=")) {
+      MUVE_ASSIGN_OR_RETURN(
+          flags->retries, muve::common::ParseFlagInt64(
+                              "--retries", value_of("--retries="), 1, 100));
+    } else if (has("--chaos=")) {
+      MUVE_ASSIGN_OR_RETURN(
+          flags->chaos, muve::common::ParseFlagInt64(
+                            "--chaos", value_of("--chaos="), 0, 256));
+    } else if (arg == "--chaos") {
+      flags->chaos = 4;
     } else if (arg == "--assert-sharing") {
       flags->assert_sharing = true;
     } else if (arg == "--smoke") {
@@ -166,12 +197,20 @@ bool ResponseOk(const JsonValue& response) {
 // Mixed-workload session.
 // ---------------------------------------------------------------------------
 
+// Outcome taxonomy, one bucket per request's FINAL answer (plus the
+// retry-layer counters underneath).  `sheds` — requests still answered
+// `unavailable` after the retry budget — are deliberately separate from
+// both `errors` and `transport_failures`: a shed is the server keeping
+// its overload promise, not the transport breaking, and it must not fail
+// a load run on its own.
 struct SessionResult {
   std::vector<double> latencies_ms;
   int64_t ok = 0;
   int64_t degraded = 0;
-  int64_t errors = 0;       // server answered ok:false
-  bool transport_ok = true;  // connection/framing stayed healthy
+  int64_t errors = 0;              // server answered ok:false (non-shed)
+  int64_t sheds = 0;               // final answer was `unavailable`
+  int64_t transport_failures = 0;  // Call() failed even after retries
+  muve::server::RetryStats retry;  // what the retry layer absorbed
 };
 
 // The mixed workload: mostly NBA (the acceptance dataset), with toy
@@ -254,26 +293,31 @@ JsonValue DrawHotRecommend(std::mt19937_64& rng) {
 }
 
 SessionResult RunSession(int port, int requests, uint64_t seed,
-                         int duplicates_pct) {
+                         int duplicates_pct, int retries) {
   SessionResult result;
-  auto fd = muve::server::DialLocal(port);
-  if (!fd.ok()) {
-    std::cerr << "loadgen: " << fd.status().ToString() << "\n";
-    result.transport_ok = false;
-    return result;
-  }
+  muve::server::RetryPolicy policy;
+  policy.max_attempts = retries;
+  policy.jitter_seed = seed ^ 0x9e3779b97f4a7c15ULL;
+  muve::server::RetryingClient client(port, policy);
   std::mt19937_64 rng(seed);
-  JsonValue response;
   // Pin the session's default dataset so requests that omit "dataset"
   // would still be valid; also warms the registry.
   JsonValue use = MakeRequest("use");
   use.Set("dataset", JsonValue::String("nba"));
-  if (!Send(*fd, use, &response)) {
-    result.transport_ok = false;
-    ::close(*fd);
-    return result;
+  {
+    auto response = client.Call(use);
+    if (!response.ok()) {
+      std::cerr << "loadgen: " << response.status().ToString() << "\n";
+      ++result.transport_failures;
+      result.retry = client.stats();
+      return result;
+    }
+    if (muve::server::IsOverloadedResponse(*response)) {
+      ++result.sheds;
+    } else if (!ResponseOk(*response)) {
+      ++result.errors;
+    }
   }
-  if (!ResponseOk(response)) ++result.errors;
   result.latencies_ms.reserve(requests);
   std::uniform_int_distribution<int> pct(0, 99);
   for (int i = 0; i < requests; ++i) {
@@ -281,24 +325,131 @@ SessionResult RunSession(int port, int requests, uint64_t seed,
                                   ? DrawHotRecommend(rng)
                                   : DrawRecommend(rng);
     const double start = NowMs();
-    if (!Send(*fd, request, &response)) {
-      result.transport_ok = false;
-      break;
+    auto response = client.Call(request);
+    if (!response.ok()) {
+      // Unrecovered transport failure.  The client already redialed and
+      // retried; count it and keep going — later requests may succeed on
+      // a fresh connection.
+      std::cerr << "loadgen: " << response.status().ToString() << "\n";
+      ++result.transport_failures;
+      continue;
     }
     result.latencies_ms.push_back(NowMs() - start);
-    if (ResponseOk(response)) {
+    if (ResponseOk(*response)) {
       ++result.ok;
-      const JsonValue* degraded = response.Find("degraded");
+      const JsonValue* degraded = response->Find("degraded");
       if (degraded != nullptr && degraded->is_bool() &&
           degraded->bool_value()) {
         ++result.degraded;
       }
+    } else if (muve::server::IsOverloadedResponse(*response)) {
+      ++result.sheds;
     } else {
       ++result.errors;
     }
   }
-  ::close(*fd);
+  result.retry = client.stats();
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Chaos sessions: socket-layer abuse, never counted as failures.
+// ---------------------------------------------------------------------------
+
+// Writes `n` raw bytes best-effort (the peer may close on us mid-write —
+// that is part of the game).
+void RawWrite(int fd, const void* bytes, size_t n) {
+  (void)!::send(fd, bytes, n, MSG_NOSIGNAL);
+}
+
+void ChaosTornFrame(int port) {
+  auto fd = muve::server::DialLocal(port);
+  if (!fd.ok()) return;
+  const unsigned char half_header[2] = {0x00, 0x00};
+  RawWrite(*fd, half_header, sizeof(half_header));
+  ::close(*fd);
+}
+
+void ChaosOversizedPrefix(int port) {
+  auto fd = muve::server::DialLocal(port);
+  if (!fd.ok()) return;
+  const unsigned char header[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+  RawWrite(*fd, header, sizeof(header));
+  // The server answers one parse_error frame and closes; drain a little.
+  char sink[256];
+  (void)!::recv(*fd, sink, sizeof(sink), 0);
+  ::close(*fd);
+}
+
+void ChaosMidFrameStall(int port, std::mt19937_64& rng) {
+  auto fd = muve::server::DialLocal(port);
+  if (!fd.ok()) return;
+  // A valid header promising 64 bytes, then only half of them, then a
+  // stall — the classic slowloris.  The server's frame timeout (when
+  // configured) must cut us off; without one the close() ends it.
+  const unsigned char header[4] = {0x00, 0x00, 0x00, 0x40};
+  RawWrite(*fd, header, sizeof(header));
+  char garbage[32];
+  std::memset(garbage, '{', sizeof(garbage));
+  RawWrite(*fd, garbage, sizeof(garbage));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20 + rng() % 80));
+  ::close(*fd);
+}
+
+void ChaosRstClose(int port) {
+  auto fd = muve::server::DialLocal(port);
+  if (!fd.ok()) return;
+  (void)muve::server::WriteMessage(*fd, MakeRequest("ping"));
+  // SO_LINGER(on, 0): close() sends RST instead of FIN, discarding any
+  // in-flight response — the abrupt-death shape a crashing client makes.
+  struct linger hard = {1, 0};
+  ::setsockopt(*fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+  ::close(*fd);
+}
+
+void ChaosNeverReadingWriter(int port, std::mt19937_64& rng) {
+  auto fd = muve::server::DialLocal(port);
+  if (!fd.ok()) return;
+  // Pump requests without ever reading a response, then vanish.  The
+  // server's write timeout (when configured) bounds how long a handler
+  // can be pinned once the socket buffer fills.
+  const int frames = 4 + static_cast<int>(rng() % 8);
+  for (int i = 0; i < frames; ++i) {
+    if (!muve::server::WriteMessage(*fd, MakeRequest("ping")).ok()) break;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20 + rng() % 80));
+  ::close(*fd);
+}
+
+void ChaosSlowReader(int port, std::mt19937_64& rng) {
+  auto fd = muve::server::DialLocal(port);
+  if (!fd.ok()) return;
+  if (!muve::server::WriteMessage(*fd, MakeRequest("ping")).ok()) {
+    ::close(*fd);
+    return;
+  }
+  // Read the response one byte at a time with pauses, then quit partway.
+  char byte;
+  const int max_bytes = 8 + static_cast<int>(rng() % 32);
+  for (int i = 0; i < max_bytes; ++i) {
+    if (::recv(*fd, &byte, 1, 0) <= 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1 + rng() % 5));
+  }
+  ::close(*fd);
+}
+
+void RunChaosSession(int port, int acts, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  for (int i = 0; i < acts; ++i) {
+    switch (rng() % 6) {
+      case 0: ChaosTornFrame(port); break;
+      case 1: ChaosOversizedPrefix(port); break;
+      case 2: ChaosMidFrameStall(port, rng); break;
+      case 3: ChaosRstClose(port); break;
+      case 4: ChaosNeverReadingWriter(port, rng); break;
+      case 5: ChaosSlowReader(port, rng); break;
+    }
+  }
 }
 
 double Percentile(const std::vector<double>& sorted, double p) {
@@ -411,30 +562,47 @@ int main(int argc, char** argv) {
             << flags.requests << " requests against 127.0.0.1:" << flags.port
             << " (simd=" << simd << ", seed=" << flags.seed << ")\n";
 
+  if (flags.chaos > 0) {
+    std::cout << "loadgen: +" << flags.chaos
+              << " chaos threads (torn frames, slowloris, RSTs, "
+              << "never-reading writers)\n";
+  }
+
   const double wall_start = NowMs();
   std::vector<SessionResult> results(flags.sessions);
   std::vector<std::thread> threads;
-  threads.reserve(flags.sessions);
+  threads.reserve(flags.sessions + flags.chaos);
   for (int s = 0; s < flags.sessions; ++s) {
     threads.emplace_back([&flags, &results, s] {
       results[s] = RunSession(flags.port, flags.requests,
                               flags.seed * 8191 + static_cast<uint64_t>(s),
-                              flags.duplicates);
+                              flags.duplicates, flags.retries);
+    });
+  }
+  for (int c = 0; c < flags.chaos; ++c) {
+    threads.emplace_back([&flags, c] {
+      RunChaosSession(flags.port, flags.requests,
+                      flags.seed * 131071 + static_cast<uint64_t>(c));
     });
   }
   for (auto& t : threads) t.join();
   const double wall_ms = NowMs() - wall_start;
 
   std::vector<double> latencies;
-  int64_t ok = 0, degraded = 0, errors = 0;
-  bool transport_ok = true;
+  int64_t ok = 0, degraded = 0, errors = 0, sheds = 0, transport_failures = 0;
+  muve::server::RetryStats retry;
   for (const SessionResult& r : results) {
     latencies.insert(latencies.end(), r.latencies_ms.begin(),
                      r.latencies_ms.end());
     ok += r.ok;
     degraded += r.degraded;
     errors += r.errors;
-    transport_ok = transport_ok && r.transport_ok;
+    sheds += r.sheds;
+    transport_failures += r.transport_failures;
+    retry.sheds_seen += r.retry.sheds_seen;
+    retry.retries += r.retry.retries;
+    retry.transport_errors += r.retry.transport_errors;
+    retry.backoff_ms_total += r.retry.backoff_ms_total;
   }
   std::sort(latencies.begin(), latencies.end());
   double mean = 0.0;
@@ -450,7 +618,12 @@ int main(int argc, char** argv) {
 
   std::cout << "loadgen: " << latencies.size() << " requests in "
             << muve::bench::Ms(wall_ms) << " ms  (" << ok << " ok, " << degraded
-            << " degraded-but-ok, " << errors << " errors)\n"
+            << " degraded-but-ok, " << errors << " errors, " << sheds
+            << " shed, " << transport_failures << " transport failures)\n"
+            << "loadgen: retry layer absorbed " << retry.sheds_seen
+            << " sheds and " << retry.transport_errors
+            << " transport errors across " << retry.retries << " retries ("
+            << retry.backoff_ms_total << " ms backoff)\n"
             << "loadgen: p50=" << muve::bench::Ms(p50)
             << "ms p95=" << muve::bench::Ms(p95)
             << "ms p99=" << muve::bench::Ms(p99)
@@ -467,6 +640,8 @@ int main(int argc, char** argv) {
     config.Set("requests_per_session", JsonValue::Int(flags.requests));
     config.Set("seed", JsonValue::Int(static_cast<int64_t>(flags.seed)));
     config.Set("smoke", JsonValue::Bool(flags.smoke));
+    config.Set("retries", JsonValue::Int(flags.retries));
+    config.Set("chaos_threads", JsonValue::Int(flags.chaos));
     config.Set("simd", JsonValue::String(simd));
     doc.Set("config", std::move(config));
     JsonValue record = JsonValue::Object();
@@ -477,6 +652,13 @@ int main(int argc, char** argv) {
     record.Set("ok", JsonValue::Int(ok));
     record.Set("degraded", JsonValue::Int(degraded));
     record.Set("errors", JsonValue::Int(errors));
+    record.Set("sheds", JsonValue::Int(sheds));
+    record.Set("transport_failures", JsonValue::Int(transport_failures));
+    record.Set("retries", JsonValue::Int(retry.retries));
+    record.Set("sheds_absorbed", JsonValue::Int(retry.sheds_seen));
+    record.Set("transport_errors_absorbed",
+               JsonValue::Int(retry.transport_errors));
+    record.Set("backoff_ms_total", JsonValue::Int(retry.backoff_ms_total));
     record.Set("p50_ms", JsonValue::Double(p50));
     record.Set("p95_ms", JsonValue::Double(p95));
     record.Set("p99_ms", JsonValue::Double(p99));
@@ -544,13 +726,15 @@ int main(int argc, char** argv) {
       JsonValue response;
       if (!Send(*fd, MakeRequest("shutdown"), &response) ||
           !ResponseOk(response)) {
-        transport_ok = false;
+        ++transport_failures;
       }
       ::close(*fd);
     } else {
-      transport_ok = false;
+      ++transport_failures;
     }
   }
 
-  return (transport_ok && sharing_ok && errors == 0) ? 0 : 1;
+  // Sheds deliberately absent: an overload-shed request is the server
+  // honoring its admission contract, not a failure of this run.
+  return (transport_failures == 0 && sharing_ok && errors == 0) ? 0 : 1;
 }

@@ -12,6 +12,24 @@
 //                       ephemeral port and print it)
 //   --max-concurrent=N  admission cap: Recommend() calls executing at
 //                       once (default 4); excess requests queue
+//   --max-queue=N       waiting room at the admission gate (default 64;
+//                       0 = shed immediately when all slots are busy)
+//   --queue-timeout-ms=N
+//                       longest one request may queue before being shed
+//                       with an `unavailable` + retry_after_ms frame
+//                       (default 1000; 0 = wait indefinitely)
+//   --idle-timeout-ms=N drop a session silent between frames for this
+//                       long (default 300000 = 5 min; 0 = never)
+//   --frame-timeout-ms=N
+//                       once a frame starts, it must complete within
+//                       this window — anti-slowloris (default 10000;
+//                       0 = never)
+//   --write-timeout-ms=N
+//                       budget for writing one response to a peer that
+//                       won't read (default 10000; 0 = block forever)
+//   --max-connections=N accept-time cap on live sessions; excess
+//                       connections get one `unavailable` frame and a
+//                       close (default 256; 0 = unlimited)
 //   --max-threads=N     upper bound on a request's "threads" field
 //                       (default 8)
 //   --preload=a,b       build these datasets' recommenders before
@@ -49,6 +67,15 @@ using muve::common::Status;
 struct Flags {
   int port = 7171;
   int max_concurrent = 4;
+  // Production overload/lifecycle defaults.  The library's
+  // ServerOptions default to permissive (unbounded waits, no timeouts)
+  // for embedders; the daemon ships with teeth.
+  int max_queue = 64;
+  int queue_timeout_ms = 1000;
+  int idle_timeout_ms = 300000;
+  int frame_timeout_ms = 10000;
+  int write_timeout_ms = 10000;
+  int max_connections = 256;
   int max_threads = 8;
   std::string preload;
   bool allow_shutdown_op = true;
@@ -74,6 +101,36 @@ Status ParseFlags(int argc, char** argv, Flags* flags) {
                             muve::common::ParseFlagInt64(
                                 "--max-concurrent",
                                 value_of("--max-concurrent="), 1, 1024));
+    } else if (has("--max-queue=")) {
+      MUVE_ASSIGN_OR_RETURN(
+          flags->max_queue,
+          muve::common::ParseFlagInt64("--max-queue", value_of("--max-queue="),
+                                       0, 1 << 20));
+    } else if (has("--queue-timeout-ms=")) {
+      MUVE_ASSIGN_OR_RETURN(flags->queue_timeout_ms,
+                            muve::common::ParseFlagInt64(
+                                "--queue-timeout-ms",
+                                value_of("--queue-timeout-ms="), 0, 86400000));
+    } else if (has("--idle-timeout-ms=")) {
+      MUVE_ASSIGN_OR_RETURN(flags->idle_timeout_ms,
+                            muve::common::ParseFlagInt64(
+                                "--idle-timeout-ms",
+                                value_of("--idle-timeout-ms="), 0, 86400000));
+    } else if (has("--frame-timeout-ms=")) {
+      MUVE_ASSIGN_OR_RETURN(flags->frame_timeout_ms,
+                            muve::common::ParseFlagInt64(
+                                "--frame-timeout-ms",
+                                value_of("--frame-timeout-ms="), 0, 86400000));
+    } else if (has("--write-timeout-ms=")) {
+      MUVE_ASSIGN_OR_RETURN(flags->write_timeout_ms,
+                            muve::common::ParseFlagInt64(
+                                "--write-timeout-ms",
+                                value_of("--write-timeout-ms="), 0, 86400000));
+    } else if (has("--max-connections=")) {
+      MUVE_ASSIGN_OR_RETURN(flags->max_connections,
+                            muve::common::ParseFlagInt64(
+                                "--max-connections",
+                                value_of("--max-connections="), 0, 1 << 20));
     } else if (has("--max-threads=")) {
       MUVE_ASSIGN_OR_RETURN(
           flags->max_threads,
@@ -111,6 +168,12 @@ int main(int argc, char** argv) {
   muve::server::ServerOptions options;
   options.port = flags.port;
   options.max_concurrent = flags.max_concurrent;
+  options.max_queue = flags.max_queue;
+  options.queue_timeout_ms = flags.queue_timeout_ms;
+  options.idle_timeout_ms = flags.idle_timeout_ms;
+  options.frame_timeout_ms = flags.frame_timeout_ms;
+  options.write_timeout_ms = flags.write_timeout_ms;
+  options.max_connections = flags.max_connections;
   options.max_request_threads = flags.max_threads;
   options.allow_shutdown_op = flags.allow_shutdown_op;
   options.enable_selection_cache = flags.cross_query_cache;
@@ -207,10 +270,15 @@ int main(int argc, char** argv) {
   signal_thread.join();
 
   const auto counters = server.counters();
+  const int64_t sheds = counters.requests_shed_queue_full +
+                        counters.requests_shed_timeout +
+                        counters.requests_shed_deadline;
   std::cout << "muved: stopped cleanly (connections="
             << counters.connections_accepted
             << " requests=" << counters.requests_served
             << " recommends=" << counters.recommends_executed
-            << " errors=" << counters.errors_returned << ")\n";
+            << " errors=" << counters.errors_returned
+            << " sheds=" << sheds
+            << " conns_shed=" << counters.connections_shed << ")\n";
   return 0;
 }
