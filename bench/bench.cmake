@@ -39,6 +39,10 @@ muve_add_bench(anytime_deadline)
 # Cross-request shared execution: duplicate-heavy workload against an
 # in-process muved, sharing on vs off (DESIGN.md §13).
 muve_add_bench(ablate_cross_query muve_server)
+# Incremental ingest at scale: cold/warm/append/reload cycle over the
+# deterministic scale workload; asserts O(new rows) append cost and
+# bit-identical top-k (DESIGN.md §15).
+muve_add_bench(scale_ingest muve_sql)
 
 add_executable(micro_engine bench/micro_engine.cpp)
 target_link_libraries(micro_engine muve_bench_harness benchmark::benchmark)

@@ -28,6 +28,9 @@ void ExecStats::Merge(const ExecStats& other) {
   fused_builds += other.fused_builds;
   morsels_dispatched += other.morsels_dispatched;
   fused_coalesced += other.fused_coalesced;
+  chunks_skipped += other.chunks_skipped;
+  delta_merges += other.delta_merges;
+  ingest_rows += other.ingest_rows;
   predicate_rows_filtered += other.predicate_rows_filtered;
   setup_time_ms += other.setup_time_ms;
   queue_ms += other.queue_ms;
@@ -69,6 +72,14 @@ std::string ExecStats::ToString() const {
       << " morsels=" << morsels_dispatched
       << " workers=" << num_workers;
   if (fused_coalesced > 0) out << " coalesced=" << fused_coalesced;
+  // Printed only when zone maps actually pruned, so single-chunk runs
+  // (every pre-chunking golden) stay byte-stable.
+  if (chunks_skipped > 0) out << " chunks_skipped=" << chunks_skipped;
+  // Printed only for append-patched runs so cold output stays unchanged.
+  if (delta_merges > 0 || ingest_rows > 0) {
+    out << " delta_merges=" << delta_merges
+        << " ingest_rows=" << ingest_rows;
+  }
   if (!simd_dispatch.empty()) out << " simd=" << simd_dispatch;
   if (predicate_rows_filtered > 0 || setup_time_ms > 0.0) {
     out << " filtered=" << predicate_rows_filtered

@@ -78,6 +78,21 @@ struct ExecStats {
   // (SearchOptions::fused_coalescing).  0 on a run that shares nothing.
   int64_t fused_coalesced = 0;
 
+  // Chunked-storage accounting: column chunks the predicate layer never
+  // scanned because their zone maps (min/max/null-count, or a string
+  // chunk's dictionary) decided the chunk wholesale.  0 when every chunk
+  // had to be scanned (and on single-chunk tables whose zone map cannot
+  // exclude anything).
+  int64_t chunks_skipped = 0;
+
+  // Incremental-ingest accounting (set by serving frontends that patch
+  // cached base histograms after an append): cached (A, M) entries
+  // updated by delta merge instead of rebuilt, and appended rows those
+  // delta passes traversed.  Both stay 0 for library callers and on
+  // cold builds.
+  int64_t delta_merges = 0;
+  int64_t ingest_rows = 0;
+
   // Setup accounting (outside the paper's C: one-off costs before any
   // probe runs).  Rows eliminated by the WHERE predicate selecting D_Q,
   // and wall-clock spent on dataset load + predicate filtering.

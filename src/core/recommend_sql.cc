@@ -85,6 +85,7 @@ common::Result<Recommendation> ExecuteRecommend(sql::RecommendStatement& stmt,
       storage::Filter(*table, stmt.where.get(), nullptr, &filter_stats));
   dataset.predicate_rows_filtered =
       filter_stats.rows_in - filter_stats.rows_out;
+  dataset.chunks_skipped = filter_stats.chunks_skipped;
   dataset.setup_time_ms = filter_timer.ElapsedMillis();
   dataset.all_rows = storage::AllRows(table->num_rows());
   if (dataset.target_rows.empty()) {

@@ -575,6 +575,7 @@ common::Result<Recommendation> Recommender::Recommend(
   // predicate filtering).  Reported, not added to TotalCostMillis(): the
   // paper's C covers only the four per-probe components.
   rec.stats.predicate_rows_filtered = dataset_.predicate_rows_filtered;
+  rec.stats.chunks_skipped = dataset_.chunks_skipped;
   rec.stats.setup_time_ms = dataset_.setup_time_ms;
   return rec;
 }

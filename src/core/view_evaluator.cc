@@ -101,6 +101,8 @@ ViewEvaluator::MissingPairs(const std::string* dimension,
                             bool target_side) const {
   std::vector<storage::BaseHistogramCache::FusedPairRequest> pairs;
   if (base_cache_ == nullptr) return pairs;
+  const int64_t expected_rows = static_cast<int64_t>(
+      (target_side ? target_rows_ : all_rows_).size());
   std::unordered_set<std::string> seen;
   for (const View& view : space_.views()) {
     if (dimension != nullptr && view.dimension != *dimension) continue;
@@ -108,7 +110,7 @@ ViewEvaluator::MissingPairs(const std::string* dimension,
     std::string key = (target_side ? "t|" : "c|") + view.dimension + "|" +
                       view.measure;
     if (!seen.insert(key).second) continue;  // one request per (A, M)
-    if (base_cache_->Contains(key)) continue;
+    if (base_cache_->Contains(key, expected_rows)) continue;
     pairs.push_back({std::move(key), view.dimension, view.measure});
   }
   return pairs;
@@ -187,7 +189,8 @@ std::shared_ptr<const storage::BaseHistogram> ViewEvaluator::BaseFor(
   const std::string key = (target_side ? "t|" : "c|") + view.dimension +
                           "|" + view.measure;
   const storage::RowSet& rows = target_side ? target_rows_ : all_rows_;
-  const bool missing = !base_cache_->Contains(key);
+  const bool missing =
+      !base_cache_->Contains(key, static_cast<int64_t>(rows.size()));
   if (missing) {
     // Cache miss: one fused traversal builds every still-missing measure
     // of this (dimension, side) — the remaining misses of the batch turn
@@ -211,7 +214,7 @@ std::shared_ptr<const storage::BaseHistogram> ViewEvaluator::BaseFor(
                                            view.dimension, view.measure,
                                            &fused_scratch_);
       },
-      &built);
+      &built, static_cast<int64_t>(rows.size()));
   if (!result.ok()) {
     // Even the direct single-pair build failed (injected fault or real
     // I/O error).  BaseFor's callers return values, not Results, so the

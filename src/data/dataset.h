@@ -45,6 +45,9 @@ struct Dataset {
   // into every Recommendation's ExecStats (predicate_rows_filtered /
   // setup_time_ms) so end-to-end runs report one-off costs explicitly.
   int64_t predicate_rows_filtered = 0;
+  // Column chunks the setup predicate never scanned because their zone
+  // maps decided them wholesale (0 on single-chunk tables).
+  int64_t chunks_skipped = 0;
   double setup_time_ms = 0.0;
 };
 

@@ -111,6 +111,7 @@ Dataset MakeDiabDataset(uint64_t seed) {
   out.target_rows = std::move(rows).value();
   out.all_rows = storage::AllRows(table->num_rows());
   out.predicate_rows_filtered = filter_stats.rows_in - filter_stats.rows_out;
+  out.chunks_skipped = filter_stats.chunks_skipped;
   out.setup_time_ms = setup_timer.ElapsedMillis();
   return out;
 }

@@ -1,0 +1,92 @@
+// The scale workload: a deterministic synthetic table that can be
+// generated at any size (10^6 .. 10^8 rows) for ingest and chunk-skip
+// benchmarking.
+//
+// Unlike the diab/nba generators (sequential RNG state), every row here
+// is a pure function of (seed, row index): generating rows [0, N) in
+// one shot is bit-identical to generating [0, k) and later appending
+// [k, N).  That is the property the append-vs-reload differential tests
+// and the ingest benchmark rest on.
+//
+// Columns (all integer-valued, so base-histogram delta merges are
+// bit-exact — integer sums stay below 2^53 at these scales):
+//   day     int64, CLUSTERED: row / rows_per_day.  Monotone with the
+//           row index, so per-chunk zone maps can skip whole chunks for
+//           day-range predicates — the selective-predicate story.
+//   region  string in {"north","south","east","west"} (dictionary).
+//   x, y    int64 dimensions (0..120 / 0..48), day-drifting means.
+//   m1, m2  int64 measures (0..~2000), correlated with x / y.
+//
+// The bundled workload recommends over dims {x, y}, measures {m1, m2},
+// with predicate "day >= <last quarter>" — selective AND clustered.
+
+#ifndef MUVE_DATA_SCALE_H_
+#define MUVE_DATA_SCALE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "data/dataset.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace muve::data {
+
+inline constexpr uint64_t kScaleDefaultSeed = 0x5CA1EULL;
+
+struct ScaleSpec {
+  size_t rows = 1'000'000;
+  uint64_t seed = kScaleDefaultSeed;
+  // Rows per `day` value; 0 derives rows/64 (>= 1) so every size has
+  // ~64 days and the default predicate keeps ~25% of rows.
+  size_t rows_per_day = 0;
+};
+
+// One generated row (plain ints; the string column is an index into
+// kScaleRegions so streaming writers need not allocate).
+struct ScaleRow {
+  int64_t day;
+  uint32_t region;  // index into kScaleRegions
+  int64_t x;
+  int64_t y;
+  int64_t m1;
+  int64_t m2;
+};
+
+inline constexpr const char* kScaleRegions[4] = {"north", "south", "east",
+                                                "west"};
+
+// The row at `index` under `spec` — pure, position-independent.
+ScaleRow ScaleRowAt(const ScaleSpec& spec, size_t index);
+
+storage::Schema ScaleSchema();
+
+// Materializes rows [begin, end) as a table (chunked storage; pass a
+// small `chunk_rows` in tests to exercise multi-chunk behavior at toy
+// sizes).
+std::shared_ptr<storage::Table> MakeScaleTable(
+    const ScaleSpec& spec, size_t begin, size_t end,
+    size_t chunk_rows = storage::kDefaultChunkRows);
+
+// The SQL predicate text the bundled workload uses ("day >= D", with D
+// at the final quarter of the day domain).
+std::string ScalePredicateSql(const ScaleSpec& spec);
+
+// Full exploration workload over rows [0, spec.rows): dims {x, y},
+// measures {m1, m2}, SUM/AVG, predicate ScalePredicateSql.
+Dataset MakeScaleDataset(const ScaleSpec& spec,
+                         size_t chunk_rows = storage::kDefaultChunkRows);
+
+// Streams rows [begin, end) as CSV to `out` in O(1) memory (plus the
+// header when `begin == 0`).  Output is byte-identical to
+// WriteCsvString(MakeScaleTable(spec, begin, end)) minus the header
+// when begin > 0, so chunked emission concatenates cleanly.
+void WriteScaleCsv(std::ostream& out, const ScaleSpec& spec, size_t begin,
+                   size_t end);
+
+}  // namespace muve::data
+
+#endif  // MUVE_DATA_SCALE_H_

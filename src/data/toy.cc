@@ -51,6 +51,7 @@ Dataset MakeToyDataset() {
   ds.target_rows = std::move(rows).value();
   ds.all_rows = storage::AllRows(table->num_rows());
   ds.predicate_rows_filtered = filter_stats.rows_in - filter_stats.rows_out;
+  ds.chunks_skipped = filter_stats.chunks_skipped;
   ds.setup_time_ms = setup_timer.ElapsedMillis();
   return ds;
 }

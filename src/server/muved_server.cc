@@ -2,8 +2,11 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <netinet/in.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -17,6 +20,7 @@
 
 #include "common/exec_context.h"
 #include "common/failpoint.h"
+#include "common/logging.h"
 #include "common/simd/simd.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
@@ -26,6 +30,8 @@
 #include "data/toy.h"
 #include "server/protocol.h"
 #include "sql/parser.h"
+#include "storage/csv.h"
+#include "storage/ingest.h"
 #include "storage/predicate.h"
 
 namespace muve::server {
@@ -210,6 +216,7 @@ JsonValue SerializeStats(const core::ExecStats& stats) {
   s.Set("base_cache_hits", JsonValue::Int(stats.base_cache_hits));
   s.Set("fused_builds", JsonValue::Int(stats.fused_builds));
   s.Set("fused_coalesced", JsonValue::Int(stats.fused_coalesced));
+  s.Set("chunks_skipped", JsonValue::Int(stats.chunks_skipped));
   s.Set("candidates_considered", JsonValue::Int(stats.candidates_considered));
   s.Set("fully_probed", JsonValue::Int(stats.fully_probed));
   s.Set("views_searched", JsonValue::Int(stats.views_searched));
@@ -252,6 +259,42 @@ std::string ResultCacheKey(const std::string& entry_key,
   return key;
 }
 
+// Required array-of-nonempty-strings field (create's dims/measures).
+Status GetStringArray(const JsonValue& request, std::string_view name,
+                      std::vector<std::string>* out) {
+  const JsonValue* field = request.Find(name);
+  if (field == nullptr || !field->is_array() || field->array().empty()) {
+    return Status::InvalidArgument(std::string(name) +
+                                   ": expected a non-empty string array");
+  }
+  out->clear();
+  for (const JsonValue& item : field->array()) {
+    if (!item.is_string() || item.string_value().empty()) {
+      return Status::InvalidArgument(std::string(name) +
+                                     ": expected a non-empty string array");
+    }
+    out->push_back(item.string_value());
+  }
+  return Status::OK();
+}
+
+// Peak resident set size of this process, in bytes.  VmHWM from
+// /proc/self/status where available (Linux), getrusage otherwise.
+int64_t PeakRssBytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.compare(0, 6, "VmHWM:") == 0) {
+      return std::atoll(line.c_str() + 6) * 1024;
+    }
+  }
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    return static_cast<int64_t>(usage.ru_maxrss) * 1024;
+  }
+  return 0;
+}
+
 }  // namespace
 
 // Per-session protocol state: the session *is* the connection.
@@ -283,7 +326,36 @@ struct MuvedServer::Connection {
 };
 
 MuvedServer::MuvedServer(ServerOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  // The built-ins enter the catalog like any created table, carrying
+  // their paper workloads as specs.  Table::Clone shares chunks, so the
+  // registrations cost O(columns), not O(rows).
+  const std::pair<const char*, data::Dataset> builtins[] = {
+      {"toy", data::MakeToyDataset()},
+      {"nba", data::MakeNbaDataset()},
+      {"diab", data::MakeDiabDataset()},
+  };
+  for (const auto& [name, ds] : builtins) {
+    WorkloadSpec spec;
+    spec.dimensions = ds.dimensions;
+    spec.measures = ds.measures;
+    spec.functions = ds.functions;
+    spec.categorical_dimensions = ds.categorical_dimensions;
+    spec.default_predicate = ds.query_predicate_sql;
+    const Status st =
+        RegisterDataset(name, ds.table->Clone(), std::move(spec));
+    MUVE_CHECK(st.ok()) << st.ToString();
+  }
+}
+
+Status MuvedServer::RegisterDataset(const std::string& name,
+                                    storage::Table table,
+                                    WorkloadSpec spec) {
+  MUVE_RETURN_IF_ERROR(catalog_.Create(name, std::move(table)));
+  std::lock_guard<std::mutex> lock(specs_mu_);
+  specs_[name] = std::move(spec);
+  return Status::OK();
+}
 
 MuvedServer::~MuvedServer() { Stop(); }
 
@@ -533,6 +605,9 @@ JsonValue MuvedServer::Dispatch(const JsonValue& request, Session* session,
   if (name == "health") return HandleHealth(request);
   if (name == "stats") return HandleStats(request);
   if (name == "invalidate") return HandleInvalidate(request);
+  if (name == "create") return HandleCreate(request);
+  if (name == "append") return HandleAppend(request);
+  if (name == "drop") return HandleDrop(request);
   if (name == "shutdown") {
     if (!options_.allow_shutdown_op) {
       return ErrorResponse(
@@ -865,16 +940,20 @@ JsonValue MuvedServer::HandleShutdown(Session* session) {
 
 Result<MuvedServer::RegistryEntry> MuvedServer::GetRecommender(
     const std::string& dataset, const std::string& predicate) {
-  // Validate the dataset name before anything predicate-shaped, so the
-  // first diagnostic matches what a predicate-free request would get.
-  if (dataset != "diab" && dataset != "nba" && dataset != "toy") {
-    return Status::InvalidArgument("dataset: unknown \"" + dataset +
-                                   "\" (expected diab|nba|toy)");
+  // Resolve the table FIRST, so the diagnostic for an unknown name
+  // matches what a predicate-free request would get.
+  MUVE_ASSIGN_OR_RETURN(const storage::Catalog::Snapshot snap,
+                        catalog_.Get(dataset));
+  WorkloadSpec spec;
+  {
+    std::lock_guard<std::mutex> lock(specs_mu_);
+    spec = specs_.at(dataset);  // Create/Drop keep specs_ in step
   }
-  // Canonicalize the predicate FIRST: registry, selection cache and
-  // result cache all key on the canonical form under the dataset's
-  // current epoch, so operand-permuted spellings of one WHERE clause
-  // share a recommender and its caches.
+  // Canonicalize the predicate: registry, selection cache and result
+  // cache all key on the canonical form under the table's current
+  // data_epoch, so operand-permuted spellings of one WHERE clause share
+  // a recommender and its caches.  "" (the table's default workload)
+  // keys as the empty canonical.
   std::string canonical;
   sql::SelectStatement stmt;
   if (!predicate.empty()) {
@@ -883,7 +962,7 @@ Result<MuvedServer::RegistryEntry> MuvedServer::GetRecommender(
     canonical = storage::CanonicalPredicateKey(*stmt.where);
   }
   const std::string key = dataset + '\x01' +
-                          std::to_string(EpochOf(dataset)) + '\x01' +
+                          std::to_string(snap.data_epoch) + '\x01' +
                           canonical;
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
@@ -891,28 +970,46 @@ Result<MuvedServer::RegistryEntry> MuvedServer::GetRecommender(
       if (entry.key == key) return entry;
     }
   }
-  // Build outside the registry lock: a cold NBA build must not block a
+  // Build outside the registry lock: a cold build must not block a
   // concurrent session's cache hit on another dataset.  Two sessions
   // racing the same cold key both build; first insert wins and the loser
   // adopts it.
-  data::Dataset base;
-  if (dataset == "diab") {
-    base = data::MakeDiabDataset();
-  } else if (dataset == "nba") {
-    base = data::MakeNbaDataset();
-  } else {
-    base = data::MakeToyDataset();
+  const std::string effective_predicate =
+      predicate.empty() ? spec.default_predicate : predicate;
+  if (effective_predicate.empty()) {
+    return Status::InvalidArgument(
+        "table '" + dataset +
+        "' has no default predicate; pass \"predicate\"");
   }
-  if (!predicate.empty() && predicate != base.query_predicate_sql) {
-    const int64_t rows_total =
-        static_cast<int64_t>(base.table->num_rows());
+  data::Dataset base;
+  base.name = dataset;
+  base.table = snap.table;
+  base.dimensions = spec.dimensions;
+  base.measures = spec.measures;
+  base.functions = spec.functions;
+  base.categorical_dimensions = spec.categorical_dimensions;
+  base.query_predicate_sql = effective_predicate;
+  sql::SelectStatement bound;
+  if (predicate.empty()) {
+    MUVE_ASSIGN_OR_RETURN(bound, sql::ParseSelect("SELECT * FROM t WHERE " +
+                                                  effective_predicate));
+  } else {
+    bound = std::move(stmt);
+  }
+  const int64_t rows_total = static_cast<int64_t>(base.table->num_rows());
+  {
+    common::Stopwatch setup_timer;
     std::shared_ptr<const storage::RowSet> cached;
     if (options_.enable_selection_cache) cached = selection_cache_.Get(key);
     if (cached != nullptr) {
       base.target_rows = *cached;
     } else {
-      MUVE_ASSIGN_OR_RETURN(base.target_rows,
-                            storage::Filter(*base.table, stmt.where.get()));
+      storage::FilterStats filter_stats;
+      MUVE_ASSIGN_OR_RETURN(
+          base.target_rows,
+          storage::Filter(*base.table, bound.where.get(), nullptr,
+                          &filter_stats));
+      base.chunks_skipped = filter_stats.chunks_skipped;
       if (options_.enable_selection_cache && !base.target_rows.empty()) {
         selection_cache_.Put(key, std::make_shared<const storage::RowSet>(
                                       base.target_rows));
@@ -920,13 +1017,14 @@ Result<MuvedServer::RegistryEntry> MuvedServer::GetRecommender(
     }
     if (base.target_rows.empty()) {
       return Status::InvalidArgument("predicate selects no rows: " +
-                                     predicate);
+                                     effective_predicate);
     }
-    base.query_predicate_sql = predicate;
+    base.all_rows = storage::AllRows(base.table->num_rows());
     base.predicate_rows_filtered =
         rows_total - static_cast<int64_t>(base.target_rows.size());
-    base.name += " WHERE " + predicate;
+    base.setup_time_ms = setup_timer.ElapsedMillis();
   }
+  if (!predicate.empty()) base.name += " WHERE " + predicate;
   MUVE_ASSIGN_OR_RETURN(core::Recommender built,
                         core::Recommender::Create(std::move(base)));
   RegistryEntry entry;
@@ -934,7 +1032,12 @@ Result<MuvedServer::RegistryEntry> MuvedServer::GetRecommender(
   entry.dataset = dataset;
   entry.recommender =
       std::make_shared<const core::Recommender>(std::move(built));
-  entry.base_cache = std::make_shared<storage::BaseHistogramCache>();
+  // The base cache is keyed under base_epoch, NOT data_epoch: appends
+  // bump data_epoch (new registry entry, new selection/result keys) but
+  // preserve base_epoch, so the rebuilt entry adopts the same store —
+  // whose histograms the append path has already delta-patched.
+  entry.base_cache = GetOrCreateBaseCache(dataset, snap.base_epoch,
+                                          canonical, effective_predicate);
   std::lock_guard<std::mutex> lock(registry_mu_);
   for (const RegistryEntry& existing : registry_) {
     if (existing.key == key) return existing;  // lost the race; adopt
@@ -946,10 +1049,21 @@ Result<MuvedServer::RegistryEntry> MuvedServer::GetRecommender(
   return entry;
 }
 
-int64_t MuvedServer::EpochOf(const std::string& dataset) {
-  std::lock_guard<std::mutex> lock(epochs_mu_);
-  auto it = epochs_.find(dataset);
-  return it == epochs_.end() ? 0 : it->second;
+std::shared_ptr<storage::BaseHistogramCache> MuvedServer::GetOrCreateBaseCache(
+    const std::string& dataset, uint64_t base_epoch,
+    const std::string& canonical, const std::string& predicate_sql) {
+  const std::string key =
+      dataset + '\x01' + std::to_string(base_epoch) + '\x01' + canonical;
+  std::lock_guard<std::mutex> lock(base_caches_mu_);
+  auto it = base_caches_.find(key);
+  if (it != base_caches_.end()) return it->second.cache;
+  SharedBaseCache shared;
+  shared.cache = std::make_shared<storage::BaseHistogramCache>();
+  shared.dataset = dataset;
+  shared.predicate_sql = predicate_sql;
+  auto cache = shared.cache;
+  base_caches_.emplace(key, std::move(shared));
+  return cache;
 }
 
 bool MuvedServer::LookupResult(const std::string& key, JsonValue* response) {
@@ -1044,6 +1158,15 @@ JsonValue MuvedServer::HandleStats(const JsonValue& request) {
     conns.Set("frame_timeouts", JsonValue::Int(counters_.frame_timeouts));
     conns.Set("write_timeouts", JsonValue::Int(counters_.write_timeouts));
     response.Set("connections", std::move(conns));
+    JsonValue ingest = JsonValue::Object();
+    ingest.Set("tables_created", JsonValue::Int(counters_.tables_created));
+    ingest.Set("tables_dropped", JsonValue::Int(counters_.tables_dropped));
+    ingest.Set("appends", JsonValue::Int(counters_.appends_executed));
+    ingest.Set("rows_ingested", JsonValue::Int(counters_.rows_ingested));
+    ingest.Set("delta_merges", JsonValue::Int(counters_.delta_merges));
+    ingest.Set("chunks_skipped",
+               JsonValue::Int(counters_.ingest_chunks_skipped));
+    response.Set("ingest", std::move(ingest));
   }
   {
     std::lock_guard<std::mutex> lock(gate_mu_);
@@ -1095,32 +1218,36 @@ JsonValue MuvedServer::HandleStats(const JsonValue& request) {
     response.Set("result_cache_entries",
                  JsonValue::Int(static_cast<int64_t>(results_.size())));
   }
+  {
+    // Per-table residency: rows, epochs, and an estimate of the chunk
+    // storage each table pins (Table::ApproxBytes over its snapshot),
+    // plus the process's peak RSS for the operator's capacity picture.
+    JsonValue tables = JsonValue::Object();
+    int64_t resident_total = 0;
+    for (const std::string& name : catalog_.List()) {
+      auto snap = catalog_.Get(name);
+      if (!snap.ok()) continue;  // racing drop
+      const int64_t bytes =
+          static_cast<int64_t>(snap->table->ApproxBytes());
+      resident_total += bytes;
+      JsonValue t = JsonValue::Object();
+      t.Set("rows", JsonValue::Int(
+                        static_cast<int64_t>(snap->table->num_rows())));
+      t.Set("data_epoch",
+            JsonValue::Int(static_cast<int64_t>(snap->data_epoch)));
+      t.Set("resident_bytes", JsonValue::Int(bytes));
+      tables.Set(name, std::move(t));
+    }
+    response.Set("tables", std::move(tables));
+    JsonValue memory = JsonValue::Object();
+    memory.Set("peak_rss_bytes", JsonValue::Int(PeakRssBytes()));
+    memory.Set("tables_resident_bytes", JsonValue::Int(resident_total));
+    response.Set("memory", std::move(memory));
+  }
   return response;
 }
 
-JsonValue MuvedServer::HandleInvalidate(const JsonValue& request) {
-  if (Status st = CheckAllowedFields(request, {"op", "dataset"}); !st.ok()) {
-    return ErrorResponse(st);
-  }
-  std::string dataset;
-  if (Status st = GetString(request, "dataset", &dataset); !st.ok()) {
-    return ErrorResponse(st);
-  }
-  if (dataset != "diab" && dataset != "nba" && dataset != "toy") {
-    return ErrorResponse(
-        Status::InvalidArgument("dataset: unknown \"" + dataset +
-                                "\" (expected diab|nba|toy)"));
-  }
-  // Bump the epoch FIRST: from here on, no new request can key into the
-  // old generation.  Then drop what is resident — in-flight requests
-  // holding old shared_ptrs finish safely on the old snapshot; their
-  // results are stored (if at all) under the old epoch's key, which is
-  // now unreachable and ages out of the LRU.
-  int64_t epoch;
-  {
-    std::lock_guard<std::mutex> lock(epochs_mu_);
-    epoch = ++epochs_[dataset];
-  }
+void MuvedServer::PurgeDataset(const std::string& dataset, bool keep_bases) {
   const std::string prefix = dataset + '\x01';
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
@@ -1143,9 +1270,268 @@ JsonValue MuvedServer::HandleInvalidate(const JsonValue& request) {
       }
     }
   }
+  if (!keep_bases) {
+    std::lock_guard<std::mutex> lock(base_caches_mu_);
+    for (auto it = base_caches_.begin(); it != base_caches_.end();) {
+      if (it->second.dataset == dataset) {
+        it = base_caches_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+JsonValue MuvedServer::HandleInvalidate(const JsonValue& request) {
+  if (Status st = CheckAllowedFields(request, {"op", "dataset"}); !st.ok()) {
+    return ErrorResponse(st);
+  }
+  std::string dataset;
+  if (Status st = GetString(request, "dataset", &dataset); !st.ok()) {
+    return ErrorResponse(st);
+  }
+  // Bump the epochs FIRST: from here on, no new request can key into the
+  // old generation.  Then drop what is resident — in-flight requests
+  // holding old shared_ptrs finish safely on the old snapshot; their
+  // results are stored (if at all) under the old epochs' keys, which are
+  // now unreachable and age out of the LRU.  Unlike append, invalidate
+  // refreshes base_epoch too, so even the delta-patchable base
+  // histograms are discarded.
+  auto bumped = catalog_.Invalidate(dataset);
+  if (!bumped.ok()) return ErrorResponse(bumped.status());
+  PurgeDataset(dataset, /*keep_bases=*/false);
   JsonValue response = OkResponse("invalidate");
   response.Set("dataset", JsonValue::String(dataset));
-  response.Set("epoch", JsonValue::Int(epoch));
+  response.Set("epoch",
+               JsonValue::Int(static_cast<int64_t>(bumped->data_epoch)));
+  return response;
+}
+
+JsonValue MuvedServer::HandleCreate(const JsonValue& request) {
+  if (Status st = CheckAllowedFields(
+          request, {"op", "table", "csv", "dims", "measures", "predicate"});
+      !st.ok()) {
+    return ErrorResponse(st);
+  }
+  std::string table_name;
+  std::string csv;
+  std::string predicate;
+  if (Status st = GetString(request, "table", &table_name); !st.ok()) {
+    return ErrorResponse(st);
+  }
+  if (Status st = GetString(request, "csv", &csv); !st.ok()) {
+    return ErrorResponse(st);
+  }
+  if (Status st = GetString(request, "predicate", &predicate); !st.ok()) {
+    return ErrorResponse(st);
+  }
+  if (table_name.empty()) {
+    return ErrorResponse(Status::InvalidArgument("create: table is required"));
+  }
+  if (csv.empty()) {
+    return ErrorResponse(Status::InvalidArgument("create: csv is required"));
+  }
+  WorkloadSpec spec;
+  if (Status st = GetStringArray(request, "dims", &spec.dimensions);
+      !st.ok()) {
+    return ErrorResponse(st);
+  }
+  if (Status st = GetStringArray(request, "measures", &spec.measures);
+      !st.ok()) {
+    return ErrorResponse(st);
+  }
+  spec.functions = {storage::AggregateFunction::kSum,
+                    storage::AggregateFunction::kAvg};
+  spec.default_predicate = predicate;
+  // Validate the default predicate's syntax now, at create time — a
+  // typo must not surface only on the first recommend.
+  if (!predicate.empty()) {
+    auto parsed = sql::ParseSelect("SELECT * FROM t WHERE " + predicate);
+    if (!parsed.ok()) return ErrorResponse(parsed.status());
+  }
+  auto parsed_table = storage::ReadCsvString(csv);
+  if (!parsed_table.ok()) return ErrorResponse(parsed_table.status());
+  // Dimensions and measures must name numeric columns: views bin
+  // dimensions and aggregate measure moments.
+  for (const std::string& dim : spec.dimensions) {
+    auto col = parsed_table->ColumnByName(dim);
+    if (!col.ok()) return ErrorResponse(col.status());
+    if ((*col)->type() == storage::ValueType::kString) {
+      return ErrorResponse(Status::InvalidArgument(
+          "dims: column '" + dim + "' is a string column"));
+    }
+  }
+  for (const std::string& mea : spec.measures) {
+    auto col = parsed_table->ColumnByName(mea);
+    if (!col.ok()) return ErrorResponse(col.status());
+    if ((*col)->type() == storage::ValueType::kString) {
+      return ErrorResponse(Status::InvalidArgument(
+          "measures: column '" + mea + "' is a string column"));
+    }
+  }
+  const int64_t rows = static_cast<int64_t>(parsed_table->num_rows());
+  const int64_t cols = static_cast<int64_t>(parsed_table->num_columns());
+  if (Status st = RegisterDataset(table_name, std::move(*parsed_table),
+                                  std::move(spec));
+      !st.ok()) {
+    return ErrorResponse(st);
+  }
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.tables_created;
+  }
+  JsonValue response = OkResponse("create");
+  response.Set("table", JsonValue::String(table_name));
+  response.Set("rows", JsonValue::Int(rows));
+  response.Set("columns", JsonValue::Int(cols));
+  response.Set("data_epoch", JsonValue::Int(1));
+  return response;
+}
+
+JsonValue MuvedServer::HandleAppend(const JsonValue& request) {
+  if (Status st = CheckAllowedFields(request, {"op", "table", "csv"});
+      !st.ok()) {
+    return ErrorResponse(st);
+  }
+  std::string table_name;
+  std::string csv;
+  if (Status st = GetString(request, "table", &table_name); !st.ok()) {
+    return ErrorResponse(st);
+  }
+  if (Status st = GetString(request, "csv", &csv); !st.ok()) {
+    return ErrorResponse(st);
+  }
+  if (table_name.empty()) {
+    return ErrorResponse(Status::InvalidArgument("append: table is required"));
+  }
+  if (csv.empty()) {
+    return ErrorResponse(Status::InvalidArgument("append: csv is required"));
+  }
+  // One append at a time server-wide: the catalog publish and the
+  // delta-patch below form one unit, so patches land in publish order
+  // and the rebuild-vs-delta association stays deterministic.
+  std::lock_guard<std::mutex> ingest_lock(ingest_mu_);
+  auto snap = catalog_.Get(table_name);
+  if (!snap.ok()) return ErrorResponse(snap.status());
+  // The appended rows must arrive under the table's own schema — header
+  // names and cell types are enforced, not re-inferred.
+  storage::CsvOptions csv_options;
+  csv_options.schema = snap->table->schema();
+  auto rows = storage::ReadCsvString(csv, csv_options);
+  if (!rows.ok()) return ErrorResponse(rows.status());
+  if (rows->num_rows() == 0) {
+    return ErrorResponse(Status::InvalidArgument("append: csv has no rows"));
+  }
+  auto result = catalog_.Append(table_name, *rows);
+  if (!result.ok()) return ErrorResponse(result.status());
+  // data_epoch-keyed state (registry snapshots, selection vectors,
+  // cached results) is stale; base caches stay — they are about to be
+  // patched in place under the preserved base_epoch.
+  PurgeDataset(table_name, /*keep_bases=*/true);
+
+  WorkloadSpec spec;
+  {
+    std::lock_guard<std::mutex> lock(specs_mu_);
+    auto it = specs_.find(table_name);
+    // A racing drop between the append and here leaves nothing to
+    // patch; the appended version is orphaned along with the table.
+    if (it == specs_.end()) {
+      JsonValue response = OkResponse("append");
+      response.Set("table", JsonValue::String(table_name));
+      response.Set("rows_appended", JsonValue::Int(static_cast<int64_t>(
+                                        result->rows_appended)));
+      return response;
+    }
+    spec = it->second;
+  }
+  std::vector<std::pair<std::string, SharedBaseCache>> targets;
+  {
+    std::lock_guard<std::mutex> lock(base_caches_mu_);
+    for (const auto& [key, shared] : base_caches_) {
+      if (shared.dataset == table_name) targets.emplace_back(key, shared);
+    }
+  }
+  storage::IngestDeltaStats ingest_stats;
+  std::vector<std::string> failed;
+  for (const auto& [key, shared] : targets) {
+    sql::SelectStatement stmt;
+    storage::IngestDeltaRequest delta;
+    delta.table = result->snapshot.table.get();
+    delta.rows_before = result->rows_before;
+    delta.rows_appended = result->rows_appended;
+    delta.dimensions = spec.dimensions;
+    delta.measures = spec.measures;
+    if (!shared.predicate_sql.empty()) {
+      auto parsed =
+          sql::ParseSelect("SELECT * FROM t WHERE " + shared.predicate_sql);
+      if (!parsed.ok() ||
+          !parsed->where->Bind(result->snapshot.table->schema()).ok()) {
+        failed.push_back(key);
+        continue;
+      }
+      stmt = std::move(*parsed);
+      delta.target_predicate = stmt.where.get();
+    }
+    delta.cache = shared.cache.get();
+    if (!storage::ApplyAppendDeltas(delta, &ingest_stats).ok()) {
+      // The cache may now mix patched and unpatched entries; drop it
+      // wholesale — the next recommend rebuilds cold and correct.
+      failed.push_back(key);
+    }
+  }
+  if (!failed.empty()) {
+    std::lock_guard<std::mutex> lock(base_caches_mu_);
+    for (const std::string& key : failed) base_caches_.erase(key);
+  }
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.appends_executed;
+    counters_.rows_ingested +=
+        static_cast<int64_t>(result->rows_appended);
+    counters_.delta_merges += ingest_stats.delta_merges;
+    counters_.ingest_chunks_skipped += ingest_stats.chunks_skipped;
+  }
+  JsonValue response = OkResponse("append");
+  response.Set("table", JsonValue::String(table_name));
+  response.Set("rows_appended", JsonValue::Int(static_cast<int64_t>(
+                                    result->rows_appended)));
+  response.Set("rows_total",
+               JsonValue::Int(static_cast<int64_t>(
+                   result->snapshot.table->num_rows())));
+  response.Set("data_epoch", JsonValue::Int(static_cast<int64_t>(
+                                 result->snapshot.data_epoch)));
+  response.Set("delta_merges", JsonValue::Int(ingest_stats.delta_merges));
+  response.Set("ingest_rows", JsonValue::Int(ingest_stats.rows_scanned));
+  response.Set("chunks_skipped",
+               JsonValue::Int(ingest_stats.chunks_skipped));
+  return response;
+}
+
+JsonValue MuvedServer::HandleDrop(const JsonValue& request) {
+  if (Status st = CheckAllowedFields(request, {"op", "table"}); !st.ok()) {
+    return ErrorResponse(st);
+  }
+  std::string table_name;
+  if (Status st = GetString(request, "table", &table_name); !st.ok()) {
+    return ErrorResponse(st);
+  }
+  if (table_name.empty()) {
+    return ErrorResponse(Status::InvalidArgument("drop: table is required"));
+  }
+  if (Status st = catalog_.Drop(table_name); !st.ok()) {
+    return ErrorResponse(st);
+  }
+  {
+    std::lock_guard<std::mutex> lock(specs_mu_);
+    specs_.erase(table_name);
+  }
+  PurgeDataset(table_name, /*keep_bases=*/false);
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.tables_dropped;
+  }
+  JsonValue response = OkResponse("drop");
+  response.Set("table", JsonValue::String(table_name));
   return response;
 }
 

@@ -57,7 +57,9 @@
 #include "common/status.h"
 #include "core/recommender.h"
 #include "server/json.h"
+#include "storage/aggregate.h"
 #include "storage/base_histogram_cache.h"
+#include "storage/catalog.h"
 #include "storage/selection_cache.h"
 
 namespace muve::server {
@@ -212,6 +214,17 @@ class MuvedServer {
     int64_t idle_timeouts = 0;       // sessions dropped for silence
     int64_t frame_timeouts = 0;      // sessions dropped mid-frame (slowloris)
     int64_t write_timeouts = 0;      // responses abandoned (peer not reading)
+
+    // Catalog / incremental-ingest accounting.
+    int64_t tables_created = 0;   // `create` ops that succeeded
+    int64_t tables_dropped = 0;   // `drop` ops that succeeded
+    int64_t appends_executed = 0;  // `append` ops that succeeded
+    int64_t rows_ingested = 0;     // rows those appends added
+    // Cached base histograms patched by delta merge instead of rebuilt,
+    // and zone-map chunk skips while filtering appended rows through
+    // resident target predicates.
+    int64_t delta_merges = 0;
+    int64_t ingest_chunks_skipped = 0;
   };
   Counters counters() const;
 
@@ -243,18 +256,50 @@ class MuvedServer {
   JsonValue HandleHealth(const JsonValue& request);
   JsonValue HandleStats(const JsonValue& request);
   JsonValue HandleInvalidate(const JsonValue& request);
+  JsonValue HandleCreate(const JsonValue& request);
+  JsonValue HandleAppend(const JsonValue& request);
+  JsonValue HandleDrop(const JsonValue& request);
   JsonValue HandleShutdown(Session* session);
 
+  // The exploration workload attached to a catalog table: which columns
+  // are dimensions/measures, the aggregate functions in play, and the
+  // table's default analyst predicate ("" = none; recommends must then
+  // pass one).  Built-ins carry their paper workloads; `create` derives
+  // one from the request.
+  struct WorkloadSpec {
+    std::vector<std::string> dimensions;
+    std::vector<std::string> measures;
+    std::vector<storage::AggregateFunction> functions;
+    std::vector<std::string> categorical_dimensions;
+    std::string default_predicate;
+  };
+
+  // Registers `ds` (table + workload) into the catalog; used for the
+  // built-ins (toy|nba|diab) at construction and by `create`.
+  common::Status RegisterDataset(const std::string& name,
+                                 storage::Table table, WorkloadSpec spec);
+
+  // Purges registry entries / cached results / shared base caches of
+  // `dataset`.  `keep_bases` leaves base caches resident (the append
+  // path: they are about to be delta-patched and stay valid under the
+  // preserved base_epoch).
+  void PurgeDataset(const std::string& dataset, bool keep_bases);
+
   // Registry: returns (building on first use) the shared recommender for
-  // `dataset` (diab|nba|toy) filtered by `predicate` ("" = the
-  // dataset's built-in analyst predicate).  Lookup is by CANONICAL
-  // predicate under the dataset's current epoch, so operand-permuted
-  // spellings of one WHERE clause share an entry.
+  // catalog table `dataset` filtered by `predicate` ("" = the table's
+  // default analyst predicate).  Lookup is by CANONICAL predicate under
+  // the table's current data_epoch, so operand-permuted spellings of one
+  // WHERE clause share an entry.
   common::Result<RegistryEntry> GetRecommender(const std::string& dataset,
                                                const std::string& predicate);
 
-  // Current epoch of `dataset` (0 until first bumped).
-  int64_t EpochOf(const std::string& dataset);
+  // The base-histogram store shared by every epoch-generation of one
+  // (dataset, canonical predicate): keyed under the table's base_epoch,
+  // which Catalog::Append PRESERVES — cached bases survive appends (they
+  // are delta-patched) while data_epoch-keyed state invalidates.
+  std::shared_ptr<storage::BaseHistogramCache> GetOrCreateBaseCache(
+      const std::string& dataset, uint64_t base_epoch,
+      const std::string& canonical, const std::string& predicate_sql);
 
   // Result cache (epoch-keyed canonical responses, LRU).
   bool LookupResult(const std::string& key, JsonValue* response);
@@ -334,10 +379,31 @@ class MuvedServer {
   std::mutex registry_mu_;
   std::vector<RegistryEntry> registry_;
 
-  // Per-dataset epochs; {"op":"invalidate"} bumps one, making every
-  // epoch-keyed cache entry of that dataset unreachable.
-  std::mutex epochs_mu_;
-  std::unordered_map<std::string, int64_t> epochs_;
+  // The table store: named tables with MVCC snapshots and per-table
+  // epochs (storage/catalog.h).  data_epoch bumps on append/invalidate
+  // and keys the registry + selection/result caches; base_epoch keys the
+  // base-histogram stores and survives appends.
+  storage::Catalog catalog_;
+
+  // Per-table workload specs, keyed by table name.
+  std::mutex specs_mu_;
+  std::unordered_map<std::string, WorkloadSpec> specs_;
+
+  // Shared base-histogram stores, keyed dataset \x01 base_epoch \x01
+  // canonical-predicate.  The stored predicate SQL is what the append
+  // path rebinds to filter appended rows for the target side.
+  struct SharedBaseCache {
+    std::shared_ptr<storage::BaseHistogramCache> cache;
+    std::string dataset;
+    std::string predicate_sql;  // "" = no target-side predicate
+  };
+  std::mutex base_caches_mu_;
+  std::unordered_map<std::string, SharedBaseCache> base_caches_;
+
+  // Serializes `append` ops server-wide: catalog publish + delta patch
+  // form one unit, so patches land in publish order and never interleave
+  // (recommends are unaffected — they read snapshots, never this lock).
+  std::mutex ingest_mu_;
 
   // Cross-request caches.  The selection cache is its own shard-locked
   // store; the result cache is a small mutex-guarded LRU of canonical

@@ -154,6 +154,59 @@ void BaseRawSeries(const BaseHistogram& base, AggregateFunction function,
   }
 }
 
+BaseHistogram MergeBaseHistograms(const BaseHistogram& a,
+                                  const BaseHistogram& delta) {
+  BaseHistogram out;
+  const size_t da = a.values.size();
+  const size_t db = delta.values.size();
+  out.values.reserve(da + db);
+  out.sums.reserve(da + db);
+  out.sum_sqs.reserve(da + db);
+  out.prefix_counts.reserve(da + db + 1);
+  out.prefix_sums.reserve(da + db + 1);
+  out.prefix_sum_sqs.reserve(da + db + 1);
+  out.prefix_counts.push_back(0);
+  out.prefix_sums.push_back(0.0);
+  out.prefix_sum_sqs.push_back(0.0);
+  out.source_rows = a.source_rows + delta.source_rows;
+
+  auto push = [&out](double value, int64_t count, double sum,
+                     double sum_sq) {
+    out.values.push_back(value);
+    out.sums.push_back(sum);
+    out.sum_sqs.push_back(sum_sq);
+    out.prefix_counts.push_back(out.prefix_counts.back() + count);
+    out.prefix_sums.push_back(out.prefix_sums.back() + sum);
+    out.prefix_sum_sqs.push_back(out.prefix_sum_sqs.back() + sum_sq);
+  };
+
+  // Sorted dictionary union; a shared fine bin adds old moments first,
+  // then the delta's — the "all pre-append rows precede appended rows"
+  // association a full rebuild would also use.
+  size_t i = 0;
+  size_t j = 0;
+  while (i < da && j < db) {
+    if (a.values[i] < delta.values[j]) {
+      push(a.values[i], a.CountOf(i), a.sums[i], a.sum_sqs[i]);
+      ++i;
+    } else if (delta.values[j] < a.values[i]) {
+      push(delta.values[j], delta.CountOf(j), delta.sums[j],
+           delta.sum_sqs[j]);
+      ++j;
+    } else {
+      push(a.values[i], a.CountOf(i) + delta.CountOf(j),
+           a.sums[i] + delta.sums[j], a.sum_sqs[i] + delta.sum_sqs[j]);
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < da; ++i) push(a.values[i], a.CountOf(i), a.sums[i], a.sum_sqs[i]);
+  for (; j < db; ++j) {
+    push(delta.values[j], delta.CountOf(j), delta.sums[j], delta.sum_sqs[j]);
+  }
+  return out;
+}
+
 BaseHistogramCache::BaseHistogramCache() : BaseHistogramCache(Options()) {}
 
 BaseHistogramCache::BaseHistogramCache(Options options)
@@ -216,17 +269,26 @@ void BaseHistogramCache::InsertLocked(
 
 common::Result<std::shared_ptr<const BaseHistogram>>
 BaseHistogramCache::GetOrBuild(const std::string& key, const Builder& builder,
-                               bool* built) {
+                               bool* built,
+                               int64_t expected_source_rows) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   ++shard.lookups;
   const auto it = shard.entries.find(key);
   if (it != shard.entries.end()) {
-    ++shard.hits;
-    if (built != nullptr) *built = false;
-    // Move to LRU front.
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
-    return it->second.histogram;
+    if (expected_source_rows < 0 ||
+        it->second.histogram->source_rows == expected_source_rows) {
+      ++shard.hits;
+      if (built != nullptr) *built = false;
+      // Move to LRU front.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+      return it->second.histogram;
+    }
+    // Stale: the entry covers a different row count than this caller's
+    // (append-only) row set.  Drop it and rebuild as a miss.
+    shard.bytes -= it->second.bytes;
+    shard.lru.erase(it->second.lru_it);
+    shard.entries.erase(it);
   }
   ++shard.misses;
 
@@ -242,10 +304,14 @@ BaseHistogramCache::GetOrBuild(const std::string& key, const Builder& builder,
   return histogram;
 }
 
-bool BaseHistogramCache::Contains(const std::string& key) const {
+bool BaseHistogramCache::Contains(const std::string& key,
+                                  int64_t expected_source_rows) const {
   const Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
-  return shard.entries.find(key) != shard.entries.end();
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return false;
+  return expected_source_rows < 0 ||
+         it->second.histogram->source_rows == expected_source_rows;
 }
 
 common::Status BaseHistogramCache::FusedBuild(
@@ -265,11 +331,13 @@ common::Status BaseHistogramCache::FusedBuild(
     // worst case is redundant work, never inconsistency.  `cached_now`
     // folds into the outcome only on the iteration that completes, so a
     // coalesced retry does not double-count.
+    const int64_t expected_rows =
+        static_cast<int64_t>(request.rows->size());
     std::vector<size_t> missing;
     missing.reserve(request.pairs.size());
     int64_t cached_now = 0;
     for (size_t i = 0; i < request.pairs.size(); ++i) {
-      if (Contains(request.pairs[i].key)) {
+      if (Contains(request.pairs[i].key, expected_rows)) {
         ++cached_now;
       } else {
         missing.push_back(i);
@@ -348,11 +416,19 @@ common::Status BaseHistogramCache::FusedBuild(
       const std::string& key = request.pairs[missing[j]].key;
       Shard& shard = ShardFor(key);
       std::lock_guard<std::mutex> lock(shard.mu);
-      if (shard.entries.find(key) != shard.entries.end()) {
-        // First-wins: a concurrent build landed this key already; both
-        // histograms cover identical row sets, keep the cached one.
-        ++result->already_cached;
-        continue;
+      const auto it = shard.entries.find(key);
+      if (it != shard.entries.end()) {
+        if (it->second.histogram->source_rows == expected_rows) {
+          // First-wins: a concurrent build landed this key already; both
+          // histograms cover identical row sets, keep the cached one.
+          ++result->already_cached;
+          continue;
+        }
+        // A stale entry (different row count) raced in; replace it with
+        // the histogram just built over the current row set.
+        shard.bytes -= it->second.bytes;
+        shard.lru.erase(it->second.lru_it);
+        shard.entries.erase(it);
       }
       InsertLocked(shard, key,
                    std::make_shared<const BaseHistogram>(std::move(built[j])));
@@ -360,6 +436,35 @@ common::Status BaseHistogramCache::FusedBuild(
     }
     return common::Status::OK();
   }
+}
+
+bool BaseHistogramCache::MergeDelta(const std::string& key,
+                                    const BaseHistogram& delta) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return false;
+  auto merged = std::make_shared<const BaseHistogram>(
+      MergeBaseHistograms(*it->second.histogram, delta));
+  const size_t new_bytes = merged->ApproxBytes();
+  shard.bytes -= it->second.bytes;
+  shard.bytes += new_bytes;
+  it->second.bytes = new_bytes;
+  it->second.histogram = std::move(merged);
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+  ++shard.delta_merges;
+  // A patched entry can push the shard over budget; evict from the cold
+  // end, never the entry just refreshed (it is LRU front).
+  while (shard.bytes > per_shard_budget_ && shard.entries.size() > 1) {
+    const std::string& victim_key = shard.lru.back();
+    const auto victim = shard.entries.find(victim_key);
+    MUVE_CHECK(victim != shard.entries.end());
+    shard.bytes -= victim->second.bytes;
+    shard.entries.erase(victim);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  return true;
 }
 
 void BaseHistogramCache::Clear() {
@@ -380,6 +485,7 @@ BaseHistogramCache::CacheStats BaseHistogramCache::TotalStats() const {
     total.misses += shard->misses;
     total.builds += shard->builds;
     total.evictions += shard->evictions;
+    total.delta_merges += shard->delta_merges;
     total.bytes += static_cast<int64_t>(shard->bytes);
   }
   return total;

@@ -135,6 +135,20 @@ void BaseRawSeries(const BaseHistogram& base, AggregateFunction function,
                    std::vector<double>* keys,
                    std::vector<double>* aggregates);
 
+// Merges two base histograms of the SAME (dimension, measure) pair over
+// DISJOINT row sets — the additivity that makes incremental ingest
+// O(new rows): `a` over the pre-append rows, `delta` over only the
+// appended rows.  Fine-bin dictionaries union (sorted merge); counts,
+// sums, and sums-of-squares add per shared value; prefix arrays rebuild.
+// Exactness: COUNT is bit-identical to a full rebuild.  SUM moments
+// re-associate at the merge boundary (old-total + new-total instead of
+// one row-order chain), so SUM/AVG/STD/VAR are bit-identical whenever
+// partial sums are exactly representable (integer-valued measures) and
+// within the cache's ~1e-12 relative-error contract otherwise — the
+// same contract multi-morsel fused builds already carry.
+BaseHistogram MergeBaseHistograms(const BaseHistogram& a,
+                                  const BaseHistogram& delta);
+
 // Thread-safe, size-bounded store of BaseHistograms keyed by caller
 // strings (ViewEvaluator uses "t|<dim>|<measure>" / "c|<dim>|<measure>"
 // for the target / comparison side).  One cache instance must only be
@@ -162,6 +176,8 @@ class BaseHistogramCache {
     int64_t misses = 0;
     int64_t builds = 0;
     int64_t evictions = 0;
+    // Entries patched in place by MergeDelta (incremental ingest).
+    int64_t delta_merges = 0;
     int64_t bytes = 0;  // currently retained
   };
 
@@ -178,13 +194,26 @@ class BaseHistogramCache {
   // `built`, when non-null, reports whether THIS call performed the
   // build — callers charge scan costs only then.  Builder errors are
   // propagated and nothing is cached.
+  //
+  // `expected_source_rows`, when >= 0, is a staleness guard for caches
+  // shared across table versions: an entry whose source_rows differs is
+  // dropped and rebuilt as a miss.  The row sets this cache sees are
+  // append-only (a post-append set is a superset of its pre-append
+  // version), so equal size implies equal set — the check never rejects
+  // a current entry and always rejects one a concurrent pre-append
+  // reader raced in after the append's delta patch.
   common::Result<std::shared_ptr<const BaseHistogram>> GetOrBuild(
-      const std::string& key, const Builder& builder, bool* built);
+      const std::string& key, const Builder& builder, bool* built,
+      int64_t expected_source_rows = -1);
 
   // Whether `key` currently has an entry.  Does not touch LRU order —
   // callers use it to assemble fused build batches of the still-missing
-  // pairs without perturbing eviction priority.
-  bool Contains(const std::string& key) const;
+  // pairs without perturbing eviction priority.  `expected_source_rows`
+  // >= 0 additionally requires the entry to cover exactly that many
+  // rows (the GetOrBuild staleness guard); a mismatched entry reads as
+  // absent.
+  bool Contains(const std::string& key,
+                int64_t expected_source_rows = -1) const;
 
   // One pair of a fused build request: the cache key under which the
   // histogram is stored plus the (dimension, measure) columns it covers.
@@ -236,13 +265,26 @@ class BaseHistogramCache {
   };
 
   // Executes the fused build.  Histograms are inserted first-wins: a
-  // concurrent builder of the same key keeps the existing entry (both
-  // are built from identical row sets).  Errors from the scan engine are
-  // propagated; nothing is cached on error.
+  // concurrent builder of the same key keeps the existing entry when it
+  // covers the same rows.  An entry covering a DIFFERENT row count than
+  // `request.rows` — a stale base raced in by a pre-append reader — is
+  // treated as missing and replaced (see GetOrBuild's staleness guard).
+  // Errors from the scan engine are propagated; nothing is cached on
+  // error.
   common::Status FusedBuild(const Table& table,
                             const FusedHistogramBuildRequest& request,
                             FusedBuildOutcome* outcome = nullptr,
                             FusedScanScratch* scratch = nullptr);
+
+  // Incremental ingest: replaces the entry at `key` with
+  // MergeBaseHistograms(entry, delta), where `delta` covers ONLY the
+  // newly appended rows of the same row-set definition.  Returns true
+  // when an entry existed and was patched (moved to LRU front, byte
+  // accounting updated); false when absent — the next probe then builds
+  // from the full row set, which is correct, just not incremental.
+  // Outstanding shared_ptrs to the old histogram stay valid (readers
+  // pinned to the pre-append snapshot keep consistent bases).
+  bool MergeDelta(const std::string& key, const BaseHistogram& delta);
 
   // Drops every entry (a fresh cold-cache run).  Outstanding shared_ptrs
   // stay valid.
@@ -270,6 +312,7 @@ class BaseHistogramCache {
     int64_t misses = 0;
     int64_t builds = 0;
     int64_t evictions = 0;
+    int64_t delta_merges = 0;
   };
 
   Shard& ShardFor(const std::string& key);

@@ -1,0 +1,66 @@
+#include "storage/chunk.h"
+
+#include <cmath>
+
+namespace muve::storage {
+
+void ColumnChunk::AppendString(const std::string& v) {
+  MUVE_DCHECK(type_ == ValueType::kString && !full());
+  const auto [it, inserted] =
+      dict_index_.emplace(v, static_cast<uint32_t>(dict_.size()));
+  if (inserted) dict_.push_back(v);
+  codes_.push_back(it->second);
+  valid_.PushBack(true);
+}
+
+void ColumnChunk::AppendNull() {
+  MUVE_DCHECK(!full());
+  switch (type_) {
+    case ValueType::kInt64:
+      ints_.push_back(0);
+      break;
+    case ValueType::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case ValueType::kString:
+      codes_.push_back(kNoCode);
+      break;
+    case ValueType::kNull:
+      break;
+  }
+  valid_.PushBack(false);
+  ++null_count_;
+}
+
+void ColumnChunk::ObserveNumeric(double v) {
+  if (std::isnan(v)) {
+    has_nan_ = true;
+    return;
+  }
+  if (!has_range_) {
+    min_ = max_ = v;
+    has_range_ = true;
+    return;
+  }
+  if (v < min_) min_ = v;
+  if (v > max_) max_ = v;
+}
+
+size_t ColumnChunk::ApproxBytes() const {
+  size_t bytes = sizeof(ColumnChunk);
+  bytes += ints_.capacity() * sizeof(int64_t);
+  bytes += doubles_.capacity() * sizeof(double);
+  bytes += codes_.capacity() * sizeof(uint32_t);
+  bytes += (valid_.num_words()) * sizeof(uint64_t);
+  for (const std::string& s : dict_) {
+    bytes += sizeof(std::string) + s.capacity();
+  }
+  // Dictionary index: buckets plus one node per entry (rough hash-map
+  // model; the point is order-of-magnitude memory observability).
+  bytes += dict_index_.bucket_count() * sizeof(void*);
+  bytes += dict_index_.size() * (sizeof(std::string) + 2 * sizeof(void*) +
+                                 sizeof(uint32_t));
+  return bytes;
+}
+
+}  // namespace muve::storage

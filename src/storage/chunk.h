@@ -1,0 +1,143 @@
+// Fixed-capacity column chunk: the unit of storage, sharing, and skipping.
+//
+// A Column is a sequence of ColumnChunks of one power-of-two capacity.
+// Chunks are the granularity at which
+//   * appended data becomes visible (a catalog append copies only the
+//     open tail chunk; every sealed chunk is shared by pointer between
+//     table versions — O(new rows) ingest, never a table rebuild),
+//   * scans skip work (each chunk carries a zone map: min / max over its
+//     non-NULL, non-NaN numeric cells plus a null count, letting
+//     Predicate::FilterInto discard or bulk-accept a whole chunk without
+//     touching cell bytes), and
+//   * strings deduplicate (per-chunk dictionary encoding: each distinct
+//     string stored once, rows hold dense uint32 codes — equality and IN
+//     predicates compare codes, and a literal absent from the dictionary
+//     skips the chunk outright).
+//
+// Chunks are structurally immutable once full ("sealed"); only a column's
+// open tail chunk ever mutates, and copy-on-write in Column keeps a tail
+// shared across table versions safe to grow.
+
+#ifndef MUVE_STORAGE_CHUNK_H_
+#define MUVE_STORAGE_CHUNK_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "storage/validity_bitmap.h"
+#include "storage/value.h"
+
+namespace muve::storage {
+
+// Default rows per chunk.  Power of two so global row ids resolve to
+// (chunk, offset) by shift/mask.  1M rows keeps every current benchmark
+// dataset single-chunk (identical scan order and cache keys as the
+// pre-chunking engine) while bounding the copy-on-append unit at scale.
+inline constexpr size_t kDefaultChunkRows = size_t{1} << 20;
+
+class ColumnChunk {
+ public:
+  // Sentinel code for NULL cells of a string chunk.  Never a valid
+  // dictionary index, and never equal to any probe code — scan loops over
+  // codes treat NULL rows as non-matching for free.
+  static constexpr uint32_t kNoCode = 0xFFFFFFFFu;
+
+  ColumnChunk(ValueType type, size_t capacity)
+      : type_(type), capacity_(capacity) {}
+
+  ValueType type() const { return type_; }
+  size_t size() const { return valid_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool full() const { return size() >= capacity_; }
+
+  // --- Appends (chunk-local; caller checks !full()) ---
+  void AppendInt64(int64_t v) {
+    MUVE_DCHECK(type_ == ValueType::kInt64 && !full());
+    ints_.push_back(v);
+    valid_.PushBack(true);
+    ObserveNumeric(static_cast<double>(v));
+  }
+  void AppendDouble(double v) {
+    MUVE_DCHECK(type_ == ValueType::kDouble && !full());
+    doubles_.push_back(v);
+    valid_.PushBack(true);
+    ObserveNumeric(v);
+  }
+  void AppendString(const std::string& v);
+  void AppendNull();
+
+  // --- Cell access (chunk-local offsets) ---
+  bool IsNull(size_t i) const { return !valid_.Get(i); }
+  int64_t Int64At(size_t i) const { return ints_[i]; }
+  double DoubleAt(size_t i) const { return doubles_[i]; }
+  const std::string& StringAt(size_t i) const { return dict_[codes_[i]]; }
+  double NumericAt(size_t i) const {
+    return type_ == ValueType::kInt64 ? static_cast<double>(ints_[i])
+                                      : doubles_[i];
+  }
+
+  // --- Raw arrays for scan kernels ---
+  const ValidityBitmap& validity() const { return valid_; }
+  const int64_t* int64_data() const {
+    MUVE_DCHECK(type_ == ValueType::kInt64);
+    return ints_.data();
+  }
+  const double* double_data() const {
+    MUVE_DCHECK(type_ == ValueType::kDouble);
+    return doubles_.data();
+  }
+  const uint32_t* codes() const {
+    MUVE_DCHECK(type_ == ValueType::kString);
+    return codes_.data();
+  }
+
+  // --- String dictionary ---
+  // Distinct strings in first-appearance order; rows store indexes into
+  // this vector (kNoCode for NULL rows).
+  const std::vector<std::string>& dict() const { return dict_; }
+  // Dictionary code of `s` in this chunk, or kNoCode when absent (an
+  // equality probe for an absent literal skips the whole chunk).
+  uint32_t CodeOf(const std::string& s) const {
+    const auto it = dict_index_.find(s);
+    return it == dict_index_.end() ? kNoCode : it->second;
+  }
+
+  // --- Zone map ---
+  size_t null_count() const { return null_count_; }
+  bool AllValid() const { return null_count_ == 0; }
+  // True when the chunk holds at least one non-NULL, non-NaN numeric
+  // cell; min()/max() are only meaningful then.
+  bool HasRange() const { return has_range_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  // Whether any appended double was NaN.  NaN is excluded from min/max,
+  // so zone-map decisions that depend on "every cell compares false/true"
+  // must consult this (a NaN cell satisfies every `!=` comparison).
+  bool HasNaN() const { return has_nan_; }
+
+  size_t ApproxBytes() const;
+
+ private:
+  void ObserveNumeric(double v);
+
+  ValueType type_;
+  size_t capacity_;
+  ValidityBitmap valid_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> dict_;
+  std::vector<uint32_t> codes_;
+  std::unordered_map<std::string, uint32_t> dict_index_;
+  size_t null_count_ = 0;
+  bool has_range_ = false;
+  bool has_nan_ = false;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace muve::storage
+
+#endif  // MUVE_STORAGE_CHUNK_H_

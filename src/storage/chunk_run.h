@@ -1,0 +1,48 @@
+// Chunk-run decomposition of a sorted row set.
+//
+// Row sets are ascending by construction, so the rows that land in one
+// column chunk form a contiguous run of positions.  Scan kernels iterate
+// runs instead of rows-with-per-row-chunk-lookup: the chunk (data
+// pointer, validity words, zone map) is resolved once per run, and a
+// zone map can discard or bulk-accept the entire run before any cell
+// byte is touched.
+
+#ifndef MUVE_STORAGE_CHUNK_RUN_H_
+#define MUVE_STORAGE_CHUNK_RUN_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "storage/table.h"
+
+namespace muve::storage {
+
+// Invokes fn(chunk_index, pos_begin, pos_end) for each maximal run of
+// positions in [begin, end) whose rows share one chunk.  `rows` must be
+// ascending over the enumerated range; `shift` is the column's
+// chunk_shift().  Run boundaries are found by binary search, so a run
+// costs O(log run_length) to delimit regardless of its size.
+template <typename Fn>
+void ForEachChunkRun(const RowSet& rows, size_t begin, size_t end,
+                     uint32_t shift, Fn&& fn) {
+  size_t p = begin;
+  while (p < end) {
+    const uint32_t c = rows[p] >> shift;
+    // Last row id belonging to chunk c, clamped against uint32 overflow
+    // for the final chunk.
+    const uint64_t last64 = ((uint64_t{c} + 1) << shift) - 1;
+    const uint32_t last =
+        static_cast<uint32_t>(std::min<uint64_t>(last64, 0xFFFFFFFFull));
+    const size_t run_end = static_cast<size_t>(
+        std::upper_bound(rows.begin() + static_cast<ptrdiff_t>(p),
+                         rows.begin() + static_cast<ptrdiff_t>(end), last) -
+        rows.begin());
+    fn(c, p, run_end);
+    p = run_end;
+  }
+}
+
+}  // namespace muve::storage
+
+#endif  // MUVE_STORAGE_CHUNK_RUN_H_

@@ -6,39 +6,57 @@
 
 namespace muve::storage {
 
+namespace {
+
+uint32_t ShiftFor(size_t chunk_rows) {
+  MUVE_CHECK(chunk_rows > 0 && (chunk_rows & (chunk_rows - 1)) == 0)
+      << "chunk_rows must be a power of two, got " << chunk_rows;
+  uint32_t shift = 0;
+  while ((size_t{1} << shift) < chunk_rows) ++shift;
+  return shift;
+}
+
+}  // namespace
+
+Column::Column(ValueType type, size_t chunk_rows)
+    : type_(type),
+      chunk_rows_(chunk_rows),
+      shift_(ShiftFor(chunk_rows)),
+      mask_(static_cast<uint32_t>(chunk_rows - 1)) {}
+
+ColumnChunk* Column::MutableTail() {
+  if (chunks_.empty() || chunks_.back()->full()) {
+    chunks_.push_back(std::make_shared<ColumnChunk>(type_, chunk_rows_));
+  } else if (chunks_.back().use_count() > 1) {
+    // The tail is visible through another Column copy (or pinned by a
+    // reader snapshot): growing it in place would leak rows into that
+    // view.  Copy-on-write bounds the cost at one chunk.
+    chunks_.back() = std::make_shared<ColumnChunk>(*chunks_.back());
+  }
+  return chunks_.back().get();
+}
+
 void Column::AppendInt64(int64_t v) {
   MUVE_DCHECK(type_ == ValueType::kInt64);
-  ints_.push_back(v);
-  valid_.PushBack(true);
+  MutableTail()->AppendInt64(v);
+  ++size_;
 }
 
 void Column::AppendDouble(double v) {
   MUVE_DCHECK(type_ == ValueType::kDouble);
-  doubles_.push_back(v);
-  valid_.PushBack(true);
+  MutableTail()->AppendDouble(v);
+  ++size_;
 }
 
 void Column::AppendString(std::string v) {
   MUVE_DCHECK(type_ == ValueType::kString);
-  strings_.push_back(std::move(v));
-  valid_.PushBack(true);
+  MutableTail()->AppendString(v);
+  ++size_;
 }
 
 void Column::AppendNull() {
-  switch (type_) {
-    case ValueType::kInt64:
-      ints_.push_back(0);
-      break;
-    case ValueType::kDouble:
-      doubles_.push_back(0.0);
-      break;
-    case ValueType::kString:
-      strings_.emplace_back();
-      break;
-    case ValueType::kNull:
-      break;
-  }
-  valid_.PushBack(false);
+  MutableTail()->AppendNull();
+  ++size_;
 }
 
 common::Status Column::AppendValue(const Value& v) {
@@ -86,30 +104,11 @@ common::Status Column::AppendValue(const Value& v) {
       ValueTypeName(type_) + " column");
 }
 
-int64_t Column::Int64At(size_t row) const {
-  MUVE_DCHECK(type_ == ValueType::kInt64);
-  MUVE_DCHECK(row < valid_.size());
-  return ints_[row];
-}
-
-double Column::DoubleAt(size_t row) const {
-  MUVE_DCHECK(type_ == ValueType::kDouble);
-  MUVE_DCHECK(row < valid_.size());
-  return doubles_[row];
-}
-
-const std::string& Column::StringAt(size_t row) const {
-  MUVE_DCHECK(type_ == ValueType::kString);
-  MUVE_DCHECK(row < valid_.size());
-  return strings_[row];
-}
-
 double Column::NumericAt(size_t row) const {
   switch (type_) {
     case ValueType::kInt64:
-      return static_cast<double>(ints_[row]);
     case ValueType::kDouble:
-      return doubles_[row];
+      return chunks_[row >> shift_]->NumericAt(row & mask_);
     default:
       MUVE_CHECK(false) << "NumericAt on non-numeric column";
       return 0.0;
@@ -117,15 +116,17 @@ double Column::NumericAt(size_t row) const {
 }
 
 Value Column::ValueAt(size_t row) const {
-  MUVE_DCHECK(row < valid_.size());
-  if (!valid_.Get(row)) return Value::Null();
+  MUVE_DCHECK(row < size_);
+  const ColumnChunk& c = *chunks_[row >> shift_];
+  const size_t i = row & mask_;
+  if (c.IsNull(i)) return Value::Null();
   switch (type_) {
     case ValueType::kInt64:
-      return Value(ints_[row]);
+      return Value(c.Int64At(i));
     case ValueType::kDouble:
-      return Value(doubles_[row]);
+      return Value(c.DoubleAt(i));
     case ValueType::kString:
-      return Value(strings_[row]);
+      return Value(c.StringAt(i));
     case ValueType::kNull:
       return Value::Null();
   }
@@ -137,17 +138,21 @@ common::Result<double> Column::NumericMin() const {
     return common::Status::TypeMismatch("NumericMin on non-numeric column");
   }
   bool found = false;
+  bool any_nan = false;
   double best = 0.0;
-  for (size_t i = 0; i < size(); ++i) {
-    if (!valid_.Get(i)) continue;
-    const double v = NumericAt(i);
+  for (const auto& c : chunks_) {
+    any_nan = any_nan || c->HasNaN();
+    if (!c->HasRange()) continue;
+    const double v = c->min();
     if (!found || v < best) {
       best = v;
       found = true;
     }
   }
-  if (!found) return common::Status::NotFound("column has no non-null cells");
-  return best;
+  if (found) return best;
+  // Non-null cells exist but none carried a range: every value was NaN.
+  if (any_nan) return std::nan("");
+  return common::Status::NotFound("column has no non-null cells");
 }
 
 common::Result<double> Column::NumericMax() const {
@@ -155,34 +160,48 @@ common::Result<double> Column::NumericMax() const {
     return common::Status::TypeMismatch("NumericMax on non-numeric column");
   }
   bool found = false;
+  bool any_nan = false;
   double best = 0.0;
-  for (size_t i = 0; i < size(); ++i) {
-    if (!valid_.Get(i)) continue;
-    const double v = NumericAt(i);
+  for (const auto& c : chunks_) {
+    any_nan = any_nan || c->HasNaN();
+    if (!c->HasRange()) continue;
+    const double v = c->max();
     if (!found || v > best) {
       best = v;
       found = true;
     }
   }
-  if (!found) return common::Status::NotFound("column has no non-null cells");
-  return best;
+  if (found) return best;
+  if (any_nan) return std::nan("");
+  return common::Status::NotFound("column has no non-null cells");
 }
 
 void Column::Reserve(size_t n) {
-  valid_.Reserve(n);
-  switch (type_) {
-    case ValueType::kInt64:
-      ints_.reserve(n);
-      break;
-    case ValueType::kDouble:
-      doubles_.reserve(n);
-      break;
-    case ValueType::kString:
-      strings_.reserve(n);
-      break;
-    case ValueType::kNull:
-      break;
+  // Chunks allocate lazily with geometric growth; a reserve hint only
+  // needs to pre-create nothing — it is kept as a no-op beyond validating
+  // the argument shape, since per-chunk arrays are bounded at chunk_rows_
+  // and bulk loads amortize growth across at most log(chunk_rows_)
+  // reallocations per chunk.
+  (void)n;
+}
+
+bool Column::AllValid() const {
+  for (const auto& c : chunks_) {
+    if (c->null_count() != 0) return false;
   }
+  return true;
+}
+
+size_t Column::null_count() const {
+  size_t n = 0;
+  for (const auto& c : chunks_) n += c->null_count();
+  return n;
+}
+
+size_t Column::ApproxBytes() const {
+  size_t bytes = sizeof(Column);
+  for (const auto& c : chunks_) bytes += c->ApproxBytes();
+  return bytes;
 }
 
 }  // namespace muve::storage

@@ -1,19 +1,27 @@
 // Typed columnar storage.
 //
-// Each column stores its native type in a contiguous vector plus a null
-// bitmap, so scans (filtering, group-by, binned aggregation) run over raw
-// arrays.  `Value`-based access is provided for the generic boundary
-// (SQL results, CSV, tests).
+// Each column stores its native type as a sequence of fixed-capacity
+// chunks (storage/chunk.h), each carrying its own validity bitmap, zone
+// map, and (for strings) dictionary.  Scans run chunk-at-a-time over the
+// raw per-chunk arrays; `Value`-based access is provided for the generic
+// boundary (SQL results, CSV, tests).
+//
+// Chunk capacity is a power of two, so a global row id resolves to its
+// (chunk, offset) pair by shift/mask.  Sealed (full) chunks are shared by
+// shared_ptr between column copies — Column's copy constructor is O(chunks),
+// not O(rows) — and the open tail chunk copy-on-writes on the first append
+// after a copy, so growing one copy never mutates data the other can see.
 
 #ifndef MUVE_STORAGE_COLUMN_H_
 #define MUVE_STORAGE_COLUMN_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
-#include "storage/validity_bitmap.h"
+#include "storage/chunk.h"
 #include "storage/value.h"
 
 namespace muve::storage {
@@ -21,10 +29,18 @@ namespace muve::storage {
 // A single column of one ValueType with per-row validity.
 class Column {
  public:
-  explicit Column(ValueType type) : type_(type) {}
+  // `chunk_rows` must be a power of two (checked).
+  explicit Column(ValueType type, size_t chunk_rows = kDefaultChunkRows);
+
+  // Copies share every chunk; the first append to either side deep-copies
+  // the (partial) tail chunk it is about to grow.
+  Column(const Column&) = default;
+  Column& operator=(const Column&) = default;
+  Column(Column&&) = default;
+  Column& operator=(Column&&) = default;
 
   ValueType type() const { return type_; }
-  size_t size() const { return valid_.size(); }
+  size_t size() const { return size_; }
 
   // Appends a cell.  AppendValue type-checks and coerces numerics
   // (int64 column accepts an integral double and vice versa).
@@ -34,18 +50,24 @@ class Column {
   void AppendNull();
   common::Status AppendValue(const Value& v);
 
-  bool IsNull(size_t row) const { return !valid_.Get(row); }
-
-  // Word-addressable null mask: bit i of word i/64 set means row i is
-  // valid.  Scan kernels use AllValid() to skip the per-row null test
-  // and words() for word-at-a-time null handling.
-  const ValidityBitmap& validity() const { return valid_; }
+  bool IsNull(size_t row) const {
+    return chunks_[row >> shift_]->IsNull(row & mask_);
+  }
 
   // Typed fast-path accessors.  Undefined for null cells or wrong types
   // (checked in debug builds).
-  int64_t Int64At(size_t row) const;
-  double DoubleAt(size_t row) const;
-  const std::string& StringAt(size_t row) const;
+  int64_t Int64At(size_t row) const {
+    MUVE_DCHECK(type_ == ValueType::kInt64 && row < size_);
+    return chunks_[row >> shift_]->Int64At(row & mask_);
+  }
+  double DoubleAt(size_t row) const {
+    MUVE_DCHECK(type_ == ValueType::kDouble && row < size_);
+    return chunks_[row >> shift_]->DoubleAt(row & mask_);
+  }
+  const std::string& StringAt(size_t row) const {
+    MUVE_DCHECK(type_ == ValueType::kString && row < size_);
+    return chunks_[row >> shift_]->StringAt(row & mask_);
+  }
 
   // Numeric read regardless of int64/double storage; aborts for strings.
   double NumericAt(size_t row) const;
@@ -53,36 +75,39 @@ class Column {
   // Generic access (allocates for strings).
   Value ValueAt(size_t row) const;
 
-  // Min / max over non-null numeric cells.  Error for string columns or
-  // when the column has no non-null cell.
+  // Min / max over non-null numeric cells, answered from the per-chunk
+  // zone maps in O(chunks).  Error for string columns or when the column
+  // has no non-null cell.  NaN cells are excluded (a column whose every
+  // non-null cell is NaN reports NaN).
   common::Result<double> NumericMin() const;
   common::Result<double> NumericMax() const;
 
   void Reserve(size_t n);
 
-  // Raw array access for tight typed loops (selection-vector predicate
-  // kernels, the fused scan engine).  Valid only for the matching type;
-  // null cells hold a zero/default slot — callers must consult
-  // validity() before trusting a value.
-  const int64_t* int64_data() const {
-    MUVE_DCHECK(type_ == ValueType::kInt64);
-    return ints_.data();
-  }
-  const double* double_data() const {
-    MUVE_DCHECK(type_ == ValueType::kDouble);
-    return doubles_.data();
-  }
-  const std::string* string_data() const {
-    MUVE_DCHECK(type_ == ValueType::kString);
-    return strings_.data();
-  }
+  // --- Chunk access for scan kernels ---
+  size_t num_chunks() const { return chunks_.size(); }
+  const ColumnChunk& chunk(size_t i) const { return *chunks_[i]; }
+  size_t chunk_rows() const { return chunk_rows_; }
+  // Global row id -> (chunk index, chunk-local offset).
+  uint32_t chunk_shift() const { return shift_; }
+  uint32_t chunk_mask() const { return mask_; }
+  // True when no cell of any chunk is NULL (scan fast path).
+  bool AllValid() const;
+  size_t null_count() const;
+
+  size_t ApproxBytes() const;
 
  private:
+  // Returns the open tail chunk, creating or copy-on-writing it so the
+  // append below cannot be observed through any shared copy.
+  ColumnChunk* MutableTail();
+
   ValueType type_;
-  ValidityBitmap valid_;
-  std::vector<int64_t> ints_;
-  std::vector<double> doubles_;
-  std::vector<std::string> strings_;
+  size_t chunk_rows_;
+  uint32_t shift_ = 0;
+  uint32_t mask_ = 0;
+  size_t size_ = 0;
+  std::vector<std::shared_ptr<ColumnChunk>> chunks_;
 };
 
 }  // namespace muve::storage

@@ -176,7 +176,14 @@ common::Result<Table> ReadCsvString(const std::string& text,
       std::count(text.begin() + static_cast<ptrdiff_t>(std::min(pos, text.size())),
                  text.end(), '\n') +
       1));
+  // Poll cadence for options.exec: cheap relative to parsing ~4K records
+  // yet fine-grained enough that a cancel lands within milliseconds.
+  constexpr size_t kExecPollRows = 4096;
   while (pos < text.size()) {
+    if (options.exec != nullptr && records.size() % kExecPollRows == 0 &&
+        options.exec->Expired()) {
+      return options.exec->ExpiryStatus();
+    }
     const size_t before = pos;
     MUVE_ASSIGN_OR_RETURN(std::vector<std::string> rec,
                           ParseRecord(text, &pos, options.delimiter));
@@ -222,6 +229,10 @@ common::Result<Table> ReadCsvString(const std::string& text,
   table.Reserve(records.size());
   std::vector<Value> row(schema.num_fields());
   for (const auto& rec : records) {
+    if (options.exec != nullptr &&
+        table.num_rows() % kExecPollRows == 0 && options.exec->Expired()) {
+      return options.exec->ExpiryStatus();
+    }
     for (size_t i = 0; i < rec.size(); ++i) {
       MUVE_ASSIGN_OR_RETURN(row[i], ParseCell(rec[i], schema.field(i).type));
     }

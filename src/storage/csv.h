@@ -10,6 +10,7 @@
 #include <optional>
 #include <string>
 
+#include "common/exec_context.h"
 #include "common/status.h"
 #include "storage/table.h"
 
@@ -28,6 +29,12 @@ struct CsvOptions {
   // would-be silent truncation into a typed, testable refusal.  Tests
   // lower it to exercise the path without allocating gigabytes.
   size_t max_bytes = size_t{2} << 30;
+  // Execution control: the readers poll this every few thousand rows
+  // while parsing and again while materializing columns, and abort with
+  // the context's expiry Status once it expires — a deadline or cancel
+  // interrupts a multi-gigabyte load mid-file instead of after it.
+  // Null = unbounded (default).
+  common::ExecContext* exec = nullptr;
 };
 
 // Load accounting: filled by the readers when passed (never required).

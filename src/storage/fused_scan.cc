@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "common/simd/simd.h"
 #include "common/thread_pool.h"
+#include "storage/chunk_run.h"
 #include "storage/column.h"
 
 namespace muve::storage {
@@ -34,39 +35,77 @@ void RunIndexed(common::ThreadPool* pool, size_t count,
   pool->ParallelFor(count, [&fn](size_t, size_t index) { fn(index); });
 }
 
-// Phase A kernel: gather the non-NULL values of `col` over `rows` into
-// `out` through the raw typed array (no Value boxing, no virtual calls).
+// Phase A kernel: gather the non-NULL values of one chunk run of `rows`
+// into `out` through the chunk's raw typed array (no Value boxing, no
+// virtual calls).
 template <typename T>
-void GatherValues(const ValidityBitmap& valid, const T* data,
-                  const RowSet& rows, bool all_valid,
-                  std::vector<double>* out) {
-  if (all_valid) {
-    for (const uint32_t row : rows) {
-      out->push_back(static_cast<double>(data[row]));
+void GatherValuesRun(const ColumnChunk& chunk, const T* data,
+                     const RowSet& rows, size_t begin, size_t end,
+                     uint32_t mask, std::vector<double>* out) {
+  if (chunk.AllValid()) {
+    for (size_t p = begin; p < end; ++p) {
+      out->push_back(static_cast<double>(data[rows[p] & mask]));
     }
     return;
   }
-  for (const uint32_t row : rows) {
-    if (valid.Get(row)) out->push_back(static_cast<double>(data[row]));
+  const ValidityBitmap& valid = chunk.validity();
+  for (size_t p = begin; p < end; ++p) {
+    const uint32_t i = rows[p] & mask;
+    if (valid.Get(i)) out->push_back(static_cast<double>(data[i]));
   }
 }
 
-// Phase B kernel: dense dictionary key per row position of one morsel.
+void GatherValues(const Column& col, const RowSet& rows,
+                  std::vector<double>* out) {
+  const uint32_t mask = col.chunk_mask();
+  ForEachChunkRun(rows, 0, rows.size(), col.chunk_shift(),
+                  [&](uint32_t c, size_t begin, size_t end) {
+                    const ColumnChunk& chunk = col.chunk(c);
+                    if (col.type() == ValueType::kInt64) {
+                      GatherValuesRun(chunk, chunk.int64_data(), rows, begin,
+                                      end, mask, out);
+                    } else {
+                      GatherValuesRun(chunk, chunk.double_data(), rows, begin,
+                                      end, mask, out);
+                    }
+                  });
+}
+
+// Phase B kernel: dense dictionary key per row position of one chunk run
+// within a morsel.
 template <typename T>
-void FillKeys(const ValidityBitmap& valid, const T* data,
-              const std::vector<double>& dict, const uint32_t* rows,
-              size_t begin, size_t end, bool all_valid, uint32_t* keys) {
+void FillKeysRun(const ColumnChunk& chunk, const T* data,
+                 const std::vector<double>& dict, const RowSet& rows,
+                 size_t begin, size_t end, uint32_t mask, uint32_t* keys) {
+  const bool all_valid = chunk.AllValid();
+  const ValidityBitmap& valid = chunk.validity();
   for (size_t p = begin; p < end; ++p) {
-    const uint32_t row = rows[p];
-    if (!all_valid && !valid.Get(row)) {
+    const uint32_t i = rows[p] & mask;
+    if (!all_valid && !valid.Get(i)) {
       keys[p] = kNullKey;
       continue;
     }
-    const double v = static_cast<double>(data[row]);
+    const double v = static_cast<double>(data[i]);
     const auto it = std::lower_bound(dict.begin(), dict.end(), v);
     MUVE_DCHECK(it != dict.end() && *it == v);
     keys[p] = static_cast<uint32_t>(it - dict.begin());
   }
+}
+
+void FillKeys(const Column& col, const std::vector<double>& dict,
+              const RowSet& rows, size_t begin, size_t end, uint32_t* keys) {
+  const uint32_t mask = col.chunk_mask();
+  ForEachChunkRun(rows, begin, end, col.chunk_shift(),
+                  [&](uint32_t c, size_t rb, size_t re) {
+                    const ColumnChunk& chunk = col.chunk(c);
+                    if (col.type() == ValueType::kInt64) {
+                      FillKeysRun(chunk, chunk.int64_data(), dict, rows, rb,
+                                  re, mask, keys);
+                    } else {
+                      FillKeysRun(chunk, chunk.double_data(), dict, rows, rb,
+                                  re, mask, keys);
+                    }
+                  });
 }
 
 }  // namespace
@@ -126,15 +165,11 @@ common::Result<std::vector<BaseHistogram>> FusedBuildBaseHistograms(
   if (scratch->dicts.size() < num_dims) scratch->dicts.resize(num_dims);
   if (scratch->keys.size() < num_dims) scratch->keys.resize(num_dims);
 
-  // Whole-column validity precomputed once (AllValid is O(words)).
-  std::vector<bool> dim_all_valid(num_dims);
-  for (size_t d = 0; d < num_dims; ++d) {
-    dim_all_valid[d] = dim_cols[d]->validity().AllValid();
-  }
-  std::vector<bool> mea_all_valid(pairs.size());
-  for (size_t i = 0; i < pairs.size(); ++i) {
-    mea_all_valid[i] = mea_cols[i]->validity().AllValid();
-  }
+  // Every column of a table shares one chunk geometry (Table constructs
+  // all columns with the same chunk_rows), so one shift/mask serves the
+  // whole pass.
+  const uint32_t chunk_shift = dim_cols[0]->chunk_shift();
+  const uint32_t chunk_mask = dim_cols[0]->chunk_mask();
 
   // Phase A: one sorted distinct-value dictionary per dimension, shared
   // by every measure paired with it.
@@ -142,34 +177,32 @@ common::Result<std::vector<BaseHistogram>> FusedBuildBaseHistograms(
     std::vector<double>& dict = scratch->dicts[d];
     dict.clear();
     dict.reserve(n);
-    const Column& col = *dim_cols[d];
-    if (col.type() == ValueType::kInt64) {
-      GatherValues(col.validity(), col.int64_data(), rows, dim_all_valid[d],
-                   &dict);
-    } else {
-      GatherValues(col.validity(), col.double_data(), rows, dim_all_valid[d],
-                   &dict);
-    }
+    GatherValues(*dim_cols[d], rows, &dict);
     std::sort(dict.begin(), dict.end());
     dict.erase(std::unique(dict.begin(), dict.end()), dict.end());
   });
 
-  // Phase B: dense key arrays, morsel x dimension parallel.
+  // Phase B: dense key arrays, morsel x dimension parallel, plus the
+  // position-aligned chunk-local row offsets Phase C's kernels consume.
+  // A morsel planner note on skipping: the morsel grid partitions the
+  // ROW SET, not the table — a chunk with no selected rows (e.g. one the
+  // predicate's zone map discarded) contributes no positions, so no
+  // morsel, no key fill, and no accumulation ever touches it.
   for (size_t d = 0; d < num_dims; ++d) scratch->keys[d].resize(n);
+  scratch->local_rows.resize(n);
+  RunIndexed(pool, num_morsels, [&](size_t m) {
+    const size_t begin = m * morsel_size;
+    const size_t end = std::min(n, begin + morsel_size);
+    uint32_t* local = scratch->local_rows.data();
+    for (size_t p = begin; p < end; ++p) local[p] = rows[p] & chunk_mask;
+  });
   RunIndexed(pool, num_dims * num_morsels, [&](size_t t) {
     const size_t d = t / num_morsels;
     const size_t m = t % num_morsels;
     const size_t begin = m * morsel_size;
     const size_t end = std::min(n, begin + morsel_size);
-    const Column& col = *dim_cols[d];
-    uint32_t* keys = scratch->keys[d].data();
-    if (col.type() == ValueType::kInt64) {
-      FillKeys(col.validity(), col.int64_data(), scratch->dicts[d],
-               rows.data(), begin, end, dim_all_valid[d], keys);
-    } else {
-      FillKeys(col.validity(), col.double_data(), scratch->dicts[d],
-               rows.data(), begin, end, dim_all_valid[d], keys);
-    }
+    FillKeys(*dim_cols[d], scratch->dicts[d], rows, begin, end,
+             scratch->keys[d].data());
   });
 
   // Phase boundary poll: dictionaries and key arrays for a large row set
@@ -223,22 +256,31 @@ common::Result<std::vector<BaseHistogram>> FusedBuildBaseHistograms(
     int64_t* counts = scratch->counts.data() + m * slab;
     double* sums = scratch->sums.data() + m * slab;
     double* sum_sqs = scratch->sum_sqs.data() + m * slab;
-    for (size_t i = 0; i < pairs.size(); ++i) {
-      const uint32_t* keys = scratch->keys[pair_dim[i]].data();
-      const Column& mea = *mea_cols[i];
-      const size_t off = pair_offset[i];
-      const uint64_t* validity_words =
-          mea_all_valid[i] ? nullptr : mea.validity().words();
-      if (mea.type() == ValueType::kInt64) {
-        kernels.accumulate_count_sum_sq_i64(
-            rows.data(), begin, end, keys, validity_words,
-            mea.int64_data(), counts + off, sums + off, sum_sqs + off);
-      } else {
-        kernels.accumulate_count_sum_sq_f64(
-            rows.data(), begin, end, keys, validity_words,
-            mea.double_data(), counts + off, sums + off, sum_sqs + off);
+    // One chunk-run decomposition per morsel, shared by every pair: the
+    // kernels receive the chunk-local row array plus the run's chunk
+    // data/validity pointers — same positions, same per-key row order,
+    // same accumulation association as the flat layout, so the output
+    // bits do not depend on the chunking.
+    const uint32_t* local = scratch->local_rows.data();
+    ForEachChunkRun(rows, begin, end, chunk_shift, [&](uint32_t c,
+                                                      size_t rb, size_t re) {
+      for (size_t i = 0; i < pairs.size(); ++i) {
+        const uint32_t* keys = scratch->keys[pair_dim[i]].data();
+        const ColumnChunk& mea = mea_cols[i]->chunk(c);
+        const size_t off = pair_offset[i];
+        const uint64_t* validity_words =
+            mea.AllValid() ? nullptr : mea.validity().words();
+        if (mea.type() == ValueType::kInt64) {
+          kernels.accumulate_count_sum_sq_i64(
+              local, rb, re, keys, validity_words, mea.int64_data(),
+              counts + off, sums + off, sum_sqs + off);
+        } else {
+          kernels.accumulate_count_sum_sq_f64(
+              local, rb, re, keys, validity_words, mea.double_data(),
+              counts + off, sums + off, sum_sqs + off);
+        }
       }
-    }
+    });
   });
 
   // An aborted pass returns NOTHING: some morsels never ran, so the

@@ -94,6 +94,12 @@ struct FusedScanScratch {
   std::vector<std::vector<double>> dicts;  // per-dimension sorted values
   // per-dimension dense keys
   std::vector<common::simd::AlignedVector<uint32_t>> keys;
+  // Chunk-local row offsets (rows[p] & chunk_mask), position-aligned
+  // with `rows`: Phase C feeds them to the SIMD keyed accumulators one
+  // chunk run at a time, with the run's chunk data pointer — the kernels
+  // keep their flat-array signature while the storage underneath is
+  // chunked.
+  common::simd::AlignedVector<uint32_t> local_rows;
   common::simd::AlignedVector<int64_t> counts;  // morsel-partial arenas
   common::simd::AlignedVector<double> sums;
   common::simd::AlignedVector<double> sum_sqs;

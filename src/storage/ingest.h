@@ -1,0 +1,83 @@
+// Incremental ingest: patch cached base histograms with O(new rows)
+// work after a Catalog::Append.
+//
+// Base histograms are additive over disjoint row sets (count/sum/sum_sq
+// per distinct dimension value), so appending rows never requires a
+// rescan of the old rows: build partial histograms over JUST the
+// appended range with the same fused pass the cold path uses, then
+// merge them into the cached bases (MergeBaseHistograms — sorted
+// dictionary union + moment addition).  Pairs that are not cached are
+// left alone; they will be built cold on first demand, over the full
+// (already-appended) table, and are correct by construction.
+//
+// The epoch contract (see storage/catalog.h): the cache keys carry the
+// table's base_epoch, which Append PRESERVES — that is what lets the
+// patched entries keep serving.  data_epoch bumps per append and is
+// what selection-vector and result caches key on, so those invalidate.
+
+#ifndef MUVE_STORAGE_INGEST_H_
+#define MUVE_STORAGE_INGEST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/exec_context.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "storage/base_histogram_cache.h"
+#include "storage/predicate.h"
+#include "storage/table.h"
+
+namespace muve::storage {
+
+// One delta-patch pass over the rows appended by a single
+// Catalog::Append.  `table` is the POST-append snapshot; the appended
+// rows occupy [rows_before, rows_before + rows_appended).
+struct IngestDeltaRequest {
+  const Table* table = nullptr;
+  size_t rows_before = 0;
+  size_t rows_appended = 0;
+
+  // The workload's (A, M) grid.  Only pairs whose base histogram is
+  // already cached (under `key_prefix` + "t|..."/"c|...") are patched.
+  std::vector<std::string> dimensions;
+  std::vector<std::string> measures;
+
+  // The analyst predicate selecting D_Q, bound against `table`; null
+  // means no target-side bases exist (comparison side still patches).
+  const Predicate* target_predicate = nullptr;
+
+  // Cache-key prefix the owning server/evaluator uses (e.g.
+  // "dataset\x01epoch\x01"); the pair keys "t|A|M" / "c|A|M" are
+  // appended to it.  Empty for a bare evaluator-style cache.
+  std::string key_prefix;
+
+  BaseHistogramCache* cache = nullptr;
+  common::ThreadPool* pool = nullptr;
+  size_t morsel_size = 0;  // 0 = kDefaultFusedMorselSize
+  common::ExecContext* exec = nullptr;
+};
+
+// Accounting for one delta-patch pass.
+struct IngestDeltaStats {
+  int64_t pairs_considered = 0;  // (A, M) pairs eligible for patching
+  int64_t delta_merges = 0;      // cached entries actually patched
+  int64_t rows_scanned = 0;      // delta rows traversed by fused passes
+  int64_t target_delta_rows = 0;  // appended rows satisfying T
+  int64_t chunks_skipped = 0;     // zone-map skips while filtering them
+};
+
+// Runs the delta patch.  Never fails the append itself: a fused pass
+// aborted by `exec` (or any build error) simply leaves the affected
+// entries unpatched — the caller must then DROP those stale entries
+// (or bump the epoch) because they no longer describe the table.  The
+// returned status reports that condition; OK means every cached pair
+// either merged its delta or was never cached.
+common::Status ApplyAppendDeltas(const IngestDeltaRequest& request,
+                                 IngestDeltaStats* stats = nullptr);
+
+}  // namespace muve::storage
+
+#endif  // MUVE_STORAGE_INGEST_H_

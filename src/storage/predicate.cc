@@ -4,12 +4,14 @@
 #include <cstdio>
 #include <utility>
 
+#include "storage/chunk.h"
+#include "storage/chunk_run.h"
 #include "storage/validity_bitmap.h"
 
 namespace muve::storage {
 
 void Predicate::FilterInto(const Table& table, const RowSet& candidates,
-                           RowSet* out) const {
+                           RowSet* out, FilterStats*) const {
   // Generic fallback: per-row virtual Matches.  Leaf nodes override with
   // typed kernels; this path remains for mixed-type comparisons.
   for (const uint32_t row : candidates) {
@@ -19,88 +21,224 @@ void Predicate::FilterInto(const Table& table, const RowSet& candidates,
 
 namespace {
 
-// Tight typed scan: one comparator instantiation per CompareOp, null-skip
-// hoisted to a whole-column AllValid check (the common case — the MuVE
-// datasets carry no NULLs on predicate columns — runs a branch-per-row-
-// free loop over the raw array).
+// Zone-map verdict for one chunk: scan it, skip it wholesale (no cell
+// can match — nothing touched, counted in FilterStats::chunks_skipped),
+// or accept every candidate row in it (every cell provably matches).
+enum class ZoneDecision { kScan, kSkip, kAcceptAll };
+
+// Numeric comparison verdict from the chunk zone map.  min/max exclude
+// NaN cells, so:
+//   * "no match" conclusions for ordering ops stay sound with NaNs
+//     present (a NaN cell fails every <, <=, >, >=, = comparison), but
+//     `!=` must not conclude "all equal the literal" when a NaN hides
+//     outside the range (NaN != lit is TRUE);
+//   * "all match" conclusions additionally require zero NULLs (NULL
+//     cells never match) and zero NaNs (a NaN fails ordering ops).
+ZoneDecision ZoneForCompare(const ColumnChunk& c, CompareOp op, double lit) {
+  const bool ranged = c.HasRange();
+  const bool pure = c.AllValid() && !c.HasNaN();
+  switch (op) {
+    case CompareOp::kEq:
+      if (!ranged || lit < c.min() || lit > c.max()) return ZoneDecision::kSkip;
+      if (pure && c.min() == c.max() && c.min() == lit) {
+        return ZoneDecision::kAcceptAll;
+      }
+      return ZoneDecision::kScan;
+    case CompareOp::kNe:
+      if (!c.HasNaN() &&
+          (!ranged || (c.min() == c.max() && c.min() == lit))) {
+        return ZoneDecision::kSkip;
+      }
+      if (c.AllValid() && (!ranged || lit < c.min() || lit > c.max())) {
+        // Every non-NULL cell is NaN (matches !=) or provably != lit.
+        return ZoneDecision::kAcceptAll;
+      }
+      return ZoneDecision::kScan;
+    case CompareOp::kLt:
+      if (!ranged || c.min() >= lit) return ZoneDecision::kSkip;
+      if (pure && c.max() < lit) return ZoneDecision::kAcceptAll;
+      return ZoneDecision::kScan;
+    case CompareOp::kLe:
+      if (!ranged || c.min() > lit) return ZoneDecision::kSkip;
+      if (pure && c.max() <= lit) return ZoneDecision::kAcceptAll;
+      return ZoneDecision::kScan;
+    case CompareOp::kGt:
+      if (!ranged || c.max() <= lit) return ZoneDecision::kSkip;
+      if (pure && c.min() > lit) return ZoneDecision::kAcceptAll;
+      return ZoneDecision::kScan;
+    case CompareOp::kGe:
+      if (!ranged || c.max() < lit) return ZoneDecision::kSkip;
+      if (pure && c.min() >= lit) return ZoneDecision::kAcceptAll;
+      return ZoneDecision::kScan;
+  }
+  return ZoneDecision::kScan;
+}
+
+ZoneDecision ZoneForBetween(const ColumnChunk& c, double lo, double hi) {
+  if (!c.HasRange() || hi < c.min() || lo > c.max()) {
+    return ZoneDecision::kSkip;
+  }
+  if (c.AllValid() && !c.HasNaN() && lo <= c.min() && c.max() <= hi) {
+    return ZoneDecision::kAcceptAll;
+  }
+  return ZoneDecision::kScan;
+}
+
+// Tight typed scan over one chunk run: one comparator instantiation per
+// CompareOp, null-skip hoisted to a per-chunk AllValid check (the common
+// case — the MuVE datasets carry no NULLs on predicate columns — runs a
+// branch-per-row-free loop over the chunk's raw array).
 template <typename T, typename Cmp>
-void ScanTyped(const ValidityBitmap& valid, const T* data,
-               const RowSet& candidates, Cmp cmp, RowSet* out) {
-  if (valid.AllValid()) {
-    for (const uint32_t row : candidates) {
-      if (cmp(data[row])) out->push_back(row);
+void ScanChunkRun(const ColumnChunk& chunk, const T* data, const RowSet& rows,
+                  size_t begin, size_t end, uint32_t mask, Cmp cmp,
+                  RowSet* out) {
+  if (chunk.AllValid()) {
+    for (size_t p = begin; p < end; ++p) {
+      const uint32_t row = rows[p];
+      if (cmp(data[row & mask])) out->push_back(row);
     }
     return;
   }
-  for (const uint32_t row : candidates) {
-    if (valid.Get(row) && cmp(data[row])) out->push_back(row);
+  const ValidityBitmap& valid = chunk.validity();
+  for (size_t p = begin; p < end; ++p) {
+    const uint32_t row = rows[p];
+    const uint32_t i = row & mask;
+    if (valid.Get(i) && cmp(data[i])) out->push_back(row);
   }
 }
 
-// Numeric comparison kernel.  Values compare after coercion to double,
-// exactly like Value::operator== / operator< (which also coerce int64
-// through double), so kernel results match Matches bit-for-bit.
+// Numeric comparison kernel for one chunk run.  Values compare after
+// coercion to double, exactly like Value::operator== / operator< (which
+// also coerce int64 through double), so kernel results match Matches
+// bit-for-bit.
 template <typename T>
-void ScanCompareNumeric(const ValidityBitmap& valid, const T* data,
-                        const RowSet& candidates, CompareOp op, double lit,
-                        RowSet* out) {
+void ScanCompareNumericRun(const ColumnChunk& chunk, const T* data,
+                           const RowSet& rows, size_t begin, size_t end,
+                           uint32_t mask, CompareOp op, double lit,
+                           RowSet* out) {
   switch (op) {
     case CompareOp::kEq:
-      ScanTyped(valid, data, candidates,
-                [lit](T v) { return static_cast<double>(v) == lit; }, out);
+      ScanChunkRun(chunk, data, rows, begin, end, mask,
+                   [lit](T v) { return static_cast<double>(v) == lit; }, out);
       return;
     case CompareOp::kNe:
-      ScanTyped(valid, data, candidates,
-                [lit](T v) { return static_cast<double>(v) != lit; }, out);
+      ScanChunkRun(chunk, data, rows, begin, end, mask,
+                   [lit](T v) { return static_cast<double>(v) != lit; }, out);
       return;
     case CompareOp::kLt:
-      ScanTyped(valid, data, candidates,
-                [lit](T v) { return static_cast<double>(v) < lit; }, out);
+      ScanChunkRun(chunk, data, rows, begin, end, mask,
+                   [lit](T v) { return static_cast<double>(v) < lit; }, out);
       return;
     case CompareOp::kLe:
-      ScanTyped(valid, data, candidates,
-                [lit](T v) { return static_cast<double>(v) <= lit; }, out);
+      ScanChunkRun(chunk, data, rows, begin, end, mask,
+                   [lit](T v) { return static_cast<double>(v) <= lit; }, out);
       return;
     case CompareOp::kGt:
-      ScanTyped(valid, data, candidates,
-                [lit](T v) { return static_cast<double>(v) > lit; }, out);
+      ScanChunkRun(chunk, data, rows, begin, end, mask,
+                   [lit](T v) { return static_cast<double>(v) > lit; }, out);
       return;
     case CompareOp::kGe:
-      ScanTyped(valid, data, candidates,
-                [lit](T v) { return static_cast<double>(v) >= lit; }, out);
+      ScanChunkRun(chunk, data, rows, begin, end, mask,
+                   [lit](T v) { return static_cast<double>(v) >= lit; }, out);
       return;
   }
 }
 
-void ScanCompareString(const ValidityBitmap& valid, const std::string* data,
-                       const RowSet& candidates, CompareOp op,
-                       const std::string& lit, RowSet* out) {
-  switch (op) {
-    case CompareOp::kEq:
-      ScanTyped(valid, data, candidates,
-                [&lit](const std::string& v) { return v == lit; }, out);
-      return;
-    case CompareOp::kNe:
-      ScanTyped(valid, data, candidates,
-                [&lit](const std::string& v) { return v != lit; }, out);
-      return;
-    case CompareOp::kLt:
-      ScanTyped(valid, data, candidates,
-                [&lit](const std::string& v) { return v < lit; }, out);
-      return;
-    case CompareOp::kLe:
-      ScanTyped(valid, data, candidates,
-                [&lit](const std::string& v) { return v <= lit; }, out);
-      return;
-    case CompareOp::kGt:
-      ScanTyped(valid, data, candidates,
-                [&lit](const std::string& v) { return v > lit; }, out);
-      return;
-    case CompareOp::kGe:
-      ScanTyped(valid, data, candidates,
-                [&lit](const std::string& v) { return v >= lit; }, out);
-      return;
+void AcceptRun(const RowSet& candidates, size_t begin, size_t end,
+               RowSet* out) {
+  out->insert(out->end(), candidates.begin() + static_cast<ptrdiff_t>(begin),
+              candidates.begin() + static_cast<ptrdiff_t>(end));
+}
+
+// Chunk-run driver for a numeric predicate: zone map first, typed kernel
+// only for runs the zone map cannot decide.  `zone` maps a chunk to a
+// ZoneDecision; `scan` runs the kernel over one undecided run.
+template <typename ZoneFn, typename ScanFn>
+void FilterChunked(const Column& col, const RowSet& candidates,
+                   FilterStats* stats, ZoneFn zone, ScanFn scan,
+                   RowSet* out) {
+  const uint32_t mask = col.chunk_mask();
+  ForEachChunkRun(
+      candidates, 0, candidates.size(), col.chunk_shift(),
+      [&](uint32_t c, size_t begin, size_t end) {
+        const ColumnChunk& chunk = col.chunk(c);
+        switch (zone(chunk)) {
+          case ZoneDecision::kSkip:
+            if (stats != nullptr) ++stats->chunks_skipped;
+            return;
+          case ZoneDecision::kAcceptAll:
+            AcceptRun(candidates, begin, end, out);
+            return;
+          case ZoneDecision::kScan:
+            scan(chunk, begin, end, mask);
+            return;
+        }
+      });
+}
+
+// String predicates evaluate the comparison ONCE per distinct dictionary
+// entry, then scan the dense codes.  NULL rows carry ColumnChunk::kNoCode,
+// which indexes no match-table slot — the kNoCode guard doubles as the
+// null check, so no validity bitmap lookups happen at all.
+//
+// `match` maps a dictionary string to bool.  Returns the per-code match
+// table; `any`/`all` report whether the chunk can short-circuit.
+struct DictMatch {
+  std::vector<uint8_t> table;
+  bool any = false;
+  bool all = true;
+};
+
+template <typename MatchFn>
+DictMatch BuildDictMatch(const ColumnChunk& chunk, MatchFn match) {
+  const std::vector<std::string>& dict = chunk.dict();
+  DictMatch out;
+  out.table.resize(dict.size());
+  for (size_t i = 0; i < dict.size(); ++i) {
+    const bool m = match(dict[i]);
+    out.table[i] = m ? 1 : 0;
+    out.any = out.any || m;
+    out.all = out.all && m;
   }
+  return out;
+}
+
+void ScanCodesRun(const ColumnChunk& chunk, const DictMatch& match,
+                  const RowSet& rows, size_t begin, size_t end, uint32_t mask,
+                  RowSet* out) {
+  const uint32_t* codes = chunk.codes();
+  for (size_t p = begin; p < end; ++p) {
+    const uint32_t row = rows[p];
+    const uint32_t code = codes[row & mask];
+    if (code != ColumnChunk::kNoCode && match.table[code] != 0) {
+      out->push_back(row);
+    }
+  }
+}
+
+// Chunk-run driver for string predicates via dictionary match tables.
+template <typename MatchFn>
+void FilterStringChunked(const Column& col, const RowSet& candidates,
+                         FilterStats* stats, MatchFn match, RowSet* out) {
+  const uint32_t mask = col.chunk_mask();
+  ForEachChunkRun(
+      candidates, 0, candidates.size(), col.chunk_shift(),
+      [&](uint32_t c, size_t begin, size_t end) {
+        const ColumnChunk& chunk = col.chunk(c);
+        const DictMatch dm = BuildDictMatch(chunk, match);
+        if (!dm.any) {
+          // No distinct string of this chunk matches: NULL rows match
+          // nothing either, so the whole run is gone without reading a
+          // single code.
+          if (stats != nullptr) ++stats->chunks_skipped;
+          return;
+        }
+        if (dm.all && chunk.AllValid()) {
+          AcceptRun(candidates, begin, end, out);
+          return;
+        }
+        ScanCodesRun(chunk, dm, candidates, begin, end, mask, out);
+      });
 }
 
 // Numeric literal as double under the same coercion Value uses.
@@ -232,29 +370,90 @@ class ComparisonPredicate final : public Predicate {
     return false;
   }
 
-  void FilterInto(const Table& table, const RowSet& candidates,
-                  RowSet* out) const override {
+  void FilterInto(const Table& table, const RowSet& candidates, RowSet* out,
+                  FilterStats* stats) const override {
     if (literal_.is_null()) return;  // comparisons with NULL never match
     const Column& col = table.column(index_);
     switch (col.type()) {
       case ValueType::kInt64:
         if (literal_.is_numeric()) {
-          ScanCompareNumeric(col.validity(), col.int64_data(), candidates,
-                             op_, LiteralAsDouble(literal_), out);
+          const double lit = LiteralAsDouble(literal_);
+          FilterChunked(
+              col, candidates, stats,
+              [this, lit](const ColumnChunk& c) {
+                return ZoneForCompare(c, op_, lit);
+              },
+              [&](const ColumnChunk& c, size_t b, size_t e, uint32_t mask) {
+                ScanCompareNumericRun(c, c.int64_data(), candidates, b, e,
+                                      mask, op_, lit, out);
+              },
+              out);
           return;
         }
         break;
       case ValueType::kDouble:
         if (literal_.is_numeric()) {
-          ScanCompareNumeric(col.validity(), col.double_data(), candidates,
-                             op_, LiteralAsDouble(literal_), out);
+          const double lit = LiteralAsDouble(literal_);
+          FilterChunked(
+              col, candidates, stats,
+              [this, lit](const ColumnChunk& c) {
+                return ZoneForCompare(c, op_, lit);
+              },
+              [&](const ColumnChunk& c, size_t b, size_t e, uint32_t mask) {
+                ScanCompareNumericRun(c, c.double_data(), candidates, b, e,
+                                      mask, op_, lit, out);
+              },
+              out);
           return;
         }
         break;
       case ValueType::kString:
         if (literal_.type() == ValueType::kString) {
-          ScanCompareString(col.validity(), col.string_data(), candidates,
-                            op_, literal_.AsString(), out);
+          const std::string& lit = literal_.AsString();
+          if (op_ == CompareOp::kEq) {
+            // Equality probes the chunk dictionary directly: absent
+            // literal = skipped chunk; present literal = a single-code
+            // compare per row (NULL rows hold kNoCode, which can never
+            // equal a dictionary code).
+            const uint32_t mask = col.chunk_mask();
+            ForEachChunkRun(
+                candidates, 0, candidates.size(), col.chunk_shift(),
+                [&](uint32_t c, size_t begin, size_t end) {
+                  const ColumnChunk& chunk = col.chunk(c);
+                  const uint32_t code = chunk.CodeOf(lit);
+                  if (code == ColumnChunk::kNoCode) {
+                    if (stats != nullptr) ++stats->chunks_skipped;
+                    return;
+                  }
+                  const uint32_t* codes = chunk.codes();
+                  for (size_t p = begin; p < end; ++p) {
+                    const uint32_t row = candidates[p];
+                    if (codes[row & mask] == code) out->push_back(row);
+                  }
+                });
+            return;
+          }
+          const CompareOp op = op_;
+          FilterStringChunked(
+              col, candidates, stats,
+              [&lit, op](const std::string& v) {
+                switch (op) {
+                  case CompareOp::kEq:
+                    return v == lit;
+                  case CompareOp::kNe:
+                    return v != lit;
+                  case CompareOp::kLt:
+                    return v < lit;
+                  case CompareOp::kLe:
+                    return v <= lit;
+                  case CompareOp::kGt:
+                    return v > lit;
+                  case CompareOp::kGe:
+                    return v >= lit;
+                }
+                return false;
+              },
+              out);
           return;
         }
         break;
@@ -263,7 +462,7 @@ class ComparisonPredicate final : public Predicate {
     }
     // Mixed type classes (string column vs numeric literal and vice
     // versa) keep the rank-ordering semantics of Value::operator<.
-    Predicate::FilterInto(table, candidates, out);
+    Predicate::FilterInto(table, candidates, out, stats);
   }
 
   std::string ToString() const override {
@@ -306,8 +505,8 @@ class BetweenPredicate final : public Predicate {
     return ge_lo && le_hi;
   }
 
-  void FilterInto(const Table& table, const RowSet& candidates,
-                  RowSet* out) const override {
+  void FilterInto(const Table& table, const RowSet& candidates, RowSet* out,
+                  FilterStats* stats) const override {
     if (lo_.is_null() || hi_.is_null()) return;  // never matches
     const Column& col = table.column(index_);
     if ((col.type() == ValueType::kInt64 ||
@@ -319,13 +518,19 @@ class BetweenPredicate final : public Predicate {
         const double d = static_cast<double>(v);
         return lo <= d && d <= hi;
       };
-      if (col.type() == ValueType::kInt64) {
-        ScanTyped(col.validity(), col.int64_data(), candidates, in_range,
-                  out);
-      } else {
-        ScanTyped(col.validity(), col.double_data(), candidates, in_range,
-                  out);
-      }
+      FilterChunked(
+          col, candidates, stats,
+          [lo, hi](const ColumnChunk& c) { return ZoneForBetween(c, lo, hi); },
+          [&](const ColumnChunk& c, size_t b, size_t e, uint32_t mask) {
+            if (c.type() == ValueType::kInt64) {
+              ScanChunkRun(c, c.int64_data(), candidates, b, e, mask,
+                           in_range, out);
+            } else {
+              ScanChunkRun(c, c.double_data(), candidates, b, e, mask,
+                           in_range, out);
+            }
+          },
+          out);
       return;
     }
     if (col.type() == ValueType::kString &&
@@ -333,14 +538,13 @@ class BetweenPredicate final : public Predicate {
         hi_.type() == ValueType::kString) {
       const std::string& lo = lo_.AsString();
       const std::string& hi = hi_.AsString();
-      ScanTyped(col.validity(), col.string_data(), candidates,
-                [&lo, &hi](const std::string& v) {
-                  return lo <= v && v <= hi;
-                },
-                out);
+      FilterStringChunked(
+          col, candidates, stats,
+          [&lo, &hi](const std::string& v) { return lo <= v && v <= hi; },
+          out);
       return;
     }
-    Predicate::FilterInto(table, candidates, out);
+    Predicate::FilterInto(table, candidates, out, stats);
   }
 
   std::string ToString() const override {
@@ -383,8 +587,8 @@ class InListPredicate final : public Predicate {
     return false;
   }
 
-  void FilterInto(const Table& table, const RowSet& candidates,
-                  RowSet* out) const override {
+  void FilterInto(const Table& table, const RowSet& candidates, RowSet* out,
+                  FilterStats* stats) const override {
     const Column& col = table.column(index_);
     if (col.type() == ValueType::kInt64 || col.type() == ValueType::kDouble) {
       // NULL list elements never match and non-numeric elements cannot
@@ -404,13 +608,30 @@ class InListPredicate final : public Predicate {
         }
         return false;
       };
-      if (col.type() == ValueType::kInt64) {
-        ScanTyped(col.validity(), col.int64_data(), candidates, contains,
-                  out);
-      } else {
-        ScanTyped(col.validity(), col.double_data(), candidates, contains,
-                  out);
-      }
+      FilterChunked(
+          col, candidates, stats,
+          [&lits](const ColumnChunk& c) {
+            // Equality can only fire inside the chunk range; a list with
+            // no literal in [min, max] cannot match any cell (NaN cells
+            // never compare equal either).
+            if (!c.HasRange()) return ZoneDecision::kSkip;
+            for (const double lit : lits) {
+              if (lit >= c.min() && lit <= c.max()) {
+                return ZoneDecision::kScan;
+              }
+            }
+            return ZoneDecision::kSkip;
+          },
+          [&](const ColumnChunk& c, size_t b, size_t e, uint32_t mask) {
+            if (c.type() == ValueType::kInt64) {
+              ScanChunkRun(c, c.int64_data(), candidates, b, e, mask,
+                           contains, out);
+            } else {
+              ScanChunkRun(c, c.double_data(), candidates, b, e, mask,
+                           contains, out);
+            }
+          },
+          out);
       return;
     }
     if (col.type() == ValueType::kString) {
@@ -421,14 +642,17 @@ class InListPredicate final : public Predicate {
       }
       std::sort(lits.begin(), lits.end());
       lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
-      ScanTyped(col.validity(), col.string_data(), candidates,
-                [&lits](const std::string& v) {
-                  return std::binary_search(lits.begin(), lits.end(), v);
-                },
-                out);
+      // An IN list none of whose literals appear in the chunk dictionary
+      // skips the chunk inside FilterStringChunked (empty match table).
+      FilterStringChunked(
+          col, candidates, stats,
+          [&lits](const std::string& v) {
+            return std::binary_search(lits.begin(), lits.end(), v);
+          },
+          out);
       return;
     }
-    Predicate::FilterInto(table, candidates, out);
+    Predicate::FilterInto(table, candidates, out, stats);
   }
 
   std::string ToString() const override {
@@ -481,19 +705,39 @@ class IsNullPredicate final : public Predicate {
     return table.column(index_).IsNull(row) != negate_;
   }
 
-  void FilterInto(const Table& table, const RowSet& candidates,
-                  RowSet* out) const override {
-    const ValidityBitmap& valid = table.column(index_).validity();
-    if (valid.AllValid()) {
-      // No NULLs at all: IS NULL selects nothing, IS NOT NULL everything.
-      if (negate_) out->insert(out->end(), candidates.begin(),
-                               candidates.end());
-      return;
-    }
+  void FilterInto(const Table& table, const RowSet& candidates, RowSet* out,
+                  FilterStats* stats) const override {
+    const Column& col = table.column(index_);
     const bool want_valid = negate_;
-    for (const uint32_t row : candidates) {
-      if (valid.Get(row) == want_valid) out->push_back(row);
-    }
+    const uint32_t mask = col.chunk_mask();
+    ForEachChunkRun(
+        candidates, 0, candidates.size(), col.chunk_shift(),
+        [&](uint32_t c, size_t begin, size_t end) {
+          const ColumnChunk& chunk = col.chunk(c);
+          // The null count IS the zone map here: an all-valid chunk
+          // decides both variants outright, as does an all-null one.
+          if (chunk.null_count() == 0) {
+            if (want_valid) {
+              AcceptRun(candidates, begin, end, out);
+            } else if (stats != nullptr) {
+              ++stats->chunks_skipped;
+            }
+            return;
+          }
+          if (chunk.null_count() == chunk.size()) {
+            if (!want_valid) {
+              AcceptRun(candidates, begin, end, out);
+            } else if (stats != nullptr) {
+              ++stats->chunks_skipped;
+            }
+            return;
+          }
+          const ValidityBitmap& valid = chunk.validity();
+          for (size_t p = begin; p < end; ++p) {
+            const uint32_t row = candidates[p];
+            if (valid.Get(row & mask) == want_valid) out->push_back(row);
+          }
+        });
   }
 
   std::string ToString() const override {
@@ -531,25 +775,25 @@ class BinaryLogicalPredicate final : public Predicate {
     return lhs_->Matches(table, row) || rhs_->Matches(table, row);
   }
 
-  void FilterInto(const Table& table, const RowSet& candidates,
-                  RowSet* out) const override {
+  void FilterInto(const Table& table, const RowSet& candidates, RowSet* out,
+                  FilterStats* stats) const override {
     if (kind_ == Kind::kAnd) {
       // Selection-vector intersection by cascade: the rhs kernel only
       // scans rows the lhs kept.
       RowSet kept;
-      lhs_->FilterInto(table, candidates, &kept);
-      rhs_->FilterInto(table, kept, out);
+      lhs_->FilterInto(table, candidates, &kept, stats);
+      rhs_->FilterInto(table, kept, out, stats);
       return;
     }
     // OR: union of two ascending selections.  rhs scans only the rows
     // lhs rejected, so each candidate is evaluated at most twice and the
     // merge is a linear sorted union.
     RowSet left;
-    lhs_->FilterInto(table, candidates, &left);
+    lhs_->FilterInto(table, candidates, &left, stats);
     RowSet rest;
     DifferenceInto(candidates, left, &rest);
     RowSet right;
-    rhs_->FilterInto(table, rest, &right);
+    rhs_->FilterInto(table, rest, &right, stats);
     UnionInto(left, right, out);
   }
 
@@ -613,13 +857,13 @@ class NotPredicate final : public Predicate {
     return !inner_->Matches(table, row);
   }
 
-  void FilterInto(const Table& table, const RowSet& candidates,
-                  RowSet* out) const override {
+  void FilterInto(const Table& table, const RowSet& candidates, RowSet* out,
+                  FilterStats* stats) const override {
     // Sorted difference: candidates minus the inner selection.  Keeps
     // the two-valued NULL semantics (NOT of a false NULL-comparison is
     // true) because rows the inner kernel skipped stay in the result.
     RowSet inner;
-    inner_->FilterInto(table, candidates, &inner);
+    inner_->FilterInto(table, candidates, &inner, stats);
     DifferenceInto(candidates, inner, out);
   }
 
@@ -641,8 +885,8 @@ class TruePredicate final : public Predicate {
  public:
   common::Status Bind(const Schema&) override { return common::Status::OK(); }
   bool Matches(const Table&, size_t) const override { return true; }
-  void FilterInto(const Table&, const RowSet& candidates,
-                  RowSet* out) const override {
+  void FilterInto(const Table&, const RowSet& candidates, RowSet* out,
+                  FilterStats*) const override {
     out->insert(out->end(), candidates.begin(), candidates.end());
   }
   std::string ToString() const override { return "TRUE"; }
@@ -698,7 +942,7 @@ common::Result<RowSet> Filter(const Table& table, Predicate* pred,
   RowSet out;
   if (base != nullptr) {
     out.reserve(base->size());
-    pred->FilterInto(table, *base, &out);
+    pred->FilterInto(table, *base, &out, stats);
     if (stats != nullptr) {
       stats->rows_in += static_cast<int64_t>(base->size());
       stats->rows_out += static_cast<int64_t>(out.size());
@@ -707,7 +951,7 @@ common::Result<RowSet> Filter(const Table& table, Predicate* pred,
   }
   const RowSet all = AllRows(table.num_rows());
   out.reserve(all.size());
-  pred->FilterInto(table, all, &out);
+  pred->FilterInto(table, all, &out, stats);
   if (stats != nullptr) {
     stats->rows_in += static_cast<int64_t>(all.size());
     stats->rows_out += static_cast<int64_t>(out.size());

@@ -23,6 +23,17 @@ enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
 
 const char* CompareOpSymbol(CompareOp op);
 
+// Filter accounting: how many candidate rows went in, how many came out,
+// and how many whole chunks the per-chunk zone maps discarded without
+// touching cell bytes.  `rows_in - rows_out` is the number of rows the
+// predicate eliminated (ExecStats::predicate_rows_filtered);
+// `chunks_skipped` feeds ExecStats::chunks_skipped.
+struct FilterStats {
+  int64_t rows_in = 0;
+  int64_t rows_out = 0;
+  int64_t chunks_skipped = 0;
+};
+
 // Abstract predicate node.
 class Predicate {
  public:
@@ -37,17 +48,25 @@ class Predicate {
 
   // Selection-vector evaluation: appends the rows of `candidates`
   // (ascending) that satisfy the predicate onto `out`, preserving order.
-  // Leaf nodes override this with tight typed loops over the raw column
-  // arrays (one comparator branch hoisted out of the loop, null-skip via
-  // the validity bitmap) instead of the per-row virtual Matches +
-  // Value-boxing path; AND composes by cascading the selection vector,
+  // Leaf nodes override this with tight typed loops over the raw
+  // per-chunk arrays (one comparator branch hoisted out of the loop,
+  // null-skip via the chunk validity bitmap) instead of the per-row
+  // virtual Matches + Value-boxing path.  Candidates decompose into
+  // chunk runs; each run first consults the chunk's zone map, which can
+  // discard the run (no cell can match — counted in
+  // FilterStats::chunks_skipped) or bulk-accept it (every cell provably
+  // matches and the chunk has no NULLs) without touching cell bytes.
+  // String chunks resolve literals against the chunk dictionary: an
+  // equality / IN literal absent from the dictionary skips the chunk,
+  // and ordering comparisons evaluate once per distinct string, then
+  // scan dense codes.  AND composes by cascading the selection vector,
   // OR by sorted union, NOT by sorted difference.  Mixed-type
   // comparisons (e.g. string column vs numeric literal) fall back to the
   // base implementation, which loops Matches — so FilterInto is always
   // exactly row-equivalent to Matches (pinned by
-  // tests/storage/selection_vector_test.cc).
+  // tests/storage/selection_vector_test.cc and the zone-map fuzz suite).
   virtual void FilterInto(const Table& table, const RowSet& candidates,
-                          RowSet* out) const;
+                          RowSet* out, FilterStats* stats = nullptr) const;
 
   virtual std::string ToString() const = 0;
 
@@ -88,14 +107,6 @@ PredicatePtr MakeTrue();
 // never serves a wrong entry.  Works on unbound trees — no schema needed
 // (pinned by tests/storage/predicate_canon_test.cc).
 std::string CanonicalPredicateKey(const Predicate& pred);
-
-// Filter accounting: how many candidate rows went in and how many came
-// out.  `rows_in - rows_out` is the number of rows the predicate
-// eliminated (ExecStats::predicate_rows_filtered).
-struct FilterStats {
-  int64_t rows_in = 0;
-  int64_t rows_out = 0;
-};
 
 // Scans `table` (restricted to `base` when non-null) and returns matching
 // row indexes.  Binds `pred` as part of the call.  Runs through the

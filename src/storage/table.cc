@@ -14,10 +14,11 @@ RowSet AllRows(size_t n) {
   return rows;
 }
 
-Table::Table(Schema schema) : schema_(std::move(schema)) {
+Table::Table(Schema schema, size_t chunk_rows)
+    : schema_(std::move(schema)), chunk_rows_(chunk_rows) {
   columns_.reserve(schema_.num_fields());
   for (const Field& f : schema_.fields()) {
-    columns_.push_back(std::make_unique<Column>(f.type));
+    columns_.push_back(std::make_unique<Column>(f.type, chunk_rows_));
   }
 }
 
@@ -63,13 +64,21 @@ void Table::Reserve(size_t n) {
 }
 
 Table Table::Clone() const {
-  Table copy(schema_);
+  Table copy(schema_, chunk_rows_);
   copy.columns_.clear();
   for (const auto& col : columns_) {
+    // Column's copy constructor shares chunks; appends copy-on-write the
+    // tail, so neither side can observe the other's growth.
     copy.columns_.push_back(std::make_unique<Column>(*col));
   }
   copy.num_rows_ = num_rows_;
   return copy;
+}
+
+size_t Table::ApproxBytes() const {
+  size_t bytes = sizeof(Table);
+  for (const auto& col : columns_) bytes += col->ApproxBytes();
+  return bytes;
 }
 
 std::string Table::ToString(size_t max_rows) const {

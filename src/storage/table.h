@@ -27,7 +27,10 @@ RowSet AllRows(size_t n);
 
 class Table {
  public:
-  explicit Table(Schema schema);
+  // `chunk_rows` (power of two) sets the capacity of every column chunk;
+  // tests use tiny chunks to exercise boundaries, production tables keep
+  // the default (storage/chunk.h).
+  explicit Table(Schema schema, size_t chunk_rows = kDefaultChunkRows);
 
   const Schema& schema() const { return schema_; }
   size_t num_rows() const { return num_rows_; }
@@ -46,14 +49,24 @@ class Table {
 
   void Reserve(size_t n);
 
-  // Deep copy (tables are move-only otherwise; columns own their data).
+  // Copy sharing every sealed chunk with the original: O(chunks), not
+  // O(rows).  The open tail chunk copy-on-writes on the first append to
+  // either side, so growing the clone never mutates data visible through
+  // the original (the mechanism behind the catalog's O(new rows) append).
   Table Clone() const;
+
+  // Rows per column chunk (uniform across columns).
+  size_t chunk_rows() const { return chunk_rows_; }
+
+  // Approximate resident bytes of all column data (stats observability).
+  size_t ApproxBytes() const;
 
   // First `max_rows` rows rendered as an aligned text table (debugging).
   std::string ToString(size_t max_rows = 10) const;
 
  private:
   Schema schema_;
+  size_t chunk_rows_;
   std::vector<std::unique_ptr<Column>> columns_;
   size_t num_rows_ = 0;
 };

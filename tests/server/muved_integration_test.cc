@@ -462,7 +462,9 @@ TEST_F(MuvedIntegrationTest, InvalidateBumpsEpochAndRecomputes) {
   auto bumped = RoundTrip(fd, invalidate);
   ASSERT_TRUE(bumped.ok());
   ASSERT_TRUE(IsOk(*bumped)) << bumped->Write();
-  EXPECT_EQ(bumped->Find("epoch")->int_value(), 1);
+  // The catalog's data_epoch starts at 1 for every table; the first
+  // invalidation bumps it to 2.
+  EXPECT_EQ(bumped->Find("epoch")->int_value(), 2);
 
   // Post-invalidation the same frame must NOT be served stale: it
   // re-executes under the new epoch.  (The toy search is deterministic,
@@ -871,6 +873,189 @@ TEST_F(MuvedIntegrationTest, SlotReleasedWhenHandlerThrows) {
   // slot and no waiting room, a leaked slot would shed this follow-up.
   JsonValue retry = Call(fd, ToyRecommend());
   EXPECT_TRUE(IsOk(retry)) << retry.Write();
+  ::close(fd);
+}
+
+// --- Catalog ops: create / append / drop + incremental ingest ---
+
+namespace {
+
+// 40 rows, clustered day column, integer dims/measures — mirrors the
+// scale workload in miniature.  `begin` lets appends continue the series.
+std::string SmallCsv(int begin, int end) {
+  std::string csv = "day,x,m\n";  // appends carry the header too
+  for (int i = begin; i < end; ++i) {
+    csv += std::to_string(i / 10) + "," + std::to_string(i % 7) + "," +
+           std::to_string(3 * i + 1) + "\n";
+  }
+  return csv;
+}
+
+}  // namespace
+
+TEST_F(MuvedIntegrationTest, CreateRecommendAppendDropLifecycle) {
+  StartServer();
+  const int fd = Dial();
+
+  JsonValue create = Request("create");
+  create.Set("table", JsonValue::String("mini"));
+  create.Set("csv", JsonValue::String(SmallCsv(0, 40)));
+  JsonValue dims = JsonValue::Array();
+  dims.Append(JsonValue::String("x"));
+  create.Set("dims", dims);
+  JsonValue measures = JsonValue::Array();
+  measures.Append(JsonValue::String("m"));
+  create.Set("measures", measures);
+  create.Set("predicate", JsonValue::String("day >= 2"));
+  JsonValue created = Call(fd, create);
+  ASSERT_TRUE(IsOk(created)) << created.Write();
+  EXPECT_EQ(created.Find("rows")->int_value(), 40);
+  EXPECT_EQ(created.Find("data_epoch")->int_value(), 1);
+
+  // Creating the same name again is an error; built-ins are reserved too.
+  EXPECT_FALSE(IsOk(Call(fd, create)));
+
+  // The created table recommends like a built-in (predicate defaulted
+  // from create time).
+  JsonValue recommend = Request("recommend");
+  recommend.Set("dataset", JsonValue::String("mini"));
+  recommend.Set("k", JsonValue::Int(2));
+  JsonValue first = Call(fd, recommend);
+  ASSERT_TRUE(IsOk(first)) << first.Write();
+  ASSERT_EQ(first.Find("views")->array().size(), 2u);
+
+  // Append new rows: the response reports the patched base histograms —
+  // the recommend above warmed them, so delta merges must have fired.
+  JsonValue append = Request("append");
+  append.Set("table", JsonValue::String("mini"));
+  append.Set("csv", JsonValue::String(SmallCsv(40, 60)));
+  JsonValue appended = Call(fd, append);
+  ASSERT_TRUE(IsOk(appended)) << appended.Write();
+  EXPECT_EQ(appended.Find("rows_appended")->int_value(), 20);
+  EXPECT_EQ(appended.Find("rows_total")->int_value(), 60);
+  EXPECT_EQ(appended.Find("data_epoch")->int_value(), 2);
+  EXPECT_GT(appended.Find("delta_merges")->int_value(), 0);
+  // O(new rows): the patch scanned only appended rows (once per side).
+  EXPECT_LE(appended.Find("ingest_rows")->int_value(), 2 * 20);
+
+  // Post-append recommend answers over all 60 rows and must equal a
+  // from-scratch load of the same 60 rows on a second server.
+  JsonValue incremental = Call(fd, recommend);
+  ASSERT_TRUE(IsOk(incremental)) << incremental.Write();
+  {
+    ServerOptions options;
+    options.port = 0;
+    MuvedServer fresh(options);
+    ASSERT_TRUE(fresh.Start().ok());
+    auto fd2_result = DialLocal(fresh.port());
+    ASSERT_TRUE(fd2_result.ok());
+    const int fd2 = *fd2_result;
+    JsonValue create2 = create;
+    create2.Set("csv", JsonValue::String(SmallCsv(0, 60)));
+    ASSERT_TRUE(IsOk(Call(fd2, create2)));
+    JsonValue reloaded = Call(fd2, recommend);
+    ASSERT_TRUE(IsOk(reloaded)) << reloaded.Write();
+    EXPECT_EQ(incremental.Find("views")->Write(),
+              reloaded.Find("views")->Write());
+    ::close(fd2);
+    fresh.Stop();
+  }
+
+  // Stats surfaces the ingest counters and per-table residency.
+  JsonValue stats = Call(fd, Request("stats"));
+  ASSERT_TRUE(IsOk(stats)) << stats.Write();
+  const JsonValue* ingest = stats.Find("ingest");
+  ASSERT_NE(ingest, nullptr);
+  EXPECT_EQ(ingest->Find("appends")->int_value(), 1);
+  EXPECT_EQ(ingest->Find("rows_ingested")->int_value(), 20);
+  EXPECT_GT(ingest->Find("delta_merges")->int_value(), 0);
+  const JsonValue* tables = stats.Find("tables");
+  ASSERT_NE(tables, nullptr);
+  ASSERT_NE(tables->Find("mini"), nullptr);
+  EXPECT_EQ(tables->Find("mini")->Find("rows")->int_value(), 60);
+  EXPECT_GT(tables->Find("mini")->Find("resident_bytes")->int_value(), 0);
+  const JsonValue* memory = stats.Find("memory");
+  ASSERT_NE(memory, nullptr);
+  EXPECT_GT(memory->Find("peak_rss_bytes")->int_value(), 0);
+  EXPECT_GT(memory->Find("tables_resident_bytes")->int_value(), 0);
+
+  // Drop: the name disappears and recommends over it turn NotFound.
+  JsonValue drop = Request("drop");
+  drop.Set("table", JsonValue::String("mini"));
+  ASSERT_TRUE(IsOk(Call(fd, drop)));
+  JsonValue gone = Call(fd, recommend);
+  EXPECT_FALSE(IsOk(gone));
+  EXPECT_EQ(ErrorCode(gone), "not_found");
+  EXPECT_FALSE(IsOk(Call(fd, drop)));  // double drop
+
+  ::close(fd);
+}
+
+TEST_F(MuvedIntegrationTest, CreateValidatesInputs) {
+  StartServer();
+  const int fd = Dial();
+
+  // Missing csv.
+  JsonValue create = Request("create");
+  create.Set("table", JsonValue::String("t"));
+  JsonValue dims = JsonValue::Array();
+  dims.Append(JsonValue::String("x"));
+  create.Set("dims", dims);
+  create.Set("measures", dims);
+  JsonValue response = Call(fd, create);
+  EXPECT_FALSE(IsOk(response));
+
+  // String column named as a dimension.
+  create.Set("csv", JsonValue::String("x,m\nred,1\nblue,2\n"));
+  response = Call(fd, create);
+  EXPECT_FALSE(IsOk(response));
+  EXPECT_NE(ErrorMessage(response).find("string column"), std::string::npos);
+
+  // Bad predicate syntax fails at create time, not first recommend.
+  create.Set("csv", JsonValue::String("x,m\n1,2\n3,4\n"));
+  create.Set("predicate", JsonValue::String("day >=>= 2"));
+  response = Call(fd, create);
+  EXPECT_FALSE(IsOk(response));
+
+  ::close(fd);
+}
+
+TEST_F(MuvedIntegrationTest, AppendEnforcesTableSchema) {
+  StartServer();
+  const int fd = Dial();
+
+  JsonValue create = Request("create");
+  create.Set("table", JsonValue::String("t"));
+  create.Set("csv", JsonValue::String(SmallCsv(0, 20)));
+  JsonValue dims = JsonValue::Array();
+  dims.Append(JsonValue::String("x"));
+  create.Set("dims", dims);
+  JsonValue measures = JsonValue::Array();
+  measures.Append(JsonValue::String("m"));
+  create.Set("measures", measures);
+  create.Set("predicate", JsonValue::String("day >= 1"));
+  ASSERT_TRUE(IsOk(Call(fd, create)));
+
+  // Unknown table.
+  JsonValue append = Request("append");
+  append.Set("table", JsonValue::String("nope"));
+  append.Set("csv", JsonValue::String(SmallCsv(0, 5)));
+  JsonValue response = Call(fd, append);
+  EXPECT_FALSE(IsOk(response));
+  EXPECT_EQ(ErrorCode(response), "not_found");
+
+  // Wrong header: the table's schema is enforced, not re-inferred.
+  append.Set("table", JsonValue::String("t"));
+  append.Set("csv", JsonValue::String("wrong,header,names\n1,2,3\n"));
+  EXPECT_FALSE(IsOk(Call(fd, append)));
+
+  // Empty batch.
+  append.Set("csv", JsonValue::String("day,x,m\n"));
+  EXPECT_FALSE(IsOk(Call(fd, append)));
+
+  // The failed appends left the table untouched.
+  JsonValue stats = Call(fd, Request("stats"));
+  EXPECT_EQ(stats.Find("tables")->Find("t")->Find("rows")->int_value(), 20);
   ::close(fd);
 }
 

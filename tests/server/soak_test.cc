@@ -308,6 +308,36 @@ TEST(MuvedSoakTest, StormThenExactAccountingAndNoLeaks) {
     EXPECT_TRUE(pong->Find("ok")->bool_value()) << pong->Write();
     prober.Disconnect();
 
+    // 1b. Deterministic saturation.  The chaotic storm usually sheds on
+    // its own, but on a slow single-core host a lucky schedule can
+    // drain every queue before it overflows.  Pin the gate regardless:
+    // four simultaneous slot-holding recommends (non-cacheable via
+    // include_timings, so none can bypass admission through the result
+    // cache; one-shot clients, so every attempt hits the gate exactly
+    // once) against one slot and one queue seat must shed the excess —
+    // the admitted run holds its slot for ~deadline_ms, a window no
+    // scheduler stagger outlasts.
+    {
+      constexpr int kBurst = 4;
+      std::vector<std::thread> burst;
+      burst.reserve(kBurst);
+      for (int b = 0; b < kBurst; ++b) {
+        burst.emplace_back([port]() {
+          RetryPolicy one_shot;
+          one_shot.max_attempts = 1;
+          RetryingClient client(port, one_shot);
+          JsonValue request = Op("recommend");
+          request.Set("dataset", JsonValue::String("nba"));
+          request.Set("scheme", JsonValue::String("hc-linear"));
+          request.Set("k", JsonValue::Int(5));
+          request.Set("deadline_ms", JsonValue::Double(200.0));
+          request.Set("include_timings", JsonValue::Bool(true));
+          (void)client.Call(request);
+        });
+      }
+      for (auto& t : burst) t.join();
+    }
+
     // 2. The ledger balances exactly at quiescence.
     const auto counters = server.counters();
     const int64_t accounted =

@@ -4,7 +4,10 @@
 
 #include <clocale>
 #include <limits>
+#include <memory>
 #include <string>
+
+#include "common/exec_context.h"
 
 namespace muve::storage {
 namespace {
@@ -262,6 +265,50 @@ TEST(CsvFileTest, WriteAndReadBack) {
   ASSERT_TRUE(reread.ok());
   EXPECT_EQ(reread->num_rows(), 1u);
   EXPECT_EQ(reread->At(0, 1), Value("two"));
+}
+
+// Execution control: a cancelled / expired ExecContext aborts the parse
+// between row batches instead of loading the whole input (the server's
+// per-request deadline covers CSV ingest too).
+TEST(CsvExecContextTest, CancelledContextAbortsLoad) {
+  std::string csv = "a,b\n";
+  for (int i = 0; i < 20000; ++i) {
+    csv += std::to_string(i) + "," + std::to_string(2 * i) + "\n";
+  }
+
+  common::ExecContext exec;
+  auto token = std::make_shared<common::CancellationToken>();
+  exec.SetCancellationToken(token);
+  token->Cancel();
+
+  CsvOptions options;
+  options.exec = &exec;
+  auto table = ReadCsvString(csv, options);
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), common::StatusCode::kCancelled);
+}
+
+TEST(CsvExecContextTest, ExpiredDeadlineAbortsLoad) {
+  std::string csv = "a\n";
+  for (int i = 0; i < 20000; ++i) {
+    csv += std::to_string(i) + "\n";
+  }
+  common::ExecContext exec;
+  exec.SetDeadlineAfterMillis(0.0);  // already expired
+  CsvOptions options;
+  options.exec = &exec;
+  auto table = ReadCsvString(csv, options);
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), common::StatusCode::kDeadlineExceeded);
+}
+
+TEST(CsvExecContextTest, UnboundedContextLoadsNormally) {
+  common::ExecContext exec;
+  CsvOptions options;
+  options.exec = &exec;
+  auto table = ReadCsvString("a\n1\n2\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
 }
 
 }  // namespace

@@ -1,0 +1,278 @@
+// Incremental-ingest correctness: MergeBaseHistograms additivity and the
+// ApplyAppendDeltas driver that patches a shared BaseHistogramCache in
+// O(new rows) after a catalog append.  The pin: a delta-patched base is
+// bit-identical (integer measures) to one rebuilt cold over the full
+// post-append row set.
+
+#include "storage/ingest.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "storage/base_histogram_cache.h"
+#include "storage/predicate.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "storage/value.h"
+
+namespace muve::storage {
+namespace {
+
+constexpr size_t kChunkRows = 16;
+
+Schema IngestSchema() {
+  return Schema({Field("a", ValueType::kInt64, FieldRole::kDimension),
+                 Field("m", ValueType::kInt64, FieldRole::kMeasure),
+                 Field("tag", ValueType::kString, FieldRole::kNone)});
+}
+
+// Deterministic row i: a in [0, 12], m integer, tag cycles.
+std::vector<Value> RowAt(size_t i) {
+  const char* tags[] = {"red", "green", "blue"};
+  return {Value(static_cast<int64_t>((i * 7) % 13)),
+          Value(static_cast<int64_t>((i * 31) % 997)),
+          Value(tags[i % 3])};
+}
+
+std::shared_ptr<Table> MakeTable(size_t rows) {
+  auto t = std::make_shared<Table>(IngestSchema(), kChunkRows);
+  for (size_t i = 0; i < rows; ++i) {
+    EXPECT_TRUE(t->AppendRow(RowAt(i)).ok());
+  }
+  return t;
+}
+
+RowSet Range(size_t begin, size_t end) {
+  RowSet rows;
+  for (size_t i = begin; i < end; ++i) {
+    rows.push_back(static_cast<uint32_t>(i));
+  }
+  return rows;
+}
+
+void ExpectSameHistogram(const BaseHistogram& got,
+                         const BaseHistogram& expected) {
+  ASSERT_EQ(got.values, expected.values);
+  ASSERT_EQ(got.prefix_counts, expected.prefix_counts);
+  // Integer measures: partial sums are exactly representable, so the
+  // merge's re-association is bit-exact.
+  ASSERT_EQ(got.sums, expected.sums);
+  ASSERT_EQ(got.sum_sqs, expected.sum_sqs);
+  ASSERT_EQ(got.prefix_sums, expected.prefix_sums);
+  ASSERT_EQ(got.prefix_sum_sqs, expected.prefix_sum_sqs);
+  EXPECT_EQ(got.source_rows, expected.source_rows);
+}
+
+TEST(MergeBaseHistogramsTest, PrefixPlusDeltaEqualsFullBuild) {
+  auto table = MakeTable(100);
+  for (const size_t split : {1u, 13u, 50u, 99u}) {
+    auto prefix =
+        BuildBaseHistogram(*table, Range(0, split), "a", "m");
+    auto delta =
+        BuildBaseHistogram(*table, Range(split, 100), "a", "m");
+    auto full = BuildBaseHistogram(*table, Range(0, 100), "a", "m");
+    ASSERT_TRUE(prefix.ok() && delta.ok() && full.ok());
+
+    const BaseHistogram merged = MergeBaseHistograms(*prefix, *delta);
+    ExpectSameHistogram(merged, *full);
+  }
+}
+
+TEST(MergeBaseHistogramsTest, DisjointDictionariesUnion) {
+  // Prefix holds only even dimension values, delta only odd ones.
+  Table t(IngestSchema(), kChunkRows);
+  for (int64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        t.AppendRow({Value(2 * i), Value(i + 1), Value("x")}).ok());
+  }
+  for (int64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        t.AppendRow({Value(2 * i + 1), Value(10 * i), Value("x")}).ok());
+  }
+  auto prefix = BuildBaseHistogram(t, Range(0, 8), "a", "m");
+  auto delta = BuildBaseHistogram(t, Range(8, 16), "a", "m");
+  auto full = BuildBaseHistogram(t, Range(0, 16), "a", "m");
+  ASSERT_TRUE(prefix.ok() && delta.ok() && full.ok());
+  ASSERT_EQ(prefix->num_fine_bins(), 8u);
+  ASSERT_EQ(delta->num_fine_bins(), 8u);
+
+  const BaseHistogram merged = MergeBaseHistograms(*prefix, *delta);
+  ASSERT_EQ(merged.num_fine_bins(), 16u);
+  ExpectSameHistogram(merged, *full);
+}
+
+class ApplyAppendDeltasTest : public ::testing::Test {
+ protected:
+  // Warms `cache` exactly as a pre-append recommendation would: bases
+  // over the target rows (predicate-filtered) and the comparison rows
+  // (everything), keyed "t|a|m" / "c|a|m", built from the first
+  // `rows_before` rows.
+  void WarmCache(const Table& table, size_t rows_before, Predicate* pred,
+                 BaseHistogramCache* cache) {
+    RowSet target;
+    pred->FilterInto(table, Range(0, rows_before), &target, nullptr);
+    for (const char* side : {"t|", "c|"}) {
+      const RowSet& rows =
+          side[0] == 't' ? target : Range(0, rows_before);
+      bool built = false;
+      auto result = cache->GetOrBuild(
+          std::string(side) + "a|m",
+          [&]() { return BuildBaseHistogram(table, rows, "a", "m"); },
+          &built);
+      ASSERT_TRUE(result.ok());
+      ASSERT_TRUE(built);
+    }
+  }
+};
+
+TEST_F(ApplyAppendDeltasTest, PatchedCacheMatchesColdRebuild) {
+  constexpr size_t kBefore = 60;
+  constexpr size_t kTotal = 100;
+  auto table = MakeTable(kTotal);
+
+  PredicatePtr pred =
+      MakeComparison("a", CompareOp::kGe, Value(int64_t{7}));
+  ASSERT_TRUE(pred->Bind(table->schema()).ok());
+
+  BaseHistogramCache cache;
+  WarmCache(*table, kBefore, pred.get(), &cache);
+
+  IngestDeltaRequest request;
+  request.table = table.get();
+  request.rows_before = kBefore;
+  request.rows_appended = kTotal - kBefore;
+  request.dimensions = {"a"};
+  request.measures = {"m"};
+  request.target_predicate = pred.get();
+  request.cache = &cache;
+  IngestDeltaStats stats;
+  ASSERT_TRUE(ApplyAppendDeltas(request, &stats).ok());
+
+  EXPECT_EQ(stats.pairs_considered, 2);
+  EXPECT_EQ(stats.delta_merges, 2);
+  // Comparison side scans exactly the appended rows; target side only
+  // its predicate-matching subset.
+  EXPECT_GE(stats.rows_scanned, static_cast<int64_t>(kTotal - kBefore));
+  EXPECT_GT(stats.target_delta_rows, 0);
+  EXPECT_LT(stats.target_delta_rows,
+            static_cast<int64_t>(kTotal - kBefore));
+
+  // Every patched entry must equal a cold build over the full row sets.
+  RowSet full_target;
+  pred->FilterInto(*table, Range(0, kTotal), &full_target, nullptr);
+  const struct {
+    const char* key;
+    const RowSet rows;
+  } sides[] = {{"t|a|m", full_target}, {"c|a|m", Range(0, kTotal)}};
+  for (const auto& side : sides) {
+    bool built = false;
+    auto patched = cache.GetOrBuild(
+        side.key,
+        [&]() { return BuildBaseHistogram(*table, side.rows, "a", "m"); },
+        &built, static_cast<int64_t>(side.rows.size()));
+    ASSERT_TRUE(patched.ok());
+    // The staleness guard accepted the patched entry — no rebuild.
+    EXPECT_FALSE(built) << side.key;
+    auto cold = BuildBaseHistogram(*table, side.rows, "a", "m");
+    ASSERT_TRUE(cold.ok());
+    ExpectSameHistogram(**patched, *cold);
+  }
+}
+
+// Random append schedules: warm once at a random initial size, apply a
+// random sequence of delta patches, and require the final cached bases
+// to equal cold rebuilds over the full row sets — for every schedule.
+TEST_F(ApplyAppendDeltasTest, FuzzedAppendSchedules) {
+  common::Rng rng(0x16E57);
+  for (int iter = 0; iter < 25; ++iter) {
+    const size_t total = static_cast<size_t>(rng.UniformInt(20, 200));
+    auto table = MakeTable(total);
+    PredicatePtr pred = MakeComparison(
+        "a", CompareOp::kGe, Value(rng.UniformInt(0, 12)));
+    ASSERT_TRUE(pred->Bind(table->schema()).ok());
+
+    size_t published = static_cast<size_t>(
+        rng.UniformInt(1, static_cast<int64_t>(total) - 1));
+    BaseHistogramCache cache;
+    WarmCache(*table, published, pred.get(), &cache);
+
+    while (published < total) {
+      const size_t step = static_cast<size_t>(
+          rng.UniformInt(1, static_cast<int64_t>(total - published)));
+      IngestDeltaRequest request;
+      request.table = table.get();
+      request.rows_before = published;
+      request.rows_appended = step;
+      request.dimensions = {"a"};
+      request.measures = {"m"};
+      request.target_predicate = pred.get();
+      request.cache = &cache;
+      ASSERT_TRUE(ApplyAppendDeltas(request, nullptr).ok());
+      published += step;
+    }
+
+    RowSet full_target;
+    pred->FilterInto(*table, Range(0, total), &full_target, nullptr);
+    const struct {
+      const char* key;
+      const RowSet rows;
+    } sides[] = {{"t|a|m", full_target}, {"c|a|m", Range(0, total)}};
+    for (const auto& side : sides) {
+      bool built = false;
+      auto patched = cache.GetOrBuild(
+          side.key,
+          [&]() {
+            return BuildBaseHistogram(*table, side.rows, "a", "m");
+          },
+          &built, static_cast<int64_t>(side.rows.size()));
+      ASSERT_TRUE(patched.ok());
+      EXPECT_FALSE(built) << "iter " << iter << " " << side.key;
+      auto cold = BuildBaseHistogram(*table, side.rows, "a", "m");
+      ASSERT_TRUE(cold.ok());
+      ExpectSameHistogram(**patched, *cold);
+    }
+  }
+}
+
+TEST_F(ApplyAppendDeltasTest, EmptyCacheIsANoOp) {
+  auto table = MakeTable(20);
+  BaseHistogramCache cache;
+  IngestDeltaRequest request;
+  request.table = table.get();
+  request.rows_before = 10;
+  request.rows_appended = 10;
+  request.dimensions = {"a"};
+  request.measures = {"m"};
+  request.cache = &cache;
+  IngestDeltaStats stats;
+  ASSERT_TRUE(ApplyAppendDeltas(request, &stats).ok());
+  EXPECT_EQ(stats.pairs_considered, 0);
+  EXPECT_EQ(stats.delta_merges, 0);
+  EXPECT_EQ(stats.rows_scanned, 0);
+}
+
+TEST_F(ApplyAppendDeltasTest, StringPairsAreSkipped) {
+  auto table = MakeTable(20);
+  BaseHistogramCache cache;
+  IngestDeltaRequest request;
+  request.table = table.get();
+  request.rows_before = 10;
+  request.rows_appended = 10;
+  request.dimensions = {"a", "tag"};  // string dim never cache-eligible
+  request.measures = {"m", "tag"};
+  request.cache = &cache;
+  ASSERT_TRUE(ApplyAppendDeltas(request, nullptr).ok());
+}
+
+TEST(ApplyAppendDeltasValidationTest, RejectsMissingTableOrCache) {
+  IngestDeltaRequest request;
+  EXPECT_EQ(ApplyAppendDeltas(request, nullptr).code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace muve::storage

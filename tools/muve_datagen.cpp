@@ -5,7 +5,18 @@
 //   $ muve_datagen --out=/tmp/muve_data [--seed=N]
 //   /tmp/muve_data/diab.csv   (768 rows, UCI Pima schema)
 //   /tmp/muve_data/nba.csv    (651 rows, 2015 NBA advanced-stats schema)
+//
+// With --rows=N it instead emits the scale workload (data/scale.h):
+//
+//   $ muve_datagen --rows=100000000 --stream --out=/tmp/muve_data
+//   /tmp/muve_data/scale.csv  (N rows, day/region/x/y/m1/m2 schema)
+//
+// --stream generates rows straight to the file in O(1) memory — a
+// 10^8-row CSV (~3 GiB) never exists in RAM.  Without --stream the
+// table is materialized first (identical bytes; practical to ~10^7).
 
+#include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <string>
@@ -14,12 +25,63 @@
 #include "common/string_util.h"
 #include "data/diab.h"
 #include "data/nba.h"
+#include "data/scale.h"
 #include "storage/csv.h"
+
+namespace {
+
+int EmitScale(const std::string& out_dir, size_t rows, uint64_t seed,
+              bool stream) {
+  muve::data::ScaleSpec spec;
+  spec.rows = rows;
+  spec.seed = seed;
+  const std::string path = out_dir + "/scale.csv";
+  if (stream) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::cerr << "cannot open file for write: " << path << "\n";
+      return 1;
+    }
+    // Chunked emission bounds the ostream's buffered state; each slab
+    // regenerates rows from (seed, index), so memory stays O(slab).
+    constexpr size_t kSlab = size_t{1} << 20;
+    for (size_t begin = 0; begin < spec.rows; begin += kSlab) {
+      const size_t end = std::min(spec.rows, begin + kSlab);
+      muve::data::WriteScaleCsv(out, spec, begin, end);
+      if (!out) {
+        std::cerr << "write failed: " << path << "\n";
+        return 1;
+      }
+    }
+    out.flush();
+    if (!out) {
+      std::cerr << "write failed: " << path << "\n";
+      return 1;
+    }
+  } else {
+    const auto table = muve::data::MakeScaleTable(spec, 0, spec.rows);
+    if (auto st = muve::storage::WriteCsvFile(*table, path); !st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+  }
+  std::cout << "wrote " << path << " (" << rows << " rows)\n"
+            << "example: muve_cli --csv=" << path
+            << " --dims=x,y --measures=m1,m2 \"--predicate="
+            << muve::data::ScalePredicateSql(spec) << "\"\n";
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string out_dir = ".";
   uint64_t diab_seed = muve::data::kDiabDefaultSeed;
   uint64_t nba_seed = muve::data::kNbaDefaultSeed;
+  uint64_t scale_seed = muve::data::kScaleDefaultSeed;
+  bool seed_set = false;
+  int64_t rows = -1;
+  bool stream = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (muve::common::StartsWith(arg, "--out=")) {
@@ -33,10 +95,32 @@ int main(int argc, char** argv) {
       }
       diab_seed = static_cast<uint64_t>(*seed);
       nba_seed = diab_seed;
+      scale_seed = diab_seed;
+      seed_set = true;
+    } else if (muve::common::StartsWith(arg, "--rows=")) {
+      auto n = muve::common::ParseFlagInt64("--rows", arg.substr(7), 1,
+                                            int64_t{1} << 32);
+      if (!n.ok()) {
+        std::cerr << n.status().message() << "\n";
+        return 2;
+      }
+      rows = *n;
+    } else if (arg == "--stream") {
+      stream = true;
     } else {
-      std::cerr << "usage: muve_datagen [--out=DIR] [--seed=N]\n";
+      std::cerr << "usage: muve_datagen [--out=DIR] [--seed=N] "
+                   "[--rows=N [--stream]]\n";
       return 2;
     }
+  }
+  (void)seed_set;
+  if (stream && rows < 0) {
+    std::cerr << "--stream requires --rows=N\n";
+    return 2;
+  }
+
+  if (rows >= 0) {
+    return EmitScale(out_dir, static_cast<size_t>(rows), scale_seed, stream);
   }
 
   const muve::data::Dataset diab = muve::data::MakeDiabDataset(diab_seed);
